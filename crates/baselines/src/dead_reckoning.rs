@@ -1,0 +1,221 @@
+//! Dead reckoning: linear extrapolation from the last correction.
+
+use bytes::Bytes;
+use kalstream_sim::{Consumer, Producer, Tick};
+
+use crate::{codec, max_norm_diff};
+
+/// Dead-reckoning producer: the server extrapolates linearly from the last
+/// shipped `(value, slope)`; the source mirrors that extrapolation and sends
+/// a new `(value, slope)` pair when it drifts beyond `δ` (max-norm).
+///
+/// The slope is estimated as the one-tick difference of observations at send
+/// time — the standard game-networking/fleet-telemetry trick. It handles
+/// trends that defeat [`crate::ValueCache`], but the raw one-tick difference
+/// makes it *noise-amplifying*: on a noisy flat stream the slope estimate
+/// whips around and the policy resyncs constantly. The Kalman protocol fixes
+/// exactly this by estimating the slope through a filter.
+#[derive(Debug, Clone)]
+pub struct DeadReckoning {
+    delta: f64,
+    dim: usize,
+    prev: Vec<f64>,
+    have_prev: bool,
+    /// (value, slope) at the last send, plus ticks since.
+    anchor: Vec<f64>,
+    slope: Vec<f64>,
+    age: u64,
+    primed: bool,
+}
+
+impl DeadReckoning {
+    /// Creates a dead-reckoning producer for `dim`-dimensional streams with
+    /// bound `delta`.
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero or `delta` is not positive and finite.
+    pub fn new(dim: usize, delta: f64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        DeadReckoning {
+            delta,
+            dim,
+            prev: vec![0.0; dim],
+            have_prev: false,
+            anchor: vec![0.0; dim],
+            slope: vec![0.0; dim],
+            age: 0,
+            primed: false,
+        }
+    }
+
+    fn extrapolated(&self) -> Vec<f64> {
+        self.anchor
+            .iter()
+            .zip(self.slope.iter())
+            .map(|(a, s)| a + s * self.age as f64)
+            .collect()
+    }
+}
+
+impl Producer for DeadReckoning {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+        let observed = &observed[..self.dim];
+        self.age += 1;
+        let must_send = if !self.primed {
+            true
+        } else {
+            max_norm_diff(&self.extrapolated(), observed) > self.delta
+        };
+
+        let result = if must_send {
+            // New anchor at the fresh observation; slope from the last two
+            // raw observations (zero until two are available).
+            self.anchor.copy_from_slice(observed);
+            for (slope, (&obs, &prev)) in
+                self.slope.iter_mut().zip(observed.iter().zip(self.prev.iter()))
+            {
+                *slope = if self.have_prev { obs - prev } else { 0.0 };
+            }
+            self.age = 0;
+            self.primed = true;
+            let mut payload = self.anchor.clone();
+            payload.extend_from_slice(&self.slope);
+            Some(codec::encode(&payload))
+        } else {
+            None
+        };
+
+        self.prev.copy_from_slice(observed);
+        self.have_prev = true;
+        result
+    }
+}
+
+/// Server half of dead reckoning: holds `(value, slope)` and extrapolates.
+#[derive(Debug, Clone)]
+pub struct DeadReckoningServer {
+    anchor: Vec<f64>,
+    slope: Vec<f64>,
+    age: u64,
+}
+
+impl DeadReckoningServer {
+    /// Creates a server for `dim`-dimensional streams, initially flat at 0.
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        DeadReckoningServer { anchor: vec![0.0; dim], slope: vec![0.0; dim], age: 0 }
+    }
+}
+
+impl Consumer for DeadReckoningServer {
+    fn dim(&self) -> usize {
+        self.anchor.len()
+    }
+
+    fn receive(&mut self, _now: Tick, payload: &Bytes) {
+        let d = self.anchor.len();
+        let mut buf = vec![0.0; 2 * d];
+        if codec::decode_into(payload, &mut buf) {
+            self.anchor.copy_from_slice(&buf[..d]);
+            self.slope.copy_from_slice(&buf[d..]);
+            self.age = 0;
+        }
+    }
+
+    fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
+        for (o, (&a, &s)) in out.iter_mut().zip(self.anchor.iter().zip(self.slope.iter())) {
+            *o = a + s * self.age as f64;
+        }
+        self.age += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalstream_sim::{Session, SessionConfig};
+
+    fn run_ramp(slope: f64, delta: f64, ticks: u64) -> kalstream_sim::SessionReport {
+        let config = SessionConfig::instant(ticks, delta);
+        let mut p = DeadReckoning::new(1, delta);
+        let mut c = DeadReckoningServer::new(1);
+        let mut t = 0.0;
+        Session::run(
+            &config,
+            move |obs, tru| {
+                obs[0] = slope * t;
+                tru[0] = slope * t;
+                t += 1.0;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        )
+    }
+
+    #[test]
+    fn noiseless_ramp_needs_constant_messages() {
+        // After the first two samples fix the slope, extrapolation is exact.
+        let report = run_ramp(0.5, 0.25, 1000);
+        assert!(report.traffic.messages() <= 3, "messages {}", report.traffic.messages());
+        assert_eq!(report.error_vs_observed.violations(), 0);
+    }
+
+    #[test]
+    fn beats_nothing_on_noisy_flat_stream() {
+        // Deterministic alternation ±1 around 0 with δ=0.5: the slope
+        // estimate whips to ±2 per tick, so dead reckoning must resync
+        // almost every tick — its known pathology.
+        let config = SessionConfig::instant(200, 0.5);
+        let mut p = DeadReckoning::new(1, 0.5);
+        let mut c = DeadReckoningServer::new(1);
+        let mut t = 0i64;
+        let report = Session::run(
+            &config,
+            move |obs, tru| {
+                let v = if t % 2 == 0 { 1.0 } else { -1.0 };
+                obs[0] = v;
+                tru[0] = 0.0;
+                t += 1;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        assert!(
+            report.traffic.messages() > 150,
+            "expected thrashing, got {} messages",
+            report.traffic.messages()
+        );
+        // Even so, the contract vs. observed holds at zero latency.
+        assert_eq!(report.error_vs_observed.violations(), 0);
+    }
+
+    #[test]
+    fn server_extrapolates_between_syncs() {
+        let mut c = DeadReckoningServer::new(1);
+        c.receive(0, &codec::encode(&[10.0, 2.0]));
+        let mut out = [0.0];
+        c.estimate(0, &mut out);
+        assert_eq!(out[0], 10.0);
+        c.estimate(1, &mut out);
+        assert_eq!(out[0], 12.0);
+        c.estimate(2, &mut out);
+        assert_eq!(out[0], 14.0);
+    }
+
+    #[test]
+    fn payload_carries_value_and_slope() {
+        let mut p = DeadReckoning::new(2, 1.0);
+        let first = p.observe(0, &[1.0, 2.0]).unwrap();
+        assert_eq!(first.len(), 8 * 4); // 2 values + 2 slopes
+    }
+}

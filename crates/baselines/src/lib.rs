@@ -1,0 +1,90 @@
+//! # kalstream-baselines
+//!
+//! The comparator suppression policies the paper's evaluation measures the
+//! Kalman protocol against. Every baseline implements the same simulator
+//! endpoint traits ([`kalstream_sim::Producer`] / [`kalstream_sim::Consumer`])
+//! and pays for messages through the same link, so comparisons are
+//! apples-to-apples:
+//!
+//! | policy | server-side cache | sends when |
+//! |---|---|---|
+//! | [`ShipAll`] | last value | every tick (the exact baseline) |
+//! | [`TtlCache`] | last value | every `ttl` ticks (periodic refresh) |
+//! | [`ValueCache`] | last value | `\|z − cached\| > δ` (approximate caching of *static* data — the paper's primary foil) |
+//! | [`DeadReckoning`] | linear extrapolation | `\|extrapolated − z\| > δ` (fixed-model prediction, no noise handling) |
+//! | [`HoltTrend`] | smoothed level+trend extrapolation | `\|extrapolated − z\| > δ` |
+//!
+//! All policies support arbitrary stream dimension with the max-norm
+//! precision test, matching the protocol's contract.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dead_reckoning;
+mod ewma;
+mod naive;
+mod policy;
+mod ttl;
+mod value_cache;
+
+pub use dead_reckoning::{DeadReckoning, DeadReckoningServer};
+pub use ewma::{HoltTrend, HoltTrendServer};
+pub use naive::{LastValueServer, ShipAll};
+pub use policy::{build_policy, PolicyKind};
+pub use ttl::TtlCache;
+pub use value_cache::ValueCache;
+
+pub(crate) mod codec {
+    //! Shared value codec: baselines ship raw little-endian `f64`s.
+
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+    /// Encodes a flat slice of values.
+    pub fn encode(values: &[f64]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 * values.len());
+        for &v in values {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes into `out`; ignores malformed payloads (wrong size), returning
+    /// `false`.
+    pub fn decode_into(payload: &Bytes, out: &mut [f64]) -> bool {
+        if payload.len() != 8 * out.len() {
+            return false;
+        }
+        let mut slice: &[u8] = payload;
+        for v in out.iter_mut() {
+            *v = slice.get_f64_le();
+        }
+        true
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip() {
+            let vals = [1.5, -2.25, 1e300];
+            let b = encode(&vals);
+            let mut out = [0.0; 3];
+            assert!(decode_into(&b, &mut out));
+            assert_eq!(out, vals);
+        }
+
+        #[test]
+        fn wrong_size_rejected() {
+            let b = encode(&[1.0, 2.0]);
+            let mut out = [0.0; 3];
+            assert!(!decode_into(&b, &mut out));
+            assert_eq!(out, [0.0; 3]);
+        }
+    }
+}
+
+/// Max-norm distance helper shared by the suppression tests.
+pub(crate) fn max_norm_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}

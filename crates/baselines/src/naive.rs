@@ -1,0 +1,129 @@
+//! Ship-every-sample: the exact (zero-error, maximum-cost) baseline.
+
+use bytes::Bytes;
+use kalstream_sim::{Consumer, Producer, Tick};
+
+use crate::codec;
+
+/// Producer that transmits every observation unconditionally.
+///
+/// Table T1's denominator: every other policy's message count is reported as
+/// a percentage of this one's.
+#[derive(Debug, Clone)]
+pub struct ShipAll {
+    dim: usize,
+}
+
+impl ShipAll {
+    /// Creates a ship-all producer for `dim`-dimensional streams.
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        ShipAll { dim }
+    }
+}
+
+impl Producer for ShipAll {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+        Some(codec::encode(&observed[..self.dim]))
+    }
+}
+
+/// Consumer that serves the most recently received value verbatim — the
+/// server half of [`ShipAll`], [`crate::TtlCache`] and [`crate::ValueCache`]
+/// (all three cache *static data*; they differ only in when they refresh).
+#[derive(Debug, Clone)]
+pub struct LastValueServer {
+    value: Vec<f64>,
+}
+
+impl LastValueServer {
+    /// Creates a server initialised to `initial`.
+    ///
+    /// # Panics
+    /// Panics when `initial` is empty.
+    pub fn new(initial: &[f64]) -> Self {
+        assert!(!initial.is_empty(), "dim must be positive");
+        LastValueServer { value: initial.to_vec() }
+    }
+
+    /// The currently cached value.
+    pub fn value(&self) -> &[f64] {
+        &self.value
+    }
+}
+
+impl Consumer for LastValueServer {
+    fn dim(&self) -> usize {
+        self.value.len()
+    }
+
+    fn receive(&mut self, _now: Tick, payload: &Bytes) {
+        let mut buf = vec![0.0; self.value.len()];
+        if codec::decode_into(payload, &mut buf) {
+            self.value = buf;
+        }
+    }
+
+    fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
+        out.copy_from_slice(&self.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalstream_sim::{Session, SessionConfig};
+
+    #[test]
+    fn ship_all_sends_every_tick() {
+        let config = SessionConfig::instant(100, 1.0);
+        let mut p = ShipAll::new(1);
+        let mut c = LastValueServer::new(&[0.0]);
+        let mut t = 0.0;
+        let report = Session::run(
+            &config,
+            |obs, tru| {
+                t += 1.0;
+                obs[0] = t;
+                tru[0] = t;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        assert_eq!(report.traffic.messages(), 100);
+        assert_eq!(report.error_vs_observed.max_abs(), 0.0);
+        assert_eq!(report.error_vs_observed.violations(), 0);
+    }
+
+    #[test]
+    fn multi_dim_roundtrip() {
+        let mut p = ShipAll::new(3);
+        let mut c = LastValueServer::new(&[0.0, 0.0, 0.0]);
+        let payload = p.observe(0, &[1.0, 2.0, 3.0]).unwrap();
+        c.receive(0, &payload);
+        let mut out = [0.0; 3];
+        c.estimate(0, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bad_payload_keeps_old_value() {
+        let mut c = LastValueServer::new(&[7.0]);
+        c.receive(0, &Bytes::from_static(b"xy"));
+        assert_eq!(c.value(), &[7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim")]
+    fn zero_dim_rejected() {
+        let _ = ShipAll::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Periodic refresh: classic TTL-style caching of static data.
+
+use bytes::Bytes;
+use kalstream_sim::{Producer, Tick};
+
+use crate::codec;
+
+/// Producer that refreshes the server's cached value every `ttl` ticks,
+/// regardless of how the stream moves — the "cache with a time-to-live"
+/// strategy. Pairs with [`crate::LastValueServer`].
+///
+/// Its flaw is exactly what the paper attacks: the refresh rate has no
+/// relationship to the stream's dynamics, so it simultaneously wastes
+/// messages on quiet streams and misses precision on active ones.
+#[derive(Debug, Clone)]
+pub struct TtlCache {
+    dim: usize,
+    ttl: u64,
+    since_send: u64,
+}
+
+impl TtlCache {
+    /// Creates a TTL producer sending on the first tick and then every
+    /// `ttl` ticks.
+    ///
+    /// # Panics
+    /// Panics when `dim` or `ttl` is zero.
+    pub fn new(dim: usize, ttl: u64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(ttl > 0, "ttl must be positive");
+        TtlCache { dim, ttl, since_send: u64::MAX }
+    }
+
+    /// The refresh period.
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
+}
+
+impl Producer for TtlCache {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+        // First call (since_send == MAX) always sends.
+        if self.since_send >= self.ttl.saturating_sub(1) || self.since_send == u64::MAX {
+            self.since_send = 0;
+            Some(codec::encode(&observed[..self.dim]))
+        } else {
+            self.since_send += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LastValueServer;
+    use kalstream_sim::{Session, SessionConfig};
+
+    #[test]
+    fn sends_once_per_period() {
+        let config = SessionConfig::instant(100, 100.0);
+        let mut p = TtlCache::new(1, 10);
+        let mut c = LastValueServer::new(&[0.0]);
+        let mut t = 0.0;
+        let report = Session::run(
+            &config,
+            |obs, tru| {
+                obs[0] = t;
+                tru[0] = t;
+                t += 1.0;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        assert_eq!(report.traffic.messages(), 10);
+    }
+
+    #[test]
+    fn ttl_one_is_ship_all() {
+        let mut p = TtlCache::new(1, 1);
+        for t in 0..20 {
+            assert!(p.observe(t, &[0.0]).is_some());
+        }
+    }
+
+    #[test]
+    fn error_grows_between_refreshes_on_a_ramp() {
+        let config = SessionConfig::instant(100, 4.0);
+        let mut p = TtlCache::new(1, 10);
+        let mut c = LastValueServer::new(&[0.0]);
+        let mut t = 0.0;
+        let report = Session::run(
+            &config,
+            |obs, tru| {
+                obs[0] = t;
+                tru[0] = t;
+                t += 1.0;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        // Ramp slope 1, refresh every 10: max staleness error is 9.
+        assert_eq!(report.error_vs_observed.max_abs(), 9.0);
+        assert!(report.error_vs_observed.violations() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl")]
+    fn zero_ttl_rejected() {
+        let _ = TtlCache::new(1, 0);
+    }
+}

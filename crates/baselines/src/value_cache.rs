@@ -1,0 +1,135 @@
+//! Approximate caching of static values — the paper's primary foil.
+
+use bytes::Bytes;
+use kalstream_sim::{Producer, Tick};
+
+use crate::{codec, max_norm_diff};
+
+/// Producer implementing approximate value caching (Olston-style bound
+/// caching): the server holds the last sent value; the source re-sends
+/// whenever the fresh observation drifts more than `δ` from that cached
+/// value. Pairs with [`crate::LastValueServer`].
+///
+/// This is "caching static data" in the paper's framing. It shares the
+/// Kalman protocol's trigger structure — compare, suppress, correct — but
+/// its server-side predictor is the constant function, so any *trending*
+/// stream costs one message per `δ` of movement forever. The gap between
+/// this policy and the dual-Kalman protocol is precisely the value of
+/// caching a dynamic procedure instead of a datum.
+#[derive(Debug, Clone)]
+pub struct ValueCache {
+    delta: f64,
+    cached: Vec<f64>,
+    primed: bool,
+}
+
+impl ValueCache {
+    /// Creates a value cache for `dim`-dimensional streams with bound
+    /// `delta` (max-norm).
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero or `delta` is not positive and finite.
+    pub fn new(dim: usize, delta: f64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        ValueCache { delta, cached: vec![0.0; dim], primed: false }
+    }
+
+    /// The precision bound.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl Producer for ValueCache {
+    fn dim(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+        let d = self.cached.len();
+        if self.primed && max_norm_diff(&observed[..d], &self.cached) <= self.delta {
+            return None;
+        }
+        self.cached.copy_from_slice(&observed[..d]);
+        self.primed = true;
+        Some(codec::encode(&self.cached))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LastValueServer;
+    use kalstream_sim::{Session, SessionConfig};
+
+    #[test]
+    fn quiet_stream_sends_once() {
+        let mut p = ValueCache::new(1, 0.5);
+        assert!(p.observe(0, &[1.0]).is_some());
+        for t in 1..100 {
+            assert!(p.observe(t, &[1.0 + 0.3 * ((t % 2) as f64)]).is_none());
+        }
+    }
+
+    #[test]
+    fn ramp_costs_one_message_per_delta() {
+        let config = SessionConfig::instant(1000, 2.0);
+        let mut p = ValueCache::new(1, 2.0);
+        let mut c = LastValueServer::new(&[0.0]);
+        let mut t = 0.0;
+        let report = Session::run(
+            &config,
+            |obs, tru| {
+                obs[0] = t;
+                tru[0] = t;
+                t += 1.0;
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        // Unit slope, δ=2 ⇒ a message roughly every 3 ticks (drift of > 2).
+        let expected = 1000 / 3;
+        let got = report.traffic.messages() as i64;
+        assert!((got - expected as i64).abs() <= 2, "messages {got}");
+        // But the precision contract holds.
+        assert_eq!(report.error_vs_observed.violations(), 0);
+    }
+
+    #[test]
+    fn precision_contract_holds_on_noise() {
+        let config = SessionConfig::instant(500, 1.0);
+        let mut p = ValueCache::new(1, 1.0);
+        let mut c = LastValueServer::new(&[0.0]);
+        let mut x = 0.0f64;
+        let report = Session::run(
+            &config,
+            |obs, tru| {
+                // Deterministic wiggle standing in for noise.
+                x += 0.7;
+                obs[0] = (x).sin() * 3.0;
+                tru[0] = obs[0];
+            },
+            &mut p,
+            &mut c,
+            &mut (),
+        );
+        assert_eq!(report.error_vs_observed.violations(), 0);
+        assert!(report.traffic.messages() > 10);
+    }
+
+    #[test]
+    fn multi_dim_uses_max_norm() {
+        let mut p = ValueCache::new(2, 1.0);
+        assert!(p.observe(0, &[0.0, 0.0]).is_some());
+        assert!(p.observe(1, &[0.9, -0.9]).is_none());
+        assert!(p.observe(2, &[0.0, 1.5]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn bad_delta_rejected() {
+        let _ = ValueCache::new(1, 0.0);
+    }
+}

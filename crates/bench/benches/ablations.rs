@@ -1,0 +1,58 @@
+//! Timing side of the ablations: what the Joseph form and the adaptive
+//! layer cost per step (their *behavioural* effects live in the
+//! `exp_ablations` binary).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalstream_filter::{
+    models, AdaptiveConfig, AdaptiveKalmanFilter, CovarianceUpdate, KalmanFilter,
+};
+use kalstream_linalg::Vector;
+
+fn bench_joseph_vs_simple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_joseph_timing");
+    for (name, form) in [("joseph", CovarianceUpdate::Joseph), ("simple", CovarianceUpdate::Simple)]
+    {
+        let model = models::constant_velocity_2d(1.0, 0.01, 0.1);
+        let mut kf = KalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
+        kf.set_covariance_update(form);
+        let z = Vector::from_slice(&[0.1, -0.1]);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kf.predict().unwrap();
+                black_box(kf.update(&z).unwrap().nis);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_adaptive_overhead");
+    let model = models::random_walk(0.01, 0.1);
+    let z = Vector::from_slice(&[0.2]);
+
+    let mut plain = KalmanFilter::new(model.clone(), Vector::zeros(1), 1.0).unwrap();
+    group.bench_function("fixed", |b| {
+        b.iter(|| {
+            plain.predict().unwrap();
+            black_box(plain.update(&z).unwrap().nis);
+        })
+    });
+
+    for window in [32usize, 128, 512] {
+        let kf = KalmanFilter::new(model.clone(), Vector::zeros(1), 1.0).unwrap();
+        let mut akf =
+            AdaptiveKalmanFilter::new(kf, AdaptiveConfig { window, ..Default::default() });
+        group.bench_function(BenchmarkId::new("adaptive_window", window), |b| {
+            b.iter(|| {
+                black_box(akf.step(&z).unwrap().nis);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joseph_vs_simple, bench_adaptive_overhead);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! T4 (part 1) — filter micro-benchmarks: the per-tick CPU cost of the
+//! dynamic procedure, in nanoseconds. The paper's economic argument needs
+//! filter math to be negligible next to a network message (~µs–ms); these
+//! numbers put each primitive at tens to hundreds of ns.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalstream_filter::{models, AdaptiveConfig, AdaptiveKalmanFilter, KalmanFilter};
+use kalstream_linalg::{Matrix, Vector};
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kf_predict");
+    for (name, model, dim) in [
+        ("walk_1d", models::random_walk(0.01, 0.1), 1usize),
+        ("cv_2state", models::constant_velocity(1.0, 0.01, 0.1), 2),
+        ("cv2d_4state", models::constant_velocity_2d(1.0, 0.01, 0.1), 4),
+    ] {
+        let mut kf = KalmanFilter::new(model, Vector::zeros(dim), 1.0).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kf.predict().unwrap();
+                black_box(kf.state());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kf_update");
+    for (name, model, dim, m) in [
+        ("walk_1d", models::random_walk(0.01, 0.1), 1usize, 1usize),
+        ("cv_2state", models::constant_velocity(1.0, 0.01, 0.1), 2, 1),
+        ("cv2d_4state", models::constant_velocity_2d(1.0, 0.01, 0.1), 4, 2),
+    ] {
+        let mut kf = KalmanFilter::new(model, Vector::zeros(dim), 1.0).unwrap();
+        let z = Vector::zeros(m);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kf.predict().unwrap();
+                black_box(kf.update(&z).unwrap().nis);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_step(c: &mut Criterion) {
+    let kf = KalmanFilter::new(models::random_walk(0.01, 0.1), Vector::zeros(1), 1.0).unwrap();
+    let mut akf = AdaptiveKalmanFilter::new(kf, AdaptiveConfig::default());
+    let z = Vector::from_slice(&[0.5]);
+    c.bench_function("adaptive_step_1d", |b| {
+        b.iter(|| {
+            black_box(akf.step(&z).unwrap().nis);
+        })
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_solve");
+    for n in [2usize, 4, 8] {
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    a.set(i, j, 0.1 / (1.0 + (i as f64 - j as f64).abs()));
+                }
+            }
+        }
+        let b_vec = Vector::filled(n, 1.0);
+        group.bench_function(BenchmarkId::from_parameter(n), |bch| {
+            bch.iter(|| {
+                let chol = a.cholesky().unwrap();
+                black_box(chol.solve_vec(&b_vec).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_update, bench_adaptive_step, bench_cholesky);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! F1 — messages vs. precision bound δ on the random-walk family.
+//!
+//! Claim exercised (abstract): "filter out as much data as possible to
+//! conserve resources, provided that the precision standards can be met."
+//! Expected shape: every policy's message count falls as δ grows; the
+//! Kalman policies sit below value caching and dead reckoning at every δ.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+
+fn main() {
+    let family = StreamFamily::RandomWalk;
+    let policies = [
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+        PolicyKind::KalmanBank,
+    ];
+    let deltas = delta_grid(family.natural_scale(), 8);
+    let ticks = 20_000;
+    let rows = sweep_delta(&policies, family, &deltas, ticks, 42);
+
+    let mut headers = vec!["delta".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("F1: messages vs delta, {} ({} ticks)", family.name(), ticks),
+        &headers_ref,
+    );
+    for chunk in rows.chunks(policies.len()) {
+        let mut row = vec![fmt_f(chunk[0].delta)];
+        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        table.add_row(row);
+    }
+    table.print();
+
+    // Sanity line the EXPERIMENTS.md shape-check quotes.
+    let tightest = &rows[..policies.len()];
+    let vc = tightest[0].report.traffic.messages() as f64;
+    let kf = tightest[4].report.traffic.messages() as f64;
+    println!("# shape: at delta={:.3}, kalman_adaptive/value_cache = {:.2}x fewer messages", tightest[0].delta, vc / kf.max(1.0));
+}

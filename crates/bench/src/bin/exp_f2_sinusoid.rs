@@ -1,0 +1,42 @@
+//! F2 — messages vs. δ on the periodic (sinusoid) family.
+//!
+//! Claim exercised: adaptivity to "various stream characteristics" —
+//! here periodicity. Expected shape: the model-bank protocol (which can
+//! promote the constant-velocity/acceleration models that locally fit a
+//! sinusoid) dominates static value caching by a growing factor as δ rises;
+//! dead reckoning closes some of the gap because a sinusoid is locally
+//! linear, but pays on the turns.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+
+fn main() {
+    let family = StreamFamily::Sinusoid;
+    let policies = [
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+        PolicyKind::KalmanBank,
+        PolicyKind::KalmanHarmonic(core::f64::consts::TAU / 200.0),
+    ];
+    let deltas = delta_grid(family.natural_scale(), 8);
+    let ticks = 20_000;
+    let rows = sweep_delta(&policies, family, &deltas, ticks, 43);
+
+    let mut headers = vec!["delta".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("F2: messages vs delta, {} ({} ticks)", family.name(), ticks),
+        &headers_ref,
+    );
+    for chunk in rows.chunks(policies.len()) {
+        let mut row = vec![fmt_f(chunk[0].delta)];
+        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        table.add_row(row);
+    }
+    table.print();
+}

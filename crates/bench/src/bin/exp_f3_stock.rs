@@ -1,0 +1,39 @@
+//! F3 — messages vs. δ on the simulated financial stream (GBM + jumps).
+//!
+//! Claim exercised: effectiveness on "real-world streams" — the financial
+//! regime of drift + volatility + occasional gaps. Expected shape: Kalman
+//! policies lead; jumps cost every policy one resync, so no policy reaches
+//! zero messages even at large δ.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+
+fn main() {
+    let family = StreamFamily::Stock;
+    let policies = [
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+        PolicyKind::KalmanBank,
+    ];
+    let deltas = delta_grid(family.natural_scale(), 8);
+    let ticks = 20_000;
+    let rows = sweep_delta(&policies, family, &deltas, ticks, 44);
+
+    let mut headers = vec!["delta".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("F3: messages vs delta, {} ({} ticks)", family.name(), ticks),
+        &headers_ref,
+    );
+    for chunk in rows.chunks(policies.len()) {
+        let mut row = vec![fmt_f(chunk[0].delta)];
+        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        table.add_row(row);
+    }
+    table.print();
+}

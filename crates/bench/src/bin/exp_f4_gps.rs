@@ -1,0 +1,39 @@
+//! F4 — messages vs. δ on the 2-D GPS (object-tracking) family.
+//!
+//! Claim exercised: "real-world streams" — object tracking, the motivating
+//! application for constant-velocity models. Expected shape: the Kalman
+//! protocol (2-D CV model) wins big — random-waypoint motion is mostly long
+//! straight legs where a velocity model predicts nearly perfectly and a
+//! value cache pays one message per δ metres travelled.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+
+fn main() {
+    let family = StreamFamily::Gps;
+    let policies = [
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+    ];
+    let deltas = delta_grid(family.natural_scale(), 8);
+    let ticks = 20_000;
+    let rows = sweep_delta(&policies, family, &deltas, ticks, 45);
+
+    let mut headers = vec!["delta_m".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("F4: messages vs delta (max-norm, metres), {} ({} ticks)", family.name(), ticks),
+        &headers_ref,
+    );
+    for chunk in rows.chunks(policies.len()) {
+        let mut row = vec![fmt_f(chunk[0].delta)];
+        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        table.add_row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,61 @@
+//! F7 — fleet scale: 100 heterogeneous streams, fixed per-stream δ, total
+//! messages per policy.
+//!
+//! Claim exercised: "minimize resource usage under a precision requirement"
+//! at the scale the paper motivates (a stream system serving many sources).
+//! Streams cycle through the scalar families with distinct seeds, so each
+//! policy faces the identical heterogeneous fleet. Expected shape: the
+//! model-bank protocol posts the lowest fleet total with zero precision
+//! violations; sessions run across worker threads, exercising the parallel
+//! fleet runner.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{run_method, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+use kalstream_sim::run_fleet;
+
+fn main() {
+    let policies = [
+        PolicyKind::ShipAll,
+        PolicyKind::Ttl(10),
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+        PolicyKind::KalmanBank,
+    ];
+    let families = StreamFamily::scalar_roster();
+    let streams = 100;
+    let ticks = 10_000;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut table = Table::new(
+        format!("F7: fleet of {streams} heterogeneous streams, {ticks} ticks, delta = natural scale"),
+        &["policy", "total_messages", "mean_rate", "violations", "mean_rmse_obs"],
+    );
+    for &policy in &policies {
+        let jobs: Vec<_> = (0..streams)
+            .map(|i| {
+                let family = families[i % families.len()];
+                let delta = family.natural_scale();
+                move || run_method(policy, family, delta, ticks, 1000 + i as u64).report
+            })
+            .collect();
+        let fleet = run_fleet(jobs, threads);
+        let mean_rmse = fleet
+            .sessions
+            .iter()
+            .map(|s| s.error_vs_observed.rmse())
+            .sum::<f64>()
+            / fleet.sessions.len() as f64;
+        table.add_row(vec![
+            policy.name(),
+            fleet.total_messages().to_string(),
+            fmt_f(fleet.mean_message_rate()),
+            fleet.total_violations().to_string(),
+            fmt_f(mean_rmse),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,52 @@
+//! T1 — the headline table: communication reduction vs. ship-everything,
+//! every policy × every stream family, at δ = 2 × the family's natural
+//! scale.
+//!
+//! Each cell is the policy's message count as a percentage of the ship-all
+//! baseline on the same trace (same family, same seed). Expected shape:
+//! Kalman policies post the lowest percentages on every family with
+//! exploitable dynamics (ramp, sinusoid, GPS, temperature, regime); on
+//! memoryless families (pure random walk, GBM stock) they match value
+//! caching — the optimal predictor of a martingale *is* the last value, and
+//! matching it while never losing is the honest version of the win.
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{run_method, StreamFamily};
+use kalstream_bench::table::Table;
+
+fn main() {
+    let policies = [
+        PolicyKind::Ttl(10),
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::HoltTrend,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanAdaptive,
+        PolicyKind::KalmanBank,
+    ];
+    let families: Vec<StreamFamily> = StreamFamily::scalar_roster()
+        .into_iter()
+        .chain([StreamFamily::Gps])
+        .collect();
+    let ticks = 20_000;
+
+    let mut headers = vec!["family".to_string()];
+    headers.extend(policies.iter().map(|p| p.name()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("T1: messages as % of ship-all, delta = 2 x natural scale ({ticks} ticks)"),
+        &headers_ref,
+    );
+    for &family in &families {
+        let delta = 2.0 * family.natural_scale();
+        let baseline =
+            run_method(PolicyKind::ShipAll, family, delta, ticks, 48).report.traffic.messages();
+        let mut row = vec![family.name().to_string()];
+        for &policy in &policies {
+            let msgs = run_method(policy, family, delta, ticks, 48).report.traffic.messages();
+            row.push(format!("{:.1}%", 100.0 * msgs as f64 / baseline as f64));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,81 @@
+//! T2 — the precision guarantee holds: server-side error statistics at a
+//! fixed bound, per policy × family, at zero latency and at latency 2.
+//!
+//! Expected shape: at zero latency every δ-respecting policy (everything
+//! except the TTL cache, whose refresh period ignores δ) reports **zero**
+//! violations of `|served − observed| ≤ δ`; RMSE sits comfortably below δ.
+//! With 2-tick link latency, transient violations appear for every policy —
+//! corrections arrive late by construction — quantifying exactly how much
+//! of the guarantee is owed to prompt delivery.
+
+use kalstream_baselines::{build_policy, PolicyKind};
+use kalstream_bench::harness::{make_stream, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+use kalstream_sim::SessionConfig;
+
+fn run_at_latency(
+    policy: PolicyKind,
+    family: StreamFamily,
+    delta: f64,
+    ticks: u64,
+    seed: u64,
+    latency: u64,
+) -> kalstream_sim::SessionReport {
+    let mut stream = make_stream(family, seed);
+    let dim = stream.dim();
+    let first = stream.next_sample();
+    let (mut p, mut c) = build_policy(policy, dim, delta, &first.observed);
+    let config =
+        SessionConfig { ticks, delta, latency, overhead_bytes: 28, loss_prob: 0.0, loss_seed: 0 };
+    // Feed the first sample, then the live stream.
+    let mut pending = Some(first);
+    kalstream_sim::Session::run(
+        &config,
+        move |obs, tru| {
+            if let Some(f) = pending.take() {
+                obs[..dim].copy_from_slice(&f.observed);
+                tru[..dim].copy_from_slice(&f.truth);
+            } else {
+                stream.next_into(obs, tru);
+            }
+        },
+        p.as_mut(),
+        c.as_mut(),
+        &mut (),
+    )
+}
+
+fn main() {
+    let policies = [
+        PolicyKind::Ttl(10),
+        PolicyKind::ValueCache,
+        PolicyKind::DeadReckoning,
+        PolicyKind::KalmanBank,
+    ];
+    let families =
+        [StreamFamily::RandomWalk, StreamFamily::Sinusoid, StreamFamily::Temperature];
+    let ticks = 20_000;
+
+    for latency in [0u64, 2] {
+        let mut table = Table::new(
+            format!("T2 (latency {latency}): error vs observed at delta = natural scale ({ticks} ticks)"),
+            &["family", "policy", "rmse", "max_err", "violations", "messages"],
+        );
+        for &family in &families {
+            let delta = family.natural_scale();
+            for &policy in &policies {
+                let report = run_at_latency(policy, family, delta, ticks, 49, latency);
+                table.add_row(vec![
+                    family.name().to_string(),
+                    policy.name(),
+                    fmt_f(report.error_vs_observed.rmse()),
+                    fmt_f(report.error_vs_observed.max_abs()),
+                    report.error_vs_observed.violations().to_string(),
+                    report.traffic.messages().to_string(),
+                ]);
+            }
+        }
+        table.print();
+    }
+    println!("# shape: zero violations for delta-respecting policies at latency 0; transient violations at latency 2");
+}

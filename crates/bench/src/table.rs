@@ -1,0 +1,148 @@
+//! Fixed-width table and CSV emission for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that also emits itself as CSV.
+///
+/// Experiment binaries print the table for humans and the CSV block for
+/// plotting scripts; both come from the same rows so they can never drift.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count disagrees with the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned human-readable form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{cell:>w$}", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the CSV form (with a `# csv:` sentinel line so logs can be
+    /// grepped).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# csv: {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints both forms to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+        println!("{}", self.render_csv());
+    }
+}
+
+/// Formats a float with sensible figure-ready precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        // Header and rows align on the same widths: both "name" and "a" are
+        // right-aligned into 9 characters.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_roundtrips_cells() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("x,y"));
+        assert!(csv.contains("1,2"));
+        assert!(csv.starts_with("# csv: demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.6), "1235");
+        assert_eq!(fmt_f(12.3456), "12.346");
+        assert_eq!(fmt_f(0.123456), "0.12346");
+    }
+}

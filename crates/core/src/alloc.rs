@@ -1,0 +1,331 @@
+//! Fleet-wide precision allocation under a message budget.
+//!
+//! The second direction of the paper's tradeoff: "maximize precision of
+//! results under resource constraints". Given `k` streams sharing a message
+//! budget `B` (messages per tick, fleet-wide), choose per-stream bounds
+//! `δ₁..δ_k` that spend the budget where it buys the most precision.
+//!
+//! Formally the allocator minimises weighted total imprecision
+//! `Σ wᵢ δᵢ` subject to `Σ rateᵢ(δᵢ) ≤ B`, where each `rateᵢ(·)` is the
+//! stream's measured message-rate curve ([`StreamDemand`], fed from the
+//! sources' [`crate::RateEstimator`]s). The curves are empirical step
+//! functions whose only useful bounds are the distinct error samples, so a
+//! greedy marginal-ratio algorithm solves the problem move by move: start
+//! every stream at its loosest useful bound (zero messages), then keep
+//! taking the single tightening step that buys the most weighted precision
+//! per message until the budget is exhausted.
+
+use crate::{CoreError, Result};
+
+/// One stream's demand curve, as samples of its recent one-step prediction
+/// errors (from [`crate::RateEstimator::samples`]) plus an importance
+/// weight.
+#[derive(Debug, Clone)]
+pub struct StreamDemand {
+    /// Sorted |prediction error| samples (sorted ascending at construction).
+    samples: Vec<f64>,
+    /// Importance weight: a stream with weight 2 counts its imprecision
+    /// twice, so the allocator keeps it tighter.
+    weight: f64,
+}
+
+impl StreamDemand {
+    /// Builds a demand curve from error samples and a positive weight.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] on empty samples, non-finite samples, or a
+    /// non-positive weight.
+    pub fn new(mut samples: Vec<f64>, weight: f64) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(CoreError::BadConfig {
+                what: "samples",
+                reason: "demand curve needs at least one error sample".into(),
+            });
+        }
+        if samples.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(CoreError::BadConfig {
+                what: "samples",
+                reason: "error samples must be finite and non-negative".into(),
+            });
+        }
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(CoreError::BadConfig {
+                what: "weight",
+                reason: format!("must be positive and finite, got {weight}"),
+            });
+        }
+        samples.sort_by(f64::total_cmp);
+        Ok(StreamDemand { samples, weight })
+    }
+
+    /// Estimated message rate at bound `delta` (exceedance fraction).
+    pub fn rate_at(&self, delta: f64) -> f64 {
+        let over = self.samples.len() - self.samples.partition_point(|&s| s <= delta);
+        over as f64 / self.samples.len() as f64
+    }
+
+    /// Importance weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The error samples in ascending order — the candidate bounds any
+    /// optimiser over this curve needs to consider (the rate is constant
+    /// between consecutive samples).
+    pub fn samples_sorted(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+
+}
+
+/// Result of an allocation.
+#[derive(Debug, Clone)]
+pub struct AllocationResult {
+    /// Per-stream precision bounds, index-aligned with the demands.
+    pub deltas: Vec<f64>,
+    /// Predicted fleet message rate at those bounds.
+    pub predicted_rate: f64,
+    /// Marginal weighted-precision gain per message of the last accepted
+    /// tightening step — the effective "message price" the solution settled
+    /// at (0 when the allocation spends no messages at all).
+    pub lambda: f64,
+}
+
+/// The fleet allocation solver.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetAllocator;
+
+impl BudgetAllocator {
+    /// Allocates per-stream bounds under a fleet budget of
+    /// `budget_rate` messages per tick (sum across streams).
+    ///
+    /// # Errors
+    /// * [`CoreError::BadConfig`] when `budget_rate` is not positive or no
+    ///   demands are given.
+    ///
+    /// Never infeasible: at large enough `δ` every stream's estimated rate
+    /// is 0 (bounded error samples), so some allocation always fits.
+    pub fn allocate(demands: &[StreamDemand], budget_rate: f64) -> Result<AllocationResult> {
+        if demands.is_empty() {
+            return Err(CoreError::BadConfig {
+                what: "demands",
+                reason: "need at least one stream".into(),
+            });
+        }
+        if !(budget_rate > 0.0 && budget_rate.is_finite()) {
+            return Err(CoreError::BadConfig {
+                what: "budget_rate",
+                reason: format!("must be positive and finite, got {budget_rate}"),
+            });
+        }
+
+        // Greedy primal descent over the step curves. Start from every
+        // stream's loosest useful bound (its largest error sample ⇒ rate 0,
+        // always feasible), then repeatedly tighten the bound whose next
+        // tightening buys the most weighted precision per unit of message
+        // rate, while the fleet rate still fits the budget. (A Lagrangian
+        // relaxation is bang-bang on near-linear step curves, leaving large
+        // budget slack; the greedy spends it.)
+        let candidates: Vec<Vec<f64>> = demands
+            .iter()
+            .map(|d| {
+                // Descending distinct candidates, ending at 0 (max precision).
+                let mut c: Vec<f64> = d.samples_sorted().collect();
+                c.dedup();
+                c.reverse();
+                c.push(0.0);
+                c.dedup();
+                c
+            })
+            .collect();
+
+        // idx[i]: position in candidates[i] of the *current* bound.
+        let mut idx = vec![0usize; demands.len()];
+        let mut deltas: Vec<f64> = candidates.iter().map(|c| c[0]).collect();
+        let mut rate: f64 = demands
+            .iter()
+            .zip(deltas.iter())
+            .map(|(d, &delta)| d.rate_at(delta))
+            .sum();
+        let mut last_ratio = 0.0;
+
+        loop {
+            let mut best: Option<(usize, f64, f64)> = None; // (stream, ratio, rate_cost)
+            for (i, d) in demands.iter().enumerate() {
+                let Some(&next) = candidates[i].get(idx[i] + 1) else { continue };
+                let rate_cost = d.rate_at(next) - d.rate_at(deltas[i]);
+                if rate + rate_cost > budget_rate + 1e-12 {
+                    continue;
+                }
+                let gain = d.weight() * (deltas[i] - next);
+                if gain <= 0.0 {
+                    continue;
+                }
+                let ratio = gain / rate_cost.max(1e-300);
+                if best.is_none_or(|(_, r, _)| ratio > r) {
+                    best = Some((i, ratio, rate_cost));
+                }
+            }
+            let Some((i, ratio, rate_cost)) = best else { break };
+            idx[i] += 1;
+            deltas[i] = candidates[i][idx[i]];
+            rate += rate_cost;
+            if rate_cost > 0.0 {
+                last_ratio = ratio;
+            }
+        }
+        let lambda = if rate <= 0.0 { 0.0 } else { last_ratio };
+        Ok(AllocationResult { deltas, predicted_rate: rate, lambda })
+    }
+
+    /// The naive comparator: one shared `δ` for every stream, the smallest
+    /// (via bisection over the pooled samples) whose total rate fits the
+    /// budget.
+    ///
+    /// # Errors
+    /// Same conditions as [`BudgetAllocator::allocate`].
+    pub fn allocate_uniform(
+        demands: &[StreamDemand],
+        budget_rate: f64,
+    ) -> Result<AllocationResult> {
+        if demands.is_empty() {
+            return Err(CoreError::BadConfig {
+                what: "demands",
+                reason: "need at least one stream".into(),
+            });
+        }
+        if !(budget_rate > 0.0 && budget_rate.is_finite()) {
+            return Err(CoreError::BadConfig {
+                what: "budget_rate",
+                reason: format!("must be positive and finite, got {budget_rate}"),
+            });
+        }
+        // Candidate deltas: all samples pooled.
+        let mut candidates: Vec<f64> = std::iter::once(0.0)
+            .chain(demands.iter().flat_map(|d| d.samples.iter().copied()))
+            .collect();
+        candidates.sort_by(f64::total_cmp);
+        candidates.dedup();
+        let total_rate =
+            |delta: f64| demands.iter().map(|d| d.rate_at(delta)).sum::<f64>();
+        let delta = candidates
+            .iter()
+            .copied()
+            .find(|&d| total_rate(d) <= budget_rate)
+            .unwrap_or_else(|| *candidates.last().expect("non-empty candidates"));
+        let rate = total_rate(delta);
+        Ok(AllocationResult {
+            deltas: vec![delta; demands.len()],
+            predicted_rate: rate,
+            lambda: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A calm stream: small errors. A wild stream: large errors.
+    fn calm_and_wild() -> Vec<StreamDemand> {
+        let calm: Vec<f64> = (0..100).map(|i| 0.01 * (i % 10) as f64).collect();
+        let wild: Vec<f64> = (0..100).map(|i| 1.0 * (i % 10) as f64).collect();
+        vec![StreamDemand::new(calm, 1.0).unwrap(), StreamDemand::new(wild, 1.0).unwrap()]
+    }
+
+    #[test]
+    fn demand_rate_matches_exceedance() {
+        let d = StreamDemand::new(vec![0.1, 0.2, 0.3, 0.4], 1.0).unwrap();
+        assert_eq!(d.rate_at(0.25), 0.5);
+        assert_eq!(d.rate_at(0.0), 1.0);
+        assert_eq!(d.rate_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn demand_validation() {
+        assert!(StreamDemand::new(vec![], 1.0).is_err());
+        assert!(StreamDemand::new(vec![1.0], 0.0).is_err());
+        assert!(StreamDemand::new(vec![f64::NAN], 1.0).is_err());
+        assert!(StreamDemand::new(vec![-1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn slack_budget_gives_max_precision() {
+        let demands = calm_and_wild();
+        let result = BudgetAllocator::allocate(&demands, 10.0).unwrap();
+        assert!(result.deltas.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn allocation_meets_budget() {
+        let demands = calm_and_wild();
+        for budget in [0.05, 0.1, 0.3, 0.7, 1.0] {
+            let result = BudgetAllocator::allocate(&demands, budget).unwrap();
+            assert!(
+                result.predicted_rate <= budget + 1e-9,
+                "budget {budget}: predicted {}",
+                result.predicted_rate
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_uniform_on_heterogeneous_fleet() {
+        let demands = calm_and_wild();
+        let budget = 0.3;
+        let adaptive = BudgetAllocator::allocate(&demands, budget).unwrap();
+        let uniform = BudgetAllocator::allocate_uniform(&demands, budget).unwrap();
+        let cost = |r: &AllocationResult| -> f64 {
+            r.deltas.iter().zip(demands.iter()).map(|(&d, dem)| dem.weight() * d).sum()
+        };
+        assert!(
+            cost(&adaptive) <= cost(&uniform) + 1e-12,
+            "adaptive {} vs uniform {}",
+            cost(&adaptive),
+            cost(&uniform)
+        );
+        // On this strongly heterogeneous fleet, strictly better.
+        assert!(cost(&adaptive) < cost(&uniform));
+    }
+
+    #[test]
+    fn weights_tighten_important_streams() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 0.01).collect();
+        let demands = vec![
+            StreamDemand::new(samples.clone(), 10.0).unwrap(), // important
+            StreamDemand::new(samples, 1.0).unwrap(),          // unimportant
+        ];
+        let result = BudgetAllocator::allocate(&demands, 0.5).unwrap();
+        assert!(
+            result.deltas[0] <= result.deltas[1],
+            "important stream got looser bound: {:?}",
+            result.deltas
+        );
+    }
+
+    #[test]
+    fn uniform_allocation_is_single_delta() {
+        let demands = calm_and_wild();
+        let result = BudgetAllocator::allocate_uniform(&demands, 0.2).unwrap();
+        assert!(result.deltas.windows(2).all(|w| w[0] == w[1]));
+        assert!(result.predicted_rate <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(BudgetAllocator::allocate(&[], 1.0).is_err());
+        let demands = calm_and_wild();
+        assert!(BudgetAllocator::allocate(&demands, 0.0).is_err());
+        assert!(BudgetAllocator::allocate_uniform(&demands, -1.0).is_err());
+        assert!(BudgetAllocator::allocate_uniform(&[], 1.0).is_err());
+    }
+
+    #[test]
+    fn tighter_budget_never_decreases_deltas_total() {
+        let demands = calm_and_wild();
+        let loose = BudgetAllocator::allocate(&demands, 1.0).unwrap();
+        let tight = BudgetAllocator::allocate(&demands, 0.05).unwrap();
+        let sum = |r: &AllocationResult| r.deltas.iter().sum::<f64>();
+        assert!(sum(&tight) >= sum(&loose));
+    }
+}

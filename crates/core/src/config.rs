@@ -1,0 +1,106 @@
+//! Protocol configuration: the precision contract and sync policy.
+
+use crate::{CoreError, Result};
+
+/// What a sync message carries — the `abl_resync` ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncPayload {
+    /// Ship the full corrected state and covariance. Larger messages, but
+    /// the precision guarantee is exact at sync ticks (the shipped state is
+    /// pinned to the measurement) and the server never runs a measurement
+    /// update. The default.
+    FullState,
+    /// Ship only the raw measurement; the server performs an ordinary Kalman
+    /// update with it (mirrored by the source's shadow). Smallest messages,
+    /// but the posterior can lag a fast signal by more than `δ`, so the
+    /// guarantee becomes approximate — the ablation quantifies by how much.
+    MeasurementOnly,
+}
+
+/// Configuration of one suppression-protocol session.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Precision bound `δ`: the served value must be within `δ` of the
+    /// observed measurement, in max-norm across dimensions.
+    pub delta: f64,
+    /// Sync payload policy.
+    pub resync: ResyncPayload,
+    /// Optional heartbeat: force a sync every `n` ticks even when the
+    /// prediction holds, bounding server staleness for fault recovery.
+    pub heartbeat: Option<u64>,
+}
+
+impl ProtocolConfig {
+    /// Creates a config with the default full-state resync and no heartbeat.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] when `delta` is non-positive or non-finite.
+    pub fn new(delta: f64) -> Result<Self> {
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(CoreError::BadConfig {
+                what: "delta",
+                reason: format!("must be positive and finite, got {delta}"),
+            });
+        }
+        Ok(ProtocolConfig { delta, resync: ResyncPayload::FullState, heartbeat: None })
+    }
+
+    /// Sets the resync payload policy.
+    #[must_use]
+    pub fn with_resync(mut self, resync: ResyncPayload) -> Self {
+        self.resync = resync;
+        self
+    }
+
+    /// Enables a heartbeat sync every `ticks` ticks.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] when `ticks` is zero.
+    pub fn with_heartbeat(mut self, ticks: u64) -> Result<Self> {
+        if ticks == 0 {
+            return Err(CoreError::BadConfig {
+                what: "heartbeat",
+                reason: "must be at least 1 tick".into(),
+            });
+        }
+        self.heartbeat = Some(ticks);
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_delta() {
+        let c = ProtocolConfig::new(0.5).unwrap();
+        assert_eq!(c.delta, 0.5);
+        assert_eq!(c.resync, ResyncPayload::FullState);
+        assert_eq!(c.heartbeat, None);
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(ProtocolConfig::new(0.0).is_err());
+        assert!(ProtocolConfig::new(-1.0).is_err());
+        assert!(ProtocolConfig::new(f64::NAN).is_err());
+        assert!(ProtocolConfig::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ProtocolConfig::new(1.0)
+            .unwrap()
+            .with_resync(ResyncPayload::MeasurementOnly)
+            .with_heartbeat(100)
+            .unwrap();
+        assert_eq!(c.resync, ResyncPayload::MeasurementOnly);
+        assert_eq!(c.heartbeat, Some(100));
+    }
+
+    #[test]
+    fn rejects_zero_heartbeat() {
+        assert!(ProtocolConfig::new(1.0).unwrap().with_heartbeat(0).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! The closed-loop fleet controller: periodic re-allocation of per-stream
+//! precision bounds from live rate estimates.
+//!
+//! [`crate::BudgetAllocator`] solves one allocation from demand curves; this
+//! controller runs that solve *continuously*: every `period` ticks it reads
+//! each source's live [`crate::RateEstimator`], recomputes the allocation
+//! for the fleet budget, and pushes the new bounds into the sources via
+//! [`crate::SourceEndpoint::set_delta`]. Streams whose volatility changes
+//! mid-flight (regime switches, bursts) automatically trade precision with
+//! the rest of the fleet at the next control round — the "dynamic query
+//! optimization" flavour of the paper's resource-management claim.
+
+use crate::{BudgetAllocator, CoreError, Result, SourceEndpoint, StreamDemand};
+
+/// Periodic fleet-wide δ re-allocation.
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    /// Control period in ticks.
+    period: u64,
+    /// Fleet message budget (messages per tick, summed over streams).
+    budget_rate: f64,
+    /// Per-stream importance weights (1.0 = equal).
+    weights: Vec<f64>,
+    /// Floor applied to allocated bounds (a protocol δ must be positive).
+    delta_floor: f64,
+    ticks: u64,
+    rounds: u64,
+}
+
+impl FleetController {
+    /// Creates a controller for `n_streams` streams re-allocating every
+    /// `period` ticks under `budget_rate` messages/tick.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] on a zero period, non-positive budget, or
+    /// zero streams.
+    pub fn new(n_streams: usize, period: u64, budget_rate: f64) -> Result<Self> {
+        if period == 0 {
+            return Err(CoreError::BadConfig { what: "period", reason: "must be ≥ 1".into() });
+        }
+        if n_streams == 0 {
+            return Err(CoreError::BadConfig {
+                what: "n_streams",
+                reason: "need at least one stream".into(),
+            });
+        }
+        if !(budget_rate > 0.0 && budget_rate.is_finite()) {
+            return Err(CoreError::BadConfig {
+                what: "budget_rate",
+                reason: format!("must be positive and finite, got {budget_rate}"),
+            });
+        }
+        Ok(FleetController {
+            period,
+            budget_rate,
+            weights: vec![1.0; n_streams],
+            delta_floor: 1e-4,
+            ticks: 0,
+            rounds: 0,
+        })
+    }
+
+    /// Sets per-stream importance weights (higher = keep tighter).
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] when the length disagrees with the stream
+    /// count or any weight is non-positive.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Result<Self> {
+        if weights.len() != self.weights.len() {
+            return Err(CoreError::BadConfig {
+                what: "weights",
+                reason: format!("expected {} weights, got {}", self.weights.len(), weights.len()),
+            });
+        }
+        if weights.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
+            return Err(CoreError::BadConfig {
+                what: "weights",
+                reason: "weights must be positive and finite".into(),
+            });
+        }
+        self.weights = weights;
+        Ok(self)
+    }
+
+    /// Control rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Advances the controller one tick; on period boundaries, re-allocates
+    /// and retunes the sources. Returns the fresh per-stream bounds when a
+    /// control round ran.
+    ///
+    /// Sources whose rate estimator is still empty (cold start) keep their
+    /// current bound; the allocation runs over the warm ones only.
+    ///
+    /// # Panics
+    /// Panics when `sources.len()` disagrees with the configured stream
+    /// count.
+    pub fn tick(&mut self, sources: &mut [SourceEndpoint]) -> Option<Vec<f64>> {
+        assert_eq!(sources.len(), self.weights.len(), "stream count mismatch");
+        self.ticks += 1;
+        if !self.ticks.is_multiple_of(self.period) {
+            return None;
+        }
+        // Collect demands from warm sources.
+        let mut warm_index = Vec::new();
+        let mut demands = Vec::new();
+        for (i, source) in sources.iter().enumerate() {
+            let samples = source.rate_estimator().samples();
+            if let Ok(demand) = StreamDemand::new(samples, self.weights[i]) {
+                warm_index.push(i);
+                demands.push(demand);
+            }
+        }
+        if demands.is_empty() {
+            return None;
+        }
+        let allocation = BudgetAllocator::allocate(&demands, self.budget_rate).ok()?;
+        let mut new_deltas: Vec<f64> = sources.iter().map(SourceEndpoint::delta).collect();
+        for (slot, &i) in warm_index.iter().enumerate() {
+            let delta = allocation.deltas[slot].max(self.delta_floor);
+            sources[i].set_delta(delta);
+            new_deltas[i] = delta;
+        }
+        self.rounds += 1;
+        Some(new_deltas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolConfig, SessionSpec};
+
+    fn sources(n: usize) -> Vec<SourceEndpoint> {
+        (0..n)
+            .map(|_| {
+                SessionSpec::default_scalar(0.0, ProtocolConfig::new(1.0).unwrap())
+                    .unwrap()
+                    .build()
+                    .split()
+                    .0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FleetController::new(2, 0, 1.0).is_err());
+        assert!(FleetController::new(0, 10, 1.0).is_err());
+        assert!(FleetController::new(2, 10, 0.0).is_err());
+        assert!(FleetController::new(2, 10, 1.0).is_ok());
+        assert!(FleetController::new(2, 10, 1.0).unwrap().with_weights(vec![1.0]).is_err());
+        assert!(FleetController::new(2, 10, 1.0)
+            .unwrap()
+            .with_weights(vec![1.0, -1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn fires_only_on_period_boundaries() {
+        let mut ctrl = FleetController::new(2, 5, 10.0).unwrap();
+        let mut srcs = sources(2);
+        // Warm the estimators.
+        for t in 0..4u64 {
+            for s in srcs.iter_mut() {
+                s.decide(&[t as f64 * 0.1]);
+            }
+            assert!(ctrl.tick(&mut srcs).is_none(), "fired early at tick {t}");
+        }
+        for s in srcs.iter_mut() {
+            s.decide(&[0.5]);
+        }
+        assert!(ctrl.tick(&mut srcs).is_some());
+        assert_eq!(ctrl.rounds(), 1);
+    }
+
+    #[test]
+    fn volatile_stream_gets_looser_bound_live() {
+        let mut ctrl = FleetController::new(2, 200, 0.2).unwrap();
+        let mut srcs = sources(2);
+        let mut last = None;
+        for t in 0..400u64 {
+            // Stream 0 calm, stream 1 wild.
+            srcs[0].decide(&[(t as f64 * 0.001).sin() * 0.01]);
+            srcs[1].decide(&[(t as f64 * 0.9).sin() * 5.0]);
+            if let Some(deltas) = ctrl.tick(&mut srcs) {
+                last = Some(deltas);
+            }
+        }
+        let deltas = last.expect("at least one control round");
+        assert!(
+            deltas[0] < deltas[1],
+            "calm stream should get the tighter bound: {deltas:?}"
+        );
+        assert_eq!(srcs[0].delta(), deltas[0]);
+        assert_eq!(srcs[1].delta(), deltas[1]);
+    }
+
+    #[test]
+    fn cold_sources_are_skipped_gracefully() {
+        let mut ctrl = FleetController::new(1, 1, 1.0).unwrap();
+        let mut srcs = sources(1);
+        // No decide() calls yet: estimators empty ⇒ no allocation.
+        assert!(ctrl.tick(&mut srcs).is_none());
+        assert_eq!(srcs[0].delta(), 1.0);
+    }
+
+    #[test]
+    fn weights_tighten_important_streams_live() {
+        let mut ctrl = FleetController::new(2, 100, 0.5)
+            .unwrap()
+            .with_weights(vec![10.0, 1.0])
+            .unwrap();
+        let mut srcs = sources(2);
+        let mut last = None;
+        for t in 0..200u64 {
+            // Identical streams; only the weight differs.
+            let v = (t as f64 * 0.3).sin();
+            srcs[0].decide(&[v]);
+            srcs[1].decide(&[v]);
+            if let Some(d) = ctrl.tick(&mut srcs) {
+                last = Some(d);
+            }
+        }
+        let deltas = last.expect("control round ran");
+        assert!(deltas[0] <= deltas[1], "weighted stream looser: {deltas:?}");
+    }
+}

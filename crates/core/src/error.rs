@@ -1,0 +1,81 @@
+//! Error type for the protocol layer.
+
+use std::fmt;
+
+use kalstream_filter::FilterError;
+
+/// Errors produced by protocol construction, stepping, and wire decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying filter failed.
+    Filter(FilterError),
+    /// A wire message could not be decoded.
+    Decode {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A configuration value is out of range.
+    BadConfig {
+        /// Which parameter.
+        what: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The allocator was given an infeasible problem (e.g. budget smaller
+    /// than the minimum achievable total rate).
+    Infeasible {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Filter(e) => write!(f, "filter error: {e}"),
+            CoreError::Decode { reason } => write!(f, "wire decode error: {reason}"),
+            CoreError::BadConfig { what, reason } => write!(f, "bad config {what}: {reason}"),
+            CoreError::Infeasible { reason } => write!(f, "infeasible allocation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Filter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FilterError> for CoreError {
+    fn from(e: FilterError) -> Self {
+        CoreError::Filter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::Decode { reason: "truncated".into() }
+            .to_string()
+            .contains("truncated"));
+        assert!(CoreError::BadConfig { what: "delta", reason: "negative".into() }
+            .to_string()
+            .contains("delta"));
+        assert!(CoreError::Infeasible { reason: "budget too small".into() }
+            .to_string()
+            .contains("budget"));
+    }
+
+    #[test]
+    fn filter_error_chains() {
+        use std::error::Error;
+        let e: CoreError = FilterError::EmptyBank.into();
+        assert!(e.source().is_some());
+    }
+}

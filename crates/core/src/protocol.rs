@@ -1,0 +1,102 @@
+//! Shared protocol primitives: the measurement-pinning projection and the
+//! precision norm.
+
+use kalstream_linalg::{Matrix, Vector};
+
+use crate::Result;
+
+/// Max-norm distance between a predicted measurement and an observation —
+/// the norm the precision contract `|served − observed| ≤ δ` is defined in.
+pub(crate) fn precision_norm(a: &Vector, b: &Vector) -> f64 {
+    a.max_abs_diff(b)
+}
+
+/// Projects a state so that its measurement image equals `z` exactly, moving
+/// the state as little as possible (minimum-norm correction):
+///
+/// ```text
+/// x' = x + Hᵀ (H Hᵀ)⁻¹ (z − H x)      ⇒      H x' = z
+/// ```
+///
+/// This is what makes the suppression protocol's precision guarantee *exact*
+/// at sync ticks: the filter posterior can lag a fast signal by more than
+/// `δ`, but the state actually shipped to the server is pinned so the served
+/// value right after a sync equals the observation. Unobserved state
+/// components (velocity, acceleration, quadrature) are preserved.
+///
+/// # Errors
+/// Propagates a linear-algebra failure when `H Hᵀ` is singular (an
+/// observation matrix without full row rank — rejected models never have
+/// this).
+pub fn pin_to_measurement(x: &Vector, h: &Matrix, z: &Vector) -> Result<Vector> {
+    let hx = h.mul_vec(x).map_err(kalstream_filter::FilterError::from)?;
+    let residual = z - &hx;
+    let hht = h
+        .matmul(&h.transpose())
+        .map_err(kalstream_filter::FilterError::from)?;
+    let chol = hht.cholesky().map_err(kalstream_filter::FilterError::from)?;
+    let w = chol.solve_vec(&residual).map_err(kalstream_filter::FilterError::from)?;
+    let correction = h
+        .transpose()
+        .mul_vec(&w)
+        .map_err(kalstream_filter::FilterError::from)?;
+    Ok(&(x.clone()) + &correction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_state_hits_measurement_exactly() {
+        // Constant-velocity H = [1 0]: pinning must set position to z and
+        // keep velocity untouched.
+        let h = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let x = Vector::from_slice(&[5.0, 0.7]);
+        let z = Vector::from_slice(&[6.5]);
+        let pinned = pin_to_measurement(&x, &h, &z).unwrap();
+        assert!((pinned[0] - 6.5).abs() < 1e-12);
+        assert_eq!(pinned[1], 0.7);
+    }
+
+    #[test]
+    fn pinning_2d_observation() {
+        // 2-D GPS H selecting (x, y) out of [x, vx, y, vy].
+        let h = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]);
+        let x = Vector::from_slice(&[1.0, 0.5, 2.0, -0.5]);
+        let z = Vector::from_slice(&[10.0, 20.0]);
+        let pinned = pin_to_measurement(&x, &h, &z).unwrap();
+        assert!((pinned[0] - 10.0).abs() < 1e-12);
+        assert!((pinned[2] - 20.0).abs() < 1e-12);
+        assert_eq!(pinned[1], 0.5);
+        assert_eq!(pinned[3], -0.5);
+    }
+
+    #[test]
+    fn pinning_is_minimum_norm() {
+        // With a non-trivial H the correction must be in H's row space.
+        let h = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let x = Vector::from_slice(&[0.0, 0.0]);
+        let z = Vector::from_slice(&[2.0]);
+        let pinned = pin_to_measurement(&x, &h, &z).unwrap();
+        // Minimum-norm solution of x0 + x1 = 2 is (1, 1).
+        assert!((pinned[0] - 1.0).abs() < 1e-12);
+        assert!((pinned[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinning_noop_when_already_exact() {
+        let h = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let x = Vector::from_slice(&[3.0, 9.0]);
+        let z = Vector::from_slice(&[3.0]);
+        let pinned = pin_to_measurement(&x, &h, &z).unwrap();
+        assert!(pinned.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn precision_norm_is_max_norm() {
+        let a = Vector::from_slice(&[1.0, 5.0]);
+        let b = Vector::from_slice(&[1.5, 3.0]);
+        assert_eq!(precision_norm(&a, &b), 2.0);
+    }
+}

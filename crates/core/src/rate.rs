@@ -1,0 +1,155 @@
+//! Online message-rate estimation: how many messages would this stream cost
+//! at a given precision bound?
+
+use std::collections::VecDeque;
+
+/// Sliding-window estimator of the message-rate-vs-δ curve of one stream.
+///
+/// The source records the magnitude of the shadow filter's one-step
+/// prediction error every tick. For a candidate bound `δ`, the fraction of
+/// recent errors exceeding `δ` estimates the sync rate the stream would pay
+/// at that bound — the curve the fleet allocator optimises over.
+///
+/// The estimate is approximate (after a real sync the error sequence
+/// restarts from zero, so exceedances are not i.i.d.), but it is monotone in
+/// `δ`, cheap, and tracks regime changes with the window — which is all the
+/// allocator needs.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    window: usize,
+    errors: VecDeque<f64>,
+}
+
+impl RateEstimator {
+    /// Creates an estimator over the last `window` ticks.
+    ///
+    /// # Panics
+    /// Panics when `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        RateEstimator { window, errors: VecDeque::with_capacity(window) }
+    }
+
+    /// Records one tick's prediction-error magnitude.
+    pub fn record(&mut self, abs_err: f64) {
+        if self.errors.len() == self.window {
+            self.errors.pop_front();
+        }
+        self.errors.push_back(abs_err);
+    }
+
+    /// Number of ticks recorded (≤ window).
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// `true` before any tick has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Estimated messages-per-tick at bound `delta`: the exceedance fraction
+    /// over the window. Returns `0.0` when empty.
+    pub fn rate_at(&self, delta: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        let over = self.errors.iter().filter(|&&e| e > delta).count();
+        over as f64 / self.errors.len() as f64
+    }
+
+    /// Snapshot of the recorded error magnitudes (consumed by
+    /// [`crate::StreamDemand`] for fleet allocation).
+    pub fn samples(&self) -> Vec<f64> {
+        self.errors.iter().copied().collect()
+    }
+
+    /// The smallest `δ` whose estimated rate is ≤ `target_rate`: the
+    /// `(1 − target_rate)`-quantile of the window errors. Returns `0.0`
+    /// when the window is empty.
+    pub fn delta_for_rate(&self, target_rate: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.errors.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let keep = ((1.0 - target_rate.clamp(0.0, 1.0)) * sorted.len() as f64).ceil() as usize;
+        if keep == 0 {
+            0.0
+        } else {
+            sorted[keep.min(sorted.len()) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[f64]) -> RateEstimator {
+        let mut r = RateEstimator::new(100);
+        for &v in values {
+            r.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn rate_is_exceedance_fraction() {
+        let r = filled(&[0.1, 0.5, 1.5, 2.5]);
+        assert_eq!(r.rate_at(1.0), 0.5);
+        assert_eq!(r.rate_at(0.0), 1.0);
+        assert_eq!(r.rate_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn rate_is_monotone_decreasing_in_delta() {
+        let r = filled(&[0.2, 0.4, 0.9, 1.3, 3.0, 0.1]);
+        let mut prev = f64::INFINITY;
+        for delta in [0.0, 0.3, 0.6, 1.0, 2.0, 5.0] {
+            let rate = r.rate_at(delta);
+            assert!(rate <= prev);
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut r = RateEstimator::new(2);
+        r.record(10.0);
+        r.record(10.0);
+        r.record(0.0); // evicts one 10.0
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rate_at(5.0), 0.5);
+    }
+
+    #[test]
+    fn empty_estimator_is_conservative() {
+        let r = RateEstimator::new(4);
+        assert!(r.is_empty());
+        assert_eq!(r.rate_at(1.0), 0.0);
+        assert_eq!(r.delta_for_rate(0.5), 0.0);
+    }
+
+    #[test]
+    fn delta_for_rate_inverts_rate_at() {
+        let r = filled(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]);
+        // Ask for 30% rate: delta must keep exactly the top 30% above it.
+        let d = r.delta_for_rate(0.3);
+        assert!(r.rate_at(d) <= 0.3 + 1e-12, "rate {} at delta {d}", r.rate_at(d));
+        // And the next-smaller sample would exceed the target.
+        assert!(r.rate_at(d * 0.99) > 0.3);
+    }
+
+    #[test]
+    fn delta_for_zero_rate_is_max_error() {
+        let r = filled(&[0.5, 2.0, 1.0]);
+        assert_eq!(r.delta_for_rate(0.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = RateEstimator::new(0);
+    }
+}

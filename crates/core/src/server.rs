@@ -1,0 +1,204 @@
+//! The server endpoint: prediction-based query answering.
+
+use bytes::Bytes;
+use kalstream_filter::KalmanFilter;
+use kalstream_sim::{Consumer, Tick};
+
+use crate::wire::SyncMessage;
+
+/// The server side of the suppression protocol.
+///
+/// Holds the cached *dynamic procedure* — a Kalman filter — and serves the
+/// stream's current value from its prediction. Between sync messages it
+/// advances the filter one predict step per tick; sync messages overwrite
+/// state (and possibly the model). This is the paper's "caching dynamic
+/// procedures that can predict data reliably at the server without the
+/// clients' involvement".
+#[derive(Debug, Clone)]
+pub struct ServerEndpoint {
+    filter: KalmanFilter,
+    /// Messages delivered this tick, applied inside [`Consumer::estimate`]
+    /// *after* the predict step so server and shadow stay in lock-step.
+    pending: Vec<SyncMessage>,
+    syncs_applied: u64,
+    decode_failures: u64,
+    predict_failures: u64,
+}
+
+impl ServerEndpoint {
+    /// Creates the server side from its initial filter (identical to the
+    /// source's shadow — [`crate::StreamSession`] guarantees the pairing).
+    pub(crate) fn new(filter: KalmanFilter) -> Self {
+        ServerEndpoint {
+            filter,
+            pending: Vec::new(),
+            syncs_applied: 0,
+            decode_failures: 0,
+            predict_failures: 0,
+        }
+    }
+
+    /// The cached filter (for query answering beyond plain values:
+    /// covariance, staleness, forecasts).
+    pub fn filter(&self) -> &KalmanFilter {
+        &self.filter
+    }
+
+    /// Sync messages successfully applied.
+    pub fn syncs_applied(&self) -> u64 {
+        self.syncs_applied
+    }
+
+    /// Wire messages that failed to decode (dropped, counted).
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
+    }
+
+    /// Ticks on which the predict step failed numerically (estimate then
+    /// reuses the previous state).
+    pub fn predict_failures(&self) -> u64 {
+        self.predict_failures
+    }
+
+    /// Ticks since the server last heard from the source — the "cache age"
+    /// that experiment F10 profiles.
+    pub fn staleness(&self) -> u64 {
+        self.filter.steps_since_update()
+    }
+
+    /// Applies one decoded sync message immediately (test/query-layer hook;
+    /// the simulator path goes through [`Consumer::receive`]).
+    pub fn apply(&mut self, msg: SyncMessage) {
+        match msg {
+            SyncMessage::State { x, p } => {
+                if self.filter.set_state(x, p).is_ok() {
+                    self.syncs_applied += 1;
+                }
+            }
+            SyncMessage::Model { model, x, p } => {
+                if let Ok(kf) = KalmanFilter::with_covariance(model, x, p) {
+                    self.filter = kf;
+                    self.syncs_applied += 1;
+                }
+            }
+            SyncMessage::Measurement { z } => {
+                if self.filter.update(&z).is_ok() {
+                    self.syncs_applied += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Consumer for ServerEndpoint {
+    fn dim(&self) -> usize {
+        self.filter.model().measurement_dim()
+    }
+
+    fn receive(&mut self, _now: Tick, payload: &Bytes) {
+        match SyncMessage::decode(payload) {
+            Ok(msg) => self.pending.push(msg),
+            Err(_) => self.decode_failures += 1,
+        }
+    }
+
+    fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
+        // Predict first, then apply corrections — the exact order the
+        // source's shadow uses, which is what makes the two bit-identical.
+        if self.filter.predict().is_err() {
+            self.predict_failures += 1;
+        }
+        for msg in std::mem::take(&mut self.pending) {
+            self.apply(msg);
+        }
+        let z_hat = self.filter.predicted_measurement();
+        out[..z_hat.dim()].copy_from_slice(z_hat.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalstream_filter::models;
+    use kalstream_linalg::{Matrix, Vector};
+
+    fn server() -> ServerEndpoint {
+        let model = models::random_walk(0.01, 0.01);
+        ServerEndpoint::new(KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap())
+    }
+
+    #[test]
+    fn estimate_predicts_without_messages() {
+        let mut s = server();
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        assert_eq!(out[0], 0.0); // random walk prediction keeps the level
+        assert_eq!(s.staleness(), 1);
+        s.estimate(1, &mut out);
+        assert_eq!(s.staleness(), 2);
+    }
+
+    #[test]
+    fn state_sync_overwrites_estimate() {
+        let mut s = server();
+        let msg = SyncMessage::State {
+            x: Vector::from_slice(&[5.0]),
+            p: Matrix::scalar(1, 0.5),
+        };
+        s.receive(3, &msg.encode());
+        let mut out = [0.0];
+        s.estimate(3, &mut out);
+        assert_eq!(out[0], 5.0);
+        assert_eq!(s.syncs_applied(), 1);
+        assert_eq!(s.staleness(), 0);
+    }
+
+    #[test]
+    fn model_sync_replaces_filter() {
+        let mut s = server();
+        let msg = SyncMessage::Model {
+            model: models::constant_velocity(1.0, 0.01, 0.1),
+            x: Vector::from_slice(&[2.0, 0.5]),
+            p: Matrix::scalar(2, 1.0),
+        };
+        s.receive(0, &msg.encode());
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        assert_eq!(out[0], 2.0);
+        assert_eq!(s.filter().model().name(), "constant_velocity");
+        // Next tick the CV model extrapolates: 2.0 + 0.5.
+        s.estimate(1, &mut out);
+        assert!((out[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_sync_runs_an_update() {
+        let mut s = server();
+        let msg = SyncMessage::Measurement { z: Vector::from_slice(&[4.0]) };
+        s.receive(0, &msg.encode());
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        // A KF update moves toward the measurement but not (necessarily)
+        // onto it.
+        assert!(out[0] > 2.0 && out[0] <= 4.0, "estimate {}", out[0]);
+    }
+
+    #[test]
+    fn garbage_messages_are_counted_not_fatal() {
+        let mut s = server();
+        s.receive(0, &Bytes::from_static(b"\xFFgarbage"));
+        assert_eq!(s.decode_failures(), 1);
+        let mut out = [0.0];
+        s.estimate(0, &mut out); // still serves
+        assert_eq!(s.syncs_applied(), 0);
+    }
+
+    #[test]
+    fn mismatched_state_sync_is_dropped() {
+        let mut s = server();
+        // 2-dimensional state for a 1-dimensional model: dropped.
+        let msg = SyncMessage::State { x: Vector::zeros(2), p: Matrix::scalar(2, 1.0) };
+        s.apply(msg);
+        assert_eq!(s.syncs_applied(), 0);
+    }
+}

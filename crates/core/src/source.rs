@@ -1,0 +1,438 @@
+//! The source endpoint: suppression decisions and sync construction.
+
+use bytes::Bytes;
+use kalstream_filter::KalmanFilter;
+use kalstream_linalg::Vector;
+use kalstream_sim::{Producer, Tick};
+
+use crate::protocol::{pin_to_measurement, precision_norm};
+use crate::wire::SyncMessage;
+use crate::{Estimator, ProtocolConfig, RateEstimator, ResyncPayload};
+
+/// Fraction of δ a sync's shipped state may leave as measurement residual:
+/// the largest value (most smoothing preserved) that still guarantees the
+/// served value is strictly within δ at the sync tick. Applies only to
+/// isolated syncs; consecutive syncs pin fully (see `build_sync`).
+const PIN_FRACTION: f64 = 0.9;
+
+/// The stream-source side of the suppression protocol.
+///
+/// Owns two filters:
+///
+/// * the **local estimator** ([`Estimator`]), fed every measurement — the
+///   best available model of the stream;
+/// * the **shadow filter**, a bit-identical replica of the server's filter,
+///   which sees only what the server sees (predictions plus sync
+///   corrections).
+///
+/// Every tick the shadow predicts one step, exactly as the server will, and
+/// the source compares that prediction against the fresh measurement. Within
+/// `δ`: transmit nothing. Beyond `δ` (or on heartbeat): cut a sync message
+/// from the local estimator, apply it to the shadow, and transmit it.
+#[derive(Debug, Clone)]
+pub struct SourceEndpoint {
+    estimator: Estimator,
+    shadow: KalmanFilter,
+    config: ProtocolConfig,
+    /// Model the server currently runs (last one shipped in a Model sync).
+    synced_model_fingerprint: kalstream_filter::StateModel,
+    rate: RateEstimator,
+    ticks_since_sync: u64,
+    /// `true` when the previous tick also synced — the signal that the
+    /// local posterior is persistently lagging and partial pinning would
+    /// leave the server chronically `PIN_FRACTION·δ` behind.
+    synced_last_tick: bool,
+    syncs: u64,
+    estimator_failures: u64,
+    /// Scratch measurement vector (hot-path allocation avoidance).
+    z: Vector,
+}
+
+impl SourceEndpoint {
+    /// Creates the source side. `server_filter` must be the exact filter the
+    /// paired [`crate::ServerEndpoint`] starts with —
+    /// [`crate::StreamSession`] guarantees this pairing.
+    pub(crate) fn new(
+        estimator: Estimator,
+        server_filter: KalmanFilter,
+        config: ProtocolConfig,
+    ) -> Self {
+        let m = server_filter.model().measurement_dim();
+        let synced_model_fingerprint = server_filter.model().clone();
+        SourceEndpoint {
+            estimator,
+            shadow: server_filter,
+            config,
+            synced_model_fingerprint,
+            rate: RateEstimator::new(512),
+            ticks_since_sync: 0,
+            synced_last_tick: false,
+            syncs: 0,
+            estimator_failures: 0,
+            z: Vector::zeros(m),
+        }
+    }
+
+    /// Sync messages sent so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Times the local estimator diverged and was reset (should be 0 in
+    /// healthy runs; failure-injection tests exercise it).
+    pub fn estimator_failures(&self) -> u64 {
+        self.estimator_failures
+    }
+
+    /// The live message-rate estimator (consumed by the allocation layer).
+    pub fn rate_estimator(&self) -> &RateEstimator {
+        &self.rate
+    }
+
+    /// The local estimator (read access for diagnostics).
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// The shadow filter's current predicted measurement — what the source
+    /// believes the server is serving right now. Diagnostics and invariant
+    /// tests compare this against the actual server output (they must be
+    /// bit-identical at zero latency).
+    pub fn shadow_prediction(&self) -> Vector {
+        self.shadow.predicted_measurement()
+    }
+
+    /// Scalar convenience over [`SourceEndpoint::shadow_prediction`].
+    pub fn shadow_predicted_value(&self) -> f64 {
+        self.shadow.predicted_measurement()[0]
+    }
+
+    /// Current precision bound.
+    pub fn delta(&self) -> f64 {
+        self.config.delta
+    }
+
+    /// Retunes the precision bound mid-session — the hook the fleet
+    /// allocation controller uses when it reassigns budgets.
+    ///
+    /// Only future suppression decisions change; no message is sent. A
+    /// *tightened* bound takes effect at the next tick's check.
+    pub fn set_delta(&mut self, delta: f64) {
+        if delta > 0.0 && delta.is_finite() {
+            self.config.delta = delta;
+        }
+    }
+
+    /// One suppression decision. Exposed for protocol-level tests; the
+    /// simulator calls it through the [`Producer`] impl.
+    pub fn decide(&mut self, observed: &[f64]) -> Option<SyncMessage> {
+        let m = self.z.dim();
+        self.z.as_mut_slice().copy_from_slice(&observed[..m]);
+
+        // 1. Feed the local estimator. A diverged estimator is reset to the
+        //    measurement rather than poisoning the session.
+        if self.estimator.step(&self.z).is_err() {
+            self.estimator_failures += 1;
+            let model = self.estimator.active_model().clone();
+            let pinned = pin_to_measurement(
+                &Vector::zeros(model.state_dim()),
+                model.h(),
+                &self.z,
+            )
+            .unwrap_or_else(|_| Vector::zeros(model.state_dim()));
+            let _ = self.estimator.reset_to(pinned, 1.0);
+        }
+
+        // 2. Advance the shadow exactly as the server will this tick.
+        let shadow_healthy = self.shadow.predict().is_ok();
+
+        // 3. Suppression test.
+        let err = precision_norm(&self.shadow.predicted_measurement(), &self.z);
+        self.rate.record(err);
+        let heartbeat_due = self
+            .config
+            .heartbeat
+            .is_some_and(|h| self.ticks_since_sync + 1 >= h);
+        if err <= self.config.delta && !heartbeat_due && shadow_healthy {
+            self.ticks_since_sync += 1;
+            self.synced_last_tick = false;
+            return None;
+        }
+
+        // 4. Cut a sync from the local estimator and mirror it onto the
+        //    shadow.
+        let msg = self.build_sync();
+        self.apply_to_shadow(&msg);
+        self.ticks_since_sync = 0;
+        self.synced_last_tick = true;
+        self.syncs += 1;
+        Some(msg)
+    }
+
+    fn build_sync(&mut self) -> SyncMessage {
+        if self.config.resync == ResyncPayload::MeasurementOnly {
+            return SyncMessage::Measurement { z: self.z.clone() };
+        }
+        let active = self.estimator.active();
+        let model = active.model();
+        // The shipped state must serve a value within δ of the observation
+        // *at this tick*, but pinning it all the way onto the (noisy)
+        // measurement would anchor the server to one noise draw and throw
+        // away the filter's smoothing — under heavy sensor noise that
+        // degenerates into value caching. So pin conditionally: ship the
+        // smoothed posterior untouched when its measurement residual is
+        // already within the pin target, otherwise move it just far enough
+        // along the minimum-norm correction to reach the target. The target
+        // is 0.9·δ: as close to the smoothed estimate as the guarantee
+        // allows, with a 10% margin against rounding.
+        let posterior = active.state();
+        let resid = precision_norm(
+            &model
+                .h()
+                .mul_vec(posterior)
+                .expect("validated model: H·x is always well-shaped"),
+            &self.z,
+        );
+        // Partial pinning assumes the smoothed posterior is a *better*
+        // anchor than the raw measurement. When syncs come back to back the
+        // posterior is demonstrably lagging (e.g. an unmodelled trend with a
+        // mis-adapted filter), and a partial pin would park the server a
+        // constant PIN_FRACTION·δ behind the signal — paying one message
+        // per tick forever. Back-to-back syncs therefore pin fully.
+        let target = if self.synced_last_tick { 0.0 } else { PIN_FRACTION * self.config.delta };
+        let x = if resid <= target {
+            posterior.clone()
+        } else {
+            match pin_to_measurement(posterior, model.h(), &self.z) {
+                Ok(full_pin) if target == 0.0 => full_pin,
+                Ok(full_pin) => {
+                    // The pinned residual is 0 and the correction is linear,
+                    // so blending with weight α leaves residual (1−α)·resid.
+                    let alpha = 1.0 - target / resid;
+                    let mut x = posterior.clone();
+                    let delta_x = &full_pin - posterior;
+                    x.axpy(alpha, &delta_x).expect("same dimension");
+                    x
+                }
+                Err(_) => posterior.clone(),
+            }
+        };
+        let p = active.covariance().clone();
+        // A Model sync is several times the size of a State sync, so it is
+        // sent only on *structural* change (F or H): the served value is
+        // `H Fᵏ x`, which never reads Q or R. Adaptive Q/R re-estimates
+        // therefore ride along in ordinary State syncs implicitly — the
+        // server's Q/R go stale, which affects only its uncertainty
+        // metadata, not the values it serves (and the shadow mirrors the
+        // same staleness, so determinism holds).
+        let structural_change = model.f() != self.synced_model_fingerprint.f()
+            || model.h() != self.synced_model_fingerprint.h();
+        if structural_change {
+            self.synced_model_fingerprint = model.clone();
+            SyncMessage::Model { model: model.clone(), x, p }
+        } else {
+            SyncMessage::State { x, p }
+        }
+    }
+
+    fn apply_to_shadow(&mut self, msg: &SyncMessage) {
+        match msg {
+            SyncMessage::State { x, p } => {
+                let _ = self.shadow.set_state(x.clone(), p.clone());
+            }
+            SyncMessage::Model { model, x, p } => {
+                if let Ok(kf) =
+                    KalmanFilter::with_covariance(model.clone(), x.clone(), p.clone())
+                {
+                    self.shadow = kf;
+                }
+            }
+            SyncMessage::Measurement { z } => {
+                let _ = self.shadow.update(z);
+            }
+        }
+    }
+}
+
+impl Producer for SourceEndpoint {
+    fn dim(&self) -> usize {
+        self.z.dim()
+    }
+
+    fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+        self.decide(observed).map(|msg| msg.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalstream_filter::models;
+
+    fn source(delta: f64) -> SourceEndpoint {
+        let model = models::random_walk(0.01, 0.01);
+        let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
+        SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, ProtocolConfig::new(delta).unwrap())
+    }
+
+    #[test]
+    fn static_stream_is_suppressed_after_lockin() {
+        let mut s = source(0.5);
+        let mut sent = 0;
+        for _ in 0..200 {
+            if s.decide(&[1.0]).is_some() {
+                sent += 1;
+            }
+        }
+        assert!(sent <= 3, "sent {sent} messages for a constant stream");
+        assert_eq!(s.syncs(), sent);
+    }
+
+    #[test]
+    fn jump_triggers_exactly_one_sync() {
+        let mut s = source(0.5);
+        for _ in 0..50 {
+            s.decide(&[0.0]);
+        }
+        let before = s.syncs();
+        assert!(s.decide(&[10.0]).is_some());
+        assert_eq!(s.syncs(), before + 1);
+        // And the shadow is now pinned to the new level: next tick is quiet.
+        assert!(s.decide(&[10.0]).is_none());
+    }
+
+    #[test]
+    fn tighter_delta_sends_more() {
+        let trace: Vec<f64> = (0..500).map(|t| (t as f64 * 0.1).sin() * 3.0).collect();
+        let mut loose = source(1.0);
+        let mut tight = source(0.1);
+        for &v in &trace {
+            loose.decide(&[v]);
+            tight.decide(&[v]);
+        }
+        assert!(tight.syncs() > loose.syncs());
+    }
+
+    #[test]
+    fn heartbeat_forces_syncs() {
+        let model = models::random_walk(0.01, 0.01);
+        let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
+        let config = ProtocolConfig::new(100.0).unwrap().with_heartbeat(10).unwrap();
+        let mut s = SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, config);
+        for _ in 0..100 {
+            s.decide(&[0.0]);
+        }
+        // δ=100 would never trigger; 100 ticks / heartbeat 10 ⇒ ≥ 9 syncs.
+        assert!(s.syncs() >= 9, "syncs {}", s.syncs());
+    }
+
+    #[test]
+    fn state_syncs_are_pinned_within_half_delta() {
+        let mut s = source(0.5);
+        for _ in 0..20 {
+            s.decide(&[0.0]);
+        }
+        let msg = s.decide(&[7.0]).expect("jump must sync");
+        match msg {
+            SyncMessage::State { x, .. } => {
+                // The filter posterior after a 0→7 jump lags far behind 7;
+                // conditional pinning must pull the shipped state to within
+                // δ/2 of the observation (and no further).
+                let resid = (x[0] - 7.0).abs();
+                assert!(resid <= 0.45 + 1e-9, "residual {resid} exceeds the pin target");
+                assert!(resid >= 0.45 - 1e-9, "over-pinned: residual {resid}");
+            }
+            other => panic!("expected State sync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smooth_posterior_is_shipped_unpinned() {
+        // When the posterior already sits within δ/2 of the observation the
+        // sync must ship it untouched (preserving smoothing under noise).
+        let mut s = source(0.5);
+        for _ in 0..50 {
+            s.decide(&[1.0]);
+        }
+        // Posterior ≈ 1.0; a 1.6 observation triggers (pred err 0.6 > 0.5).
+        // The filter posterior moves partway toward 1.6; it lands within the
+        // 0.45 pin target, so it must be shipped untouched rather than
+        // overwritten by the raw measurement.
+        let msg = s.decide(&[1.6]).expect("0.6 jump must sync at delta 0.5");
+        match msg {
+            SyncMessage::State { x, .. } => {
+                let resid = (x[0] - 1.6).abs();
+                assert!(resid <= 0.45 + 1e-9, "guarantee broken: resid {resid}");
+                assert!(x[0] < 1.6 - 1e-6, "posterior was overwritten by the raw measurement");
+            }
+            other => panic!("expected State sync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measurement_only_mode_ships_measurements() {
+        let model = models::random_walk(0.01, 0.01);
+        let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
+        let config = ProtocolConfig::new(0.5)
+            .unwrap()
+            .with_resync(ResyncPayload::MeasurementOnly);
+        let mut s = SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, config);
+        let msg = s.decide(&[7.0]).expect("jump must sync");
+        assert!(matches!(msg, SyncMessage::Measurement { .. }));
+    }
+
+    #[test]
+    fn model_change_ships_model_sync() {
+        use kalstream_filter::{BankConfig, ModelBank};
+        let walk =
+            KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0).unwrap();
+        let cv = KalmanFilter::new(
+            models::constant_velocity(1.0, 0.01, 0.05),
+            Vector::zeros(2),
+            1.0,
+        )
+        .unwrap();
+        let bank = ModelBank::new(vec![walk.clone(), cv], BankConfig::default()).unwrap();
+        let mut s = SourceEndpoint::new(
+            Estimator::Bank(bank),
+            walk,
+            ProtocolConfig::new(0.5).unwrap(),
+        );
+        let mut saw_model_sync = false;
+        for t in 0..400 {
+            if let Some(SyncMessage::Model { model, .. }) = s.decide(&[t as f64 * 0.8]) {
+                assert_eq!(model.name(), "constant_velocity");
+                saw_model_sync = true;
+            }
+        }
+        assert!(saw_model_sync, "bank switch never propagated to the wire");
+    }
+
+    #[test]
+    fn set_delta_changes_behaviour() {
+        let trace: Vec<f64> = (0..400).map(|t| (t as f64 * 0.2).sin() * 5.0).collect();
+        let mut s = source(5.0);
+        for &v in &trace[..200] {
+            s.decide(&[v]);
+        }
+        let loose_phase = s.syncs();
+        s.set_delta(0.05);
+        for &v in &trace[200..] {
+            s.decide(&[v]);
+        }
+        let tight_phase = s.syncs() - loose_phase;
+        assert!(tight_phase > loose_phase, "loose {loose_phase} tight {tight_phase}");
+        // Invalid deltas are ignored.
+        s.set_delta(-1.0);
+        assert_eq!(s.delta(), 0.05);
+    }
+
+    #[test]
+    fn producer_impl_encodes_decisions() {
+        let mut s = source(0.5);
+        let bytes = s.observe(0, &[9.0]).expect("first jump syncs");
+        let msg = SyncMessage::decode(&bytes).unwrap();
+        assert!(matches!(msg, SyncMessage::State { .. }));
+        assert_eq!(Producer::dim(&s), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! First-order Extended Kalman Filter for nonlinear stream dynamics.
+//!
+//! Some stream families are intrinsically nonlinear — a vehicle with heading
+//! and speed, a sensor with a nonlinear response curve. The EKF linearises
+//! the user-supplied dynamics around the current estimate each step. It
+//! shares the diagnostics ([`UpdateOutcome`]) and determinism requirements of
+//! the linear filter, so it can serve as the dynamic procedure in the
+//! suppression protocol unchanged.
+
+use kalstream_linalg::{Matrix, Vector};
+
+use crate::{FilterError, Result, UpdateOutcome};
+
+/// A nonlinear-Gaussian state-space model:
+///
+/// ```text
+/// x_{t+1} = f(x_t) + w_t,   w ~ N(0, Q)
+/// z_t     = h(x_t) + v_t,   v ~ N(0, R)
+/// ```
+///
+/// Implementations must be deterministic pure functions of `x`; the protocol
+/// layer clones filters and replays them.
+pub trait NonlinearModel {
+    /// State dimension `n`.
+    fn state_dim(&self) -> usize;
+    /// Measurement dimension `m`.
+    fn measurement_dim(&self) -> usize;
+    /// Transition function `f(x)`.
+    fn f(&self, x: &Vector) -> Vector;
+    /// Jacobian `∂f/∂x` evaluated at `x` (`n × n`).
+    fn f_jacobian(&self, x: &Vector) -> Matrix;
+    /// Observation function `h(x)`.
+    fn h(&self, x: &Vector) -> Vector;
+    /// Jacobian `∂h/∂x` evaluated at `x` (`m × n`).
+    fn h_jacobian(&self, x: &Vector) -> Matrix;
+    /// Process-noise covariance `Q` (`n × n`).
+    fn q(&self) -> &Matrix;
+    /// Measurement-noise covariance `R` (`m × m`).
+    fn r(&self) -> &Matrix;
+}
+
+/// Extended Kalman filter over a [`NonlinearModel`].
+#[derive(Debug, Clone)]
+pub struct ExtendedKalmanFilter<M: NonlinearModel> {
+    model: M,
+    x: Vector,
+    p: Matrix,
+    steps_since_update: u64,
+}
+
+impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
+    /// Creates an EKF with initial state `x0` and isotropic covariance
+    /// `p0 · I`.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] when `x0`'s dimension disagrees with the
+    /// model.
+    pub fn new(model: M, x0: Vector, p0: f64) -> Result<Self> {
+        let n = model.state_dim();
+        if x0.dim() != n {
+            return Err(FilterError::BadModel {
+                what: "x0",
+                expected: (n, 1),
+                actual: (x0.dim(), 1),
+            });
+        }
+        Ok(ExtendedKalmanFilter { model, x: x0, p: Matrix::scalar(n, p0), steps_since_update: 0 })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> &Vector {
+        &self.x
+    }
+
+    /// Current estimate covariance.
+    pub fn covariance(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Predict steps since the last measurement update.
+    pub fn steps_since_update(&self) -> u64 {
+        self.steps_since_update
+    }
+
+    /// Overwrites the state — resynchronisation primitive.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] on shape mismatch.
+    pub fn set_state(&mut self, x: Vector, p: Matrix) -> Result<()> {
+        let n = self.model.state_dim();
+        if x.dim() != n {
+            return Err(FilterError::BadModel { what: "x0", expected: (n, 1), actual: (x.dim(), 1) });
+        }
+        if p.shape() != (n, n) {
+            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p.shape() });
+        }
+        self.x = x;
+        self.p = p;
+        self.steps_since_update = 0;
+        Ok(())
+    }
+
+    /// Time update: `x ← f(x)`, `P ← F P Fᵀ + Q` with `F = ∂f/∂x`.
+    ///
+    /// # Errors
+    /// [`FilterError::Diverged`] on non-finite results.
+    pub fn predict(&mut self) -> Result<()> {
+        let f_jac = self.model.f_jacobian(&self.x);
+        self.x = self.model.f(&self.x);
+        self.p = &f_jac.sandwich(&self.p)? + self.model.q();
+        self.p.symmetrize_mut();
+        self.steps_since_update += 1;
+        if !self.x.is_finite() {
+            return Err(FilterError::Diverged { what: "state" });
+        }
+        if !self.p.is_finite() {
+            return Err(FilterError::Diverged { what: "covariance" });
+        }
+        Ok(())
+    }
+
+    /// The measurement the filter expects right now: `ẑ = h(x)`.
+    pub fn predicted_measurement(&self) -> Vector {
+        self.model.h(&self.x)
+    }
+
+    /// Measurement update with observation `z`.
+    ///
+    /// # Errors
+    /// * [`FilterError::BadMeasurement`] on dimension mismatch.
+    /// * [`FilterError::Linalg`] when the innovation covariance is not PD.
+    pub fn update(&mut self, z: &Vector) -> Result<UpdateOutcome> {
+        let m = self.model.measurement_dim();
+        if z.dim() != m {
+            return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
+        }
+        let h_jac = self.model.h_jacobian(&self.x);
+        let predicted = self.model.h(&self.x);
+        let innovation = z - &predicted;
+        let mut s = &h_jac.sandwich(&self.p)? + self.model.r();
+        s.symmetrize_mut();
+        let chol = s.cholesky()?;
+        let hp = h_jac.matmul(&self.p)?;
+        let k = chol.solve_mat(&hp)?.transpose();
+        let correction = k.mul_vec(&innovation)?;
+        self.x = &self.x + &correction;
+        let n = self.model.state_dim();
+        let i_kh = &Matrix::identity(n) - &k.matmul(&h_jac)?;
+        // Joseph form for the same numerical reasons as the linear filter.
+        let left = i_kh.sandwich(&self.p)?;
+        let krk = k.matmul(self.model.r())?.matmul(&k.transpose())?;
+        self.p = &left + &krk;
+        self.p.symmetrize_mut();
+        self.steps_since_update = 0;
+
+        let s_inv_nu = chol.solve_vec(&innovation)?;
+        let nis = innovation.dot(&s_inv_nu)?;
+        let log_likelihood =
+            -0.5 * (nis + chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
+        Ok(UpdateOutcome { innovation, innovation_cov: s, nis, log_likelihood })
+    }
+
+    /// Convenience: predict then update.
+    ///
+    /// # Errors
+    /// Propagates stepping errors.
+    pub fn step(&mut self, z: &Vector) -> Result<UpdateOutcome> {
+        self.predict()?;
+        self.update(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Constant-turn-rate vehicle: state `[x, y, heading, speed]`, observes
+    /// position `[x, y]`. The classic mildly nonlinear tracking model.
+    #[derive(Debug, Clone)]
+    struct TurningVehicle {
+        turn_rate: f64,
+        dt: f64,
+        q: Matrix,
+        r: Matrix,
+    }
+
+    impl TurningVehicle {
+        fn new(turn_rate: f64, dt: f64, q: f64, r: f64) -> Self {
+            TurningVehicle { turn_rate, dt, q: Matrix::scalar(4, q), r: Matrix::scalar(2, r) }
+        }
+    }
+
+    impl NonlinearModel for TurningVehicle {
+        fn state_dim(&self) -> usize {
+            4
+        }
+        fn measurement_dim(&self) -> usize {
+            2
+        }
+        fn f(&self, x: &Vector) -> Vector {
+            let (px, py, th, v) = (x[0], x[1], x[2], x[3]);
+            Vector::from_slice(&[
+                px + v * th.cos() * self.dt,
+                py + v * th.sin() * self.dt,
+                th + self.turn_rate * self.dt,
+                v,
+            ])
+        }
+        fn f_jacobian(&self, x: &Vector) -> Matrix {
+            let (th, v) = (x[2], x[3]);
+            Matrix::from_rows(&[
+                &[1.0, 0.0, -v * th.sin() * self.dt, th.cos() * self.dt],
+                &[0.0, 1.0, v * th.cos() * self.dt, th.sin() * self.dt],
+                &[0.0, 0.0, 1.0, 0.0],
+                &[0.0, 0.0, 0.0, 1.0],
+            ])
+        }
+        fn h(&self, x: &Vector) -> Vector {
+            Vector::from_slice(&[x[0], x[1]])
+        }
+        fn h_jacobian(&self, _x: &Vector) -> Matrix {
+            Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]])
+        }
+        fn q(&self) -> &Matrix {
+            &self.q
+        }
+        fn r(&self) -> &Matrix {
+            &self.r
+        }
+    }
+
+    fn simulate_circle(steps: usize, turn_rate: f64, speed: f64) -> Vec<(f64, f64)> {
+        let mut th: f64 = 0.0;
+        let (mut x, mut y) = (0.0, 0.0);
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            x += speed * th.cos();
+            y += speed * th.sin();
+            th += turn_rate;
+            out.push((x, y));
+        }
+        out
+    }
+
+    #[test]
+    fn construction_validates() {
+        let m = TurningVehicle::new(0.1, 1.0, 1e-4, 0.01);
+        assert!(ExtendedKalmanFilter::new(m, Vector::zeros(3), 1.0).is_err());
+    }
+
+    #[test]
+    fn tracks_turning_vehicle() {
+        let model = TurningVehicle::new(0.05, 1.0, 1e-6, 0.01);
+        let mut ekf = ExtendedKalmanFilter::new(
+            model,
+            Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]),
+            1.0,
+        )
+        .unwrap();
+        let truth = simulate_circle(200, 0.05, 1.0);
+        for &(x, y) in &truth {
+            ekf.step(&Vector::from_slice(&[x, y])).unwrap();
+        }
+        let last = truth.last().unwrap();
+        let est = ekf.state();
+        assert!((est[0] - last.0).abs() < 0.1, "x est {} truth {}", est[0], last.0);
+        assert!((est[1] - last.1).abs() < 0.1);
+        // Speed should be learned ≈ 1.
+        assert!((est[3] - 1.0).abs() < 0.1, "speed {}", est[3]);
+    }
+
+    #[test]
+    fn predicted_measurement_matches_h() {
+        let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
+        let ekf = ExtendedKalmanFilter::new(
+            model,
+            Vector::from_slice(&[3.0, 4.0, 0.0, 1.0]),
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(ekf.predicted_measurement().as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn update_dimension_checked() {
+        let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
+        let mut ekf =
+            ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
+        ekf.predict().unwrap();
+        assert!(ekf.update(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn set_state_resets_age() {
+        let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
+        let mut ekf =
+            ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
+        ekf.predict().unwrap();
+        assert_eq!(ekf.steps_since_update(), 1);
+        ekf.set_state(Vector::zeros(4), Matrix::scalar(4, 0.5)).unwrap();
+        assert_eq!(ekf.steps_since_update(), 0);
+        assert!(ekf.set_state(Vector::zeros(2), Matrix::scalar(4, 0.5)).is_err());
+        assert!(ekf.set_state(Vector::zeros(4), Matrix::scalar(2, 0.5)).is_err());
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let model = TurningVehicle::new(0.03, 1.0, 1e-5, 0.05);
+        let mut a = ExtendedKalmanFilter::new(
+            model,
+            Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]),
+            1.0,
+        )
+        .unwrap();
+        let mut b = a.clone();
+        for &(x, y) in &simulate_circle(100, 0.03, 1.0) {
+            let z = Vector::from_slice(&[x, y]);
+            a.step(&z).unwrap();
+            b.step(&z).unwrap();
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.covariance(), b.covariance());
+    }
+}

@@ -1,0 +1,61 @@
+//! Constant-acceleration model.
+
+use kalstream_linalg::Matrix;
+
+use crate::StateModel;
+
+/// Scalar constant-acceleration model with state
+/// `[position, velocity, acceleration]`:
+///
+/// ```text
+/// F = [1 dt dt²/2; 0 1 dt; 0 0 1]
+/// Q = q · outer(g, g) with g = [dt²/2, dt, 1]ᵀ   (white-noise jerk)
+/// H = [1 0 0],  R = r
+/// ```
+///
+/// Suited to aggressively trending streams where the constant-velocity model
+/// lags (accelerating price moves, spin-up phases of physical systems).
+pub fn constant_acceleration(dt: f64, q: f64, r: f64) -> StateModel {
+    let dt2 = dt * dt;
+    let f = Matrix::from_rows(&[
+        &[1.0, dt, dt2 / 2.0],
+        &[0.0, 1.0, dt],
+        &[0.0, 0.0, 1.0],
+    ]);
+    let g = [dt2 / 2.0, dt, 1.0];
+    let mut q_mat = Matrix::zeros(3, 3);
+    for i in 0..3 {
+        for j in 0..3 {
+            q_mat.set(i, j, q * g[i] * g[j]);
+        }
+    }
+    let h = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+    StateModel::new("constant_acceleration", f, q_mat, h, Matrix::scalar(1, r))
+        .expect("static shapes are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KalmanFilter;
+    use kalstream_linalg::Vector;
+
+    #[test]
+    fn shapes() {
+        let m = constant_acceleration(1.0, 0.1, 0.5);
+        assert_eq!(m.state_dim(), 3);
+        assert_eq!(m.f().get(0, 2), 0.5);
+        assert_eq!(m.q().get(0, 1), 0.1 * 0.5); // q * g0 * g1
+    }
+
+    #[test]
+    fn tracks_quadratic_signal() {
+        let m = constant_acceleration(1.0, 1e-6, 0.01);
+        let mut kf = KalmanFilter::new(m, Vector::zeros(3), 10.0).unwrap();
+        for t in 0..400 {
+            let z = 0.05 * (t as f64) * (t as f64); // acceleration 0.1
+            kf.step(&Vector::from_slice(&[z])).unwrap();
+        }
+        assert!((kf.state()[2] - 0.1).abs() < 0.01, "accel {}", kf.state()[2]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Constant-velocity (white-noise acceleration) models.
+
+use kalstream_linalg::Matrix;
+
+use crate::StateModel;
+
+/// Scalar constant-velocity model with state `[position, velocity]`:
+///
+/// ```text
+/// F = [1 dt; 0 1],   Q = q · [dt⁴/4  dt³/2; dt³/2  dt²]   (discrete white-noise acceleration)
+/// H = [1 0],         R = r
+/// ```
+///
+/// * `dt` — sampling interval.
+/// * `q`  — acceleration noise spectral density.
+/// * `r`  — measurement-noise variance.
+///
+/// Suited to trending streams: stock mid-prices over short horizons, ramping
+/// sensor values, one GPS coordinate.
+pub fn constant_velocity(dt: f64, q: f64, r: f64) -> StateModel {
+    let f = Matrix::from_rows(&[&[1.0, dt], &[0.0, 1.0]]);
+    let dt2 = dt * dt;
+    let dt3 = dt2 * dt;
+    let dt4 = dt3 * dt;
+    let q_mat = Matrix::from_rows(&[
+        &[q * dt4 / 4.0, q * dt3 / 2.0],
+        &[q * dt3 / 2.0, q * dt2],
+    ]);
+    let h = Matrix::from_rows(&[&[1.0, 0.0]]);
+    StateModel::new("constant_velocity", f, q_mat, h, Matrix::scalar(1, r))
+        .expect("static shapes are valid")
+}
+
+/// Planar constant-velocity model with state `[x, vx, y, vy]` observing
+/// `[x, y]` — the GPS/object-tracking model of experiment F4.
+///
+/// Parameters as in [`constant_velocity`], applied independently per axis.
+pub fn constant_velocity_2d(dt: f64, q: f64, r: f64) -> StateModel {
+    let f = Matrix::from_rows(&[
+        &[1.0, dt, 0.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, dt],
+        &[0.0, 0.0, 0.0, 1.0],
+    ]);
+    let dt2 = dt * dt;
+    let dt3 = dt2 * dt;
+    let dt4 = dt3 * dt;
+    let (a, b, c) = (q * dt4 / 4.0, q * dt3 / 2.0, q * dt2);
+    let q_mat = Matrix::from_rows(&[
+        &[a, b, 0.0, 0.0],
+        &[b, c, 0.0, 0.0],
+        &[0.0, 0.0, a, b],
+        &[0.0, 0.0, b, c],
+    ]);
+    let h = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]);
+    StateModel::new("constant_velocity_2d", f, q_mat, h, Matrix::scalar(2, r))
+        .expect("static shapes are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cv_shapes() {
+        let m = constant_velocity(0.5, 1.0, 0.1);
+        assert_eq!(m.state_dim(), 2);
+        assert_eq!(m.measurement_dim(), 1);
+        assert_eq!(m.f().get(0, 1), 0.5);
+        // Q symmetric.
+        assert_eq!(m.q().get(0, 1), m.q().get(1, 0));
+    }
+
+    #[test]
+    fn cv_q_is_positive_semidefinite_scaled() {
+        // For dt=1, Q/q = [[1/4, 1/2],[1/2, 1]] which is rank-1 PSD; adding a
+        // small jitter makes it PD.
+        let m = constant_velocity(1.0, 4.0, 0.1);
+        assert_eq!(m.q().get(0, 0), 1.0);
+        assert_eq!(m.q().get(1, 1), 4.0);
+        assert_eq!(m.q().get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn cv2d_shapes() {
+        let m = constant_velocity_2d(1.0, 0.5, 0.2);
+        assert_eq!(m.state_dim(), 4);
+        assert_eq!(m.measurement_dim(), 2);
+        assert_eq!(m.h().get(1, 2), 1.0);
+        assert_eq!(m.r().get(1, 1), 0.2);
+    }
+}

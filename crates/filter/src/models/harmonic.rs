@@ -1,0 +1,55 @@
+//! Damped harmonic-oscillation model for periodic streams.
+
+use kalstream_linalg::Matrix;
+
+use crate::StateModel;
+
+/// Harmonic oscillator with state `[s, s_quadrature]` rotating at angular
+/// frequency `omega` per unit time:
+///
+/// ```text
+/// F = ρ · [cos(ω dt)  sin(ω dt); −sin(ω dt)  cos(ω dt)]
+/// H = [1 0],  Q = q·I,  R = r
+/// ```
+///
+/// where the damping factor `ρ` is fixed at `1.0` (pure rotation); the
+/// process noise `q` absorbs amplitude drift. Suited to periodic streams:
+/// daily temperature cycles, seasonal demand, vibration sensors (experiment
+/// F2's sinusoid family).
+pub fn harmonic(omega: f64, dt: f64, q: f64, r: f64) -> StateModel {
+    let (s, c) = (omega * dt).sin_cos();
+    let f = Matrix::from_rows(&[&[c, s], &[-s, c]]);
+    let h = Matrix::from_rows(&[&[1.0, 0.0]]);
+    StateModel::new("harmonic", f, Matrix::scalar(2, q), h, Matrix::scalar(1, r))
+        .expect("static shapes are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KalmanFilter;
+    use kalstream_linalg::Vector;
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let m = harmonic(0.7, 1.0, 0.0, 0.1);
+        // Fᵀ F = I for a rotation matrix.
+        let ftf = m.f().transpose().matmul(m.f()).unwrap();
+        assert!(ftf.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn locks_onto_sinusoid() {
+        let omega = 0.2;
+        let m = harmonic(omega, 1.0, 1e-6, 0.01);
+        let mut kf = KalmanFilter::new(m, Vector::zeros(2), 1.0).unwrap();
+        for t in 0..400 {
+            let z = (omega * t as f64).sin() * 3.0;
+            kf.step(&Vector::from_slice(&[z])).unwrap();
+        }
+        // After locking, the 1-step forecast should be accurate.
+        let pred = kf.forecast_measurement(1).unwrap()[0];
+        let truth = (omega * 400.0_f64).sin() * 3.0;
+        assert!((pred - truth).abs() < 0.05, "pred {pred} truth {truth}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Ready-made state-space models for the stream families in the evaluation.
+//!
+//! Each constructor returns a validated [`StateModel`](crate::StateModel) with a stable `name`
+//! that experiment logs and the model bank refer to. All models observe a
+//! scalar measurement unless stated otherwise (the 2-D GPS model observes
+//! two coordinates).
+
+mod ar;
+mod ca;
+mod cv;
+mod harmonic;
+mod random_walk;
+
+pub use ar::ar;
+pub use ca::constant_acceleration;
+pub use cv::{constant_velocity, constant_velocity_2d};
+pub use harmonic::harmonic;
+pub use random_walk::random_walk;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KalmanFilter;
+    use kalstream_linalg::Vector;
+
+    #[test]
+    fn all_models_are_filterable() {
+        let models = vec![
+            random_walk(0.1, 0.5),
+            constant_velocity(1.0, 0.1, 0.5),
+            constant_acceleration(1.0, 0.1, 0.5),
+            harmonic(0.3, 1.0, 0.1, 0.5),
+            ar(&[0.5, 0.2], 0.1, 0.5).unwrap(),
+        ];
+        for m in models {
+            let n = m.state_dim();
+            let mut kf = KalmanFilter::new(m, Vector::zeros(n), 1.0).unwrap();
+            for _ in 0..10 {
+                kf.step(&Vector::from_slice(&[0.5])).unwrap();
+            }
+            assert!(kf.state().is_finite());
+        }
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let names = [
+            random_walk(0.1, 0.5).name().to_string(),
+            constant_velocity(1.0, 0.1, 0.5).name().to_string(),
+            constant_acceleration(1.0, 0.1, 0.5).name().to_string(),
+            harmonic(0.3, 1.0, 0.1, 0.5).name().to_string(),
+            ar(&[0.5], 0.1, 0.5).unwrap().name().to_string(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Scalar random-walk model.
+
+use kalstream_linalg::Matrix;
+
+use crate::StateModel;
+
+/// Scalar random walk: `x_{t+1} = x_t + w`, observed directly.
+///
+/// * `q` — process-noise variance (per-step drift variance).
+/// * `r` — measurement-noise variance.
+///
+/// This is the workhorse model for slowly-varying sensor streams
+/// (temperatures, queue lengths) and the default model the suppression
+/// protocol installs when it knows nothing about a stream.
+pub fn random_walk(q: f64, r: f64) -> StateModel {
+    StateModel::new(
+        "random_walk",
+        Matrix::identity(1),
+        Matrix::scalar(1, q),
+        Matrix::identity(1),
+        Matrix::scalar(1, r),
+    )
+    .expect("static shapes are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_parameters() {
+        let m = random_walk(0.25, 0.5);
+        assert_eq!(m.state_dim(), 1);
+        assert_eq!(m.measurement_dim(), 1);
+        assert_eq!(m.q().get(0, 0), 0.25);
+        assert_eq!(m.r().get(0, 0), 0.5);
+        assert_eq!(m.f().get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Rauch–Tung–Striebel fixed-interval smoothing.
+//!
+//! The live protocol is causal — the server can only *filter*. Offline,
+//! though, recorded traces support smoothing: conditioning every state on
+//! the *whole* series, which is strictly more accurate than filtering. The
+//! workspace uses it for trace analysis and calibration (e.g. recovering a
+//! cleaner ground-truth estimate from a noisy recording before fitting
+//! models with [`crate::fit`]).
+
+use kalstream_linalg::{Matrix, Vector};
+
+use crate::{FilterError, KalmanFilter, Result, StateModel};
+
+/// Smoothed state trajectory: one `(state, covariance)` per measurement.
+#[derive(Debug, Clone)]
+pub struct Smoothed {
+    /// Smoothed state estimates `x_{t|N}`.
+    pub states: Vec<Vector>,
+    /// Smoothed covariances `P_{t|N}`.
+    pub covariances: Vec<Matrix>,
+}
+
+impl Smoothed {
+    /// Number of smoothed steps.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the input had no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The smoothed *measurement-space* trajectory `H x_{t|N}`.
+    pub fn measurements(&self, model: &StateModel) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|x| {
+                model
+                    .h()
+                    .mul_vec(x)
+                    .expect("smoothed states match the model dimension")[0]
+            })
+            .collect()
+    }
+}
+
+/// Runs a forward Kalman pass and a backward RTS pass over `measurements`.
+///
+/// Each measurement is a full observation vector (length `m`); the forward
+/// pass is predict-then-update per step, matching the filters elsewhere in
+/// the workspace.
+///
+/// # Errors
+/// * [`FilterError::BadModel`] on shape mismatches.
+/// * [`FilterError::BadMeasurement`] when a measurement has the wrong
+///   dimension.
+/// * [`FilterError::Linalg`] when a prior covariance is not invertible in
+///   the backward pass (degenerate `Q = 0` models).
+pub fn rts_smooth(
+    model: &StateModel,
+    x0: Vector,
+    p0: f64,
+    measurements: &[Vector],
+) -> Result<Smoothed> {
+    let n = model.state_dim();
+    let steps = measurements.len();
+    if steps == 0 {
+        return Ok(Smoothed { states: Vec::new(), covariances: Vec::new() });
+    }
+
+    // Forward pass, storing priors (x⁻, P⁻) and posteriors (x⁺, P⁺).
+    let mut kf = KalmanFilter::new(model.clone(), x0, p0)?;
+    let mut prior_x = Vec::with_capacity(steps);
+    let mut prior_p = Vec::with_capacity(steps);
+    let mut post_x = Vec::with_capacity(steps);
+    let mut post_p = Vec::with_capacity(steps);
+    for z in measurements {
+        kf.predict()?;
+        prior_x.push(kf.state().clone());
+        prior_p.push(kf.covariance().clone());
+        kf.update(z)?;
+        post_x.push(kf.state().clone());
+        post_p.push(kf.covariance().clone());
+    }
+
+    // Backward pass: x_{t|N} = x⁺_t + C_t (x_{t+1|N} − x⁻_{t+1}),
+    // C_t = P⁺_t Fᵀ (P⁻_{t+1})⁻¹.
+    let mut states = vec![Vector::zeros(n); steps];
+    let mut covariances = vec![Matrix::zeros(n, n); steps];
+    states[steps - 1] = post_x[steps - 1].clone();
+    covariances[steps - 1] = post_p[steps - 1].clone();
+    for t in (0..steps - 1).rev() {
+        let prior_next_chol = prior_p[t + 1].cholesky().map_err(FilterError::from)?;
+        // C = P⁺ Fᵀ (P⁻)⁻¹ computed as ((P⁻)⁻¹ F P⁺)ᵀ via solves.
+        let f_p = model
+            .f()
+            .matmul(&post_p[t])
+            .map_err(FilterError::from)?;
+        let c = prior_next_chol
+            .solve_mat(&f_p)
+            .map_err(FilterError::from)?
+            .transpose();
+        let dx = &states[t + 1] - &prior_x[t + 1];
+        states[t] = &post_x[t] + &c.mul_vec(&dx).map_err(FilterError::from)?;
+        let dp = &covariances[t + 1] - &prior_p[t + 1];
+        let mut p = &post_p[t]
+            + &c.matmul(&dp)
+                .map_err(FilterError::from)?
+                .matmul(&c.transpose())
+                .map_err(FilterError::from)?;
+        p.symmetrize_mut();
+        covariances[t] = p;
+    }
+    Ok(Smoothed { states, covariances })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gaussian(rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let model = models::random_walk(0.1, 0.1);
+        let s = rts_smooth(&model, Vector::zeros(1), 1.0, &[]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn last_step_matches_the_filter() {
+        let model = models::constant_velocity(1.0, 0.01, 0.1);
+        let zs: Vec<Vector> =
+            (0..50).map(|t| Vector::from_slice(&[0.2 * t as f64])).collect();
+        let smoothed = rts_smooth(&model, Vector::zeros(2), 1.0, &zs).unwrap();
+        let mut kf = KalmanFilter::new(model, Vector::zeros(2), 1.0).unwrap();
+        for z in &zs {
+            kf.step(z).unwrap();
+        }
+        assert!(smoothed.states[49].max_abs_diff(kf.state()) < 1e-12);
+        assert!(smoothed.covariances[49].max_abs_diff(kf.covariance()) < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_beats_filtering_on_noisy_walk() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let model = models::random_walk(0.04, 1.0);
+        let mut level = 0.0;
+        let mut truth = Vec::new();
+        let mut zs = Vec::new();
+        for _ in 0..2000 {
+            level += 0.2 * gaussian(&mut rng);
+            truth.push(level);
+            zs.push(Vector::from_slice(&[level + gaussian(&mut rng)]));
+        }
+        // Filtered errors.
+        let mut kf = KalmanFilter::new(model.clone(), Vector::zeros(1), 1.0).unwrap();
+        let mut filt_sse = 0.0;
+        for (z, &t) in zs.iter().zip(truth.iter()) {
+            kf.step(z).unwrap();
+            let e = kf.state()[0] - t;
+            filt_sse += e * e;
+        }
+        // Smoothed errors.
+        let smoothed = rts_smooth(&model, Vector::zeros(1), 1.0, &zs).unwrap();
+        let smooth_sse: f64 = smoothed
+            .states
+            .iter()
+            .zip(truth.iter())
+            .map(|(x, &t)| (x[0] - t) * (x[0] - t))
+            .sum();
+        assert!(
+            smooth_sse < 0.8 * filt_sse,
+            "smoothing should clearly beat filtering: {smooth_sse} vs {filt_sse}"
+        );
+    }
+
+    #[test]
+    fn smoothed_covariance_is_no_larger_than_filtered() {
+        let model = models::random_walk(0.1, 0.5);
+        let zs: Vec<Vector> = (0..100)
+            .map(|t| Vector::from_slice(&[(t as f64 * 0.2).sin()]))
+            .collect();
+        let smoothed = rts_smooth(&model, Vector::zeros(1), 1.0, &zs).unwrap();
+        // Mid-series smoothed variance must be ≤ the steady filtered one.
+        let mut kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
+        for z in &zs[..50] {
+            kf.step(z).unwrap();
+        }
+        assert!(smoothed.covariances[49].get(0, 0) <= kf.covariance().get(0, 0) + 1e-12);
+    }
+
+    #[test]
+    fn measurement_trajectory_projection() {
+        let model = models::constant_velocity(1.0, 0.01, 0.1);
+        let zs: Vec<Vector> = (0..20).map(|t| Vector::from_slice(&[t as f64])).collect();
+        let smoothed = rts_smooth(&model, Vector::zeros(2), 1.0, &zs).unwrap();
+        let traj = smoothed.measurements(&model);
+        assert_eq!(traj.len(), 20);
+        // A noiseless ramp: smoothed positions track it closely everywhere.
+        for (t, &v) in traj.iter().enumerate() {
+            assert!((v - t as f64).abs() < 0.5, "t={t}: {v}");
+        }
+    }
+
+    #[test]
+    fn wrong_measurement_dim_is_rejected() {
+        let model = models::random_walk(0.1, 0.1);
+        let zs = vec![Vector::zeros(2)];
+        assert!(rts_smooth(&model, Vector::zeros(1), 1.0, &zs).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Small statistical utilities shared by the adaptive layer, the model bank
+//! and the experiment harness.
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// Used wherever a windowless summary is enough: RMSE accounting in the
+/// simulator, message-rate estimation in the allocation controller.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Root mean square of the observations (√(mean + var·n/n)); useful when
+    /// pushing *errors* so the result is the RMSE.
+    pub fn rms(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.mean * self.mean + self.m2 / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Exponentially weighted moving average with bias-corrected warm-up.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    weight: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]` (larger =
+    /// faster forgetting).
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: 0.0, weight: 0.0 }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.value = (1.0 - self.alpha) * self.value + self.alpha * x;
+        self.weight = (1.0 - self.alpha) * self.weight + self.alpha;
+    }
+
+    /// Bias-corrected current average; `0.0` before any observation.
+    pub fn value(&self) -> f64 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.value / self.weight
+        }
+    }
+}
+
+/// Log-density of the scalar normal distribution `N(mean, var)` at `x`.
+///
+/// # Panics
+/// Panics when `var <= 0`.
+pub fn normal_log_pdf(x: f64, mean: f64, var: f64) -> f64 {
+    assert!(var > 0.0, "variance must be positive");
+    let d = x - mean;
+    -0.5 * (d * d / var + var.ln() + core::f64::consts::TAU.ln())
+}
+
+/// Upper 95th-percentile critical values of the chi-square distribution for
+/// 1–10 degrees of freedom, used by filter-consistency monitors: a windowed
+/// mean NIS persistently above `chi2_95(m)/m` flags a mismatched model.
+pub fn chi2_95(dof: usize) -> f64 {
+    const TABLE: [f64; 10] =
+        [3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307];
+    assert!(dof >= 1 && dof <= TABLE.len(), "chi2_95 supports dof 1..=10");
+    TABLE[dof - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_known_sequence() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = RunningStats::new();
+        s1.push(3.0);
+        assert_eq!(s1.mean(), 3.0);
+        assert_eq!(s1.variance(), 0.0);
+    }
+
+    #[test]
+    fn rms_of_errors() {
+        let mut s = RunningStats::new();
+        for e in [3.0, -4.0] {
+            s.push(e);
+        }
+        // RMSE of {3, -4} = sqrt((9+16)/2) = sqrt(12.5)
+        assert!((s.rms() - 12.5_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.1);
+        for _ in 0..200 {
+            e.push(7.0);
+        }
+        assert!((e.value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_bias_correction_on_first_sample() {
+        let mut e = Ewma::new(0.01);
+        e.push(10.0);
+        // Without bias correction this would read 0.1; corrected it reads 10.
+        assert!((e.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn normal_log_pdf_peak_and_symmetry() {
+        let p0 = normal_log_pdf(0.0, 0.0, 1.0);
+        assert!((p0 - (-0.5 * core::f64::consts::TAU.ln())).abs() < 1e-12);
+        assert_eq!(normal_log_pdf(1.0, 0.0, 1.0), normal_log_pdf(-1.0, 0.0, 1.0));
+        assert!(normal_log_pdf(0.0, 0.0, 1.0) > normal_log_pdf(2.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn chi2_table_monotone() {
+        for dof in 1..10 {
+            assert!(chi2_95(dof + 1) > chi2_95(dof));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dof")]
+    fn chi2_out_of_range() {
+        let _ = chi2_95(11);
+    }
+}

@@ -1,0 +1,464 @@
+//! Unscented Kalman Filter: derivative-free nonlinear filtering.
+//!
+//! The EKF linearises with Jacobians the model author must derive by hand;
+//! the UKF propagates a deterministic set of *sigma points* through the raw
+//! nonlinear functions instead (the unscented transform), capturing the
+//! posterior mean and covariance to second order with no derivatives. For
+//! stream models whose Jacobians are error-prone (range/bearing sensors,
+//! coordinated turns) the UKF is the safer default — and it reuses the same
+//! [`NonlinearModel`] trait, ignoring the Jacobian methods.
+
+use kalstream_linalg::{Matrix, Vector};
+
+use crate::{FilterError, NonlinearModel, Result, UpdateOutcome};
+
+/// Standard scaled-unscented-transform parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UkfConfig {
+    /// Spread of the sigma points around the mean (`1e-3 ≤ α ≤ 1` typical).
+    pub alpha: f64,
+    /// Prior-knowledge parameter (`β = 2` optimal for Gaussian posteriors).
+    pub beta: f64,
+    /// Secondary scaling (`κ = 0` typical; `3 − n` classic).
+    pub kappa: f64,
+}
+
+impl Default for UkfConfig {
+    fn default() -> Self {
+        UkfConfig { alpha: 1e-1, beta: 2.0, kappa: 0.0 }
+    }
+}
+
+/// Unscented Kalman filter over a [`NonlinearModel`].
+///
+/// Shares the determinism and `Clone` requirements of the other filters, so
+/// it can serve as the cached dynamic procedure of a suppression session.
+#[derive(Debug, Clone)]
+pub struct UnscentedKalmanFilter<M: NonlinearModel> {
+    model: M,
+    config: UkfConfig,
+    x: Vector,
+    p: Matrix,
+    steps_since_update: u64,
+}
+
+impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
+    /// Creates a UKF with initial state `x0` and isotropic covariance
+    /// `p0 · I`.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] when `x0`'s dimension disagrees with the
+    /// model.
+    pub fn new(model: M, x0: Vector, p0: f64) -> Result<Self> {
+        Self::with_config(model, x0, p0, UkfConfig::default())
+    }
+
+    /// Creates a UKF with explicit unscented-transform parameters.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] on dimension mismatch.
+    pub fn with_config(model: M, x0: Vector, p0: f64, config: UkfConfig) -> Result<Self> {
+        let n = model.state_dim();
+        if x0.dim() != n {
+            return Err(FilterError::BadModel {
+                what: "x0",
+                expected: (n, 1),
+                actual: (x0.dim(), 1),
+            });
+        }
+        Ok(UnscentedKalmanFilter {
+            model,
+            config,
+            x: x0,
+            p: Matrix::scalar(n, p0),
+            steps_since_update: 0,
+        })
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> &Vector {
+        &self.x
+    }
+
+    /// Current estimate covariance.
+    pub fn covariance(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Predict steps since the last measurement update.
+    pub fn steps_since_update(&self) -> u64 {
+        self.steps_since_update
+    }
+
+    /// Overwrites the state — resynchronisation primitive.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] on shape mismatch.
+    pub fn set_state(&mut self, x: Vector, p: Matrix) -> Result<()> {
+        let n = self.model.state_dim();
+        if x.dim() != n {
+            return Err(FilterError::BadModel { what: "x0", expected: (n, 1), actual: (x.dim(), 1) });
+        }
+        if p.shape() != (n, n) {
+            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p.shape() });
+        }
+        self.x = x;
+        self.p = p;
+        self.steps_since_update = 0;
+        Ok(())
+    }
+
+    /// Sigma points of `N(x, P)` plus their mean/covariance weights.
+    ///
+    /// Returns `2n + 1` points: the mean, and the mean ± each column of the
+    /// scaled Cholesky factor of `P`.
+    fn sigma_points(&self) -> Result<(Vec<Vector>, Vec<f64>, Vec<f64>)> {
+        let n = self.model.state_dim();
+        let nf = n as f64;
+        let UkfConfig { alpha, beta, kappa } = self.config;
+        let lambda = alpha * alpha * (nf + kappa) - nf;
+        let scale = (nf + lambda).sqrt();
+
+        let chol = self.p.cholesky()?;
+        let l = chol.l();
+        let mut points = Vec::with_capacity(2 * n + 1);
+        points.push(self.x.clone());
+        for j in 0..n {
+            let col = l.col(j).scaled(scale);
+            points.push(&self.x + &col);
+            points.push(&self.x - &col);
+        }
+        let w0_mean = lambda / (nf + lambda);
+        let w0_cov = w0_mean + 1.0 - alpha * alpha + beta;
+        let wi = 0.5 / (nf + lambda);
+        let mut w_mean = vec![wi; 2 * n + 1];
+        let mut w_cov = vec![wi; 2 * n + 1];
+        w_mean[0] = w0_mean;
+        w_cov[0] = w0_cov;
+        Ok((points, w_mean, w_cov))
+    }
+
+    /// Time update via the unscented transform through `f`.
+    ///
+    /// # Errors
+    /// [`FilterError::Linalg`] when `P` loses positive definiteness;
+    /// [`FilterError::Diverged`] on non-finite results.
+    pub fn predict(&mut self) -> Result<()> {
+        let (points, w_mean, w_cov) = self.sigma_points()?;
+        let propagated: Vec<Vector> = points.iter().map(|s| self.model.f(s)).collect();
+        let (mean, mut cov) = weighted_moments(&propagated, &w_mean, &w_cov);
+        cov = &cov + self.model.q();
+        cov.symmetrize_mut();
+        self.x = mean;
+        self.p = cov;
+        self.steps_since_update += 1;
+        if !self.x.is_finite() {
+            return Err(FilterError::Diverged { what: "state" });
+        }
+        if !self.p.is_finite() {
+            return Err(FilterError::Diverged { what: "covariance" });
+        }
+        Ok(())
+    }
+
+    /// The measurement the filter expects right now: `ẑ = h(x)`.
+    pub fn predicted_measurement(&self) -> Vector {
+        self.model.h(&self.x)
+    }
+
+    /// Measurement update with observation `z`, via the unscented transform
+    /// through `h`.
+    ///
+    /// # Errors
+    /// [`FilterError::BadMeasurement`] on dimension mismatch;
+    /// [`FilterError::Linalg`] when an involved covariance is not PD.
+    pub fn update(&mut self, z: &Vector) -> Result<UpdateOutcome> {
+        let m = self.model.measurement_dim();
+        if z.dim() != m {
+            return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
+        }
+        let (points, w_mean, w_cov) = self.sigma_points()?;
+        let z_points: Vec<Vector> = points.iter().map(|s| self.model.h(s)).collect();
+        let (z_mean, mut s) = weighted_moments(&z_points, &w_mean, &w_cov);
+        s = &s + self.model.r();
+        s.symmetrize_mut();
+
+        // Cross covariance P_xz = Σ w (x_i − x̄)(z_i − z̄)ᵀ.
+        let n = self.model.state_dim();
+        let mut p_xz = Matrix::zeros(n, m);
+        for ((sx, sz), &w) in points.iter().zip(z_points.iter()).zip(w_cov.iter()) {
+            let dx = sx - &self.x;
+            let dz = sz - &z_mean;
+            for r in 0..n {
+                for c in 0..m {
+                    let v = p_xz.get(r, c) + w * dx[r] * dz[c];
+                    p_xz.set(r, c, v);
+                }
+            }
+        }
+
+        let chol = s.cholesky()?;
+        // K = P_xz S⁻¹, computed as (S⁻¹ P_xzᵀ)ᵀ.
+        let k = chol.solve_mat(&p_xz.transpose())?.transpose();
+        let innovation = z - &z_mean;
+        let correction = k.mul_vec(&innovation)?;
+        self.x = &self.x + &correction;
+        // P ← P − K S Kᵀ.
+        let ksk = k.matmul(&s)?.matmul(&k.transpose())?;
+        self.p = &self.p - &ksk;
+        self.p.symmetrize_mut();
+        self.steps_since_update = 0;
+
+        let s_inv_nu = chol.solve_vec(&innovation)?;
+        let nis = innovation.dot(&s_inv_nu)?;
+        let log_likelihood =
+            -0.5 * (nis + chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
+        Ok(UpdateOutcome { innovation, innovation_cov: s, nis, log_likelihood })
+    }
+
+    /// Convenience: predict then update.
+    ///
+    /// # Errors
+    /// Propagates stepping errors.
+    pub fn step(&mut self, z: &Vector) -> Result<UpdateOutcome> {
+        self.predict()?;
+        self.update(z)
+    }
+}
+
+/// Weighted sample mean and covariance of a sigma-point cloud.
+fn weighted_moments(points: &[Vector], w_mean: &[f64], w_cov: &[f64]) -> (Vector, Matrix) {
+    let dim = points[0].dim();
+    let mut mean = Vector::zeros(dim);
+    for (p, &w) in points.iter().zip(w_mean.iter()) {
+        mean.axpy(w, p).expect("uniform dimensions");
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    for (p, &w) in points.iter().zip(w_cov.iter()) {
+        let d = p - &mean;
+        for r in 0..dim {
+            for c in 0..dim {
+                let v = cov.get(r, c) + w * d[r] * d[c];
+                cov.set(r, c, v);
+            }
+        }
+    }
+    (mean, cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExtendedKalmanFilter, KalmanFilter, StateModel};
+
+    /// A *linear* model expressed through the nonlinear trait: on linear
+    /// models the UKF must agree with the plain KF (the unscented transform
+    /// is exact for linear functions).
+    #[derive(Debug, Clone)]
+    struct LinearCv {
+        f: Matrix,
+        h: Matrix,
+        q: Matrix,
+        r: Matrix,
+    }
+
+    impl LinearCv {
+        fn new() -> Self {
+            LinearCv {
+                f: Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+                h: Matrix::from_rows(&[&[1.0, 0.0]]),
+                q: Matrix::scalar(2, 0.01),
+                r: Matrix::scalar(1, 0.1),
+            }
+        }
+    }
+
+    impl NonlinearModel for LinearCv {
+        fn state_dim(&self) -> usize {
+            2
+        }
+        fn measurement_dim(&self) -> usize {
+            1
+        }
+        fn f(&self, x: &Vector) -> Vector {
+            self.f.mul_vec(x).unwrap()
+        }
+        fn f_jacobian(&self, _x: &Vector) -> Matrix {
+            self.f.clone()
+        }
+        fn h(&self, x: &Vector) -> Vector {
+            self.h.mul_vec(x).unwrap()
+        }
+        fn h_jacobian(&self, _x: &Vector) -> Matrix {
+            self.h.clone()
+        }
+        fn q(&self) -> &Matrix {
+            &self.q
+        }
+        fn r(&self) -> &Matrix {
+            &self.r
+        }
+    }
+
+    /// Range sensor: observes the *distance* of a 1-D position from the
+    /// origin plus a bias state — genuinely nonlinear in the state.
+    #[derive(Debug, Clone)]
+    struct RangeSensor {
+        q: Matrix,
+        r: Matrix,
+    }
+
+    impl RangeSensor {
+        fn new() -> Self {
+            RangeSensor { q: Matrix::from_diag(&[0.01, 1e-6]), r: Matrix::scalar(1, 0.01) }
+        }
+    }
+
+    impl NonlinearModel for RangeSensor {
+        fn state_dim(&self) -> usize {
+            2 // [position, velocity]
+        }
+        fn measurement_dim(&self) -> usize {
+            1
+        }
+        fn f(&self, x: &Vector) -> Vector {
+            Vector::from_slice(&[x[0] + x[1], x[1]])
+        }
+        fn f_jacobian(&self, _x: &Vector) -> Matrix {
+            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]])
+        }
+        fn h(&self, x: &Vector) -> Vector {
+            // Range to origin, softened so it stays differentiable at 0.
+            Vector::from_slice(&[(x[0] * x[0] + 1.0).sqrt()])
+        }
+        fn h_jacobian(&self, x: &Vector) -> Matrix {
+            let d = (x[0] * x[0] + 1.0).sqrt();
+            Matrix::from_rows(&[&[x[0] / d, 0.0]])
+        }
+        fn q(&self) -> &Matrix {
+            &self.q
+        }
+        fn r(&self) -> &Matrix {
+            &self.r
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(UnscentedKalmanFilter::new(LinearCv::new(), Vector::zeros(3), 1.0).is_err());
+        let mut ukf = UnscentedKalmanFilter::new(LinearCv::new(), Vector::zeros(2), 1.0).unwrap();
+        assert!(ukf.set_state(Vector::zeros(1), Matrix::scalar(2, 1.0)).is_err());
+        assert!(ukf.set_state(Vector::zeros(2), Matrix::scalar(3, 1.0)).is_err());
+        assert!(ukf.update(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn matches_linear_kf_on_linear_model() {
+        let lin = LinearCv::new();
+        let model = StateModel::new(
+            "cv",
+            lin.f.clone(),
+            lin.q.clone(),
+            lin.h.clone(),
+            lin.r.clone(),
+        )
+        .unwrap();
+        let mut kf = KalmanFilter::new(model, Vector::zeros(2), 1.0).unwrap();
+        let mut ukf = UnscentedKalmanFilter::new(lin, Vector::zeros(2), 1.0).unwrap();
+        for t in 0..100 {
+            let z = Vector::from_slice(&[0.3 * t as f64 + (t as f64 * 0.5).sin()]);
+            kf.step(&z).unwrap();
+            ukf.step(&z).unwrap();
+        }
+        // The unscented transform is exact for linear dynamics: agreement to
+        // numerical precision.
+        assert!(kf.state().max_abs_diff(ukf.state()) < 1e-8, "state diverged");
+        assert!(kf.covariance().max_abs_diff(ukf.covariance()) < 1e-8, "cov diverged");
+    }
+
+    #[test]
+    fn tracks_through_nonlinear_range_measurements() {
+        let mut ukf = UnscentedKalmanFilter::new(
+            RangeSensor::new(),
+            Vector::from_slice(&[3.0, 0.0]),
+            1.0,
+        )
+        .unwrap();
+        // True trajectory: position from 3 to 23 at velocity 0.2.
+        let mut pos: f64 = 3.0;
+        for _ in 0..100 {
+            pos += 0.2;
+            let z = Vector::from_slice(&[(pos * pos + 1.0).sqrt()]);
+            ukf.step(&z).unwrap();
+        }
+        assert!((ukf.state()[0] - pos).abs() < 0.3, "pos est {} true {pos}", ukf.state()[0]);
+        assert!((ukf.state()[1] - 0.2).abs() < 0.05, "vel est {}", ukf.state()[1]);
+    }
+
+    #[test]
+    fn comparable_to_ekf_on_mild_nonlinearity() {
+        let mut ukf = UnscentedKalmanFilter::new(
+            RangeSensor::new(),
+            Vector::from_slice(&[3.0, 0.0]),
+            1.0,
+        )
+        .unwrap();
+        let mut ekf =
+            ExtendedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[3.0, 0.0]), 1.0)
+                .unwrap();
+        let mut pos: f64 = 3.0;
+        let mut ukf_err = 0.0;
+        let mut ekf_err = 0.0;
+        for _ in 0..200 {
+            pos += 0.1;
+            let z = Vector::from_slice(&[(pos * pos + 1.0).sqrt()]);
+            ukf.step(&z).unwrap();
+            ekf.step(&z).unwrap();
+            ukf_err += (ukf.state()[0] - pos).abs();
+            ekf_err += (ekf.state()[0] - pos).abs();
+        }
+        // Neither should be wildly worse than the other on this mild case.
+        assert!(ukf_err < 2.0 * ekf_err + 1.0, "ukf {ukf_err} vs ekf {ekf_err}");
+        assert!(ekf_err < 2.0 * ukf_err + 1.0, "ekf {ekf_err} vs ukf {ukf_err}");
+    }
+
+    #[test]
+    fn covariance_stays_positive_definite() {
+        let mut ukf = UnscentedKalmanFilter::new(
+            RangeSensor::new(),
+            Vector::from_slice(&[1.0, 0.1]),
+            0.5,
+        )
+        .unwrap();
+        let mut pos: f64 = 1.0;
+        for t in 0..500 {
+            pos += 0.05;
+            if t % 3 == 0 {
+                let z = Vector::from_slice(&[(pos * pos + 1.0).sqrt()]);
+                ukf.step(&z).unwrap();
+            } else {
+                ukf.predict().unwrap();
+            }
+            assert!(ukf.covariance().cholesky().is_ok(), "lost PD at step {t}");
+        }
+        assert!(ukf.steps_since_update() <= 2);
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let mut a = UnscentedKalmanFilter::new(
+            RangeSensor::new(),
+            Vector::from_slice(&[2.0, 0.0]),
+            1.0,
+        )
+        .unwrap();
+        let mut b = a.clone();
+        for t in 0..100 {
+            let z = Vector::from_slice(&[2.0 + (t as f64 * 0.1).sin()]);
+            a.step(&z).unwrap();
+            b.step(&z).unwrap();
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.covariance(), b.covariance());
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated GPS track: 2-D random-waypoint mobility.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Random-waypoint mobility in a square arena:
+///
+/// the object picks a uniform random waypoint and a uniform random speed,
+/// moves straight toward it, pauses briefly on arrival, then repeats. The
+/// GPS receiver observes position with isotropic Gaussian error.
+///
+/// The F4 workload (object tracking): long constant-velocity legs —
+/// perfect for a CV model — punctuated by turns that force resyncs.
+#[derive(Debug, Clone)]
+pub struct GpsTrack {
+    pos: [f64; 2],
+    waypoint: [f64; 2],
+    speed: f64,
+    pause_left: u64,
+    arena: f64,
+    speed_range: (f64, f64),
+    pause_ticks: u64,
+    gps_noise: Normal,
+    rng: SmallRng,
+}
+
+impl GpsTrack {
+    /// Creates a track in an `arena × arena` square with speeds drawn from
+    /// `speed_range` (units per tick), `pause_ticks` dwell at each waypoint,
+    /// GPS error std `gps_noise` per axis, and RNG `seed`.
+    ///
+    /// # Panics
+    /// Panics when the arena is non-positive or the speed range is invalid.
+    pub fn new(
+        arena: f64,
+        speed_range: (f64, f64),
+        pause_ticks: u64,
+        gps_noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(arena > 0.0, "arena must be positive");
+        assert!(
+            speed_range.0 > 0.0 && speed_range.1 >= speed_range.0,
+            "speed range must be positive and ordered"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pos = [arena * rng.random::<f64>(), arena * rng.random::<f64>()];
+        let waypoint = [arena * rng.random::<f64>(), arena * rng.random::<f64>()];
+        let speed =
+            speed_range.0 + (speed_range.1 - speed_range.0) * rng.random::<f64>();
+        GpsTrack {
+            pos,
+            waypoint,
+            speed,
+            pause_left: 0,
+            arena,
+            speed_range,
+            pause_ticks,
+            gps_noise: Normal::new(0.0, gps_noise),
+            rng,
+        }
+    }
+
+    /// A pedestrian preset: 1 km arena, 1–2 m/tick walking speed, brief
+    /// pauses, 3 m GPS error.
+    pub fn pedestrian_default(seed: u64) -> Self {
+        GpsTrack::new(1000.0, (1.0, 2.0), 30, 3.0, seed)
+    }
+
+    fn pick_next_leg(&mut self) {
+        self.waypoint =
+            [self.arena * self.rng.random::<f64>(), self.arena * self.rng.random::<f64>()];
+        self.speed = self.speed_range.0
+            + (self.speed_range.1 - self.speed_range.0) * self.rng.random::<f64>();
+        self.pause_left = self.pause_ticks;
+    }
+}
+
+impl Stream for GpsTrack {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "gps_track"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        if self.pause_left > 0 {
+            self.pause_left -= 1;
+        } else {
+            let dx = self.waypoint[0] - self.pos[0];
+            let dy = self.waypoint[1] - self.pos[1];
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= self.speed {
+                self.pos = self.waypoint;
+                self.pick_next_leg();
+            } else {
+                self.pos[0] += self.speed * dx / dist;
+                self.pos[1] += self.speed * dy / dist;
+            }
+        }
+        truth[0] = self.pos[0];
+        truth[1] = self.pos[1];
+        observed[0] = self.pos[0] + self.gps_noise.sample(&mut self.rng);
+        observed[1] = self.pos[1] + self.gps_noise.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_arena() {
+        let mut g = GpsTrack::new(100.0, (1.0, 3.0), 5, 0.0, 51);
+        let (_, truth) = g.collect(10_000);
+        for pair in truth.chunks(2) {
+            assert!(pair[0] >= -1e-9 && pair[0] <= 100.0 + 1e-9);
+            assert!(pair[1] >= -1e-9 && pair[1] <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn speed_is_bounded() {
+        let mut g = GpsTrack::new(1000.0, (2.0, 4.0), 0, 0.0, 52);
+        let (_, truth) = g.collect(5_000);
+        for w in truth.chunks(2).collect::<Vec<_>>().windows(2) {
+            let dx = w[1][0] - w[0][0];
+            let dy = w[1][1] - w[0][1];
+            let step = (dx * dx + dy * dy).sqrt();
+            assert!(step <= 4.0 + 1e-9, "step {step}");
+        }
+    }
+
+    #[test]
+    fn pauses_hold_position() {
+        let mut g = GpsTrack::new(100.0, (50.0, 60.0), 10, 0.0, 53);
+        // Huge speed => reaches waypoints fast, then pauses 10 ticks.
+        let (_, truth) = g.collect(200);
+        let mut repeats = 0;
+        for w in truth.chunks(2).collect::<Vec<_>>().windows(2) {
+            if w[0] == w[1] {
+                repeats += 1;
+            }
+        }
+        assert!(repeats >= 10, "no pause detected");
+    }
+
+    #[test]
+    fn gps_noise_scale() {
+        let mut g = GpsTrack::new(1000.0, (1.0, 1.5), 0, 5.0, 54);
+        let (obs, truth) = g.collect(20_000);
+        let mse: f64 = obs
+            .iter()
+            .zip(truth.iter())
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / obs.len() as f64;
+        assert!((mse.sqrt() - 5.0).abs() < 0.2, "gps std {}", mse.sqrt());
+    }
+
+    #[test]
+    fn dim_is_two() {
+        let g = GpsTrack::pedestrian_default(55);
+        assert_eq!(g.dim(), 2);
+        assert_eq!(g.name(), "gps_track");
+    }
+}

@@ -1,0 +1,16 @@
+//! Simulated domain traces standing in for the paper's real-world streams.
+//!
+//! Substitution note (see DESIGN.md §2): the original evaluation used
+//! proprietary traces. Each simulator here reproduces the *dynamical regime*
+//! of its domain — which is what determines filter behaviour and message
+//! counts — rather than any particular historical series.
+
+mod gps;
+mod network;
+mod stock;
+mod temperature;
+
+pub use gps::GpsTrack;
+pub use network::NetworkRtt;
+pub use stock::StockTicker;
+pub use temperature::TemperatureSensor;

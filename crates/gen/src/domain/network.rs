@@ -1,0 +1,158 @@
+//! Simulated network round-trip time: base load + Pareto congestion spikes.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dist::{Exponential, Normal, Pareto};
+use crate::Stream;
+
+/// RTT stream with three regimes layered together:
+///
+/// * a slowly wandering **base latency** (AR(1) around `base_ms`);
+/// * **congestion episodes**: arriving as a Poisson process, each adds a
+///   Pareto-sized spike that decays geometrically — producing the bursty,
+///   heavy-tailed shape of real RTT traces;
+/// * additive **measurement jitter**.
+///
+/// The hostile workload for every smooth predictor: the interesting question
+/// an experiment asks is how *few* extra messages the filter pays per burst.
+#[derive(Debug, Clone)]
+pub struct NetworkRtt {
+    base: f64,
+    base_level: f64,
+    phi: f64,
+    base_noise: Normal,
+    episode_arrival: Exponential,
+    ticks_to_episode: f64,
+    spike_size: Pareto,
+    spike: f64,
+    spike_decay: f64,
+    jitter: Normal,
+    rng: SmallRng,
+}
+
+impl NetworkRtt {
+    /// Creates an RTT stream.
+    ///
+    /// * `base_ms` — long-run base latency.
+    /// * `episodes_per_tick` — Poisson rate of congestion episodes.
+    /// * `spike_alpha` — Pareto tail index of spike magnitudes (≈1.5 = heavy).
+    /// * `spike_decay` — per-tick geometric decay of an active spike, in `(0,1)`.
+    /// * `jitter_ms` — measurement jitter std.
+    /// * `seed` — RNG seed.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn new(
+        base_ms: f64,
+        episodes_per_tick: f64,
+        spike_alpha: f64,
+        spike_decay: f64,
+        jitter_ms: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(base_ms > 0.0, "base latency must be positive");
+        assert!((0.0..1.0).contains(&spike_decay), "spike_decay must be in [0, 1)");
+        let episode_arrival = Exponential::new(episodes_per_tick);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = episode_arrival.sample(&mut rng);
+        NetworkRtt {
+            base: base_ms,
+            base_level: base_ms,
+            phi: 0.999,
+            base_noise: Normal::new(0.0, base_ms * 0.002),
+            episode_arrival,
+            ticks_to_episode: first,
+            spike_size: Pareto::new(base_ms * 0.5, spike_alpha),
+            spike: 0.0,
+            spike_decay,
+            jitter: Normal::new(0.0, jitter_ms),
+            rng,
+        }
+    }
+
+    /// A WAN-path preset: 40 ms base, one episode per ~500 ticks, heavy
+    /// tail, fast decay, 0.5 ms jitter.
+    pub fn wan_default(seed: u64) -> Self {
+        NetworkRtt::new(40.0, 0.002, 1.5, 0.7, 0.5, seed)
+    }
+}
+
+impl Stream for NetworkRtt {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "network_rtt"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        // Base latency wanders around base_ms.
+        self.base_level = self.base + self.phi * (self.base_level - self.base)
+            + self.base_noise.sample(&mut self.rng);
+        // Congestion episodes.
+        self.ticks_to_episode -= 1.0;
+        if self.ticks_to_episode <= 0.0 {
+            self.spike += self.spike_size.sample(&mut self.rng);
+            self.ticks_to_episode = self.episode_arrival.sample(&mut self.rng);
+        }
+        self.spike *= self.spike_decay;
+        let signal = self.base_level + self.spike;
+        truth[0] = signal;
+        // Jitter can't push RTT below a physical floor.
+        let j = self.jitter.sample(&mut self.rng);
+        observed[0] = (signal + j).max(0.1);
+        let _ = self.rng.random::<u32>(); // decorrelate episode phase from jitter draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_always_positive() {
+        let mut s = NetworkRtt::wan_default(41);
+        let (obs, truth) = s.collect(20_000);
+        assert!(obs.iter().all(|&x| x > 0.0));
+        assert!(truth.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn spikes_occur_and_decay() {
+        let mut s = NetworkRtt::new(10.0, 0.01, 1.5, 0.5, 0.0, 42);
+        let (_, truth) = s.collect(20_000);
+        let max = truth.iter().fold(0.0_f64, |m, &x| m.max(x));
+        let median = {
+            let mut v = truth.clone();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(max > 2.0 * median, "no spikes: max {max} median {median}");
+        // Decay: after the global max, values fall back near the median
+        // within a few dozen ticks.
+        let argmax = truth
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        if argmax + 50 < truth.len() {
+            assert!(truth[argmax + 50] < median * 1.5);
+        }
+    }
+
+    #[test]
+    fn quiet_network_stays_near_base() {
+        let mut s = NetworkRtt::new(20.0, 1e-9, 2.0, 0.5, 0.0, 43);
+        let (_, truth) = s.collect(5_000);
+        assert!(truth.iter().all(|&x| (x - 20.0).abs() < 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_base() {
+        let _ = NetworkRtt::new(0.0, 0.01, 1.5, 0.5, 0.1, 44);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulated equity mid-price: geometric Brownian motion with jumps.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Geometric Brownian motion with Poisson jumps (Merton-style):
+///
+/// ```text
+/// price_{t+1} = price_t · exp((mu − sigma²/2) dt + sigma √dt N(0,1) + J_t)
+/// J_t = N(0, jump_std²) with probability jump_prob, else 0
+/// observed    = price + N(0, tick_noise²)     (microstructure/quote noise)
+/// ```
+///
+/// The F3 workload: prices drift and trend, occasionally gap — the regime
+/// where dead-reckoning overshoots on jumps and value caching chatters
+/// during trends.
+#[derive(Debug, Clone)]
+pub struct StockTicker {
+    price: f64,
+    drift_term: f64,
+    diffusion: Normal,
+    jump_prob: f64,
+    jump: Normal,
+    quote_noise: Normal,
+    rng: SmallRng,
+}
+
+impl StockTicker {
+    /// Creates a ticker starting at `price0` with annualised-style drift
+    /// `mu` and volatility `sigma` per unit time, time step `dt`, jump
+    /// probability `jump_prob` per tick with jump log-std `jump_std`,
+    /// quote noise std `tick_noise`, and RNG `seed`.
+    ///
+    /// # Panics
+    /// Panics when `price0 <= 0` or `jump_prob ∉ [0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        price0: f64,
+        mu: f64,
+        sigma: f64,
+        dt: f64,
+        jump_prob: f64,
+        jump_std: f64,
+        tick_noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(price0 > 0.0, "price must start positive");
+        assert!((0.0..=1.0).contains(&jump_prob), "jump_prob must be a probability");
+        StockTicker {
+            price: price0,
+            drift_term: (mu - 0.5 * sigma * sigma) * dt,
+            diffusion: Normal::new(0.0, sigma * dt.sqrt()),
+            jump_prob,
+            jump: Normal::new(0.0, jump_std),
+            quote_noise: Normal::new(0.0, tick_noise),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A liquid large-cap preset: gentle drift, 1% per-√tick vol, rare 2%
+    /// jumps, one-cent quote noise.
+    pub fn liquid_default(seed: u64) -> Self {
+        StockTicker::new(100.0, 0.0001, 0.01, 1.0, 0.002, 0.02, 0.01, seed)
+    }
+
+    /// Current true price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+}
+
+impl Stream for StockTicker {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "stock_ticker"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        let mut log_ret = self.drift_term + self.diffusion.sample(&mut self.rng);
+        if self.rng.random::<f64>() < self.jump_prob {
+            log_ret += self.jump.sample(&mut self.rng);
+        }
+        self.price *= log_ret.exp();
+        truth[0] = self.price;
+        observed[0] = self.price + self.quote_noise.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_stay_positive() {
+        let mut s = StockTicker::new(50.0, 0.0, 0.05, 1.0, 0.01, 0.1, 0.0, 21);
+        let (_, truth) = s.collect(10_000);
+        assert!(truth.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn zero_vol_zero_drift_is_constant() {
+        let mut s = StockTicker::new(100.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 22);
+        let (_, truth) = s.collect(10);
+        assert!(truth.iter().all(|&p| (p - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn drift_moves_log_price_linearly() {
+        let mu = 0.001;
+        let mut s = StockTicker::new(100.0, mu, 0.0, 1.0, 0.0, 0.0, 0.0, 23);
+        let (_, truth) = s.collect(1000);
+        let expected = 100.0 * (mu * 1000.0_f64).exp();
+        assert!((truth[999] - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn jumps_fatten_returns() {
+        // With frequent large jumps, the max |log return| must exceed what
+        // pure diffusion would produce.
+        let mut calm = StockTicker::new(100.0, 0.0, 0.01, 1.0, 0.0, 0.0, 0.0, 24);
+        let mut jumpy = StockTicker::new(100.0, 0.0, 0.01, 1.0, 0.05, 0.2, 0.0, 24);
+        let max_abs_ret = |truth: &[f64]| {
+            truth
+                .windows(2)
+                .map(|w| (w[1] / w[0]).ln().abs())
+                .fold(0.0_f64, f64::max)
+        };
+        let (_, t1) = calm.collect(5000);
+        let (_, t2) = jumpy.collect(5000);
+        assert!(max_abs_ret(&t2) > 2.0 * max_abs_ret(&t1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_price() {
+        let _ = StockTicker::new(0.0, 0.0, 0.01, 1.0, 0.0, 0.0, 0.0, 25);
+    }
+
+    #[test]
+    fn preset_is_reproducible() {
+        let mut a = StockTicker::liquid_default(9);
+        let mut b = StockTicker::liquid_default(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated outdoor temperature sensor: diurnal cycle + weather + noise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Outdoor temperature with three components:
+///
+/// ```text
+/// truth_t    = base + amplitude · sin(2π t / period) + weather_t
+/// weather_{t+1} = phi · weather_t + N(0, sigma_w²)      (AR(1) fronts)
+/// observed_t = truth_t + N(0, sigma_v²)                 (sensor noise)
+/// ```
+///
+/// The canonical environmental-sensor workload: strongly periodic with a
+/// slowly wandering offset, exactly where a harmonic+walk model bank shines.
+#[derive(Debug, Clone)]
+pub struct TemperatureSensor {
+    t: u64,
+    base: f64,
+    amplitude: f64,
+    period: f64,
+    weather: f64,
+    phi: f64,
+    front: Normal,
+    sensor: Normal,
+    rng: SmallRng,
+}
+
+impl TemperatureSensor {
+    /// Creates a sensor with mean temperature `base`, diurnal swing
+    /// `amplitude`, cycle length `period` ticks, weather persistence
+    /// `phi ∈ [0, 1)`, weather innovation std `sigma_w`, sensor noise std
+    /// `sigma_v`, and RNG `seed`.
+    ///
+    /// # Panics
+    /// Panics when `period <= 0` or `phi ∉ [0, 1)`.
+    pub fn new(
+        base: f64,
+        amplitude: f64,
+        period: f64,
+        phi: f64,
+        sigma_w: f64,
+        sigma_v: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!((0.0..1.0).contains(&phi), "phi must be in [0, 1)");
+        TemperatureSensor {
+            t: 0,
+            base,
+            amplitude,
+            period,
+            weather: 0.0,
+            phi,
+            front: Normal::new(0.0, sigma_w),
+            sensor: Normal::new(0.0, sigma_v),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A temperate-climate preset: 15 °C mean, ±8 °C swing over a 1440-tick
+    /// (minute-resolution) day, slow fronts, 0.2 °C sensor noise.
+    pub fn outdoor_default(seed: u64) -> Self {
+        TemperatureSensor::new(15.0, 8.0, 1440.0, 0.999, 0.05, 0.2, seed)
+    }
+}
+
+impl Stream for TemperatureSensor {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "temperature"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        self.weather = self.phi * self.weather + self.front.sample(&mut self.rng);
+        let diurnal =
+            self.amplitude * (core::f64::consts::TAU * self.t as f64 / self.period).sin();
+        let signal = self.base + diurnal + self.weather;
+        self.t += 1;
+        truth[0] = signal;
+        observed[0] = signal + self.sensor.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_plausible_range() {
+        let mut s = TemperatureSensor::outdoor_default(31);
+        let (_, truth) = s.collect(10_000);
+        assert!(truth.iter().all(|&x| x > -30.0 && x < 60.0));
+    }
+
+    #[test]
+    fn diurnal_cycle_visible() {
+        // Without weather or noise, values one period apart are equal.
+        let mut s = TemperatureSensor::new(10.0, 5.0, 100.0, 0.0, 0.0, 0.0, 32);
+        let (_, truth) = s.collect(200);
+        for i in 0..100 {
+            assert!((truth[i] - truth[i + 100]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weather_wanders_slowly() {
+        let mut s = TemperatureSensor::new(0.0, 0.0, 100.0, 0.99, 0.5, 0.0, 33);
+        let (_, truth) = s.collect(5000);
+        // AR(1) with phi=0.99 must be strongly autocorrelated: adjacent ticks
+        // differ far less than distant ones on average.
+        let adj: f64 = truth.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / 4999.0;
+        let far: f64 = (0..4000).map(|i| (truth[i + 1000] - truth[i]).abs()).sum::<f64>() / 4000.0;
+        assert!(far > 3.0 * adj, "adjacent {adj} vs far {far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn rejects_bad_period() {
+        let _ = TemperatureSensor::new(0.0, 1.0, 0.0, 0.5, 0.1, 0.1, 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn rejects_bad_phi() {
+        let _ = TemperatureSensor::new(0.0, 1.0, 10.0, 1.0, 0.1, 0.1, 35);
+    }
+}

@@ -1,0 +1,40 @@
+//! # kalstream-gen
+//!
+//! Stream generators for the evaluation workloads.
+//!
+//! The paper evaluates on "both synthetic and real-world streams". The
+//! real-world traces (stock tickers, sensor feeds, object trajectories) are
+//! not redistributable, so this crate provides **simulated domain traces**
+//! with the same dynamical regimes — drift, bursts, periodicity, mean
+//! reversion, regime changes — plus the classic synthetic processes. Every
+//! generator:
+//!
+//! * implements the [`Stream`] trait (pull-based, allocation-free sampling
+//!   via [`Stream::next_into`]);
+//! * owns its own seeded RNG, so a `(generator, seed)` pair is a fully
+//!   reproducible workload — experiments cite seeds, and reruns are exact;
+//! * separates **process noise** (the true signal's randomness) from
+//!   **measurement noise** (the sensor's), exposing ground truth alongside
+//!   the noisy observation so experiments can score server-side error
+//!   against the truth.
+//!
+//! ```
+//! use kalstream_gen::{synthetic::RandomWalk, Stream};
+//!
+//! let mut walk = RandomWalk::new(0.0, 0.0, 0.1, 0.05, 42);
+//! let sample = walk.next_sample();
+//! assert_eq!(sample.observed.len(), 1);
+//! assert_eq!(sample.truth.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod domain;
+mod stream;
+pub mod synthetic;
+mod trace;
+
+pub use stream::{Sample, Stream};
+pub use trace::{Trace, TraceError, TraceReplay};

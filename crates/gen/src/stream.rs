@@ -1,0 +1,119 @@
+//! The pull-based stream abstraction every generator implements.
+
+/// One stream sample: the noisy observation the "sensor" reports, plus the
+/// noiseless ground truth used for error accounting in experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The observed (noisy) measurement, one value per dimension.
+    pub observed: Vec<f64>,
+    /// The true underlying signal, one value per dimension.
+    pub truth: Vec<f64>,
+}
+
+impl Sample {
+    /// Builds a scalar sample.
+    pub fn scalar(observed: f64, truth: f64) -> Self {
+        Sample { observed: vec![observed], truth: vec![truth] }
+    }
+}
+
+/// A pull-based data stream producing one sample per tick.
+///
+/// Implementations own their RNG state: constructing the same generator with
+/// the same seed replays the same stream, which is how every experiment in
+/// `EXPERIMENTS.md` stays reproducible.
+pub trait Stream {
+    /// Number of values per sample (1 for scalar streams, 2 for GPS).
+    fn dim(&self) -> usize;
+
+    /// Short stable identifier used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Writes the next observation into `observed` and the ground truth into
+    /// `truth`, both of length [`Stream::dim`]. Allocation-free hot path.
+    ///
+    /// # Panics
+    /// Implementations may panic when the slices are shorter than `dim()`.
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]);
+
+    /// Allocating convenience wrapper over [`Stream::next_into`].
+    fn next_sample(&mut self) -> Sample {
+        let d = self.dim();
+        let mut s = Sample { observed: vec![0.0; d], truth: vec![0.0; d] };
+        self.next_into(&mut s.observed, &mut s.truth);
+        s
+    }
+
+    /// Collects `n` samples into parallel (observed, truth) vectors of
+    /// flattened row-major values.
+    fn collect(&mut self, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        let mut obs = vec![0.0; n * d];
+        let mut tru = vec![0.0; n * d];
+        for i in 0..n {
+            let (o, t) = (&mut obs[i * d..(i + 1) * d], &mut tru[i * d..(i + 1) * d]);
+            self.next_into(o, t);
+        }
+        (obs, tru)
+    }
+}
+
+/// Blanket impl so `Box<dyn Stream>` composes (used by the regime-switching
+/// generator and the simulator's heterogeneous fleets).
+impl Stream for Box<dyn Stream + Send> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        (**self).next_into(observed, truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        v: f64,
+    }
+
+    impl Stream for Counter {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+            self.v += 1.0;
+            observed[0] = self.v;
+            truth[0] = self.v;
+        }
+    }
+
+    #[test]
+    fn next_sample_wraps_next_into() {
+        let mut c = Counter { v: 0.0 };
+        assert_eq!(c.next_sample(), Sample::scalar(1.0, 1.0));
+        assert_eq!(c.next_sample(), Sample::scalar(2.0, 2.0));
+    }
+
+    #[test]
+    fn collect_flattens() {
+        let mut c = Counter { v: 0.0 };
+        let (obs, tru) = c.collect(3);
+        assert_eq!(obs, vec![1.0, 2.0, 3.0]);
+        assert_eq!(tru, obs);
+    }
+
+    #[test]
+    fn boxed_stream_delegates() {
+        let mut b: Box<dyn Stream + Send> = Box::new(Counter { v: 10.0 });
+        assert_eq!(b.dim(), 1);
+        assert_eq!(b.name(), "counter");
+        assert_eq!(b.next_sample().observed[0], 11.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic stochastic processes with controllable dynamics.
+//!
+//! These are the "knob" workloads of the evaluation: each exposes exactly the
+//! parameter an experiment sweeps (drift, noise level, frequency, slope,
+//! regime schedule) with everything else held fixed.
+
+mod ou;
+mod ramp;
+mod random_walk;
+mod regime;
+mod sinusoid;
+
+pub use ou::OrnsteinUhlenbeck;
+pub use ramp::Ramp;
+pub use random_walk::RandomWalk;
+pub use regime::RegimeSwitching;
+pub use sinusoid::Sinusoid;

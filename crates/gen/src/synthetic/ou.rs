@@ -1,0 +1,102 @@
+//! Ornstein–Uhlenbeck (mean-reverting) process.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Discretised Ornstein–Uhlenbeck process:
+///
+/// ```text
+/// x_{t+1} = x_t + theta · (mu − x_t) · dt + sigma · √dt · N(0,1)   (truth)
+/// observed = truth + N(0, sigma_v²)
+/// ```
+///
+/// Mean-reverting streams: queue lengths, load averages, interest rates.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    x: f64,
+    theta: f64,
+    mu: f64,
+    diffusion: Normal,
+    sensor: Normal,
+    rng: SmallRng,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates an OU process starting at `x0` with reversion speed `theta`,
+    /// long-run mean `mu`, diffusion `sigma`, step `dt`, sensor noise std
+    /// `sigma_v`, and RNG `seed`.
+    ///
+    /// # Panics
+    /// Panics when `theta·dt ≥ 2` (the Euler discretisation would diverge).
+    pub fn new(x0: f64, theta: f64, mu: f64, sigma: f64, dt: f64, sigma_v: f64, seed: u64) -> Self {
+        assert!(theta * dt < 2.0, "theta*dt must be < 2 for a stable discretisation");
+        OrnsteinUhlenbeck {
+            x: x0,
+            theta: theta * dt,
+            mu,
+            diffusion: Normal::new(0.0, sigma * dt.sqrt()),
+            sensor: Normal::new(0.0, sigma_v),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Stream for OrnsteinUhlenbeck {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "ornstein_uhlenbeck"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        self.x += self.theta * (self.mu - self.x) + self.diffusion.sample(&mut self.rng);
+        truth[0] = self.x;
+        observed[0] = self.x + self.sensor.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverts_to_mean() {
+        let mut ou = OrnsteinUhlenbeck::new(100.0, 0.5, 10.0, 0.1, 1.0, 0.0, 11);
+        let (_, truth) = ou.collect(200);
+        let tail_mean: f64 = truth[150..].iter().sum::<f64>() / 50.0;
+        assert!((tail_mean - 10.0).abs() < 1.0, "tail mean {tail_mean}");
+    }
+
+    #[test]
+    fn stationary_variance_is_bounded() {
+        // Var_inf = sigma² / (2 theta) = 4 / 1 = 4 for sigma=2, theta=0.5.
+        let mut ou = OrnsteinUhlenbeck::new(0.0, 0.5, 0.0, 2.0, 1.0, 0.0, 12);
+        let (_, truth) = ou.collect(40_000);
+        let tail = &truth[1000..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var: f64 =
+            tail.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / tail.len() as f64;
+        // Euler discretisation inflates this slightly; generous band.
+        assert!(var > 2.0 && var < 8.0, "stationary var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stable")]
+    fn rejects_unstable_discretisation() {
+        let _ = OrnsteinUhlenbeck::new(0.0, 3.0, 0.0, 1.0, 1.0, 0.0, 13);
+    }
+
+    #[test]
+    fn reproducible() {
+        let mut a = OrnsteinUhlenbeck::new(1.0, 0.2, 0.0, 1.0, 1.0, 0.1, 14);
+        let mut b = OrnsteinUhlenbeck::new(1.0, 0.2, 0.0, 1.0, 1.0, 0.1, 14);
+        for _ in 0..20 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Linear ramp — the trending workload.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Linear trend with sensor noise:
+///
+/// ```text
+/// truth_t    = level0 + slope · t
+/// observed_t = truth_t + N(0, sigma_v²)
+/// ```
+///
+/// The simplest stream on which value-caching baselines pay one message per
+/// `δ/slope` ticks forever while a constant-velocity filter pays only for
+/// lock-in.
+#[derive(Debug, Clone)]
+pub struct Ramp {
+    t: u64,
+    level0: f64,
+    slope: f64,
+    sensor: Normal,
+    rng: SmallRng,
+}
+
+impl Ramp {
+    /// Creates a ramp starting at `level0` rising `slope` per tick with
+    /// sensor-noise std `sigma_v` and RNG `seed`.
+    pub fn new(level0: f64, slope: f64, sigma_v: f64, seed: u64) -> Self {
+        Ramp {
+            t: 0,
+            level0,
+            slope,
+            sensor: Normal::new(0.0, sigma_v),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Slope per tick.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+}
+
+impl Stream for Ramp {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "ramp"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        let signal = self.level0 + self.slope * self.t as f64;
+        self.t += 1;
+        truth[0] = signal;
+        observed[0] = signal + self.sensor.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_ramp_is_exact() {
+        let mut r = Ramp::new(10.0, 0.25, 0.0, 1);
+        let (_, truth) = r.collect(5);
+        assert_eq!(truth, vec![10.0, 10.25, 10.5, 10.75, 11.0]);
+    }
+
+    #[test]
+    fn noise_does_not_touch_truth() {
+        let mut r = Ramp::new(0.0, 1.0, 5.0, 2);
+        let s = r.next_sample();
+        assert_eq!(s.truth[0], 0.0);
+        assert_ne!(s.observed[0], s.truth[0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random walk with drift and sensor noise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Scalar random walk with drift:
+///
+/// ```text
+/// level_{t+1} = level_t + drift + N(0, sigma_w²)      (truth)
+/// observed_t  = level_t + N(0, sigma_v²)              (sensor)
+/// ```
+///
+/// The F1 workload. `sigma_w` controls how fast the signal moves (how hard
+/// suppression is); `sigma_v` controls sensor noise (what the adaptive-R
+/// experiment sweeps).
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    level: f64,
+    drift: f64,
+    process: Normal,
+    sensor: Normal,
+    rng: SmallRng,
+}
+
+impl RandomWalk {
+    /// Creates a walk starting at `level` with per-step `drift`, process-noise
+    /// std `sigma_w`, measurement-noise std `sigma_v`, and RNG `seed`.
+    pub fn new(level: f64, drift: f64, sigma_w: f64, sigma_v: f64, seed: u64) -> Self {
+        RandomWalk {
+            level,
+            drift,
+            process: Normal::new(0.0, sigma_w),
+            sensor: Normal::new(0.0, sigma_v),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Process-noise standard deviation.
+    pub fn sigma_w(&self) -> f64 {
+        self.process.std()
+    }
+
+    /// Measurement-noise standard deviation.
+    pub fn sigma_v(&self) -> f64 {
+        self.sensor.std()
+    }
+}
+
+impl Stream for RandomWalk {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "random_walk"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        self.level += self.drift + self.process.sample(&mut self.rng);
+        truth[0] = self.level;
+        observed[0] = self.level + self.sensor.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = RandomWalk::new(0.0, 0.0, 1.0, 0.1, 7);
+        let mut b = RandomWalk::new(0.0, 0.0, 1.0, 0.1, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RandomWalk::new(0.0, 0.0, 1.0, 0.1, 1);
+        let mut b = RandomWalk::new(0.0, 0.0, 1.0, 0.1, 2);
+        let sa: Vec<_> = (0..10).map(|_| a.next_sample().observed[0]).collect();
+        let sb: Vec<_> = (0..10).map(|_| b.next_sample().observed[0]).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn drift_dominates_over_time() {
+        let mut w = RandomWalk::new(0.0, 1.0, 0.01, 0.0, 3);
+        let (_, truth) = w.collect(1000);
+        let last = truth[999];
+        assert!((last - 1000.0).abs() < 10.0, "last {last}");
+    }
+
+    #[test]
+    fn zero_noise_walk_is_pure_drift() {
+        let mut w = RandomWalk::new(5.0, 0.5, 0.0, 0.0, 4);
+        let s = w.next_sample();
+        assert_eq!(s.truth[0], 5.5);
+        assert_eq!(s.observed[0], 5.5);
+    }
+
+    #[test]
+    fn observation_noise_has_expected_scale() {
+        let mut w = RandomWalk::new(0.0, 0.0, 0.0, 2.0, 5);
+        let (obs, truth) = w.collect(20_000);
+        let mse: f64 = obs
+            .iter()
+            .zip(truth.iter())
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / obs.len() as f64;
+        assert!((mse.sqrt() - 2.0).abs() < 0.1, "sensor std {}", mse.sqrt());
+    }
+}

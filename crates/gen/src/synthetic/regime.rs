@@ -1,0 +1,167 @@
+//! Regime-switching composite stream — the time-variance workload.
+
+use crate::Stream;
+
+/// Chains several streams, switching between them on a fixed tick schedule,
+/// with continuity: each regime's output is offset so the composite signal
+/// has no artificial jump at the boundary (the *dynamics* change, not the
+/// level — exactly the condition the model bank must detect from innovation
+/// statistics rather than from an obvious discontinuity).
+///
+/// The F6 workload: walk → ramp → sinusoid with switches every few thousand
+/// ticks.
+pub struct RegimeSwitching {
+    regimes: Vec<(Box<dyn Stream + Send>, u64)>,
+    current: usize,
+    ticks_in_current: u64,
+    /// Offset applied to the current regime so the composite is continuous.
+    offset: f64,
+    /// Last composite truth value (to compute the next regime's offset).
+    last_truth: f64,
+    /// Whether any sample has been produced yet.
+    started: bool,
+    name: String,
+}
+
+impl RegimeSwitching {
+    /// Builds a composite from `(stream, duration_ticks)` pairs. After the
+    /// last regime expires the composite stays on it forever.
+    ///
+    /// # Panics
+    /// Panics when `regimes` is empty, any duration is zero, or any regime
+    /// is not scalar.
+    pub fn new(regimes: Vec<(Box<dyn Stream + Send>, u64)>) -> Self {
+        assert!(!regimes.is_empty(), "need at least one regime");
+        assert!(regimes.iter().all(|(_, d)| *d > 0), "durations must be positive");
+        assert!(
+            regimes.iter().all(|(s, _)| s.dim() == 1),
+            "regime switching supports scalar streams"
+        );
+        let name = format!(
+            "regime[{}]",
+            regimes.iter().map(|(s, _)| s.name()).collect::<Vec<_>>().join("->")
+        );
+        RegimeSwitching {
+            regimes,
+            current: 0,
+            ticks_in_current: 0,
+            offset: 0.0,
+            last_truth: 0.0,
+            started: false,
+            name,
+        }
+    }
+
+    /// Index of the active regime.
+    pub fn active_regime(&self) -> usize {
+        self.current
+    }
+}
+
+impl Stream for RegimeSwitching {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        // Advance regime if the current one expired (never past the last).
+        if self.current + 1 < self.regimes.len()
+            && self.ticks_in_current >= self.regimes[self.current].1
+        {
+            self.current += 1;
+            self.ticks_in_current = 0;
+            // Compute the new regime's first raw truth to splice levels.
+            let mut o = [0.0];
+            let mut t = [0.0];
+            self.regimes[self.current].0.next_into(&mut o, &mut t);
+            if self.started {
+                self.offset = self.last_truth - t[0];
+            }
+            self.ticks_in_current += 1;
+            self.last_truth = t[0] + self.offset;
+            truth[0] = self.last_truth;
+            observed[0] = o[0] + self.offset;
+            return;
+        }
+        let mut o = [0.0];
+        let mut t = [0.0];
+        self.regimes[self.current].0.next_into(&mut o, &mut t);
+        self.ticks_in_current += 1;
+        self.last_truth = t[0] + self.offset;
+        self.started = true;
+        truth[0] = self.last_truth;
+        observed[0] = o[0] + self.offset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{Ramp, Sinusoid};
+
+    fn composite() -> RegimeSwitching {
+        RegimeSwitching::new(vec![
+            (Box::new(Ramp::new(0.0, 1.0, 0.0, 1)), 10),
+            (Box::new(Ramp::new(100.0, -2.0, 0.0, 2)), 10),
+            (Box::new(Sinusoid::new(1.0, 0.5, 0.0, 0.0, 0.0, 3)), 10),
+        ])
+    }
+
+    #[test]
+    fn switches_on_schedule() {
+        let mut c = composite();
+        for _ in 0..10 {
+            c.next_sample();
+        }
+        assert_eq!(c.active_regime(), 0);
+        c.next_sample();
+        assert_eq!(c.active_regime(), 1);
+        for _ in 0..10 {
+            c.next_sample();
+        }
+        assert_eq!(c.active_regime(), 2);
+    }
+
+    #[test]
+    fn composite_is_continuous_at_boundaries() {
+        let mut c = composite();
+        let (_, truth) = c.collect(30);
+        for w in truth.windows(2) {
+            // Max per-tick move: ramp slope 2, sinusoid step < 0.5.
+            assert!((w[1] - w[0]).abs() <= 2.0 + 1e-9, "jump {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn last_regime_persists() {
+        let mut c = composite();
+        let (_, truth) = c.collect(100);
+        // After tick 30 it's the sinusoid forever: bounded oscillation around
+        // the spliced level.
+        let tail = &truth[30..];
+        let center = truth[29];
+        assert!(tail.iter().all(|x| (x - center).abs() < 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = RegimeSwitching::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        let _ = RegimeSwitching::new(vec![(Box::new(Ramp::new(0.0, 1.0, 0.0, 1)), 0)]);
+    }
+
+    #[test]
+    fn name_describes_chain() {
+        let c = composite();
+        assert_eq!(c.name(), "regime[ramp->ramp->sinusoid]");
+    }
+}

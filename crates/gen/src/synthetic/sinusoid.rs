@@ -1,0 +1,104 @@
+//! Noisy sinusoid — the periodic workload.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Normal;
+use crate::Stream;
+
+/// Sinusoidal signal with additive sensor noise:
+///
+/// ```text
+/// truth_t    = offset + amplitude · sin(omega · t + phase)
+/// observed_t = truth_t + N(0, sigma_v²)
+/// ```
+///
+/// The F2 workload (periodic streams: diurnal temperature, seasonal demand).
+#[derive(Debug, Clone)]
+pub struct Sinusoid {
+    t: u64,
+    amplitude: f64,
+    omega: f64,
+    phase: f64,
+    offset: f64,
+    sensor: Normal,
+    rng: SmallRng,
+}
+
+impl Sinusoid {
+    /// Creates a sinusoid with the given shape parameters, sensor-noise std
+    /// `sigma_v`, and RNG `seed`.
+    pub fn new(
+        amplitude: f64,
+        omega: f64,
+        phase: f64,
+        offset: f64,
+        sigma_v: f64,
+        seed: u64,
+    ) -> Self {
+        Sinusoid {
+            t: 0,
+            amplitude,
+            omega,
+            phase,
+            offset,
+            sensor: Normal::new(0.0, sigma_v),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Angular frequency per tick.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+}
+
+impl Stream for Sinusoid {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "sinusoid"
+    }
+
+    fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
+        let signal = self.offset + self.amplitude * (self.omega * self.t as f64 + self.phase).sin();
+        self.t += 1;
+        truth[0] = signal;
+        observed[0] = signal + self.sensor.sample(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_matches_formula() {
+        let mut s = Sinusoid::new(2.0, 0.5, 0.1, 3.0, 0.0, 1);
+        for t in 0..20u64 {
+            let sample = s.next_sample();
+            let expect = 3.0 + 2.0 * (0.5 * t as f64 + 0.1).sin();
+            assert!((sample.truth[0] - expect).abs() < 1e-12);
+            assert_eq!(sample.observed, sample.truth);
+        }
+    }
+
+    #[test]
+    fn amplitude_bounds_hold() {
+        let mut s = Sinusoid::new(1.5, 0.3, 0.0, 0.0, 0.0, 2);
+        let (_, truth) = s.collect(500);
+        assert!(truth.iter().all(|x| x.abs() <= 1.5 + 1e-12));
+        assert!(truth.iter().any(|x| x.abs() > 1.4)); // hits near-peak
+    }
+
+    #[test]
+    fn period_is_tau_over_omega() {
+        let omega = core::f64::consts::TAU / 50.0; // period exactly 50 ticks
+        let mut s = Sinusoid::new(1.0, omega, 0.0, 0.0, 0.0, 3);
+        let (_, truth) = s.collect(100);
+        assert!((truth[0] - truth[50]).abs() < 1e-9);
+        assert!((truth[25] - truth[75]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the stream generators: seed determinism,
+//! structural invariants, and trace round-trips for arbitrary parameters.
+
+use kalstream_gen::{
+    domain::{GpsTrack, NetworkRtt, StockTicker, TemperatureSensor},
+    synthetic::{OrnsteinUhlenbeck, Ramp, RandomWalk, Sinusoid},
+    Stream, Trace, TraceReplay,
+};
+use proptest::prelude::*;
+
+/// Every generator family, instantiated from proptest-chosen parameters.
+fn all_streams(seed: u64, a: f64, b: f64) -> Vec<Box<dyn Stream + Send>> {
+    vec![
+        Box::new(RandomWalk::new(a, b * 0.01, a.abs() + 0.01, b.abs() * 0.1, seed)),
+        Box::new(Ramp::new(a, b, 0.1, seed)),
+        Box::new(Sinusoid::new(a.abs() + 0.1, 0.1, b, 0.0, 0.05, seed)),
+        Box::new(OrnsteinUhlenbeck::new(a, 0.2, b, 0.5, 1.0, 0.05, seed)),
+        Box::new(StockTicker::new(a.abs() + 1.0, 0.0, 0.01, 1.0, 0.01, 0.05, 0.01, seed)),
+        Box::new(TemperatureSensor::new(a, b.abs() + 0.1, 100.0, 0.9, 0.05, 0.05, seed)),
+        Box::new(NetworkRtt::new(a.abs() + 1.0, 0.01, 1.5, 0.5, 0.1, seed)),
+        Box::new(GpsTrack::new(b.abs() * 100.0 + 10.0, (0.5, 1.5), 3, 0.5, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_family_is_seed_deterministic(
+        seed in 0u64..1000,
+        a in -5.0..5.0f64,
+        b in 0.01..2.0f64,
+    ) {
+        let mut first = all_streams(seed, a, b);
+        let mut second = all_streams(seed, a, b);
+        for (s1, s2) in first.iter_mut().zip(second.iter_mut()) {
+            for _ in 0..20 {
+                prop_assert_eq!(s1.next_sample(), s2.next_sample(), "family {}", s1.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_stays_finite(
+        seed in 0u64..1000,
+        a in -5.0..5.0f64,
+        b in 0.01..2.0f64,
+    ) {
+        for mut s in all_streams(seed, a, b) {
+            let (obs, tru) = s.collect(200);
+            prop_assert!(obs.iter().all(|x| x.is_finite()), "family {}", s.name());
+            prop_assert!(tru.iter().all(|x| x.is_finite()), "family {}", s.name());
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip_for_arbitrary_recordings(
+        seed in 0u64..1000,
+        len in 1usize..200,
+    ) {
+        let mut s = RandomWalk::new(0.0, 0.01, 0.5, 0.1, seed);
+        let trace = Trace::record(&mut s, len);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let loaded = Trace::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&trace, &loaded);
+        // Replay equals indexing.
+        let mut replay = TraceReplay::new(loaded);
+        for i in 0..len {
+            let sample = replay.next_sample();
+            prop_assert_eq!(sample.observed.as_slice(), trace.observed(i));
+        }
+    }
+
+    #[test]
+    fn stock_prices_never_go_nonpositive(
+        seed in 0u64..500,
+        sigma in 0.001..0.1f64,
+        jump in 0.0..0.05f64,
+    ) {
+        let mut s = StockTicker::new(100.0, 0.0, sigma, 1.0, jump, 0.1, 0.01, seed);
+        let (_, truth) = s.collect(2000);
+        prop_assert!(truth.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn gps_respects_arena_and_speed(
+        seed in 0u64..500,
+        arena in 50.0..500.0f64,
+        vmax in 1.0..5.0f64,
+    ) {
+        let mut g = GpsTrack::new(arena, (0.5, vmax), 2, 0.0, seed);
+        let (_, truth) = g.collect(1000);
+        let pts: Vec<&[f64]> = truth.chunks(2).collect();
+        for p in &pts {
+            prop_assert!(p[0] >= -1e-9 && p[0] <= arena + 1e-9);
+            prop_assert!(p[1] >= -1e-9 && p[1] <= arena + 1e-9);
+        }
+        for w in pts.windows(2) {
+            let d = ((w[1][0] - w[0][0]).powi(2) + (w[1][1] - w[0][1]).powi(2)).sqrt();
+            prop_assert!(d <= vmax + 1e-9, "step {d} exceeds vmax {vmax}");
+        }
+    }
+
+    #[test]
+    fn truth_is_noise_free_of_observation(
+        seed in 0u64..500,
+        sigma_v in 0.1..2.0f64,
+    ) {
+        // truth must be independent of the sensor-noise draw: two walks
+        // differing only in sigma_v have identical truth... they don't share
+        // RNG consumption patterns, so instead check the weaker invariant
+        // that observed − truth has ~zero mean and ~sigma_v std.
+        let mut s = RandomWalk::new(0.0, 0.0, 0.1, sigma_v, seed);
+        let (obs, tru) = s.collect(4000);
+        let diffs: Vec<f64> = obs.iter().zip(tru.iter()).map(|(o, t)| o - t).collect();
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            / diffs.len() as f64;
+        prop_assert!(mean.abs() < 4.0 * sigma_v / (diffs.len() as f64).sqrt() + 0.05);
+        prop_assert!((var.sqrt() - sigma_v).abs() < 0.15 * sigma_v + 0.02);
+    }
+}

@@ -1,0 +1,565 @@
+//! Dense row-major `f64` matrix.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{Cholesky, LinalgError, Lu, Result, Vector};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// This is the covariance/transition carrier for the Kalman machinery. All
+/// binary operators panic on shape mismatch (shape bugs are programming
+/// errors); numerically fallible operations ([`Matrix::cholesky`],
+/// [`Matrix::lu`], [`Matrix::inverse`]) return [`Result`] instead.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major storage: element `(r, c)` lives at `r * cols + c`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Creates an `n × n` scalar matrix `s · I`.
+    pub fn scalar(n: usize, s: f64) -> Self {
+        Matrix::from_diag(&vec![s; n])
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: no rows given");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_row_major: buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` for square matrices.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element access with bounds checking built into the slice indexing.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)` to `v`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns column `c` as a new [`Vector`].
+    pub fn col(&self, c: usize) -> Vector {
+        Vector::from_vec((0..self.rows).map(|r| self.get(r, c)).collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs` with explicit shape checking.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `self.cols != v.dim()`.
+    pub fn mul_vec(&self, v: &Vector) -> Result<Vector> {
+        if self.cols != v.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (v.dim(), 1),
+            });
+        }
+        let mut out = Vector::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (a, b) in self.row(r).iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// `self · rhs · selfᵀ` — the covariance propagation shape `F P Fᵀ`.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches from the underlying products.
+    pub fn sandwich(&self, inner: &Matrix) -> Result<Matrix> {
+        self.matmul(inner)?.matmul(&self.transpose())
+    }
+
+    /// Quadratic form `xᵀ · self · x`.
+    ///
+    /// # Errors
+    /// Returns a shape error if `self` is not `n × n` with `n = x.dim()`.
+    pub fn quadratic_form(&self, x: &Vector) -> Result<f64> {
+        let ax = self.mul_vec(x)?;
+        x.dot(&ax)
+    }
+
+    /// Elementwise scaling in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(s);
+        out
+    }
+
+    /// Sum of diagonal elements.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "trace", shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Forces exact symmetry by averaging with the transpose, in place.
+    ///
+    /// Kalman covariance updates accumulate tiny asymmetries; the dual-filter
+    /// protocol re-symmetrises after every update so that source and server
+    /// stay bit-identical and Cholesky stays happy.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square(), "symmetrize: requires square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self.get(r, c) + self.get(c, r));
+                self.set(r, c, avg);
+                self.set(c, r, avg);
+            }
+        }
+    }
+
+    /// `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute element.
+    pub fn norm_inf_elem(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute elementwise difference from `other`; `INFINITY` on
+    /// shape mismatch. Used for approximate comparison in tests.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        if self.shape() != other.shape() {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Cholesky factorisation `self = L Lᵀ` for symmetric positive-definite
+    /// matrices. See [`Cholesky`].
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] or [`LinalgError::NotPositiveDefinite`].
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        Cholesky::new(self)
+    }
+
+    /// Partially-pivoted LU factorisation. See [`Lu`].
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+    pub fn lu(&self) -> Result<Lu> {
+        Lu::new(self)
+    }
+
+    /// Matrix inverse via LU.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.lu()?.inverse()
+    }
+
+    /// Determinant via LU. Returns `0.0` for singular matrices.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for non-square input.
+    pub fn det(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "det", shape: self.shape() });
+        }
+        match self.lu() {
+            Ok(lu) => Ok(lu.det()),
+            Err(LinalgError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    /// Matrix product.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch; use [`Matrix::matmul`] for the
+    /// fallible form.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix mul: dimension mismatch")
+    }
+}
+
+impl Mul<&Vector> for &Matrix {
+    type Output = Vector;
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch; use [`Matrix::mul_vec`] for the
+    /// fallible form.
+    fn mul(self, rhs: &Vector) -> Vector {
+        self.mul_vec(rhs).expect("matrix-vector mul: dimension mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        let d = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(1, 0), 0.0);
+        let s = Matrix::scalar(2, 5.0);
+        assert_eq!(s, Matrix::from_diag(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 9.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+        assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(a.mul_vec(&v).unwrap().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn sandwich_matches_manual() {
+        let f = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let p = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let s = f.sandwich(&p).unwrap();
+        let manual = f.matmul(&p).unwrap().matmul(&f.transpose()).unwrap();
+        assert_eq!(s, manual);
+    }
+
+    #[test]
+    fn quadratic_form_spd_positive() {
+        let p = Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]);
+        let x = Vector::from_slice(&[1.0, -2.0]);
+        let q = p.quadratic_form(&x).unwrap();
+        // 2*1 + 0.3*(-2) + 0.3*(-2) + 1*4 = 2 - 1.2 + 4 = 4.8
+        assert!(approx(q, 4.8));
+    }
+
+    #[test]
+    fn trace_and_errors() {
+        let m = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+        assert_eq!(m.trace().unwrap(), 3.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn symmetrize_removes_asymmetry() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0 + 1e-9, 3.0]]);
+        m.symmetrize_mut();
+        assert_eq!(m.get(0, 1), m.get(1, 0));
+    }
+
+    #[test]
+    fn operators_panic_contract() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let _ = &a + &b;
+        let _ = &a - &b;
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn scaled_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn indexing_tuple() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 4.0;
+        assert_eq!(m[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn det_known_values() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(approx(m.det().unwrap(), -2.0));
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(approx(singular.det().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Matrix::identity(2).is_finite());
+        let mut m = Matrix::zeros(1, 1);
+        m.set(0, 0, f64::NAN);
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn display_rows() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let s = m.to_string();
+        assert!(s.contains("[1.000000]"));
+        assert!(s.contains("[2.000000]"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Dense `f64` column vector.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::{LinalgError, Result};
+
+/// A dense column vector of `f64` values.
+///
+/// `Vector` is the state/measurement carrier throughout the workspace. It is
+/// a thin, deterministic wrapper over `Vec<f64>`: no SIMD, no uninitialised
+/// memory, element order is the storage order.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `dim` zeros.
+    pub fn zeros(dim: usize) -> Self {
+        Vector { data: vec![0.0; dim] }
+    }
+
+    /// Creates a vector with every element equal to `value`.
+    pub fn filled(dim: usize, value: f64) -> Self {
+        Vector { data: vec![value; dim] }
+    }
+
+    /// Creates a vector by copying `slice`.
+    pub fn from_slice(slice: &[f64]) -> Self {
+        Vector { data: slice.to_vec() }
+    }
+
+    /// Creates a vector from an existing `Vec` without copying.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Creates a standard basis vector `e_i` of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `i >= dim`.
+    pub fn basis(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "basis index {i} out of range for dimension {dim}");
+        let mut v = Vector::zeros(dim);
+        v.data[i] = 1.0;
+        v
+    }
+
+    /// Number of elements.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product `self · other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when dimensions differ.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dot",
+                lhs: (self.dim(), 1),
+                rhs: (other.dim(), 1),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (maximum absolute element); `0.0` for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Elementwise scaling in place: `self *= s`.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new vector.
+    pub fn scaled(&self, s: f64) -> Vector {
+        let mut out = self.clone();
+        out.scale_mut(s);
+        out
+    }
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when dimensions differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: (self.dim(), 1),
+                rhs: (other.dim(), 1),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// `true` when every element is finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference from `other`, used by approximate
+    /// comparisons in tests. Returns `f64::INFINITY` for mismatched shapes.
+    pub fn max_abs_diff(&self, other: &Vector) -> f64 {
+        if self.dim() != other.dim() {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch; use [`Vector::axpy`] for a fallible API.
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim(), "vector add: dimension mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Vector { data }
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim(), "vector sub: dimension mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Vector { data }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim(), "vector add_assign: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim(), "vector sub_assign: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Vector::zeros(3);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+        let f = Vector::filled(2, 7.5);
+        assert_eq!(f.as_slice(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn basis_vector() {
+        let e1 = Vector::basis(3, 1);
+        assert_eq!(e1.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_out_of_range_panics() {
+        let _ = Vector::basis(2, 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn dot_dimension_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(matches!(
+            a.dot(&b),
+            Err(LinalgError::DimensionMismatch { op: "dot", .. })
+        ));
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_inf(), 4.0);
+        assert_eq!(Vector::zeros(0).norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[0.5, -1.0]);
+        assert_eq!((&a + &b).as_slice(), &[1.5, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[0.5, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn add_assign_sub_assign() {
+        let mut a = Vector::from_slice(&[1.0, 1.0]);
+        a += &Vector::from_slice(&[2.0, 3.0]);
+        assert_eq!(a.as_slice(), &[3.0, 4.0]);
+        a -= &Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from_slice(&[1.0, 2.0]);
+        a.axpy(0.5, &Vector::from_slice(&[4.0, 8.0])).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_mismatch_errors() {
+        let mut a = Vector::zeros(2);
+        assert!(a.axpy(1.0, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vector::zeros(2);
+        v[1] = 9.0;
+        assert_eq!(v[1], 9.0);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vector::from_slice(&[1.0, -2.0]).is_finite());
+        assert!(!Vector::from_slice(&[1.0, f64::NAN]).is_finite());
+        assert!(!Vector::from_slice(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_shapes() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert_eq!(a.max_abs_diff(&Vector::zeros(3)), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Vector::from_slice(&[1.0, 2.5]);
+        assert_eq!(v.to_string(), "[1.000000, 2.500000]");
+    }
+
+    #[test]
+    fn sum_elements() {
+        assert_eq!(Vector::from_slice(&[1.0, 2.0, 3.5]).sum(), 6.5);
+    }
+}

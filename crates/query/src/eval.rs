@@ -1,0 +1,135 @@
+//! Answer computation with interval-arithmetic guarantees.
+
+use crate::{AggKind, AggregateQuery, QueryError, StreamView};
+
+/// A query answer with its precision guarantee: the true (observed) value is
+/// within `bound` of `value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The served value.
+    pub value: f64,
+    /// Guaranteed half-width: `|true − value| ≤ bound`.
+    pub bound: f64,
+    /// Maximum staleness (ticks since last sync) among contributing streams
+    /// — a freshness indicator, not part of the guarantee.
+    pub max_staleness: u64,
+}
+
+/// Answers a point query from one stream view.
+pub fn answer_point(view: &StreamView) -> Answer {
+    Answer { value: view.value, bound: view.delta, max_staleness: view.staleness }
+}
+
+/// Answers an aggregate query from its member views (in member order).
+///
+/// The guarantee derives from interval arithmetic over per-stream bounds:
+///
+/// * AVG: bound = mean of member bounds.
+/// * SUM: bound = sum of member bounds.
+/// * MIN/MAX: bound = max of member bounds.
+///
+/// # Errors
+/// [`QueryError::Invalid`] when `views` is empty or its length disagrees
+/// with the query's member list.
+pub fn answer_aggregate(query: &AggregateQuery, views: &[StreamView]) -> Result<Answer, QueryError> {
+    if views.len() != query.streams.len() || views.is_empty() {
+        return Err(QueryError::Invalid {
+            reason: format!(
+                "expected {} member views, got {}",
+                query.streams.len(),
+                views.len()
+            ),
+        });
+    }
+    let max_staleness = views.iter().map(|v| v.staleness).max().unwrap_or(0);
+    let k = views.len() as f64;
+    let (value, bound) = match query.kind {
+        AggKind::Avg => (
+            views.iter().map(|v| v.value).sum::<f64>() / k,
+            views.iter().map(|v| v.delta).sum::<f64>() / k,
+        ),
+        AggKind::Sum => (
+            views.iter().map(|v| v.value).sum::<f64>(),
+            views.iter().map(|v| v.delta).sum::<f64>(),
+        ),
+        AggKind::Min => (
+            views.iter().map(|v| v.value).fold(f64::INFINITY, f64::min),
+            views.iter().map(|v| v.delta).fold(0.0, f64::max),
+        ),
+        AggKind::Max => (
+            views.iter().map(|v| v.value).fold(f64::NEG_INFINITY, f64::max),
+            views.iter().map(|v| v.delta).fold(0.0, f64::max),
+        ),
+    };
+    Ok(Answer { value, bound, max_staleness })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamId;
+
+    fn view(value: f64, delta: f64, staleness: u64) -> StreamView {
+        StreamView { value, delta, staleness }
+    }
+
+    fn agg(kind: AggKind, n: usize, bound: f64) -> AggregateQuery {
+        AggregateQuery::new(kind, (0..n).map(StreamId).collect(), bound).unwrap()
+    }
+
+    #[test]
+    fn point_answer_carries_stream_bound() {
+        let a = answer_point(&view(3.0, 0.25, 7));
+        assert_eq!(a, Answer { value: 3.0, bound: 0.25, max_staleness: 7 });
+    }
+
+    #[test]
+    fn avg_answer() {
+        let q = agg(AggKind::Avg, 3, 1.0);
+        let a = answer_aggregate(
+            &q,
+            &[view(1.0, 0.1, 0), view(2.0, 0.2, 5), view(3.0, 0.3, 2)],
+        )
+        .unwrap();
+        assert!((a.value - 2.0).abs() < 1e-12);
+        assert!((a.bound - 0.2).abs() < 1e-12);
+        assert_eq!(a.max_staleness, 5);
+    }
+
+    #[test]
+    fn sum_answer_adds_bounds() {
+        let q = agg(AggKind::Sum, 2, 1.0);
+        let a = answer_aggregate(&q, &[view(1.0, 0.1, 0), view(2.0, 0.2, 0)]).unwrap();
+        assert!((a.value - 3.0).abs() < 1e-12);
+        assert!((a.bound - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_take_extremes_with_max_bound() {
+        let q = agg(AggKind::Min, 2, 1.0);
+        let a = answer_aggregate(&q, &[view(1.0, 0.5, 0), view(2.0, 0.1, 0)]).unwrap();
+        assert_eq!(a.value, 1.0);
+        assert_eq!(a.bound, 0.5);
+        let q = agg(AggKind::Max, 2, 1.0);
+        let a = answer_aggregate(&q, &[view(1.0, 0.5, 0), view(2.0, 0.1, 0)]).unwrap();
+        assert_eq!(a.value, 2.0);
+    }
+
+    #[test]
+    fn guarantee_is_sound_for_avg() {
+        // Construct true values deviating by exactly each stream's bound;
+        // the aggregate error must not exceed the derived bound.
+        let views = [view(1.0, 0.1, 0), view(2.0, 0.2, 0), view(3.0, 0.3, 0)];
+        let truths = [1.1, 1.8, 3.3];
+        let q = agg(AggKind::Avg, 3, 1.0);
+        let a = answer_aggregate(&q, &views).unwrap();
+        let true_avg = truths.iter().sum::<f64>() / 3.0;
+        assert!((a.value - true_avg).abs() <= a.bound + 1e-12);
+    }
+
+    #[test]
+    fn mismatched_views_rejected() {
+        let q = agg(AggKind::Avg, 2, 1.0);
+        assert!(answer_aggregate(&q, &[view(1.0, 0.1, 0)]).is_err());
+    }
+}

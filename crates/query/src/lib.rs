@@ -1,0 +1,39 @@
+//! # kalstream-query
+//!
+//! Continuous queries over precision-bounded streams.
+//!
+//! The suppression protocol guarantees each stream's served value is within
+//! its bound `δ` of the observation. This crate turns that per-stream
+//! contract into *query-level* guarantees:
+//!
+//! * [`PointQuery`] — "the current value of stream S" → `value ± δ`.
+//! * [`AggregateQuery`] — AVG / SUM / MIN / MAX over a set of streams with a
+//!   user-specified answer bound; interval arithmetic derives the answer's
+//!   guarantee from the member bounds, and [`split_budget`] decides how the
+//!   aggregate's error budget is divided across member streams (uniformly,
+//!   or optimally against measured message-rate curves — experiment F9's
+//!   comparison).
+//! * [`window`] — sliding-window aggregates over served values, with the
+//!   bound propagated through the window (monotonic-deque MIN/MAX, running
+//!   AVG).
+//! * [`QueryRegistry`] — holds live queries, computes each stream's
+//!   *effective* required bound (the tightest implied by any query on it),
+//!   and answers every query from the latest [`StreamView`] snapshots.
+//! * [`parse_query`] — the textual form applications register queries in
+//!   (`"AVG(s1, s2) WITHIN 0.25"`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod budget;
+mod eval;
+mod parse;
+mod registry;
+mod spec;
+pub mod window;
+
+pub use budget::{split_budget, split_budget_uniform};
+pub use eval::{answer_aggregate, answer_point, Answer};
+pub use parse::{parse_query, ParsedQuery};
+pub use registry::{QueryRegistry, StreamView};
+pub use spec::{AggKind, AggregateQuery, PointQuery, QueryError, StreamId};

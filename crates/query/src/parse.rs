@@ -1,0 +1,279 @@
+//! A tiny textual continuous-query language.
+//!
+//! Applications register queries as text; the grammar is deliberately small
+//! (this is a stream *suppression* system, not a SQL engine) but covers the
+//! whole query layer:
+//!
+//! ```text
+//! query  := point | aggregate
+//! point  := "POINT" stream "WITHIN" number
+//! aggregate := func "(" stream ("," stream)* ")" "WITHIN" number
+//! func   := "AVG" | "SUM" | "MIN" | "MAX"
+//! stream := "s" digits          // e.g. s0, s17
+//! ```
+//!
+//! ```
+//! use kalstream_query::{parse_query, ParsedQuery, AggKind};
+//!
+//! match parse_query("AVG(s1, s2, s3) WITHIN 0.25").unwrap() {
+//!     ParsedQuery::Aggregate(q) => {
+//!         assert_eq!(q.kind, AggKind::Avg);
+//!         assert_eq!(q.streams.len(), 3);
+//!         assert_eq!(q.bound, 0.25);
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+use crate::{AggKind, AggregateQuery, PointQuery, QueryError, StreamId};
+
+/// A parsed query, ready to register.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedQuery {
+    /// A point query.
+    Point(PointQuery),
+    /// An aggregate query.
+    Aggregate(AggregateQuery),
+}
+
+/// Parses one query string. Case-insensitive keywords, free whitespace.
+///
+/// # Errors
+/// [`QueryError::Invalid`] with a position-bearing message on any syntax or
+/// semantic error (unknown function, bad stream name, non-positive bound).
+pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryError> {
+    let mut tokens = tokenize(input)?;
+    let head = tokens.next_word()?;
+    let upper = head.to_ascii_uppercase();
+    match upper.as_str() {
+        "POINT" => {
+            let stream = tokens.next_stream()?;
+            tokens.expect_keyword("WITHIN")?;
+            let bound = tokens.next_number()?;
+            tokens.expect_end()?;
+            if !(bound > 0.0 && bound.is_finite()) {
+                return Err(invalid(format!("bound must be positive, got {bound}")));
+            }
+            Ok(ParsedQuery::Point(PointQuery { stream, delta: bound }))
+        }
+        "AVG" | "SUM" | "MIN" | "MAX" => {
+            let kind = match upper.as_str() {
+                "AVG" => AggKind::Avg,
+                "SUM" => AggKind::Sum,
+                "MIN" => AggKind::Min,
+                _ => AggKind::Max,
+            };
+            tokens.expect_punct('(')?;
+            let mut streams = vec![tokens.next_stream()?];
+            loop {
+                match tokens.next_punct()? {
+                    ',' => streams.push(tokens.next_stream()?),
+                    ')' => break,
+                    other => {
+                        return Err(invalid(format!("expected ',' or ')', got {other:?}")))
+                    }
+                }
+            }
+            tokens.expect_keyword("WITHIN")?;
+            let bound = tokens.next_number()?;
+            tokens.expect_end()?;
+            Ok(ParsedQuery::Aggregate(AggregateQuery::new(kind, streams, bound)?))
+        }
+        other => Err(invalid(format!("unknown query head {other:?}"))),
+    }
+}
+
+fn invalid(reason: String) -> QueryError {
+    QueryError::Invalid { reason }
+}
+
+/// Token cursor over the input. Tokens are words (`[A-Za-z0-9_.]+`) and
+/// single punctuation characters.
+struct Tokens {
+    items: Vec<Token>,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Punct(char),
+}
+
+fn tokenize(input: &str) -> Result<Tokens, QueryError> {
+    let mut items = Vec::new();
+    let mut word = String::new();
+    for ch in input.chars() {
+        if ch.is_alphanumeric() || ch == '_' || ch == '.' || ch == '-' {
+            word.push(ch);
+        } else {
+            if !word.is_empty() {
+                items.push(Token::Word(std::mem::take(&mut word)));
+            }
+            if ch.is_whitespace() {
+                continue;
+            }
+            if ch == '(' || ch == ')' || ch == ',' {
+                items.push(Token::Punct(ch));
+            } else {
+                return Err(invalid(format!("unexpected character {ch:?}")));
+            }
+        }
+    }
+    if !word.is_empty() {
+        items.push(Token::Word(word));
+    }
+    if items.is_empty() {
+        return Err(invalid("empty query".into()));
+    }
+    Ok(Tokens { items, pos: 0 })
+}
+
+impl Tokens {
+    fn next(&mut self) -> Option<Token> {
+        let t = self.items.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn next_word(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            Some(Token::Punct(p)) => Err(invalid(format!("expected a word, got {p:?}"))),
+            None => Err(invalid("unexpected end of query".into())),
+        }
+    }
+
+    fn next_punct(&mut self) -> Result<char, QueryError> {
+        match self.next() {
+            Some(Token::Punct(p)) => Ok(p),
+            Some(Token::Word(w)) => Err(invalid(format!("expected punctuation, got {w:?}"))),
+            None => Err(invalid("unexpected end of query".into())),
+        }
+    }
+
+    fn expect_punct(&mut self, want: char) -> Result<(), QueryError> {
+        let got = self.next_punct()?;
+        if got != want {
+            return Err(invalid(format!("expected {want:?}, got {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn expect_keyword(&mut self, want: &str) -> Result<(), QueryError> {
+        let got = self.next_word()?;
+        if !got.eq_ignore_ascii_case(want) {
+            return Err(invalid(format!("expected keyword {want}, got {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn next_stream(&mut self) -> Result<StreamId, QueryError> {
+        let w = self.next_word()?;
+        let Some(digits) = w.strip_prefix('s').or_else(|| w.strip_prefix('S')) else {
+            return Err(invalid(format!("stream names look like s0, s1, …; got {w:?}")));
+        };
+        digits
+            .parse::<usize>()
+            .map(StreamId)
+            .map_err(|_| invalid(format!("bad stream index in {w:?}")))
+    }
+
+    fn next_number(&mut self) -> Result<f64, QueryError> {
+        let w = self.next_word()?;
+        w.parse::<f64>().map_err(|_| invalid(format!("expected a number, got {w:?}")))
+    }
+
+    fn expect_end(&mut self) -> Result<(), QueryError> {
+        match self.next() {
+            None => Ok(()),
+            Some(t) => Err(invalid(format!("trailing input: {t:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_point_query() {
+        let q = parse_query("POINT s3 WITHIN 0.5").unwrap();
+        assert_eq!(
+            q,
+            ParsedQuery::Point(PointQuery { stream: StreamId(3), delta: 0.5 })
+        );
+    }
+
+    #[test]
+    fn parses_each_aggregate_kind() {
+        for (text, kind) in [
+            ("AVG(s0,s1) WITHIN 1", AggKind::Avg),
+            ("SUM(s0,s1) WITHIN 1", AggKind::Sum),
+            ("MIN(s0,s1) WITHIN 1", AggKind::Min),
+            ("MAX(s0,s1) WITHIN 1", AggKind::Max),
+        ] {
+            match parse_query(text).unwrap() {
+                ParsedQuery::Aggregate(q) => assert_eq!(q.kind, kind, "{text}"),
+                other => panic!("{text} parsed to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let q = parse_query("  avg ( s1 ,  s22 )   within   0.125 ").unwrap();
+        match q {
+            ParsedQuery::Aggregate(a) => {
+                assert_eq!(a.streams, vec![StreamId(1), StreamId(22)]);
+                assert_eq!(a.bound, 0.125);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "POINT WITHIN 0.5",
+            "POINT s1 0.5",
+            "POINT s1 WITHIN",
+            "POINT s1 WITHIN abc",
+            "POINT s1 WITHIN 0",
+            "POINT s1 WITHIN -1",
+            "POINT x1 WITHIN 1",
+            "MEDIAN(s1) WITHIN 1",
+            "AVG() WITHIN 1",
+            "AVG(s1 WITHIN 1",
+            "AVG(s1; s2) WITHIN 1",
+            "AVG(s1,s2) WITHIN 1 extra",
+            "POINT s WITHIN 1",
+            "POINT s1x WITHIN 1",
+        ] {
+            assert!(
+                matches!(parse_query(bad), Err(QueryError::Invalid { .. })),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scientific_notation_bounds() {
+        // '-' is a word character so exponents survive tokenisation.
+        match parse_query("POINT s0 WITHIN 2.5e-3").unwrap() {
+            ParsedQuery::Point(p) => assert_eq!(p.delta, 2.5e-3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_streams_are_allowed_and_counted() {
+        match parse_query("SUM(s1, s1) WITHIN 1").unwrap() {
+            ParsedQuery::Aggregate(a) => assert_eq!(a.streams.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

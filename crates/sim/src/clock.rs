@@ -1,0 +1,9 @@
+//! Simulation time.
+
+/// Simulation time in ticks. One tick = one stream sample at every source.
+///
+/// A plain `u64` alias rather than a newtype: ticks participate in
+/// arithmetic everywhere (latency addition, window math) and the simulator
+/// is the only producer of them, so the newtype's protection would cost more
+/// ergonomics than it buys safety here.
+pub type Tick = u64;

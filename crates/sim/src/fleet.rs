@@ -1,0 +1,171 @@
+//! Parallel execution of many independent sessions (experiment F7's
+//! 100-stream fleet and every parameter sweep).
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::{SessionReport, TrafficMetrics};
+
+/// Aggregated result of a fleet run: per-session reports in submission
+/// order, plus fleet-wide traffic totals.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-session reports, index-aligned with the submitted jobs.
+    pub sessions: Vec<SessionReport>,
+    /// Fleet-wide traffic (sum over sessions).
+    pub total_traffic: TrafficMetrics,
+}
+
+impl FleetReport {
+    /// Total messages across the fleet.
+    pub fn total_messages(&self) -> u64 {
+        self.total_traffic.messages()
+    }
+
+    /// Mean per-session message rate.
+    pub fn mean_message_rate(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions.iter().map(SessionReport::message_rate).sum::<f64>()
+            / self.sessions.len() as f64
+    }
+
+    /// Total precision violations (vs. observed signal) across the fleet.
+    pub fn total_violations(&self) -> u64 {
+        self.sessions.iter().map(|s| s.error_vs_observed.violations()).sum()
+    }
+}
+
+/// Runs `jobs` across `threads` worker threads and collects their reports.
+///
+/// Each job is an independent closed-over session (stream + endpoints), so
+/// the only shared state is the result vector; sessions themselves never
+/// synchronise — matching the real system, where sources are independent
+/// devices. Work is distributed over a crossbeam channel so long sessions
+/// don't convoy behind a static partition.
+///
+/// # Panics
+/// Panics if a worker thread panics (propagated by `std::thread::scope`).
+pub fn run_fleet<F>(jobs: Vec<F>, threads: usize) -> FleetReport
+where
+    F: FnOnce() -> SessionReport + Send,
+{
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    let results: Mutex<Vec<Option<SessionReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    let (tx, rx) = channel::unbounded::<(usize, F)>();
+    for job in jobs.into_iter().enumerate() {
+        tx.send(job).expect("channel open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok((idx, job)) = rx.recv() {
+                    let report = job();
+                    results.lock()[idx] = Some(report);
+                }
+            });
+        }
+    });
+
+    let sessions: Vec<SessionReport> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect();
+    let mut total_traffic = TrafficMetrics::default();
+    for s in &sessions {
+        total_traffic.merge(&s.traffic);
+    }
+    FleetReport { sessions, total_traffic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Consumer, Producer, Session, SessionConfig, Tick};
+    use bytes::Bytes;
+
+    struct ShipAll;
+    struct Hold(f64);
+
+    impl Producer for ShipAll {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn observe(&mut self, _: Tick, observed: &[f64]) -> Option<Bytes> {
+            Some(Bytes::copy_from_slice(&observed[0].to_le_bytes()))
+        }
+    }
+    impl Consumer for Hold {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn receive(&mut self, _: Tick, payload: &Bytes) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(payload);
+            self.0 = f64::from_le_bytes(b);
+        }
+        fn estimate(&mut self, _: Tick, out: &mut [f64]) {
+            out[0] = self.0;
+        }
+    }
+
+    fn job(ticks: u64) -> impl FnOnce() -> SessionReport + Send {
+        move || {
+            let config = SessionConfig::instant(ticks, 1.0);
+            let mut p = ShipAll;
+            let mut c = Hold(0.0);
+            let mut v = 0.0;
+            Session::run(
+                &config,
+                move |obs, tru| {
+                    v += 1.0;
+                    obs[0] = v;
+                    tru[0] = v;
+                },
+                &mut p,
+                &mut c,
+                &mut (),
+            )
+        }
+    }
+
+    #[test]
+    fn fleet_preserves_job_order() {
+        let jobs: Vec<_> = (1..=8u64).map(|i| job(i * 10)).collect();
+        let report = run_fleet(jobs, 4);
+        assert_eq!(report.sessions.len(), 8);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.ticks, (i as u64 + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn fleet_totals_add_up() {
+        let jobs: Vec<_> = (0..5).map(|_| job(100)).collect();
+        let report = run_fleet(jobs, 2);
+        assert_eq!(report.total_messages(), 500);
+        assert!((report.mean_message_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(report.total_violations(), 0);
+    }
+
+    #[test]
+    fn single_thread_and_many_threads_agree() {
+        let a = run_fleet((0..6).map(|_| job(50)).collect::<Vec<_>>(), 1);
+        let b = run_fleet((0..6).map(|_| job(50)).collect::<Vec<_>>(), 8);
+        assert_eq!(a.total_messages(), b.total_messages());
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let report = run_fleet(Vec::<fn() -> SessionReport>::new(), 4);
+        assert_eq!(report.sessions.len(), 0);
+        assert_eq!(report.mean_message_rate(), 0.0);
+    }
+}

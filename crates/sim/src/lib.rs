@@ -1,0 +1,42 @@
+//! # kalstream-sim
+//!
+//! The discrete-time client/server network substrate the experiments run on.
+//!
+//! Substitution note (DESIGN.md §2): the paper measured communication
+//! overhead on real sensor/stream deployments. The reported metric is
+//! *messages (and bytes) on the wire*, which a simulator measures exactly —
+//! so this crate provides a deterministic tick-driven simulation of a
+//! source→server link with configurable latency, plus the accounting
+//! (messages, bytes, server-side error, precision violations) every
+//! experiment reports.
+//!
+//! The simulator knows nothing about Kalman filters: it drives anything that
+//! implements the [`Producer`]/[`Consumer`] endpoint traits, which both the
+//! suppression protocol (`kalstream-core`) and every baseline
+//! (`kalstream-baselines`) implement. That symmetry is what makes the
+//! benchmark comparisons fair — every method pays for messages through the
+//! same [`Link`] and is scored by the same [`ErrorMetrics`]/[`TrafficMetrics`].
+//!
+//! The per-tick order of operations is fixed and documented in
+//! [`Session::run`]: observe → transmit → deliver → estimate → score. With
+//! zero link latency this gives the suppression protocol its precision
+//! guarantee (a correction sent at tick *t* is visible to queries at tick
+//! *t*); with positive latency, transient violations become measurable —
+//! experiment T2 reports both.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod fleet;
+mod link;
+mod metrics;
+mod node;
+mod runner;
+
+pub use clock::Tick;
+pub use fleet::{run_fleet, FleetReport};
+pub use link::{Link, Message};
+pub use metrics::{ErrorMetrics, SessionReport, TrafficMetrics};
+pub use node::{Consumer, Producer};
+pub use runner::{ErrorSeries, Session, SessionConfig, TickObserver};

@@ -1,0 +1,215 @@
+//! The simulated network link with latency and traffic accounting.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{metrics::TrafficMetrics, Tick};
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Tick at which the producer transmitted.
+    pub sent_at: Tick,
+    /// Tick at which the consumer receives.
+    pub deliver_at: Tick,
+    /// Opaque payload (the wire encoding is the protocol's business).
+    pub payload: Bytes,
+}
+
+/// A unidirectional source→server link with fixed latency and FIFO delivery.
+///
+/// Fixed latency keeps delivery order equal to send order, so a simple
+/// `VecDeque` suffices and delivery is O(1) amortised. Per-message overhead
+/// bytes model framing/headers so that "many small corrections" and "few
+/// large syncs" are priced honestly in experiment T3.
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: Tick,
+    overhead_bytes: usize,
+    in_flight: VecDeque<Message>,
+    traffic: TrafficMetrics,
+    /// Independent per-message drop probability with its RNG; `None` for a
+    /// reliable link.
+    loss: Option<(f64, SmallRng)>,
+    dropped: u64,
+}
+
+impl Link {
+    /// Creates a link with `latency` ticks delivery delay and
+    /// `overhead_bytes` of framing charged per message.
+    pub fn new(latency: Tick, overhead_bytes: usize) -> Self {
+        Link {
+            latency,
+            overhead_bytes,
+            in_flight: VecDeque::new(),
+            traffic: TrafficMetrics::default(),
+            loss: None,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a link that independently drops each message with
+    /// probability `loss_prob` (deterministically, from `seed`). The sender
+    /// is still charged for dropped messages — it transmitted them; the
+    /// network lost them.
+    ///
+    /// The suppression protocol's guarantee assumes delivery; the
+    /// `exp_loss_recovery` experiment measures what loss costs and how the
+    /// heartbeat bounds the damage.
+    ///
+    /// # Panics
+    /// Panics when `loss_prob ∉ [0, 1)`.
+    pub fn lossy(latency: Tick, overhead_bytes: usize, loss_prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss_prob), "loss_prob must be in [0, 1)");
+        let mut link = Link::new(latency, overhead_bytes);
+        if loss_prob > 0.0 {
+            link.loss = Some((loss_prob, SmallRng::seed_from_u64(seed)));
+        }
+        link
+    }
+
+    /// Messages dropped by the link so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A zero-latency link with a typical 28-byte (IP+UDP) header charge.
+    pub fn instant() -> Self {
+        Link::new(0, 28)
+    }
+
+    /// Link latency in ticks.
+    pub fn latency(&self) -> Tick {
+        self.latency
+    }
+
+    /// Accumulated traffic counters.
+    pub fn traffic(&self) -> &TrafficMetrics {
+        &self.traffic
+    }
+
+    /// Transmits `payload` at tick `now`; it will deliver at `now + latency`
+    /// unless the (lossy) link drops it.
+    pub fn send(&mut self, now: Tick, payload: Bytes) {
+        self.traffic.record(payload.len() + self.overhead_bytes);
+        if let Some((prob, rng)) = &mut self.loss {
+            if rng.random::<f64>() < *prob {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.in_flight.push_back(Message { sent_at: now, deliver_at: now + self.latency, payload });
+    }
+
+    /// Pops every message due at or before `now`, in send order.
+    pub fn deliver(&mut self, now: Tick) -> impl Iterator<Item = Message> + '_ {
+        std::iter::from_fn(move || {
+            if self.in_flight.front().is_some_and(|m| m.deliver_at <= now) {
+                self.in_flight.pop_front()
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn zero_latency_delivers_same_tick() {
+        let mut link = Link::new(0, 0);
+        link.send(5, payload(8));
+        let got: Vec<_> = link.deliver(5).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].sent_at, 5);
+        assert_eq!(got[0].deliver_at, 5);
+    }
+
+    #[test]
+    fn latency_defers_delivery() {
+        let mut link = Link::new(3, 0);
+        link.send(10, payload(8));
+        assert_eq!(link.deliver(10).count(), 0);
+        assert_eq!(link.deliver(12).count(), 0);
+        assert_eq!(link.in_flight(), 1);
+        assert_eq!(link.deliver(13).count(), 1);
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut link = Link::new(1, 0);
+        link.send(0, Bytes::from_static(b"a"));
+        link.send(0, Bytes::from_static(b"b"));
+        link.send(1, Bytes::from_static(b"c"));
+        let got: Vec<_> = link.deliver(2).map(|m| m.payload).collect();
+        assert_eq!(got, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b"), Bytes::from_static(b"c")]);
+    }
+
+    #[test]
+    fn traffic_counts_messages_and_bytes_with_overhead() {
+        let mut link = Link::new(0, 28);
+        link.send(0, payload(10));
+        link.send(1, payload(20));
+        assert_eq!(link.traffic().messages(), 2);
+        assert_eq!(link.traffic().bytes(), 10 + 20 + 2 * 28);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = || {
+            let mut link = Link::lossy(0, 0, 0.5, 99);
+            for t in 0..1000 {
+                link.send(t, payload(1));
+            }
+            let delivered = link.deliver(1000).count();
+            (delivered, link.dropped())
+        };
+        let (delivered, dropped) = run();
+        assert_eq!(delivered as u64 + dropped, 1000);
+        // ~50% drop rate, and the sender is charged for all 1000.
+        assert!(dropped > 350 && dropped < 650, "dropped {dropped}");
+        assert_eq!(run(), (delivered, dropped), "loss must be deterministic per seed");
+    }
+
+    #[test]
+    fn zero_loss_prob_is_reliable() {
+        let mut link = Link::lossy(0, 0, 0.0, 1);
+        for t in 0..100 {
+            link.send(t, payload(1));
+        }
+        assert_eq!(link.deliver(100).count(), 100);
+        assert_eq!(link.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_prob")]
+    fn invalid_loss_prob_rejected() {
+        let _ = Link::lossy(0, 0, 1.5, 1);
+    }
+
+    #[test]
+    fn deliver_is_lazily_bounded() {
+        let mut link = Link::new(5, 0);
+        for t in 0..10 {
+            link.send(t, payload(1));
+        }
+        // At tick 7, messages sent at 0..=2 are due.
+        assert_eq!(link.deliver(7).count(), 3);
+        assert_eq!(link.in_flight(), 7);
+    }
+}

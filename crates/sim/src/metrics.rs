@@ -1,0 +1,204 @@
+//! Accounting: traffic on the wire and error at the server.
+
+/// Wire-traffic counters maintained by [`crate::Link`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficMetrics {
+    messages: u64,
+    bytes: u64,
+}
+
+impl TrafficMetrics {
+    /// Records one message of `total_bytes` (payload + framing).
+    pub fn record(&mut self, total_bytes: usize) {
+        self.messages += 1;
+        self.bytes += total_bytes as u64;
+    }
+
+    /// Messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes sent, including per-message framing overhead.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Folds another counter into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &TrafficMetrics) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Server-side error accounting against ground truth.
+///
+/// `violations` counts ticks where the error exceeded the precision bound
+/// `delta` (beyond a small numerical tolerance). Under zero link latency the
+/// suppression protocol must keep this at exactly zero *against the observed
+/// signal*; experiments score against ground truth as well, where sensor
+/// noise adds an irreducible floor.
+#[derive(Debug, Clone)]
+pub struct ErrorMetrics {
+    delta: f64,
+    ticks: u64,
+    sum_sq: f64,
+    sum_abs: f64,
+    max_abs: f64,
+    violations: u64,
+}
+
+impl ErrorMetrics {
+    /// Creates an accumulator scoring against precision bound `delta`.
+    pub fn new(delta: f64) -> Self {
+        ErrorMetrics { delta, ticks: 0, sum_sq: 0.0, sum_abs: 0.0, max_abs: 0.0, violations: 0 }
+    }
+
+    /// Records the error of one tick. For multi-dimensional streams, pass
+    /// the norm the precision contract is defined over (the protocol layer
+    /// uses the max-norm across dimensions).
+    pub fn record(&mut self, abs_err: f64) {
+        self.ticks += 1;
+        self.sum_sq += abs_err * abs_err;
+        self.sum_abs += abs_err;
+        if abs_err > self.max_abs {
+            self.max_abs = abs_err;
+        }
+        // 1e-9 relative slack: the source's suppression test and this check
+        // must never disagree due to rounding alone.
+        if abs_err > self.delta * (1.0 + 1e-9) + 1e-12 {
+            self.violations += 1;
+        }
+    }
+
+    /// Precision bound being scored against.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Ticks recorded.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Root-mean-square error.
+    pub fn rmse(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.ticks as f64).sqrt()
+        }
+    }
+
+    /// Mean absolute error.
+    pub fn mean_abs(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.ticks as f64
+        }
+    }
+
+    /// Maximum absolute error observed.
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Ticks on which the bound was violated.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+/// Complete result of one simulated session, as reported by
+/// [`crate::Session::run`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Wire traffic.
+    pub traffic: TrafficMetrics,
+    /// Error of the server estimate vs. the *observed* signal (what the
+    /// precision contract is defined over).
+    pub error_vs_observed: ErrorMetrics,
+    /// Error of the server estimate vs. ground truth (what a user of the
+    /// system ultimately experiences; includes the sensor-noise floor).
+    pub error_vs_truth: ErrorMetrics,
+}
+
+impl SessionReport {
+    /// Messages per tick — the headline resource metric.
+    pub fn message_rate(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.traffic.messages() as f64 / self.ticks as f64
+        }
+    }
+
+    /// Fraction of samples suppressed (1 − message rate), clamped at 0 for
+    /// protocols that send more than one message per tick.
+    pub fn suppression_ratio(&self) -> f64 {
+        (1.0 - self.message_rate()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_merge() {
+        let mut a = TrafficMetrics::default();
+        a.record(10);
+        let mut b = TrafficMetrics::default();
+        b.record(5);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.bytes(), 20);
+    }
+
+    #[test]
+    fn error_metrics_known_values() {
+        let mut e = ErrorMetrics::new(1.0);
+        for err in [0.5, 1.5, 0.0, 2.0] {
+            e.record(err);
+        }
+        assert_eq!(e.ticks(), 4);
+        assert_eq!(e.violations(), 2);
+        assert_eq!(e.max_abs(), 2.0);
+        assert!((e.mean_abs() - 1.0).abs() < 1e-12);
+        assert!((e.rmse() - (6.5_f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_bound_is_not_a_violation() {
+        let mut e = ErrorMetrics::new(1.0);
+        e.record(1.0);
+        assert_eq!(e.violations(), 0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let e = ErrorMetrics::new(0.5);
+        assert_eq!(e.rmse(), 0.0);
+        assert_eq!(e.mean_abs(), 0.0);
+        assert_eq!(e.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn session_report_rates() {
+        let mut traffic = TrafficMetrics::default();
+        traffic.record(1);
+        traffic.record(1);
+        let report = SessionReport {
+            ticks: 10,
+            traffic,
+            error_vs_observed: ErrorMetrics::new(1.0),
+            error_vs_truth: ErrorMetrics::new(1.0),
+        };
+        assert!((report.message_rate() - 0.2).abs() < 1e-12);
+        assert!((report.suppression_ratio() - 0.8).abs() < 1e-12);
+    }
+}

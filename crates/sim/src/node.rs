@@ -1,0 +1,82 @@
+//! Endpoint traits implemented by suppression protocols and baselines.
+
+use bytes::Bytes;
+
+use crate::Tick;
+
+/// The source-side endpoint: sees every raw observation, decides what (if
+/// anything) to put on the wire.
+///
+/// A ship-everything baseline returns `Some(sample)` every tick; the
+/// dual-Kalman protocol returns `Some(correction)` only when its shadow of
+/// the server's prediction drifts past the precision bound.
+pub trait Producer {
+    /// Stream dimensionality this producer expects.
+    fn dim(&self) -> usize;
+
+    /// Called exactly once per tick with the new observation. Returning
+    /// `Some(payload)` transmits one message (the simulator charges its
+    /// bytes); `None` suppresses.
+    fn observe(&mut self, now: Tick, observed: &[f64]) -> Option<Bytes>;
+}
+
+/// The server-side endpoint: consumes wire messages, answers value queries.
+pub trait Consumer {
+    /// Stream dimensionality this consumer serves.
+    fn dim(&self) -> usize;
+
+    /// Called for every delivered message, in delivery order.
+    fn receive(&mut self, now: Tick, payload: &Bytes);
+
+    /// Called once per tick *after* deliveries: writes the server's current
+    /// best estimate of the stream value into `out` (length [`Consumer::dim`]).
+    ///
+    /// Taking `&mut self` lets prediction-based consumers advance their
+    /// internal clock (one filter predict per tick) as a side effect.
+    fn estimate(&mut self, now: Tick, out: &mut [f64]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial pair: producer ships every sample, consumer echoes the last.
+    struct ShipAll;
+    struct Echo {
+        last: f64,
+    }
+
+    impl Producer for ShipAll {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
+            Some(Bytes::copy_from_slice(&observed[0].to_le_bytes()))
+        }
+    }
+
+    impl Consumer for Echo {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn receive(&mut self, _now: Tick, payload: &Bytes) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(payload);
+            self.last = f64::from_le_bytes(b);
+        }
+        fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
+            out[0] = self.last;
+        }
+    }
+
+    #[test]
+    fn endpoints_roundtrip_a_value() {
+        let mut p = ShipAll;
+        let mut c = Echo { last: 0.0 };
+        let payload = p.observe(0, &[42.5]).unwrap();
+        c.receive(0, &payload);
+        let mut out = [0.0];
+        c.estimate(0, &mut out);
+        assert_eq!(out[0], 42.5);
+    }
+}

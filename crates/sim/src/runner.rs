@@ -1,0 +1,255 @@
+//! The single-session simulation loop.
+
+use crate::{Consumer, ErrorMetrics, Link, Producer, SessionReport, Tick};
+
+/// Configuration for one simulated source→server session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of ticks to simulate.
+    pub ticks: u64,
+    /// Precision bound the error accounting scores against.
+    pub delta: f64,
+    /// Link latency in ticks (0 = corrections visible the tick they are sent).
+    pub latency: Tick,
+    /// Per-message framing overhead charged by the link, in bytes.
+    pub overhead_bytes: usize,
+    /// Independent per-message drop probability (0.0 = reliable link).
+    pub loss_prob: f64,
+    /// Seed of the link's drop RNG (ignored when `loss_prob` is 0).
+    pub loss_seed: u64,
+}
+
+impl SessionConfig {
+    /// A zero-latency session with IP+UDP-sized framing — the setting under
+    /// which the suppression protocol's precision guarantee is exact.
+    pub fn instant(ticks: u64, delta: f64) -> Self {
+        SessionConfig { ticks, delta, latency: 0, overhead_bytes: 28, loss_prob: 0.0, loss_seed: 0 }
+    }
+
+    /// Same as [`SessionConfig::instant`] with a lossy link.
+    pub fn instant_lossy(ticks: u64, delta: f64, loss_prob: f64, loss_seed: u64) -> Self {
+        SessionConfig { loss_prob, loss_seed, ..SessionConfig::instant(ticks, delta) }
+    }
+}
+
+/// Per-tick hook for experiments that need time series rather than final
+/// aggregates (cumulative-message plots, staleness profiles).
+pub trait TickObserver {
+    /// Called once per tick after scoring, with the server estimate and the
+    /// cumulative message count.
+    fn on_tick(
+        &mut self,
+        now: Tick,
+        observed: &[f64],
+        truth: &[f64],
+        estimate: &[f64],
+        messages: u64,
+    );
+}
+
+/// No-op observer used when a session needs no per-tick output.
+impl TickObserver for () {
+    fn on_tick(&mut self, _: Tick, _: &[f64], _: &[f64], _: &[f64], _: u64) {}
+}
+
+/// Collects the max-norm error time series — the workhorse observer.
+#[derive(Debug, Default)]
+pub struct ErrorSeries {
+    /// `|estimate − observed|` (max-norm) per tick.
+    pub errors: Vec<f64>,
+    /// Cumulative message count per tick.
+    pub messages: Vec<u64>,
+}
+
+impl TickObserver for ErrorSeries {
+    fn on_tick(&mut self, _now: Tick, observed: &[f64], _t: &[f64], estimate: &[f64], messages: u64) {
+        let err = max_norm_diff(estimate, observed);
+        self.errors.push(err);
+        self.messages.push(messages);
+    }
+}
+
+/// One simulated session: a sampler (the stream), a producer (source-side
+/// policy), a consumer (server-side estimator), and a link between them.
+pub struct Session;
+
+impl Session {
+    /// Runs the session and reports traffic + error metrics.
+    ///
+    /// Per-tick order of operations (load-bearing for the precision
+    /// guarantee):
+    ///
+    /// 1. `sampler` produces `(observed, truth)` for this tick;
+    /// 2. the producer sees `observed` and may transmit;
+    /// 3. the link delivers every message due this tick to the consumer
+    ///    (with zero latency this includes the message from step 2);
+    /// 4. the consumer produces its estimate for this tick;
+    /// 5. the estimate is scored against `observed` and `truth` with the
+    ///    max-norm, and the observer hook fires.
+    ///
+    /// # Panics
+    /// Panics when producer/consumer dimensions disagree with each other.
+    pub fn run<P, C, F, O>(
+        config: &SessionConfig,
+        mut sampler: F,
+        producer: &mut P,
+        consumer: &mut C,
+        observer: &mut O,
+    ) -> SessionReport
+    where
+        P: Producer + ?Sized,
+        C: Consumer + ?Sized,
+        F: FnMut(&mut [f64], &mut [f64]),
+        O: TickObserver + ?Sized,
+    {
+        let dim = producer.dim();
+        assert_eq!(dim, consumer.dim(), "producer/consumer dimension mismatch");
+        let mut link =
+            Link::lossy(config.latency, config.overhead_bytes, config.loss_prob, config.loss_seed);
+        let mut observed = vec![0.0; dim];
+        let mut truth = vec![0.0; dim];
+        let mut estimate = vec![0.0; dim];
+        let mut err_obs = ErrorMetrics::new(config.delta);
+        let mut err_truth = ErrorMetrics::new(config.delta);
+
+        for now in 0..config.ticks {
+            sampler(&mut observed, &mut truth);
+            if let Some(payload) = producer.observe(now, &observed) {
+                link.send(now, payload);
+            }
+            // Delivery: drain into the consumer. The iterator borrows the
+            // link, so collect payloads first (tiny: usually 0 or 1).
+            let due: Vec<_> = link.deliver(now).collect();
+            for msg in due {
+                consumer.receive(now, &msg.payload);
+            }
+            consumer.estimate(now, &mut estimate);
+            err_obs.record(max_norm_diff(&estimate, &observed));
+            err_truth.record(max_norm_diff(&estimate, &truth));
+            observer.on_tick(now, &observed, &truth, &estimate, link.traffic().messages());
+        }
+
+        SessionReport {
+            ticks: config.ticks,
+            traffic: link.traffic().clone(),
+            error_vs_observed: err_obs,
+            error_vs_truth: err_truth,
+        }
+    }
+}
+
+/// Max-norm (ℓ∞) difference between two equal-length slices — the norm the
+/// precision contract uses for multi-dimensional streams.
+pub(crate) fn max_norm_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    /// Producer that ships every k-th sample; consumer holds the last value.
+    struct EveryKth {
+        k: u64,
+    }
+    struct Hold {
+        last: f64,
+    }
+
+    impl Producer for EveryKth {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn observe(&mut self, now: Tick, observed: &[f64]) -> Option<Bytes> {
+            (now.is_multiple_of(self.k)).then(|| Bytes::copy_from_slice(&observed[0].to_le_bytes()))
+        }
+    }
+
+    impl Consumer for Hold {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn receive(&mut self, _now: Tick, payload: &Bytes) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(payload);
+            self.last = f64::from_le_bytes(b);
+        }
+        fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
+            out[0] = self.last;
+        }
+    }
+
+    fn ramp_sampler() -> impl FnMut(&mut [f64], &mut [f64]) {
+        let mut t = 0.0;
+        move |obs, tru| {
+            obs[0] = t;
+            tru[0] = t;
+            t += 1.0;
+        }
+    }
+
+    #[test]
+    fn message_counting_matches_policy() {
+        let config = SessionConfig::instant(100, 10.0);
+        let mut p = EveryKth { k: 4 };
+        let mut c = Hold { last: 0.0 };
+        let report = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut ());
+        assert_eq!(report.traffic.messages(), 25);
+        assert!((report.message_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_error_bounded_by_gap() {
+        // Ship every 4th sample of a unit ramp: worst error is 3.
+        let config = SessionConfig::instant(100, 3.0);
+        let mut p = EveryKth { k: 4 };
+        let mut c = Hold { last: 0.0 };
+        let report = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut ());
+        assert_eq!(report.error_vs_observed.max_abs(), 3.0);
+        assert_eq!(report.error_vs_observed.violations(), 0);
+    }
+
+    #[test]
+    fn latency_creates_violations() {
+        // Same policy over a ramp, but 2-tick latency: right after each send
+        // the server still shows stale data, errors reach 3 + ... > bound.
+        let config =
+            SessionConfig { ticks: 100, delta: 3.0, latency: 2, overhead_bytes: 0, loss_prob: 0.0, loss_seed: 0 };
+        let mut p = EveryKth { k: 4 };
+        let mut c = Hold { last: 0.0 };
+        let report = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut ());
+        assert!(report.error_vs_observed.violations() > 0);
+        assert!(report.error_vs_observed.max_abs() > 3.0);
+    }
+
+    #[test]
+    fn observer_sees_every_tick() {
+        let config = SessionConfig::instant(50, 1.0);
+        let mut p = EveryKth { k: 1 };
+        let mut c = Hold { last: 0.0 };
+        let mut series = ErrorSeries::default();
+        let report = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut series);
+        assert_eq!(series.errors.len(), 50);
+        assert_eq!(*series.messages.last().unwrap(), report.traffic.messages());
+        // Ship-all at zero latency: error always 0.
+        assert!(series.errors.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        struct TwoDim;
+        impl Consumer for TwoDim {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn receive(&mut self, _: Tick, _: &Bytes) {}
+            fn estimate(&mut self, _: Tick, _: &mut [f64]) {}
+        }
+        let config = SessionConfig::instant(1, 1.0);
+        let mut p = EveryKth { k: 1 };
+        let mut c = TwoDim;
+        let _ = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut ());
+    }
+}

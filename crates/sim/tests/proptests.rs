@@ -1,0 +1,115 @@
+//! Property-based tests for the simulation substrate: link ordering, loss
+//! accounting, and metric arithmetic for arbitrary schedules.
+
+use bytes::Bytes;
+use kalstream_sim::{ErrorMetrics, Link, TrafficMetrics};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn link_is_fifo_and_conserves_messages(
+        latency in 0u64..10,
+        sends in prop::collection::vec(0u64..100, 1..50),
+    ) {
+        let mut sorted = sends.clone();
+        sorted.sort_unstable();
+        let mut link = Link::new(latency, 0);
+        for (i, &t) in sorted.iter().enumerate() {
+            link.send(t, Bytes::from(vec![i as u8]));
+        }
+        // Deliver everything far in the future: all messages, send order.
+        let got: Vec<u8> = link.deliver(1_000).map(|m| m.payload[0]).collect();
+        prop_assert_eq!(got.len(), sorted.len());
+        for (i, &b) in got.iter().enumerate() {
+            prop_assert_eq!(b as usize, i);
+        }
+        prop_assert_eq!(link.traffic().messages(), sorted.len() as u64);
+    }
+
+    #[test]
+    fn link_never_delivers_early(
+        latency in 1u64..20,
+        t_send in 0u64..100,
+        probe_offset in 0u64..40,
+    ) {
+        let mut link = Link::new(latency, 0);
+        link.send(t_send, Bytes::from_static(b"x"));
+        let probe = t_send + probe_offset;
+        let delivered = link.deliver(probe).count();
+        if probe_offset < latency {
+            prop_assert_eq!(delivered, 0);
+        } else {
+            prop_assert_eq!(delivered, 1);
+        }
+    }
+
+    #[test]
+    fn lossy_link_conserves_and_is_deterministic(
+        loss in 0.0..0.99f64,
+        seed in 0u64..1000,
+        n in 1usize..300,
+    ) {
+        let run = || {
+            let mut link = Link::lossy(0, 0, loss, seed);
+            for t in 0..n as u64 {
+                link.send(t, Bytes::from_static(b"p"));
+            }
+            let delivered = link.deliver(n as u64).count() as u64;
+            (delivered, link.dropped(), link.traffic().messages())
+        };
+        let (delivered, dropped, charged) = run();
+        prop_assert_eq!(delivered + dropped, n as u64);
+        prop_assert_eq!(charged, n as u64, "sender is charged for drops too");
+        prop_assert_eq!(run(), (delivered, dropped, charged));
+    }
+
+    #[test]
+    fn error_metrics_aggregate_correctly(
+        delta in 0.1..5.0f64,
+        errors in prop::collection::vec(0.0..10.0f64, 1..100),
+    ) {
+        let mut m = ErrorMetrics::new(delta);
+        for &e in &errors {
+            m.record(e);
+        }
+        let n = errors.len() as f64;
+        let max = errors.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mean = errors.iter().sum::<f64>() / n;
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        let violations = errors
+            .iter()
+            .filter(|&&e| e > delta * (1.0 + 1e-9) + 1e-12)
+            .count() as u64;
+        prop_assert_eq!(m.ticks(), errors.len() as u64);
+        prop_assert!((m.max_abs() - max).abs() < 1e-12);
+        prop_assert!((m.mean_abs() - mean).abs() < 1e-9);
+        prop_assert!((m.rmse() - rmse).abs() < 1e-9);
+        prop_assert_eq!(m.violations(), violations);
+    }
+
+    #[test]
+    fn traffic_merge_is_associative_and_commutative(
+        a in prop::collection::vec(1usize..1000, 0..20),
+        b in prop::collection::vec(1usize..1000, 0..20),
+    ) {
+        let fill = |sizes: &[usize]| {
+            let mut t = TrafficMetrics::default();
+            for &s in sizes {
+                t.record(s);
+            }
+            t
+        };
+        let mut ab = fill(&a);
+        ab.merge(&fill(&b));
+        let mut ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.messages(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(
+            ab.bytes(),
+            a.iter().chain(b.iter()).map(|&s| s as u64).sum::<u64>()
+        );
+    }
+}

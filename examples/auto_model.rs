@@ -1,0 +1,74 @@
+//! Auto-model workflow: record a prefix of an unknown stream, fit a model
+//! to it, install the winner at both ends, and compare against the
+//! know-nothing default.
+//!
+//! ```text
+//! cargo run --release --example auto_model
+//! ```
+//!
+//! This is the full "installation" lifecycle a deployment would run when a
+//! new stream appears: observe first, then choose the dynamic procedure.
+
+use kalstream::core::{ProtocolConfig, SessionSpec};
+use kalstream::filter::fit::fit_scalar_model;
+use kalstream::gen::{synthetic::Sinusoid, Stream, Trace, TraceReplay};
+use kalstream::sim::{Session, SessionConfig};
+
+fn main() {
+    // An "unknown" stream: a slow oscillation the operator hasn't modelled.
+    let mut stream = Sinusoid::new(6.0, core::f64::consts::TAU / 300.0, 0.3, 12.0, 0.1, 99);
+    let delta = 0.4;
+
+    // 1. Record a calibration prefix.
+    let (prefix, _) = stream.collect(2_000);
+    println!("recorded {} calibration samples", prefix.len());
+
+    // 2. Fit candidate models by held-out predictive likelihood.
+    let fitted = fit_scalar_model(&prefix).expect("enough samples to fit");
+    println!("fitted model        : {}", fitted.model.name());
+    println!("estimated noise var : {:.4} (true 0.01)", fitted.r_hat);
+    println!("candidate scores    :");
+    for (name, score) in &fitted.candidates {
+        println!("  {name:24} {score:>9.3}");
+    }
+
+    // 3. Record the continuation once so both sessions see identical data.
+    let continuation = Trace::record(&mut stream, 20_000);
+
+    let run = |spec: SessionSpec| {
+        let (mut source, mut server) = spec.build().split();
+        let mut replay = TraceReplay::new(continuation.clone());
+        let config = SessionConfig::instant(20_000, delta);
+        Session::run(
+            &config,
+            |obs, tru| replay.next_into(obs, tru),
+            &mut source,
+            &mut server,
+            &mut (),
+        )
+    };
+
+    // 4. Default session vs fitted session on the same continuation.
+    let default_report = run(SessionSpec::default_scalar(
+        prefix[prefix.len() - 1],
+        ProtocolConfig::new(delta).expect("positive bound"),
+    )
+    .expect("valid spec"));
+    let fitted_report = run(SessionSpec::fixed(
+        fitted.model,
+        fitted.x0,
+        1.0,
+        ProtocolConfig::new(delta).expect("positive bound"),
+    )
+    .expect("valid spec"));
+
+    println!("\ndefault session : {} messages", default_report.traffic.messages());
+    println!("fitted session  : {} messages", fitted_report.traffic.messages());
+    println!(
+        "saving          : {:.1}x fewer messages, same +/-{delta} guarantee",
+        default_report.traffic.messages() as f64 / fitted_report.traffic.messages().max(1) as f64
+    );
+    assert_eq!(default_report.error_vs_observed.violations(), 0);
+    assert_eq!(fitted_report.error_vs_observed.violations(), 0);
+    assert!(fitted_report.traffic.messages() <= default_report.traffic.messages());
+}

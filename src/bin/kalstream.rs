@@ -1,0 +1,295 @@
+//! `kalstream` — the command-line front end.
+//!
+//! ```text
+//! kalstream record  --family stock --ticks 5000 --seed 7 --out trace.txt
+//! kalstream fit     --trace trace.txt
+//! kalstream run     --trace trace.txt --delta 0.5 --policy kalman_bank
+//! kalstream compare --family gps --delta 10 --ticks 20000 --seed 42
+//! kalstream families
+//! kalstream policies
+//! ```
+//!
+//! `record` materialises a workload trace; `fit` chooses a model for it;
+//! `run` replays it through one suppression policy and reports
+//! messages/bytes/errors; `compare` races every policy on a live stream.
+//! Argument parsing is hand-rolled (the sanctioned crate set has no CLI
+//! crate) and strict: unknown flags are errors, not surprises.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::harness::{make_stream, run_method, run_on_stream, StreamFamily};
+use kalstream_bench::table::{fmt_f, Table};
+use kalstream_filter::fit::fit_scalar_model;
+use kalstream_gen::{Stream, Trace, TraceReplay};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  kalstream record  --family <name> --ticks <n> [--seed <n>] --out <file>
+  kalstream fit     --trace <file>
+  kalstream run     --trace <file> --delta <x> [--policy <name>]
+  kalstream compare --family <name> --delta <x> [--ticks <n>] [--seed <n>]
+  kalstream families
+  kalstream policies";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "record" => cmd_record(&flags),
+        "fit" => cmd_fit(&flags),
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "families" => {
+            flags.expect_empty()?;
+            for f in all_families() {
+                println!("{} (dim {})", f.name(), f.dim());
+            }
+            Ok(())
+        }
+        "policies" => {
+            flags.expect_empty()?;
+            for p in PolicyKind::roster() {
+                println!("{}", p.name());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Strict `--key value` flag parser.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    consumed: std::cell::RefCell<Vec<bool>>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {key:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        let n = pairs.len();
+        Ok(Flags { pairs, consumed: std::cell::RefCell::new(vec![false; n]) })
+    }
+
+    fn get(&self, name: &str) -> Option<String> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == name {
+                self.consumed.borrow_mut()[i] = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn require(&self, name: &str) -> Result<String, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+
+    fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.require(name)?;
+        v.parse().map_err(|_| format!("bad value for --{name}: {v:?}"))
+    }
+
+    /// Errors on any flag nothing consumed — typos never pass silently.
+    fn finish(&self) -> Result<(), String> {
+        for (i, used) in self.consumed.borrow().iter().enumerate() {
+            if !used {
+                return Err(format!("unknown flag --{}", self.pairs[i].0));
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_empty(&self) -> Result<(), String> {
+        if self.pairs.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unexpected flag --{}", self.pairs[0].0))
+        }
+    }
+}
+
+fn all_families() -> Vec<StreamFamily> {
+    StreamFamily::scalar_roster().into_iter().chain([StreamFamily::Gps]).collect()
+}
+
+fn family_by_name(name: &str) -> Result<StreamFamily, String> {
+    all_families()
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family {name:?} (see `kalstream families`)"))
+}
+
+fn policy_by_name(name: &str) -> Result<PolicyKind, String> {
+    PolicyKind::roster()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown policy {name:?} (see `kalstream policies`)"))
+}
+
+fn cmd_record(flags: &Flags) -> Result<(), String> {
+    let family = family_by_name(&flags.require("family")?)?;
+    let ticks: usize = flags.require_parsed("ticks")?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let out = flags.require("out")?;
+    flags.finish()?;
+
+    let mut stream = make_stream(family, seed);
+    let trace = Trace::record(stream.as_mut(), ticks);
+    let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    trace.write_to(&mut writer).map_err(|e| format!("write {out}: {e}"))?;
+    println!("recorded {ticks} ticks of {} (seed {seed}) to {out}", family.name());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Trace::read_from(&mut BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_fit(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("trace")?;
+    flags.finish()?;
+    let trace = load_trace(&path)?;
+    if trace.dim() != 1 {
+        return Err("fit supports scalar traces".into());
+    }
+    let observed: Vec<f64> = (0..trace.len()).map(|i| trace.observed(i)[0]).collect();
+    let fitted = fit_scalar_model(&observed).map_err(|e| e.to_string())?;
+    println!("trace      : {} ({} ticks)", trace.name(), trace.len());
+    println!("fitted     : {}", fitted.model.name());
+    println!("noise var  : {:.6}", fitted.r_hat);
+    println!("candidates (held-out mean log-likelihood):");
+    for (name, score) in &fitted.candidates {
+        println!("  {name:24} {score:>10.3}");
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("trace")?;
+    let delta: f64 = flags.require_parsed("delta")?;
+    let policy = policy_by_name(&flags.get("policy").unwrap_or_else(|| "kalman_bank".into()))?;
+    flags.finish()?;
+    let trace = load_trace(&path)?;
+    let ticks = trace.len() as u64;
+    let replay: Box<dyn Stream + Send> = Box::new(TraceReplay::new(trace));
+    let report = run_on_stream(policy, replay, delta, ticks, &mut ());
+    println!("policy            : {}", policy.name());
+    println!("ticks             : {}", report.ticks);
+    println!("messages          : {}", report.traffic.messages());
+    println!("bytes on wire     : {}", report.traffic.bytes());
+    println!("suppression       : {:.2}%", 100.0 * report.suppression_ratio());
+    println!("rmse vs observed  : {}", fmt_f(report.error_vs_observed.rmse()));
+    println!("max |err|         : {}", fmt_f(report.error_vs_observed.max_abs()));
+    println!("violations        : {}", report.error_vs_observed.violations());
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let family = family_by_name(&flags.require("family")?)?;
+    let delta: f64 = flags.require_parsed("delta")?;
+    let ticks: u64 = flags.get_parsed("ticks", 20_000)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    flags.finish()?;
+
+    let mut table = Table::new(
+        format!("compare: {} at delta {delta} ({ticks} ticks, seed {seed})", family.name()),
+        &["policy", "messages", "bytes", "rmse", "violations"],
+    );
+    for policy in PolicyKind::roster() {
+        let run = run_method(policy, family, delta, ticks, seed);
+        table.add_row(vec![
+            policy.name(),
+            run.report.traffic.messages().to_string(),
+            run.report.traffic.bytes().to_string(),
+            fmt_f(run.report.error_vs_observed.rmse()),
+            run.report.error_vs_observed.violations().to_string(),
+        ]);
+    }
+    table.print();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(parts: &[&str]) -> Flags {
+        Flags::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parser_roundtrip() {
+        let f = flags(&["--family", "stock", "--ticks", "100"]);
+        assert_eq!(f.require("family").unwrap(), "stock");
+        assert_eq!(f.require_parsed::<u64>("ticks").unwrap(), 100);
+        assert!(f.finish().is_ok());
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let f = flags(&["--family", "stock", "--typo", "x"]);
+        let _ = f.require("family");
+        assert!(f.finish().unwrap_err().contains("--typo"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Flags::parse(&["--ticks".to_string()]).is_err());
+        assert!(Flags::parse(&["ticks".to_string(), "5".to_string()]).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let f = flags(&[]);
+        assert_eq!(f.get_parsed("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert!(family_by_name("gps").is_ok());
+        assert!(family_by_name("nope").is_err());
+        assert!(policy_by_name("kalman_bank").is_ok());
+        assert!(policy_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&["frobnicate".to_string()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+}

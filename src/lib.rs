@@ -1,0 +1,23 @@
+//! # kalstream — adaptive stream resource management with Kalman filters
+//!
+//! Facade crate re-exporting the whole workspace behind one dependency.
+//! See the crate-level documentation of each member for details:
+//!
+//! * [`core`] — the dual-Kalman precision-bounded suppression protocol.
+//! * [`filter`] — Kalman filter machinery (KF/EKF, adaptive noise, model bank).
+//! * [`gen`] — stream generators (synthetic processes and domain traces).
+//! * [`sim`] — the discrete-time network simulation substrate.
+//! * [`baselines`] — comparator suppression policies.
+//! * [`query`] — continuous queries with precision bounds and error budgets.
+//! * [`linalg`] — the small dense linear-algebra kernel underneath it all.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use kalstream_baselines as baselines;
+pub use kalstream_core as core;
+pub use kalstream_filter as filter;
+pub use kalstream_gen as gen;
+pub use kalstream_linalg as linalg;
+pub use kalstream_query as query;
+pub use kalstream_sim as sim;

@@ -1,0 +1,119 @@
+//! Integration: the comparative *shapes* the evaluation rests on, asserted
+//! as tests so a regression in any component (filter, protocol, baseline)
+//! that would invalidate EXPERIMENTS.md fails CI, not review.
+
+use kalstream::baselines::{build_policy, PolicyKind};
+use kalstream::gen::{
+    domain::GpsTrack,
+    synthetic::{Ramp, RandomWalk, Sinusoid},
+    Stream,
+};
+use kalstream::sim::{Session, SessionConfig};
+
+fn messages(policy: PolicyKind, mut stream: Box<dyn Stream + Send>, delta: f64, ticks: u64) -> u64 {
+    let dim = stream.dim();
+    let first = stream.next_sample();
+    let (mut p, mut c) = build_policy(policy, dim, delta, &first.observed);
+    let config = SessionConfig::instant(ticks, delta);
+    let mut pending = Some(first);
+    Session::run(
+        &config,
+        move |obs, tru| {
+            if let Some(f) = pending.take() {
+                obs[..dim].copy_from_slice(&f.observed);
+                tru[..dim].copy_from_slice(&f.truth);
+            } else {
+                stream.next_into(obs, tru);
+            }
+        },
+        p.as_mut(),
+        c.as_mut(),
+        &mut (),
+    )
+    .traffic
+    .messages()
+}
+
+fn ramp(seed: u64) -> Box<dyn Stream + Send> {
+    Box::new(Ramp::new(0.0, 0.2, 0.05, seed))
+}
+
+fn noisy_flat(seed: u64) -> Box<dyn Stream + Send> {
+    Box::new(RandomWalk::new(0.0, 0.0, 0.01, 0.5, seed))
+}
+
+#[test]
+fn kalman_bank_beats_value_cache_on_trends_by_2x() {
+    let vc = messages(PolicyKind::ValueCache, ramp(1), 0.4, 10_000);
+    let kf = messages(PolicyKind::KalmanBank, ramp(1), 0.4, 10_000);
+    assert!(kf * 2 < vc, "bank {kf} vs value cache {vc}");
+}
+
+#[test]
+fn kalman_bank_beats_value_cache_on_sinusoids() {
+    let stream = |seed| -> Box<dyn Stream + Send> {
+        Box::new(Sinusoid::new(10.0, core::f64::consts::TAU / 200.0, 0.0, 0.0, 0.2, seed))
+    };
+    let vc = messages(PolicyKind::ValueCache, stream(2), 1.0, 10_000);
+    let kf = messages(PolicyKind::KalmanBank, stream(2), 1.0, 10_000);
+    assert!(kf < vc, "bank {kf} vs value cache {vc}");
+}
+
+#[test]
+fn kalman_cv_beats_value_cache_on_gps_by_2x() {
+    let gps = |seed| -> Box<dyn Stream + Send> { Box::new(GpsTrack::pedestrian_default(seed)) };
+    let vc = messages(PolicyKind::ValueCache, gps(3), 12.0, 10_000);
+    let kf = messages(PolicyKind::KalmanAdaptive, gps(3), 12.0, 10_000);
+    assert!(kf * 2 < vc, "kalman {kf} vs value cache {vc}");
+}
+
+#[test]
+fn kalman_never_loses_badly_on_memoryless_streams() {
+    // On a pure random walk the last value IS the optimal predictor; the
+    // protocol must match value caching within a few percent, not lose.
+    let walk = |seed| -> Box<dyn Stream + Send> {
+        Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, seed))
+    };
+    let vc = messages(PolicyKind::ValueCache, walk(4), 1.0, 10_000);
+    let kf = messages(PolicyKind::KalmanFixed, walk(4), 1.0, 10_000);
+    assert!(
+        (kf as f64) < (vc as f64) * 1.05,
+        "kalman {kf} should track value cache {vc} on a martingale"
+    );
+}
+
+#[test]
+fn dead_reckoning_amplifies_noise_kalman_does_not() {
+    let dr = messages(PolicyKind::DeadReckoning, noisy_flat(5), 0.8, 10_000);
+    let kf = messages(PolicyKind::KalmanAdaptive, noisy_flat(5), 0.8, 10_000);
+    assert!(kf * 2 < dr, "kalman {kf} vs dead reckoning {dr}");
+}
+
+#[test]
+fn ttl_is_oblivious_to_the_stream() {
+    // TTL sends exactly ticks/ttl regardless of dynamics.
+    let quiet = messages(PolicyKind::Ttl(10), noisy_flat(6), 1.0, 10_000);
+    let trending = messages(PolicyKind::Ttl(10), ramp(6), 1.0, 10_000);
+    assert_eq!(quiet, 1_000);
+    assert_eq!(trending, 1_000);
+}
+
+#[test]
+fn holt_beats_raw_dead_reckoning_on_noise() {
+    let holt = messages(PolicyKind::HoltTrend, noisy_flat(7), 0.8, 10_000);
+    let dr = messages(PolicyKind::DeadReckoning, noisy_flat(7), 0.8, 10_000);
+    assert!(holt < dr, "holt {holt} vs dead reckoning {dr}");
+}
+
+#[test]
+fn known_model_approaches_the_noise_floor() {
+    // A harmonic-model protocol with the true frequency should need an
+    // order of magnitude fewer messages than a value cache on a sinusoid.
+    let omega = core::f64::consts::TAU / 200.0;
+    let stream = |seed| -> Box<dyn Stream + Send> {
+        Box::new(Sinusoid::new(10.0, omega, 0.0, 0.0, 0.2, seed))
+    };
+    let vc = messages(PolicyKind::ValueCache, stream(8), 1.0, 10_000);
+    let kh = messages(PolicyKind::KalmanHarmonic(omega), stream(8), 1.0, 10_000);
+    assert!(kh * 10 < vc, "harmonic {kh} vs value cache {vc}");
+}

@@ -1,0 +1,92 @@
+//! Integration: the `kalstream` CLI binary, end to end through real
+//! processes and real files — record → fit → run → compare.
+
+use std::process::Command;
+
+fn kalstream(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_kalstream"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn record_fit_run_pipeline() {
+    let dir = std::env::temp_dir().join(format!("kalstream_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.txt");
+    let trace_str = trace.to_str().unwrap();
+
+    // record
+    let (ok, stdout, stderr) = kalstream(&[
+        "record", "--family", "ramp", "--ticks", "3000", "--seed", "5", "--out", trace_str,
+    ]);
+    assert!(ok, "record failed: {stderr}");
+    assert!(stdout.contains("recorded 3000 ticks"));
+    assert!(trace.exists());
+
+    // fit: a ramp must fit a trend model.
+    let (ok, stdout, stderr) = kalstream(&["fit", "--trace", trace_str]);
+    assert!(ok, "fit failed: {stderr}");
+    assert!(
+        stdout.contains("constant_velocity") || stdout.contains("constant_acceleration"),
+        "fit output: {stdout}"
+    );
+
+    // run: the protocol must suppress hard on a ramp and never violate.
+    let (ok, stdout, stderr) = kalstream(&[
+        "run", "--trace", trace_str, "--delta", "0.4", "--policy", "kalman_bank",
+    ]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(stdout.contains("violations        : 0"), "run output: {stdout}");
+    let suppression: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("suppression"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches('%').parse().ok())
+        .expect("suppression line present");
+    assert!(suppression > 80.0, "suppression {suppression}%");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_prints_every_policy() {
+    let (ok, stdout, stderr) =
+        kalstream(&["compare", "--family", "ramp", "--delta", "0.4", "--ticks", "2000"]);
+    assert!(ok, "compare failed: {stderr}");
+    for policy in ["ship_all", "value_cache", "dead_reckoning", "kalman_bank"] {
+        assert!(stdout.contains(policy), "missing {policy} in: {stdout}");
+    }
+}
+
+#[test]
+fn listing_commands_work() {
+    let (ok, stdout, _) = kalstream(&["families"]);
+    assert!(ok);
+    assert!(stdout.contains("gps (dim 2)"));
+    let (ok, stdout, _) = kalstream(&["policies"]);
+    assert!(ok);
+    assert!(stdout.contains("kalman_bank"));
+}
+
+#[test]
+fn errors_are_reported_with_usage() {
+    let (ok, _, stderr) = kalstream(&["run", "--trace", "/definitely/not/here", "--delta", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+    assert!(stderr.contains("usage:"));
+
+    let (ok, _, stderr) = kalstream(&["record", "--family", "nope", "--ticks", "1", "--out", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown family"));
+
+    let (ok, _, stderr) = kalstream(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("no command"));
+}

@@ -1,0 +1,127 @@
+//! Integration: failure injection — corrupted wire payloads, hostile
+//! streams, divergence recovery, and the latency envelope. A production
+//! stream system survives all of these; so must this one.
+
+use kalstream::core::{ProtocolConfig, SessionSpec};
+use kalstream::filter::{models, KalmanFilter};
+use kalstream::gen::{domain::NetworkRtt, synthetic::RandomWalk, Stream};
+use kalstream::linalg::Vector;
+use kalstream::sim::{Consumer, Producer};
+
+#[test]
+fn server_survives_corrupted_payloads() {
+    let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(0.5).unwrap()).unwrap();
+    let (mut source, mut server) = spec.build().split();
+    let mut stream = RandomWalk::new(0.0, 0.0, 0.3, 0.1, 81);
+    let mut obs = [0.0];
+    let mut tru = [0.0];
+    let mut corrupted = 0;
+    for now in 0..2_000u64 {
+        stream.next_into(&mut obs, &mut tru);
+        if let Some(payload) = source.observe(now, &obs) {
+            // Corrupt every third message in a different way each time.
+            match corrupted % 3 {
+                0 => {
+                    let mut v = payload.to_vec();
+                    if let Some(b) = v.first_mut() {
+                        *b = 0xFF; // unknown tag
+                    }
+                    server.receive(now, &bytes::Bytes::from(v));
+                }
+                1 => {
+                    let v = payload.to_vec();
+                    let cut = v.len() / 2;
+                    server.receive(now, &bytes::Bytes::from(v[..cut].to_vec())); // truncated
+                }
+                _ => server.receive(now, &payload), // delivered intact
+            }
+            corrupted += 1;
+        }
+        let mut est = [0.0];
+        server.estimate(now, &mut est);
+        assert!(est[0].is_finite(), "server produced non-finite estimate at tick {now}");
+    }
+    assert!(server.decode_failures() > 0, "the test should have corrupted something");
+    assert!(server.syncs_applied() > 0, "intact messages should still apply");
+}
+
+#[test]
+fn protocol_handles_extreme_jumps_without_divergence() {
+    // Jumps of 1e9 between ticks: the filter must resync, not blow up.
+    let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(1.0).unwrap()).unwrap();
+    let (mut source, mut server) = spec.build().split();
+    let values = [0.0, 1e9, -1e9, 1e9, 0.0, 0.0, 1e-9, 5.0];
+    for (now, &v) in values.iter().cycle().take(400).enumerate() {
+        if let Some(p) = source.observe(now as u64, &[v]) {
+            server.receive(now as u64, &p);
+        }
+        let mut est = [0.0];
+        server.estimate(now as u64, &mut est);
+        assert!(est[0].is_finite());
+    }
+}
+
+#[test]
+fn estimator_divergence_is_counted_and_recovered() {
+    // A filter with pathologically tiny noise on a huge-jump stream can go
+    // numerically degenerate; the source endpoint must reset it and keep
+    // serving rather than propagate the failure.
+    let kf = KalmanFilter::new(models::random_walk(1e-300, 1e-300), Vector::zeros(1), 1e-300)
+        .unwrap();
+    let spec = SessionSpec::fixed(
+        models::random_walk(1e-300, 1e-300),
+        Vector::zeros(1),
+        1e-300,
+        ProtocolConfig::new(0.5).unwrap(),
+    )
+    .unwrap();
+    drop(kf);
+    let (mut source, _server) = spec.build().split();
+    for now in 0..200u64 {
+        let v = if now % 2 == 0 { 1e300 } else { -1e300 };
+        let _ = source.observe(now, &[v]);
+    }
+    // Whether or not this particular pathology trips the divergence path,
+    // the endpoint must still be alive and serving finite decisions.
+    let _ = source.observe(200, &[0.0]);
+    assert!(source.shadow_predicted_value().is_finite() || source.estimator_failures() > 0);
+}
+
+#[test]
+fn bursty_network_stream_is_survived_with_zero_violations() {
+    // The heavy-tailed RTT stream is the protocol's worst case: verify the
+    // contract still holds and messages stay below ship-all.
+    let mut stream = NetworkRtt::wan_default(83);
+    let first = stream.next_sample();
+    let spec =
+        SessionSpec::default_scalar(first.observed[0], ProtocolConfig::new(4.0).unwrap()).unwrap();
+    let (mut source, mut server) = spec.build().split();
+    let mut obs = [0.0];
+    let mut tru = [0.0];
+    let mut worst: f64 = 0.0;
+    for now in 0..20_000u64 {
+        if now == 0 {
+            obs.copy_from_slice(&first.observed);
+        } else {
+            stream.next_into(&mut obs, &mut tru);
+        }
+        if let Some(p) = source.observe(now, &obs) {
+            server.receive(now, &p);
+        }
+        let mut est = [0.0];
+        server.estimate(now, &mut est);
+        worst = worst.max((est[0] - obs[0]).abs());
+    }
+    assert!(worst <= 4.0 * (1.0 + 1e-9), "worst error {worst}");
+    assert!(source.syncs() < 20_000 / 4, "suppression collapsed: {} syncs", source.syncs());
+}
+
+#[test]
+fn set_delta_to_garbage_is_ignored() {
+    let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(0.5).unwrap()).unwrap();
+    let (mut source, _server) = spec.build().split();
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        source.set_delta(bad);
+        assert_eq!(source.delta(), 0.5);
+    }
+}

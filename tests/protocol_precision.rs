@@ -1,0 +1,129 @@
+//! Integration: the precision contract holds end-to-end, across every
+//! δ-respecting policy, every stream family, and a sweep of bounds — the
+//! system-level statement of the paper's guarantee.
+
+use kalstream::baselines::{build_policy, PolicyKind};
+use kalstream::gen::{
+    domain::{GpsTrack, StockTicker, TemperatureSensor},
+    synthetic::{OrnsteinUhlenbeck, Ramp, RandomWalk, Sinusoid},
+    Stream,
+};
+use kalstream::sim::{Session, SessionConfig, SessionReport};
+
+fn scalar_streams(seed: u64) -> Vec<Box<dyn Stream + Send>> {
+    vec![
+        Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, seed)),
+        Box::new(Ramp::new(0.0, 0.2, 0.05, seed)),
+        Box::new(Sinusoid::new(5.0, 0.05, 0.0, 0.0, 0.1, seed)),
+        Box::new(OrnsteinUhlenbeck::new(0.0, 0.1, 0.0, 0.5, 1.0, 0.1, seed)),
+        Box::new(StockTicker::liquid_default(seed)),
+        Box::new(TemperatureSensor::outdoor_default(seed)),
+    ]
+}
+
+fn run(policy: PolicyKind, mut stream: Box<dyn Stream + Send>, delta: f64) -> SessionReport {
+    let dim = stream.dim();
+    let first = stream.next_sample();
+    let (mut p, mut c) = build_policy(policy, dim, delta, &first.observed);
+    let config = SessionConfig::instant(3_000, delta);
+    let mut pending = Some(first);
+    Session::run(
+        &config,
+        move |obs, tru| {
+            if let Some(f) = pending.take() {
+                obs[..dim].copy_from_slice(&f.observed);
+                tru[..dim].copy_from_slice(&f.truth);
+            } else {
+                stream.next_into(obs, tru);
+            }
+        },
+        p.as_mut(),
+        c.as_mut(),
+        &mut (),
+    )
+}
+
+const DELTA_RESPECTING: &[PolicyKind] = &[
+    PolicyKind::ShipAll,
+    PolicyKind::ValueCache,
+    PolicyKind::DeadReckoning,
+    PolicyKind::HoltTrend,
+    PolicyKind::KalmanFixed,
+    PolicyKind::KalmanAdaptive,
+    PolicyKind::KalmanBank,
+];
+
+#[test]
+fn zero_violations_across_policies_families_and_bounds() {
+    for &policy in DELTA_RESPECTING {
+        for (si, _) in scalar_streams(0).into_iter().enumerate() {
+            for &delta in &[0.2, 1.0, 5.0] {
+                let stream = scalar_streams(100 + si as u64).remove(si);
+                let report = run(policy, stream, delta);
+                assert_eq!(
+                    report.error_vs_observed.violations(),
+                    0,
+                    "policy {} stream #{si} delta {delta}: {} violations (max err {})",
+                    policy.name(),
+                    report.error_vs_observed.violations(),
+                    report.error_vs_observed.max_abs()
+                );
+                assert!(report.error_vs_observed.max_abs() <= delta * (1.0 + 1e-9) + 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_violations_on_2d_gps() {
+    for &policy in DELTA_RESPECTING {
+        let stream: Box<dyn Stream + Send> = Box::new(GpsTrack::pedestrian_default(9));
+        let report = run(policy, stream, 12.0);
+        assert_eq!(
+            report.error_vs_observed.violations(),
+            0,
+            "policy {} violated on gps",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn message_count_is_monotone_in_delta() {
+    // Looser bounds must never cost more messages (suppression dominance).
+    for &policy in &[PolicyKind::ValueCache, PolicyKind::KalmanFixed, PolicyKind::KalmanBank] {
+        let mut last = u64::MAX;
+        for &delta in &[0.2, 0.5, 1.0, 2.0, 5.0] {
+            let stream: Box<dyn Stream + Send> =
+                Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, 11));
+            let msgs = run(policy, stream, delta).traffic.messages();
+            assert!(
+                msgs <= last.saturating_add(last / 10).saturating_add(5),
+                "policy {} not ~monotone: {msgs} msgs at delta {delta}, {last} at the tighter bound",
+                policy.name()
+            );
+            last = msgs;
+        }
+    }
+}
+
+#[test]
+fn ship_all_is_errorless_and_maximal() {
+    let stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, 12));
+    let report = run(PolicyKind::ShipAll, stream, 1.0);
+    assert_eq!(report.traffic.messages(), 3_000);
+    assert_eq!(report.error_vs_observed.max_abs(), 0.0);
+}
+
+#[test]
+fn error_vs_truth_bounded_by_delta_plus_noise() {
+    // Against ground truth the served error can exceed δ only by the sensor
+    // noise scale; sanity-check the accounting separates the two.
+    let sigma_v = 0.1;
+    let delta = 0.5;
+    let stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.3, sigma_v, 13));
+    let report = run(PolicyKind::KalmanAdaptive, stream, delta);
+    assert_eq!(report.error_vs_observed.violations(), 0);
+    // 6σ of sensor noise on top of δ is a generous envelope.
+    assert!(report.error_vs_truth.max_abs() <= delta + 6.0 * sigma_v);
+}

@@ -1,0 +1,173 @@
+//! Integration: the query layer end-to-end — live sessions feeding a
+//! registry, aggregate answers with sound bounds, and budget splits that
+//! actually deliver what they promise.
+
+use std::collections::HashMap;
+
+use kalstream::core::{ProtocolConfig, SessionSpec, ServerEndpoint, SourceEndpoint, StreamDemand};
+use kalstream::gen::{synthetic::RandomWalk, Stream};
+use kalstream::query::{
+    AggKind, AggregateQuery, PointQuery, QueryRegistry, StreamId, StreamView,
+};
+use kalstream::sim::{Consumer, Producer};
+
+struct Live {
+    stream: RandomWalk,
+    source: SourceEndpoint,
+    server: ServerEndpoint,
+}
+
+fn live_session(sigma_w: f64, delta: f64, seed: u64) -> Live {
+    let spec =
+        SessionSpec::default_scalar(0.0, ProtocolConfig::new(delta).unwrap()).unwrap();
+    let (source, server) = spec.build().split();
+    Live { stream: RandomWalk::new(0.0, 0.0, sigma_w, 0.02, seed), source, server }
+}
+
+#[test]
+fn aggregate_answers_are_sound_against_live_streams() {
+    // Three live sessions, an AVG query, checked tick by tick: the answer's
+    // claimed bound must always cover the true average of observations.
+    let deltas = [0.2, 0.5, 1.0];
+    let mut sessions: Vec<Live> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| live_session(0.1 + 0.3 * i as f64, d, 30 + i as u64))
+        .collect();
+    let mut registry = QueryRegistry::new();
+    registry.add_aggregate(
+        AggregateQuery::new(AggKind::Avg, vec![StreamId(0), StreamId(1), StreamId(2)], 10.0)
+            .unwrap(),
+    );
+
+    let mut obs = [0.0];
+    let mut tru = [0.0];
+    for now in 0..2_000u64 {
+        let mut sum_obs = 0.0;
+        for (i, s) in sessions.iter_mut().enumerate() {
+            s.stream.next_into(&mut obs, &mut tru);
+            sum_obs += obs[0];
+            if let Some(p) = s.source.observe(now, &obs) {
+                s.server.receive(now, &p);
+            }
+            let mut est = [0.0];
+            s.server.estimate(now, &mut est);
+            registry.update_view(
+                StreamId(i),
+                StreamView { value: est[0], delta: s.source.delta(), staleness: s.server.staleness() },
+            );
+        }
+        let answer = &registry.answer_aggregates().unwrap()[0];
+        let true_avg = sum_obs / 3.0;
+        assert!(
+            (answer.value - true_avg).abs() <= answer.bound * (1.0 + 1e-9) + 1e-12,
+            "tick {now}: answer {} ± {} vs true avg {true_avg}",
+            answer.value,
+            answer.bound
+        );
+        // The derived bound is the mean of member deltas.
+        assert!((answer.bound - (0.2 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn required_deltas_flow_back_into_sources() {
+    // A registry with a tight point query on stream 0 should tighten that
+    // source via set_delta, and the session keeps honouring the new bound.
+    let mut s = live_session(0.2, 1.0, 33);
+    let mut registry = QueryRegistry::new();
+    registry.add_point(PointQuery { stream: StreamId(0), delta: 0.1 });
+    let required = registry.required_deltas(&HashMap::new());
+    s.source.set_delta(required[&StreamId(0)]);
+    assert_eq!(s.source.delta(), 0.1);
+
+    let mut obs = [0.0];
+    let mut tru = [0.0];
+    let mut worst: f64 = 0.0;
+    for now in 0..1_000u64 {
+        s.stream.next_into(&mut obs, &mut tru);
+        if let Some(p) = s.source.observe(now, &obs) {
+            s.server.receive(now, &p);
+        }
+        let mut est = [0.0];
+        s.server.estimate(now, &mut est);
+        worst = worst.max((est[0] - obs[0]).abs());
+    }
+    assert!(worst <= 0.1 * (1.0 + 1e-9), "worst error {worst} exceeds retuned bound");
+}
+
+#[test]
+fn optimal_split_spends_fewer_messages_than_uniform_at_equal_guarantee() {
+    // Calibrate demand curves, split an AVG budget both ways, run both
+    // fleets, compare message totals. This is experiment F9 in miniature,
+    // asserted.
+    let sigmas = [0.05, 0.1, 0.3, 0.8, 2.0];
+    let epsilon = 1.0;
+    let budget = epsilon * sigmas.len() as f64;
+
+    let calibrate = |seed_phase: u64| -> Vec<StreamDemand> {
+        sigmas
+            .iter()
+            .enumerate()
+            .map(|(i, &sw)| {
+                let mut s = live_session(sw, 0.5, 40 + i as u64 + seed_phase);
+                let mut obs = [0.0];
+                let mut tru = [0.0];
+                for now in 0..1_500u64 {
+                    s.stream.next_into(&mut obs, &mut tru);
+                    let _ = s.source.observe(now, &obs);
+                }
+                StreamDemand::new(s.source.rate_estimator().samples(), 1.0).unwrap()
+            })
+            .collect()
+    };
+    let run_at = |deltas: &[f64], seed_phase: u64| -> u64 {
+        deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let mut s = live_session(sigmas[i], d.max(1e-4), 60 + i as u64 + seed_phase);
+                let mut obs = [0.0];
+                let mut tru = [0.0];
+                for now in 0..4_000u64 {
+                    s.stream.next_into(&mut obs, &mut tru);
+                    let _ = s.source.observe(now, &obs);
+                }
+                s.source.syncs()
+            })
+            .sum()
+    };
+
+    let demands = calibrate(0);
+    let uniform = kalstream::query::split_budget_uniform(sigmas.len(), budget, None);
+    let optimal = kalstream::query::split_budget(&demands, budget, None);
+    assert!(optimal.iter().sum::<f64>() <= budget + 1e-9);
+
+    let uniform_msgs = run_at(&uniform, 0);
+    let optimal_msgs = run_at(&optimal, 0);
+    assert!(
+        optimal_msgs <= uniform_msgs,
+        "optimal split {optimal_msgs} msgs vs uniform {uniform_msgs}"
+    );
+}
+
+#[test]
+fn min_query_cap_propagates_to_every_member() {
+    let mut registry = QueryRegistry::new();
+    registry.add_aggregate(
+        AggregateQuery::new(AggKind::Min, vec![StreamId(0), StreamId(1)], 0.3).unwrap(),
+    );
+    let required = registry.required_deltas(&HashMap::new());
+    for id in [StreamId(0), StreamId(1)] {
+        assert!(required[&id] <= 0.3);
+    }
+}
+
+#[test]
+fn stale_views_surface_in_answers() {
+    let mut registry = QueryRegistry::new();
+    registry.add_point(PointQuery { stream: StreamId(0), delta: 1.0 });
+    registry.update_view(StreamId(0), StreamView { value: 5.0, delta: 1.0, staleness: 42 });
+    let answers = registry.answer_point_queries().unwrap();
+    assert_eq!(answers[0].max_staleness, 42);
+}
