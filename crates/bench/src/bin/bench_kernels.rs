@@ -1,0 +1,213 @@
+//! Kernel-level perf baseline: ns/op for the filter hot path, allocs/tick
+//! in protocol steady state, and a fixed 100-stream fleet macro-run.
+//!
+//! Writes the measurements as JSON (schema documented in EXPERIMENTS.md,
+//! "BENCH_kernels.json"). Usage:
+//!
+//! ```text
+//! cargo run --release -p kalstream-bench --bin bench_kernels -- \
+//!     [--out PATH] [--before PATH]
+//! ```
+//!
+//! Without `--before`, writes a bare measurement object to `--out`
+//! (default `BENCH_kernels.json`). With `--before PATH`, embeds the JSON
+//! object previously recorded at PATH verbatim under `"before"` and the
+//! fresh measurements under `"after"`, producing the committed
+//! before/after baseline.
+
+use std::time::Instant;
+
+use criterion::Criterion;
+use kalstream_baselines::PolicyKind;
+use kalstream_bench::alloc_count::{self, CountingAllocator};
+use kalstream_bench::harness::{run_method, StreamFamily};
+use kalstream_core::{ProtocolConfig, SessionSpec, SourceEndpoint};
+use kalstream_filter::{models, KalmanFilter};
+use kalstream_linalg::Vector;
+use kalstream_sim::run_fleet;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const FLEET_STREAMS: usize = 100;
+const FLEET_TICKS: u64 = 2_000;
+const ALLOC_TICKS: u64 = 10_000;
+
+fn quiet_source(delta: f64) -> SourceEndpoint {
+    SessionSpec::fixed(
+        models::random_walk(0.01, 0.01),
+        Vector::zeros(1),
+        1.0,
+        ProtocolConfig::new(delta).expect("valid delta"),
+    )
+    .expect("valid spec")
+    .build()
+    .split()
+    .0
+}
+
+struct Measurements {
+    predict_ns: f64,
+    update_ns: f64,
+    decide_ns: f64,
+    allocs_per_tick: f64,
+    allocs_per_filter_step: f64,
+    fleet_wall_ms: f64,
+    fleet_total_messages: u64,
+}
+
+fn measure() -> Measurements {
+    // --- criterion micro-benches -----------------------------------------
+    let mut c = Criterion::default();
+
+    let model = models::constant_velocity(1.0, 0.05, 0.1);
+    let mut kf = KalmanFilter::new(model.clone(), Vector::zeros(2), 1.0).expect("kf");
+    c.bench_function("predict_cv2", |b| {
+        b.iter(|| {
+            kf.predict().expect("predict");
+            std::hint::black_box(kf.state());
+        })
+    });
+
+    let mut kf = KalmanFilter::new(model, Vector::zeros(2), 1.0).expect("kf");
+    let z = Vector::from_slice(&[0.5]);
+    c.bench_function("update_cv2", |b| {
+        b.iter(|| {
+            kf.predict().expect("predict");
+            std::hint::black_box(kf.update(&z).expect("update").nis);
+        })
+    });
+
+    let mut source = quiet_source(0.5);
+    for _ in 0..1_000 {
+        source.decide(&[0.0]);
+    }
+    c.bench_function("suppression_decision_quiet", |b| {
+        b.iter(|| std::hint::black_box(source.decide(&[0.0])))
+    });
+
+    let ns = |id: &str| {
+        c.results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.ns_per_iter)
+            .expect("bench ran")
+    };
+    let predict_ns = ns("predict_cv2");
+    let update_ns = ns("update_cv2");
+    let decide_ns = ns("suppression_decision_quiet");
+
+    // --- allocs/tick in protocol steady state ----------------------------
+    let mut source = quiet_source(0.5);
+    for _ in 0..1_000 {
+        source.decide(&[0.0]); // settle: no syncs after this
+    }
+    let (allocs, _) = alloc_count::count_allocs(|| {
+        for _ in 0..ALLOC_TICKS {
+            std::hint::black_box(source.decide(&[0.0]));
+        }
+    });
+    let allocs_per_tick = allocs as f64 / ALLOC_TICKS as f64;
+
+    // Filter-only steady state (predict + update, no protocol).
+    let mut kf = KalmanFilter::new(
+        models::constant_velocity(1.0, 0.05, 0.1),
+        Vector::zeros(2),
+        1.0,
+    )
+    .expect("kf");
+    let z = Vector::from_slice(&[0.5]);
+    for _ in 0..100 {
+        kf.step(&z).expect("step");
+    }
+    let (allocs, _) = alloc_count::count_allocs(|| {
+        for _ in 0..ALLOC_TICKS {
+            std::hint::black_box(kf.step(&z).expect("step").nis);
+        }
+    });
+    let allocs_per_filter_step = allocs as f64 / ALLOC_TICKS as f64;
+
+    // --- fleet macro-run --------------------------------------------------
+    let families = StreamFamily::scalar_roster();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let jobs: Vec<_> = (0..FLEET_STREAMS)
+        .map(|i| {
+            let family = families[i % families.len()];
+            let delta = family.natural_scale();
+            move || run_method(PolicyKind::KalmanFixed, family, delta, FLEET_TICKS, 7_000 + i as u64).report
+        })
+        .collect();
+    let start = Instant::now();
+    let fleet = run_fleet(jobs, threads);
+    let fleet_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    Measurements {
+        predict_ns,
+        update_ns,
+        decide_ns,
+        allocs_per_tick,
+        allocs_per_filter_step,
+        fleet_wall_ms,
+        fleet_total_messages: fleet.total_messages(),
+    }
+}
+
+fn to_json(m: &Measurements) -> String {
+    format!(
+        "{{\n  \"predict_ns\": {:.1},\n  \"update_ns\": {:.1},\n  \"suppression_decision_ns\": {:.1},\n  \"allocs_per_tick\": {:.3},\n  \"allocs_per_filter_step\": {:.3},\n  \"fleet_streams\": {},\n  \"fleet_ticks\": {},\n  \"fleet_wall_ms\": {:.1},\n  \"fleet_total_messages\": {}\n}}",
+        m.predict_ns,
+        m.update_ns,
+        m.decide_ns,
+        m.allocs_per_tick,
+        m.allocs_per_filter_step,
+        FLEET_STREAMS,
+        FLEET_TICKS,
+        m.fleet_wall_ms,
+        m.fleet_total_messages,
+    )
+}
+
+fn indent(json: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    json.lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{pad}{l}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut before_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--before" => before_path = Some(args.next().expect("--before needs a path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let m = measure();
+    let after = to_json(&m);
+
+    let doc = match before_path {
+        Some(path) => {
+            let before = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read --before {path}: {e}"));
+            format!(
+                "{{\n  \"schema\": \"bench_kernels/v1\",\n  \"before\": {},\n  \"after\": {}\n}}\n",
+                indent(before.trim(), 2),
+                indent(&after, 2),
+            )
+        }
+        None => format!("{after}\n"),
+    };
+
+    std::fs::write(&out_path, &doc).expect("write output");
+    println!("\nwrote {out_path}");
+    println!(
+        "predict {:.1} ns | update {:.1} ns | decide {:.1} ns | allocs/tick {:.2} | fleet {:.0} ms",
+        m.predict_ns, m.update_ns, m.decide_ns, m.allocs_per_tick, m.fleet_wall_ms
+    );
+}

@@ -23,6 +23,9 @@ use crate::{CoreError, Result};
 
 /// A protocol sync message.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // inline-storage matrices make variants big,
+// but a message is built once per sync and immediately encoded — boxing would
+// put an allocation back on that path for no win
 pub enum SyncMessage {
     /// Corrected state and covariance; model unchanged.
     State {

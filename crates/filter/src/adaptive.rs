@@ -183,12 +183,12 @@ impl AdaptiveKalmanFilter {
         let count = self.innov_outer.len() as f64;
         let mut c = Matrix::zeros(m, m);
         for o in &self.innov_outer {
-            c = &c + o;
+            c += o;
         }
         c.scale_mut(1.0 / count);
         let mut hph = Matrix::zeros(m, m);
         for p in &self.prior_cov {
-            hph = &hph + p;
+            hph += p;
         }
         hph.scale_mut(1.0 / count);
         // R̂ = mean(ν νᵀ) − mean(H P⁻ Hᵀ), floored on the diagonal.

@@ -9,7 +9,7 @@
 
 use kalstream_linalg::{Matrix, Vector};
 
-use crate::{FilterError, Result, UpdateOutcome};
+use crate::{FilterError, KalmanScratch, Result, UpdateOutcome};
 
 /// A nonlinear-Gaussian state-space model:
 ///
@@ -46,6 +46,8 @@ pub struct ExtendedKalmanFilter<M: NonlinearModel> {
     x: Vector,
     p: Matrix,
     steps_since_update: u64,
+    /// Reusable hot-path buffers shared with the linear filter's machinery.
+    scratch: KalmanScratch,
 }
 
 impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
@@ -64,7 +66,13 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
                 actual: (x0.dim(), 1),
             });
         }
-        Ok(ExtendedKalmanFilter { model, x: x0, p: Matrix::scalar(n, p0), steps_since_update: 0 })
+        Ok(ExtendedKalmanFilter {
+            model,
+            x: x0,
+            p: Matrix::scalar(n, p0),
+            steps_since_update: 0,
+            scratch: KalmanScratch::new(),
+        })
     }
 
     /// The wrapped model.
@@ -110,9 +118,13 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
     /// # Errors
     /// [`FilterError::Diverged`] on non-finite results.
     pub fn predict(&mut self) -> Result<()> {
+        // The Jacobian must be evaluated at the *pre-transition* state.
         let f_jac = self.model.f_jacobian(&self.x);
         self.x = self.model.f(&self.x);
-        self.p = &f_jac.sandwich(&self.p)? + self.model.q();
+        let sc = &mut self.scratch;
+        f_jac.sandwich_into(&self.p, &mut sc.tmp, &mut sc.pt)?;
+        self.p.copy_from(&sc.pt);
+        self.p += self.model.q();
         self.p.symmetrize_mut();
         self.steps_since_update += 1;
         if !self.x.is_finite() {
@@ -139,30 +151,45 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
         if z.dim() != m {
             return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
         }
+        // Jacobian and predicted measurement are owned locals (the trait
+        // returns fresh values); everything downstream runs in scratch.
         let h_jac = self.model.h_jacobian(&self.x);
         let predicted = self.model.h(&self.x);
-        let innovation = z - &predicted;
-        let mut s = &h_jac.sandwich(&self.p)? + self.model.r();
-        s.symmetrize_mut();
-        let chol = s.cholesky()?;
-        let hp = h_jac.matmul(&self.p)?;
-        let k = chol.solve_mat(&hp)?.transpose();
-        let correction = k.mul_vec(&innovation)?;
-        self.x = &self.x + &correction;
+        let sc = &mut self.scratch;
+        sc.innovation.copy_from(z);
+        sc.innovation -= &predicted;
+        h_jac.sandwich_into(&self.p, &mut sc.tmp, &mut sc.s)?;
+        sc.s += self.model.r();
+        sc.s.symmetrize_mut();
+        sc.chol.refactor(&sc.s)?;
+        h_jac.matmul_into(&self.p, &mut sc.hp)?;
+        sc.chol.solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?;
+        sc.s_inv_hp.transpose_into(&mut sc.k);
+        sc.k.mul_vec_into(&sc.innovation, &mut sc.correction)?;
+        self.x += &sc.correction;
         let n = self.model.state_dim();
-        let i_kh = &Matrix::identity(n) - &k.matmul(&h_jac)?;
+        sc.k.matmul_into(&h_jac, &mut sc.kh)?;
+        sc.i_kh.resize_identity(n);
+        sc.i_kh -= &sc.kh;
         // Joseph form for the same numerical reasons as the linear filter.
-        let left = i_kh.sandwich(&self.p)?;
-        let krk = k.matmul(self.model.r())?.matmul(&k.transpose())?;
-        self.p = &left + &krk;
+        sc.i_kh.sandwich_into(&self.p, &mut sc.tmp, &mut sc.pt)?;
+        sc.k.matmul_into(self.model.r(), &mut sc.tmp)?;
+        sc.tmp.matmul_transpose_into(&sc.k, &mut sc.krk)?;
+        self.p.copy_from(&sc.pt);
+        self.p += &sc.krk;
         self.p.symmetrize_mut();
         self.steps_since_update = 0;
 
-        let s_inv_nu = chol.solve_vec(&innovation)?;
-        let nis = innovation.dot(&s_inv_nu)?;
+        sc.chol.solve_vec_into(&sc.innovation, &mut sc.s_inv_nu)?;
+        let nis = sc.innovation.dot(&sc.s_inv_nu)?;
         let log_likelihood =
-            -0.5 * (nis + chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
-        Ok(UpdateOutcome { innovation, innovation_cov: s, nis, log_likelihood })
+            -0.5 * (nis + sc.chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
+        Ok(UpdateOutcome {
+            innovation: sc.innovation.clone(),
+            innovation_cov: sc.s.clone(),
+            nis,
+            log_likelihood,
+        })
     }
 
     /// Convenience: predict then update.

@@ -1,8 +1,100 @@
 //! The discrete linear Kalman filter.
 
-use kalstream_linalg::{Matrix, Vector};
+use std::fmt;
+
+use kalstream_linalg::{Cholesky, Matrix, Vector};
 
 use crate::{FilterError, Result, StateModel};
+
+/// Reusable working storage for the filter hot path.
+///
+/// `predict`/`update` write every intermediate (innovation, gain, Joseph
+/// terms, Cholesky factor, …) into these buffers through the `*_into`
+/// kernels of `kalstream-linalg`, so a steady-state filter tick performs
+/// **zero heap allocations** and no redundant zero-fills. Each
+/// [`KalmanFilter`] owns one; the buffers are pure scratch — every field is
+/// fully overwritten before it is read, so scratch contents never influence
+/// results (cloning a filter resets its scratch to empty for exactly that
+/// reason).
+pub struct KalmanScratch {
+    /// Predicted state `F x`.
+    pub(crate) xt: Vector,
+    /// Shared intermediate for sandwich products (`F P`, `(I−KH) P`, `K R`).
+    pub(crate) tmp: Matrix,
+    /// Predicted covariance / left Joseph term.
+    pub(crate) pt: Matrix,
+    /// Predicted measurement `H x`.
+    pub(crate) predicted: Vector,
+    /// Innovation `ν = z − H x`.
+    pub(crate) innovation: Vector,
+    /// Innovation covariance `S`.
+    pub(crate) s: Matrix,
+    /// Reused Cholesky factorisation of `S`.
+    pub(crate) chol: Cholesky,
+    /// `H P`.
+    pub(crate) hp: Matrix,
+    /// `S⁻¹ H P`.
+    pub(crate) s_inv_hp: Matrix,
+    /// Gain `K`.
+    pub(crate) k: Matrix,
+    /// State correction `K ν`.
+    pub(crate) correction: Vector,
+    /// `K H`.
+    pub(crate) kh: Matrix,
+    /// `I − K H`.
+    pub(crate) i_kh: Matrix,
+    /// Joseph term `K R Kᵀ`.
+    pub(crate) krk: Matrix,
+    /// Column scratch for matrix solves.
+    pub(crate) col: Vector,
+    /// `S⁻¹ ν` for the NIS diagnostic.
+    pub(crate) s_inv_nu: Vector,
+}
+
+impl KalmanScratch {
+    /// Creates empty scratch; buffers grow (inline, stack-backed at Kalman
+    /// sizes) on first use.
+    pub fn new() -> Self {
+        KalmanScratch {
+            xt: Vector::zeros(0),
+            tmp: Matrix::zeros(0, 0),
+            pt: Matrix::zeros(0, 0),
+            predicted: Vector::zeros(0),
+            innovation: Vector::zeros(0),
+            s: Matrix::zeros(0, 0),
+            chol: Cholesky::empty(),
+            hp: Matrix::zeros(0, 0),
+            s_inv_hp: Matrix::zeros(0, 0),
+            k: Matrix::zeros(0, 0),
+            correction: Vector::zeros(0),
+            kh: Matrix::zeros(0, 0),
+            i_kh: Matrix::zeros(0, 0),
+            krk: Matrix::zeros(0, 0),
+            col: Vector::zeros(0),
+            s_inv_nu: Vector::zeros(0),
+        }
+    }
+}
+
+impl Default for KalmanScratch {
+    fn default() -> Self {
+        KalmanScratch::new()
+    }
+}
+
+impl Clone for KalmanScratch {
+    /// Scratch contents never affect results, so a clone starts empty
+    /// instead of copying stale buffers.
+    fn clone(&self) -> Self {
+        KalmanScratch::new()
+    }
+}
+
+impl fmt::Debug for KalmanScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("KalmanScratch { .. }")
+    }
+}
 
 /// Covariance-update formula used by [`KalmanFilter::update`].
 ///
@@ -55,6 +147,8 @@ pub struct KalmanFilter {
     /// Number of predict steps since the last measurement update; the
     /// suppression protocol reads this as "cache age".
     steps_since_update: u64,
+    /// Reusable hot-path buffers (see [`KalmanScratch`]).
+    scratch: KalmanScratch,
 }
 
 impl KalmanFilter {
@@ -94,6 +188,7 @@ impl KalmanFilter {
             p: p0,
             cov_update: CovarianceUpdate::Joseph,
             steps_since_update: 0,
+            scratch: KalmanScratch::new(),
         })
     }
 
@@ -162,12 +257,23 @@ impl KalmanFilter {
 
     /// Time update: `x ← F x`, `P ← F P Fᵀ + Q`.
     ///
+    /// Runs entirely through the scratch buffers — no allocation, and
+    /// bit-identical to the textbook allocating formulation (the `*_into`
+    /// kernels guarantee identical operation order).
+    ///
     /// # Errors
     /// [`FilterError::Diverged`] when the state or covariance leaves finite
     /// range.
     pub fn predict(&mut self) -> Result<()> {
-        self.x = self.model.f().mul_vec(&self.x)?;
-        self.p = &self.model.f().sandwich(&self.p)? + self.model.q();
+        let sc = &mut self.scratch;
+        let f = self.model.f();
+        // x ← F x.
+        f.mul_vec_into(&self.x, &mut sc.xt)?;
+        self.x.copy_from(&sc.xt);
+        // P ← F P Fᵀ + Q.
+        f.sandwich_into(&self.p, &mut sc.tmp, &mut sc.pt)?;
+        self.p.copy_from(&sc.pt);
+        self.p += self.model.q();
         self.p.symmetrize_mut();
         self.steps_since_update += 1;
         self.check_finite()
@@ -212,43 +318,58 @@ impl KalmanFilter {
         if z.dim() != m {
             return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
         }
+        let sc = &mut self.scratch;
         let h = self.model.h();
         // Innovation ν = z − H x.
-        let predicted = h.mul_vec(&self.x)?;
-        let innovation = z - &predicted;
+        h.mul_vec_into(&self.x, &mut sc.predicted)?;
+        sc.innovation.copy_from(z);
+        sc.innovation -= &sc.predicted;
         // S = H P Hᵀ + R.
-        let mut s = &h.sandwich(&self.p)? + self.model.r();
-        s.symmetrize_mut();
-        let chol = s.cholesky()?;
+        h.sandwich_into(&self.p, &mut sc.tmp, &mut sc.s)?;
+        sc.s += self.model.r();
+        sc.s.symmetrize_mut();
+        sc.chol.refactor(&sc.s)?;
         // Gain K = P Hᵀ S⁻¹, computed as (S⁻¹ H P)ᵀ via solves.
-        let hp = h.matmul(&self.p)?; // m × n
-        let s_inv_hp = chol.solve_mat(&hp)?; // m × n
-        let k = s_inv_hp.transpose(); // n × m
+        h.matmul_into(&self.p, &mut sc.hp)?; // m × n
+        sc.chol.solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?; // m × n
+        sc.s_inv_hp.transpose_into(&mut sc.k); // n × m
         // State: x ← x + K ν.
-        let correction = k.mul_vec(&innovation)?;
-        self.x = &self.x + &correction;
+        sc.k.mul_vec_into(&sc.innovation, &mut sc.correction)?;
+        self.x += &sc.correction;
         // Covariance.
         let n = self.model.state_dim();
-        let kh = k.matmul(h)?;
-        let i_kh = &Matrix::identity(n) - &kh;
-        self.p = match self.cov_update {
+        sc.k.matmul_into(h, &mut sc.kh)?;
+        sc.i_kh.resize_identity(n);
+        sc.i_kh -= &sc.kh;
+        match self.cov_update {
             CovarianceUpdate::Joseph => {
-                let left = i_kh.sandwich(&self.p)?;
-                let krk = k.matmul(self.model.r())?.matmul(&k.transpose())?;
-                &left + &krk
+                sc.i_kh.sandwich_into(&self.p, &mut sc.tmp, &mut sc.pt)?;
+                sc.k.matmul_into(self.model.r(), &mut sc.tmp)?;
+                sc.tmp.matmul_transpose_into(&sc.k, &mut sc.krk)?;
+                self.p.copy_from(&sc.pt);
+                self.p += &sc.krk;
             }
-            CovarianceUpdate::Simple => i_kh.matmul(&self.p)?,
-        };
+            CovarianceUpdate::Simple => {
+                sc.i_kh.matmul_into(&self.p, &mut sc.pt)?;
+                self.p.copy_from(&sc.pt);
+            }
+        }
         self.p.symmetrize_mut();
         self.steps_since_update = 0;
         self.check_finite()?;
 
         // Diagnostics: NIS = νᵀ S⁻¹ ν and Gaussian log-likelihood.
-        let s_inv_nu = chol.solve_vec(&innovation)?;
-        let nis = innovation.dot(&s_inv_nu)?;
+        let sc = &mut self.scratch;
+        sc.chol.solve_vec_into(&sc.innovation, &mut sc.s_inv_nu)?;
+        let nis = sc.innovation.dot(&sc.s_inv_nu)?;
         let log_likelihood = -0.5
-            * (nis + chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
-        Ok(UpdateOutcome { innovation, innovation_cov: s, nis, log_likelihood })
+            * (nis + sc.chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
+        Ok(UpdateOutcome {
+            innovation: sc.innovation.clone(),
+            innovation_cov: sc.s.clone(),
+            nis,
+            log_likelihood,
+        })
     }
 
     /// Convenience: one predict followed by one update.

@@ -65,7 +65,7 @@ pub use adaptive::{AdaptiveConfig, AdaptiveKalmanFilter};
 pub use bank::{BankConfig, ModelBank};
 pub use ekf::{ExtendedKalmanFilter, NonlinearModel};
 pub use error::FilterError;
-pub use kalman::{CovarianceUpdate, KalmanFilter, UpdateOutcome};
+pub use kalman::{CovarianceUpdate, KalmanFilter, KalmanScratch, UpdateOutcome};
 pub use model::StateModel;
 pub use smoother::{rts_smooth, Smoothed};
 pub use ukf::{UkfConfig, UnscentedKalmanFilter};

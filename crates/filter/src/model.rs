@@ -1,5 +1,7 @@
 //! Linear time-invariant state-space model description.
 
+use std::sync::Arc;
+
 use kalstream_linalg::Matrix;
 
 use crate::{FilterError, Result};
@@ -19,8 +21,10 @@ use crate::{FilterError, Result};
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateModel {
-    /// Human-readable model name (used by the model bank and experiment logs).
-    name: String,
+    /// Human-readable model name (used by the model bank and experiment
+    /// logs). `Arc<str>` so the adaptive layer's per-update model rebuilds
+    /// share the name instead of reallocating it.
+    name: Arc<str>,
     /// State-transition matrix `F` (`n × n`).
     f: Matrix,
     /// Process-noise covariance `Q` (`n × n`).
@@ -38,7 +42,7 @@ impl StateModel {
     /// [`FilterError::BadModel`] naming the offending matrix when any shape
     /// is inconsistent with `F`'s state dimension.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         f: Matrix,
         q: Matrix,
         h: Matrix,
@@ -126,7 +130,9 @@ impl StateModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kalstream_linalg::Matrix;
+    use std::sync::Arc;
+
+use kalstream_linalg::Matrix;
 
     fn valid_parts() -> (Matrix, Matrix, Matrix, Matrix) {
         (

@@ -8,7 +8,9 @@
 //! coordinated turns) the UKF is the safer default — and it reuses the same
 //! [`NonlinearModel`] trait, ignoring the Jacobian methods.
 
-use kalstream_linalg::{Matrix, Vector};
+use std::fmt;
+
+use kalstream_linalg::{Cholesky, Matrix, Vector};
 
 use crate::{FilterError, NonlinearModel, Result, UpdateOutcome};
 
@@ -29,6 +31,55 @@ impl Default for UkfConfig {
     }
 }
 
+/// Reusable sigma-point storage for the UKF hot path.
+///
+/// The individual `Vector`/`Matrix` values are inline (stack-backed) at
+/// Kalman sizes, but the sigma-point *collections* are `Vec`s; reusing them
+/// across steps keeps a steady-state UKF tick allocation-free. Like
+/// [`crate::KalmanScratch`], every slot is fully overwritten before it is
+/// read, so scratch contents never influence results.
+struct UkfScratch {
+    /// The `2n + 1` sigma points of `N(x, P)`.
+    points: Vec<Vector>,
+    /// Sigma points propagated through `f` (predict).
+    propagated: Vec<Vector>,
+    /// Sigma points mapped through `h` (update).
+    z_points: Vec<Vector>,
+    /// Mean weights.
+    w_mean: Vec<f64>,
+    /// Covariance weights.
+    w_cov: Vec<f64>,
+    /// Reused Cholesky factorisation of `P`.
+    chol: Cholesky,
+}
+
+impl UkfScratch {
+    fn new() -> Self {
+        UkfScratch {
+            points: Vec::new(),
+            propagated: Vec::new(),
+            z_points: Vec::new(),
+            w_mean: Vec::new(),
+            w_cov: Vec::new(),
+            chol: Cholesky::empty(),
+        }
+    }
+}
+
+impl Clone for UkfScratch {
+    /// Scratch contents never affect results, so a clone starts empty
+    /// instead of copying stale buffers.
+    fn clone(&self) -> Self {
+        UkfScratch::new()
+    }
+}
+
+impl fmt::Debug for UkfScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("UkfScratch { .. }")
+    }
+}
+
 /// Unscented Kalman filter over a [`NonlinearModel`].
 ///
 /// Shares the determinism and `Clone` requirements of the other filters, so
@@ -40,6 +91,7 @@ pub struct UnscentedKalmanFilter<M: NonlinearModel> {
     x: Vector,
     p: Matrix,
     steps_since_update: u64,
+    scratch: UkfScratch,
 }
 
 impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
@@ -72,6 +124,7 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
             x: x0,
             p: Matrix::scalar(n, p0),
             steps_since_update: 0,
+            scratch: UkfScratch::new(),
         })
     }
 
@@ -108,34 +161,36 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
         Ok(())
     }
 
-    /// Sigma points of `N(x, P)` plus their mean/covariance weights.
-    ///
-    /// Returns `2n + 1` points: the mean, and the mean ± each column of the
-    /// scaled Cholesky factor of `P`.
-    fn sigma_points(&self) -> Result<(Vec<Vector>, Vec<f64>, Vec<f64>)> {
+    /// Fills `scratch` with the `2n + 1` sigma points of `N(x, P)` — the
+    /// mean, and the mean ± each column of the scaled Cholesky factor of `P`
+    /// — plus their mean/covariance weights.
+    fn fill_sigma_points(&mut self) -> Result<()> {
         let n = self.model.state_dim();
         let nf = n as f64;
         let UkfConfig { alpha, beta, kappa } = self.config;
         let lambda = alpha * alpha * (nf + kappa) - nf;
         let scale = (nf + lambda).sqrt();
 
-        let chol = self.p.cholesky()?;
-        let l = chol.l();
-        let mut points = Vec::with_capacity(2 * n + 1);
-        points.push(self.x.clone());
+        let sc = &mut self.scratch;
+        sc.chol.refactor(&self.p)?;
+        let l = sc.chol.l();
+        sc.points.clear();
+        sc.points.push(self.x.clone());
         for j in 0..n {
             let col = l.col(j).scaled(scale);
-            points.push(&self.x + &col);
-            points.push(&self.x - &col);
+            sc.points.push(&self.x + &col);
+            sc.points.push(&self.x - &col);
         }
         let w0_mean = lambda / (nf + lambda);
         let w0_cov = w0_mean + 1.0 - alpha * alpha + beta;
         let wi = 0.5 / (nf + lambda);
-        let mut w_mean = vec![wi; 2 * n + 1];
-        let mut w_cov = vec![wi; 2 * n + 1];
-        w_mean[0] = w0_mean;
-        w_cov[0] = w0_cov;
-        Ok((points, w_mean, w_cov))
+        sc.w_mean.clear();
+        sc.w_mean.resize(2 * n + 1, wi);
+        sc.w_cov.clear();
+        sc.w_cov.resize(2 * n + 1, wi);
+        sc.w_mean[0] = w0_mean;
+        sc.w_cov[0] = w0_cov;
+        Ok(())
     }
 
     /// Time update via the unscented transform through `f`.
@@ -144,10 +199,14 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
     /// [`FilterError::Linalg`] when `P` loses positive definiteness;
     /// [`FilterError::Diverged`] on non-finite results.
     pub fn predict(&mut self) -> Result<()> {
-        let (points, w_mean, w_cov) = self.sigma_points()?;
-        let propagated: Vec<Vector> = points.iter().map(|s| self.model.f(s)).collect();
-        let (mean, mut cov) = weighted_moments(&propagated, &w_mean, &w_cov);
-        cov = &cov + self.model.q();
+        self.fill_sigma_points()?;
+        let sc = &mut self.scratch;
+        sc.propagated.clear();
+        for s in &sc.points {
+            sc.propagated.push(self.model.f(s));
+        }
+        let (mean, mut cov) = weighted_moments(&sc.propagated, &sc.w_mean, &sc.w_cov);
+        cov += self.model.q();
         cov.symmetrize_mut();
         self.x = mean;
         self.p = cov;
@@ -177,16 +236,20 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
         if z.dim() != m {
             return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
         }
-        let (points, w_mean, w_cov) = self.sigma_points()?;
-        let z_points: Vec<Vector> = points.iter().map(|s| self.model.h(s)).collect();
-        let (z_mean, mut s) = weighted_moments(&z_points, &w_mean, &w_cov);
-        s = &s + self.model.r();
+        self.fill_sigma_points()?;
+        let sc = &mut self.scratch;
+        sc.z_points.clear();
+        for s in &sc.points {
+            sc.z_points.push(self.model.h(s));
+        }
+        let (z_mean, mut s) = weighted_moments(&sc.z_points, &sc.w_mean, &sc.w_cov);
+        s += self.model.r();
         s.symmetrize_mut();
 
         // Cross covariance P_xz = Σ w (x_i − x̄)(z_i − z̄)ᵀ.
         let n = self.model.state_dim();
         let mut p_xz = Matrix::zeros(n, m);
-        for ((sx, sz), &w) in points.iter().zip(z_points.iter()).zip(w_cov.iter()) {
+        for ((sx, sz), &w) in sc.points.iter().zip(sc.z_points.iter()).zip(sc.w_cov.iter()) {
             let dx = sx - &self.x;
             let dz = sz - &z_mean;
             for r in 0..n {

@@ -32,6 +32,36 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] when a pivot is `<= tol`, where
     ///   `tol` scales with the magnitude of the matrix.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut l = Matrix::zeros(0, 0);
+        Self::factor_into(a, &mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// A dimension-0 placeholder for later [`Cholesky::refactor`] — lets
+    /// callers hold a reusable factorisation slot (e.g. in per-filter
+    /// scratch) without a valid matrix up front.
+    pub fn empty() -> Self {
+        Cholesky { l: Matrix::zeros(0, 0) }
+    }
+
+    /// Re-factors `a` in place, reusing the existing factor storage
+    /// (allocation-free at inline sizes). Identical numerics to
+    /// [`Cholesky::new`].
+    ///
+    /// # Errors
+    /// As [`Cholesky::new`]. On error the stored factor is invalid and must
+    /// be refactored successfully before further solves.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        Self::factor_into(a, &mut self.l)
+    }
+
+    /// The factorisation kernel: writes `L` into `l` (resized in place).
+    /// [`Cholesky::new`] and [`Cholesky::refactor`] both delegate here, so
+    /// the reusable and allocating paths are bit-identical by construction.
+    ///
+    /// # Errors
+    /// As [`Cholesky::new`].
+    pub fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
         }
@@ -42,7 +72,7 @@ impl Cholesky {
         // Relative tolerance: a pivot smaller than this fraction of the
         // largest element means "not PD to working precision".
         let tol = 1e-13 * a.norm_inf_elem().max(1.0);
-        let mut l = Matrix::zeros(n, n);
+        l.resize_zeroed(n, n);
         for j in 0..n {
             // Diagonal entry.
             let mut d = a.get(j, j);
@@ -64,7 +94,7 @@ impl Cholesky {
                 l.set(i, j, v / dsqrt);
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -82,25 +112,35 @@ impl Cholesky {
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] when `b.dim() != self.dim()`.
     pub fn solve_vec(&self, b: &Vector) -> Result<Vector> {
+        let mut x = b.clone();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: on entry `x` holds `b`, on exit the
+    /// solution. No copies, no allocation; bit-identical to
+    /// [`Cholesky::solve_vec`] (which delegates here).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `x.dim() != self.dim()`.
+    pub fn solve_in_place(&self, x: &mut Vector) -> Result<()> {
         let n = self.dim();
-        if b.dim() != n {
+        if x.dim() != n {
             return Err(LinalgError::DimensionMismatch {
                 op: "cholesky solve",
                 lhs: (n, n),
-                rhs: (b.dim(), 1),
+                rhs: (x.dim(), 1),
             });
         }
         // Forward substitution: L y = b.
-        let mut y = b.clone();
         for i in 0..n {
-            let mut v = y[i];
+            let mut v = x[i];
             for k in 0..i {
-                v -= self.l.get(i, k) * y[k];
+                v -= self.l.get(i, k) * x[k];
             }
-            y[i] = v / self.l.get(i, i);
+            x[i] = v / self.l.get(i, i);
         }
         // Back substitution: Lᵀ x = y.
-        let mut x = y;
         for i in (0..n).rev() {
             let mut v = x[i];
             for k in (i + 1)..n {
@@ -108,7 +148,16 @@ impl Cholesky {
             }
             x[i] = v / self.l.get(i, i);
         }
-        Ok(x)
+        Ok(())
+    }
+
+    /// Solves `A x = b` into a caller-supplied output (resized in place).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `b.dim() != self.dim()`.
+    pub fn solve_vec_into(&self, b: &Vector, x: &mut Vector) -> Result<()> {
+        x.copy_from(b);
+        self.solve_in_place(x)
     }
 
     /// Solves `A X = B` column by column.
@@ -116,6 +165,19 @@ impl Cholesky {
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] when `B.rows() != self.dim()`.
     pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let mut col = Vector::zeros(0);
+        let mut out = Matrix::zeros(0, 0);
+        self.solve_mat_into(b, &mut col, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A X = B` into a caller-supplied output, using `col` as
+    /// per-column scratch. Both are resized in place; bit-identical to
+    /// [`Cholesky::solve_mat`] (which delegates here).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `B.rows() != self.dim()`.
+    pub fn solve_mat_into(&self, b: &Matrix, col: &mut Vector, out: &mut Matrix) -> Result<()> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -124,14 +186,15 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
+        out.resize_zeroed(n, b.cols());
         for c in 0..b.cols() {
-            let col = self.solve_vec(&b.col(c))?;
+            b.col_into(c, col);
+            self.solve_in_place(col)?;
             for r in 0..n {
                 out.set(r, c, col[r]);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Inverse of the factored matrix.
@@ -382,6 +445,38 @@ mod tests {
         assert_eq!(c.l().get(0, 0), 3.0);
         let x = c.solve_vec(&Vector::from_slice(&[18.0])).unwrap();
         assert_eq!(x[0], 2.0);
+    }
+
+    #[test]
+    fn cholesky_refactor_matches_new() {
+        let a = spd3();
+        let fresh = Cholesky::new(&a).unwrap();
+        let mut reused = Cholesky::empty();
+        reused.refactor(&Matrix::identity(2)).unwrap(); // prime with something else
+        reused.refactor(&a).unwrap();
+        assert_eq!(reused.l(), fresh.l());
+    }
+
+    #[test]
+    fn cholesky_in_place_solves_match_allocating() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let x = c.solve_vec(&b).unwrap();
+
+        let mut in_place = b.clone();
+        c.solve_in_place(&mut in_place).unwrap();
+        assert_eq!(in_place, x);
+
+        let mut into = Vector::zeros(0);
+        c.solve_vec_into(&b, &mut into).unwrap();
+        assert_eq!(into, x);
+
+        let bm = Matrix::from_rows(&[&[1.0, 0.0], &[-2.0, 1.0], &[0.5, 2.0]]);
+        let xm = c.solve_mat(&bm).unwrap();
+        let (mut col, mut out) = (Vector::zeros(0), Matrix::zeros(0, 0));
+        c.solve_mat_into(&bm, &mut col, &mut out).unwrap();
+        assert_eq!(out, xm);
     }
 
     #[test]

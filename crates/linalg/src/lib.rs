@@ -9,10 +9,18 @@
 //! The crate deliberately avoids generic scalar types, SIMD, and expression
 //! templates: at Kalman sizes the dominant costs elsewhere in the system
 //! (stream generation, simulation bookkeeping) dwarf the arithmetic, and a
-//! simple row-major `Vec<f64>` representation keeps the code auditable and
-//! the behaviour bit-deterministic across platforms — a hard requirement for
+//! simple row-major representation keeps the code auditable and the
+//! behaviour bit-deterministic across platforms — a hard requirement for
 //! the dual-filter suppression protocol in `kalstream-core`, where source and
 //! server must compute *identical* predictions from identical inputs.
+//!
+//! Storage is **inline-first**: vectors up to [`VECTOR_INLINE_CAP`] elements
+//! and matrices up to [`MATRIX_INLINE_CAP`] elements live in fixed stack
+//! buffers, so at the workspace's capped state dimension (n ≤ 8, DESIGN.md)
+//! the hot path never touches the heap. Every allocating product has an
+//! `*_into` twin that writes into a caller-supplied output and runs the
+//! exact same floating-point operations in the same order, so switching a
+//! call site to the in-place form never changes results bit-for-bit.
 //!
 //! ## Quick tour
 //!
@@ -39,12 +47,13 @@
 mod decomp;
 mod error;
 mod matrix;
+mod storage;
 mod vector;
 
 pub use decomp::{Cholesky, Lu};
 pub use error::LinalgError;
-pub use matrix::Matrix;
-pub use vector::Vector;
+pub use matrix::{Matrix, MATRIX_INLINE_CAP};
+pub use vector::{Vector, VECTOR_INLINE_CAP};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

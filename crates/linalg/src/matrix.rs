@@ -1,9 +1,14 @@
 //! Dense row-major `f64` matrix.
 
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Sub};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
 
+use crate::storage::SmallBuf;
 use crate::{Cholesky, LinalgError, Lu, Result, Vector};
+
+/// Inline capacity: with state dimension capped at 8 (DESIGN.md), every
+/// hot-path matrix is at most 8 × 8 = 64 elements and lives on the stack.
+pub const MATRIX_INLINE_CAP: usize = 64;
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -11,26 +16,39 @@ use crate::{Cholesky, LinalgError, Lu, Result, Vector};
 /// binary operators panic on shape mismatch (shape bugs are programming
 /// errors); numerically fallible operations ([`Matrix::cholesky`],
 /// [`Matrix::lu`], [`Matrix::inverse`]) return [`Result`] instead.
+///
+/// Storage is **inline-first**: up to [`MATRIX_INLINE_CAP`] elements live in
+/// a fixed stack buffer (see `storage::SmallBuf`), so construction, clone,
+/// and temporaries at Kalman sizes never allocate. Larger matrices fall back
+/// to the heap with identical semantics.
+///
+/// For the allocation-free hot path, every allocating product has an
+/// `*_into` twin ([`Matrix::matmul_into`], [`Matrix::mul_vec_into`],
+/// [`Matrix::transpose_into`], [`Matrix::sandwich_into`]) that writes into a
+/// caller-supplied output, resizing it in place. The allocating forms are
+/// thin wrappers over the `_into` primitives, so both paths run the exact
+/// same floating-point operations in the exact same order — a hard
+/// requirement for the dual-filter protocol's bit-determinism.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     /// Row-major storage: element `(r, c)` lives at `r * cols + c`.
-    data: Vec<f64>,
+    data: SmallBuf<MATRIX_INLINE_CAP>,
 }
 
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix { rows, cols, data: SmallBuf::zeroed(rows * cols) }
     }
 
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
-            m.data[i * n + i] = 1.0;
+            m.data.as_mut_slice()[i * n + i] = 1.0;
         }
         m
     }
@@ -40,14 +58,18 @@ impl Matrix {
         let n = diag.len();
         let mut m = Matrix::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
-            m.data[i * n + i] = d;
+            m.data.as_mut_slice()[i * n + i] = d;
         }
         m
     }
 
     /// Creates an `n × n` scalar matrix `s · I`.
     pub fn scalar(n: usize, s: f64) -> Self {
-        Matrix::from_diag(&vec![s; n])
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data.as_mut_slice()[i * n + i] = s;
+        }
+        m
     }
 
     /// Builds a matrix from row slices.
@@ -57,21 +79,22 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         assert!(!rows.is_empty(), "from_rows: no rows given");
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut m = Matrix::zeros(rows.len(), cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), cols, "from_rows: row {i} has inconsistent length");
-            data.extend_from_slice(r);
+            m.data.as_mut_slice()[i * cols..(i + 1) * cols].copy_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        m
     }
 
-    /// Builds a matrix from a flat row-major buffer.
+    /// Builds a matrix from a flat row-major buffer. Small contents (≤ the
+    /// inline cap) are copied into inline storage.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "from_row_major: buffer size mismatch");
-        Matrix { rows, cols, data }
+        Matrix { rows, cols, data: SmallBuf::from_vec(data) }
     }
 
     /// Number of rows.
@@ -96,40 +119,90 @@ impl Matrix {
 
     /// Immutable view of the row-major storage.
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
+    }
+
+    /// Mutable view of the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.data.as_mut_slice()
     }
 
     /// Element access with bounds checking built into the slice indexing.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Sets element `(r, c)` to `v`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        self.data[r * self.cols + c] = v;
+        self.data.as_mut_slice()[r * self.cols + c] = v;
     }
 
     /// Returns row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Returns column `c` as a new [`Vector`].
     pub fn col(&self, c: usize) -> Vector {
-        Vector::from_vec((0..self.rows).map(|r| self.get(r, c)).collect())
+        let mut out = Vector::zeros(self.rows);
+        self.col_into(c, &mut out);
+        out
+    }
+
+    /// Writes column `c` into `out`, resizing it in place.
+    pub fn col_into(&self, c: usize, out: &mut Vector) {
+        out.resize_zeroed(self.rows);
+        for (r, dst) in out.as_mut_slice().iter_mut().enumerate() {
+            *dst = self.get(r, c);
+        }
+    }
+
+    /// Resizes to `rows × cols` zeros in place, reusing storage
+    /// (allocation-free for inline-capacity shapes).
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize_zeroed(rows * cols);
+    }
+
+    /// Resizes to the `n × n` identity in place, reusing storage.
+    pub fn resize_identity(&mut self, n: usize) {
+        self.resize_zeroed(n, n);
+        for i in 0..n {
+            self.data.as_mut_slice()[i * n + i] = 1.0;
+        }
+    }
+
+    /// Replaces the contents (shape and elements) with a copy of `other`,
+    /// reusing storage.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.copy_from_slice(other.data.as_slice());
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_write(&mut t);
+        t
+    }
+
+    /// Writes the transpose of `self` into `out`, resizing it in place.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize_zeroed(self.cols, self.rows);
+        self.transpose_write(out);
+    }
+
+    /// Shared transpose kernel; `out` must already be `cols × rows` zeros.
+    fn transpose_write(&self, out: &mut Matrix) {
         for r in 0..self.rows {
             for c in 0..self.cols {
-                t.set(c, r, self.get(r, c));
+                out.set(c, r, self.get(r, c));
             }
         }
-        t
     }
 
     /// Matrix product `self · rhs` with explicit shape checking.
@@ -138,6 +211,19 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when inner dimensions
     /// disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product written into `out` (resized in place, allocation-free
+    /// at inline sizes). Bit-identical to [`Matrix::matmul`]: same loop
+    /// order, same zero-skip, same accumulation order.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when inner dimensions
+    /// disagree. `out` must not alias `self` or `rhs` (enforced by borrows).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
@@ -145,7 +231,7 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize_zeroed(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(r, k);
@@ -153,13 +239,45 @@ impl Matrix {
                     continue;
                 }
                 let rhs_row = rhs.row(k);
-                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                let out_row = &mut out.data.as_mut_slice()[r * rhs.cols..(r + 1) * rhs.cols];
                 for (o, b) in out_row.iter_mut().zip(rhs_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Product with a transposed right-hand side, `self · rhsᵀ`, written
+    /// into `out` without materialising the transpose. Bit-identical to
+    /// `self.matmul(&rhs.transpose())`: the accumulation at each output
+    /// element visits `k` in the same order with the same zero-skip.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `self.cols != rhs.cols`.
+    pub fn matmul_transpose_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: (rhs.cols, rhs.rows),
+            });
+        }
+        out.resize_zeroed(self.rows, rhs.rows);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                // rhsᵀ row k is rhs column k: rhsᵀ(k, c) = rhs(c, k).
+                let out_row = &mut out.data.as_mut_slice()[r * rhs.rows..(r + 1) * rhs.rows];
+                for (c, o) in out_row.iter_mut().enumerate() {
+                    *o += a * rhs.get(c, k);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Matrix–vector product.
@@ -167,6 +285,17 @@ impl Matrix {
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] when `self.cols != v.dim()`.
     pub fn mul_vec(&self, v: &Vector) -> Result<Vector> {
+        let mut out = Vector::zeros(self.rows);
+        self.mul_vec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–vector product written into `out` (resized in place).
+    /// Bit-identical to [`Matrix::mul_vec`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `self.cols != v.dim()`.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) -> Result<()> {
         if self.cols != v.dim() {
             return Err(LinalgError::DimensionMismatch {
                 op: "mul_vec",
@@ -174,15 +303,16 @@ impl Matrix {
                 rhs: (v.dim(), 1),
             });
         }
-        let mut out = Vector::zeros(self.rows);
-        for r in 0..self.rows {
+        out.resize_zeroed(self.rows);
+        let dst = out.as_mut_slice();
+        for (r, d) in dst.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (a, b) in self.row(r).iter().zip(v.iter()) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *d = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self · rhs · selfᵀ` — the covariance propagation shape `F P Fᵀ`.
@@ -190,7 +320,21 @@ impl Matrix {
     /// # Errors
     /// Propagates shape mismatches from the underlying products.
     pub fn sandwich(&self, inner: &Matrix) -> Result<Matrix> {
-        self.matmul(inner)?.matmul(&self.transpose())
+        let mut tmp = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        self.sandwich_into(inner, &mut tmp, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self · inner · selfᵀ` written into `out`, using `tmp` as scratch for
+    /// the intermediate product. Both are resized in place; bit-identical to
+    /// [`Matrix::sandwich`] (which delegates here).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches from the underlying products.
+    pub fn sandwich_into(&self, inner: &Matrix, tmp: &mut Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_into(inner, tmp)?;
+        tmp.matmul_transpose_into(self, out)
     }
 
     /// Quadratic form `xᵀ · self · x`.
@@ -204,16 +348,36 @@ impl Matrix {
 
     /// Elementwise scaling in place.
     pub fn scale_mut(&mut self, s: f64) {
-        for v in &mut self.data {
+        for v in self.data.as_mut_slice() {
             *v *= s;
         }
     }
 
     /// Returns `self * s` as a new matrix.
     pub fn scaled(&self, s: f64) -> Matrix {
-        let mut out = self.clone();
-        out.scale_mut(s);
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, v) in out.data.as_mut_slice().iter_mut().zip(self.data.as_slice()) {
+            *o = v * s;
+        }
         out
+    }
+
+    /// In-place `self += alpha * other` (matrix `axpy`).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(other.data.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
     }
 
     /// Sum of diagonal elements.
@@ -245,12 +409,12 @@ impl Matrix {
 
     /// `true` when every element is finite.
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.data.as_slice().iter().all(|x| x.is_finite())
     }
 
     /// Maximum absolute element.
     pub fn norm_inf_elem(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+        self.data.as_slice().iter().fold(0.0_f64, |m, x| m.max(x.abs()))
     }
 
     /// Maximum absolute elementwise difference from `other`; `INFINITY` on
@@ -260,8 +424,9 @@ impl Matrix {
             return f64::INFINITY;
         }
         self.data
+            .as_slice()
             .iter()
-            .zip(other.data.iter())
+            .zip(other.data.as_slice().iter())
             .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
@@ -309,13 +474,13 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        &self.data[r * self.cols + c]
+        &self.data.as_slice()[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        &mut self.data[r * self.cols + c]
+        &mut self.data.as_mut_slice()[r * self.cols + c]
     }
 }
 
@@ -327,13 +492,9 @@ impl Add<&Matrix> for &Matrix {
     /// Panics on shape mismatch.
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let mut out = self.clone();
+        out += rhs;
+        out
     }
 }
 
@@ -345,13 +506,27 @@ impl Sub<&Matrix> for &Matrix {
     /// Panics on shape mismatch.
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a - b)
-            .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add_assign: shape mismatch");
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.data.as_slice()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub_assign: shape mismatch");
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.data.as_slice()) {
+            *a -= b;
+        }
     }
 }
 
@@ -471,10 +646,31 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[0.5, -0.5]]);
+        let mut out = Matrix::zeros(9, 9); // wrong shape on purpose: must resize
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn matmul_transpose_into_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, -4.0, 1.5]]);
+        let b = Matrix::from_rows(&[&[5.0, 0.0, 2.0], &[7.0, 8.0, -1.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b.transpose()).unwrap());
+    }
+
+    #[test]
     fn mul_vec_known() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let v = Vector::from_slice(&[1.0, 1.0]);
         assert_eq!(a.mul_vec(&v).unwrap().as_slice(), &[3.0, 7.0]);
+        let mut out = Vector::zeros(0);
+        a.mul_vec_into(&v, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 7.0]);
     }
 
     #[test]
@@ -484,6 +680,9 @@ mod tests {
         let s = f.sandwich(&p).unwrap();
         let manual = f.matmul(&p).unwrap().matmul(&f.transpose()).unwrap();
         assert_eq!(s, manual);
+        let (mut tmp, mut out) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        f.sandwich_into(&p, &mut tmp, &mut out).unwrap();
+        assert_eq!(out, manual);
     }
 
     #[test]
@@ -519,9 +718,31 @@ mod tests {
     }
 
     #[test]
+    fn assign_operators_and_axpy() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        a += &Matrix::from_rows(&[&[0.5, 0.5]]);
+        assert_eq!(a.as_slice(), &[1.5, 2.5]);
+        a -= &Matrix::from_rows(&[&[1.0, 1.0]]);
+        assert_eq!(a.as_slice(), &[0.5, 1.5]);
+        a.axpy(2.0, &Matrix::from_rows(&[&[1.0, -1.0]])).unwrap();
+        assert_eq!(a.as_slice(), &[2.5, -0.5]);
+        assert!(a.axpy(1.0, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
     fn scaled_matrix() {
         let a = Matrix::from_rows(&[&[1.0, -2.0]]);
         assert_eq!((&a * 3.0).as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn resize_and_copy_reuse_storage() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.resize_zeroed(1, 3);
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+        m.copy_from(&Matrix::identity(2));
+        assert_eq!(m, Matrix::identity(2));
     }
 
     #[test]
@@ -553,6 +774,14 @@ mod tests {
         let mut m = Matrix::zeros(1, 1);
         m.set(0, 0, f64::NAN);
         assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn large_matrices_fall_back_to_heap_with_same_semantics() {
+        let m = Matrix::identity(10); // 100 elements > inline cap
+        assert_eq!(m.matmul(&m).unwrap(), m);
+        assert_eq!(m.transpose(), m);
+        assert_eq!(m.clone(), m);
     }
 
     #[test]

@@ -3,38 +3,48 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use crate::storage::SmallBuf;
 use crate::{LinalgError, Result};
+
+/// Inline capacity: the workspace caps state dimension at 8 (DESIGN.md), so
+/// every hot-path vector lives entirely on the stack.
+pub const VECTOR_INLINE_CAP: usize = 8;
 
 /// A dense column vector of `f64` values.
 ///
 /// `Vector` is the state/measurement carrier throughout the workspace. It is
-/// a thin, deterministic wrapper over `Vec<f64>`: no SIMD, no uninitialised
-/// memory, element order is the storage order.
+/// deterministic and densely stored (no SIMD, no uninitialised memory;
+/// element order is the storage order), and it is **inline-first**: up to
+/// [`VECTOR_INLINE_CAP`] elements live in a fixed stack buffer, so
+/// construction, clone, and temporaries for the dimensions the Kalman code
+/// actually uses never touch the heap. Larger vectors transparently fall
+/// back to heap storage with identical semantics.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector {
-    data: Vec<f64>,
+    data: SmallBuf<VECTOR_INLINE_CAP>,
 }
 
 impl Vector {
     /// Creates a vector of `dim` zeros.
     pub fn zeros(dim: usize) -> Self {
-        Vector { data: vec![0.0; dim] }
+        Vector { data: SmallBuf::zeroed(dim) }
     }
 
     /// Creates a vector with every element equal to `value`.
     pub fn filled(dim: usize, value: f64) -> Self {
-        Vector { data: vec![value; dim] }
+        Vector { data: SmallBuf::filled(dim, value) }
     }
 
     /// Creates a vector by copying `slice`.
     pub fn from_slice(slice: &[f64]) -> Self {
-        Vector { data: slice.to_vec() }
+        Vector { data: SmallBuf::from_slice(slice) }
     }
 
-    /// Creates a vector from an existing `Vec` without copying.
+    /// Creates a vector from an existing `Vec`. Small contents (≤ the inline
+    /// cap) are copied into inline storage; larger ones keep the allocation.
     pub fn from_vec(data: Vec<f64>) -> Self {
-        Vector { data }
+        Vector { data: SmallBuf::from_vec(data) }
     }
 
     /// Creates a standard basis vector `e_i` of dimension `dim`.
@@ -44,7 +54,7 @@ impl Vector {
     pub fn basis(dim: usize, i: usize) -> Self {
         assert!(i < dim, "basis index {i} out of range for dimension {dim}");
         let mut v = Vector::zeros(dim);
-        v.data[i] = 1.0;
+        v.data.as_mut_slice()[i] = 1.0;
         v
     }
 
@@ -55,27 +65,44 @@ impl Vector {
 
     /// `true` when the vector has zero elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.len() == 0
     }
 
     /// Immutable view of the underlying storage.
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable view of the underlying storage.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the vector and returns the underlying storage.
+    /// Consumes the vector and returns the elements as a `Vec` (allocates
+    /// when the vector was stored inline).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Iterator over elements.
     pub fn iter(&self) -> std::slice::Iter<'_, f64> {
-        self.data.iter()
+        self.data.as_slice().iter()
+    }
+
+    /// Resizes to `dim` zeros in place, reusing storage (allocation-free
+    /// for inline-capacity dimensions).
+    pub fn resize_zeroed(&mut self, dim: usize) {
+        self.data.resize_zeroed(dim);
+    }
+
+    /// Replaces the contents with a copy of `other`, reusing storage.
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.data.copy_from_slice(other.as_slice());
+    }
+
+    /// Replaces the contents with a copy of `slice`, reusing storage.
+    pub fn copy_from_slice(&mut self, slice: &[f64]) {
+        self.data.copy_from_slice(slice);
     }
 
     /// Dot product `self · other`.
@@ -91,31 +118,30 @@ impl Vector {
             });
         }
         Ok(self
-            .data
             .iter()
-            .zip(other.data.iter())
+            .zip(other.iter())
             .map(|(a, b)| a * b)
             .sum())
     }
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
 
     /// Infinity norm (maximum absolute element); `0.0` for the empty vector.
     pub fn norm_inf(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+        self.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        self.iter().sum()
     }
 
     /// Elementwise scaling in place: `self *= s`.
     pub fn scale_mut(&mut self, s: f64) {
-        for x in &mut self.data {
+        for x in self.data.as_mut_slice() {
             *x *= s;
         }
     }
@@ -139,7 +165,7 @@ impl Vector {
                 rhs: (other.dim(), 1),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(other.iter()) {
             *a += alpha * b;
         }
         Ok(())
@@ -147,7 +173,7 @@ impl Vector {
 
     /// `true` when every element is finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.iter().all(|x| x.is_finite())
     }
 
     /// Maximum absolute difference from `other`, used by approximate
@@ -156,9 +182,8 @@ impl Vector {
         if self.dim() != other.dim() {
             return f64::INFINITY;
         }
-        self.data
-            .iter()
-            .zip(other.data.iter())
+        self.iter()
+            .zip(other.iter())
             .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 }
@@ -166,13 +191,13 @@ impl Vector {
 impl Index<usize> for Vector {
     type Output = f64;
     fn index(&self, i: usize) -> &f64 {
-        &self.data[i]
+        &self.data.as_slice()[i]
     }
 }
 
 impl IndexMut<usize> for Vector {
     fn index_mut(&mut self, i: usize) -> &mut f64 {
-        &mut self.data[i]
+        &mut self.data.as_mut_slice()[i]
     }
 }
 
@@ -184,13 +209,9 @@ impl Add<&Vector> for &Vector {
     /// Panics on dimension mismatch; use [`Vector::axpy`] for a fallible API.
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.dim(), rhs.dim(), "vector add: dimension mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
-        Vector { data }
+        let mut out = self.clone();
+        out += rhs;
+        out
     }
 }
 
@@ -202,20 +223,16 @@ impl Sub<&Vector> for &Vector {
     /// Panics on dimension mismatch.
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.dim(), rhs.dim(), "vector sub: dimension mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a - b)
-            .collect();
-        Vector { data }
+        let mut out = self.clone();
+        out -= rhs;
+        out
     }
 }
 
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
         assert_eq!(self.dim(), rhs.dim(), "vector add_assign: dimension mismatch");
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.iter()) {
             *a += b;
         }
     }
@@ -224,7 +241,7 @@ impl AddAssign<&Vector> for Vector {
 impl SubAssign<&Vector> for Vector {
     fn sub_assign(&mut self, rhs: &Vector) {
         assert_eq!(self.dim(), rhs.dim(), "vector sub_assign: dimension mismatch");
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.iter()) {
             *a -= b;
         }
     }
@@ -247,7 +264,7 @@ impl Neg for &Vector {
 impl fmt::Display for Vector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, x) in self.data.iter().enumerate() {
+        for (i, x) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -259,7 +276,7 @@ impl fmt::Display for Vector {
 
 impl From<Vec<f64>> for Vector {
     fn from(data: Vec<f64>) -> Self {
-        Vector { data }
+        Vector::from_vec(data)
     }
 }
 
@@ -267,7 +284,7 @@ impl<'a> IntoIterator for &'a Vector {
     type Item = &'a f64;
     type IntoIter = std::slice::Iter<'a, f64>;
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.iter()
     }
 }
 
@@ -383,5 +400,35 @@ mod tests {
     #[test]
     fn sum_elements() {
         assert_eq!(Vector::from_slice(&[1.0, 2.0, 3.5]).sum(), 6.5);
+    }
+
+    #[test]
+    fn large_vectors_fall_back_to_heap_with_same_semantics() {
+        let big: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let v = Vector::from_slice(&big);
+        assert_eq!(v.dim(), 20);
+        assert_eq!(v.as_slice(), big.as_slice());
+        assert_eq!(v.clone(), v);
+        assert_eq!(v.into_vec(), big);
+    }
+
+    #[test]
+    fn inline_and_heap_compare_equal_by_value() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let mut b = Vector::zeros(9); // heap (above inline cap)
+        b.resize_zeroed(2);
+        b.as_mut_slice().copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_and_copy_reuse_storage() {
+        let mut v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        v.resize_zeroed(2);
+        assert_eq!(v.as_slice(), &[0.0, 0.0]);
+        v.copy_from(&Vector::from_slice(&[7.0, 8.0, 9.0]));
+        assert_eq!(v.as_slice(), &[7.0, 8.0, 9.0]);
+        v.copy_from_slice(&[4.0]);
+        assert_eq!(v.as_slice(), &[4.0]);
     }
 }

@@ -211,3 +211,164 @@ fn spd_strategy_is_spd() {
         }
     }
 }
+
+/// Dirty scratch: a deliberately mis-shaped, garbage-filled buffer. The
+/// in-place kernels must fully overwrite (and reshape) whatever they are
+/// handed, so bit-identity below is checked through these.
+fn dirty_mat() -> Matrix {
+    Matrix::from_row_major(2, 3, vec![9.75; 6])
+}
+
+fn dirty_vec() -> Vector {
+    Vector::from_slice(&[-3.25, 8.5])
+}
+
+// The `_into` kernels are the primitives the filter hot path runs on; the
+// allocating methods are thin wrappers over them. The dual-filter protocol
+// needs the two spellings to agree *bit for bit* (`==` on f64, not an
+// epsilon), and that must keep holding above the inline-storage caps where
+// buffers spill to the heap — hence dimensions up to 10 (matrix cap is 8×8,
+// vector cap is 8).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_into_bit_identical(
+        (r, k, c) in (1usize..10, 1usize..10, 1usize..10),
+        data in prop::collection::vec(-10.0..10.0f64, 200),
+    ) {
+        prop_assume!(data.len() >= r * k + k * c);
+        let a = Matrix::from_row_major(r, k, data[..r * k].to_vec());
+        let b = Matrix::from_row_major(k, c, data[r * k..r * k + k * c].to_vec());
+        let mut out = dirty_mat();
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn matmul_transpose_into_bit_identical(
+        (r, k, c) in (1usize..10, 1usize..10, 1usize..10),
+        data in prop::collection::vec(-10.0..10.0f64, 200),
+    ) {
+        prop_assume!(data.len() >= r * k + c * k);
+        let a = Matrix::from_row_major(r, k, data[..r * k].to_vec());
+        let b = Matrix::from_row_major(c, k, data[r * k..r * k + c * k].to_vec());
+        let mut out = dirty_mat();
+        a.matmul_transpose_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, a.matmul(&b.transpose()).unwrap());
+    }
+
+    #[test]
+    fn mul_vec_into_bit_identical(
+        (r, c) in (1usize..10, 1usize..10),
+        data in prop::collection::vec(-10.0..10.0f64, 110),
+    ) {
+        prop_assume!(data.len() >= r * c + c);
+        let a = Matrix::from_row_major(r, c, data[..r * c].to_vec());
+        let x = Vector::from_slice(&data[r * c..r * c + c]);
+        let mut out = dirty_vec();
+        a.mul_vec_into(&x, &mut out).unwrap();
+        prop_assert_eq!(out, a.mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn transpose_into_bit_identical(
+        (r, c) in (1usize..10, 1usize..10),
+        data in prop::collection::vec(-10.0..10.0f64, 100),
+    ) {
+        prop_assume!(data.len() >= r * c);
+        let a = Matrix::from_row_major(r, c, data[..r * c].to_vec());
+        let mut out = dirty_mat();
+        a.transpose_into(&mut out);
+        prop_assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn sandwich_into_bit_identical(
+        (r, n) in (1usize..10, 1usize..10),
+        data in prop::collection::vec(-5.0..5.0f64, 200),
+    ) {
+        prop_assume!(data.len() >= r * n + n * n);
+        let a = Matrix::from_row_major(r, n, data[..r * n].to_vec());
+        let inner = Matrix::from_row_major(n, n, data[r * n..r * n + n * n].to_vec());
+        let (mut tmp, mut out) = (dirty_mat(), dirty_mat());
+        a.sandwich_into(&inner, &mut tmp, &mut out).unwrap();
+        prop_assert_eq!(out, a.sandwich(&inner).unwrap());
+    }
+
+    #[test]
+    fn assign_ops_bit_identical(
+        (r, c) in (1usize..10, 1usize..10),
+        s in -5.0..5.0f64,
+        data in prop::collection::vec(-10.0..10.0f64, 200),
+    ) {
+        prop_assume!(data.len() >= 2 * r * c);
+        let a = Matrix::from_row_major(r, c, data[..r * c].to_vec());
+        let b = Matrix::from_row_major(r, c, data[r * c..2 * r * c].to_vec());
+        let mut add = a.clone();
+        add += &b;
+        prop_assert_eq!(add, &a + &b);
+        let mut sub = a.clone();
+        sub -= &b;
+        prop_assert_eq!(sub, &a - &b);
+        let mut scaled = a.clone();
+        scaled.scale_mut(s);
+        prop_assert_eq!(scaled, a.scaled(s));
+    }
+
+    #[test]
+    fn cholesky_reuse_bit_identical(
+        n in 1usize..10,
+        data in prop::collection::vec(-2.0..2.0f64, 120),
+    ) {
+        prop_assume!(data.len() >= n * n + n);
+        let b_mat = Matrix::from_row_major(n, n, data[..n * n].to_vec());
+        let spd = &b_mat.matmul(&b_mat.transpose()).unwrap() + &Matrix::identity(n);
+        let rhs = Vector::from_slice(&data[n * n..n * n + n]);
+
+        // A factorisation refreshed in place must equal a fresh one — even
+        // when the reused instance previously factored a different matrix.
+        let fresh = spd.cholesky().unwrap();
+        let mut reused = Matrix::identity(3).cholesky().unwrap();
+        reused.refactor(&spd).unwrap();
+        prop_assert_eq!(reused.l(), fresh.l());
+
+        let expect = fresh.solve_vec(&rhs).unwrap();
+        let mut x = dirty_vec();
+        reused.solve_vec_into(&rhs, &mut x).unwrap();
+        prop_assert_eq!(&x, &expect);
+        let mut in_place = rhs.clone();
+        reused.solve_in_place(&mut in_place).unwrap();
+        prop_assert_eq!(&in_place, &expect);
+
+        let b_rhs = Matrix::from_row_major(n, n, data[..n * n].to_vec());
+        let (mut col, mut out) = (dirty_vec(), dirty_mat());
+        reused.solve_mat_into(&b_rhs, &mut col, &mut out).unwrap();
+        prop_assert_eq!(out, fresh.solve_mat(&b_rhs).unwrap());
+    }
+
+    #[test]
+    fn reused_scratch_across_shapes_bit_identical(
+        (r1, c1, r2, c2) in (1usize..10, 1usize..10, 1usize..10, 1usize..10),
+        data in prop::collection::vec(-10.0..10.0f64, 400),
+    ) {
+        // The filter reuses one scratch buffer for differently-shaped
+        // products tick after tick; shrinking below a previous shape must
+        // not leak stale entries.
+        prop_assume!(data.len() >= r1 * c1 + c1 * r1 + r2 * c2 + c2 * r2);
+        let mut off = 0;
+        let mut take = |len: usize| {
+            let s = data[off..off + len].to_vec();
+            off += len;
+            s
+        };
+        let a1 = Matrix::from_row_major(r1, c1, take(r1 * c1));
+        let b1 = Matrix::from_row_major(c1, r1, take(c1 * r1));
+        let a2 = Matrix::from_row_major(r2, c2, take(r2 * c2));
+        let b2 = Matrix::from_row_major(c2, r2, take(c2 * r2));
+        let mut out = dirty_mat();
+        a1.matmul_into(&b1, &mut out).unwrap();
+        a2.matmul_into(&b2, &mut out).unwrap();
+        prop_assert_eq!(out, a2.matmul(&b2).unwrap());
+    }
+}

@@ -2,7 +2,6 @@
 //! 100-stream fleet and every parameter sweep).
 
 use crossbeam::channel;
-use parking_lot::Mutex;
 
 use crate::{SessionReport, TrafficMetrics};
 
@@ -39,11 +38,13 @@ impl FleetReport {
 
 /// Runs `jobs` across `threads` worker threads and collects their reports.
 ///
-/// Each job is an independent closed-over session (stream + endpoints), so
-/// the only shared state is the result vector; sessions themselves never
-/// synchronise — matching the real system, where sources are independent
-/// devices. Work is distributed over a crossbeam channel so long sessions
-/// don't convoy behind a static partition.
+/// Each job is an independent closed-over session (stream + endpoints);
+/// sessions themselves never synchronise — matching the real system, where
+/// sources are independent devices. Work is distributed over a crossbeam
+/// channel so long sessions don't convoy behind a static partition, and
+/// workers send `(index, report)` pairs back over a second channel — no
+/// shared lock anywhere, so a slow session never blocks another's result
+/// hand-off.
 ///
 /// # Panics
 /// Panics if a worker thread panics (propagated by `std::thread::scope`).
@@ -53,31 +54,34 @@ where
 {
     let n = jobs.len();
     let threads = threads.max(1).min(n.max(1));
-    let results: Mutex<Vec<Option<SessionReport>>> = Mutex::new((0..n).map(|_| None).collect());
     let (tx, rx) = channel::unbounded::<(usize, F)>();
     for job in jobs.into_iter().enumerate() {
         tx.send(job).expect("channel open");
     }
     drop(tx);
+    let (report_tx, report_rx) = channel::unbounded::<(usize, SessionReport)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
-            let results = &results;
+            let report_tx = report_tx.clone();
             scope.spawn(move || {
                 while let Ok((idx, job)) = rx.recv() {
                     let report = job();
-                    results.lock()[idx] = Some(report);
+                    report_tx.send((idx, report)).expect("collector alive");
                 }
             });
         }
     });
+    drop(report_tx);
 
-    let sessions: Vec<SessionReport> = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect();
+    // Workers finish in arbitrary order; restore submission order by index.
+    let mut slots: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, report)) = report_rx.recv() {
+        slots[idx] = Some(report);
+    }
+    let sessions: Vec<SessionReport> =
+        slots.into_iter().map(|r| r.expect("every job ran")).collect();
     let mut total_traffic = TrafficMetrics::default();
     for s in &sessions {
         total_traffic.merge(&s.traffic);

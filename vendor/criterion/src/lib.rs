@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a short calibration pass sizes the batch so one timed
+//! batch lasts roughly [`Criterion::MEASURE_TARGET`]; the best of three
+//! batches is reported as mean ns/iter (best-of reduces scheduler noise;
+//! no statistics or plots). Results also accumulate in [`Criterion::results`]
+//! so harness binaries can collect them programmatically.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Mean nanoseconds per iteration (best timed batch).
+    pub ns_per_iter: f64,
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing mean ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: run until ~CALIBRATE_TARGET elapsed to size a batch.
+        let calibrate_start = Instant::now();
+        let mut calibrate_iters: u64 = 0;
+        loop {
+            black_box(f());
+            calibrate_iters += 1;
+            if calibrate_start.elapsed() >= Criterion::CALIBRATE_TARGET
+                || calibrate_iters >= 1_000_000
+            {
+                break;
+            }
+        }
+        let per_iter = calibrate_start.elapsed().as_nanos() as f64 / calibrate_iters as f64;
+        let batch = ((Criterion::MEASURE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64)
+            .clamp(1, 10_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements taken so far, in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    const CALIBRATE_TARGET: Duration = Duration::from_millis(10);
+    const MEASURE_TARGET: Duration = Duration::from_millis(50);
+
+    /// No-op for CLI-argument compatibility with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                // One iteration processes n elements.
+                let elems_per_sec = n as f64 * 1e9 / ns.max(1.0);
+                println!("{id:<50} {ns:>12.1} ns/iter  ({elems_per_sec:.2e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                println!("{id:<50} {:>12.1} ns/iter  ({n} bytes/iter)", ns);
+            }
+            None => println!("{id:<50} {:>12.1} ns/iter", ns),
+        }
+        self.results.push(BenchResult { id, ns_per_iter: ns });
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group; ids print as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into one runner function, mirroring the real
+/// macro's `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter(|| (0u64..4).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| black_box(7u64) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results.len(), 3);
+        assert_eq!(c.results[0].id, "add");
+        assert_eq!(c.results[1].id, "grp/sum/4");
+        assert_eq!(c.results[2].id, "grp/7");
+        assert!(c.results.iter().all(|r| r.ns_per_iter > 0.0));
+    }
+
+    criterion_group!(test_group, sample_bench);
+
+    #[test]
+    fn group_macro_expands() {
+        test_group();
+    }
+}

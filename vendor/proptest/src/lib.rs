@@ -1,0 +1,595 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: range and collection strategies, `prop_map`, tuple
+//! strategies, `any::<T>()`, a deterministic [`test_runner::TestRunner`],
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for an offline container:
+//! - **No shrinking.** A failing case reports the failure message and the
+//!   case number; re-running is deterministic (fixed seed), so failures
+//!   reproduce exactly.
+//! - **Deterministic by default.** Every run uses the same seed sequence,
+//!   which is the property the workspace's determinism tests rely on.
+
+pub mod strategy {
+    //! Core strategy and value-tree traits.
+
+    use crate::test_runner::TestRunner;
+
+    /// A generated value plus (in the real crate) its shrink history.
+    /// Here: just the value.
+    pub trait ValueTree {
+        /// The type of value this tree produces.
+        type Value;
+        /// The current (= generated) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// A [`ValueTree`] that cannot shrink.
+    #[derive(Clone, Debug)]
+    pub struct NoShrink<T>(pub T);
+
+    impl<T: Clone> ValueTree for NoShrink<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Something that can generate values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draws one value using the runner's RNG.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Generates a (non-shrinking) value tree. Mirrors the real API so
+        /// callers can write `s.new_tree(&mut runner).unwrap().current()`.
+        fn new_tree(
+            &self,
+            runner: &mut TestRunner,
+        ) -> Result<NoShrink<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(NoShrink(self.generate(runner)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).generate(runner)
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (runner.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (runner.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + (runner.next_u64() % span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            let u = runner.next_unit_f64();
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, runner: &mut TestRunner) -> f32 {
+            let u = runner.next_unit_f64() as f32;
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            // Finite, broad range; property tests in this workspace only
+            // need "arbitrary but usable" floats.
+            (runner.next_unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// A size specification: exact, range, or inclusive range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length drawn
+    /// from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + (runner.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The test runner: configuration, RNG, and the case loop.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngExt, SeedableRng};
+
+    use crate::strategy::Strategy;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case asked to be discarded (`prop_assume!` failed).
+        Reject(String),
+        /// The case failed (`prop_assert!` failed or an explicit fail).
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a rejection (discard, try another input).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Creates a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Shorthand used by generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of rejected (assumed-away) cases tolerated.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_global_rejects: 4096 }
+        }
+    }
+
+    /// Drives strategies and the case loop. Deterministic: a fixed seed is
+    /// used, so every run draws the same inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        const SEED: u64 = 0x6b61_6c73_7472_6561; // "kalstrea"
+
+        /// Runner with the given config (deterministic seed).
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, rng: SmallRng::seed_from_u64(Self::SEED) }
+        }
+
+        /// Runner with default config and fixed seed — mirrors the real
+        /// crate's `deterministic()` constructor.
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        /// Next uniform f64 in [0, 1).
+        pub fn next_unit_f64(&mut self) -> f64 {
+            self.rng.random::<f64>()
+        }
+
+        /// Runs the case loop: draws inputs from `strategy`, invokes `test`,
+        /// retries rejected cases, and returns the first failure message.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let mut rejects = 0u32;
+            let mut case = 0u32;
+            while case < self.config.cases {
+                let input = strategy.generate(self);
+                match test(input) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            return Err(format!(
+                                "too many rejected cases ({rejects}); \
+                                 weaken prop_assume! conditions"
+                            ));
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(format!(
+                            "property failed at case {case} (deterministic seed, \
+                             rerun reproduces): {msg}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                let outcome = $crate::test_runner::TestRunner::run(
+                    &mut runner,
+                    &strategy,
+                    |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                );
+                if let Err(msg) = outcome {
+                    panic!("{}", msg);
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3u64..17), &mut runner);
+            assert!((3..17).contains(&x));
+            let f = Strategy::generate(&(-2.0..3.0f64), &mut runner);
+            assert!((-2.0..3.0).contains(&f));
+            let i = Strategy::generate(&(-5..5i32), &mut runner);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn new_tree_is_usable_like_real_proptest() {
+        let mut runner = TestRunner::deterministic();
+        let v = prop::collection::vec(0.0..1.0f64, 4)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_runner_repeats() {
+        let draw = || {
+            let mut runner = TestRunner::deterministic();
+            (0..8).map(|_| runner.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            n in 1usize..10,
+            xs in prop::collection::vec(0.0..1.0f64, 1..20),
+            (a, b) in (0u64..5, 0u64..5),
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(n, 0, "n must be positive, got {}", n);
+        }
+    }
+}

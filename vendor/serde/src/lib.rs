@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of types
+//! but ships no serialization format crate (no serde_json etc.), so the
+//! derives are decorative: they only need to compile. This package
+//! provides the two marker traits and, behind the `derive` feature,
+//! re-exports no-op derive macros from `serde_derive`.
+//!
+//! If a future PR adds a real format crate, replace this stub with a
+//! genuine vendored serde.
+
+/// Marker for types that can be serialized.
+///
+/// Intentionally has no methods: with no format crate in the workspace,
+/// nothing ever invokes serialization at runtime.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace has no serialization format crate, so `#[derive(Serialize,
+//! Deserialize)]` only needs to compile; emitting no impls is sufficient
+//! because nothing takes `T: Serialize` bounds. Both derives accept and
+//! ignore `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
