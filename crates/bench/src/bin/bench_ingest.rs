@@ -1,0 +1,365 @@
+//! Ingest-pipeline benchmark: sharded throughput, triangle-packing byte
+//! savings, and steady-state allocation discipline.
+//!
+//! Writes `BENCH_ingest.json` (schema documented in EXPERIMENTS.md, T3
+//! addendum). Usage:
+//!
+//! ```text
+//! cargo run --release -p kalstream-bench --bin bench_ingest -- [--out PATH]
+//! ```
+//!
+//! Method: a mixed fleet (adaptive scalar walks, scalar model banks, 4-state
+//! GPS trackers) is driven once through the simulator's ingest mode to
+//! **record** a framed per-tick message log; every timed run then *replays*
+//! that identical log, so the shard-count sweep measures the server-side
+//! drain — decode, route, predict, apply — not source-side simulation.
+//!
+//! Correctness is a gate, not a statistic: for every shard count the fleet's
+//! applied `total_messages` and every endpoint's filter state must be
+//! **bit-identical** to the sequential reference, or the binary exits
+//! non-zero.
+//!
+//! Two throughput numbers are reported per shard count: wall-clock msgs/sec
+//! on this machine, and *capacity* msgs/sec (`total / max shard busy-time`)
+//! — the critical-path rate the partition sustains given one core per
+//! shard. On a single-core container (like the recorded baseline's) wall
+//! clock is flat by construction and capacity is the number that measures
+//! what sharding buys; the JSON records `available_parallelism` so readers
+//! can tell which regime they are looking at.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use kalstream_bench::alloc_count::{self, CountingAllocator};
+use kalstream_bench::harness::{make_stream, StreamFamily};
+use kalstream_core::wire::SyncMessage;
+use kalstream_core::{
+    FrameDecoder, FramingSink, IngestPipeline, IngestResult, ProtocolConfig, SequentialIngest,
+    ServerEndpoint, SessionSpec, TickIngest,
+};
+use kalstream_filter::models;
+use kalstream_linalg::Vector;
+use kalstream_sim::{run_fleet_ingest, BytesAccounting, IngestStream};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const STREAMS: u32 = 768;
+const LOG_TICKS: u64 = 512;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Steady-state phase: fixed-model scalar fleet (no model syncs, so decode
+/// stays within inline matrix storage). The whole log is replayed once as
+/// warmup — so every pooled buffer has seen the workload's high-water batch
+/// size — then the timed replay runs the identical ticks again.
+const ALLOC_STREAMS: u32 = 256;
+const ALLOC_TICKS: u64 = 256;
+const ALLOC_SHARDS: usize = 4;
+
+/// Records the framed tick log and tallies packed-vs-unpacked bytes per tag.
+#[derive(Default)]
+struct LogRecorder {
+    ticks: Vec<Bytes>,
+    total: BytesAccounting,
+    state_syncs: BytesAccounting,
+    model_syncs: BytesAccounting,
+    measurement_syncs: BytesAccounting,
+}
+
+impl TickIngest for LogRecorder {
+    fn ingest_tick(&mut self, wire: &[u8]) {
+        let mut dec = FrameDecoder::new();
+        dec.for_each_frame(wire, |frame| {
+            let msg = SyncMessage::decode(frame.body).expect("recorded frames decode");
+            let packed = frame.body.len();
+            let unpacked = msg.encoded_len_unpacked();
+            self.total.record(packed, unpacked);
+            match msg {
+                SyncMessage::State { .. } => self.state_syncs.record(packed, unpacked),
+                SyncMessage::Model { .. } => self.model_syncs.record(packed, unpacked),
+                SyncMessage::Measurement { .. } => {
+                    self.measurement_syncs.record(packed, unpacked)
+                }
+            }
+        });
+        assert_eq!(dec.decode_failures(), 0, "recorded log must be clean");
+        self.ticks.push(Bytes::copy_from_slice(wire));
+    }
+}
+
+/// Builds the mixed fleet: per stream, a (source, server) endpoint pair and
+/// the generator sampling its observations.
+fn build_fleet<'a>(
+    n: u32,
+    mixed: bool,
+) -> (Vec<IngestStream<'a>>, Vec<(u32, ServerEndpoint)>) {
+    let scalar_families = StreamFamily::scalar_roster();
+    let mut streams = Vec::new();
+    let mut servers = Vec::new();
+    for id in 0..n {
+        let (family, kind) = if mixed {
+            match id % 10 {
+                0..=3 => (scalar_families[id as usize % scalar_families.len()], 0), // adaptive
+                4..=6 => (scalar_families[id as usize % scalar_families.len()], 1), // bank
+                _ => (StreamFamily::Gps, 2),                                        // 4-state CV
+            }
+        } else {
+            (StreamFamily::RandomWalk, 3) // fixed model: steady-state phase
+        };
+        let mut stream = make_stream(family, 40_000 + id as u64);
+        let first = stream.next_sample();
+        let delta = family.natural_scale();
+        let config = ProtocolConfig::new(delta).expect("valid delta");
+        let session = match kind {
+            0 => SessionSpec::default_scalar(first.observed[0], config),
+            1 => SessionSpec::standard_bank(first.observed[0], 0.1, config),
+            2 => SessionSpec::fixed(
+                models::constant_velocity_2d(1.0, 0.005, 1.0),
+                Vector::from_slice(&[first.observed[0], 0.0, first.observed[1], 0.0]),
+                1.0,
+                config,
+            ),
+            _ => SessionSpec::fixed(
+                models::random_walk(0.25, 0.1),
+                Vector::from_slice(&[first.observed[0]]),
+                1.0,
+                config,
+            ),
+        }
+        .expect("valid session spec")
+        .build();
+        servers.push((id, session.server));
+        let dim = stream.dim();
+        let mut first_pending = Some(first);
+        streams.push(IngestStream {
+            stream_id: id,
+            producer: Box::new(session.source),
+            sampler: Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+                if let Some(f) = first_pending.take() {
+                    obs[..dim].copy_from_slice(&f.observed);
+                    tru[..dim].copy_from_slice(&f.truth);
+                } else {
+                    stream.next_into(obs, tru);
+                }
+            }),
+        });
+    }
+    (streams, servers)
+}
+
+fn record_log(n: u32, ticks: u64, mixed: bool) -> (LogRecorder, Vec<(u32, ServerEndpoint)>) {
+    let (mut streams, servers) = build_fleet(n, mixed);
+    let mut sink = FramingSink::new(LogRecorder::default());
+    run_fleet_ingest(&mut streams, ticks, 0, &mut sink);
+    (sink.into_inner(), servers)
+}
+
+fn endpoint_bits(ep: &ServerEndpoint) -> Vec<u64> {
+    let f = ep.filter();
+    f.state()
+        .iter()
+        .map(|v| v.to_bits())
+        .chain(f.covariance().as_slice().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// `true` when the two runs ended with identical message totals and
+/// bit-identical filter state on every endpoint.
+fn identical(a: &IngestResult, b: &IngestResult) -> bool {
+    a.total_messages() == b.total_messages()
+        && a.endpoints.len() == b.endpoints.len()
+        && a
+            .endpoints
+            .iter()
+            .zip(b.endpoints.iter())
+            .all(|((ia, ea), (ib, eb))| {
+                ia == ib
+                    && ea.syncs_applied() == eb.syncs_applied()
+                    && endpoint_bits(ea) == endpoint_bits(eb)
+            })
+}
+
+struct ShardedRun {
+    shards: usize,
+    wall_secs: f64,
+    max_busy_secs: f64,
+    total_messages: u64,
+    bit_identical: bool,
+}
+
+fn bytes_json(label: &str, b: &BytesAccounting) -> String {
+    format!(
+        "\"{label}\": {{ \"messages\": {}, \"packed_bytes\": {}, \"unpacked_bytes\": {}, \"savings_fraction\": {:.4} }}",
+        b.messages(),
+        b.packed_bytes(),
+        b.unpacked_bytes(),
+        b.savings_fraction()
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_ingest.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- record the mixed-fleet log --------------------------------------
+    println!("recording {STREAMS}-stream / {LOG_TICKS}-tick message log…");
+    let (log, servers) = record_log(STREAMS, LOG_TICKS, true);
+    println!(
+        "  {} messages ({} state, {} model, {} measurement syncs), packing saves {:.1}%",
+        log.total.messages(),
+        log.state_syncs.messages(),
+        log.model_syncs.messages(),
+        log.measurement_syncs.messages(),
+        100.0 * log.total.savings_fraction()
+    );
+
+    // --- sequential reference --------------------------------------------
+    let mut seq = SequentialIngest::new(servers.clone());
+    let start = Instant::now();
+    for tick in &log.ticks {
+        seq.ingest_tick(tick);
+    }
+    let seq_wall = start.elapsed().as_secs_f64();
+    let seq_result = seq.finish();
+    println!(
+        "sequential: {} msgs in {:.1} ms ({:.0} msgs/sec)",
+        seq_result.total_messages(),
+        seq_wall * 1e3,
+        seq_result.total_messages() as f64 / seq_wall
+    );
+
+    // --- sharded sweep ----------------------------------------------------
+    let mut runs: Vec<ShardedRun> = Vec::new();
+    let mut gate_failed = false;
+    for &shards in &SHARD_COUNTS {
+        let mut pipe = IngestPipeline::start(shards, servers.clone());
+        let start = Instant::now();
+        for tick in &log.ticks {
+            pipe.ingest_tick(tick);
+        }
+        pipe.flush();
+        let wall_secs = start.elapsed().as_secs_f64();
+        let result = pipe.finish();
+        let max_busy_secs = result
+            .shards
+            .iter()
+            .map(|s| s.busy_secs)
+            .fold(0.0_f64, f64::max);
+        let bit_identical = identical(&result, &seq_result);
+        if !bit_identical {
+            eprintln!(
+                "GATE FAILURE: {shards}-shard run diverged from sequential \
+                 (messages {} vs {})",
+                result.total_messages(),
+                seq_result.total_messages()
+            );
+            gate_failed = true;
+        }
+        println!(
+            "{shards} shard(s): wall {:.1} ms ({:.0} msgs/sec), busy max {:.1} ms \
+             (capacity {:.0} msgs/sec), identical: {bit_identical}",
+            wall_secs * 1e3,
+            result.total_messages() as f64 / wall_secs,
+            max_busy_secs * 1e3,
+            result.total_messages() as f64 / max_busy_secs,
+        );
+        runs.push(ShardedRun {
+            shards,
+            wall_secs,
+            max_busy_secs,
+            total_messages: result.total_messages(),
+            bit_identical,
+        });
+    }
+    let capacity = |r: &ShardedRun| r.total_messages as f64 / r.max_busy_secs;
+    let wall_rate = |r: &ShardedRun| r.total_messages as f64 / r.wall_secs;
+    let scaling_capacity = capacity(&runs[runs.len() - 1]) / capacity(&runs[0]);
+    let scaling_wall = wall_rate(&runs[runs.len() - 1]) / wall_rate(&runs[0]);
+    println!(
+        "scaling 1 → {} shards: capacity {:.2}x, wall {:.2}x (on {parallelism} core(s))",
+        runs[runs.len() - 1].shards,
+        scaling_capacity,
+        scaling_wall
+    );
+
+    // --- steady-state allocation discipline -------------------------------
+    println!("steady-state alloc check ({ALLOC_STREAMS} fixed scalar streams, {ALLOC_SHARDS} shards)…");
+    let (alloc_log, alloc_servers) = record_log(ALLOC_STREAMS, ALLOC_TICKS, false);
+    let mut pipe = IngestPipeline::start(ALLOC_SHARDS, alloc_servers);
+    for tick in &alloc_log.ticks {
+        pipe.ingest_tick(tick);
+    }
+    pipe.flush(); // buffers have cycled: pools and queues are at high-water
+    let (allocs, _) = alloc_count::count_allocs(|| {
+        for tick in &alloc_log.ticks {
+            pipe.ingest_tick(tick);
+        }
+        pipe.flush();
+    });
+    let batches = alloc_log.ticks.len() as u64 * ALLOC_SHARDS as u64;
+    let allocs_per_batch = allocs as f64 / batches as f64;
+    drop(pipe.finish());
+    println!("  {allocs} allocations over {batches} drained batches ({allocs_per_batch:.3}/batch)");
+
+    // --- JSON -------------------------------------------------------------
+    let sharded_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"shards\": {}, \"wall_ms\": {:.2}, \"msgs_per_sec\": {:.0}, \
+                 \"max_shard_busy_ms\": {:.2}, \"msgs_per_sec_capacity\": {:.0}, \
+                 \"total_messages\": {}, \"bit_identical\": {} }}",
+                r.shards,
+                r.wall_secs * 1e3,
+                wall_rate(r),
+                r.max_busy_secs * 1e3,
+                capacity(r),
+                r.total_messages,
+                r.bit_identical
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"schema\": \"bench_ingest/v1\",\n  \"available_parallelism\": {parallelism},\n  \
+         \"streams\": {STREAMS},\n  \"log_ticks\": {LOG_TICKS},\n  \"bytes\": {{\n    {},\n    {},\n    {},\n    {}\n  }},\n  \
+         \"sequential\": {{ \"wall_ms\": {:.2}, \"msgs_per_sec\": {:.0}, \"total_messages\": {} }},\n  \
+         \"sharded\": [\n{}\n  ],\n  \
+         \"scaling_1_to_8\": {{ \"capacity\": {:.2}, \"wall\": {:.2} }},\n  \
+         \"steady_state\": {{ \"streams\": {ALLOC_STREAMS}, \"ticks\": {}, \"shards\": {ALLOC_SHARDS}, \
+         \"drained_batches\": {batches}, \"allocations\": {allocs}, \"allocs_per_batch\": {allocs_per_batch:.3} }}\n}}\n",
+        bytes_json("total", &log.total),
+        bytes_json("state_syncs", &log.state_syncs),
+        bytes_json("model_syncs", &log.model_syncs),
+        bytes_json("measurement_syncs", &log.measurement_syncs),
+        seq_wall * 1e3,
+        seq_result.total_messages() as f64 / seq_wall,
+        seq_result.total_messages(),
+        sharded_json.join(",\n"),
+        scaling_capacity,
+        scaling_wall,
+        alloc_log.ticks.len(),
+    );
+    std::fs::write(&out_path, &doc).expect("write output");
+    println!("wrote {out_path}");
+
+    // --- gates ------------------------------------------------------------
+    if gate_failed {
+        eprintln!("bench-ingest: FAILED — sharded ingest drifted from the sequential baseline");
+        std::process::exit(1);
+    }
+    if log.model_syncs.messages() > 0 && log.model_syncs.savings_fraction() < 0.30 {
+        eprintln!(
+            "bench-ingest: FAILED — model-sync packing saved only {:.1}% (< 30%)",
+            100.0 * log.model_syncs.savings_fraction()
+        );
+        std::process::exit(1);
+    }
+    println!("bench-ingest: all gates passed");
+}

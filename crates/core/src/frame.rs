@@ -1,0 +1,336 @@
+//! Length-prefixed frame layer for batched multi-stream ingest.
+//!
+//! One server drains traffic from many sessions, so the unit of transfer on
+//! the ingest path is not a single [`SyncMessage`] but a **batch**: many
+//! messages from many streams packed back-to-back into one contiguous
+//! buffer. Each message travels inside a frame:
+//!
+//! ```text
+//! frame := stream_id:u32 len:u32 body          (little-endian)
+//! batch := frame*
+//! ```
+//!
+//! The `len` prefix is what keeps a batch robust: a frame whose *body* fails
+//! to decode is skipped (`len` says exactly where the next frame starts), so
+//! one corrupt message never desyncs the rest of the batch. Only a mangled
+//! frame *header* — truncation mid-header or a `len` that overruns the
+//! buffer — ends the walk, because there is no longer a trustworthy
+//! resynchronisation point.
+//!
+//! [`FrameBatch`] owns a [`BytesMut`] so batches can cycle through a
+//! [`BufferPool`]: in steady state every buffer has reached its high-water
+//! capacity and batch assembly performs zero heap allocations.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::wire::SyncMessage;
+
+/// Bytes of framing overhead per message: `stream_id:u32 len:u32`.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// A batch of framed messages being assembled into one wire buffer.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    buf: BytesMut,
+    frames: usize,
+}
+
+impl FrameBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// Creates an empty batch with `cap` bytes of buffer capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        FrameBatch { buf: BytesMut::with_capacity(cap), frames: 0 }
+    }
+
+    /// Wraps a recycled buffer (cleared, capacity retained) — the pooled
+    /// path that keeps steady-state batch assembly allocation-free.
+    pub fn from_buffer(mut buf: BytesMut) -> Self {
+        buf.clear();
+        FrameBatch { buf, frames: 0 }
+    }
+
+    /// Appends one message as a frame for `stream_id`.
+    pub fn push(&mut self, stream_id: u32, msg: &SyncMessage) {
+        let len = msg.encoded_len();
+        self.buf.reserve(FRAME_HEADER_BYTES + len);
+        self.buf.put_u32_le(stream_id);
+        self.buf.put_u32_le(len as u32);
+        msg.encode_into(&mut self.buf);
+        self.frames += 1;
+    }
+
+    /// Appends an already-encoded message body as a frame for `stream_id` —
+    /// the shard router uses this to re-batch frames without re-encoding.
+    pub fn push_raw(&mut self, stream_id: u32, body: &[u8]) {
+        self.buf.reserve(FRAME_HEADER_BYTES + body.len());
+        self.buf.put_u32_le(stream_id);
+        self.buf.put_u32_le(body.len() as u32);
+        self.buf.put_slice(body);
+        self.frames += 1;
+    }
+
+    /// Number of frames in the batch.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Total wire bytes (headers + bodies).
+    pub fn wire_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no frames have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// The assembled wire bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the batch, retaining buffer capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.frames = 0;
+    }
+
+    /// Unwraps the owned buffer (for sending through a channel and later
+    /// recycling via [`FrameBatch::from_buffer`]).
+    pub fn into_buffer(self) -> BytesMut {
+        self.buf
+    }
+}
+
+/// One decoded frame, borrowing the batch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The stream this message belongs to.
+    pub stream_id: u32,
+    /// The message's wire encoding (what [`SyncMessage::decode`] takes).
+    pub body: &'a [u8],
+}
+
+/// Stateful frame-batch decoder: walks batches and counts malformed input
+/// instead of failing, mirroring [`crate::ServerEndpoint`]'s
+/// drop-and-count policy for unparseable traffic.
+#[derive(Debug, Default, Clone)]
+pub struct FrameDecoder {
+    decode_failures: u64,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder with zeroed failure counters.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Frames or message bodies that failed to parse (dropped, counted).
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
+    }
+
+    /// Walks every structurally valid frame in `wire`, without decoding
+    /// bodies — the shard router's path. A truncated header or a length
+    /// prefix overrunning the buffer counts one failure and ends the walk
+    /// (past that point there is no reliable frame boundary).
+    pub fn for_each_frame(&mut self, mut wire: &[u8], mut f: impl FnMut(Frame<'_>)) {
+        while !wire.is_empty() {
+            if wire.len() < FRAME_HEADER_BYTES {
+                self.decode_failures += 1;
+                return;
+            }
+            let stream_id = u32::from_le_bytes(wire[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(wire[4..8].try_into().unwrap()) as usize;
+            let rest = &wire[FRAME_HEADER_BYTES..];
+            if rest.len() < len {
+                self.decode_failures += 1;
+                return;
+            }
+            f(Frame { stream_id, body: &rest[..len] });
+            wire = &rest[len..];
+        }
+    }
+
+    /// Walks `wire` and decodes each frame's body into a [`SyncMessage`] —
+    /// the shard worker's path. A body that fails to decode counts one
+    /// failure and the walk **continues** with the next frame: the length
+    /// prefix, not the body, carries the framing.
+    pub fn for_each_message(&mut self, wire: &[u8], mut f: impl FnMut(u32, SyncMessage)) {
+        let mut body_failures = 0;
+        self.for_each_frame(wire, |frame| match SyncMessage::decode(frame.body) {
+            Ok(msg) => f(frame.stream_id, msg),
+            Err(_) => body_failures += 1,
+        });
+        self.decode_failures += body_failures;
+    }
+}
+
+/// A capacity-ordered pool of recycled [`BytesMut`] buffers.
+///
+/// Buffers returned to the pool keep their capacity, and [`BufferPool::get`]
+/// always hands out the **largest** one: the working set converges on the
+/// buffers that have already grown to the workload's high-water batch size,
+/// while undersized stragglers sink to the bottom and stop circulating
+/// (instead of cycling in later and paying a growth realloc mid-steady-state).
+/// Once the working set is at high water, batch assembly stops allocating
+/// entirely — the property `bench_ingest`'s allocs-per-batch gate measures.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// Sorted by capacity, ascending; `get` pops from the back.
+    free: Vec<BytesMut>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes the largest-capacity cleared buffer from the pool, or a fresh
+    /// one if empty.
+    pub fn get(&mut self) -> BytesMut {
+        self.free
+            .pop()
+            .map(|mut b| {
+                b.clear();
+                b
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: BytesMut) {
+        let pos = self.free.partition_point(|b| b.capacity() <= buf.capacity());
+        self.free.insert(pos, buf);
+    }
+
+    /// Buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `true` when no buffers are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalstream_linalg::{Matrix, Vector};
+
+    fn msg(v: f64) -> SyncMessage {
+        SyncMessage::State {
+            x: Vector::from_slice(&[v]),
+            p: Matrix::scalar(1, 1.0),
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_many_streams() {
+        let mut batch = FrameBatch::new();
+        for id in 0..5u32 {
+            batch.push(id, &msg(id as f64));
+        }
+        assert_eq!(batch.frames(), 5);
+        let one = msg(0.0).encoded_len();
+        assert_eq!(batch.wire_len(), 5 * (FRAME_HEADER_BYTES + one));
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.for_each_message(batch.as_bytes(), |id, m| got.push((id, m)));
+        assert_eq!(dec.decode_failures(), 0);
+        assert_eq!(got.len(), 5);
+        for (i, (id, m)) in got.iter().enumerate() {
+            assert_eq!(*id, i as u32);
+            assert_eq!(*m, msg(i as f64));
+        }
+    }
+
+    #[test]
+    fn push_raw_matches_push() {
+        let m = msg(3.5);
+        let mut a = FrameBatch::new();
+        a.push(7, &m);
+        let mut b = FrameBatch::new();
+        b.push_raw(7, &m.encode());
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn garbage_body_skips_frame_without_desyncing() {
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0));
+        batch.push_raw(2, b"\xFF\xFF\xFF"); // undecodable body, valid frame
+        batch.push(3, &msg(3.0));
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.for_each_message(batch.as_bytes(), |id, _| got.push(id));
+        assert_eq!(got, vec![1, 3]); // frame 2 dropped, frame 3 survives
+        assert_eq!(dec.decode_failures(), 1);
+    }
+
+    #[test]
+    fn truncated_header_counts_and_stops() {
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0));
+        let mut wire = batch.as_bytes().to_vec();
+        wire.extend_from_slice(&[9, 0, 0]); // 3 stray bytes: not a header
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.for_each_message(&wire, |id, _| got.push(id));
+        assert_eq!(got, vec![1]);
+        assert_eq!(dec.decode_failures(), 1);
+    }
+
+    #[test]
+    fn overrunning_length_counts_and_stops() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&5u32.to_le_bytes());
+        wire.extend_from_slice(&1000u32.to_le_bytes()); // body of 1000 bytes…
+        wire.extend_from_slice(&[0; 10]); // …but only 10 present
+
+        let mut dec = FrameDecoder::new();
+        let mut count = 0;
+        dec.for_each_frame(&wire, |_| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(dec.decode_failures(), 1);
+    }
+
+    #[test]
+    fn empty_batch_decodes_to_nothing() {
+        let mut dec = FrameDecoder::new();
+        dec.for_each_frame(&[], |_| panic!("no frames expected"));
+        assert_eq!(dec.decode_failures(), 0);
+    }
+
+    #[test]
+    fn pooled_buffer_reuse_keeps_capacity() {
+        let mut pool = BufferPool::new();
+        let mut batch = FrameBatch::from_buffer(pool.get());
+        for id in 0..8 {
+            batch.push(id, &msg(id as f64));
+        }
+        let high_water = batch.wire_len();
+        let buf = batch.into_buffer();
+        let cap = buf.capacity();
+        assert!(cap >= high_water);
+        pool.put(buf);
+
+        // Second fill of the same shape must not grow the buffer.
+        let mut batch = FrameBatch::from_buffer(pool.get());
+        for id in 0..8 {
+            batch.push(id, &msg(id as f64));
+        }
+        assert_eq!(batch.wire_len(), high_water);
+        assert_eq!(batch.into_buffer().capacity(), cap);
+    }
+}

@@ -1,0 +1,657 @@
+//! Sharded multi-stream ingest: per-shard worker threads draining framed
+//! batches into server endpoints.
+//!
+//! The paper's server answers queries for *millions* of streams; after PR 1
+//! made a single filter tick allocation-free, the bottleneck moved to the
+//! server's ingest path, which drove one endpoint at a time from one
+//! thread. This module multiplexes it:
+//!
+//! ```text
+//!                 ┌── bounded channel ──▶ shard 0: {id % S == 0} endpoints
+//!  tick batch ────┤── bounded channel ──▶ shard 1: {id % S == 1} endpoints
+//!  (FrameBatch)   └── bounded channel ──▶ …          each owns its map
+//!                        ◀──────────── recycled buffers ─────────────
+//! ```
+//!
+//! Each worker **owns** its `stream_id → ServerEndpoint` map — no locks on
+//! the hot path, in the spirit of share-nothing per-core stream engines.
+//! Determinism falls out of three facts: the `stream_id % shards` route is
+//! stable, each shard's channel is FIFO so a stream's ticks arrive in order,
+//! and endpoints are independent so cross-endpoint interleaving cannot
+//! change any filter's arithmetic. The sharded pipeline is therefore
+//! bit-identical to [`SequentialIngest`] for any shard count — a property
+//! the proptests and `bench_ingest` both enforce.
+//!
+//! Tick semantics match the simulator exactly: one [`IngestPipeline::ingest_tick`]
+//! call advances **every** endpoint one predict step (via
+//! [`ServerEndpoint::advance`]) after enqueueing that tick's messages, just
+//! like [`kalstream_sim::Consumer::estimate`]. [`IngestPipeline::flush`] is
+//! the barrier that makes "all ticks sent so far are applied" observable.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::frame::{BufferPool, FrameBatch, FrameDecoder};
+use crate::server::ServerEndpoint;
+
+/// Per-shard job queue depth. Deep enough that the router can run ahead of
+/// a momentarily slow shard, small enough to bound memory and exert
+/// backpressure.
+const QUEUE_DEPTH: usize = 64;
+
+enum ShardJob {
+    /// One tick's frames for this shard (possibly empty — every endpoint
+    /// still takes its predict step).
+    Tick(BytesMut),
+    /// Barrier: acknowledge once every prior job has been applied.
+    Flush,
+}
+
+/// What one shard worker did, reported at [`IngestPipeline::finish`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (`stream_id % shards == shard`).
+    pub shard: usize,
+    /// Endpoints owned by this shard.
+    pub streams: usize,
+    /// Ticks processed.
+    pub ticks: u64,
+    /// Messages decoded and enqueued to endpoints.
+    pub messages: u64,
+    /// Wire bytes drained (frame headers + bodies).
+    pub bytes_in: u64,
+    /// Frames or bodies that failed to decode.
+    pub decode_failures: u64,
+    /// Frames addressed to a stream this shard has never heard of.
+    pub unknown_streams: u64,
+    /// Seconds this shard's worker spent *on CPU* (decoding + advancing
+    /// endpoints), excluding time blocked on its queue — per-thread CPU time
+    /// from `/proc/thread-self/schedstat` where the kernel exposes it (wall
+    /// clock inside jobs otherwise, which over-counts when workers are
+    /// preempted). The maximum across shards is the pipeline's critical
+    /// path: on a machine with one core per shard, wall time converges to
+    /// it, so `total_messages / max(busy_secs)` is the capacity throughput
+    /// `bench_ingest` reports next to measured wall-clock throughput.
+    pub busy_secs: f64,
+}
+
+struct ShardResult {
+    report: ShardReport,
+    endpoints: Vec<(u32, ServerEndpoint)>,
+}
+
+struct ShardHandle {
+    tx: Sender<ShardJob>,
+    ack_rx: Receiver<()>,
+    handle: JoinHandle<ShardResult>,
+}
+
+/// Aggregate outcome of an ingest run.
+#[derive(Debug)]
+pub struct IngestResult {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Every endpoint, sorted by stream id — the state a caller compares
+    /// bit-for-bit against the sequential reference.
+    pub endpoints: Vec<(u32, ServerEndpoint)>,
+}
+
+impl IngestResult {
+    /// Total messages applied across shards.
+    pub fn total_messages(&self) -> u64 {
+        self.shards.iter().map(|s| s.messages).sum()
+    }
+
+    /// Total wire bytes drained across shards.
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_in).sum()
+    }
+
+    /// Total decode failures across shards.
+    pub fn total_decode_failures(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_failures).sum()
+    }
+}
+
+/// The sharded ingest pipeline: spawns one worker thread per shard, routes
+/// framed tick batches to them, and joins them back into an [`IngestResult`].
+pub struct IngestPipeline {
+    shards: Vec<ShardHandle>,
+    batches: Vec<FrameBatch>,
+    pool: BufferPool,
+    recycle_rx: Receiver<BytesMut>,
+    router: FrameDecoder,
+    /// Buffers minted so far. Capped at [`IngestPipeline::buffer_cap`]: once
+    /// the population covers every queue slot plus in-progress batches, the
+    /// router *waits* for a recycled buffer instead of minting a fresh
+    /// (zero-capacity) one. That both bounds pipeline memory and lets every
+    /// buffer in rotation reach the workload's high-water capacity — the
+    /// property that makes steady-state ticks allocation-free.
+    outstanding: usize,
+    /// Largest batch (wire bytes) sent to any shard so far. Every buffer
+    /// handed out is reserved to this size, so after a new high-water tick
+    /// the whole population converges within one rotation instead of
+    /// stragglers paying growth reallocs arbitrarily late.
+    high_water: usize,
+}
+
+impl IngestPipeline {
+    /// Spawns `shards` workers and distributes `endpoints` among them by
+    /// `stream_id % shards`.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn start(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        assert!(shards > 0, "ingest needs at least one shard");
+        let mut maps: Vec<HashMap<u32, ServerEndpoint>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        for (id, ep) in endpoints {
+            maps[id as usize % shards].insert(id, ep);
+        }
+        let (recycle_tx, recycle_rx) = unbounded();
+        let handles = maps
+            .into_iter()
+            .enumerate()
+            .map(|(shard, map)| {
+                let (tx, rx) = bounded(QUEUE_DEPTH);
+                let (ack_tx, ack_rx) = bounded(1);
+                let recycle = recycle_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ingest-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, map))
+                    .expect("failed to spawn shard worker");
+                ShardHandle { tx, ack_rx, handle }
+            })
+            .collect();
+        IngestPipeline {
+            shards: handles,
+            batches: (0..shards).map(|_| FrameBatch::new()).collect(),
+            pool: BufferPool::new(),
+            recycle_rx,
+            router: FrameDecoder::new(),
+            outstanding: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Maximum buffers in circulation. Deliberately small — a few ticks of
+    /// run-ahead per shard: a small population circulates every buffer
+    /// constantly, so all of them reach the workload's high-water capacity
+    /// almost immediately and stay there (a large population leaves
+    /// undersized stragglers parked in queues that surface — and pay a
+    /// growth realloc — arbitrarily late).
+    fn buffer_cap(&self) -> usize {
+        self.shards.len() * 4
+    }
+
+    /// A cleared buffer for the next batch: pooled if available, freshly
+    /// minted while under the population cap, otherwise recycled — blocking
+    /// until a worker hands one back (bounded, since workers always recycle
+    /// their tick buffers before advancing endpoints).
+    fn next_buffer(&mut self) -> BytesMut {
+        while let Ok(buf) = self.recycle_rx.try_recv() {
+            self.pool.put(buf);
+        }
+        let mut buf = if !self.pool.is_empty() {
+            self.pool.get()
+        } else if self.outstanding < self.buffer_cap() {
+            self.outstanding += 1;
+            BytesMut::new()
+        } else {
+            let mut buf = self.recycle_rx.recv().expect("ingest shard worker died");
+            buf.clear();
+            buf
+        };
+        buf.reserve(self.high_water);
+        buf
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Frames whose *headers* were malformed at the router (body failures
+    /// are counted by the shard that owned the frame).
+    pub fn router_decode_failures(&self) -> u64 {
+        self.router.decode_failures()
+    }
+
+    /// Routes one tick's framed traffic to the shards and advances every
+    /// endpoint one tick. `wire` is a batch as assembled by
+    /// [`FrameBatch`]; it may be empty (a quiet tick still predicts).
+    ///
+    /// Returns after *enqueueing* — shards apply asynchronously; call
+    /// [`IngestPipeline::flush`] when "applied" must be observable.
+    pub fn ingest_tick(&mut self, wire: &[u8]) {
+        let shards = self.shards.len();
+        let batches = &mut self.batches;
+        self.router.for_each_frame(wire, |frame| {
+            batches[frame.stream_id as usize % shards].push_raw(frame.stream_id, frame.body);
+        });
+        for shard in 0..shards {
+            let fresh = FrameBatch::from_buffer(self.next_buffer());
+            let batch = std::mem::replace(&mut self.batches[shard], fresh);
+            self.high_water = self.high_water.max(batch.wire_len());
+            self.shards[shard]
+                .tx
+                .send(ShardJob::Tick(batch.into_buffer()))
+                .expect("ingest shard worker died");
+        }
+    }
+
+    /// Barrier: blocks until every shard has applied all previously
+    /// ingested ticks.
+    pub fn flush(&mut self) {
+        for shard in &self.shards {
+            shard.tx.send(ShardJob::Flush).expect("ingest shard worker died");
+        }
+        for shard in &self.shards {
+            shard.ack_rx.recv().expect("ingest shard worker died");
+        }
+    }
+
+    /// Flushes, shuts the workers down, and collects their reports and
+    /// endpoints (sorted by stream id).
+    pub fn finish(mut self) -> IngestResult {
+        self.flush();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        let mut endpoints = Vec::new();
+        for shard in self.shards.drain(..) {
+            drop(shard.tx); // closes the channel; the worker's recv loop ends
+            let result = shard.handle.join().expect("ingest shard worker panicked");
+            reports.push(result.report);
+            endpoints.extend(result.endpoints);
+        }
+        endpoints.sort_by_key(|(id, _)| *id);
+        IngestResult { shards: reports, endpoints }
+    }
+}
+
+/// On-CPU nanoseconds of the calling thread so far — field 1 of
+/// `/proc/thread-self/schedstat` — when the kernel exposes it. Unlike wall
+/// clock, this excludes time the thread was preempted or blocked, which is
+/// what makes per-shard busy time meaningful on machines with fewer cores
+/// than shards.
+fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<ShardJob>,
+    ack_tx: Sender<()>,
+    recycle: Sender<BytesMut>,
+    mut endpoints: HashMap<u32, ServerEndpoint>,
+) -> ShardResult {
+    let mut decoder = FrameDecoder::new();
+    let streams = endpoints.len();
+    let mut ticks = 0u64;
+    let mut messages = 0u64;
+    let mut bytes_in = 0u64;
+    let mut unknown_streams = 0u64;
+    let cpu_start = thread_cpu_ns();
+    let mut busy = std::time::Duration::ZERO;
+    while let Ok(job) = rx.recv() {
+        match job {
+            ShardJob::Tick(buf) => {
+                let started = std::time::Instant::now();
+                bytes_in += buf.len() as u64;
+                decoder.for_each_message(&buf, |id, msg| match endpoints.get_mut(&id) {
+                    Some(ep) => {
+                        ep.enqueue(msg);
+                        messages += 1;
+                    }
+                    None => unknown_streams += 1,
+                });
+                // Hand the buffer back before the compute phase so the
+                // router can reuse it while we advance filters.
+                let _ = recycle.send(buf);
+                for ep in endpoints.values_mut() {
+                    ep.advance();
+                }
+                ticks += 1;
+                busy += started.elapsed();
+            }
+            ShardJob::Flush => {
+                ack_tx.send(()).expect("ingest pipeline dropped its ack receiver");
+            }
+        }
+    }
+    let busy_secs = match (cpu_start, thread_cpu_ns()) {
+        (Some(start), Some(end)) => (end - start) as f64 / 1e9,
+        _ => busy.as_secs_f64(),
+    };
+    let mut endpoints: Vec<(u32, ServerEndpoint)> = endpoints.into_iter().collect();
+    endpoints.sort_by_key(|(id, _)| *id);
+    ShardResult {
+        report: ShardReport {
+            shard,
+            streams,
+            ticks,
+            messages,
+            bytes_in,
+            decode_failures: decoder.decode_failures(),
+            unknown_streams,
+            busy_secs,
+        },
+        endpoints,
+    }
+}
+
+/// The single-threaded reference: identical tick semantics to
+/// [`IngestPipeline`], applied inline on the caller's thread. The sharded
+/// pipeline must match this bit for bit — `bench_ingest` exits non-zero if
+/// it ever doesn't.
+pub struct SequentialIngest {
+    endpoints: Vec<(u32, ServerEndpoint)>,
+    index: HashMap<u32, usize>,
+    decoder: FrameDecoder,
+    ticks: u64,
+    messages: u64,
+    bytes_in: u64,
+    unknown_streams: u64,
+    busy: std::time::Duration,
+}
+
+impl SequentialIngest {
+    /// Builds the reference ingester over `endpoints`.
+    pub fn new(mut endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        endpoints.sort_by_key(|(id, _)| *id);
+        let index = endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        SequentialIngest {
+            endpoints,
+            index,
+            decoder: FrameDecoder::new(),
+            ticks: 0,
+            messages: 0,
+            bytes_in: 0,
+            unknown_streams: 0,
+            busy: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Drains one tick's batch and advances every endpoint, synchronously.
+    pub fn ingest_tick(&mut self, wire: &[u8]) {
+        let started = std::time::Instant::now();
+        self.bytes_in += wire.len() as u64;
+        let endpoints = &mut self.endpoints;
+        let index = &self.index;
+        let messages = &mut self.messages;
+        let unknown = &mut self.unknown_streams;
+        self.decoder.for_each_message(wire, |id, msg| match index.get(&id) {
+            Some(&i) => {
+                endpoints[i].1.enqueue(msg);
+                *messages += 1;
+            }
+            None => *unknown += 1,
+        });
+        for (_, ep) in self.endpoints.iter_mut() {
+            ep.advance();
+        }
+        self.ticks += 1;
+        self.busy += started.elapsed();
+    }
+
+    /// Collects the run into the same shape as the sharded pipeline
+    /// (one pseudo-shard).
+    pub fn finish(self) -> IngestResult {
+        IngestResult {
+            shards: vec![ShardReport {
+                shard: 0,
+                streams: self.endpoints.len(),
+                ticks: self.ticks,
+                messages: self.messages,
+                bytes_in: self.bytes_in,
+                decode_failures: self.decoder.decode_failures(),
+                unknown_streams: self.unknown_streams,
+                busy_secs: self.busy.as_secs_f64(),
+            }],
+            endpoints: self.endpoints,
+        }
+    }
+}
+
+/// Anything that can drain one tick's framed batch — implemented by both
+/// the sharded pipeline and the sequential reference so callers (the sim
+/// bridge, `bench_ingest`) can swap them behind one shape.
+pub trait TickIngest {
+    /// Drains one tick's batch and advances every endpoint one tick.
+    fn ingest_tick(&mut self, wire: &[u8]);
+}
+
+impl TickIngest for IngestPipeline {
+    fn ingest_tick(&mut self, wire: &[u8]) {
+        IngestPipeline::ingest_tick(self, wire);
+    }
+}
+
+impl TickIngest for SequentialIngest {
+    fn ingest_tick(&mut self, wire: &[u8]) {
+        SequentialIngest::ingest_tick(self, wire);
+    }
+}
+
+/// Bridges the simulator's ingest mode ([`kalstream_sim::IngestSink`]) onto
+/// a framed ingester: pushes accumulate into a pooled [`FrameBatch`]; the
+/// end-of-tick hook drains the batch into the wrapped ingester.
+pub struct FramingSink<I: TickIngest> {
+    batch: FrameBatch,
+    inner: I,
+}
+
+impl<I: TickIngest> FramingSink<I> {
+    /// Wraps an ingester.
+    pub fn new(inner: I) -> Self {
+        FramingSink { batch: FrameBatch::new(), inner }
+    }
+
+    /// Unwraps the ingester (to call its `finish`).
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: TickIngest> kalstream_sim::IngestSink for FramingSink<I> {
+    fn push(&mut self, stream_id: u32, payload: &bytes::Bytes) {
+        self.batch.push_raw(stream_id, payload);
+    }
+
+    fn end_tick(&mut self) {
+        self.inner.ingest_tick(self.batch.as_bytes());
+        self.batch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBatch;
+    use crate::wire::SyncMessage;
+    use crate::{ProtocolConfig, SessionSpec, StreamSession};
+    use kalstream_sim::Producer;
+
+    /// Builds `n` scalar sessions and a recorded framed log of `ticks`
+    /// ticks driven by deterministic per-stream sinusoids.
+    fn record_log(n: u32, ticks: usize) -> (Vec<(u32, ServerEndpoint)>, Vec<Vec<u8>>) {
+        let mut sources = Vec::new();
+        let mut servers = Vec::new();
+        for id in 0..n {
+            let config = ProtocolConfig::new(0.25).unwrap();
+            let StreamSession { source, server } =
+                SessionSpec::default_scalar(0.0, config).unwrap().build();
+            sources.push((id, source));
+            servers.push((id, server));
+        }
+        let mut log = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            let mut batch = FrameBatch::new();
+            for (id, source) in sources.iter_mut() {
+                let v = (t as f64 * 0.1 + *id as f64).sin() * (1.0 + *id as f64 * 0.01);
+                if let Some(payload) = source.observe(t as u64, &[v]) {
+                    batch.push_raw(*id, &payload);
+                }
+            }
+            log.push(batch.as_bytes().to_vec());
+        }
+        (servers, log)
+    }
+
+    fn filter_bits(ep: &ServerEndpoint) -> Vec<u64> {
+        let f = ep.filter();
+        f.state()
+            .iter()
+            .map(|v| v.to_bits())
+            .chain(f.covariance().as_slice().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bit_for_bit() {
+        let (servers, log) = record_log(12, 60);
+        let mut seq = SequentialIngest::new(servers.clone());
+        for tick in &log {
+            seq.ingest_tick(tick);
+        }
+        let seq_result = seq.finish();
+        assert!(seq_result.total_messages() > 0, "log recorded no syncs");
+
+        for shards in [1, 2, 3, 5, 8] {
+            let mut pipe = IngestPipeline::start(shards, servers.clone());
+            for tick in &log {
+                pipe.ingest_tick(tick);
+            }
+            let result = pipe.finish();
+            assert_eq!(result.total_messages(), seq_result.total_messages());
+            assert_eq!(result.endpoints.len(), seq_result.endpoints.len());
+            for ((id_a, a), (id_b, b)) in
+                result.endpoints.iter().zip(seq_result.endpoints.iter())
+            {
+                assert_eq!(id_a, id_b);
+                assert_eq!(
+                    filter_bits(a),
+                    filter_bits(b),
+                    "stream {id_a} diverged at {shards} shards"
+                );
+                assert_eq!(a.syncs_applied(), b.syncs_applied());
+            }
+        }
+    }
+
+    #[test]
+    fn flush_makes_applied_work_observable() {
+        let (servers, log) = record_log(4, 20);
+        let expected: u64 = {
+            let mut seq = SequentialIngest::new(servers.clone());
+            for tick in &log {
+                seq.ingest_tick(tick);
+            }
+            seq.finish().total_messages()
+        };
+        let mut pipe = IngestPipeline::start(2, servers);
+        for tick in &log {
+            pipe.ingest_tick(tick);
+        }
+        pipe.flush(); // after the barrier, all ticks are applied
+        let result = pipe.finish();
+        assert_eq!(result.total_messages(), expected);
+        let ticks: Vec<u64> = result.shards.iter().map(|s| s.ticks).collect();
+        assert!(ticks.iter().all(|&t| t == log.len() as u64), "ticks {ticks:?}");
+    }
+
+    #[test]
+    fn unknown_streams_are_counted_not_fatal() {
+        let (servers, _) = record_log(2, 1);
+        let mut batch = FrameBatch::new();
+        batch.push(
+            999, // no such stream
+            &SyncMessage::Measurement { z: kalstream_linalg::Vector::from_slice(&[1.0]) },
+        );
+        let mut pipe = IngestPipeline::start(2, servers);
+        pipe.ingest_tick(batch.as_bytes());
+        let result = pipe.finish();
+        assert_eq!(result.total_messages(), 0);
+        let unknown: u64 = result.shards.iter().map(|s| s.unknown_streams).sum();
+        assert_eq!(unknown, 1);
+    }
+
+    #[test]
+    fn ingest_mode_matches_session_mode_bit_for_bit() {
+        use kalstream_sim::{run_fleet_ingest, IngestStream, Session, SessionConfig};
+        let sampler = |id: u32| {
+            let mut t = 0.0f64;
+            move |obs: &mut [f64], tru: &mut [f64]| {
+                let v = (t * 0.07 + id as f64).sin() + 0.3 * (t * 0.31).cos();
+                obs[0] = v;
+                tru[0] = v;
+                t += 1.0;
+            }
+        };
+        let ticks = 80u64;
+
+        // Session mode: each stream runs through Session::run.
+        let mut session_servers = Vec::new();
+        for id in 0..6u32 {
+            let config = ProtocolConfig::new(0.2).unwrap();
+            let StreamSession { mut source, mut server } =
+                SessionSpec::default_scalar(0.0, config).unwrap().build();
+            Session::run(
+                &SessionConfig::instant(ticks, 0.2),
+                sampler(id),
+                &mut source,
+                &mut server,
+                &mut (),
+            );
+            session_servers.push((id, server));
+        }
+
+        // Ingest mode: the same fleet multiplexed into a sequential ingester.
+        let mut servers = Vec::new();
+        let mut streams: Vec<IngestStream<'_>> = Vec::new();
+        for id in 0..6u32 {
+            let config = ProtocolConfig::new(0.2).unwrap();
+            let StreamSession { source, server } =
+                SessionSpec::default_scalar(0.0, config).unwrap().build();
+            servers.push((id, server));
+            streams.push(IngestStream {
+                stream_id: id,
+                producer: Box::new(source),
+                sampler: Box::new(sampler(id)),
+            });
+        }
+        let mut sink = FramingSink::new(SequentialIngest::new(servers));
+        run_fleet_ingest(&mut streams, ticks, 0, &mut sink);
+        let result = sink.into_inner().finish();
+
+        assert!(result.total_messages() > 0);
+        for ((id_a, a), (id_b, b)) in result.endpoints.iter().zip(&session_servers) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(filter_bits(a), filter_bits(b), "stream {id_a} diverged");
+            assert_eq!(a.syncs_applied(), b.syncs_applied());
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_do_not_stall_the_pipeline() {
+        let (servers, _) = record_log(2, 1);
+        let mut batch = FrameBatch::new();
+        batch.push_raw(0, b"\xFF\xFF"); // garbage body for a real stream
+        batch.push(
+            1,
+            &SyncMessage::Measurement { z: kalstream_linalg::Vector::from_slice(&[2.0]) },
+        );
+        let mut pipe = IngestPipeline::start(2, servers);
+        pipe.ingest_tick(batch.as_bytes());
+        let result = pipe.finish();
+        assert_eq!(result.total_messages(), 1);
+        assert_eq!(result.total_decode_failures(), 1);
+    }
+}

@@ -18,7 +18,13 @@
 //! ## What lives where
 //!
 //! * [`wire`] — the binary wire format for sync messages (state sync, model
-//!   sync, measurement sync), with explicit byte accounting for experiment T3.
+//!   sync, measurement sync), with triangle-packed symmetric matrices and
+//!   explicit byte accounting for experiment T3.
+//! * [`frame`] — the length-prefixed frame layer that batches many messages
+//!   from many streams into one pooled buffer for ingest.
+//! * [`ingest`] — the sharded ingest pipeline: per-shard worker threads each
+//!   owning a `stream_id → ServerEndpoint` map, bit-identical to sequential
+//!   apply for any shard count.
 //! * [`SourceEndpoint`] / [`ServerEndpoint`] — the two ends of the protocol,
 //!   implementing the simulator's `Producer`/`Consumer` traits.
 //! * [`StreamSession`] — constructs a matched endpoint pair from a
@@ -48,6 +54,8 @@ mod config;
 mod controller;
 mod error;
 mod estimator;
+pub mod frame;
+pub mod ingest;
 mod protocol;
 mod rate;
 mod server;
@@ -60,6 +68,10 @@ pub use config::{ProtocolConfig, ResyncPayload};
 pub use controller::FleetController;
 pub use error::CoreError;
 pub use estimator::Estimator;
+pub use frame::{BufferPool, Frame, FrameBatch, FrameDecoder, FRAME_HEADER_BYTES};
+pub use ingest::{
+    FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, TickIngest,
+};
 pub use protocol::pin_to_measurement;
 pub use rate::RateEstimator;
 pub use server::ServerEndpoint;

@@ -67,26 +67,55 @@ impl ServerEndpoint {
     }
 
     /// Applies one decoded sync message immediately (test/query-layer hook;
-    /// the simulator path goes through [`Consumer::receive`]).
+    /// the simulator path goes through [`Consumer::receive`], the ingest
+    /// path through [`ServerEndpoint::enqueue`]).
     pub fn apply(&mut self, msg: SyncMessage) {
-        match msg {
-            SyncMessage::State { x, p } => {
-                if self.filter.set_state(x, p).is_ok() {
-                    self.syncs_applied += 1;
-                }
-            }
-            SyncMessage::Model { model, x, p } => {
-                if let Ok(kf) = KalmanFilter::with_covariance(model, x, p) {
-                    self.filter = kf;
-                    self.syncs_applied += 1;
-                }
-            }
-            SyncMessage::Measurement { z } => {
-                if self.filter.update(&z).is_ok() {
-                    self.syncs_applied += 1;
-                }
+        if apply_to_filter(&mut self.filter, msg) {
+            self.syncs_applied += 1;
+        }
+    }
+
+    /// Queues one decoded sync message for the next [`ServerEndpoint::advance`]
+    /// — the ingest pipeline's entry point, where the frame layer has
+    /// already decoded the batch so there is no per-endpoint decode step.
+    pub fn enqueue(&mut self, msg: SyncMessage) {
+        self.pending.push(msg);
+    }
+
+    /// Advances one tick: predict, then apply every queued sync — exactly
+    /// [`Consumer::estimate`]'s transition without serving a value. Shard
+    /// workers call this once per endpoint per tick; because the order is
+    /// identical to the simulator path, ingest stays bit-compatible with it.
+    pub fn advance(&mut self) {
+        if self.filter.predict().is_err() {
+            self.predict_failures += 1;
+        }
+        // Drain in place so `pending` keeps its capacity (steady-state
+        // ingest ticks must not allocate).
+        for msg in self.pending.drain(..) {
+            if apply_to_filter(&mut self.filter, msg) {
+                self.syncs_applied += 1;
             }
         }
+    }
+}
+
+/// Applies a sync to a filter, returning whether it was accepted. Free
+/// function (not a method) so [`ServerEndpoint::advance`] can drain
+/// `pending` while mutating the filter — disjoint field borrows.
+fn apply_to_filter(filter: &mut KalmanFilter, msg: SyncMessage) -> bool {
+    match msg {
+        SyncMessage::State { x, p } => filter.set_state(x, p).is_ok(),
+        SyncMessage::Model { model, x, p } => {
+            match KalmanFilter::with_covariance(model, x, p) {
+                Ok(kf) => {
+                    *filter = kf;
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        SyncMessage::Measurement { z } => filter.update(&z).is_ok(),
     }
 }
 
@@ -105,12 +134,7 @@ impl Consumer for ServerEndpoint {
     fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
         // Predict first, then apply corrections — the exact order the
         // source's shadow uses, which is what makes the two bit-identical.
-        if self.filter.predict().is_err() {
-            self.predict_failures += 1;
-        }
-        for msg in std::mem::take(&mut self.pending) {
-            self.apply(msg);
-        }
+        self.advance();
         let z_hat = self.filter.predicted_measurement();
         out[..z_hat.dim()].copy_from_slice(z_hat.as_slice());
     }

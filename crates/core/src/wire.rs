@@ -8,12 +8,31 @@
 //! ```text
 //! message   := tag:u8 body
 //! tag       := 1 (State) | 2 (Model) | 3 (Measurement)
-//! State     := vec(x) mat(P)
-//! Model     := name_len:u16 name:utf8 mat(F) mat(Q) mat(H) mat(R) vec(x) mat(P)
+//! State     := vec(x) utri(P)            — P is x.dim() × x.dim()
+//! Model     := name_len:u16 name:utf8 flags:u8 n:u16 m:u16
+//!              F:(utri|full) Q:utri H:full(m×n) R:utri x:f64[n] P:utri
 //! Measurement := vec(z)
 //! vec(v)    := len:u32 f64[len]
-//! mat(M)    := rows:u32 cols:u32 f64[rows*cols]
+//! utri(M)   := f64[n(n+1)/2]             — upper triangle, row-major
+//! full(M)   := f64[rows·cols]            — row-major, headerless
+//! flags     := bit 0: F is upper-triangular and sent as utri(F)
 //! ```
+//!
+//! **Triangle packing.** Covariance matrices (`P`, `Q`, `R`) are symmetric,
+//! so only the upper triangle travels — `n(n+1)/2` instead of `n²` doubles —
+//! and the decoder mirrors it back. The Kalman layer re-symmetrises after
+//! every covariance update ([`kalstream_linalg::Matrix::symmetrize_mut`]
+//! writes the *same* f64 to both halves), so for every message the protocol
+//! produces the round trip is bit-exact. For hand-built messages the
+//! contract is: the wire carries the **upper triangle**; a bitwise
+//! asymmetric lower triangle is discarded in transit. Kinematic transition
+//! matrices (`F` for random-walk/CV/CA models) are upper-triangular, so `F`
+//! is triangle-packed too when (and only when) its sub-diagonal entries are
+//! bitwise `+0.0`, signalled by a flags bit. Matrix dimensions implied by
+//! context (P's by `x`, the model's by one `n:u16 m:u16` pair) are not
+//! re-sent. Experiment T3 and `bench_ingest` report the measured savings;
+//! [`SyncMessage::encoded_len_unpacked`] preserves the naive-format cost
+//! for that accounting.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use kalstream_filter::StateModel;
@@ -56,50 +75,108 @@ const TAG_STATE: u8 = 1;
 const TAG_MODEL: u8 = 2;
 const TAG_MEASUREMENT: u8 = 3;
 
+/// Flags bit 0: the model's `F` is upper-triangular and triangle-packed.
+const FLAG_F_UPPER_TRIANGULAR: u8 = 1;
+
+/// Number of f64s in the upper triangle of an `n × n` matrix.
+fn tri_elems(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// `true` when every sub-diagonal entry is bitwise `+0.0` — the exact
+/// condition under which triangle-packing `F` round-trips losslessly
+/// (`-0.0` would not survive, so it disables packing).
+fn is_upper_triangular(m: &Matrix) -> bool {
+    let zero = 0.0_f64.to_bits();
+    (1..m.rows()).all(|r| (0..r).all(|c| m.get(r, c).to_bits() == zero))
+}
+
 impl SyncMessage {
-    /// Encodes to a freshly allocated wire buffer.
+    /// Encodes to a freshly allocated wire buffer (thin wrapper over
+    /// [`SyncMessage::encode_into`]).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the wire encoding to `buf` — the allocation-free kernel the
+    /// frame layer batches through (mirroring the `_into` convention of the
+    /// linear-algebra kernels). Exactly [`SyncMessage::encoded_len`] bytes
+    /// are written.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             SyncMessage::State { x, p } => {
                 buf.put_u8(TAG_STATE);
-                put_vec(&mut buf, x);
-                put_mat(&mut buf, p);
+                put_vec(buf, x);
+                put_upper_triangle(buf, p);
             }
             SyncMessage::Model { model, x, p } => {
                 buf.put_u8(TAG_MODEL);
                 let name = model.name().as_bytes();
                 buf.put_u16_le(name.len() as u16);
                 buf.put_slice(name);
-                put_mat(&mut buf, model.f());
-                put_mat(&mut buf, model.q());
-                put_mat(&mut buf, model.h());
-                put_mat(&mut buf, model.r());
-                put_vec(&mut buf, x);
-                put_mat(&mut buf, p);
+                let f_tri = is_upper_triangular(model.f());
+                buf.put_u8(if f_tri { FLAG_F_UPPER_TRIANGULAR } else { 0 });
+                buf.put_u16_le(model.state_dim() as u16);
+                buf.put_u16_le(model.measurement_dim() as u16);
+                if f_tri {
+                    put_upper_triangle(buf, model.f());
+                } else {
+                    put_full(buf, model.f());
+                }
+                put_upper_triangle(buf, model.q());
+                put_full(buf, model.h());
+                put_upper_triangle(buf, model.r());
+                for &v in x.iter() {
+                    buf.put_f64_le(v);
+                }
+                put_upper_triangle(buf, p);
             }
             SyncMessage::Measurement { z } => {
                 buf.put_u8(TAG_MEASUREMENT);
-                put_vec(&mut buf, z);
+                put_vec(buf, z);
             }
         }
-        buf.freeze()
     }
 
-    /// Exact encoded size in bytes, used to pre-size buffers and by
-    /// experiment T3's byte accounting.
+    /// Exact encoded size in bytes, used to pre-size buffers, by the frame
+    /// layer's length prefixes, and by experiment T3's byte accounting.
     pub fn encoded_len(&self) -> usize {
         match self {
-            SyncMessage::State { x, p } => 1 + vec_len(x) + mat_len(p),
+            SyncMessage::State { x, p } => 1 + vec_len(x) + 8 * tri_elems(p.rows()),
+            SyncMessage::Model { model, x, p } => {
+                let n = model.state_dim();
+                let m = model.measurement_dim();
+                let f_elems =
+                    if is_upper_triangular(model.f()) { tri_elems(n) } else { n * n };
+                1 + 2
+                    + model.name().len()
+                    + 1 // flags
+                    + 2 // n
+                    + 2 // m
+                    + 8 * (f_elems + tri_elems(n) + m * n + tri_elems(m) + x.dim() + tri_elems(p.rows()))
+            }
+            SyncMessage::Measurement { z } => 1 + vec_len(z),
+        }
+    }
+
+    /// What this message would cost in the pre-packing format (full `n²`
+    /// matrices, each with its own `rows:u32 cols:u32` header) — kept so T3
+    /// and `bench_ingest` can report measured savings without re-encoding.
+    pub fn encoded_len_unpacked(&self) -> usize {
+        let mat = |m: &Matrix| 8 + 8 * m.rows() * m.cols();
+        match self {
+            SyncMessage::State { x, p } => 1 + vec_len(x) + mat(p),
             SyncMessage::Model { model, x, p } => {
                 1 + 2
                     + model.name().len()
-                    + mat_len(model.f())
-                    + mat_len(model.q())
-                    + mat_len(model.h())
-                    + mat_len(model.r())
+                    + mat(model.f())
+                    + mat(model.q())
+                    + mat(model.h())
+                    + mat(model.r())
                     + vec_len(x)
-                    + mat_len(p)
+                    + mat(p)
             }
             SyncMessage::Measurement { z } => 1 + vec_len(z),
         }
@@ -108,14 +185,14 @@ impl SyncMessage {
     /// Decodes a wire buffer.
     ///
     /// # Errors
-    /// [`CoreError::Decode`] on truncation, unknown tags, bad UTF-8, or an
-    /// inconsistent embedded model.
+    /// [`CoreError::Decode`] on truncation, unknown tags, bad UTF-8,
+    /// reserved flag bits, or an inconsistent embedded model.
     pub fn decode(mut buf: &[u8]) -> Result<Self> {
         let tag = get_u8(&mut buf)?;
         let msg = match tag {
             TAG_STATE => {
                 let x = get_vec(&mut buf)?;
-                let p = get_mat(&mut buf)?;
+                let p = get_symmetric(&mut buf, x.dim())?;
                 SyncMessage::State { x, p }
             }
             TAG_MODEL => {
@@ -127,14 +204,29 @@ impl SyncMessage {
                     .map_err(|e| decode_err(&format!("model name not utf-8: {e}")))?
                     .to_string();
                 buf.advance(name_len);
-                let f = get_mat(&mut buf)?;
-                let q = get_mat(&mut buf)?;
-                let h = get_mat(&mut buf)?;
-                let r = get_mat(&mut buf)?;
+                let flags = get_u8(&mut buf)?;
+                if flags & !FLAG_F_UPPER_TRIANGULAR != 0 {
+                    return Err(decode_err(&format!("reserved flag bits set: {flags:#x}")));
+                }
+                let n = get_u16(&mut buf)? as usize;
+                let m = get_u16(&mut buf)? as usize;
+                check_dims(n, n)?;
+                check_dims(m, n.max(m))?;
+                let f = if flags & FLAG_F_UPPER_TRIANGULAR != 0 {
+                    // Kinematic F: mirror-free reconstruction with exact
+                    // +0.0 below the diagonal (the encoder only sets the
+                    // flag when that is bit-exact).
+                    get_upper_triangular(&mut buf, n)?
+                } else {
+                    get_full(&mut buf, n, n)?
+                };
+                let q = get_symmetric(&mut buf, n)?;
+                let h = get_full(&mut buf, m, n)?;
+                let r = get_symmetric(&mut buf, m)?;
+                let x = get_fixed_vec(&mut buf, n)?;
+                let p = get_symmetric(&mut buf, n)?;
                 let model = StateModel::new(name, f, q, h, r)
                     .map_err(|e| decode_err(&format!("inconsistent model: {e}")))?;
-                let x = get_vec(&mut buf)?;
-                let p = get_mat(&mut buf)?;
                 SyncMessage::Model { model, x, p }
             }
             TAG_MEASUREMENT => SyncMessage::Measurement { z: get_vec(&mut buf)? },
@@ -155,10 +247,6 @@ fn vec_len(v: &Vector) -> usize {
     4 + 8 * v.dim()
 }
 
-fn mat_len(m: &Matrix) -> usize {
-    8 + 8 * m.rows() * m.cols()
-}
-
 fn put_vec(buf: &mut BytesMut, v: &Vector) {
     buf.put_u32_le(v.dim() as u32);
     for &x in v.iter() {
@@ -166,9 +254,20 @@ fn put_vec(buf: &mut BytesMut, v: &Vector) {
     }
 }
 
-fn put_mat(buf: &mut BytesMut, m: &Matrix) {
-    buf.put_u32_le(m.rows() as u32);
-    buf.put_u32_le(m.cols() as u32);
+/// Writes the upper triangle of a square matrix, row-major
+/// (row `i` contributes columns `i..n`).
+fn put_upper_triangle(buf: &mut BytesMut, m: &Matrix) {
+    debug_assert!(m.is_square());
+    let n = m.rows();
+    for r in 0..n {
+        for c in r..n {
+            buf.put_f64_le(m.get(r, c));
+        }
+    }
+}
+
+/// Writes a full matrix row-major, without a dimension header.
+fn put_full(buf: &mut BytesMut, m: &Matrix) {
     for &x in m.as_slice() {
         buf.put_f64_le(x);
     }
@@ -199,35 +298,80 @@ fn get_u32(buf: &mut &[u8]) -> Result<u32> {
 /// system has vectors/matrices beyond a few dozen elements.
 const MAX_ELEMS: u64 = 1 << 16;
 
+/// Rejects matrix dimensions whose full form would exceed [`MAX_ELEMS`]
+/// (matches the old per-matrix-header guard: at most 256 × 256).
+fn check_dims(rows: usize, cols: usize) -> Result<()> {
+    if (rows as u64) * (cols as u64) > MAX_ELEMS {
+        return Err(decode_err(&format!("matrix {rows}x{cols} exceeds limit")));
+    }
+    Ok(())
+}
+
 fn get_vec(buf: &mut &[u8]) -> Result<Vector> {
     let n = get_u32(buf)? as u64;
     if n > MAX_ELEMS {
         return Err(decode_err(&format!("vector length {n} exceeds limit")));
     }
-    if (buf.remaining() as u64) < 8 * n {
-        return Err(decode_err("truncated vector body"));
-    }
-    let mut data = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        data.push(buf.get_f64_le());
-    }
-    Ok(Vector::from_vec(data))
+    get_fixed_vec(buf, n as usize)
 }
 
-fn get_mat(buf: &mut &[u8]) -> Result<Matrix> {
-    let rows = get_u32(buf)? as u64;
-    let cols = get_u32(buf)? as u64;
-    if rows * cols > MAX_ELEMS {
-        return Err(decode_err(&format!("matrix {rows}x{cols} exceeds limit")));
+/// Reads `n` f64s into a `Vector` without an intermediate `Vec` — at Kalman
+/// sizes the inline `SmallBuf` storage makes this allocation-free, which is
+/// what keeps a drained ingest batch at zero heap traffic.
+fn get_fixed_vec(buf: &mut &[u8], n: usize) -> Result<Vector> {
+    if (buf.remaining() as u64) < 8 * n as u64 {
+        return Err(decode_err("truncated vector body"));
     }
-    if (buf.remaining() as u64) < 8 * rows * cols {
+    let mut v = Vector::zeros(n);
+    for x in v.as_mut_slice() {
+        *x = buf.get_f64_le();
+    }
+    Ok(v)
+}
+
+/// Reads an upper triangle and mirrors it into a full symmetric matrix.
+fn get_symmetric(buf: &mut &[u8], n: usize) -> Result<Matrix> {
+    check_dims(n, n)?;
+    if (buf.remaining() as u64) < 8 * tri_elems(n) as u64 {
+        return Err(decode_err("truncated symmetric matrix body"));
+    }
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in r..n {
+            let v = buf.get_f64_le();
+            m.set(r, c, v);
+            m.set(c, r, v);
+        }
+    }
+    Ok(m)
+}
+
+/// Reads an upper triangle into an upper-triangular matrix (zeros below).
+fn get_upper_triangular(buf: &mut &[u8], n: usize) -> Result<Matrix> {
+    check_dims(n, n)?;
+    if (buf.remaining() as u64) < 8 * tri_elems(n) as u64 {
+        return Err(decode_err("truncated triangular matrix body"));
+    }
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in r..n {
+            m.set(r, c, buf.get_f64_le());
+        }
+    }
+    Ok(m)
+}
+
+/// Reads a headerless `rows × cols` matrix.
+fn get_full(buf: &mut &[u8], rows: usize, cols: usize) -> Result<Matrix> {
+    check_dims(rows, cols)?;
+    if (buf.remaining() as u64) < 8 * (rows * cols) as u64 {
         return Err(decode_err("truncated matrix body"));
     }
-    let mut data = Vec::with_capacity((rows * cols) as usize);
-    for _ in 0..rows * cols {
-        data.push(buf.get_f64_le());
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = buf.get_f64_le();
     }
-    Ok(Matrix::from_row_major(rows as usize, cols as usize, data))
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -263,6 +407,29 @@ mod tests {
     }
 
     #[test]
+    fn model_roundtrip_non_triangular_f() {
+        // A harmonic-oscillator style F has a non-zero sub-diagonal: the
+        // triangle flag must stay clear and the full matrix must survive.
+        let f = Matrix::from_rows(&[&[0.9, 0.4], &[-0.4, 0.9]]);
+        let model = StateModel::new(
+            "rotation",
+            f,
+            Matrix::scalar(2, 0.01),
+            Matrix::from_rows(&[&[1.0, 0.0]]),
+            Matrix::scalar(1, 0.1),
+        )
+        .unwrap();
+        let msg = SyncMessage::Model {
+            model,
+            x: Vector::from_slice(&[1.0, 0.0]),
+            p: Matrix::scalar(2, 1.0),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(SyncMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
     fn measurement_roundtrip() {
         let msg = SyncMessage::Measurement { z: Vector::from_slice(&[3.25]) };
         let bytes = msg.encode();
@@ -270,6 +437,83 @@ mod tests {
         assert_eq!(SyncMessage::decode(&bytes).unwrap(), msg);
         // Measurement messages are the smallest: tag + len + one f64.
         assert_eq!(bytes.len(), 1 + 4 + 8);
+    }
+
+    #[test]
+    fn encode_into_appends_to_caller_buffer() {
+        // The pooled-buffer kernel: successive messages append, lengths are
+        // exact, and the concatenation splits back into the originals.
+        let a = state_msg();
+        let b = SyncMessage::Measurement { z: Vector::from_slice(&[7.0]) };
+        let mut buf = BytesMut::with_capacity(a.encoded_len() + b.encoded_len());
+        a.encode_into(&mut buf);
+        assert_eq!(buf.len(), a.encoded_len());
+        b.encode_into(&mut buf);
+        assert_eq!(buf.len(), a.encoded_len() + b.encoded_len());
+        assert_eq!(SyncMessage::decode(&buf[..a.encoded_len()]).unwrap(), a);
+        assert_eq!(SyncMessage::decode(&buf[a.encoded_len()..]).unwrap(), b);
+        // And the allocating spelling is the same bytes.
+        assert_eq!(&a.encode()[..], &buf[..a.encoded_len()]);
+    }
+
+    #[test]
+    fn encoded_len_exact_for_all_tags() {
+        let msgs = [
+            state_msg(),
+            SyncMessage::Model {
+                model: models::constant_velocity_2d(1.0, 0.05, 3.0),
+                x: Vector::from_slice(&[1.0, 0.1, 2.0, -0.1]),
+                p: Matrix::scalar(4, 0.5),
+            },
+            SyncMessage::Measurement { z: Vector::from_slice(&[1.0, 2.0]) },
+        ];
+        for msg in &msgs {
+            let mut buf = BytesMut::new();
+            msg.encode_into(&mut buf);
+            assert_eq!(buf.len(), msg.encoded_len(), "encoded_len drift for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_packing_shrinks_covariances() {
+        // 4-state state sync: P travels as 10 f64s instead of a 16-f64
+        // matrix with an 8-byte header.
+        let msg = SyncMessage::State {
+            x: Vector::zeros(4),
+            p: Matrix::scalar(4, 1.0),
+        };
+        assert_eq!(msg.encoded_len(), 1 + (4 + 32) + 80);
+        assert_eq!(msg.encoded_len_unpacked(), 1 + (4 + 32) + (8 + 128));
+        // Model sync on the scalar walk: ≥ 30% below the unpacked format.
+        let model_msg = SyncMessage::Model {
+            model: models::random_walk(0.1, 0.1),
+            x: Vector::zeros(1),
+            p: Matrix::scalar(1, 1.0),
+        };
+        let packed = model_msg.encoded_len() as f64;
+        let unpacked = model_msg.encoded_len_unpacked() as f64;
+        assert!(
+            packed / unpacked < 0.7,
+            "model sync only shrank to {:.0}% ({packed} / {unpacked})",
+            100.0 * packed / unpacked
+        );
+    }
+
+    #[test]
+    fn asymmetric_lower_triangle_is_discarded_in_transit() {
+        // The wire contract: symmetric slots carry the upper triangle; a
+        // hand-built asymmetric P comes back mirrored.
+        let msg = SyncMessage::State {
+            x: Vector::from_slice(&[0.0, 0.0]),
+            p: Matrix::from_rows(&[&[1.0, 0.5], &[999.0, 2.0]]),
+        };
+        match SyncMessage::decode(&msg.encode()).unwrap() {
+            SyncMessage::State { p, .. } => {
+                assert_eq!(p.get(1, 0), 0.5);
+                assert_eq!(p.get(0, 1), 0.5);
+            }
+            other => panic!("expected State, got {other:?}"),
+        }
     }
 
     #[test]
@@ -282,12 +526,21 @@ mod tests {
 
     #[test]
     fn rejects_truncation_at_every_prefix() {
-        let bytes = state_msg().encode();
-        for cut in 0..bytes.len() {
-            assert!(
-                SyncMessage::decode(&bytes[..cut]).is_err(),
-                "prefix of {cut} bytes decoded successfully"
-            );
+        for msg in [
+            state_msg(),
+            SyncMessage::Model {
+                model: models::constant_velocity(1.0, 0.01, 0.5),
+                x: Vector::from_slice(&[1.0, 0.2]),
+                p: Matrix::scalar(2, 0.3),
+            },
+        ] {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    SyncMessage::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded successfully"
+                );
+            }
         }
     }
 
@@ -313,18 +566,48 @@ mod tests {
     }
 
     #[test]
+    fn rejects_huge_symmetric_dim() {
+        // A 1024-dim state would imply a 1024² covariance: over the element
+        // limit, rejected before any allocation.
+        let mut buf = vec![TAG_STATE];
+        buf.extend_from_slice(&1024u32.to_le_bytes());
+        buf.extend(std::iter::repeat(0u8).take(8 * 1024));
+        assert!(matches!(
+            SyncMessage::decode(&buf),
+            Err(CoreError::Decode { reason }) if reason.contains("limit")
+        ));
+    }
+
+    #[test]
+    fn rejects_reserved_flag_bits() {
+        let msg = SyncMessage::Model {
+            model: models::random_walk(0.1, 0.2),
+            x: Vector::from_slice(&[0.0]),
+            p: Matrix::scalar(1, 1.0),
+        };
+        let mut bytes = msg.encode().to_vec();
+        // name "random_walk" is 11 bytes; flags live at 1 (tag) + 2 (len)
+        // + 11 = offset 14.
+        bytes[14] |= 0x80;
+        assert!(matches!(
+            SyncMessage::decode(&bytes),
+            Err(CoreError::Decode { reason }) if reason.contains("flag")
+        ));
+    }
+
+    #[test]
     fn rejects_inconsistent_model() {
-        // Encode a model message, then corrupt Q's dimensions.
+        // Encode a model message, then corrupt the state dimension: every
+        // body length downstream of the header stops matching.
         let msg = SyncMessage::Model {
             model: models::random_walk(0.1, 0.2),
             x: Vector::from_slice(&[0.0]),
             p: Matrix::scalar(1, 1.0),
         };
         let bytes = msg.encode().to_vec();
-        // name "random_walk" is 11 bytes; F matrix header starts at
-        // 1 (tag) + 2 (len) + 11 = 14; Q header at 14 + 8 + 8 = 30.
+        // Layout: tag 1 + name_len 2 + name 11 + flags 1 → n:u16 at 15.
         let mut corrupt = bytes.clone();
-        corrupt[30] = 2; // Q rows := 2 — but then body is too short.
+        corrupt[15] = 2; // n := 2 — but the body is sized for n = 1.
         assert!(SyncMessage::decode(&corrupt).is_err());
     }
 
@@ -339,6 +622,7 @@ mod tests {
             p: Matrix::scalar(4, 1.0),
         };
         assert!(large.encoded_len() > small.encoded_len());
-        assert_eq!(small.encoded_len(), 1 + (4 + 8) + (8 + 8));
+        // Scalar: tag + vec(x) + one-element triangle.
+        assert_eq!(small.encoded_len(), 1 + (4 + 8) + 8);
     }
 }

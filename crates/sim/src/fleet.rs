@@ -1,9 +1,10 @@
 //! Parallel execution of many independent sessions (experiment F7's
-//! 100-stream fleet and every parameter sweep).
+//! 100-stream fleet and every parameter sweep), plus the multiplexed
+//! ingest-mode fleet driver.
 
 use crossbeam::channel;
 
-use crate::{SessionReport, TrafficMetrics};
+use crate::{IngestSink, Link, Producer, SessionReport, TrafficMetrics};
 
 /// Aggregated result of a fleet run: per-session reports in submission
 /// order, plus fleet-wide traffic totals.
@@ -89,6 +90,73 @@ where
     FleetReport { sessions, total_traffic }
 }
 
+/// A boxed `(observed, truth)` sampler, as carried by [`IngestStream`].
+pub type BoxedSampler<'a> = Box<dyn FnMut(&mut [f64], &mut [f64]) + 'a>;
+
+/// One stream in an ingest-mode fleet: its id, source-side producer, and
+/// the sampler generating its observations.
+pub struct IngestStream<'a> {
+    /// The stream's multiplexing key (what the ingest layer shards on).
+    pub stream_id: u32,
+    /// Source-side policy deciding what goes on the wire.
+    pub producer: Box<dyn Producer + 'a>,
+    /// Fills `(observed, truth)` each tick.
+    pub sampler: BoxedSampler<'a>,
+}
+
+/// Traffic outcome of an ingest-mode fleet run (source side; the server
+/// side's per-shard story comes from the sink's own reporting).
+#[derive(Debug)]
+pub struct IngestFleetReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Fleet-wide traffic (sum over streams).
+    pub total_traffic: TrafficMetrics,
+    /// Per-stream traffic, index-aligned with the submitted streams.
+    pub per_stream: Vec<TrafficMetrics>,
+}
+
+/// Drives many streams against one multiplexed [`IngestSink`] — the
+/// server-side ingest mode, where the fleet's traffic converges on a single
+/// batched channel instead of one consumer per session.
+///
+/// Per tick: every stream samples and may transmit (through its own
+/// zero-latency [`Link`], which prices each message with `overhead_bytes`
+/// of framing); every delivered message is pushed into the sink tagged with
+/// its stream id; then [`IngestSink::end_tick`] closes the tick, advancing
+/// all server-side endpoints at once. Zero latency preserves the protocol's
+/// correction-visible-same-tick semantics, so an ingest-mode server is
+/// bit-identical to the same endpoints run through [`crate::Session::run`].
+pub fn run_fleet_ingest<S: IngestSink + ?Sized>(
+    streams: &mut [IngestStream<'_>],
+    ticks: u64,
+    overhead_bytes: usize,
+    sink: &mut S,
+) -> IngestFleetReport {
+    let mut links: Vec<Link> = streams.iter().map(|_| Link::new(0, overhead_bytes)).collect();
+    let mut observed: Vec<Vec<f64>> =
+        streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
+    let mut truth: Vec<Vec<f64>> = streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
+    for now in 0..ticks {
+        for (i, stream) in streams.iter_mut().enumerate() {
+            (stream.sampler)(&mut observed[i], &mut truth[i]);
+            if let Some(payload) = stream.producer.observe(now, &observed[i]) {
+                links[i].send_tagged(now, stream.stream_id, payload);
+            }
+            for msg in links[i].deliver(now) {
+                sink.push(msg.stream_id, &msg.payload);
+            }
+        }
+        sink.end_tick();
+    }
+    let per_stream: Vec<TrafficMetrics> = links.iter().map(|l| l.traffic().clone()).collect();
+    let mut total_traffic = TrafficMetrics::default();
+    for t in &per_stream {
+        total_traffic.merge(t);
+    }
+    IngestFleetReport { ticks, total_traffic, per_stream }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +239,49 @@ mod tests {
         let report = run_fleet(Vec::<fn() -> SessionReport>::new(), 4);
         assert_eq!(report.sessions.len(), 0);
         assert_eq!(report.mean_message_rate(), 0.0);
+    }
+
+    /// Sink that records (stream_id, decoded value) pushes and tick closes.
+    #[derive(Default)]
+    struct Recorder {
+        pushes: Vec<(u32, f64)>,
+        ticks_closed: u64,
+    }
+
+    impl crate::IngestSink for Recorder {
+        fn push(&mut self, stream_id: u32, payload: &Bytes) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(payload);
+            self.pushes.push((stream_id, f64::from_le_bytes(b)));
+        }
+        fn end_tick(&mut self) {
+            self.ticks_closed += 1;
+        }
+    }
+
+    #[test]
+    fn ingest_fleet_multiplexes_all_streams_into_one_sink() {
+        let mut streams: Vec<IngestStream<'_>> = (0..3u32)
+            .map(|id| IngestStream {
+                stream_id: id * 10,
+                producer: Box::new(ShipAll),
+                sampler: Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+                    obs[0] = id as f64;
+                    tru[0] = id as f64;
+                }),
+            })
+            .collect();
+        let mut sink = Recorder::default();
+        let report = run_fleet_ingest(&mut streams, 5, 8, &mut sink);
+        assert_eq!(report.ticks, 5);
+        assert_eq!(sink.ticks_closed, 5);
+        // Ship-all: 3 streams × 5 ticks, tagged with their ids, in order.
+        assert_eq!(sink.pushes.len(), 15);
+        assert_eq!(sink.pushes[0..3], [(0, 0.0), (10, 1.0), (20, 2.0)]);
+        assert_eq!(report.total_traffic.messages(), 15);
+        // Each payload is 8 bytes (one f64) + 8 bytes declared overhead.
+        assert_eq!(report.total_traffic.bytes(), 15 * 16);
+        assert_eq!(report.per_stream.len(), 3);
+        assert!(report.per_stream.iter().all(|t| t.messages() == 5));
     }
 }

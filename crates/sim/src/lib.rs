@@ -23,6 +23,11 @@
 //! guarantee (a correction sent at tick *t* is visible to queries at tick
 //! *t*); with positive latency, transient violations become measurable —
 //! experiment T2 reports both.
+//!
+//! Beyond per-session runs, [`run_fleet_ingest`] drives many streams
+//! against one multiplexed [`IngestSink`] — the server-side **ingest mode**
+//! where a whole fleet's traffic converges on a batched, sharded pipeline
+//! (implemented in `kalstream-core`, measured by `bench_ingest`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,8 +40,13 @@ mod node;
 mod runner;
 
 pub use clock::Tick;
-pub use fleet::{run_fleet, FleetReport};
+pub use fleet::{
+    run_fleet, run_fleet_ingest, BoxedSampler, FleetReport, IngestFleetReport, IngestStream,
+};
 pub use link::{Link, Message};
-pub use metrics::{ErrorMetrics, SessionReport, TrafficMetrics};
+pub use metrics::{
+    BytesAccounting, ErrorMetrics, IngestRunReport, SessionReport, ShardThroughput,
+    TrafficMetrics,
+};
 pub use node::{Consumer, Producer};
-pub use runner::{ErrorSeries, Session, SessionConfig, TickObserver};
+pub use runner::{ErrorSeries, IngestSink, Session, SessionConfig, TickObserver};

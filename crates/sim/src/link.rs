@@ -15,6 +15,9 @@ pub struct Message {
     pub sent_at: Tick,
     /// Tick at which the consumer receives.
     pub deliver_at: Tick,
+    /// Which stream this message belongs to — the multiplexing key the
+    /// ingest path shards on. Single-stream sessions leave it 0.
+    pub stream_id: u32,
     /// Opaque payload (the wire encoding is the protocol's business).
     pub payload: Bytes,
 }
@@ -94,6 +97,13 @@ impl Link {
     /// Transmits `payload` at tick `now`; it will deliver at `now + latency`
     /// unless the (lossy) link drops it.
     pub fn send(&mut self, now: Tick, payload: Bytes) {
+        self.send_tagged(now, 0, payload);
+    }
+
+    /// Like [`Link::send`], tagging the message with the stream it belongs
+    /// to — the multiplexed form the ingest path consumes, where one link
+    /// carries frames from many sessions.
+    pub fn send_tagged(&mut self, now: Tick, stream_id: u32, payload: Bytes) {
         self.traffic.record(payload.len() + self.overhead_bytes);
         if let Some((prob, rng)) = &mut self.loss {
             if rng.random::<f64>() < *prob {
@@ -101,7 +111,12 @@ impl Link {
                 return;
             }
         }
-        self.in_flight.push_back(Message { sent_at: now, deliver_at: now + self.latency, payload });
+        self.in_flight.push_back(Message {
+            sent_at: now,
+            deliver_at: now + self.latency,
+            stream_id,
+            payload,
+        });
     }
 
     /// Pops every message due at or before `now`, in send order.
@@ -158,6 +173,15 @@ mod tests {
         link.send(1, Bytes::from_static(b"c"));
         let got: Vec<_> = link.deliver(2).map(|m| m.payload).collect();
         assert_eq!(got, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b"), Bytes::from_static(b"c")]);
+    }
+
+    #[test]
+    fn tagged_sends_carry_their_stream_id() {
+        let mut link = Link::new(0, 0);
+        link.send_tagged(0, 42, payload(4));
+        link.send(0, payload(4)); // untagged defaults to stream 0
+        let ids: Vec<u32> = link.deliver(0).map(|m| m.stream_id).collect();
+        assert_eq!(ids, vec![42, 0]);
     }
 
     #[test]

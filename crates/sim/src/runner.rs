@@ -32,6 +32,31 @@ impl SessionConfig {
     }
 }
 
+/// Server-side ingest mode: the multiplexed alternative to a per-session
+/// [`crate::Consumer`].
+///
+/// In ingest mode the fleet loop does not hand each message to its own
+/// consumer; it pushes every delivered message — from *all* streams — into
+/// one sink, then closes the tick. The sink owns framing, shard routing,
+/// and endpoint advancement (in `kalstream-core`, the frame batcher wrapped
+/// around the sharded ingest pipeline). The simulator stays wire-format
+/// agnostic, exactly as it is Kalman-agnostic via [`crate::Producer`] /
+/// [`crate::Consumer`].
+///
+/// Contract per tick: any number of [`IngestSink::push`] calls (delivery
+/// order within a stream is send order), then exactly one
+/// [`IngestSink::end_tick`], which must advance **every** stream's
+/// server-side state by one tick — matching [`crate::Consumer::estimate`]'s
+/// predict-then-apply semantics so ingest-mode servers stay bit-identical
+/// to session-mode servers.
+pub trait IngestSink {
+    /// Delivers one message for `stream_id` into the current tick's batch.
+    fn push(&mut self, stream_id: u32, payload: &bytes::Bytes);
+
+    /// Closes the tick: drain the batch and advance every endpoint.
+    fn end_tick(&mut self);
+}
+
 /// Per-tick hook for experiments that need time series rather than final
 /// aggregates (cumulative-message plots, staleness profiles).
 pub trait TickObserver {

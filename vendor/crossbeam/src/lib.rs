@@ -1,11 +1,11 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::unbounded` — a multi-producer,
-//! multi-consumer unbounded FIFO channel — which is the only crossbeam
-//! API this workspace uses. Built on `Mutex<VecDeque>` + `Condvar`;
+//! Provides `crossbeam::channel::unbounded` and `crossbeam::channel::bounded`
+//! — multi-producer, multi-consumer FIFO channels — which is the only
+//! crossbeam API this workspace uses. Built on `Mutex<VecDeque>` + `Condvar`;
 //! throughput is lower than the real lock-free implementation but the
-//! semantics (FIFO, clone-able endpoints, disconnect on last-sender drop)
-//! match.
+//! semantics (FIFO, clone-able endpoints, disconnect on last-sender drop,
+//! blocking send when a bounded queue is full) match.
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
@@ -17,7 +17,12 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a slot frees up in a bounded queue.
+        space: Condvar,
         senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
     }
 
     /// The sending half of an unbounded channel.
@@ -63,18 +68,56 @@ pub mod channel {
 
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX, VecDeque::new())
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    ///
+    /// [`Sender::send`] blocks while the queue is full (backpressure), and
+    /// returns an error once every receiver has dropped — blocking forever
+    /// on a consumer that will never drain would otherwise deadlock.
+    /// The queue is pre-allocated to `cap`, so steady-state sends never
+    /// grow it.
+    ///
+    /// # Panics
+    /// Panics when `cap` is 0 (the real crate's rendezvous channel is not
+    /// modelled here, and nothing in this workspace uses it).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+        with_capacity(cap, VecDeque::with_capacity(cap))
+    }
+
+    fn with_capacity<T>(cap: usize, queue: VecDeque<T>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(queue),
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            capacity: cap,
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
 
     impl<T> Sender<T> {
         /// Appends a message to the queue and wakes one waiting receiver.
+        /// On a bounded channel this blocks until a slot is free; it fails
+        /// only when every receiver has dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            while queue.len() >= self.shared.capacity {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                queue = self
+                    .shared
+                    .space
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -105,6 +148,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -122,6 +167,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.space.notify_one();
                 return Ok(v);
             }
             if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -139,7 +186,18 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake senders blocked on a full bounded
+                // queue so they observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -213,5 +271,50 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Queue full: the third send must block until the receiver drains.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| tx.send(3).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            h.join().unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        // Full queue + no receiver: must error rather than deadlock.
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn bounded_is_fifo_across_threads() {
+        let (tx, rx) = channel::bounded::<usize>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<usize> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn bounded_zero_rejected() {
+        let _ = channel::bounded::<u32>(0);
     }
 }
