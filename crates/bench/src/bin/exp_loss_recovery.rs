@@ -1,0 +1,94 @@
+//! Loss recovery — the sequence/ack layer versus bare suppression on an
+//! unreliable link.
+//!
+//! E11 quantified what loss costs the bare protocol: a dropped correction
+//! leaves server and shadow divergent until the *next natural* sync, which
+//! on a well-modelled stream may be arbitrarily far away. This experiment
+//! turns on the loss-tolerant delivery layer (sequence numbers on every
+//! sync, a reverse ack channel, and a source-side divergence detector that
+//! forces a full Model+State resync once the newest sync has gone unacked
+//! for `ack_timeout` decision ticks) and sweeps the same loss grid.
+//!
+//! Expected shape: at zero loss the two configurations are bit-identical
+//! (no resyncs fire, the seq/ack envelope costs 8 bytes per message and
+//! nothing else). Under loss, recovery caps the divergence window at the
+//! ack timeout: violations drop by an order of magnitude relative to the
+//! bare protocol at a modest retransmission premium, and every drop the
+//! link injects is visible in the fault/delivery accounting.
+
+use kalstream_bench::harness::run_endpoints;
+use kalstream_bench::table::{fmt_f, Table};
+use kalstream_core::{ProtocolConfig, SessionSpec};
+use kalstream_gen::{synthetic::RandomWalk, Stream};
+use kalstream_sim::SessionConfig;
+
+const TICKS: u64 = 20_000;
+const DELTA: f64 = 1.0;
+const ACK_TIMEOUT: u64 = 10;
+
+struct Run {
+    messages: u64,
+    violations: u64,
+    max_err: f64,
+    dropped: u64,
+    resyncs: u64,
+    stale_drops: u64,
+}
+
+fn run(loss: f64, recovery: bool) -> Run {
+    let mut config_proto = ProtocolConfig::new(DELTA).unwrap();
+    if recovery {
+        config_proto = config_proto.with_ack_timeout(ACK_TIMEOUT).unwrap();
+    }
+    let spec = SessionSpec::default_scalar(0.0, config_proto).unwrap();
+    let (mut source, mut server) = spec.build().split();
+    let mut stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.08, 0.02, 91));
+    let config = SessionConfig::instant_lossy(TICKS, DELTA, loss, 4242);
+    let report = run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
+    Run {
+        messages: report.traffic.messages(),
+        violations: report.error_vs_observed.violations(),
+        max_err: report.error_vs_observed.max_abs(),
+        dropped: report.faults.dropped,
+        resyncs: source.resyncs(),
+        stale_drops: report.delivery.stale_drops,
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        format!(
+            "Loss recovery: seq/ack resync (timeout {ACK_TIMEOUT}) vs bare protocol, random walk, delta={DELTA} ({TICKS} ticks)"
+        ),
+        &[
+            "loss_prob",
+            "bare_msgs",
+            "bare_violations",
+            "bare_max_err",
+            "rec_msgs",
+            "rec_violations",
+            "rec_max_err",
+            "rec_resyncs",
+            "rec_dropped",
+            "rec_stale",
+        ],
+    );
+    for loss in [0.0, 0.01, 0.05, 0.1, 0.2] {
+        let bare = run(loss, false);
+        let rec = run(loss, true);
+        table.add_row(vec![
+            fmt_f(loss),
+            bare.messages.to_string(),
+            bare.violations.to_string(),
+            fmt_f(bare.max_err),
+            rec.messages.to_string(),
+            rec.violations.to_string(),
+            fmt_f(rec.max_err),
+            rec.resyncs.to_string(),
+            rec.dropped.to_string(),
+            rec.stale_drops.to_string(),
+        ]);
+    }
+    table.print();
+    println!("# shape: identical violation counts at zero loss; under loss, recovery bounds divergence at the ack timeout so violations collapse versus bare");
+}

@@ -25,8 +25,7 @@ fn run_at_latency(
     let dim = stream.dim();
     let first = stream.next_sample();
     let (mut p, mut c) = build_policy(policy, dim, delta, &first.observed);
-    let config =
-        SessionConfig { ticks, delta, latency, overhead_bytes: 28, loss_prob: 0.0, loss_seed: 0 };
+    let config = SessionConfig { latency, ..SessionConfig::instant(ticks, delta) };
     // Feed the first sample, then the live stream.
     let mut pending = Some(first);
     kalstream_sim::Session::run(

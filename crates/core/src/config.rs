@@ -28,6 +28,12 @@ pub struct ProtocolConfig {
     /// Optional heartbeat: force a sync every `n` ticks even when the
     /// prediction holds, bounding server staleness for fault recovery.
     pub heartbeat: Option<u64>,
+    /// Optional ack-based loss recovery: when `Some(t)`, every sync carries
+    /// a sequence number, the server acknowledges the highest sequence it
+    /// has applied, and a sync left unacknowledged for `t` ticks triggers a
+    /// forced full-state + model resync. `None` (the default) keeps the
+    /// legacy fire-and-forget wire format.
+    pub ack_timeout: Option<u64>,
 }
 
 impl ProtocolConfig {
@@ -42,7 +48,12 @@ impl ProtocolConfig {
                 reason: format!("must be positive and finite, got {delta}"),
             });
         }
-        Ok(ProtocolConfig { delta, resync: ResyncPayload::FullState, heartbeat: None })
+        Ok(ProtocolConfig {
+            delta,
+            resync: ResyncPayload::FullState,
+            heartbeat: None,
+            ack_timeout: None,
+        })
     }
 
     /// Sets the resync payload policy.
@@ -64,6 +75,35 @@ impl ProtocolConfig {
             });
         }
         self.heartbeat = Some(ticks);
+        Ok(self)
+    }
+
+    /// Enables ack-based loss recovery with an unacked-gap timeout of
+    /// `ticks` ticks.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] when `ticks` is zero, or when the resync
+    /// policy is [`ResyncPayload::MeasurementOnly`] — a measurement-only
+    /// sync updates whatever (possibly diverged) prior the server holds, so
+    /// its acknowledgement would clear the outstanding window without
+    /// actually reconciling state. Recovery requires full-state syncs.
+    pub fn with_ack_timeout(mut self, ticks: u64) -> Result<Self> {
+        if ticks == 0 {
+            return Err(CoreError::BadConfig {
+                what: "ack_timeout",
+                reason: "must be at least 1 tick".into(),
+            });
+        }
+        if self.resync == ResyncPayload::MeasurementOnly {
+            return Err(CoreError::BadConfig {
+                what: "ack_timeout",
+                reason: "loss recovery requires FullState resync: \
+                         a measurement-only sync does not reconcile a \
+                         diverged server prior"
+                    .into(),
+            });
+        }
+        self.ack_timeout = Some(ticks);
         Ok(self)
     }
 }
@@ -102,5 +142,25 @@ mod tests {
     #[test]
     fn rejects_zero_heartbeat() {
         assert!(ProtocolConfig::new(1.0).unwrap().with_heartbeat(0).is_err());
+    }
+
+    #[test]
+    fn ack_timeout_builder() {
+        let c = ProtocolConfig::new(1.0).unwrap().with_ack_timeout(8).unwrap();
+        assert_eq!(c.ack_timeout, Some(8));
+    }
+
+    #[test]
+    fn rejects_zero_ack_timeout() {
+        assert!(ProtocolConfig::new(1.0).unwrap().with_ack_timeout(0).is_err());
+    }
+
+    #[test]
+    fn rejects_ack_timeout_with_measurement_only_resync() {
+        assert!(ProtocolConfig::new(1.0)
+            .unwrap()
+            .with_resync(ResyncPayload::MeasurementOnly)
+            .with_ack_timeout(8)
+            .is_err());
     }
 }

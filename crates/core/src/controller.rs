@@ -25,6 +25,7 @@ pub struct FleetController {
     delta_floor: f64,
     ticks: u64,
     rounds: u64,
+    failed_rounds: u64,
 }
 
 impl FleetController {
@@ -57,7 +58,16 @@ impl FleetController {
             delta_floor: 1e-4,
             ticks: 0,
             rounds: 0,
+            failed_rounds: 0,
         })
+    }
+
+    /// Retunes the fleet message budget mid-flight. The new value is
+    /// validated at the next control round, not here: an invalid budget
+    /// fails that round (counted in [`FleetController::failed_rounds`])
+    /// rather than panicking the control loop.
+    pub fn set_budget_rate(&mut self, rate: f64) {
+        self.budget_rate = rate;
     }
 
     /// Sets per-stream importance weights (higher = keep tighter).
@@ -87,6 +97,14 @@ impl FleetController {
         self.rounds
     }
 
+    /// Control rounds that reached the allocator and failed — e.g. an
+    /// invalid budget set via [`FleetController::set_budget_rate`]. A
+    /// steadily growing count is the diagnostic that re-allocation is
+    /// frozen; pre-fix, these failures were silently swallowed.
+    pub fn failed_rounds(&self) -> u64 {
+        self.failed_rounds
+    }
+
     /// Advances the controller one tick; on period boundaries, re-allocates
     /// and retunes the sources. Returns the fresh per-stream bounds when a
     /// control round ran.
@@ -114,9 +132,19 @@ impl FleetController {
             }
         }
         if demands.is_empty() {
+            // Cold start (no warm estimator yet) — not a failure.
             return None;
         }
-        let allocation = BudgetAllocator::allocate(&demands, self.budget_rate).ok()?;
+        let allocation = match BudgetAllocator::allocate(&demands, self.budget_rate) {
+            Ok(a) => a,
+            Err(_) => {
+                // Pre-fix this was `.ok()?`: a persistently failing solve
+                // silently froze re-allocation forever. Count it so a frozen
+                // fleet is diagnosable.
+                self.failed_rounds += 1;
+                return None;
+            }
+        };
         let mut new_deltas: Vec<f64> = sources.iter().map(SourceEndpoint::delta).collect();
         for (slot, &i) in warm_index.iter().enumerate() {
             let delta = allocation.deltas[slot].max(self.delta_floor);
@@ -205,6 +233,46 @@ mod tests {
         // No decide() calls yet: estimators empty ⇒ no allocation.
         assert!(ctrl.tick(&mut srcs).is_none());
         assert_eq!(srcs[0].delta(), 1.0);
+    }
+
+    #[test]
+    fn failed_allocator_rounds_are_counted_not_swallowed() {
+        // Pre-fix regression: `allocate(...).ok()?` silently swallowed
+        // allocator errors, so a fleet whose budget went invalid mid-flight
+        // froze re-allocation forever with zero diagnostics.
+        let mut ctrl = FleetController::new(1, 1, 1.0).unwrap();
+        let mut srcs = sources(1);
+        srcs[0].decide(&[0.5]); // warm the estimator so allocate() is reached
+        ctrl.set_budget_rate(f64::NAN);
+        assert!(ctrl.tick(&mut srcs).is_none());
+        assert_eq!(ctrl.failed_rounds(), 1, "failure must be counted");
+        assert_eq!(ctrl.rounds(), 0);
+        assert_eq!(srcs[0].delta(), 1.0, "bounds untouched on failure");
+        // A repaired budget resumes control.
+        ctrl.set_budget_rate(1.0);
+        srcs[0].decide(&[0.5]);
+        assert!(ctrl.tick(&mut srcs).is_some());
+        assert_eq!(ctrl.failed_rounds(), 1);
+        assert_eq!(ctrl.rounds(), 1);
+    }
+
+    #[test]
+    fn nan_observations_do_not_freeze_fleet_reallocation() {
+        // Composed regression across source + rate + controller: pre-fix,
+        // NaN observations reached the rate window, every StreamDemand
+        // failed validation, and the controller never ran a round again —
+        // the fleet froze. Post-fix the source rejects NaN before the
+        // window, so control rounds keep running.
+        let mut ctrl = FleetController::new(1, 10, 1.0).unwrap();
+        let mut srcs = sources(1);
+        for t in 0..30u64 {
+            let v = if t.is_multiple_of(3) { f64::NAN } else { (t as f64 * 0.3).sin() };
+            srcs[0].decide(&[v]);
+            ctrl.tick(&mut srcs);
+        }
+        assert!(ctrl.rounds() > 0, "NaN observations froze the fleet controller");
+        assert_eq!(ctrl.failed_rounds(), 0);
+        assert_eq!(srcs[0].rejected_measurements(), 10);
     }
 
     #[test]

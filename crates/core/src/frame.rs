@@ -23,7 +23,7 @@
 
 use bytes::{BufMut, BytesMut};
 
-use crate::wire::SyncMessage;
+use crate::wire::{SyncMessage, WireMessage};
 
 /// Bytes of framing overhead per message: `stream_id:u32 len:u32`.
 pub const FRAME_HEADER_BYTES: usize = 8;
@@ -168,7 +168,24 @@ impl FrameDecoder {
         });
         self.decode_failures += body_failures;
     }
+
+    /// Like [`FrameDecoder::for_each_message`] but decodes bodies as v3
+    /// [`WireMessage`]s, accepting sequenced syncs and acks alongside legacy
+    /// v2 bodies — the loss-tolerant ingest path.
+    pub fn for_each_wire_message(&mut self, wire: &[u8], mut f: impl FnMut(u32, WireMessage)) {
+        let mut body_failures = 0;
+        self.for_each_frame(wire, |frame| match WireMessage::decode(frame.body) {
+            Ok(msg) => f(frame.stream_id, msg),
+            Err(_) => body_failures += 1,
+        });
+        self.decode_failures += body_failures;
+    }
 }
+
+/// Default cap on pooled buffers — comfortably above the deepest in-flight
+/// population any configured pipeline produces (`shards × 4` channel slots,
+/// so 32 at the 8-shard maximum) while bounding worst-case retention.
+pub const DEFAULT_POOL_CAP: usize = 64;
 
 /// A capacity-ordered pool of recycled [`BytesMut`] buffers.
 ///
@@ -179,16 +196,39 @@ impl FrameDecoder {
 /// (instead of cycling in later and paying a growth realloc mid-steady-state).
 /// Once the working set is at high water, batch assembly stops allocating
 /// entirely — the property `bench_ingest`'s allocs-per-batch gate measures.
-#[derive(Debug, Default)]
+///
+/// The pool holds at most `cap` buffers. At the cap, [`BufferPool::put`]
+/// keeps whichever of (incoming buffer, smallest pooled buffer) has more
+/// capacity and sheds the other — retention is bounded while the pool still
+/// converges on the largest buffers seen.
+#[derive(Debug)]
 pub struct BufferPool {
     /// Sorted by capacity, ascending; `get` pops from the back.
     free: Vec<BytesMut>,
+    cap: usize,
+    shed: u64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::bounded(DEFAULT_POOL_CAP)
+    }
 }
 
 impl BufferPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool holding at most [`DEFAULT_POOL_CAP`] buffers.
     pub fn new() -> Self {
         BufferPool::default()
+    }
+
+    /// Creates an empty pool holding at most `cap` buffers.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero (a pool that can hold nothing is a bug at
+    /// the call site, not a runtime condition).
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap > 0, "pool cap must be positive");
+        BufferPool { free: Vec::new(), cap, shed: 0 }
     }
 
     /// Takes the largest-capacity cleared buffer from the pool, or a fresh
@@ -203,8 +243,17 @@ impl BufferPool {
             .unwrap_or_default()
     }
 
-    /// Returns a buffer to the pool for reuse.
+    /// Returns a buffer to the pool for reuse. At the cap, the smaller of
+    /// (incoming, smallest pooled) is dropped and counted instead of growing
+    /// the pool without bound.
     pub fn put(&mut self, buf: BytesMut) {
+        if self.free.len() >= self.cap {
+            self.shed += 1;
+            if buf.capacity() <= self.free[0].capacity() {
+                return; // incoming is the smallest: drop it
+            }
+            self.free.remove(0); // evict the smallest pooled buffer
+        }
         let pos = self.free.partition_point(|b| b.capacity() <= buf.capacity());
         self.free.insert(pos, buf);
     }
@@ -217,6 +266,11 @@ impl BufferPool {
     /// `true` when no buffers are pooled.
     pub fn is_empty(&self) -> bool {
         self.free.is_empty()
+    }
+
+    /// Buffers dropped at the cap instead of pooled.
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 }
 
@@ -332,5 +386,83 @@ mod tests {
         }
         assert_eq!(batch.wire_len(), high_water);
         assert_eq!(batch.into_buffer().capacity(), cap);
+    }
+
+    #[test]
+    fn pool_is_capped_and_counts_shed() {
+        // Pre-fix regression: `put` grew the pool without bound, so a
+        // producer of buffers that never reuses them leaked memory forever.
+        let mut pool = BufferPool::bounded(4);
+        for i in 0..1000usize {
+            pool.put(BytesMut::with_capacity(i + 1));
+        }
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.shed(), 996);
+        // The survivors must be the largest capacities seen.
+        for _ in 0..4 {
+            assert!(pool.get().capacity() >= 997);
+        }
+    }
+
+    #[test]
+    fn pool_cap_keeps_larger_of_incoming_and_smallest() {
+        let mut pool = BufferPool::bounded(2);
+        pool.put(BytesMut::with_capacity(100));
+        pool.put(BytesMut::with_capacity(200));
+        // Smaller than everything pooled: dropped, pool unchanged.
+        pool.put(BytesMut::with_capacity(50));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.shed(), 1);
+        assert!(pool.get().capacity() >= 200);
+    }
+
+    #[test]
+    fn default_pool_uses_default_cap() {
+        let mut pool = BufferPool::new();
+        for _ in 0..(DEFAULT_POOL_CAP + 10) {
+            pool.put(BytesMut::with_capacity(8));
+        }
+        assert_eq!(pool.len(), DEFAULT_POOL_CAP);
+        assert_eq!(pool.shed(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn zero_pool_cap_rejected() {
+        let _ = BufferPool::bounded(0);
+    }
+
+    #[test]
+    fn wire_message_walk_decodes_v3_and_legacy_frames() {
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0)); // legacy v2 body
+        batch.push_raw(2, &WireMessage::Sync { seq: Some(9), msg: msg(2.0) }.encode());
+        batch.push_raw(3, &WireMessage::Ack { seq: 4 }.encode());
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.for_each_wire_message(batch.as_bytes(), |id, m| got.push((id, m)));
+        assert_eq!(dec.decode_failures(), 0);
+        assert_eq!(
+            got,
+            vec![
+                (1, WireMessage::Sync { seq: None, msg: msg(1.0) }),
+                (2, WireMessage::Sync { seq: Some(9), msg: msg(2.0) }),
+                (3, WireMessage::Ack { seq: 4 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn wire_message_walk_skips_bad_body() {
+        let mut batch = FrameBatch::new();
+        batch.push_raw(1, b"\xFF\xFF"); // undecodable body, valid frame
+        batch.push_raw(2, &WireMessage::Ack { seq: 1 }.encode());
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.for_each_wire_message(batch.as_bytes(), |id, _| got.push(id));
+        assert_eq!(got, vec![2]);
+        assert_eq!(dec.decode_failures(), 1);
     }
 }

@@ -67,6 +67,9 @@ pub struct ShardReport {
     pub decode_failures: u64,
     /// Frames addressed to a stream this shard has never heard of.
     pub unknown_streams: u64,
+    /// Sequenced syncs dropped as stale/duplicate across this shard's
+    /// endpoints (the v3 delivery layer's gap/duplicate detection).
+    pub stale_drops: u64,
     /// Seconds this shard's worker spent *on CPU* (decoding + advancing
     /// endpoints), excluding time blocked on its queue — per-thread CPU time
     /// from `/proc/thread-self/schedstat` where the kernel exposes it (wall
@@ -301,9 +304,9 @@ fn shard_worker(
             ShardJob::Tick(buf) => {
                 let started = std::time::Instant::now();
                 bytes_in += buf.len() as u64;
-                decoder.for_each_message(&buf, |id, msg| match endpoints.get_mut(&id) {
+                decoder.for_each_wire_message(&buf, |id, msg| match endpoints.get_mut(&id) {
                     Some(ep) => {
-                        ep.enqueue(msg);
+                        ep.enqueue_wire(msg);
                         messages += 1;
                     }
                     None => unknown_streams += 1,
@@ -328,6 +331,7 @@ fn shard_worker(
     };
     let mut endpoints: Vec<(u32, ServerEndpoint)> = endpoints.into_iter().collect();
     endpoints.sort_by_key(|(id, _)| *id);
+    let stale_drops = endpoints.iter().map(|(_, ep)| ep.delivery().stale_drops).sum();
     ShardResult {
         report: ShardReport {
             shard,
@@ -337,6 +341,7 @@ fn shard_worker(
             bytes_in,
             decode_failures: decoder.decode_failures(),
             unknown_streams,
+            stale_drops,
             busy_secs,
         },
         endpoints,
@@ -387,9 +392,9 @@ impl SequentialIngest {
         let index = &self.index;
         let messages = &mut self.messages;
         let unknown = &mut self.unknown_streams;
-        self.decoder.for_each_message(wire, |id, msg| match index.get(&id) {
+        self.decoder.for_each_wire_message(wire, |id, msg| match index.get(&id) {
             Some(&i) => {
-                endpoints[i].1.enqueue(msg);
+                endpoints[i].1.enqueue_wire(msg);
                 *messages += 1;
             }
             None => *unknown += 1,
@@ -404,6 +409,7 @@ impl SequentialIngest {
     /// Collects the run into the same shape as the sharded pipeline
     /// (one pseudo-shard).
     pub fn finish(self) -> IngestResult {
+        let stale_drops = self.endpoints.iter().map(|(_, ep)| ep.delivery().stale_drops).sum();
         IngestResult {
             shards: vec![ShardReport {
                 shard: 0,
@@ -413,6 +419,7 @@ impl SequentialIngest {
                 bytes_in: self.bytes_in,
                 decode_failures: self.decoder.decode_failures(),
                 unknown_streams: self.unknown_streams,
+                stale_drops,
                 busy_secs: self.busy.as_secs_f64(),
             }],
             endpoints: self.endpoints,
@@ -653,5 +660,46 @@ mod tests {
         let result = pipe.finish();
         assert_eq!(result.total_messages(), 1);
         assert_eq!(result.total_decode_failures(), 1);
+    }
+
+    #[test]
+    fn sequenced_traffic_with_duplicates_is_deduplicated_by_ingest() {
+        use crate::wire::WireMessage;
+        let state = |v: f64| SyncMessage::State {
+            x: kalstream_linalg::Vector::from_slice(&[v]),
+            p: kalstream_linalg::Matrix::scalar(1, 0.5),
+        };
+        let seq_body = |seq: u64, v: f64| {
+            WireMessage::Sync { seq: Some(seq), msg: state(v) }.encode()
+        };
+        let run = |servers: Vec<(u32, ServerEndpoint)>, shards: Option<usize>| {
+            let mut batch = FrameBatch::new();
+            batch.push_raw(0, &seq_body(1, 1.0));
+            batch.push_raw(0, &seq_body(2, 2.0));
+            batch.push_raw(0, &seq_body(2, 9.0)); // network duplicate
+            batch.push_raw(0, &seq_body(1, 9.0)); // stale re-delivery
+            batch.push_raw(1, &seq_body(1, 5.0));
+            match shards {
+                Some(n) => {
+                    let mut pipe = IngestPipeline::start(n, servers);
+                    pipe.ingest_tick(batch.as_bytes());
+                    pipe.finish()
+                }
+                None => {
+                    let mut seq = SequentialIngest::new(servers);
+                    seq.ingest_tick(batch.as_bytes());
+                    seq.finish()
+                }
+            }
+        };
+        let (servers, _) = record_log(2, 0);
+        for result in [run(servers.clone(), None), run(servers, Some(2))] {
+            let stale: u64 = result.shards.iter().map(|s| s.stale_drops).sum();
+            assert_eq!(stale, 2, "duplicate + stale must both be dropped");
+            let (_, ep0) = &result.endpoints[0];
+            assert_eq!(ep0.last_seq(), 2);
+            assert_eq!(ep0.filter().predicted_measurement()[0], 2.0, "stale 9.0 applied");
+            assert_eq!(ep0.delivery().stale_drops, 2);
+        }
     }
 }

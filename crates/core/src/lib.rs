@@ -72,7 +72,7 @@ pub use frame::{BufferPool, Frame, FrameBatch, FrameDecoder, FRAME_HEADER_BYTES}
 pub use ingest::{
     FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, TickIngest,
 };
-pub use protocol::pin_to_measurement;
+pub use protocol::{pin_to_measurement, AckTracker};
 pub use rate::RateEstimator;
 pub use server::ServerEndpoint;
 pub use session::{SessionSpec, StreamSession};

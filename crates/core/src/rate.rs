@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 pub struct RateEstimator {
     window: usize,
     errors: VecDeque<f64>,
+    rejected: u64,
 }
 
 impl RateEstimator {
@@ -27,15 +28,28 @@ impl RateEstimator {
     /// Panics when `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        RateEstimator { window, errors: VecDeque::with_capacity(window) }
+        RateEstimator { window, errors: VecDeque::with_capacity(window), rejected: 0 }
     }
 
     /// Records one tick's prediction-error magnitude.
+    ///
+    /// A non-finite magnitude is rejected (and counted) rather than stored:
+    /// one NaN in the window would poison [`RateEstimator::rate_at`] for a
+    /// full window length and through it the fleet allocator's demand curve.
     pub fn record(&mut self, abs_err: f64) {
+        if !abs_err.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         if self.errors.len() == self.window {
             self.errors.pop_front();
         }
         self.errors.push_back(abs_err);
+    }
+
+    /// Non-finite samples rejected by [`RateEstimator::record`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Number of ticks recorded (≤ window).
@@ -151,5 +165,21 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _ = RateEstimator::new(0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_and_counted() {
+        // Pre-fix: a single NaN made every `rate_at` query NaN-poisoned for
+        // a full window length (NaN > delta is false, so the exceedance
+        // fraction silently *undercounted* while the sample sat there).
+        let mut r = RateEstimator::new(8);
+        r.record(f64::NAN);
+        r.record(f64::INFINITY);
+        r.record(f64::NEG_INFINITY);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.rejected(), 3);
+        r.record(1.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rate_at(0.5), 1.0);
     }
 }

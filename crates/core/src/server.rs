@@ -2,9 +2,16 @@
 
 use bytes::Bytes;
 use kalstream_filter::KalmanFilter;
-use kalstream_sim::{Consumer, Tick};
+use kalstream_sim::{Consumer, DeliveryStats, Tick};
 
-use crate::wire::SyncMessage;
+use crate::wire::{SyncMessage, WireMessage};
+
+/// Cap on queued-but-unapplied syncs. In every supported driver the queue
+/// drains once per tick, so depth beyond a handful means `receive` is
+/// outpacing `estimate` (a stalled or missing drain); shedding the oldest
+/// entries bounds memory and — under full-state sync semantics — loses
+/// nothing once a newer sync lands.
+const PENDING_CAP: usize = 256;
 
 /// The server side of the suppression protocol.
 ///
@@ -23,6 +30,11 @@ pub struct ServerEndpoint {
     syncs_applied: u64,
     decode_failures: u64,
     predict_failures: u64,
+    /// Highest sequence number accepted (0 before the first sequenced sync).
+    last_seq: u64,
+    /// Set when a sequenced message arrives; cleared when the ack is polled.
+    ack_due: bool,
+    delivery: DeliveryStats,
 }
 
 impl ServerEndpoint {
@@ -35,6 +47,9 @@ impl ServerEndpoint {
             syncs_applied: 0,
             decode_failures: 0,
             predict_failures: 0,
+            last_seq: 0,
+            ack_due: false,
+            delivery: DeliveryStats::default(),
         }
     }
 
@@ -75,11 +90,60 @@ impl ServerEndpoint {
         }
     }
 
-    /// Queues one decoded sync message for the next [`ServerEndpoint::advance`]
-    /// — the ingest pipeline's entry point, where the frame layer has
-    /// already decoded the batch so there is no per-endpoint decode step.
+    /// Queues one decoded sync message for the next [`ServerEndpoint::advance`].
+    /// At the cap the **oldest** queued sync is shed (and counted): under
+    /// full-state semantics a newer sync subsumes older ones, so dropping
+    /// from the front preserves the freshest state.
     pub fn enqueue(&mut self, msg: SyncMessage) {
+        if self.pending.len() >= PENDING_CAP {
+            self.pending.remove(0);
+            self.delivery.shed += 1;
+        }
         self.pending.push(msg);
+    }
+
+    /// Queues one decoded v3 wire message, running sequence bookkeeping —
+    /// the loss-tolerant entry point for both the simulator path
+    /// ([`Consumer::receive`]) and the ingest pipeline.
+    ///
+    /// A sequenced sync at or below the highest sequence already accepted is
+    /// **stale** (a duplicate, or delivered after a newer overwrite) and is
+    /// dropped deterministically and counted; arrival discontinuities are
+    /// counted as gaps (messages lost *or* still in flight behind a newer
+    /// one). Every sequenced arrival — stale included — re-arms the ack, so
+    /// a lost ack is healed by the next arrival of anything.
+    pub fn enqueue_wire(&mut self, msg: WireMessage) {
+        match msg {
+            WireMessage::Sync { seq: None, msg } => self.enqueue(msg),
+            WireMessage::Sync { seq: Some(seq), msg } => {
+                self.ack_due = true;
+                if seq <= self.last_seq {
+                    self.delivery.stale_drops += 1;
+                } else {
+                    self.delivery.seq_gaps += seq - self.last_seq - 1;
+                    self.last_seq = seq;
+                    self.enqueue(msg);
+                }
+            }
+            // An ack on the forward channel is a protocol violation by the
+            // peer; drop and count like any unusable message.
+            WireMessage::Ack { .. } => self.decode_failures += 1,
+        }
+    }
+
+    /// Highest sequence number accepted (0 before the first sequenced sync).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Receiver-side delivery accounting (stale drops, gaps, shed).
+    pub fn delivery(&self) -> DeliveryStats {
+        self.delivery
+    }
+
+    /// Syncs currently queued for the next advance.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// Advances one tick: predict, then apply every queued sync — exactly
@@ -125,8 +189,8 @@ impl Consumer for ServerEndpoint {
     }
 
     fn receive(&mut self, _now: Tick, payload: &Bytes) {
-        match SyncMessage::decode(payload) {
-            Ok(msg) => self.pending.push(msg),
+        match WireMessage::decode(payload) {
+            Ok(msg) => self.enqueue_wire(msg),
             Err(_) => self.decode_failures += 1,
         }
     }
@@ -137,6 +201,19 @@ impl Consumer for ServerEndpoint {
         self.advance();
         let z_hat = self.filter.predicted_measurement();
         out[..z_hat.dim()].copy_from_slice(z_hat.as_slice());
+    }
+
+    fn poll_feedback(&mut self, _now: Tick) -> Option<Bytes> {
+        if self.ack_due {
+            self.ack_due = false;
+            Some(WireMessage::Ack { seq: self.last_seq }.encode())
+        } else {
+            None
+        }
+    }
+
+    fn delivery_stats(&self) -> DeliveryStats {
+        self.delivery
     }
 }
 
@@ -224,5 +301,93 @@ mod tests {
         let msg = SyncMessage::State { x: Vector::zeros(2), p: Matrix::scalar(2, 1.0) };
         s.apply(msg);
         assert_eq!(s.syncs_applied(), 0);
+    }
+
+    fn state(v: f64) -> SyncMessage {
+        SyncMessage::State { x: Vector::from_slice(&[v]), p: Matrix::scalar(1, 0.5) }
+    }
+
+    fn seq_sync(seq: u64, v: f64) -> WireMessage {
+        WireMessage::Sync { seq: Some(seq), msg: state(v) }
+    }
+
+    #[test]
+    fn stale_and_duplicate_sequences_are_dropped_deterministically() {
+        let mut s = server();
+        s.enqueue_wire(seq_sync(1, 1.0));
+        s.enqueue_wire(seq_sync(2, 2.0));
+        s.enqueue_wire(seq_sync(2, 9.0)); // duplicate
+        s.enqueue_wire(seq_sync(1, 9.0)); // reordered stale
+        assert_eq!(s.delivery().stale_drops, 2);
+        assert_eq!(s.last_seq(), 2);
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        assert_eq!(out[0], 2.0); // stale 9.0s never applied
+        assert_eq!(s.syncs_applied(), 2);
+    }
+
+    #[test]
+    fn sequence_gaps_are_counted() {
+        let mut s = server();
+        s.enqueue_wire(seq_sync(1, 1.0));
+        s.enqueue_wire(seq_sync(5, 5.0)); // 2, 3, 4 missing
+        assert_eq!(s.delivery().seq_gaps, 3);
+        assert_eq!(s.last_seq(), 5);
+    }
+
+    #[test]
+    fn every_sequenced_arrival_rearms_the_ack() {
+        let mut s = server();
+        assert_eq!(s.poll_feedback(0), None);
+        s.enqueue_wire(seq_sync(1, 1.0));
+        let ack = s.poll_feedback(0).expect("ack due");
+        assert_eq!(WireMessage::decode(&ack).unwrap(), WireMessage::Ack { seq: 1 });
+        assert_eq!(s.poll_feedback(0), None, "ack is polled once");
+        // A stale duplicate still re-arms: this is what heals a lost ack.
+        s.enqueue_wire(seq_sync(1, 1.0));
+        let ack = s.poll_feedback(1).expect("re-armed");
+        assert_eq!(WireMessage::decode(&ack).unwrap(), WireMessage::Ack { seq: 1 });
+    }
+
+    #[test]
+    fn unsequenced_traffic_generates_no_acks() {
+        let mut s = server();
+        s.receive(0, &state(1.0).encode());
+        assert_eq!(s.poll_feedback(0), None);
+        assert_eq!(s.delivery(), DeliveryStats::default());
+    }
+
+    #[test]
+    fn ack_on_forward_channel_is_counted_as_failure() {
+        let mut s = server();
+        s.enqueue_wire(WireMessage::Ack { seq: 3 });
+        assert_eq!(s.decode_failures(), 1);
+        assert_eq!(s.last_seq(), 0);
+    }
+
+    #[test]
+    fn pending_queue_is_capped_with_drop_oldest() {
+        // Pre-fix regression: `receive` without `estimate` grew `pending`
+        // without bound.
+        let mut s = server();
+        for i in 0..(PENDING_CAP + 10) {
+            s.receive(0, &state(i as f64).encode());
+        }
+        assert_eq!(s.pending_len(), PENDING_CAP);
+        assert_eq!(s.delivery().shed, 10);
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        // The newest sync survives the shedding.
+        assert_eq!(out[0], (PENDING_CAP + 9) as f64);
+    }
+
+    #[test]
+    fn sequenced_sync_applies_via_receive_wire_bytes() {
+        let mut s = server();
+        s.receive(0, &seq_sync(1, 7.5).encode());
+        let mut out = [0.0];
+        s.estimate(0, &mut out);
+        assert_eq!(out[0], 7.5);
+        assert_eq!(s.last_seq(), 1);
     }
 }

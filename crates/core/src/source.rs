@@ -5,8 +5,8 @@ use kalstream_filter::KalmanFilter;
 use kalstream_linalg::Vector;
 use kalstream_sim::{Producer, Tick};
 
-use crate::protocol::{pin_to_measurement, precision_norm};
-use crate::wire::SyncMessage;
+use crate::protocol::{pin_to_measurement, precision_norm, AckTracker};
+use crate::wire::{SyncMessage, WireMessage};
 use crate::{Estimator, ProtocolConfig, RateEstimator, ResyncPayload};
 
 /// Fraction of δ a sync's shipped state may leave as measurement residual:
@@ -44,6 +44,25 @@ pub struct SourceEndpoint {
     synced_last_tick: bool,
     syncs: u64,
     estimator_failures: u64,
+    /// Observations rejected before touching any filter: short slices and
+    /// non-finite values (NaN/∞) — each would otherwise poison the
+    /// estimator, the shadow, and the rate window.
+    rejected_measurements: u64,
+    /// Sequence/ack bookkeeping for loss recovery (idle when
+    /// `config.ack_timeout` is `None`).
+    acks: AckTracker,
+    /// Forced full resyncs cut because the newest sync went unacked past
+    /// the configured timeout.
+    resyncs: u64,
+    /// Seq of the first unconfirmed Model-bearing sync. A cumulative ack is
+    /// only sound for payloads every sync fully re-conveys; the model is
+    /// not one — a State sync acked *after* a dropped Model sync would
+    /// reconcile `x`/`P` while the server kept evolving them under stale
+    /// dynamics. So once a Model sync is cut, every subsequent sync carries
+    /// the model too until an ack for any of those seqs arrives.
+    unconfirmed_model_seq: Option<u64>,
+    /// Reverse-channel payloads that failed to decode as acks.
+    feedback_failures: u64,
     /// Scratch measurement vector (hot-path allocation avoidance).
     z: Vector,
 }
@@ -69,6 +88,11 @@ impl SourceEndpoint {
             synced_last_tick: false,
             syncs: 0,
             estimator_failures: 0,
+            rejected_measurements: 0,
+            acks: AckTracker::new(),
+            resyncs: 0,
+            unconfirmed_model_seq: None,
+            feedback_failures: 0,
             z: Vector::zeros(m),
         }
     }
@@ -82,6 +106,34 @@ impl SourceEndpoint {
     /// healthy runs; failure-injection tests exercise it).
     pub fn estimator_failures(&self) -> u64 {
         self.estimator_failures
+    }
+
+    /// Observations rejected as unusable (short slice or non-finite value)
+    /// before reaching any filter.
+    pub fn rejected_measurements(&self) -> u64 {
+        self.rejected_measurements
+    }
+
+    /// Forced full resyncs triggered by the ack timeout.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Reverse-channel payloads that failed to decode as acks.
+    pub fn feedback_failures(&self) -> u64 {
+        self.feedback_failures
+    }
+
+    /// Highest cumulative ack received from the server (0 before the
+    /// first, or when recovery is disabled).
+    pub fn acked_seq(&self) -> u64 {
+        self.acks.last_acked()
+    }
+
+    /// The shadow filter itself — invariant tests compare its bits against
+    /// the paired server's filter.
+    pub fn shadow_filter(&self) -> &KalmanFilter {
+        &self.shadow
     }
 
     /// The live message-rate estimator (consumed by the allocation layer).
@@ -127,6 +179,22 @@ impl SourceEndpoint {
     /// simulator calls it through the [`Producer`] impl.
     pub fn decide(&mut self, observed: &[f64]) -> Option<SyncMessage> {
         let m = self.z.dim();
+
+        // 0. Reject unusable observations — a short slice or a non-finite
+        //    value — before they touch any filter. A NaN fed through would
+        //    make `precision_norm` NaN, the suppression test permanently
+        //    false, and the source would then sync NaN state every tick.
+        //    The shadow still predicts (the server predicts every tick
+        //    regardless of what the source observed) so the pair stays in
+        //    lock-step.
+        if observed.len() < m || observed[..m].iter().any(|v| !v.is_finite()) {
+            self.rejected_measurements += 1;
+            let _ = self.shadow.predict();
+            self.ticks_since_sync += 1;
+            self.synced_last_tick = false;
+            self.acks.tick();
+            return None;
+        }
         self.z.as_mut_slice().copy_from_slice(&observed[..m]);
 
         // 1. Feed the local estimator. A diverged estimator is reset to the
@@ -146,22 +214,34 @@ impl SourceEndpoint {
         // 2. Advance the shadow exactly as the server will this tick.
         let shadow_healthy = self.shadow.predict().is_ok();
 
-        // 3. Suppression test.
+        // 3. Suppression test. The ack tracker ages one tick first so that
+        //    "unacked for t ticks" counts decision ticks, and a sync whose
+        //    ack is outstanding past the timeout forces a resync even when
+        //    the prediction currently holds — the shadow applied that sync,
+        //    the server (probably) never saw it, and only a full overwrite
+        //    re-converges the two.
+        self.acks.tick();
+        let resync_due = self.config.ack_timeout.is_some_and(|t| self.acks.overdue(t));
         let err = precision_norm(&self.shadow.predicted_measurement(), &self.z);
         self.rate.record(err);
         let heartbeat_due = self
             .config
             .heartbeat
             .is_some_and(|h| self.ticks_since_sync + 1 >= h);
-        if err <= self.config.delta && !heartbeat_due && shadow_healthy {
+        if err <= self.config.delta && !heartbeat_due && !resync_due && shadow_healthy {
             self.ticks_since_sync += 1;
             self.synced_last_tick = false;
             return None;
         }
 
         // 4. Cut a sync from the local estimator and mirror it onto the
-        //    shadow.
-        let msg = self.build_sync();
+        //    shadow. A timeout-triggered resync ships the full model: the
+        //    server may have missed an earlier Model sync, so state alone
+        //    might be interpreted under the wrong dynamics.
+        if resync_due {
+            self.resyncs += 1;
+        }
+        let msg = self.build_sync(resync_due || self.unconfirmed_model_seq.is_some());
         self.apply_to_shadow(&msg);
         self.ticks_since_sync = 0;
         self.synced_last_tick = true;
@@ -169,7 +249,7 @@ impl SourceEndpoint {
         Some(msg)
     }
 
-    fn build_sync(&mut self) -> SyncMessage {
+    fn build_sync(&mut self, force_model: bool) -> SyncMessage {
         if self.config.resync == ResyncPayload::MeasurementOnly {
             return SyncMessage::Measurement { z: self.z.clone() };
         }
@@ -227,7 +307,7 @@ impl SourceEndpoint {
         // same staleness, so determinism holds).
         let structural_change = model.f() != self.synced_model_fingerprint.f()
             || model.h() != self.synced_model_fingerprint.h();
-        if structural_change {
+        if structural_change || force_model {
             self.synced_model_fingerprint = model.clone();
             SyncMessage::Model { model: model.clone(), x, p }
         } else {
@@ -260,7 +340,31 @@ impl Producer for SourceEndpoint {
     }
 
     fn observe(&mut self, _now: Tick, observed: &[f64]) -> Option<Bytes> {
-        self.decide(observed).map(|msg| msg.encode())
+        let msg = self.decide(observed)?;
+        if self.config.ack_timeout.is_some() {
+            let seq = self.acks.on_send();
+            if matches!(msg, SyncMessage::Model { .. }) && self.unconfirmed_model_seq.is_none() {
+                self.unconfirmed_model_seq = Some(seq);
+            }
+            Some(WireMessage::Sync { seq: Some(seq), msg }.encode())
+        } else {
+            Some(msg.encode())
+        }
+    }
+
+    fn feedback(&mut self, _now: Tick, payload: &Bytes) {
+        match WireMessage::decode(payload) {
+            Ok(WireMessage::Ack { seq }) => {
+                self.acks.on_ack(seq);
+                // Every sync sent since `unconfirmed_model_seq` carried the
+                // model, so an ack at or past it proves the server applied
+                // one of them and now runs the shadow's dynamics.
+                if self.unconfirmed_model_seq.is_some_and(|m| self.acks.last_acked() >= m) {
+                    self.unconfirmed_model_seq = None;
+                }
+            }
+            _ => self.feedback_failures += 1,
+        }
     }
 }
 
@@ -434,5 +538,166 @@ mod tests {
         let msg = SyncMessage::decode(&bytes).unwrap();
         assert!(matches!(msg, SyncMessage::State { .. }));
         assert_eq!(Producer::dim(&s), 1);
+    }
+
+    fn recovering_source(delta: f64, timeout: u64) -> SourceEndpoint {
+        let model = models::random_walk(0.01, 0.01);
+        let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
+        let config = ProtocolConfig::new(delta).unwrap().with_ack_timeout(timeout).unwrap();
+        SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, config)
+    }
+
+    #[test]
+    fn short_measurement_slice_is_rejected_not_fatal() {
+        // Pre-fix regression: `decide(&[])` panicked in copy_from_slice.
+        let mut s = source(0.5);
+        assert_eq!(s.decide(&[]), None);
+        assert_eq!(s.rejected_measurements(), 1);
+        // The session continues normally afterwards.
+        assert!(s.decide(&[9.0]).is_some());
+    }
+
+    #[test]
+    fn non_finite_measurements_are_rejected_before_any_filter() {
+        // Pre-fix regression: one NaN made the suppression test permanently
+        // false (NaN ≤ δ is false), so the source synced NaN state every
+        // tick and poisoned the rate window.
+        let mut s = source(0.5);
+        for _ in 0..20 {
+            s.decide(&[1.0]);
+        }
+        let syncs_before = s.syncs();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(s.decide(&[bad]), None, "bad observation must not sync");
+        }
+        assert_eq!(s.rejected_measurements(), 3);
+        assert_eq!(s.syncs(), syncs_before);
+        // Shadow stayed finite and the session resumes cleanly.
+        assert!(s.shadow_predicted_value().is_finite());
+        assert!(s.decide(&[1.0]).is_none(), "prediction still holds after rejects");
+        assert_eq!(s.rate_estimator().rejected(), 0, "NaN never reached the window");
+    }
+
+    #[test]
+    fn rejected_tick_keeps_shadow_in_lockstep_with_server() {
+        // The server predicts every tick no matter what the source observed;
+        // a rejected observation must advance the shadow identically.
+        let cv = KalmanFilter::new(
+            models::constant_velocity(1.0, 0.01, 0.05),
+            Vector::from_slice(&[0.0, 1.0]),
+            1.0,
+        )
+        .unwrap();
+        let mut s = SourceEndpoint::new(
+            Estimator::Fixed(cv.clone()),
+            cv.clone(),
+            ProtocolConfig::new(1e9).unwrap(), // never syncs
+        );
+        let mut server = cv;
+        s.decide(&[f64::NAN]);
+        server.predict().unwrap();
+        assert_eq!(
+            s.shadow_prediction().as_slice(),
+            server.predicted_measurement().as_slice(),
+            "shadow must predict through a rejected tick"
+        );
+    }
+
+    #[test]
+    fn unacked_sync_forces_full_resync_after_timeout() {
+        let mut s = recovering_source(0.5, 3);
+        // Tick 0: jump → sequenced sync 1 (never acked: simulated loss).
+        let bytes = s.observe(0, &[9.0]).expect("jump syncs");
+        match WireMessage::decode(&bytes).unwrap() {
+            WireMessage::Sync { seq, .. } => assert_eq!(seq, Some(1)),
+            other => panic!("expected sequenced sync, got {other:?}"),
+        }
+        // Prediction holds for the next ticks, but the ack never arrives.
+        assert!(s.observe(1, &[9.0]).is_none());
+        assert!(s.observe(2, &[9.0]).is_none());
+        let resync = s.observe(3, &[9.0]).expect("timeout must force a resync");
+        match WireMessage::decode(&resync).unwrap() {
+            WireMessage::Sync { seq: Some(2), msg: SyncMessage::Model { .. } } => {}
+            other => panic!("expected full Model resync with seq 2, got {other:?}"),
+        }
+        assert_eq!(s.resyncs(), 1);
+    }
+
+    #[test]
+    fn acked_sync_never_triggers_resync() {
+        let mut s = recovering_source(0.5, 3);
+        let _ = s.observe(0, &[9.0]).expect("jump syncs");
+        s.feedback(0, &WireMessage::Ack { seq: 1 }.encode());
+        for t in 1..50 {
+            assert!(s.observe(t, &[9.0]).is_none(), "tick {t} resynced needlessly");
+        }
+        assert_eq!(s.resyncs(), 0);
+        assert_eq!(s.acked_seq(), 1);
+    }
+
+    #[test]
+    fn repeated_loss_retries_until_acked() {
+        let mut s = recovering_source(0.5, 2);
+        let _ = s.observe(0, &[9.0]).expect("jump syncs");
+        // Lose sync 1 and the first resync too.
+        assert!(s.observe(1, &[9.0]).is_none());
+        assert!(s.observe(2, &[9.0]).is_some(), "first resync");
+        assert!(s.observe(3, &[9.0]).is_none());
+        assert!(s.observe(4, &[9.0]).is_some(), "second resync");
+        assert_eq!(s.resyncs(), 2);
+        // Ack the latest: quiet from here on.
+        s.feedback(4, &WireMessage::Ack { seq: 3 }.encode());
+        for t in 5..30 {
+            assert!(s.observe(t, &[9.0]).is_none());
+        }
+    }
+
+    #[test]
+    fn dropped_model_sync_is_recarried_until_acked() {
+        // Pre-fix regression: a dropped Model resync followed by an acked
+        // plain State sync cleared the outstanding window while the server
+        // kept running the old dynamics — x reconciled, P (and for bank
+        // switches the served values) diverged forever. The fix: once a
+        // Model sync is cut, every later sync carries the model until one
+        // of those seqs is acked.
+        let decode = |bytes: &Bytes| match WireMessage::decode(bytes).unwrap() {
+            WireMessage::Sync { seq: Some(seq), msg } => (seq, msg),
+            other => panic!("expected sequenced sync, got {other:?}"),
+        };
+        let mut s = recovering_source(0.5, 2);
+        let (seq, msg) = decode(&s.observe(0, &[9.0]).expect("jump syncs"));
+        assert_eq!(seq, 1);
+        assert!(matches!(msg, SyncMessage::State { .. }), "no model change yet");
+        // Lose it; the timeout resync ships the model — lose that too.
+        assert!(s.observe(1, &[9.0]).is_none());
+        let (seq, msg) = decode(&s.observe(2, &[9.0]).expect("timeout resync"));
+        assert_eq!(seq, 2);
+        assert!(matches!(msg, SyncMessage::Model { .. }), "resync must carry the model");
+        // A natural sync while the model is unconfirmed must re-carry it.
+        let (seq, msg) = decode(&s.observe(3, &[25.0]).expect("jump syncs"));
+        assert_eq!(seq, 3);
+        assert!(matches!(msg, SyncMessage::Model { .. }), "model still unconfirmed");
+        // Ack it: the server provably runs the shadow's dynamics now, so
+        // the next sync shrinks back to State-only.
+        s.feedback(3, &WireMessage::Ack { seq: 3 }.encode());
+        let (seq, msg) = decode(&s.observe(4, &[40.0]).expect("jump syncs"));
+        assert_eq!(seq, 4);
+        assert!(matches!(msg, SyncMessage::State { .. }), "confirmed model rides no more");
+    }
+
+    #[test]
+    fn garbage_feedback_is_counted_not_fatal() {
+        let mut s = recovering_source(0.5, 3);
+        s.feedback(0, &Bytes::from_static(b"\xFFnot an ack"));
+        // A sync on the reverse channel is equally invalid as feedback.
+        s.feedback(0, &SyncMessage::Measurement { z: Vector::zeros(1) }.encode());
+        assert_eq!(s.feedback_failures(), 2);
+    }
+
+    #[test]
+    fn recovery_off_encodes_legacy_unsequenced_bytes() {
+        let mut s = source(0.5);
+        let bytes = s.observe(0, &[9.0]).expect("jump syncs");
+        assert!(SyncMessage::decode(&bytes).is_ok(), "must stay plain v2");
     }
 }

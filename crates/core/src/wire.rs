@@ -74,6 +74,10 @@ pub enum SyncMessage {
 const TAG_STATE: u8 = 1;
 const TAG_MODEL: u8 = 2;
 const TAG_MEASUREMENT: u8 = 3;
+/// v3: a sequenced sync — `seq:u64` followed by an ordinary v2 body.
+const TAG_SEQ: u8 = 4;
+/// v3: a cumulative acknowledgement — `seq:u64`, travelling server→source.
+const TAG_ACK: u8 = 5;
 
 /// Flags bit 0: the model's `F` is upper-triangular and triangle-packed.
 const FLAG_F_UPPER_TRIANGULAR: u8 = 1;
@@ -239,6 +243,101 @@ impl SyncMessage {
     }
 }
 
+/// A v3 wire message: everything that can travel on a link.
+///
+/// The loss-tolerant delivery layer wraps sync messages in an optional
+/// **sequence header** (tag 4) and adds a reverse-direction **ack** (tag 5).
+/// Decoding is backward compatible with v2: a buffer starting with tags 1–3
+/// is an unsequenced legacy sync, bit-identical to what
+/// [`SyncMessage::decode`] accepts, and `Sync { seq: None, .. }` encodes to
+/// exactly the v2 bytes — sessions that never enable recovery produce and
+/// consume v2 traffic unchanged.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // same rationale as SyncMessage: built
+// once per sync and immediately encoded
+pub enum WireMessage {
+    /// A sync message, optionally carrying a delivery sequence number
+    /// (assigned by the source when ack-based recovery is enabled; `None`
+    /// encodes the legacy v2 format).
+    Sync {
+        /// Monotonically increasing per-stream sequence number, starting
+        /// at 1. `None` for legacy unsequenced traffic.
+        seq: Option<u64>,
+        /// The sync payload.
+        msg: SyncMessage,
+    },
+    /// Cumulative acknowledgement: the server has applied every sync it
+    /// will ever apply up to and including `seq` (later-delivered lower
+    /// sequence numbers are dropped as stale, so the watermark is exact).
+    Ack {
+        /// Highest sequence number applied by the server.
+        seq: u64,
+    },
+}
+
+impl WireMessage {
+    /// Encodes to a freshly allocated wire buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the wire encoding to `buf`. Exactly
+    /// [`WireMessage::encoded_len`] bytes are written.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            WireMessage::Sync { seq: None, msg } => msg.encode_into(buf),
+            WireMessage::Sync { seq: Some(seq), msg } => {
+                buf.put_u8(TAG_SEQ);
+                buf.put_u64_le(*seq);
+                msg.encode_into(buf);
+            }
+            WireMessage::Ack { seq } => {
+                buf.put_u8(TAG_ACK);
+                buf.put_u64_le(*seq);
+            }
+        }
+    }
+
+    /// Exact encoded size in bytes. An unsequenced sync costs exactly its
+    /// [`SyncMessage::encoded_len`]; a sequence header adds 9 bytes; an ack
+    /// is 9 bytes total.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            WireMessage::Sync { seq: None, msg } => msg.encoded_len(),
+            WireMessage::Sync { seq: Some(_), msg } => 1 + 8 + msg.encoded_len(),
+            WireMessage::Ack { .. } => 1 + 8,
+        }
+    }
+
+    /// Decodes a wire buffer, accepting both v3 (tags 4–5) and legacy v2
+    /// (tags 1–3, decoded as an unsequenced sync).
+    ///
+    /// # Errors
+    /// [`CoreError::Decode`] on truncation, trailing bytes, or a malformed
+    /// inner sync body.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        match buf.first() {
+            Some(&TAG_SEQ) => {
+                let mut rest = &buf[1..];
+                let seq = get_u64(&mut rest)?;
+                let msg = SyncMessage::decode(rest)?;
+                Ok(WireMessage::Sync { seq: Some(seq), msg })
+            }
+            Some(&TAG_ACK) => {
+                let mut rest = &buf[1..];
+                let seq = get_u64(&mut rest)?;
+                if rest.has_remaining() {
+                    return Err(decode_err(&format!("{} trailing bytes", rest.remaining())));
+                }
+                Ok(WireMessage::Ack { seq })
+            }
+            _ => SyncMessage::decode(buf).map(|msg| WireMessage::Sync { seq: None, msg }),
+        }
+    }
+}
+
 fn decode_err(reason: &str) -> CoreError {
     CoreError::Decode { reason: reason.to_string() }
 }
@@ -292,6 +391,13 @@ fn get_u32(buf: &mut &[u8]) -> Result<u32> {
         return Err(decode_err("truncated u32"));
     }
     Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(decode_err("truncated u64"));
+    }
+    Ok(buf.get_u64_le())
 }
 
 /// Guard against adversarial length prefixes: no legitimate message in this
@@ -624,5 +730,83 @@ mod tests {
         assert!(large.encoded_len() > small.encoded_len());
         // Scalar: tag + vec(x) + one-element triangle.
         assert_eq!(small.encoded_len(), 1 + (4 + 8) + 8);
+    }
+
+    #[test]
+    fn sequenced_sync_roundtrip() {
+        let wire = WireMessage::Sync { seq: Some(42), msg: state_msg() };
+        let bytes = wire.encode();
+        assert_eq!(bytes.len(), wire.encoded_len());
+        assert_eq!(bytes.len(), 9 + state_msg().encoded_len());
+        assert_eq!(WireMessage::decode(&bytes).unwrap(), wire);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let wire = WireMessage::Ack { seq: u64::MAX };
+        let bytes = wire.encode();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes.len(), wire.encoded_len());
+        assert_eq!(WireMessage::decode(&bytes).unwrap(), wire);
+    }
+
+    #[test]
+    fn unsequenced_sync_encodes_exact_v2_bytes() {
+        // `seq: None` must be bit-identical to the legacy encoding so that
+        // recovery-off sessions produce byte-for-byte v2 traffic.
+        let msg = state_msg();
+        let wire = WireMessage::Sync { seq: None, msg: msg.clone() };
+        assert_eq!(wire.encode(), msg.encode());
+        assert_eq!(wire.encoded_len(), msg.encoded_len());
+    }
+
+    #[test]
+    fn legacy_v2_bytes_decode_as_unsequenced_sync() {
+        let msg = state_msg();
+        let decoded = WireMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, WireMessage::Sync { seq: None, msg });
+    }
+
+    #[test]
+    fn legacy_decoder_rejects_v3_tags() {
+        // A v2-only peer must not misinterpret sequenced traffic.
+        let seq = WireMessage::Sync { seq: Some(7), msg: state_msg() }.encode();
+        assert!(SyncMessage::decode(&seq).is_err());
+        let ack = WireMessage::Ack { seq: 7 }.encode();
+        assert!(SyncMessage::decode(&ack).is_err());
+    }
+
+    #[test]
+    fn wire_decode_rejects_truncation_at_every_prefix() {
+        for wire in [
+            WireMessage::Sync { seq: Some(9), msg: state_msg() },
+            WireMessage::Ack { seq: 9 },
+        ] {
+            let bytes = wire.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireMessage::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_trailing_bytes() {
+        for wire in [
+            WireMessage::Sync { seq: Some(3), msg: state_msg() },
+            WireMessage::Ack { seq: 3 },
+        ] {
+            let mut bytes = wire.encode().to_vec();
+            bytes.push(0);
+            assert!(WireMessage::decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_unknown_tag() {
+        assert!(WireMessage::decode(&[99, 0, 0, 0]).is_err());
+        assert!(WireMessage::decode(&[]).is_err());
     }
 }

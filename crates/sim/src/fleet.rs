@@ -4,7 +4,10 @@
 
 use crossbeam::channel;
 
-use crate::{IngestSink, Link, Producer, SessionReport, TrafficMetrics};
+use crate::{
+    metrics::{DeliveryStats, FaultCounters},
+    IngestSink, Link, LinkFaults, Producer, SessionReport, TrafficMetrics,
+};
 
 /// Aggregated result of a fleet run: per-session reports in submission
 /// order, plus fleet-wide traffic totals.
@@ -14,6 +17,10 @@ pub struct FleetReport {
     pub sessions: Vec<SessionReport>,
     /// Fleet-wide traffic (sum over sessions).
     pub total_traffic: TrafficMetrics,
+    /// Fleet-wide link-fault injections (sum over sessions' forward links).
+    pub total_faults: FaultCounters,
+    /// Fleet-wide server-side delivery accounting (sum over sessions).
+    pub total_delivery: DeliveryStats,
 }
 
 impl FleetReport {
@@ -84,10 +91,14 @@ where
     let sessions: Vec<SessionReport> =
         slots.into_iter().map(|r| r.expect("every job ran")).collect();
     let mut total_traffic = TrafficMetrics::default();
+    let mut total_faults = FaultCounters::default();
+    let mut total_delivery = DeliveryStats::default();
     for s in &sessions {
         total_traffic.merge(&s.traffic);
+        total_faults.merge(&s.faults);
+        total_delivery.merge(&s.delivery);
     }
-    FleetReport { sessions, total_traffic }
+    FleetReport { sessions, total_traffic, total_faults, total_delivery }
 }
 
 /// A boxed `(observed, truth)` sampler, as carried by [`IngestStream`].
@@ -114,6 +125,9 @@ pub struct IngestFleetReport {
     pub total_traffic: TrafficMetrics,
     /// Per-stream traffic, index-aligned with the submitted streams.
     pub per_stream: Vec<TrafficMetrics>,
+    /// Fault injections summed over every stream's link (all zero for the
+    /// reliable [`run_fleet_ingest`] path).
+    pub faults: FaultCounters,
 }
 
 /// Drives many streams against one multiplexed [`IngestSink`] — the
@@ -133,7 +147,33 @@ pub fn run_fleet_ingest<S: IngestSink + ?Sized>(
     overhead_bytes: usize,
     sink: &mut S,
 ) -> IngestFleetReport {
-    let mut links: Vec<Link> = streams.iter().map(|_| Link::new(0, overhead_bytes)).collect();
+    run_fleet_ingest_faulty(streams, ticks, overhead_bytes, LinkFaults::default(), sink)
+}
+
+/// [`run_fleet_ingest`] with fault injection on every stream's link.
+///
+/// Each stream gets its own fault RNG, seeded from `faults.seed` xor'd with
+/// the stream's index, so per-stream fault schedules are independent but the
+/// whole fleet run stays deterministic for a given profile. A no-op profile
+/// (`faults.is_noop()`) degenerates to the reliable path bit-for-bit.
+pub fn run_fleet_ingest_faulty<S: IngestSink + ?Sized>(
+    streams: &mut [IngestStream<'_>],
+    ticks: u64,
+    overhead_bytes: usize,
+    faults: LinkFaults,
+    sink: &mut S,
+) -> IngestFleetReport {
+    let mut links: Vec<Link> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            Link::with_faults(
+                0,
+                overhead_bytes,
+                LinkFaults { seed: faults.seed ^ i as u64, ..faults },
+            )
+        })
+        .collect();
     let mut observed: Vec<Vec<f64>> =
         streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
     let mut truth: Vec<Vec<f64>> = streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
@@ -154,7 +194,11 @@ pub fn run_fleet_ingest<S: IngestSink + ?Sized>(
     for t in &per_stream {
         total_traffic.merge(t);
     }
-    IngestFleetReport { ticks, total_traffic, per_stream }
+    let mut fault_totals = FaultCounters::default();
+    for l in &links {
+        fault_totals.merge(&l.fault_counters());
+    }
+    IngestFleetReport { ticks, total_traffic, per_stream, faults: fault_totals }
 }
 
 #[cfg(test)]
@@ -225,6 +269,9 @@ mod tests {
         assert_eq!(report.total_messages(), 500);
         assert!((report.mean_message_rate() - 1.0).abs() < 1e-12);
         assert_eq!(report.total_violations(), 0);
+        // A reliable fleet reports no injected faults and no delivery drops.
+        assert_eq!(report.total_faults, FaultCounters::default());
+        assert_eq!(report.total_delivery, DeliveryStats::default());
     }
 
     #[test]
@@ -283,5 +330,50 @@ mod tests {
         assert_eq!(report.total_traffic.bytes(), 15 * 16);
         assert_eq!(report.per_stream.len(), 3);
         assert!(report.per_stream.iter().all(|t| t.messages() == 5));
+        assert_eq!(report.faults, FaultCounters::default());
+    }
+
+    #[test]
+    fn faulty_ingest_fleet_drops_and_counts() {
+        let make_streams = || -> Vec<IngestStream<'_>> {
+            (0..4u32)
+                .map(|id| IngestStream {
+                    stream_id: id,
+                    producer: Box::new(ShipAll),
+                    sampler: Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+                        obs[0] = id as f64;
+                        tru[0] = id as f64;
+                    }),
+                })
+                .collect()
+        };
+
+        let mut sink = Recorder::default();
+        let faults = LinkFaults { loss: 0.5, seed: 7, ..LinkFaults::default() };
+        let report =
+            run_fleet_ingest_faulty(&mut make_streams(), 100, 0, faults, &mut sink);
+        assert!(report.faults.dropped > 0, "50% loss over 400 sends must drop");
+        assert_eq!(
+            sink.pushes.len() as u64 + report.faults.dropped,
+            400,
+            "every send is either delivered or counted dropped"
+        );
+        // The sender is charged for every send, dropped or not.
+        assert_eq!(report.total_traffic.messages(), 400);
+
+        // A no-op profile is bit-identical to the reliable entry point.
+        let mut sink_a = Recorder::default();
+        let mut sink_b = Recorder::default();
+        let a = run_fleet_ingest(&mut make_streams(), 50, 8, &mut sink_a);
+        let b = run_fleet_ingest_faulty(
+            &mut make_streams(),
+            50,
+            8,
+            LinkFaults::default(),
+            &mut sink_b,
+        );
+        assert_eq!(sink_a.pushes, sink_b.pushes);
+        assert_eq!(a.total_traffic.bytes(), b.total_traffic.bytes());
+        assert_eq!(b.faults, FaultCounters::default());
     }
 }

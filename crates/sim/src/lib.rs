@@ -41,12 +41,13 @@ mod runner;
 
 pub use clock::Tick;
 pub use fleet::{
-    run_fleet, run_fleet_ingest, BoxedSampler, FleetReport, IngestFleetReport, IngestStream,
+    run_fleet, run_fleet_ingest, run_fleet_ingest_faulty, BoxedSampler, FleetReport,
+    IngestFleetReport, IngestStream,
 };
-pub use link::{Link, Message};
+pub use link::{Link, LinkFaults, Message};
 pub use metrics::{
-    BytesAccounting, ErrorMetrics, IngestRunReport, SessionReport, ShardThroughput,
-    TrafficMetrics,
+    BytesAccounting, DeliveryStats, ErrorMetrics, FaultCounters, IngestRunReport, SessionReport,
+    ShardThroughput, TrafficMetrics,
 };
 pub use node::{Consumer, Producer};
 pub use runner::{ErrorSeries, IngestSink, Session, SessionConfig, TickObserver};

@@ -1,4 +1,5 @@
-//! The simulated network link with latency and traffic accounting.
+//! The simulated network link with latency, fault injection, and traffic
+//! accounting.
 
 use std::collections::VecDeque;
 
@@ -6,7 +7,10 @@ use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::{metrics::TrafficMetrics, Tick};
+use crate::{
+    metrics::{FaultCounters, TrafficMetrics},
+    Tick,
+};
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -22,26 +26,75 @@ pub struct Message {
     pub payload: Bytes,
 }
 
-/// A unidirectional source→server link with fixed latency and FIFO delivery.
+/// Fault-injection profile of a [`Link`]: independent per-message loss,
+/// duplication, reordering, and uniform delay jitter, all driven by one
+/// seeded RNG so every schedule is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Independent per-message drop probability, in `[0, 1)`.
+    pub loss: f64,
+    /// Independent per-message duplication probability, in `[0, 1)`. The
+    /// duplicate takes its own jitter draw, so copies may arrive at
+    /// different ticks; the sender is charged for one message (it sent one
+    /// — the network copied it).
+    pub dup: f64,
+    /// Independent probability, in `[0, 1)`, of pushing a message 1–2 extra
+    /// ticks late so it lands behind later traffic.
+    pub reorder: f64,
+    /// Maximum extra delivery delay in ticks; each message draws uniformly
+    /// from `0..=jitter`. Zero disables jitter.
+    pub jitter: Tick,
+    /// RNG seed driving every fault draw.
+    pub seed: u64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults { loss: 0.0, dup: 0.0, reorder: 0.0, jitter: 0, seed: 0 }
+    }
+}
+
+impl LinkFaults {
+    /// Loss-only faults — the profile [`Link::lossy`] has always modelled.
+    pub fn lossy(loss: f64, seed: u64) -> Self {
+        LinkFaults { loss, seed, ..LinkFaults::default() }
+    }
+
+    /// `true` when no fault can ever fire (the link behaves reliably and
+    /// skips the RNG entirely).
+    pub fn is_noop(&self) -> bool {
+        self.loss == 0.0 && self.dup == 0.0 && self.reorder == 0.0 && self.jitter == 0
+    }
+
+    fn validate(&self) {
+        assert!((0.0..1.0).contains(&self.loss), "loss_prob must be in [0, 1)");
+        assert!((0.0..1.0).contains(&self.dup), "dup_prob must be in [0, 1)");
+        assert!((0.0..1.0).contains(&self.reorder), "reorder_prob must be in [0, 1)");
+    }
+}
+
+/// A unidirectional link with fixed base latency, optional fault injection,
+/// and FIFO-by-delivery-time ordering.
 ///
-/// Fixed latency keeps delivery order equal to send order, so a simple
-/// `VecDeque` suffices and delivery is O(1) amortised. Per-message overhead
-/// bytes model framing/headers so that "many small corrections" and "few
-/// large syncs" are priced honestly in experiment T3.
+/// A reliable link keeps delivery order equal to send order, so the
+/// `VecDeque` stays sorted by construction and delivery is O(1) amortised;
+/// jitter and reordering insert at a sorted position instead. Per-message
+/// overhead bytes model framing/headers so that "many small corrections" and
+/// "few large syncs" are priced honestly in experiment T3.
 #[derive(Debug, Clone)]
 pub struct Link {
     latency: Tick,
     overhead_bytes: usize,
+    /// Always sorted by `deliver_at`, ascending (ties keep insertion order).
     in_flight: VecDeque<Message>,
     traffic: TrafficMetrics,
-    /// Independent per-message drop probability with its RNG; `None` for a
-    /// reliable link.
-    loss: Option<(f64, SmallRng)>,
-    dropped: u64,
+    /// Fault profile with its RNG; `None` for a reliable link.
+    faults: Option<(LinkFaults, SmallRng)>,
+    counters: FaultCounters,
 }
 
 impl Link {
-    /// Creates a link with `latency` ticks delivery delay and
+    /// Creates a reliable link with `latency` ticks delivery delay and
     /// `overhead_bytes` of framing charged per message.
     pub fn new(latency: Tick, overhead_bytes: usize) -> Self {
         Link {
@@ -49,9 +102,23 @@ impl Link {
             overhead_bytes,
             in_flight: VecDeque::new(),
             traffic: TrafficMetrics::default(),
-            loss: None,
-            dropped: 0,
+            faults: None,
+            counters: FaultCounters::default(),
         }
+    }
+
+    /// Creates a link with the given fault-injection profile. A no-op
+    /// profile yields a reliable link (no RNG is ever consulted).
+    ///
+    /// # Panics
+    /// Panics when any probability is outside `[0, 1)`.
+    pub fn with_faults(latency: Tick, overhead_bytes: usize, faults: LinkFaults) -> Self {
+        faults.validate();
+        let mut link = Link::new(latency, overhead_bytes);
+        if !faults.is_noop() {
+            link.faults = Some((faults, SmallRng::seed_from_u64(faults.seed)));
+        }
+        link
     }
 
     /// Creates a link that independently drops each message with
@@ -61,22 +128,22 @@ impl Link {
     ///
     /// The suppression protocol's guarantee assumes delivery; the
     /// `exp_loss_recovery` experiment measures what loss costs and how the
-    /// heartbeat bounds the damage.
+    /// ack-based recovery repairs it.
     ///
     /// # Panics
     /// Panics when `loss_prob ∉ [0, 1)`.
     pub fn lossy(latency: Tick, overhead_bytes: usize, loss_prob: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&loss_prob), "loss_prob must be in [0, 1)");
-        let mut link = Link::new(latency, overhead_bytes);
-        if loss_prob > 0.0 {
-            link.loss = Some((loss_prob, SmallRng::seed_from_u64(seed)));
-        }
-        link
+        Link::with_faults(latency, overhead_bytes, LinkFaults::lossy(loss_prob, seed))
     }
 
     /// Messages dropped by the link so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.counters.dropped
+    }
+
+    /// All fault counters (drops, duplicates, reorders).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
     }
 
     /// A zero-latency link with a typical 28-byte (IP+UDP) header charge.
@@ -95,7 +162,7 @@ impl Link {
     }
 
     /// Transmits `payload` at tick `now`; it will deliver at `now + latency`
-    /// unless the (lossy) link drops it.
+    /// (plus any injected jitter/reorder delay) unless the link drops it.
     pub fn send(&mut self, now: Tick, payload: Bytes) {
         self.send_tagged(now, 0, payload);
     }
@@ -105,21 +172,66 @@ impl Link {
     /// carries frames from many sessions.
     pub fn send_tagged(&mut self, now: Tick, stream_id: u32, payload: Bytes) {
         self.traffic.record(payload.len() + self.overhead_bytes);
-        if let Some((prob, rng)) = &mut self.loss {
-            if rng.random::<f64>() < *prob {
-                self.dropped += 1;
-                return;
-            }
+        let Some((f, rng)) = &mut self.faults else {
+            self.in_flight.push_back(Message {
+                sent_at: now,
+                deliver_at: now + self.latency,
+                stream_id,
+                payload,
+            });
+            return;
+        };
+        // Every draw is guarded by its probability so that configurations
+        // not using a fault consume no RNG values for it — a loss-only link
+        // replays the exact historical draw sequence, keeping recorded
+        // experiments (exp_e11_loss) bit-identical.
+        if f.loss > 0.0 && rng.random::<f64>() < f.loss {
+            self.counters.dropped += 1;
+            return;
         }
-        self.in_flight.push_back(Message {
-            sent_at: now,
-            deliver_at: now + self.latency,
-            stream_id,
-            payload,
-        });
+        let mut deliver_at = now + self.latency;
+        if f.jitter > 0 {
+            deliver_at += rng.random::<u64>() % (f.jitter + 1);
+        }
+        if f.reorder > 0.0 && rng.random::<f64>() < f.reorder {
+            deliver_at += 1 + rng.random::<u64>() % 2;
+            self.counters.reordered += 1;
+        }
+        let dup_at = if f.dup > 0.0 && rng.random::<f64>() < f.dup {
+            let mut at = now + self.latency;
+            if f.jitter > 0 {
+                at += rng.random::<u64>() % (f.jitter + 1);
+            }
+            Some(at)
+        } else {
+            None
+        };
+        let msg = Message { sent_at: now, deliver_at, stream_id, payload };
+        if let Some(at) = dup_at {
+            self.counters.duplicated += 1;
+            let mut dup = msg.clone();
+            dup.deliver_at = at;
+            // Insert the original first so that at equal delivery ticks the
+            // original precedes its duplicate.
+            self.insert_sorted(msg);
+            self.insert_sorted(dup);
+        } else {
+            self.insert_sorted(msg);
+        }
     }
 
-    /// Pops every message due at or before `now`, in send order.
+    /// Inserts keeping `in_flight` sorted by `deliver_at`, preserving
+    /// insertion order among equal ticks.
+    fn insert_sorted(&mut self, msg: Message) {
+        if self.in_flight.back().is_none_or(|m| m.deliver_at <= msg.deliver_at) {
+            self.in_flight.push_back(msg); // common case: already in order
+            return;
+        }
+        let pos = self.in_flight.partition_point(|m| m.deliver_at <= msg.deliver_at);
+        self.in_flight.insert(pos, msg);
+    }
+
+    /// Pops every message due at or before `now`, in delivery order.
     pub fn deliver(&mut self, now: Tick) -> impl Iterator<Item = Message> + '_ {
         std::iter::from_fn(move || {
             if self.in_flight.front().is_some_and(|m| m.deliver_at <= now) {
@@ -224,6 +336,87 @@ mod tests {
     #[should_panic(expected = "loss_prob")]
     fn invalid_loss_prob_rejected() {
         let _ = Link::lossy(0, 0, 1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dup_prob")]
+    fn invalid_dup_prob_rejected() {
+        let _ = Link::with_faults(0, 0, LinkFaults { dup: 1.0, ..LinkFaults::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder_prob")]
+    fn invalid_reorder_prob_rejected() {
+        let _ = Link::with_faults(0, 0, LinkFaults { reorder: -0.1, ..LinkFaults::default() });
+    }
+
+    #[test]
+    fn duplication_delivers_copies_and_counts() {
+        let mut link = Link::with_faults(0, 0, LinkFaults { dup: 0.5, seed: 7, ..LinkFaults::default() });
+        for t in 0..200 {
+            link.send(t, payload(1));
+        }
+        let delivered = link.deliver(200).count() as u64;
+        assert_eq!(delivered, 200 + link.fault_counters().duplicated);
+        assert!(link.fault_counters().duplicated > 50, "dups {}", link.fault_counters().duplicated);
+        // Duplication charges the sender once per send.
+        assert_eq!(link.traffic().messages(), 200);
+    }
+
+    #[test]
+    fn jitter_delays_within_bound_and_keeps_sorted_delivery() {
+        let mut link = Link::with_faults(2, 0, LinkFaults { jitter: 3, seed: 11, ..LinkFaults::default() });
+        for t in 0..100 {
+            link.send(t, payload(1));
+        }
+        let msgs: Vec<_> = link.deliver(1000).collect();
+        assert_eq!(msgs.len(), 100);
+        let mut prev = 0;
+        for m in &msgs {
+            assert!(m.deliver_at >= m.sent_at + 2 && m.deliver_at <= m.sent_at + 5);
+            assert!(m.deliver_at >= prev, "delivery must be tick-sorted");
+            prev = m.deliver_at;
+        }
+    }
+
+    #[test]
+    fn reordering_swaps_messages_and_counts() {
+        let mut link = Link::with_faults(0, 0, LinkFaults { reorder: 0.3, seed: 5, ..LinkFaults::default() });
+        for t in 0..200 {
+            link.send_tagged(t, t as u32, payload(1));
+        }
+        let order: Vec<u32> = link.deliver(1000).map(|m| m.stream_id).collect();
+        assert_eq!(order.len(), 200);
+        assert!(link.fault_counters().reordered > 20);
+        let inversions = order.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "reordering must produce out-of-order delivery");
+    }
+
+    #[test]
+    fn loss_only_faults_match_legacy_lossy_draw_sequence() {
+        // Recorded experiments depend on the exact draw sequence of a
+        // loss-only link: a fault-capable link configured for loss only must
+        // drop the identical messages.
+        let mut legacy = Link::lossy(0, 0, 0.1, 4242);
+        let mut faulty =
+            Link::with_faults(0, 0, LinkFaults { loss: 0.1, seed: 4242, ..LinkFaults::default() });
+        for t in 0..2000 {
+            legacy.send_tagged(t, t as u32, payload(1));
+            faulty.send_tagged(t, t as u32, payload(1));
+        }
+        let a: Vec<u32> = legacy.deliver(2000).map(|m| m.stream_id).collect();
+        let b: Vec<u32> = faulty.deliver(2000).map(|m| m.stream_id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noop_faults_behave_reliably() {
+        let mut link = Link::with_faults(1, 0, LinkFaults::default());
+        for t in 0..50 {
+            link.send(t, payload(1));
+        }
+        assert_eq!(link.deliver(51).count(), 50);
+        assert_eq!(link.fault_counters(), FaultCounters::default());
     }
 
     #[test]

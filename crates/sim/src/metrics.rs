@@ -31,6 +31,51 @@ impl TrafficMetrics {
     }
 }
 
+/// Fault-injection counters maintained by [`crate::Link`]: what the link
+/// actually did to the traffic it carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped by injected loss.
+    pub dropped: u64,
+    /// Messages duplicated in flight.
+    pub duplicated: u64,
+    /// Messages deliberately delivered out of order.
+    pub reordered: u64,
+}
+
+impl FaultCounters {
+    /// Folds another counter into this one (fleet / multi-link aggregation).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
+}
+
+/// Receiver-side delivery accounting for the sequenced (v3) protocol: what
+/// the server detected and did about imperfect delivery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Sequenced syncs dropped as stale or duplicate (sequence number at or
+    /// below the highest already applied).
+    pub stale_drops: u64,
+    /// Sequence numbers skipped on arrival (gap between consecutive applied
+    /// syncs); counts messages that were lost *or* merely delayed past a
+    /// newer one.
+    pub seq_gaps: u64,
+    /// Queued syncs shed by the server's bounded pending queue.
+    pub shed: u64,
+}
+
+impl DeliveryStats {
+    /// Folds another stats block into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &DeliveryStats) {
+        self.stale_drops += other.stale_drops;
+        self.seq_gaps += other.seq_gaps;
+        self.shed += other.shed;
+    }
+}
+
 /// Packed-vs-naive wire-size accounting for the triangle-packed encoding.
 ///
 /// Fed a `(packed, unpacked)` byte pair per message — the actual encoded
@@ -217,7 +262,7 @@ impl ErrorMetrics {
 pub struct SessionReport {
     /// Ticks simulated.
     pub ticks: u64,
-    /// Wire traffic.
+    /// Wire traffic on the forward (source→server) link.
     pub traffic: TrafficMetrics,
     /// Error of the server estimate vs. the *observed* signal (what the
     /// precision contract is defined over).
@@ -225,6 +270,13 @@ pub struct SessionReport {
     /// Error of the server estimate vs. ground truth (what a user of the
     /// system ultimately experiences; includes the sensor-noise floor).
     pub error_vs_truth: ErrorMetrics,
+    /// Faults the forward link injected (loss/duplication/reordering).
+    pub faults: FaultCounters,
+    /// Receiver-side delivery accounting (stale drops, gaps, queue shed).
+    pub delivery: DeliveryStats,
+    /// Traffic on the reverse (server→source) ack link; zero when the
+    /// consumer generates no feedback.
+    pub ack_traffic: TrafficMetrics,
 }
 
 impl SessionReport {
@@ -258,6 +310,17 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.messages(), 3);
         assert_eq!(a.bytes(), 20);
+    }
+
+    #[test]
+    fn fault_and_delivery_merge() {
+        let mut f = FaultCounters { dropped: 1, duplicated: 2, reordered: 3 };
+        f.merge(&FaultCounters { dropped: 10, duplicated: 20, reordered: 30 });
+        assert_eq!(f, FaultCounters { dropped: 11, duplicated: 22, reordered: 33 });
+
+        let mut d = DeliveryStats { stale_drops: 1, seq_gaps: 2, shed: 3 };
+        d.merge(&DeliveryStats { stale_drops: 4, seq_gaps: 5, shed: 6 });
+        assert_eq!(d, DeliveryStats { stale_drops: 5, seq_gaps: 7, shed: 9 });
     }
 
     #[test]
@@ -298,6 +361,9 @@ mod tests {
             traffic,
             error_vs_observed: ErrorMetrics::new(1.0),
             error_vs_truth: ErrorMetrics::new(1.0),
+            faults: FaultCounters::default(),
+            delivery: DeliveryStats::default(),
+            ack_traffic: TrafficMetrics::default(),
         };
         assert!((report.message_rate() - 0.2).abs() < 1e-12);
         assert!((report.suppression_ratio() - 0.8).abs() < 1e-12);

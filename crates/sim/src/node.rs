@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 
+use crate::metrics::DeliveryStats;
 use crate::Tick;
 
 /// The source-side endpoint: sees every raw observation, decides what (if
@@ -18,6 +19,13 @@ pub trait Producer {
     /// `Some(payload)` transmits one message (the simulator charges its
     /// bytes); `None` suppresses.
     fn observe(&mut self, now: Tick, observed: &[f64]) -> Option<Bytes>;
+
+    /// Called for every message delivered on the reverse (server→source)
+    /// channel — acknowledgements in the loss-tolerant protocol. The default
+    /// ignores feedback, so fire-and-forget producers need no changes.
+    fn feedback(&mut self, now: Tick, payload: &Bytes) {
+        let _ = (now, payload);
+    }
 }
 
 /// The server-side endpoint: consumes wire messages, answers value queries.
@@ -34,6 +42,21 @@ pub trait Consumer {
     /// Taking `&mut self` lets prediction-based consumers advance their
     /// internal clock (one filter predict per tick) as a side effect.
     fn estimate(&mut self, now: Tick, out: &mut [f64]);
+
+    /// Called after [`Consumer::estimate`] each tick, repeatedly until it
+    /// returns `None`: each `Some(payload)` is sent on the reverse
+    /// (server→source) channel. The default produces no feedback, so
+    /// fire-and-forget consumers need no changes.
+    fn poll_feedback(&mut self, now: Tick) -> Option<Bytes> {
+        let _ = now;
+        None
+    }
+
+    /// Receiver-side delivery accounting for the sequenced protocol. The
+    /// default (all zeros) suits consumers without sequence tracking.
+    fn delivery_stats(&self) -> DeliveryStats {
+        DeliveryStats::default()
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,10 @@
 //! The single-session simulation loop.
 
-use crate::{Consumer, ErrorMetrics, Link, Producer, SessionReport, Tick};
+use crate::{Consumer, ErrorMetrics, Link, LinkFaults, Producer, SessionReport, Tick};
+
+/// Seed offset deriving the reverse (ack) link's RNG from the forward seed,
+/// so the two directions draw independent fault schedules.
+const ACK_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration for one simulated source→server session.
 #[derive(Debug, Clone)]
@@ -15,20 +19,57 @@ pub struct SessionConfig {
     pub overhead_bytes: usize,
     /// Independent per-message drop probability (0.0 = reliable link).
     pub loss_prob: f64,
-    /// Seed of the link's drop RNG (ignored when `loss_prob` is 0).
+    /// Seed of the link's fault RNG (ignored when no fault is configured).
     pub loss_seed: u64,
+    /// Independent per-message duplication probability (0.0 = never).
+    pub dup_prob: f64,
+    /// Independent per-message reordering probability (0.0 = never).
+    pub reorder_prob: f64,
+    /// Maximum extra delivery delay in ticks, drawn uniformly per message
+    /// (0 = no jitter).
+    pub jitter: Tick,
 }
 
 impl SessionConfig {
     /// A zero-latency session with IP+UDP-sized framing — the setting under
     /// which the suppression protocol's precision guarantee is exact.
     pub fn instant(ticks: u64, delta: f64) -> Self {
-        SessionConfig { ticks, delta, latency: 0, overhead_bytes: 28, loss_prob: 0.0, loss_seed: 0 }
+        SessionConfig {
+            ticks,
+            delta,
+            latency: 0,
+            overhead_bytes: 28,
+            loss_prob: 0.0,
+            loss_seed: 0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            jitter: 0,
+        }
     }
 
     /// Same as [`SessionConfig::instant`] with a lossy link.
     pub fn instant_lossy(ticks: u64, delta: f64, loss_prob: f64, loss_seed: u64) -> Self {
         SessionConfig { loss_prob, loss_seed, ..SessionConfig::instant(ticks, delta) }
+    }
+
+    /// Adds duplication, reordering, and delay jitter to the link faults.
+    #[must_use]
+    pub fn with_link_faults(mut self, dup_prob: f64, reorder_prob: f64, jitter: Tick) -> Self {
+        self.dup_prob = dup_prob;
+        self.reorder_prob = reorder_prob;
+        self.jitter = jitter;
+        self
+    }
+
+    /// The fault profile both session links are built from.
+    pub fn faults(&self) -> LinkFaults {
+        LinkFaults {
+            loss: self.loss_prob,
+            dup: self.dup_prob,
+            reorder: self.reorder_prob,
+            jitter: self.jitter,
+            seed: self.loss_seed,
+        }
     }
 }
 
@@ -106,11 +147,18 @@ impl Session {
     ///
     /// 1. `sampler` produces `(observed, truth)` for this tick;
     /// 2. the producer sees `observed` and may transmit;
-    /// 3. the link delivers every message due this tick to the consumer
-    ///    (with zero latency this includes the message from step 2);
+    /// 3. the forward link delivers every message due this tick to the
+    ///    consumer (with zero latency this includes the message from step 2);
     /// 4. the consumer produces its estimate for this tick;
-    /// 5. the estimate is scored against `observed` and `truth` with the
+    /// 5. the consumer's feedback (acks) is sent on the reverse link and
+    ///    everything due is delivered to the producer — with zero latency an
+    ///    ack completes its round trip the same tick;
+    /// 6. the estimate is scored against `observed` and `truth` with the
     ///    max-norm, and the observer hook fires.
+    ///
+    /// Both links carry the same fault profile; the reverse link derives its
+    /// RNG seed from the forward seed so the two draw independent schedules.
+    /// Endpoints that produce no feedback pay nothing for the reverse link.
     ///
     /// # Panics
     /// Panics when producer/consumer dimensions disagree with each other.
@@ -129,8 +177,13 @@ impl Session {
     {
         let dim = producer.dim();
         assert_eq!(dim, consumer.dim(), "producer/consumer dimension mismatch");
-        let mut link =
-            Link::lossy(config.latency, config.overhead_bytes, config.loss_prob, config.loss_seed);
+        let faults = config.faults();
+        let mut link = Link::with_faults(config.latency, config.overhead_bytes, faults);
+        let mut ack_link = Link::with_faults(
+            config.latency,
+            config.overhead_bytes,
+            LinkFaults { seed: faults.seed ^ ACK_SEED_OFFSET, ..faults },
+        );
         let mut observed = vec![0.0; dim];
         let mut truth = vec![0.0; dim];
         let mut estimate = vec![0.0; dim];
@@ -149,6 +202,13 @@ impl Session {
                 consumer.receive(now, &msg.payload);
             }
             consumer.estimate(now, &mut estimate);
+            while let Some(fb) = consumer.poll_feedback(now) {
+                ack_link.send(now, fb);
+            }
+            let due: Vec<_> = ack_link.deliver(now).collect();
+            for msg in due {
+                producer.feedback(now, &msg.payload);
+            }
             err_obs.record(max_norm_diff(&estimate, &observed));
             err_truth.record(max_norm_diff(&estimate, &truth));
             observer.on_tick(now, &observed, &truth, &estimate, link.traffic().messages());
@@ -159,6 +219,9 @@ impl Session {
             traffic: link.traffic().clone(),
             error_vs_observed: err_obs,
             error_vs_truth: err_truth,
+            faults: link.fault_counters(),
+            delivery: consumer.delivery_stats(),
+            ack_traffic: ack_link.traffic().clone(),
         }
     }
 }
@@ -239,8 +302,11 @@ mod tests {
     fn latency_creates_violations() {
         // Same policy over a ramp, but 2-tick latency: right after each send
         // the server still shows stale data, errors reach 3 + ... > bound.
-        let config =
-            SessionConfig { ticks: 100, delta: 3.0, latency: 2, overhead_bytes: 0, loss_prob: 0.0, loss_seed: 0 };
+        let config = SessionConfig {
+            latency: 2,
+            overhead_bytes: 0,
+            ..SessionConfig::instant(100, 3.0)
+        };
         let mut p = EveryKth { k: 4 };
         let mut c = Hold { last: 0.0 };
         let report = Session::run(&config, ramp_sampler(), &mut p, &mut c, &mut ());

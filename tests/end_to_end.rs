@@ -121,14 +121,7 @@ fn latency_defers_corrections_and_is_measured() {
     let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(0.3).unwrap()).unwrap();
     let (mut source, mut server) = spec.build().split();
     let mut stream = Ramp::new(0.0, 0.3, 0.02, 25);
-    let config = SessionConfig {
-        ticks: 2_000,
-        delta: 0.3,
-        latency: 3,
-        overhead_bytes: 28,
-        loss_prob: 0.0,
-        loss_seed: 0,
-    };
+    let config = SessionConfig { latency: 3, ..SessionConfig::instant(2_000, 0.3) };
     let report = Session::run(
         &config,
         |obs, tru| stream.next_into(obs, tru),
