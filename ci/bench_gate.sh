@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Bench-regression lane: run the allocation smoke gate plus the kernel and
+# ingest benchmarks in CI-sized configurations, then gate every fresh
+# measurement against the committed baselines with check_regression
+# (tolerance documented in the baseline JSONs themselves). All outputs land
+# in ci-artifacts/ for upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART=ci-artifacts
+mkdir -p "$ART"
+
+echo "==> bench_smoke (allocation gate)"
+cargo run --release -q -p kalstream-bench --bin bench_smoke -- \
+    --metrics-out "$ART/bench_smoke.metrics.json"
+
+echo "==> bench_kernels (full scale: the fleet determinism canary needs it)"
+cargo run --release -q -p kalstream-bench --bin bench_kernels -- \
+    --out "$ART/bench_kernels.json" --metrics-out "$ART/bench_kernels.metrics.json"
+
+echo "==> check_regression --kind kernels"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind kernels --baseline BENCH_kernels.json --current "$ART/bench_kernels.json"
+
+echo "==> bench_ingest --quick (reduced scale, full gates)"
+cargo run --release -q -p kalstream-bench --bin bench_ingest -- \
+    --quick --out "$ART/bench_ingest.json" --metrics-out "$ART/bench_ingest.metrics.json"
+
+echo "==> check_regression --kind ingest"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind ingest --baseline BENCH_ingest.json --current "$ART/bench_ingest.json"
+
+echo "ci/bench_gate.sh: OK (artifacts in $ART/)"

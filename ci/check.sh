@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build + test + lint lane. Mirrored verbatim by .github/workflows/ci.yml;
+# run locally via ci/run_all.sh (or on its own) to reproduce CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "ci/check.sh: OK"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Proptest failure seeds are regression tests and MUST be committed
+# (.gitignore carries an explicit exception). A test run that minted new
+# seed files and left them uncommitted means a failing case was found but
+# not captured — fail the build and show them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+uncommitted=$(git status --porcelain -- '*proptest-regressions*' | sed 's/^...//')
+if [ -n "$uncommitted" ]; then
+    echo "error: uncommitted proptest regression seeds (commit these files):" >&2
+    echo "$uncommitted" >&2
+    exit 1
+fi
+echo "ci/proptest_seeds.sh: no uncommitted proptest seeds"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Local dry-run of the full CI pipeline — the same scripts the workflow
+# jobs execute, in the same order. Green here means green in CI (modulo
+# runner wall-clock, which the regression tolerances absorb).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+./check.sh
+./proptest_seeds.sh
+./bench_gate.sh
+./tables_gate.sh
+echo "ci/run_all.sh: full pipeline OK"

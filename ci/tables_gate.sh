@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Recorded-table determinism gate: every exp_* binary must reproduce its
+# committed results/exp_*.txt byte-for-byte, with --metrics-out active (the
+# flag must never perturb stdout). Metrics artifacts land in ci-artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART=ci-artifacts
+mkdir -p "$ART"
+fail=0
+for path in results/exp_*.txt; do
+    exp=$(basename "$path" .txt)
+    echo "==> $exp"
+    cargo run --release -q -p kalstream-bench --bin "$exp" -- \
+        --metrics-out "$ART/$exp.metrics.json" >"$ART/$exp.txt"
+    if ! diff -u "$path" "$ART/$exp.txt"; then
+        echo "error: $exp output drifted from recorded $path" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "ci/tables_gate.sh: FAILED — recorded tables drifted" >&2
+    exit 1
+fi
+echo "ci/tables_gate.sh: all recorded tables byte-identical"

@@ -36,7 +36,10 @@ impl DeadReckoning {
     /// Panics when `dim` is zero or `delta` is not positive and finite.
     pub fn new(dim: usize, delta: f64) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "delta must be positive and finite"
+        );
         DeadReckoning {
             delta,
             dim,
@@ -76,8 +79,10 @@ impl Producer for DeadReckoning {
             // New anchor at the fresh observation; slope from the last two
             // raw observations (zero until two are available).
             self.anchor.copy_from_slice(observed);
-            for (slope, (&obs, &prev)) in
-                self.slope.iter_mut().zip(observed.iter().zip(self.prev.iter()))
+            for (slope, (&obs, &prev)) in self
+                .slope
+                .iter_mut()
+                .zip(observed.iter().zip(self.prev.iter()))
             {
                 *slope = if self.have_prev { obs - prev } else { 0.0 };
             }
@@ -111,7 +116,11 @@ impl DeadReckoningServer {
     /// Panics when `dim` is zero.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dim must be positive");
-        DeadReckoningServer { anchor: vec![0.0; dim], slope: vec![0.0; dim], age: 0 }
+        DeadReckoningServer {
+            anchor: vec![0.0; dim],
+            slope: vec![0.0; dim],
+            age: 0,
+        }
     }
 }
 
@@ -131,7 +140,10 @@ impl Consumer for DeadReckoningServer {
     }
 
     fn estimate(&mut self, _now: Tick, out: &mut [f64]) {
-        for (o, (&a, &s)) in out.iter_mut().zip(self.anchor.iter().zip(self.slope.iter())) {
+        for (o, (&a, &s)) in out
+            .iter_mut()
+            .zip(self.anchor.iter().zip(self.slope.iter()))
+        {
             *o = a + s * self.age as f64;
         }
         self.age += 1;
@@ -165,7 +177,11 @@ mod tests {
     fn noiseless_ramp_needs_constant_messages() {
         // After the first two samples fix the slope, extrapolation is exact.
         let report = run_ramp(0.5, 0.25, 1000);
-        assert!(report.traffic.messages() <= 3, "messages {}", report.traffic.messages());
+        assert!(
+            report.traffic.messages() <= 3,
+            "messages {}",
+            report.traffic.messages()
+        );
         assert_eq!(report.error_vs_observed.violations(), 0);
     }
 

@@ -38,7 +38,10 @@ impl HoltTrend {
     /// Panics on out-of-range parameters.
     pub fn new(dim: usize, delta: f64, alpha: f64, beta: f64) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "delta must be positive and finite"
+        );
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
         HoltTrend {
@@ -82,8 +85,11 @@ impl Producer for HoltTrend {
             self.trend.iter_mut().for_each(|t| *t = 0.0);
             self.primed = true;
         } else {
-            for ((level, trend), &obs) in
-                self.level.iter_mut().zip(self.trend.iter_mut()).zip(observed.iter())
+            for ((level, trend), &obs) in self
+                .level
+                .iter_mut()
+                .zip(self.trend.iter_mut())
+                .zip(observed.iter())
             {
                 let prev_level = *level;
                 *level = self.alpha * obs + (1.0 - self.alpha) * (*level + *trend);
@@ -117,7 +123,9 @@ pub struct HoltTrendServer {
 impl HoltTrendServer {
     /// Creates a server for `dim`-dimensional streams.
     pub fn new(dim: usize) -> Self {
-        HoltTrendServer { inner: crate::DeadReckoningServer::new(dim) }
+        HoltTrendServer {
+            inner: crate::DeadReckoningServer::new(dim),
+        }
     }
 }
 
@@ -156,7 +164,11 @@ mod tests {
             &mut (),
         );
         // Far fewer than a value cache would need (which pays 1000*0.3/0.5*... ≈ 375).
-        assert!(report.traffic.messages() < 100, "messages {}", report.traffic.messages());
+        assert!(
+            report.traffic.messages() < 100,
+            "messages {}",
+            report.traffic.messages()
+        );
         assert_eq!(report.error_vs_observed.violations(), 0);
     }
 

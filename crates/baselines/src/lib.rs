@@ -86,5 +86,7 @@ pub(crate) mod codec {
 
 /// Max-norm distance helper shared by the suppression tests.
 pub(crate) fn max_norm_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }

@@ -50,7 +50,9 @@ impl LastValueServer {
     /// Panics when `initial` is empty.
     pub fn new(initial: &[f64]) -> Self {
         assert!(!initial.is_empty(), "dim must be positive");
-        LastValueServer { value: initial.to_vec() }
+        LastValueServer {
+            value: initial.to_vec(),
+        }
     }
 
     /// The currently cached value.

@@ -122,7 +122,9 @@ fn kalman_spec(kind: PolicyKind, dim: usize, x0: &[f64], config: ProtocolConfig)
             config,
         )
         .expect("valid fixed spec"),
-        (PolicyKind::KalmanFixed, _) | (PolicyKind::KalmanAdaptive, 2) | (PolicyKind::KalmanBank, 2) => {
+        (PolicyKind::KalmanFixed, _)
+        | (PolicyKind::KalmanAdaptive, 2)
+        | (PolicyKind::KalmanBank, 2) => {
             // 2-D tracking: adapt R (receiver noise is unknown) but keep Q
             // fixed — maneuver intensity is a domain constant, and letting
             // NIS-driven scaling fight the R estimator destabilises the
@@ -131,7 +133,11 @@ fn kalman_spec(kind: PolicyKind, dim: usize, x0: &[f64], config: ProtocolConfig)
                 models::constant_velocity_2d(1.0, 0.005, 1.0),
                 Vector::from_slice(&[x0[0], 0.0, x0[1], 0.0]),
                 10.0,
-                AdaptiveConfig { adapt_q: false, window: 128, ..Default::default() },
+                AdaptiveConfig {
+                    adapt_q: false,
+                    window: 128,
+                    ..Default::default()
+                },
                 config,
             )
             .expect("valid 2-D spec")
@@ -158,7 +164,11 @@ fn kalman_spec(kind: PolicyKind, dim: usize, x0: &[f64], config: ProtocolConfig)
             models::constant_velocity_2d(1.0, 0.005, 1.0),
             Vector::from_slice(&[x0[0], 0.0, x0[1], 0.0]),
             10.0,
-            AdaptiveConfig { adapt_q: false, window: 128, ..Default::default() },
+            AdaptiveConfig {
+                adapt_q: false,
+                window: 128,
+                ..Default::default()
+            },
             config,
         )
         .expect("valid 2-D spec"),

@@ -28,7 +28,11 @@ impl TtlCache {
     pub fn new(dim: usize, ttl: u64) -> Self {
         assert!(dim > 0, "dim must be positive");
         assert!(ttl > 0, "ttl must be positive");
-        TtlCache { dim, ttl, since_send: u64::MAX }
+        TtlCache {
+            dim,
+            ttl,
+            since_send: u64::MAX,
+        }
     }
 
     /// The refresh period.

@@ -31,8 +31,15 @@ impl ValueCache {
     /// Panics when `dim` is zero or `delta` is not positive and finite.
     pub fn new(dim: usize, delta: f64) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-        ValueCache { delta, cached: vec![0.0; dim], primed: false }
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "delta must be positive and finite"
+        );
+        ValueCache {
+            delta,
+            cached: vec![0.0; dim],
+            primed: false,
+        }
     }
 
     /// The precision bound.

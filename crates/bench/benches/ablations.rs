@@ -12,8 +12,10 @@ use kalstream_linalg::Vector;
 
 fn bench_joseph_vs_simple(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_joseph_timing");
-    for (name, form) in [("joseph", CovarianceUpdate::Joseph), ("simple", CovarianceUpdate::Simple)]
-    {
+    for (name, form) in [
+        ("joseph", CovarianceUpdate::Joseph),
+        ("simple", CovarianceUpdate::Simple),
+    ] {
         let model = models::constant_velocity_2d(1.0, 0.01, 0.1);
         let mut kf = KalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
         kf.set_covariance_update(form);
@@ -43,8 +45,13 @@ fn bench_adaptive_overhead(c: &mut Criterion) {
 
     for window in [32usize, 128, 512] {
         let kf = KalmanFilter::new(model.clone(), Vector::zeros(1), 1.0).unwrap();
-        let mut akf =
-            AdaptiveKalmanFilter::new(kf, AdaptiveConfig { window, ..Default::default() });
+        let mut akf = AdaptiveKalmanFilter::new(
+            kf,
+            AdaptiveConfig {
+                window,
+                ..Default::default()
+            },
+        );
         group.bench_function(BenchmarkId::new("adaptive_window", window), |b| {
             b.iter(|| {
                 black_box(akf.step(&z).unwrap().nis);

@@ -14,7 +14,11 @@ fn bench_predict(c: &mut Criterion) {
     for (name, model, dim) in [
         ("walk_1d", models::random_walk(0.01, 0.1), 1usize),
         ("cv_2state", models::constant_velocity(1.0, 0.01, 0.1), 2),
-        ("cv2d_4state", models::constant_velocity_2d(1.0, 0.01, 0.1), 4),
+        (
+            "cv2d_4state",
+            models::constant_velocity_2d(1.0, 0.01, 0.1),
+            4,
+        ),
     ] {
         let mut kf = KalmanFilter::new(model, Vector::zeros(dim), 1.0).unwrap();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -32,7 +36,12 @@ fn bench_update(c: &mut Criterion) {
     for (name, model, dim, m) in [
         ("walk_1d", models::random_walk(0.01, 0.1), 1usize, 1usize),
         ("cv_2state", models::constant_velocity(1.0, 0.01, 0.1), 2, 1),
-        ("cv2d_4state", models::constant_velocity_2d(1.0, 0.01, 0.1), 4, 2),
+        (
+            "cv2d_4state",
+            models::constant_velocity_2d(1.0, 0.01, 0.1),
+            4,
+            2,
+        ),
     ] {
         let mut kf = KalmanFilter::new(model, Vector::zeros(dim), 1.0).unwrap();
         let z = Vector::zeros(m);
@@ -79,5 +88,11 @@ fn bench_cholesky(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_predict, bench_update, bench_adaptive_step, bench_cholesky);
+criterion_group!(
+    benches,
+    bench_predict,
+    bench_update,
+    bench_adaptive_step,
+    bench_cholesky
+);
 criterion_main!(benches);

@@ -74,7 +74,11 @@ fn bench_session_throughput(c: &mut Criterion) {
     let ticks = 10_000u64;
     let mut group = c.benchmark_group("session_throughput");
     group.throughput(Throughput::Elements(ticks));
-    for policy in [PolicyKind::ValueCache, PolicyKind::KalmanFixed, PolicyKind::KalmanBank] {
+    for policy in [
+        PolicyKind::ValueCache,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanBank,
+    ] {
         group.bench_function(BenchmarkId::from_parameter(policy.name()), |b| {
             b.iter(|| {
                 let mut stream = RandomWalk::new(0.0, 0.0, 0.5, 0.1, 7);

@@ -5,8 +5,15 @@
 //! addendum). Usage:
 //!
 //! ```text
-//! cargo run --release -p kalstream-bench --bin bench_ingest -- [--out PATH]
+//! cargo run --release -p kalstream-bench --bin bench_ingest -- \
+//!     [--out PATH] [--quick] [--metrics-out PATH]
 //! ```
+//!
+//! `--quick` runs a reduced workload (fewer streams/ticks) for CI: every
+//! correctness gate still applies, only the scale shrinks, and the emitted
+//! JSON carries `"quick": true` so `check_regression` knows wall-clock
+//! numbers came from a different workload size. `--metrics-out` additionally
+//! writes a `kalstream-obs` snapshot artifact (stdout is unaffected).
 //!
 //! Method: a mixed fleet (adaptive scalar walks, scalar model banks, 4-state
 //! GPS trackers) is driven once through the simulator's ingest mode to
@@ -32,6 +39,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use kalstream_bench::alloc_count::{self, CountingAllocator};
 use kalstream_bench::harness::{make_stream, StreamFamily};
+use kalstream_bench::MetricsOut;
 use kalstream_core::wire::SyncMessage;
 use kalstream_core::{
     FrameDecoder, FramingSink, IngestPipeline, IngestResult, ProtocolConfig, SequentialIngest,
@@ -46,6 +54,10 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 const STREAMS: u32 = 768;
 const LOG_TICKS: u64 = 512;
+/// `--quick` scale: small enough for a CI lane, large enough that every
+/// stream kind appears and the packing/bit-identity gates stay meaningful.
+const QUICK_STREAMS: u32 = 192;
+const QUICK_LOG_TICKS: u64 = 128;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Steady-state phase: fixed-model scalar fleet (no model syncs, so decode
@@ -77,9 +89,7 @@ impl TickIngest for LogRecorder {
             match msg {
                 SyncMessage::State { .. } => self.state_syncs.record(packed, unpacked),
                 SyncMessage::Model { .. } => self.model_syncs.record(packed, unpacked),
-                SyncMessage::Measurement { .. } => {
-                    self.measurement_syncs.record(packed, unpacked)
-                }
+                SyncMessage::Measurement { .. } => self.measurement_syncs.record(packed, unpacked),
             }
         });
         assert_eq!(dec.decode_failures(), 0, "recorded log must be clean");
@@ -89,10 +99,7 @@ impl TickIngest for LogRecorder {
 
 /// Builds the mixed fleet: per stream, a (source, server) endpoint pair and
 /// the generator sampling its observations.
-fn build_fleet<'a>(
-    n: u32,
-    mixed: bool,
-) -> (Vec<IngestStream<'a>>, Vec<(u32, ServerEndpoint)>) {
+fn build_fleet<'a>(n: u32, mixed: bool) -> (Vec<IngestStream<'a>>, Vec<(u32, ServerEndpoint)>) {
     let scalar_families = StreamFamily::scalar_roster();
     let mut streams = Vec::new();
     let mut servers = Vec::new();
@@ -168,8 +175,7 @@ fn endpoint_bits(ep: &ServerEndpoint) -> Vec<u64> {
 fn identical(a: &IngestResult, b: &IngestResult) -> bool {
     a.total_messages() == b.total_messages()
         && a.endpoints.len() == b.endpoints.len()
-        && a
-            .endpoints
+        && a.endpoints
             .iter()
             .zip(b.endpoints.iter())
             .all(|((ia, ea), (ib, eb))| {
@@ -199,18 +205,32 @@ fn bytes_json(label: &str, b: &BytesAccounting) -> String {
 
 fn main() {
     let mut out_path = String::from("BENCH_ingest.json");
+    let mut quick = false;
+    let mut metrics_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => quick = true,
+            "--metrics-out" => {
+                metrics_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--metrics-out needs a path"),
+                ));
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
+    let mut metrics = MetricsOut::from_path(metrics_path);
+    let (streams, log_ticks) = if quick {
+        (QUICK_STREAMS, QUICK_LOG_TICKS)
+    } else {
+        (STREAMS, LOG_TICKS)
+    };
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // --- record the mixed-fleet log --------------------------------------
-    println!("recording {STREAMS}-stream / {LOG_TICKS}-tick message log…");
-    let (log, servers) = record_log(STREAMS, LOG_TICKS, true);
+    println!("recording {streams}-stream / {log_ticks}-tick message log…");
+    let (log, servers) = record_log(streams, log_ticks, true);
     println!(
         "  {} messages ({} state, {} model, {} measurement syncs), packing saves {:.1}%",
         log.total.messages(),
@@ -290,7 +310,9 @@ fn main() {
     );
 
     // --- steady-state allocation discipline -------------------------------
-    println!("steady-state alloc check ({ALLOC_STREAMS} fixed scalar streams, {ALLOC_SHARDS} shards)…");
+    println!(
+        "steady-state alloc check ({ALLOC_STREAMS} fixed scalar streams, {ALLOC_SHARDS} shards)…"
+    );
     let (alloc_log, alloc_servers) = record_log(ALLOC_STREAMS, ALLOC_TICKS, false);
     let mut pipe = IngestPipeline::start(ALLOC_SHARDS, alloc_servers);
     for tick in &alloc_log.ticks {
@@ -327,8 +349,9 @@ fn main() {
         })
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"bench_ingest/v1\",\n  \"available_parallelism\": {parallelism},\n  \
-         \"streams\": {STREAMS},\n  \"log_ticks\": {LOG_TICKS},\n  \"bytes\": {{\n    {},\n    {},\n    {},\n    {}\n  }},\n  \
+        "{{\n  \"schema\": \"bench_ingest/v1\",\n  \"regression_tolerance\": 0.25,\n  \
+         \"quick\": {quick},\n  \"available_parallelism\": {parallelism},\n  \
+         \"streams\": {streams},\n  \"log_ticks\": {log_ticks},\n  \"bytes\": {{\n    {},\n    {},\n    {},\n    {}\n  }},\n  \
          \"sequential\": {{ \"wall_ms\": {:.2}, \"msgs_per_sec\": {:.0}, \"total_messages\": {} }},\n  \
          \"sharded\": [\n{}\n  ],\n  \
          \"scaling_1_to_8\": {{ \"capacity\": {:.2}, \"wall\": {:.2} }},\n  \
@@ -348,6 +371,36 @@ fn main() {
     );
     std::fs::write(&out_path, &doc).expect("write output");
     println!("wrote {out_path}");
+
+    // --- metrics artifact (stdout untouched) ------------------------------
+    metrics.record("wire.total", &log.total);
+    metrics.record("wire.state_syncs", &log.state_syncs);
+    metrics.record("wire.model_syncs", &log.model_syncs);
+    metrics.record("wire.measurement_syncs", &log.measurement_syncs);
+    {
+        let mut s = metrics.scope("sequential");
+        s.gauge("wall_ms", seq_wall * 1e3);
+        s.gauge(
+            "msgs_per_sec",
+            seq_result.total_messages() as f64 / seq_wall,
+        );
+        s.counter("total_messages", seq_result.total_messages());
+    }
+    for r in &runs {
+        let mut s = metrics.scope(&format!("sharded.{}", r.shards));
+        s.gauge("wall_ms", r.wall_secs * 1e3);
+        s.gauge("msgs_per_sec", wall_rate(r));
+        s.gauge("max_shard_busy_ms", r.max_busy_secs * 1e3);
+        s.gauge("msgs_per_sec_capacity", capacity(r));
+        s.counter("total_messages", r.total_messages);
+        s.counter("bit_identical", u64::from(r.bit_identical));
+    }
+    {
+        let mut s = metrics.scope("steady_state");
+        s.counter("allocations", allocs);
+        s.counter("drained_batches", batches);
+    }
+    metrics.write();
 
     // --- gates ------------------------------------------------------------
     if gate_failed {

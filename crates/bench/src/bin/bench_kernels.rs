@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p kalstream-bench --bin bench_kernels -- \
-//!     [--out PATH] [--before PATH]
+//!     [--out PATH] [--before PATH] [--metrics-out PATH]
 //! ```
 //!
 //! Without `--before`, writes a bare measurement object to `--out`
@@ -21,6 +21,7 @@ use criterion::Criterion;
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::alloc_count::{self, CountingAllocator};
 use kalstream_bench::harness::{run_method, StreamFamily};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec, SourceEndpoint};
 use kalstream_filter::{models, KalmanFilter};
 use kalstream_linalg::Vector;
@@ -134,7 +135,16 @@ fn measure() -> Measurements {
         .map(|i| {
             let family = families[i % families.len()];
             let delta = family.natural_scale();
-            move || run_method(PolicyKind::KalmanFixed, family, delta, FLEET_TICKS, 7_000 + i as u64).report
+            move || {
+                run_method(
+                    PolicyKind::KalmanFixed,
+                    family,
+                    delta,
+                    FLEET_TICKS,
+                    7_000 + i as u64,
+                )
+                .report
+            }
         })
         .collect();
     let start = Instant::now();
@@ -171,7 +181,13 @@ fn indent(json: &str, spaces: usize) -> String {
     let pad = " ".repeat(spaces);
     json.lines()
         .enumerate()
-        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{pad}{l}") })
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -179,14 +195,21 @@ fn indent(json: &str, spaces: usize) -> String {
 fn main() {
     let mut out_path = String::from("BENCH_kernels.json");
     let mut before_path: Option<String> = None;
+    let mut metrics_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--before" => before_path = Some(args.next().expect("--before needs a path")),
+            "--metrics-out" => {
+                metrics_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--metrics-out needs a path"),
+                ));
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
+    let mut metrics = MetricsOut::from_path(metrics_path);
 
     let m = measure();
     let after = to_json(&m);
@@ -196,7 +219,7 @@ fn main() {
             let before = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("cannot read --before {path}: {e}"));
             format!(
-                "{{\n  \"schema\": \"bench_kernels/v1\",\n  \"before\": {},\n  \"after\": {}\n}}\n",
+                "{{\n  \"schema\": \"bench_kernels/v1\",\n  \"regression_tolerance\": 0.25,\n  \"before\": {},\n  \"after\": {}\n}}\n",
                 indent(before.trim(), 2),
                 indent(&after, 2),
             )
@@ -210,4 +233,22 @@ fn main() {
         "predict {:.1} ns | update {:.1} ns | decide {:.1} ns | allocs/tick {:.2} | fleet {:.0} ms",
         m.predict_ns, m.update_ns, m.decide_ns, m.allocs_per_tick, m.fleet_wall_ms
     );
+
+    // --- metrics artifact (stdout already emitted above) ------------------
+    {
+        let mut s = metrics.scope("kernels");
+        s.gauge("predict_ns", m.predict_ns);
+        s.gauge("update_ns", m.update_ns);
+        s.gauge("suppression_decision_ns", m.decide_ns);
+        s.gauge("allocs_per_tick", m.allocs_per_tick);
+        s.gauge("allocs_per_filter_step", m.allocs_per_filter_step);
+    }
+    {
+        let mut s = metrics.scope("fleet");
+        s.counter("streams", FLEET_STREAMS as u64);
+        s.counter("ticks", FLEET_TICKS);
+        s.gauge("wall_ms", m.fleet_wall_ms);
+        s.counter("total_messages", m.fleet_total_messages);
+    }
+    metrics.write();
 }

@@ -3,9 +3,11 @@
 //! Runs the protocol steady-state loop and the bare filter loop under the
 //! counting allocator and **fails (exit 1) if either performs any heap
 //! allocation per tick**. Finishes in well under a second; wire it into CI
-//! next to the unit tests.
+//! next to the unit tests. Honours `--metrics-out <path>` for the CI
+//! artifact contract.
 
 use kalstream_bench::alloc_count::{self, CountingAllocator};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_filter::{models, KalmanFilter};
 use kalstream_linalg::Vector;
@@ -16,6 +18,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 const TICKS: u64 = 5_000;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let mut failures = 0;
 
     // Protocol steady state: predict + update + suppression decision on a
@@ -38,6 +41,9 @@ fn main() {
             std::hint::black_box(source.decide(&[0.0]));
         }
     });
+    metrics
+        .scope("smoke.protocol")
+        .counter("allocations", allocs);
     if allocs == 0 {
         println!("OK   protocol steady-state tick: 0 allocations over {TICKS} ticks");
     } else {
@@ -65,6 +71,7 @@ fn main() {
             std::hint::black_box(kf.step(&z).expect("step").nis);
         }
     });
+    metrics.scope("smoke.filter").counter("allocations", allocs);
     if allocs == 0 {
         println!("OK   filter predict+update step: 0 allocations over {TICKS} ticks");
     } else {
@@ -76,6 +83,7 @@ fn main() {
         failures += 1;
     }
 
+    metrics.write();
     if failures > 0 {
         println!("bench-smoke: {failures} check(s) failed");
         std::process::exit(1);

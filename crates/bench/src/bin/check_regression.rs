@@ -1,0 +1,108 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! check_regression --kind kernels --baseline BENCH_kernels.json --current /tmp/kernels.json
+//! check_regression --kind ingest  --baseline BENCH_ingest.json  --current /tmp/ingest.json \
+//!                  [--tolerance 0.25]
+//! ```
+//!
+//! Prints an aligned comparison table and exits non-zero when any check
+//! fails. The tolerance defaults to the baseline's own
+//! `regression_tolerance` field (see `kalstream_bench::regression`).
+
+use std::process::ExitCode;
+
+use kalstream_bench::regression::{check_ingest, check_kernels};
+
+enum Kind {
+    Kernels,
+    Ingest,
+}
+
+struct Args {
+    kind: Kind,
+    baseline: String,
+    current: String,
+    tolerance: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: check_regression --kind kernels|ingest --baseline <json> --current <json> \
+         [--tolerance <frac>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut kind = None;
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--kind" => {
+                kind = Some(match value("--kind").as_str() {
+                    "kernels" => Kind::Kernels,
+                    "ingest" => Kind::Ingest,
+                    other => {
+                        eprintln!("unknown --kind {other:?} (expected kernels|ingest)");
+                        usage()
+                    }
+                });
+            }
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--current" => current = Some(value("--current")),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                tolerance = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance must be a fraction, got {v:?}");
+                    usage()
+                }));
+            }
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                usage()
+            }
+        }
+    }
+    match (kind, baseline, current) {
+        (Some(kind), Some(baseline), Some(current)) => Args {
+            kind,
+            baseline,
+            current,
+            tolerance,
+        },
+        _ => usage(),
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let baseline = read(&args.baseline);
+    let current = read(&args.current);
+    let report = match args.kind {
+        Kind::Kernels => check_kernels(&baseline, &current, args.tolerance),
+        Kind::Ingest => check_ingest(&baseline, &current, args.tolerance),
+    };
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -15,6 +15,7 @@
 
 use kalstream_bench::harness::run_endpoints;
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{FleetController, ProtocolConfig, ResyncPayload, SessionSpec, SourceEndpoint};
 use kalstream_filter::{models, AdaptiveConfig, CovarianceUpdate, KalmanFilter};
 use kalstream_gen::{
@@ -34,7 +35,7 @@ fn max_asymmetry(p: &Matrix) -> f64 {
     worst
 }
 
-fn abl_joseph() {
+fn abl_joseph(metrics: &mut MetricsOut) {
     // Both update forms are algebraically identical, and the filter
     // re-symmetrises after every step, so the interesting questions are
     // (a) how far the two forms drift apart under rounding on an
@@ -78,17 +79,38 @@ fn abl_joseph() {
         }
         let _ = max_asymmetry(joseph.covariance());
     }
-    table.add_row(vec!["max |P_joseph - P_simple|".into(), format!("{max_divergence:.3e}")]);
-    table.add_row(vec!["min diag(P) joseph".into(), format!("{min_diag_joseph:.3e}")]);
-    table.add_row(vec!["min diag(P) simple".into(), format!("{min_diag_simple:.3e}")]);
-    table.add_row(vec!["simple-form update failures".into(), simple_failures.to_string()]);
+    let mut s = metrics.scope("joseph");
+    s.gauge("max_covariance_divergence", max_divergence);
+    s.counter("simple_update_failures", simple_failures);
+    table.add_row(vec![
+        "max |P_joseph - P_simple|".into(),
+        format!("{max_divergence:.3e}"),
+    ]);
+    table.add_row(vec![
+        "min diag(P) joseph".into(),
+        format!("{min_diag_joseph:.3e}"),
+    ]);
+    table.add_row(vec![
+        "min diag(P) simple".into(),
+        format!("{min_diag_simple:.3e}"),
+    ]);
+    table.add_row(vec![
+        "simple-form update failures".into(),
+        simple_failures.to_string(),
+    ]);
     table.print();
 }
 
-fn abl_resync() {
+fn abl_resync(metrics: &mut MetricsOut) {
     let mut table = Table::new(
         "abl_resync: sync payload ablation on a fast ramp (slope 0.5, delta 0.4, 20k ticks)",
-        &["payload", "messages", "total_bytes", "violations", "max_err"],
+        &[
+            "payload",
+            "messages",
+            "total_bytes",
+            "violations",
+            "max_err",
+        ],
     );
     for (name, payload) in [
         ("full_state", ResyncPayload::FullState),
@@ -110,6 +132,7 @@ fn abl_resync() {
         let mut stream: Box<dyn Stream + Send> = Box::new(Ramp::new(0.0, 0.5, 0.02, 78));
         let config = SessionConfig::instant(20_000, 0.4);
         let report = run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
+        metrics.record(&format!("resync.{name}"), &report);
         table.add_row(vec![
             name.to_string(),
             report.traffic.messages().to_string(),
@@ -121,13 +144,16 @@ fn abl_resync() {
     table.print();
 }
 
-fn abl_adapt_window() {
+fn abl_adapt_window(metrics: &mut MetricsOut) {
     let mut table = Table::new(
         "abl_adapt_window: adaptation window vs messages (noise jumps 0.05 -> 0.8 mid-run, delta 1.0)",
         &["window", "messages", "rmse"],
     );
     for window in [8usize, 32, 128, 512] {
-        let adapt = AdaptiveConfig { window, ..Default::default() };
+        let adapt = AdaptiveConfig {
+            window,
+            ..Default::default()
+        };
         let spec = SessionSpec::adaptive(
             models::random_walk(0.01, 0.01),
             Vector::zeros(1),
@@ -156,6 +182,7 @@ fn abl_adapt_window() {
             &mut server,
             &mut (),
         );
+        metrics.record(&format!("adapt_window.{window}"), &report);
         table.add_row(vec![
             window.to_string(),
             report.traffic.messages().to_string(),
@@ -165,7 +192,7 @@ fn abl_adapt_window() {
     table.print();
 }
 
-fn abl_heartbeat() {
+fn abl_heartbeat(metrics: &mut MetricsOut) {
     let mut table = Table::new(
         "abl_heartbeat: heartbeat period vs messages and staleness (quiet stream, delta 5.0, 20k ticks)",
         &["heartbeat", "messages", "max_staleness"],
@@ -187,8 +214,13 @@ fn abl_heartbeat() {
             Box::new(RandomWalk::new(0.0, 0.0, 0.02, 0.02, 81));
         let config = SessionConfig::instant(20_000, 5.0);
         let mut series = kalstream_sim::ErrorSeries::default();
-        let report =
-            run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut series);
+        let report = run_endpoints(
+            &mut source,
+            &mut server,
+            stream.as_mut(),
+            &config,
+            &mut series,
+        );
         // Max staleness from the cumulative message series.
         let mut max_age = 0u64;
         let mut last_tick = 0u64;
@@ -200,8 +232,13 @@ fn abl_heartbeat() {
             }
             max_age = max_age.max(t as u64 - last_tick);
         }
+        let label = heartbeat.map_or("none".to_string(), |h| h.to_string());
+        metrics.record(&format!("heartbeat.{label}"), &report);
+        metrics
+            .scope(&format!("heartbeat.{label}"))
+            .counter("max_staleness", max_age);
         table.add_row(vec![
-            heartbeat.map_or("none".to_string(), |h| h.to_string()),
+            label,
             report.traffic.messages().to_string(),
             max_age.to_string(),
         ]);
@@ -209,7 +246,7 @@ fn abl_heartbeat() {
     table.print();
 }
 
-fn abl_alloc_period() {
+fn abl_alloc_period(metrics: &mut MetricsOut) {
     // A fleet whose volatilities *swap* mid-run: stream 0 goes calm→wild
     // and stream 1 wild→calm at tick 10k. The faster the controller
     // re-allocates, the sooner the bounds follow — measured as fleet
@@ -256,6 +293,13 @@ fn abl_alloc_period() {
             }
         }
         let fleet_messages: u64 = sources.iter().map(SourceEndpoint::syncs).sum();
+        metrics.record(&format!("alloc_period.{period}.controller"), &ctrl);
+        for (i, source) in sources.iter().enumerate() {
+            metrics.record(&format!("alloc_period.{period}.source.{i}"), source);
+        }
+        metrics
+            .scope(&format!("alloc_period.{period}"))
+            .counter("post_swap_misallocated_ticks", misallocated);
         table.add_row(vec![
             period.to_string(),
             ctrl.rounds().to_string(),
@@ -267,9 +311,11 @@ fn abl_alloc_period() {
 }
 
 fn main() {
-    abl_joseph();
-    abl_resync();
-    abl_adapt_window();
-    abl_heartbeat();
-    abl_alloc_period();
+    let mut metrics = MetricsOut::from_args();
+    abl_joseph(&mut metrics);
+    abl_resync(&mut metrics);
+    abl_adapt_window(&mut metrics);
+    abl_heartbeat(&mut metrics);
+    abl_alloc_period(&mut metrics);
+    metrics.write();
 }

@@ -19,6 +19,7 @@
 
 use kalstream_bench::harness::run_endpoints;
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_gen::{synthetic::RandomWalk, Stream};
 use kalstream_sim::SessionConfig;
@@ -26,7 +27,12 @@ use kalstream_sim::SessionConfig;
 const TICKS: u64 = 20_000;
 const DELTA: f64 = 1.0;
 
-fn run(loss: f64, heartbeat: Option<u64>) -> (u64, u64, f64) {
+fn run(
+    loss: f64,
+    heartbeat: Option<u64>,
+    metrics: &mut MetricsOut,
+    label: &str,
+) -> (u64, u64, f64) {
     let mut config_proto = ProtocolConfig::new(DELTA).unwrap();
     if let Some(h) = heartbeat {
         config_proto = config_proto.with_heartbeat(h).unwrap();
@@ -36,6 +42,7 @@ fn run(loss: f64, heartbeat: Option<u64>) -> (u64, u64, f64) {
     let mut stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.08, 0.02, 91));
     let config = SessionConfig::instant_lossy(TICKS, DELTA, loss, 4242);
     let report = run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
+    metrics.record(label, &report);
     (
         report.traffic.messages(),
         report.error_vs_observed.violations(),
@@ -44,8 +51,11 @@ fn run(loss: f64, heartbeat: Option<u64>) -> (u64, u64, f64) {
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let mut table = Table::new(
-        format!("E11: message loss vs precision violations, random walk, delta={DELTA} ({TICKS} ticks)"),
+        format!(
+            "E11: message loss vs precision violations, random walk, delta={DELTA} ({TICKS} ticks)"
+        ),
         &[
             "loss_prob",
             "bare_msgs",
@@ -57,9 +67,12 @@ fn main() {
         ],
     );
     for loss in [0.0, 0.01, 0.05, 0.1, 0.2] {
-        let (bare_msgs, bare_viol, bare_max) = run(loss, None);
-        let (_, hb100_viol, _) = run(loss, Some(100));
-        let (hb20_msgs, hb20_viol, _) = run(loss, Some(20));
+        let grid = format!("{loss}").replace('.', "_");
+        let (bare_msgs, bare_viol, bare_max) =
+            run(loss, None, &mut metrics, &format!("loss_{grid}.bare"));
+        let (_, hb100_viol, _) = run(loss, Some(100), &mut metrics, &format!("loss_{grid}.hb100"));
+        let (hb20_msgs, hb20_viol, _) =
+            run(loss, Some(20), &mut metrics, &format!("loss_{grid}.hb20"));
         table.add_row(vec![
             fmt_f(loss),
             bare_msgs.to_string(),
@@ -72,4 +85,5 @@ fn main() {
     }
     table.print();
     println!("# shape: zero violations at zero loss; violations grow with loss; heartbeats cap the divergence window");
+    metrics.write();
 }

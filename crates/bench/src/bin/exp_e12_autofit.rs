@@ -16,6 +16,7 @@
 
 use kalstream_bench::harness::{make_stream, run_endpoints, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_filter::fit::fit_scalar_model;
 use kalstream_filter::{models, BankConfig, KalmanFilter};
@@ -26,6 +27,7 @@ const PREFIX: usize = 3_000;
 const TICKS: u64 = 20_000;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let families = [
         StreamFamily::Ramp,
         StreamFamily::MeanReverting,
@@ -51,35 +53,25 @@ fn main() {
             let (mut source, mut server) = spec.build().split();
             let mut replay = kalstream_gen::TraceReplay::new(continuation.clone());
             let config = SessionConfig::instant(TICKS, delta);
-            run_endpoints(
-                &mut source,
-                &mut server,
-                &mut replay,
-                &config,
-                &mut (),
-            )
-            .traffic
-            .messages()
+            run_endpoints(&mut source, &mut server, &mut replay, &config, &mut ())
+                .traffic
+                .messages()
         };
 
-        let default_msgs = run(
-            SessionSpec::default_scalar(
-                prefix_obs[PREFIX - 1],
-                ProtocolConfig::new(delta).unwrap(),
-            )
-            .unwrap(),
-        );
+        let default_msgs = run(SessionSpec::default_scalar(
+            prefix_obs[PREFIX - 1],
+            ProtocolConfig::new(delta).unwrap(),
+        )
+        .unwrap());
         let fitted_name = fitted.model.name().to_string();
         let r_hat = fitted.r_hat;
-        let fitted_msgs = run(
-            SessionSpec::fixed(
-                fitted.model.clone(),
-                fitted.x0.clone(),
-                1.0,
-                ProtocolConfig::new(delta).unwrap(),
-            )
-            .unwrap(),
-        );
+        let fitted_msgs = run(SessionSpec::fixed(
+            fitted.model.clone(),
+            fitted.x0.clone(),
+            1.0,
+            ProtocolConfig::new(delta).unwrap(),
+        )
+        .unwrap());
         // The robust installation: the fitted model competes with a plain
         // walk inside a bank, so a spurious fit (e.g. a trend fitted to a
         // drifting prefix of a martingale) is demoted by live likelihood.
@@ -90,15 +82,18 @@ fn main() {
             1.0,
         )
         .unwrap();
-        let bank_msgs = run(
-            SessionSpec::bank(
-                vec![walk_kf, fitted_kf],
-                BankConfig::default(),
-                ProtocolConfig::new(delta).unwrap(),
-            )
-            .unwrap(),
-        );
+        let bank_msgs = run(SessionSpec::bank(
+            vec![walk_kf, fitted_kf],
+            BankConfig::default(),
+            ProtocolConfig::new(delta).unwrap(),
+        )
+        .unwrap());
         let best = fitted_msgs.min(bank_msgs);
+        let mut s = metrics.scope(family.name());
+        s.counter("default.messages", default_msgs);
+        s.counter("fitted.messages", fitted_msgs);
+        s.counter("fitted_bank.messages", bank_msgs);
+        s.gauge("r_hat", r_hat);
         table.add_row(vec![
             family.name().to_string(),
             fitted_name,
@@ -111,4 +106,5 @@ fn main() {
     }
     table.print();
     println!("# shape: fitted wins big on structured streams; the fitted-plus-walk bank hedges spurious fits on memoryless ones");
+    metrics.write();
 }

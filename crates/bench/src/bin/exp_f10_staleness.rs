@@ -19,6 +19,7 @@
 use kalstream_baselines::{LastValueServer, TtlCache};
 use kalstream_bench::harness::{make_stream, run_endpoints, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_filter::StateModel;
 use kalstream_linalg::{Matrix, Vector};
@@ -51,6 +52,7 @@ fn bucket_by_age(series: &ErrorSeries, bucket_width: u64, buckets: usize) -> Vec
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let family = StreamFamily::Temperature;
     let bucket_width = 10;
     let buckets = 5; // ages 0-9, 10-19, ..., 40-49
@@ -62,13 +64,14 @@ fn main() {
         let mut producer = TtlCache::new(1, REFRESH);
         let mut consumer = LastValueServer::new(&[15.0]);
         let config = SessionConfig::instant(TICKS, f64::INFINITY);
-        let _ = run_endpoints(
+        let report = run_endpoints(
             &mut producer,
             &mut consumer,
             stream.as_mut(),
             &config,
             &mut static_series,
         );
+        metrics.record("static_cache", &report);
     }
 
     // Dynamic procedure: same message schedule via heartbeat, huge δ so the
@@ -85,11 +88,7 @@ fn main() {
             .unwrap();
         let omega = core::f64::consts::TAU / 1440.0;
         let (sin, cos) = omega.sin_cos();
-        let f = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, cos, sin],
-            &[0.0, -sin, cos],
-        ]);
+        let f = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, cos, sin], &[0.0, -sin, cos]]);
         let q = Matrix::from_diag(&[2.5e-3, 1e-6, 1e-6]);
         let h = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
         let r = Matrix::scalar(1, 0.04);
@@ -103,13 +102,14 @@ fn main() {
         .unwrap();
         let (mut source, mut server) = spec.build().split();
         let config = SessionConfig::instant(TICKS, f64::INFINITY);
-        let _ = run_endpoints(
+        let report = run_endpoints(
             &mut source,
             &mut server,
             stream.as_mut(),
             &config,
             &mut dynamic_series,
         );
+        metrics.record("dynamic_procedure", &report);
     }
 
     let static_buckets = bucket_by_age(&static_series, bucket_width, buckets);
@@ -135,4 +135,5 @@ fn main() {
     }
     table.print();
     println!("# shape: static error grows with age; dynamic stays near the noise floor");
+    metrics.write();
 }

@@ -8,8 +8,10 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let family = StreamFamily::RandomWalk;
     let policies = [
         PolicyKind::ValueCache,
@@ -32,7 +34,11 @@ fn main() {
     );
     for chunk in rows.chunks(policies.len()) {
         let mut row = vec![fmt_f(chunk[0].delta)];
-        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        row.extend(
+            chunk
+                .iter()
+                .map(|r| r.report.traffic.messages().to_string()),
+        );
         table.add_row(row);
     }
     table.print();
@@ -41,5 +47,14 @@ fn main() {
     let tightest = &rows[..policies.len()];
     let vc = tightest[0].report.traffic.messages() as f64;
     let kf = tightest[4].report.traffic.messages() as f64;
-    println!("# shape: at delta={:.3}, kalman_adaptive/value_cache = {:.2}x fewer messages", tightest[0].delta, vc / kf.max(1.0));
+    println!(
+        "# shape: at delta={:.3}, kalman_adaptive/value_cache = {:.2}x fewer messages",
+        tightest[0].delta,
+        vc / kf.max(1.0)
+    );
+
+    for run in &rows {
+        metrics.record_run(run);
+    }
+    metrics.write();
 }

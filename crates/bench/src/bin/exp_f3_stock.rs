@@ -8,8 +8,10 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let family = StreamFamily::Stock;
     let policies = [
         PolicyKind::ValueCache,
@@ -32,8 +34,17 @@ fn main() {
     );
     for chunk in rows.chunks(policies.len()) {
         let mut row = vec![fmt_f(chunk[0].delta)];
-        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        row.extend(
+            chunk
+                .iter()
+                .map(|r| r.report.traffic.messages().to_string()),
+        );
         table.add_row(row);
     }
     table.print();
+
+    for run in &rows {
+        metrics.record_run(run);
+    }
+    metrics.write();
 }

@@ -9,8 +9,10 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{delta_grid, sweep_delta, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let family = StreamFamily::Gps;
     let policies = [
         PolicyKind::ValueCache,
@@ -27,13 +29,26 @@ fn main() {
     headers.extend(policies.iter().map(|p| p.name()));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("F4: messages vs delta (max-norm, metres), {} ({} ticks)", family.name(), ticks),
+        format!(
+            "F4: messages vs delta (max-norm, metres), {} ({} ticks)",
+            family.name(),
+            ticks
+        ),
         &headers_ref,
     );
     for chunk in rows.chunks(policies.len()) {
         let mut row = vec![fmt_f(chunk[0].delta)];
-        row.extend(chunk.iter().map(|r| r.report.traffic.messages().to_string()));
+        row.extend(
+            chunk
+                .iter()
+                .map(|r| r.report.traffic.messages().to_string()),
+        );
         table.add_row(row);
     }
     table.print();
+
+    for run in &rows {
+        metrics.record_run(run);
+    }
+    metrics.write();
 }

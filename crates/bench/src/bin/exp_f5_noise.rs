@@ -25,6 +25,7 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{run_endpoints, run_on_stream};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_filter::{models, AdaptiveConfig};
 use kalstream_gen::{synthetic::Ramp, Stream};
@@ -39,7 +40,7 @@ fn make_ramp(sigma_v: f64) -> Box<dyn Stream + Send> {
     Box::new(Ramp::new(0.0, SLOPE, sigma_v, 55))
 }
 
-fn run_kalman_cv(sigma_v: f64, adaptive: bool) -> u64 {
+fn run_kalman_cv(sigma_v: f64, adaptive: bool) -> kalstream_sim::SessionReport {
     // R frozen at the σ_v = 0.1 noise level (variance 0.01).
     let model = models::constant_velocity(1.0, 1e-4, 0.01);
     let config = ProtocolConfig::new(DELTA).unwrap();
@@ -48,7 +49,11 @@ fn run_kalman_cv(sigma_v: f64, adaptive: bool) -> u64 {
             model,
             Vector::zeros(2),
             1.0,
-            AdaptiveConfig { adapt_q: false, window: 64, ..Default::default() },
+            AdaptiveConfig {
+                adapt_q: false,
+                window: 64,
+                ..Default::default()
+            },
             config,
         )
     } else {
@@ -58,37 +63,64 @@ fn run_kalman_cv(sigma_v: f64, adaptive: bool) -> u64 {
     let (mut source, mut server) = spec.build().split();
     let mut stream = make_ramp(sigma_v);
     let sim_config = SessionConfig::instant(TICKS, DELTA);
-    run_endpoints(&mut source, &mut server, stream.as_mut(), &sim_config, &mut ())
-        .traffic
-        .messages()
+    run_endpoints(
+        &mut source,
+        &mut server,
+        stream.as_mut(),
+        &sim_config,
+        &mut (),
+    )
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let noise_levels = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.2, 1.6];
     let mut table = Table::new(
-        format!(
-            "F5: messages vs sensor noise, ramp slope {SLOPE}, delta={DELTA} ({TICKS} ticks)"
-        ),
-        &["sigma_v", "value_cache", "dead_reckoning", "kalman_frozen_r", "kalman_adaptive_r"],
+        format!("F5: messages vs sensor noise, ramp slope {SLOPE}, delta={DELTA} ({TICKS} ticks)"),
+        &[
+            "sigma_v",
+            "value_cache",
+            "dead_reckoning",
+            "kalman_frozen_r",
+            "kalman_adaptive_r",
+        ],
     );
     for &sigma_v in &noise_levels {
-        let vc = run_on_stream(PolicyKind::ValueCache, make_ramp(sigma_v), DELTA, TICKS, &mut ())
-            .traffic
-            .messages();
-        let dr =
-            run_on_stream(PolicyKind::DeadReckoning, make_ramp(sigma_v), DELTA, TICKS, &mut ())
-                .traffic
-                .messages();
-        let frozen = run_kalman_cv(sigma_v, false);
-        let adaptive = run_kalman_cv(sigma_v, true);
+        let vc_report = run_on_stream(
+            PolicyKind::ValueCache,
+            make_ramp(sigma_v),
+            DELTA,
+            TICKS,
+            &mut (),
+        );
+        let dr_report = run_on_stream(
+            PolicyKind::DeadReckoning,
+            make_ramp(sigma_v),
+            DELTA,
+            TICKS,
+            &mut (),
+        );
+        let frozen_report = run_kalman_cv(sigma_v, false);
+        let adaptive_report = run_kalman_cv(sigma_v, true);
+        let noise = format!("{sigma_v}").replace('.', "_");
+        metrics.record(&format!("noise_{noise}.value_cache"), &vc_report);
+        metrics.record(&format!("noise_{noise}.dead_reckoning"), &dr_report);
+        metrics.record(&format!("noise_{noise}.kalman_frozen_r"), &frozen_report);
+        metrics.record(
+            &format!("noise_{noise}.kalman_adaptive_r"),
+            &adaptive_report,
+        );
         table.add_row(vec![
             fmt_f(sigma_v),
-            vc.to_string(),
-            dr.to_string(),
-            frozen.to_string(),
-            adaptive.to_string(),
+            vc_report.traffic.messages().to_string(),
+            dr_report.traffic.messages().to_string(),
+            frozen_report.traffic.messages().to_string(),
+            adaptive_report.traffic.messages().to_string(),
         ]);
     }
     table.print();
-    println!("# shape: adaptive_r flattest as sigma_v grows; frozen_r degrades; dead_reckoning worst");
+    println!(
+        "# shape: adaptive_r flattest as sigma_v grows; frozen_r degrades; dead_reckoning worst"
+    );
+    metrics.write();
 }

@@ -12,11 +12,16 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{run_method_observed, StreamFamily};
 use kalstream_bench::table::Table;
+use kalstream_bench::MetricsOut;
 use kalstream_sim::ErrorSeries;
 
 fn main() {
-    let policies =
-        [PolicyKind::ValueCache, PolicyKind::KalmanFixed, PolicyKind::KalmanBank];
+    let mut metrics = MetricsOut::from_args();
+    let policies = [
+        PolicyKind::ValueCache,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanBank,
+    ];
     let delta = 0.5;
     let ticks = 6000;
     let checkpoint_every = 500;
@@ -24,7 +29,8 @@ fn main() {
     let mut series: Vec<(String, Vec<u64>)> = Vec::new();
     for &policy in &policies {
         let mut obs = ErrorSeries::default();
-        let _ = run_method_observed(policy, StreamFamily::Regime, delta, ticks, 46, &mut obs);
+        let run = run_method_observed(policy, StreamFamily::Regime, delta, ticks, 46, &mut obs);
+        metrics.record_run(&run);
         series.push((policy.name(), obs.messages));
     }
 
@@ -61,4 +67,5 @@ fn main() {
         ]);
     }
     phase_table.print();
+    metrics.write();
 }

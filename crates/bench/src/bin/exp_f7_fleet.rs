@@ -12,9 +12,11 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{run_method, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_sim::run_fleet;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let policies = [
         PolicyKind::ShipAll,
         PolicyKind::Ttl(10),
@@ -31,8 +33,16 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 
     let mut table = Table::new(
-        format!("F7: fleet of {streams} heterogeneous streams, {ticks} ticks, delta = natural scale"),
-        &["policy", "total_messages", "mean_rate", "violations", "mean_rmse_obs"],
+        format!(
+            "F7: fleet of {streams} heterogeneous streams, {ticks} ticks, delta = natural scale"
+        ),
+        &[
+            "policy",
+            "total_messages",
+            "mean_rate",
+            "violations",
+            "mean_rmse_obs",
+        ],
     );
     for &policy in &policies {
         let jobs: Vec<_> = (0..streams)
@@ -43,6 +53,9 @@ fn main() {
             })
             .collect();
         let fleet = run_fleet(jobs, threads);
+        // Fleet-aggregated and per-stream snapshots, nested per policy.
+        metrics.absorb(&policy.name(), &fleet.snapshot());
+        metrics.absorb(&policy.name(), &fleet.stream_snapshots());
         let mean_rmse = fleet
             .sessions
             .iter()
@@ -58,4 +71,5 @@ fn main() {
         ]);
     }
     table.print();
+    metrics.write();
 }

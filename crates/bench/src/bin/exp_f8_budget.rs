@@ -21,6 +21,7 @@
 
 use kalstream_bench::harness::run_endpoints;
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{BudgetAllocator, ProtocolConfig, SessionSpec, StreamDemand};
 use kalstream_gen::{synthetic::RandomWalk, Stream};
 use kalstream_sim::SessionConfig;
@@ -36,7 +37,13 @@ fn sigma_w(i: usize) -> f64 {
 }
 
 fn make_walk(i: usize, phase: u64) -> Box<dyn Stream + Send> {
-    Box::new(RandomWalk::new(0.0, 0.0, sigma_w(i), 0.02, 9000 + i as u64 + phase * 100))
+    Box::new(RandomWalk::new(
+        0.0,
+        0.0,
+        sigma_w(i),
+        0.02,
+        9000 + i as u64 + phase * 100,
+    ))
 }
 
 /// Runs the fleet at the given per-stream deltas; returns (total messages,
@@ -53,14 +60,18 @@ fn run_fleet_at(deltas: &[f64], ticks: u64, phase: u64) -> (u64, f64, f64, Vec<S
         let (mut source, mut server) = spec.build().split();
         let mut stream = make_walk(i, phase);
         let config = SessionConfig::instant(ticks, delta);
-        let report =
-            run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
+        let report = run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
         total_msgs += report.traffic.messages();
         rmse_sum += report.error_vs_observed.rmse();
         demands.push(StreamDemand::new(source.rate_estimator().samples(), 1.0).unwrap());
     }
     let mean_delta = deltas.iter().map(|d| d.max(1e-4)).sum::<f64>() / deltas.len() as f64;
-    (total_msgs, mean_delta, rmse_sum / deltas.len() as f64, demands)
+    (
+        total_msgs,
+        mean_delta,
+        rmse_sum / deltas.len() as f64,
+        demands,
+    )
 }
 
 /// Closed-loop allocation: iterate (allocate → run → re-measure demands),
@@ -88,6 +99,7 @@ fn closed_loop(
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     // Bootstrap demand curves at a mid-range bound.
     let (_, _, _, initial) = run_fleet_at(&[1.0; STREAMS], ROUND_TICKS, 0);
 
@@ -108,6 +120,13 @@ fn main() {
     for budget_rate in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let (u_msgs, u_delta, u_rmse) = closed_loop(budget_rate, true, &initial);
         let (a_msgs, a_delta, a_rmse) = closed_loop(budget_rate, false, &initial);
+        let mut s = metrics.scope(&format!("budget_{budget_rate}").replace('.', "_"));
+        s.counter("uniform.messages", u_msgs);
+        s.gauge("uniform.mean_delta", u_delta);
+        s.gauge("uniform.rmse", u_rmse);
+        s.counter("adaptive.messages", a_msgs);
+        s.gauge("adaptive.mean_delta", a_delta);
+        s.gauge("adaptive.rmse", a_rmse);
         table.add_row(vec![
             format!("{:.0}", budget_rate * MEASURE_TICKS as f64),
             u_msgs.to_string(),
@@ -122,4 +141,5 @@ fn main() {
     println!(
         "# shape: adaptive_mean_delta < uniform_mean_delta and adaptive_rmse <= uniform_rmse at comparable message spend"
     );
+    metrics.write();
 }

@@ -15,6 +15,7 @@
 
 use kalstream_bench::harness::run_endpoints;
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec, StreamDemand};
 use kalstream_gen::{synthetic::RandomWalk, Stream};
 use kalstream_query::{split_budget, split_budget_uniform};
@@ -29,7 +30,13 @@ fn sigma_w(i: usize) -> f64 {
 }
 
 fn make_walk(i: usize, phase: u64) -> Box<dyn Stream + Send> {
-    Box::new(RandomWalk::new(0.0, 0.0, sigma_w(i), 0.02, 7000 + i as u64 + phase * 1000))
+    Box::new(RandomWalk::new(
+        0.0,
+        0.0,
+        sigma_w(i),
+        0.02,
+        7000 + i as u64 + phase * 1000,
+    ))
 }
 
 /// Observer capturing per-tick (observed, estimate) scalars.
@@ -76,6 +83,7 @@ fn measure(deltas: &[f64], epsilon: f64) -> (u64, u64) {
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     // Calibration: demand curves per member stream.
     let mut demands = Vec::with_capacity(STREAMS);
     for i in 0..STREAMS {
@@ -88,7 +96,9 @@ fn main() {
     }
 
     let mut table = Table::new(
-        format!("F9: AVG over {STREAMS} walks — messages vs aggregate bound, uniform vs optimal split"),
+        format!(
+            "F9: AVG over {STREAMS} walks — messages vs aggregate bound, uniform vs optimal split"
+        ),
         &[
             "agg_bound",
             "uniform_msgs",
@@ -103,6 +113,11 @@ fn main() {
         let optimal = split_budget(&demands, budget, None);
         let (u_msgs, u_viol) = measure(&uniform, epsilon);
         let (o_msgs, o_viol) = measure(&optimal, epsilon);
+        let mut s = metrics.scope(&format!("epsilon_{epsilon}").replace('.', "_"));
+        s.counter("uniform.messages", u_msgs);
+        s.counter("uniform.agg_violations", u_viol);
+        s.counter("optimal.messages", o_msgs);
+        s.counter("optimal.agg_violations", o_viol);
         table.add_row(vec![
             fmt_f(epsilon),
             u_msgs.to_string(),
@@ -113,4 +128,5 @@ fn main() {
     }
     table.print();
     println!("# shape: optimal_msgs <= uniform_msgs at every bound; violations 0 in both columns");
+    metrics.write();
 }

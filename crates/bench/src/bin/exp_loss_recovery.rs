@@ -18,6 +18,7 @@
 
 use kalstream_bench::harness::run_endpoints;
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec};
 use kalstream_gen::{synthetic::RandomWalk, Stream};
 use kalstream_sim::SessionConfig;
@@ -35,7 +36,7 @@ struct Run {
     stale_drops: u64,
 }
 
-fn run(loss: f64, recovery: bool) -> Run {
+fn run(loss: f64, recovery: bool, metrics: &mut MetricsOut, label: &str) -> Run {
     let mut config_proto = ProtocolConfig::new(DELTA).unwrap();
     if recovery {
         config_proto = config_proto.with_ack_timeout(ACK_TIMEOUT).unwrap();
@@ -45,6 +46,9 @@ fn run(loss: f64, recovery: bool) -> Run {
     let mut stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.08, 0.02, 91));
     let config = SessionConfig::instant_lossy(TICKS, DELTA, loss, 4242);
     let report = run_endpoints(&mut source, &mut server, stream.as_mut(), &config, &mut ());
+    metrics.record(label, &report);
+    metrics.record(&format!("{label}.source"), &source);
+    metrics.record(&format!("{label}.server"), &server);
     Run {
         messages: report.traffic.messages(),
         violations: report.error_vs_observed.violations(),
@@ -56,6 +60,7 @@ fn run(loss: f64, recovery: bool) -> Run {
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let mut table = Table::new(
         format!(
             "Loss recovery: seq/ack resync (timeout {ACK_TIMEOUT}) vs bare protocol, random walk, delta={DELTA} ({TICKS} ticks)"
@@ -74,8 +79,9 @@ fn main() {
         ],
     );
     for loss in [0.0, 0.01, 0.05, 0.1, 0.2] {
-        let bare = run(loss, false);
-        let rec = run(loss, true);
+        let grid = format!("{loss}").replace('.', "_");
+        let bare = run(loss, false, &mut metrics, &format!("loss_{grid}.bare"));
+        let rec = run(loss, true, &mut metrics, &format!("loss_{grid}.recovery"));
         table.add_row(vec![
             fmt_f(loss),
             bare.messages.to_string(),
@@ -91,4 +97,5 @@ fn main() {
     }
     table.print();
     println!("# shape: identical violation counts at zero loss; under loss, recovery bounds divergence at the ack timeout so violations collapse versus bare");
+    metrics.write();
 }

@@ -13,8 +13,10 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{run_method, StreamFamily};
 use kalstream_bench::table::Table;
+use kalstream_bench::MetricsOut;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let policies = [
         PolicyKind::Ttl(10),
         PolicyKind::ValueCache,
@@ -39,14 +41,18 @@ fn main() {
     );
     for &family in &families {
         let delta = 2.0 * family.natural_scale();
-        let baseline =
-            run_method(PolicyKind::ShipAll, family, delta, ticks, 48).report.traffic.messages();
+        let ship_all = run_method(PolicyKind::ShipAll, family, delta, ticks, 48);
+        let baseline = ship_all.report.traffic.messages();
+        metrics.record_run(&ship_all);
         let mut row = vec![family.name().to_string()];
         for &policy in &policies {
-            let msgs = run_method(policy, family, delta, ticks, 48).report.traffic.messages();
+            let run = run_method(policy, family, delta, ticks, 48);
+            let msgs = run.report.traffic.messages();
+            metrics.record_run(&run);
             row.push(format!("{:.1}%", 100.0 * msgs as f64 / baseline as f64));
         }
         table.add_row(row);
     }
     table.print();
+    metrics.write();
 }

@@ -11,6 +11,7 @@
 use kalstream_baselines::{build_policy, PolicyKind};
 use kalstream_bench::harness::{make_stream, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 use kalstream_sim::SessionConfig;
 
 fn run_at_latency(
@@ -25,7 +26,10 @@ fn run_at_latency(
     let dim = stream.dim();
     let first = stream.next_sample();
     let (mut p, mut c) = build_policy(policy, dim, delta, &first.observed);
-    let config = SessionConfig { latency, ..SessionConfig::instant(ticks, delta) };
+    let config = SessionConfig {
+        latency,
+        ..SessionConfig::instant(ticks, delta)
+    };
     // Feed the first sample, then the live stream.
     let mut pending = Some(first);
     kalstream_sim::Session::run(
@@ -45,14 +49,18 @@ fn run_at_latency(
 }
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let policies = [
         PolicyKind::Ttl(10),
         PolicyKind::ValueCache,
         PolicyKind::DeadReckoning,
         PolicyKind::KalmanBank,
     ];
-    let families =
-        [StreamFamily::RandomWalk, StreamFamily::Sinusoid, StreamFamily::Temperature];
+    let families = [
+        StreamFamily::RandomWalk,
+        StreamFamily::Sinusoid,
+        StreamFamily::Temperature,
+    ];
     let ticks = 20_000;
 
     for latency in [0u64, 2] {
@@ -64,6 +72,10 @@ fn main() {
             let delta = family.natural_scale();
             for &policy in &policies {
                 let report = run_at_latency(policy, family, delta, ticks, 49, latency);
+                metrics.record(
+                    &format!("latency_{latency}.{}.{}", family.name(), policy.name()),
+                    &report,
+                );
                 table.add_row(vec![
                     family.name().to_string(),
                     policy.name(),
@@ -77,4 +89,5 @@ fn main() {
         table.print();
     }
     println!("# shape: zero violations for delta-respecting policies at latency 0; transient violations at latency 2");
+    metrics.write();
 }

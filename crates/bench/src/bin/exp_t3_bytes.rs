@@ -13,8 +13,10 @@
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::harness::{run_method, StreamFamily};
 use kalstream_bench::table::{fmt_f, Table};
+use kalstream_bench::MetricsOut;
 
 fn main() {
+    let mut metrics = MetricsOut::from_args();
     let policies = [
         PolicyKind::ShipAll,
         PolicyKind::ValueCache,
@@ -33,12 +35,20 @@ fn main() {
 
     let mut table = Table::new(
         format!("T3: wire bytes (incl. 28B framing) at delta = 2 x natural scale ({ticks} ticks)"),
-        &["family", "policy", "messages", "total_bytes", "bytes_per_msg"],
+        &[
+            "family",
+            "policy",
+            "messages",
+            "total_bytes",
+            "bytes_per_msg",
+        ],
     );
     for &family in &families {
         let delta = 2.0 * family.natural_scale();
         for &policy in &policies {
-            let report = run_method(policy, family, delta, ticks, 50).report;
+            let run = run_method(policy, family, delta, ticks, 50);
+            metrics.record_run(&run);
+            let report = run.report;
             let msgs = report.traffic.messages();
             let bytes = report.traffic.bytes();
             table.add_row(vec![
@@ -46,9 +56,14 @@ fn main() {
                 policy.name(),
                 msgs.to_string(),
                 bytes.to_string(),
-                fmt_f(if msgs == 0 { 0.0 } else { bytes as f64 / msgs as f64 }),
+                fmt_f(if msgs == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / msgs as f64
+                }),
             ]);
         }
     }
     table.print();
+    metrics.write();
 }

@@ -110,7 +110,10 @@ pub fn make_stream(family: StreamFamily, seed: u64) -> Box<dyn Stream + Send> {
         }
         StreamFamily::Regime => Box::new(RegimeSwitching::new(vec![
             (Box::new(RandomWalk::new(0.0, 0.0, 0.3, 0.1, seed)), 2000),
-            (Box::new(Ramp::new(0.0, 0.4, 0.1, seed.wrapping_add(1))), 2000),
+            (
+                Box::new(Ramp::new(0.0, 0.4, 0.1, seed.wrapping_add(1))),
+                2000,
+            ),
             (
                 Box::new(Sinusoid::new(
                     8.0,
@@ -172,7 +175,12 @@ pub fn run_method_observed<O: TickObserver + ?Sized>(
         consumer.as_mut(),
         observer,
     );
-    MethodRun { policy, family, delta, report }
+    MethodRun {
+        policy,
+        family,
+        delta,
+        report,
+    }
 }
 
 /// Runs `policy` on an explicitly constructed stream (noise sweeps and
@@ -271,17 +279,30 @@ mod tests {
 
     #[test]
     fn every_family_instantiates_and_streams() {
-        for family in StreamFamily::scalar_roster().into_iter().chain([StreamFamily::Gps]) {
+        for family in StreamFamily::scalar_roster()
+            .into_iter()
+            .chain([StreamFamily::Gps])
+        {
             let mut s = make_stream(family, 7);
             assert_eq!(s.dim(), family.dim());
             let sample = s.next_sample();
-            assert!(sample.observed.iter().all(|x| x.is_finite()), "{}", family.name());
+            assert!(
+                sample.observed.iter().all(|x| x.is_finite()),
+                "{}",
+                family.name()
+            );
         }
     }
 
     #[test]
     fn run_method_reports_requested_ticks() {
-        let run = run_method(PolicyKind::ValueCache, StreamFamily::RandomWalk, 1.0, 500, 3);
+        let run = run_method(
+            PolicyKind::ValueCache,
+            StreamFamily::RandomWalk,
+            1.0,
+            500,
+            3,
+        );
         assert_eq!(run.report.ticks, 500);
         assert!(run.report.traffic.messages() > 0);
     }
@@ -303,13 +324,25 @@ mod tests {
 
     #[test]
     fn same_seed_same_messages() {
-        let a = run_method(PolicyKind::KalmanAdaptive, StreamFamily::Stock, 0.5, 1000, 11);
-        let b = run_method(PolicyKind::KalmanAdaptive, StreamFamily::Stock, 0.5, 1000, 11);
+        let a = run_method(
+            PolicyKind::KalmanAdaptive,
+            StreamFamily::Stock,
+            0.5,
+            1000,
+            11,
+        );
+        let b = run_method(
+            PolicyKind::KalmanAdaptive,
+            StreamFamily::Stock,
+            0.5,
+            1000,
+            11,
+        );
         assert_eq!(a.report.traffic.messages(), b.report.traffic.messages());
     }
 
     #[test]
-    fn delta_grid_is_geometric_and_ordered(){
+    fn delta_grid_is_geometric_and_ordered() {
         let g = delta_grid(1.0, 8);
         assert_eq!(g.len(), 8);
         assert!((g[0] - 0.2).abs() < 1e-12);

@@ -27,7 +27,10 @@
 
 pub mod alloc_count;
 pub mod harness;
+pub mod metrics_out;
+pub mod regression;
 pub mod table;
 
 pub use harness::{make_stream, run_method, sweep_delta, MethodRun, StreamFamily};
+pub use metrics_out::MetricsOut;
 pub use table::Table;

@@ -1,0 +1,153 @@
+//! The `--metrics-out <path>` contract every `exp_*`/`bench_*` binary
+//! honours: when the flag is present, the run exports a machine-readable
+//! [`kalstream_obs::Snapshot`] JSON artifact at the given path.
+//!
+//! Without the flag this is a no-op recorder — in particular, **stdout is
+//! untouched either way**, so the recorded experiment tables stay
+//! byte-identical. The artifact is the interface the CI bench-regression
+//! gate (and any future scheduling/adaptive work) consumes.
+
+use std::path::PathBuf;
+
+use kalstream_obs::{Instrument, Registry, Scope, Snapshot};
+
+use crate::harness::MethodRun;
+
+/// Collects a run's metrics and writes them at exit when `--metrics-out`
+/// was passed.
+#[derive(Debug, Default)]
+pub struct MetricsOut {
+    path: Option<PathBuf>,
+    registry: Registry,
+    absorbed: Snapshot,
+}
+
+impl MetricsOut {
+    /// Builds the recorder by scanning `std::env::args` for
+    /// `--metrics-out <path>` (other arguments are left for the binary's
+    /// own parser to interpret).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--metrics-out" {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--metrics-out requires a path argument"));
+                path = Some(PathBuf::from(value));
+            }
+        }
+        Self::from_path(path)
+    }
+
+    /// Builds the recorder from an already-parsed path (for binaries with
+    /// strict argument parsers of their own).
+    #[must_use]
+    pub fn from_path(path: Option<PathBuf>) -> Self {
+        MetricsOut {
+            path,
+            registry: Registry::new(),
+            absorbed: Snapshot::default(),
+        }
+    }
+
+    /// Whether an artifact will be written.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Opens a name scope for ad-hoc metrics.
+    pub fn scope(&mut self, prefix: &str) -> Scope<'_> {
+        self.registry.scope(prefix)
+    }
+
+    /// Records any [`Instrument`] under `prefix`.
+    pub fn record(&mut self, prefix: &str, instrument: &dyn Instrument) {
+        self.registry.observe(prefix, instrument);
+    }
+
+    /// Records one harness run under an auto-derived scope:
+    /// `run.<family>.<policy>.delta_<δ>` (dots in δ mapped to `_` to keep
+    /// the metric path unambiguous).
+    pub fn record_run(&mut self, run: &MethodRun) {
+        let delta = format!("{}", run.delta).replace('.', "_");
+        let prefix = format!(
+            "run.{}.{}.delta_{}",
+            run.family.name(),
+            run.policy.name(),
+            delta
+        );
+        self.record(&prefix, &run.report);
+    }
+
+    /// Folds an already-built snapshot (e.g. a fleet report's) in under
+    /// `prefix`, merging with anything recorded there before.
+    pub fn absorb(&mut self, prefix: &str, snapshot: &Snapshot) {
+        self.absorbed.merge(&snapshot.prefixed(prefix));
+    }
+
+    /// The snapshot accumulated so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&self.absorbed);
+        snap
+    }
+
+    /// Writes the artifact if `--metrics-out` was given. Notes the write on
+    /// **stderr** so experiment stdout stays byte-identical to the recorded
+    /// tables even when the flag is in use.
+    ///
+    /// # Panics
+    /// Panics when the artifact cannot be written — a CI artifact silently
+    /// missing is worse than a failed run.
+    pub fn write(&self) {
+        if let Some(path) = &self.path {
+            std::fs::write(path, self.snapshot().to_json())
+                .unwrap_or_else(|e| panic!("writing metrics artifact {}: {e}", path.display()));
+            eprintln!("metrics artifact written to {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_but_never_writes() {
+        let mut m = MetricsOut::from_path(None);
+        assert!(!m.enabled());
+        m.scope("x").counter("events", 3u64);
+        m.write(); // no path: must be a no-op, not a panic
+        assert_eq!(m.snapshot().counter("x.events"), Some(3));
+    }
+
+    #[test]
+    fn absorbed_snapshots_are_prefixed_and_merged() {
+        let mut inner = Registry::new();
+        inner.scope("traffic").counter("messages", 7u64);
+        let fleet = inner.snapshot();
+
+        let mut m = MetricsOut::from_path(None);
+        m.absorb("fleet", &fleet);
+        m.absorb("fleet", &fleet); // merging is additive
+        assert_eq!(m.snapshot().counter("fleet.traffic.messages"), Some(14));
+    }
+
+    #[test]
+    fn enabled_recorder_writes_deterministic_json() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("kalstream_metrics_out_test.json");
+        let mut m = MetricsOut::from_path(Some(path.clone()));
+        assert!(m.enabled());
+        m.scope("run").counter("messages", 42u64);
+        m.write();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, m.snapshot().to_json());
+        assert!(body.contains("\"run.messages\": 42"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,475 @@
+//! The `check-regression` gate: compares a freshly measured
+//! `BENCH_kernels.json` / `BENCH_ingest.json` against the committed
+//! baseline and fails loudly on regression.
+//!
+//! The vendored `serde` stand-in has no deserializer, so this module
+//! carries its own tiny extractor for the flat `"key": value` shapes the
+//! bench writers emit — sufficient, dependency-free, and unit-testable
+//! against doctored baselines (the acceptance criterion for the CI gate).
+//!
+//! Tolerance contract: throughput/latency comparisons allow a relative
+//! slack read from the baseline's own `regression_tolerance` field
+//! (default [`DEFAULT_TOLERANCE`] = 25%, documented in the JSON itself),
+//! because wall-clock numbers move with the host. Determinism canaries
+//! (`fleet_total_messages`, `bit_identical`, allocation counts) get **no**
+//! tolerance: they are exact by construction and a drift is a bug.
+
+/// Relative tolerance applied to wall-clock throughput and latency
+/// comparisons when the baseline doesn't carry its own
+/// `regression_tolerance` field.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Outcome of one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Metric name, as printed in the report.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Whether the comparison passed.
+    pub ok: bool,
+    /// One-line explanation of the rule applied.
+    pub rule: String,
+}
+
+/// A full gate run: every comparison plus the verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Individual comparisons, in evaluation order.
+    pub checks: Vec<Check>,
+}
+
+impl GateReport {
+    /// True when every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Renders the report as an aligned text table with a verdict line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self
+            .checks
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(6);
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>14}  {:>14}  verdict  rule",
+            "metric", "baseline", "current"
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>14.3}  {:>14.3}  {}  {}",
+                c.name,
+                c.baseline,
+                c.current,
+                if c.ok { "ok     " } else { "FAIL   " },
+                c.rule,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "check-regression: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+
+    fn push(&mut self, name: &str, baseline: f64, current: f64, ok: bool, rule: String) {
+        self.checks.push(Check {
+            name: name.to_string(),
+            baseline,
+            current,
+            ok,
+            rule,
+        });
+    }
+
+    /// Lower-is-better wall-clock metric (latency): fail when current
+    /// exceeds baseline by more than `tol`.
+    fn latency(&mut self, name: &str, baseline: f64, current: f64, tol: f64) {
+        let limit = baseline * (1.0 + tol);
+        self.push(
+            name,
+            baseline,
+            current,
+            current <= limit,
+            format!("≤ baseline × {:.2}", 1.0 + tol),
+        );
+    }
+
+    /// Higher-is-better wall-clock metric (throughput): fail when current
+    /// falls below baseline by more than `tol`.
+    fn throughput(&mut self, name: &str, baseline: f64, current: f64, tol: f64) {
+        let limit = baseline * (1.0 - tol);
+        self.push(
+            name,
+            baseline,
+            current,
+            current >= limit,
+            format!("≥ baseline × {:.2}", 1.0 - tol),
+        );
+    }
+
+    /// Exact determinism canary: any drift fails.
+    fn exact(&mut self, name: &str, baseline: f64, current: f64) {
+        self.push(
+            name,
+            baseline,
+            current,
+            baseline == current,
+            "exact match".to_string(),
+        );
+    }
+
+    /// Boolean invariant that must hold in the current measurement.
+    fn must_hold(&mut self, name: &str, holds: bool) {
+        self.push(
+            name,
+            1.0,
+            f64::from(u8::from(holds)),
+            holds,
+            "must be true".to_string(),
+        );
+    }
+}
+
+/// Extracts the first `"key": <number>` occurrence after `from` in `doc`.
+/// Returns the value and the index just past it.
+fn number_after(doc: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\"");
+    let hay = &doc[from..];
+    let mut search_from = 0usize;
+    loop {
+        let k = hay[search_from..].find(&needle)? + search_from;
+        let rest = &hay[k + needle.len()..];
+        let rest_trim = rest.trim_start();
+        if let Some(after_colon) = rest_trim.strip_prefix(':') {
+            let value_str = after_colon.trim_start();
+            let end = value_str
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(value_str.len());
+            if let Ok(v) = value_str[..end].parse::<f64>() {
+                let consumed = doc.len() - value_str.len() + end - from;
+                return Some((v, from + consumed));
+            }
+        }
+        search_from = k + needle.len();
+    }
+}
+
+/// First `"key": <number>` in `doc`.
+#[must_use]
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    number_after(doc, key, 0).map(|(v, _)| v)
+}
+
+/// Every `"key": <number>` in `doc`, in order.
+#[must_use]
+pub fn json_numbers(doc: &str, key: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some((v, next)) = number_after(doc, key, from) {
+        out.push(v);
+        from = next;
+    }
+    out
+}
+
+/// Every `"key": true|false` in `doc`, in order.
+#[must_use]
+pub fn json_bools(doc: &str, key: &str) -> Vec<bool> {
+    let needle = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(k) = doc[from..].find(&needle) {
+        let rest = doc[from + k + needle.len()..].trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let rest = rest.trim_start();
+            if rest.starts_with("true") {
+                out.push(true);
+            } else if rest.starts_with("false") {
+                out.push(false);
+            }
+        }
+        from += k + needle.len();
+    }
+    out
+}
+
+/// The brace-delimited object following `"key":`, if any.
+#[must_use]
+pub fn json_section<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let k = doc.find(&needle)?;
+    let rest = doc[k + needle.len()..]
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reads the baseline's documented tolerance, falling back to
+/// [`DEFAULT_TOLERANCE`].
+#[must_use]
+pub fn tolerance_of(baseline: &str, override_tol: Option<f64>) -> f64 {
+    override_tol
+        .or_else(|| json_number(baseline, "regression_tolerance"))
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Gates a fresh `bench_kernels` measurement against its baseline.
+///
+/// * latencies (`predict_ns`, `update_ns`, `suppression_decision_ns`):
+///   lower-is-better within tolerance;
+/// * allocation counts: exact (the hot path is allocation-free by gate);
+/// * `fleet_total_messages`: exact determinism canary, compared only when
+///   both sides ran the same fleet shape.
+///
+/// The committed baseline carries `before`/`after` sections; the `after`
+/// section is the baseline measurement. A bare (sectionless) document is
+/// accepted too, for artifacts produced without `--before`.
+#[must_use]
+pub fn check_kernels(
+    baseline_doc: &str,
+    current_doc: &str,
+    override_tol: Option<f64>,
+) -> GateReport {
+    let tol = tolerance_of(baseline_doc, override_tol);
+    let baseline = json_section(baseline_doc, "after").unwrap_or(baseline_doc);
+    let current = json_section(current_doc, "after").unwrap_or(current_doc);
+    let mut report = GateReport::default();
+    for key in ["predict_ns", "update_ns", "suppression_decision_ns"] {
+        match (json_number(baseline, key), json_number(current, key)) {
+            (Some(b), Some(c)) => report.latency(key, b, c, tol),
+            _ => report.must_hold(&format!("{key} present"), false),
+        }
+    }
+    for key in ["allocs_per_tick", "allocs_per_filter_step"] {
+        match (json_number(baseline, key), json_number(current, key)) {
+            (Some(b), Some(c)) => report.exact(key, b, c),
+            _ => report.must_hold(&format!("{key} present"), false),
+        }
+    }
+    let same_shape = json_number(baseline, "fleet_streams")
+        == json_number(current, "fleet_streams")
+        && json_number(baseline, "fleet_ticks") == json_number(current, "fleet_ticks");
+    if same_shape {
+        match (
+            json_number(baseline, "fleet_total_messages"),
+            json_number(current, "fleet_total_messages"),
+        ) {
+            (Some(b), Some(c)) => report.exact("fleet_total_messages", b, c),
+            _ => report.must_hold("fleet_total_messages present", false),
+        }
+    }
+    report
+}
+
+/// Gates a fresh `bench_ingest` measurement against its baseline.
+///
+/// * every `bit_identical` flag in the current run must be true (sharded ==
+///   sequential is exact, not statistical);
+/// * triangle-packing savings must not fall below the baseline by more than
+///   two points (encoding is deterministic; slack covers workload-size
+///   differences between full and `--quick` runs);
+/// * sequential and best-capacity throughput: higher-is-better within
+///   tolerance.
+#[must_use]
+pub fn check_ingest(
+    baseline_doc: &str,
+    current_doc: &str,
+    override_tol: Option<f64>,
+) -> GateReport {
+    let tol = tolerance_of(baseline_doc, override_tol);
+    let mut report = GateReport::default();
+
+    let bits = json_bools(current_doc, "bit_identical");
+    report.must_hold(
+        "bit_identical (all shard counts)",
+        !bits.is_empty() && bits.iter().all(|b| *b),
+    );
+
+    match (
+        json_section(baseline_doc, "total").and_then(|s| json_number(s, "savings_fraction")),
+        json_section(current_doc, "total").and_then(|s| json_number(s, "savings_fraction")),
+    ) {
+        (Some(b), Some(c)) => report.push(
+            "packing_savings_fraction",
+            b,
+            c,
+            c >= b - 0.02,
+            "≥ baseline − 0.02".to_string(),
+        ),
+        _ => report.must_hold("savings_fraction present", false),
+    }
+
+    let seq =
+        |doc: &str| json_section(doc, "sequential").and_then(|s| json_number(s, "msgs_per_sec"));
+    match (seq(baseline_doc), seq(current_doc)) {
+        (Some(b), Some(c)) => report.throughput("sequential_msgs_per_sec", b, c, tol),
+        _ => report.must_hold("sequential msgs_per_sec present", false),
+    }
+
+    let best_capacity = |doc: &str| {
+        json_numbers(doc, "msgs_per_sec_capacity")
+            .into_iter()
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+    };
+    match (best_capacity(baseline_doc), best_capacity(current_doc)) {
+        (Some(b), Some(c)) => report.throughput("best_capacity_msgs_per_sec", b, c, tol),
+        _ => report.must_hold("msgs_per_sec_capacity present", false),
+    }
+
+    match json_number(current_doc, "allocations") {
+        Some(a) => report.exact("steady_state_allocations", 0.0, a),
+        None => report.must_hold("steady_state allocations present", false),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed baselines — the gate must accept each against itself.
+    const KERNELS: &str = include_str!("../../../BENCH_kernels.json");
+    const INGEST: &str = include_str!("../../../BENCH_ingest.json");
+
+    #[test]
+    fn extractor_reads_flat_and_nested_numbers() {
+        assert_eq!(
+            json_number(KERNELS, "schema"),
+            None,
+            "strings are not numbers"
+        );
+        assert_eq!(
+            json_section(KERNELS, "after").and_then(|s| json_number(s, "predict_ns")),
+            Some(99.2)
+        );
+        assert_eq!(
+            json_numbers(KERNELS, "fleet_total_messages"),
+            vec![73977.0, 73977.0]
+        );
+        assert_eq!(json_bools(INGEST, "bit_identical"), vec![true; 4]);
+        assert_eq!(
+            json_section(INGEST, "total").and_then(|s| json_number(s, "savings_fraction")),
+            Some(0.3014)
+        );
+        assert_eq!(
+            json_section(INGEST, "sequential").and_then(|s| json_number(s, "msgs_per_sec")),
+            Some(1113222.0)
+        );
+    }
+
+    #[test]
+    fn committed_baselines_pass_against_themselves() {
+        let k = check_kernels(KERNELS, KERNELS, None);
+        assert!(k.passed(), "{}", k.render());
+        let i = check_ingest(INGEST, INGEST, None);
+        assert!(i.passed(), "{}", i.render());
+    }
+
+    #[test]
+    fn doctored_kernels_baseline_fails_the_gate() {
+        // Doctor the baseline to claim predict was 4× faster than it was:
+        // the real measurement now reads as a >25% latency regression.
+        let doctored = KERNELS.replace("\"predict_ns\": 99.2", "\"predict_ns\": 24.8");
+        let report = check_kernels(&doctored, KERNELS, None);
+        assert!(
+            !report.passed(),
+            "doctored baseline must fail:\n{}",
+            report.render()
+        );
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| !c.ok)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(failing, vec!["predict_ns"]);
+    }
+
+    #[test]
+    fn doctored_ingest_baseline_fails_the_gate() {
+        // Claim 10× the real sequential throughput: the real run regresses.
+        let doctored = INGEST.replace("\"msgs_per_sec\": 1113222", "\"msgs_per_sec\": 11132220");
+        let report = check_ingest(&doctored, INGEST, None);
+        assert!(
+            !report.passed(),
+            "doctored baseline must fail:\n{}",
+            report.render()
+        );
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "sequential_msgs_per_sec"));
+    }
+
+    #[test]
+    fn canary_drift_fails_exactly() {
+        let drifted = KERNELS.replace(
+            "\"fleet_total_messages\": 73977",
+            "\"fleet_total_messages\": 73978",
+        );
+        let report = check_kernels(KERNELS, &drifted, None);
+        assert!(
+            !report.passed(),
+            "canary drift must fail even within tolerance"
+        );
+    }
+
+    #[test]
+    fn bit_identity_failure_fails_the_gate() {
+        let broken = INGEST.replacen("\"bit_identical\": true", "\"bit_identical\": false", 1);
+        let report = check_ingest(INGEST, &broken, None);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn tolerance_comes_from_baseline_then_cli() {
+        assert_eq!(tolerance_of("{}", None), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_of("{\"regression_tolerance\": 0.10}", None), 0.10);
+        assert_eq!(
+            tolerance_of("{\"regression_tolerance\": 0.10}", Some(0.5)),
+            0.5
+        );
+        // A 20% slower predict passes at default tolerance, fails at 10%.
+        let slower = KERNELS.replace("\"predict_ns\": 99.2", "\"predict_ns\": 119.0");
+        assert!(check_kernels(KERNELS, &slower, None).passed());
+        assert!(!check_kernels(KERNELS, &slower, Some(0.1)).passed());
+    }
+
+    #[test]
+    fn report_renders_verdict() {
+        let report = check_kernels(KERNELS, KERNELS, None);
+        let text = report.render();
+        assert!(text.contains("check-regression: PASS"));
+        assert!(text.contains("predict_ns"));
+    }
+}

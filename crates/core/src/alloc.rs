@@ -75,7 +75,6 @@ impl StreamDemand {
     pub fn samples_sorted(&self) -> impl Iterator<Item = f64> + '_ {
         self.samples.iter().copied()
     }
-
 }
 
 /// Result of an allocation.
@@ -152,7 +151,9 @@ impl BudgetAllocator {
         loop {
             let mut best: Option<(usize, f64, f64)> = None; // (stream, ratio, rate_cost)
             for (i, d) in demands.iter().enumerate() {
-                let Some(&next) = candidates[i].get(idx[i] + 1) else { continue };
+                let Some(&next) = candidates[i].get(idx[i] + 1) else {
+                    continue;
+                };
                 let rate_cost = d.rate_at(next) - d.rate_at(deltas[i]);
                 if rate + rate_cost > budget_rate + 1e-12 {
                     continue;
@@ -166,7 +167,9 @@ impl BudgetAllocator {
                     best = Some((i, ratio, rate_cost));
                 }
             }
-            let Some((i, ratio, rate_cost)) = best else { break };
+            let Some((i, ratio, rate_cost)) = best else {
+                break;
+            };
             idx[i] += 1;
             deltas[i] = candidates[i][idx[i]];
             rate += rate_cost;
@@ -175,7 +178,11 @@ impl BudgetAllocator {
             }
         }
         let lambda = if rate <= 0.0 { 0.0 } else { last_ratio };
-        Ok(AllocationResult { deltas, predicted_rate: rate, lambda })
+        Ok(AllocationResult {
+            deltas,
+            predicted_rate: rate,
+            lambda,
+        })
     }
 
     /// The naive comparator: one shared `δ` for every stream, the smallest
@@ -206,8 +213,7 @@ impl BudgetAllocator {
             .collect();
         candidates.sort_by(f64::total_cmp);
         candidates.dedup();
-        let total_rate =
-            |delta: f64| demands.iter().map(|d| d.rate_at(delta)).sum::<f64>();
+        let total_rate = |delta: f64| demands.iter().map(|d| d.rate_at(delta)).sum::<f64>();
         let delta = candidates
             .iter()
             .copied()
@@ -230,7 +236,10 @@ mod tests {
     fn calm_and_wild() -> Vec<StreamDemand> {
         let calm: Vec<f64> = (0..100).map(|i| 0.01 * (i % 10) as f64).collect();
         let wild: Vec<f64> = (0..100).map(|i| 1.0 * (i % 10) as f64).collect();
-        vec![StreamDemand::new(calm, 1.0).unwrap(), StreamDemand::new(wild, 1.0).unwrap()]
+        vec![
+            StreamDemand::new(calm, 1.0).unwrap(),
+            StreamDemand::new(wild, 1.0).unwrap(),
+        ]
     }
 
     #[test]
@@ -276,7 +285,11 @@ mod tests {
         let adaptive = BudgetAllocator::allocate(&demands, budget).unwrap();
         let uniform = BudgetAllocator::allocate_uniform(&demands, budget).unwrap();
         let cost = |r: &AllocationResult| -> f64 {
-            r.deltas.iter().zip(demands.iter()).map(|(&d, dem)| dem.weight() * d).sum()
+            r.deltas
+                .iter()
+                .zip(demands.iter())
+                .map(|(&d, dem)| dem.weight() * d)
+                .sum()
         };
         assert!(
             cost(&adaptive) <= cost(&uniform) + 1e-12,

@@ -146,13 +146,19 @@ mod tests {
 
     #[test]
     fn ack_timeout_builder() {
-        let c = ProtocolConfig::new(1.0).unwrap().with_ack_timeout(8).unwrap();
+        let c = ProtocolConfig::new(1.0)
+            .unwrap()
+            .with_ack_timeout(8)
+            .unwrap();
         assert_eq!(c.ack_timeout, Some(8));
     }
 
     #[test]
     fn rejects_zero_ack_timeout() {
-        assert!(ProtocolConfig::new(1.0).unwrap().with_ack_timeout(0).is_err());
+        assert!(ProtocolConfig::new(1.0)
+            .unwrap()
+            .with_ack_timeout(0)
+            .is_err());
     }
 
     #[test]

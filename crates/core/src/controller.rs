@@ -10,6 +10,8 @@
 //! the rest of the fleet at the next control round — the "dynamic query
 //! optimization" flavour of the paper's resource-management claim.
 
+use kalstream_obs::{Counter, Instrument, Scope};
+
 use crate::{BudgetAllocator, CoreError, Result, SourceEndpoint, StreamDemand};
 
 /// Periodic fleet-wide δ re-allocation.
@@ -24,8 +26,8 @@ pub struct FleetController {
     /// Floor applied to allocated bounds (a protocol δ must be positive).
     delta_floor: f64,
     ticks: u64,
-    rounds: u64,
-    failed_rounds: u64,
+    rounds: Counter,
+    failed_rounds: Counter,
 }
 
 impl FleetController {
@@ -37,7 +39,10 @@ impl FleetController {
     /// zero streams.
     pub fn new(n_streams: usize, period: u64, budget_rate: f64) -> Result<Self> {
         if period == 0 {
-            return Err(CoreError::BadConfig { what: "period", reason: "must be ≥ 1".into() });
+            return Err(CoreError::BadConfig {
+                what: "period",
+                reason: "must be ≥ 1".into(),
+            });
         }
         if n_streams == 0 {
             return Err(CoreError::BadConfig {
@@ -57,8 +62,8 @@ impl FleetController {
             weights: vec![1.0; n_streams],
             delta_floor: 1e-4,
             ticks: 0,
-            rounds: 0,
-            failed_rounds: 0,
+            rounds: Counter::new(),
+            failed_rounds: Counter::new(),
         })
     }
 
@@ -79,7 +84,11 @@ impl FleetController {
         if weights.len() != self.weights.len() {
             return Err(CoreError::BadConfig {
                 what: "weights",
-                reason: format!("expected {} weights, got {}", self.weights.len(), weights.len()),
+                reason: format!(
+                    "expected {} weights, got {}",
+                    self.weights.len(),
+                    weights.len()
+                ),
             });
         }
         if weights.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
@@ -94,7 +103,7 @@ impl FleetController {
 
     /// Control rounds executed so far.
     pub fn rounds(&self) -> u64 {
-        self.rounds
+        self.rounds.get()
     }
 
     /// Control rounds that reached the allocator and failed — e.g. an
@@ -102,7 +111,7 @@ impl FleetController {
     /// steadily growing count is the diagnostic that re-allocation is
     /// frozen; pre-fix, these failures were silently swallowed.
     pub fn failed_rounds(&self) -> u64 {
-        self.failed_rounds
+        self.failed_rounds.get()
     }
 
     /// Advances the controller one tick; on period boundaries, re-allocates
@@ -156,6 +165,15 @@ impl FleetController {
     }
 }
 
+impl Instrument for FleetController {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("ticks", self.ticks);
+        scope.counter("rounds", self.rounds);
+        scope.counter("failed_rounds", self.failed_rounds);
+        scope.gauge("budget_rate", self.budget_rate);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +197,10 @@ mod tests {
         assert!(FleetController::new(0, 10, 1.0).is_err());
         assert!(FleetController::new(2, 10, 0.0).is_err());
         assert!(FleetController::new(2, 10, 1.0).is_ok());
-        assert!(FleetController::new(2, 10, 1.0).unwrap().with_weights(vec![1.0]).is_err());
+        assert!(FleetController::new(2, 10, 1.0)
+            .unwrap()
+            .with_weights(vec![1.0])
+            .is_err());
         assert!(FleetController::new(2, 10, 1.0)
             .unwrap()
             .with_weights(vec![1.0, -1.0])
@@ -266,11 +287,18 @@ mod tests {
         let mut ctrl = FleetController::new(1, 10, 1.0).unwrap();
         let mut srcs = sources(1);
         for t in 0..30u64 {
-            let v = if t.is_multiple_of(3) { f64::NAN } else { (t as f64 * 0.3).sin() };
+            let v = if t.is_multiple_of(3) {
+                f64::NAN
+            } else {
+                (t as f64 * 0.3).sin()
+            };
             srcs[0].decide(&[v]);
             ctrl.tick(&mut srcs);
         }
-        assert!(ctrl.rounds() > 0, "NaN observations froze the fleet controller");
+        assert!(
+            ctrl.rounds() > 0,
+            "NaN observations froze the fleet controller"
+        );
         assert_eq!(ctrl.failed_rounds(), 0);
         assert_eq!(srcs[0].rejected_measurements(), 10);
     }

@@ -61,15 +61,22 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::Decode { reason: "truncated".into() }
-            .to_string()
-            .contains("truncated"));
-        assert!(CoreError::BadConfig { what: "delta", reason: "negative".into() }
-            .to_string()
-            .contains("delta"));
-        assert!(CoreError::Infeasible { reason: "budget too small".into() }
-            .to_string()
-            .contains("budget"));
+        assert!(CoreError::Decode {
+            reason: "truncated".into()
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(CoreError::BadConfig {
+            what: "delta",
+            reason: "negative".into()
+        }
+        .to_string()
+        .contains("delta"));
+        assert!(CoreError::Infeasible {
+            reason: "budget too small".into()
+        }
+        .to_string()
+        .contains("budget"));
     }
 
     #[test]

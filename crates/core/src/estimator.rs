@@ -13,7 +13,7 @@ use crate::Result;
 /// bandwidth until it actually changes what gets shipped.
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // one estimator exists per stream; boxing would
-// only add indirection to the per-tick hot path
+                                     // only add indirection to the per-tick hot path
 pub enum Estimator {
     /// A fixed-model Kalman filter.
     Fixed(KalmanFilter),
@@ -93,8 +93,7 @@ mod tests {
 
     #[test]
     fn fixed_estimator_steps() {
-        let kf =
-            KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
+        let kf = KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
         let mut e = Estimator::Fixed(kf);
         for _ in 0..50 {
             e.step(&z(2.0)).unwrap();
@@ -106,8 +105,7 @@ mod tests {
 
     #[test]
     fn adaptive_estimator_steps() {
-        let kf =
-            KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
+        let kf = KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
         let mut e = Estimator::Adaptive(AdaptiveKalmanFilter::new(kf, AdaptiveConfig::default()));
         for t in 0..100 {
             e.step(&z(t as f64 * 0.1)).unwrap();
@@ -135,8 +133,7 @@ mod tests {
 
     #[test]
     fn reset_reinitialises_state() {
-        let kf =
-            KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
+        let kf = KalmanFilter::new(models::random_walk(0.1, 0.1), Vector::zeros(1), 1.0).unwrap();
         let mut e = Estimator::Fixed(kf);
         e.reset_to(Vector::from_slice(&[42.0]), 10.0).unwrap();
         assert_eq!(e.active().state()[0], 42.0);

@@ -43,7 +43,10 @@ impl FrameBatch {
 
     /// Creates an empty batch with `cap` bytes of buffer capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        FrameBatch { buf: BytesMut::with_capacity(cap), frames: 0 }
+        FrameBatch {
+            buf: BytesMut::with_capacity(cap),
+            frames: 0,
+        }
     }
 
     /// Wraps a recycled buffer (cleared, capacity retained) — the pooled
@@ -151,7 +154,10 @@ impl FrameDecoder {
                 self.decode_failures += 1;
                 return;
             }
-            f(Frame { stream_id, body: &rest[..len] });
+            f(Frame {
+                stream_id,
+                body: &rest[..len],
+            });
             wire = &rest[len..];
         }
     }
@@ -228,7 +234,11 @@ impl BufferPool {
     /// the call site, not a runtime condition).
     pub fn bounded(cap: usize) -> Self {
         assert!(cap > 0, "pool cap must be positive");
-        BufferPool { free: Vec::new(), cap, shed: 0 }
+        BufferPool {
+            free: Vec::new(),
+            cap,
+            shed: 0,
+        }
     }
 
     /// Takes the largest-capacity cleared buffer from the pool, or a fresh
@@ -254,7 +264,9 @@ impl BufferPool {
             }
             self.free.remove(0); // evict the smallest pooled buffer
         }
-        let pos = self.free.partition_point(|b| b.capacity() <= buf.capacity());
+        let pos = self
+            .free
+            .partition_point(|b| b.capacity() <= buf.capacity());
         self.free.insert(pos, buf);
     }
 
@@ -436,7 +448,14 @@ mod tests {
     fn wire_message_walk_decodes_v3_and_legacy_frames() {
         let mut batch = FrameBatch::new();
         batch.push(1, &msg(1.0)); // legacy v2 body
-        batch.push_raw(2, &WireMessage::Sync { seq: Some(9), msg: msg(2.0) }.encode());
+        batch.push_raw(
+            2,
+            &WireMessage::Sync {
+                seq: Some(9),
+                msg: msg(2.0),
+            }
+            .encode(),
+        );
         batch.push_raw(3, &WireMessage::Ack { seq: 4 }.encode());
 
         let mut dec = FrameDecoder::new();
@@ -446,8 +465,20 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                (1, WireMessage::Sync { seq: None, msg: msg(1.0) }),
-                (2, WireMessage::Sync { seq: Some(9), msg: msg(2.0) }),
+                (
+                    1,
+                    WireMessage::Sync {
+                        seq: None,
+                        msg: msg(1.0)
+                    }
+                ),
+                (
+                    2,
+                    WireMessage::Sync {
+                        seq: Some(9),
+                        msg: msg(2.0)
+                    }
+                ),
                 (3, WireMessage::Ack { seq: 4 }),
             ]
         );

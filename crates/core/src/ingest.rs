@@ -34,6 +34,8 @@ use std::thread::JoinHandle;
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
+use kalstream_obs::{Histogram, Instrument, Scope, SpanTimer};
+
 use crate::frame::{BufferPool, FrameBatch, FrameDecoder};
 use crate::server::ServerEndpoint;
 
@@ -79,6 +81,30 @@ pub struct ShardReport {
     /// it, so `total_messages / max(busy_secs)` is the capacity throughput
     /// `bench_ingest` reports next to measured wall-clock throughput.
     pub busy_secs: f64,
+    /// Recycled-buffer hand-backs that failed because the router side of
+    /// the recycle channel was already gone. Pre-fix this was a silent
+    /// `let _ =`; a non-zero count during steady state means pooled buffers
+    /// are being dropped (and re-allocated) instead of reused.
+    pub recycle_drops: u64,
+    /// Per-tick processing span (decode + endpoint advance) in log₂-
+    /// bucketed nanoseconds. Wall-clock, so reported in snapshots but never
+    /// folded into deterministic experiment tables.
+    pub tick_ns: Histogram,
+}
+
+impl Instrument for ShardReport {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("streams", self.streams as u64);
+        scope.counter("ticks", self.ticks);
+        scope.counter("messages", self.messages);
+        scope.counter("bytes_in", self.bytes_in);
+        scope.counter("decode_failures", self.decode_failures);
+        scope.counter("unknown_streams", self.unknown_streams);
+        scope.counter("stale_drops", self.stale_drops);
+        scope.counter("recycle_drops", self.recycle_drops);
+        scope.gauge("busy_secs", self.busy_secs);
+        scope.histogram("tick_ns", &self.tick_ns);
+    }
 }
 
 struct ShardResult {
@@ -116,6 +142,17 @@ impl IngestResult {
     /// Total decode failures across shards.
     pub fn total_decode_failures(&self) -> u64 {
         self.shards.iter().map(|s| s.decode_failures).sum()
+    }
+}
+
+impl Instrument for IngestResult {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("messages", self.total_messages());
+        scope.counter("bytes_in", self.total_bytes());
+        scope.counter("decode_failures", self.total_decode_failures());
+        for shard in &self.shards {
+            scope.observe(&format!("shard.{}", shard.shard), shard);
+        }
     }
 }
 
@@ -250,7 +287,10 @@ impl IngestPipeline {
     /// ingested ticks.
     pub fn flush(&mut self) {
         for shard in &self.shards {
-            shard.tx.send(ShardJob::Flush).expect("ingest shard worker died");
+            shard
+                .tx
+                .send(ShardJob::Flush)
+                .expect("ingest shard worker died");
         }
         for shard in &self.shards {
             shard.ack_rx.recv().expect("ingest shard worker died");
@@ -270,7 +310,10 @@ impl IngestPipeline {
             endpoints.extend(result.endpoints);
         }
         endpoints.sort_by_key(|(id, _)| *id);
-        IngestResult { shards: reports, endpoints }
+        IngestResult {
+            shards: reports,
+            endpoints,
+        }
     }
 }
 
@@ -297,12 +340,14 @@ fn shard_worker(
     let mut messages = 0u64;
     let mut bytes_in = 0u64;
     let mut unknown_streams = 0u64;
+    let mut recycle_drops = 0u64;
+    let mut tick_ns = Histogram::new();
     let cpu_start = thread_cpu_ns();
     let mut busy = std::time::Duration::ZERO;
     while let Ok(job) = rx.recv() {
         match job {
             ShardJob::Tick(buf) => {
-                let started = std::time::Instant::now();
+                let span = SpanTimer::start();
                 bytes_in += buf.len() as u64;
                 decoder.for_each_wire_message(&buf, |id, msg| match endpoints.get_mut(&id) {
                     Some(ep) => {
@@ -312,16 +357,22 @@ fn shard_worker(
                     None => unknown_streams += 1,
                 });
                 // Hand the buffer back before the compute phase so the
-                // router can reuse it while we advance filters.
-                let _ = recycle.send(buf);
+                // router can reuse it while we advance filters. A failed
+                // hand-back (router gone) must be counted, not swallowed:
+                // in steady state it means the pool is leaking capacity.
+                if recycle.send(buf).is_err() {
+                    recycle_drops += 1;
+                }
                 for ep in endpoints.values_mut() {
                     ep.advance();
                 }
                 ticks += 1;
-                busy += started.elapsed();
+                busy += std::time::Duration::from_nanos(span.stop(&mut tick_ns));
             }
             ShardJob::Flush => {
-                ack_tx.send(()).expect("ingest pipeline dropped its ack receiver");
+                ack_tx
+                    .send(())
+                    .expect("ingest pipeline dropped its ack receiver");
             }
         }
     }
@@ -331,7 +382,10 @@ fn shard_worker(
     };
     let mut endpoints: Vec<(u32, ServerEndpoint)> = endpoints.into_iter().collect();
     endpoints.sort_by_key(|(id, _)| *id);
-    let stale_drops = endpoints.iter().map(|(_, ep)| ep.delivery().stale_drops).sum();
+    let stale_drops = endpoints
+        .iter()
+        .map(|(_, ep)| ep.delivery().stale_drops)
+        .sum();
     ShardResult {
         report: ShardReport {
             shard,
@@ -343,6 +397,8 @@ fn shard_worker(
             unknown_streams,
             stale_drops,
             busy_secs,
+            recycle_drops,
+            tick_ns,
         },
         endpoints,
     }
@@ -361,6 +417,7 @@ pub struct SequentialIngest {
     bytes_in: u64,
     unknown_streams: u64,
     busy: std::time::Duration,
+    tick_ns: Histogram,
 }
 
 impl SequentialIngest {
@@ -381,35 +438,41 @@ impl SequentialIngest {
             bytes_in: 0,
             unknown_streams: 0,
             busy: std::time::Duration::ZERO,
+            tick_ns: Histogram::new(),
         }
     }
 
     /// Drains one tick's batch and advances every endpoint, synchronously.
     pub fn ingest_tick(&mut self, wire: &[u8]) {
-        let started = std::time::Instant::now();
+        let span = SpanTimer::start();
         self.bytes_in += wire.len() as u64;
         let endpoints = &mut self.endpoints;
         let index = &self.index;
         let messages = &mut self.messages;
         let unknown = &mut self.unknown_streams;
-        self.decoder.for_each_wire_message(wire, |id, msg| match index.get(&id) {
-            Some(&i) => {
-                endpoints[i].1.enqueue_wire(msg);
-                *messages += 1;
-            }
-            None => *unknown += 1,
-        });
+        self.decoder
+            .for_each_wire_message(wire, |id, msg| match index.get(&id) {
+                Some(&i) => {
+                    endpoints[i].1.enqueue_wire(msg);
+                    *messages += 1;
+                }
+                None => *unknown += 1,
+            });
         for (_, ep) in self.endpoints.iter_mut() {
             ep.advance();
         }
         self.ticks += 1;
-        self.busy += started.elapsed();
+        self.busy += std::time::Duration::from_nanos(span.stop(&mut self.tick_ns));
     }
 
     /// Collects the run into the same shape as the sharded pipeline
     /// (one pseudo-shard).
     pub fn finish(self) -> IngestResult {
-        let stale_drops = self.endpoints.iter().map(|(_, ep)| ep.delivery().stale_drops).sum();
+        let stale_drops = self
+            .endpoints
+            .iter()
+            .map(|(_, ep)| ep.delivery().stale_drops)
+            .sum();
         IngestResult {
             shards: vec![ShardReport {
                 shard: 0,
@@ -421,6 +484,8 @@ impl SequentialIngest {
                 unknown_streams: self.unknown_streams,
                 stale_drops,
                 busy_secs: self.busy.as_secs_f64(),
+                recycle_drops: 0,
+                tick_ns: self.tick_ns,
             }],
             endpoints: self.endpoints,
         }
@@ -458,7 +523,10 @@ pub struct FramingSink<I: TickIngest> {
 impl<I: TickIngest> FramingSink<I> {
     /// Wraps an ingester.
     pub fn new(inner: I) -> Self {
-        FramingSink { batch: FrameBatch::new(), inner }
+        FramingSink {
+            batch: FrameBatch::new(),
+            inner,
+        }
     }
 
     /// Unwraps the ingester (to call its `finish`).
@@ -522,6 +590,23 @@ mod tests {
     }
 
     #[test]
+    fn failed_recycle_handback_is_counted_not_swallowed() {
+        // Pre-fix, a dead recycle channel made `let _ = recycle.send(buf)`
+        // silently drop every pooled buffer; the worker must count it.
+        let (tx, rx) = bounded(4);
+        let (ack_tx, _ack_rx) = unbounded();
+        let (recycle_tx, recycle_rx) = unbounded();
+        drop(recycle_rx); // router gone: every hand-back fails
+        tx.send(ShardJob::Tick(BytesMut::new())).unwrap();
+        tx.send(ShardJob::Tick(BytesMut::new())).unwrap();
+        drop(tx);
+        let result = shard_worker(0, rx, ack_tx, recycle_tx, HashMap::new());
+        assert_eq!(result.report.recycle_drops, 2);
+        assert_eq!(result.report.ticks, 2);
+        assert_eq!(result.report.tick_ns.count(), 2, "every tick span recorded");
+    }
+
+    #[test]
     fn sharded_matches_sequential_bit_for_bit() {
         let (servers, log) = record_log(12, 60);
         let mut seq = SequentialIngest::new(servers.clone());
@@ -539,9 +624,7 @@ mod tests {
             let result = pipe.finish();
             assert_eq!(result.total_messages(), seq_result.total_messages());
             assert_eq!(result.endpoints.len(), seq_result.endpoints.len());
-            for ((id_a, a), (id_b, b)) in
-                result.endpoints.iter().zip(seq_result.endpoints.iter())
-            {
+            for ((id_a, a), (id_b, b)) in result.endpoints.iter().zip(seq_result.endpoints.iter()) {
                 assert_eq!(id_a, id_b);
                 assert_eq!(
                     filter_bits(a),
@@ -571,7 +654,10 @@ mod tests {
         let result = pipe.finish();
         assert_eq!(result.total_messages(), expected);
         let ticks: Vec<u64> = result.shards.iter().map(|s| s.ticks).collect();
-        assert!(ticks.iter().all(|&t| t == log.len() as u64), "ticks {ticks:?}");
+        assert!(
+            ticks.iter().all(|&t| t == log.len() as u64),
+            "ticks {ticks:?}"
+        );
     }
 
     #[test]
@@ -580,7 +666,9 @@ mod tests {
         let mut batch = FrameBatch::new();
         batch.push(
             999, // no such stream
-            &SyncMessage::Measurement { z: kalstream_linalg::Vector::from_slice(&[1.0]) },
+            &SyncMessage::Measurement {
+                z: kalstream_linalg::Vector::from_slice(&[1.0]),
+            },
         );
         let mut pipe = IngestPipeline::start(2, servers);
         pipe.ingest_tick(batch.as_bytes());
@@ -608,8 +696,10 @@ mod tests {
         let mut session_servers = Vec::new();
         for id in 0..6u32 {
             let config = ProtocolConfig::new(0.2).unwrap();
-            let StreamSession { mut source, mut server } =
-                SessionSpec::default_scalar(0.0, config).unwrap().build();
+            let StreamSession {
+                mut source,
+                mut server,
+            } = SessionSpec::default_scalar(0.0, config).unwrap().build();
             Session::run(
                 &SessionConfig::instant(ticks, 0.2),
                 sampler(id),
@@ -653,7 +743,9 @@ mod tests {
         batch.push_raw(0, b"\xFF\xFF"); // garbage body for a real stream
         batch.push(
             1,
-            &SyncMessage::Measurement { z: kalstream_linalg::Vector::from_slice(&[2.0]) },
+            &SyncMessage::Measurement {
+                z: kalstream_linalg::Vector::from_slice(&[2.0]),
+            },
         );
         let mut pipe = IngestPipeline::start(2, servers);
         pipe.ingest_tick(batch.as_bytes());
@@ -670,7 +762,11 @@ mod tests {
             p: kalstream_linalg::Matrix::scalar(1, 0.5),
         };
         let seq_body = |seq: u64, v: f64| {
-            WireMessage::Sync { seq: Some(seq), msg: state(v) }.encode()
+            WireMessage::Sync {
+                seq: Some(seq),
+                msg: state(v),
+            }
+            .encode()
         };
         let run = |servers: Vec<(u32, ServerEndpoint)>, shards: Option<usize>| {
             let mut batch = FrameBatch::new();
@@ -698,7 +794,11 @@ mod tests {
             assert_eq!(stale, 2, "duplicate + stale must both be dropped");
             let (_, ep0) = &result.endpoints[0];
             assert_eq!(ep0.last_seq(), 2);
-            assert_eq!(ep0.filter().predicted_measurement()[0], 2.0, "stale 9.0 applied");
+            assert_eq!(
+                ep0.filter().predicted_measurement()[0],
+                2.0,
+                "stale 9.0 applied"
+            );
             assert_eq!(ep0.delivery().stale_drops, 2);
         }
     }

@@ -29,7 +29,12 @@ pub struct AckTracker {
 
 impl Default for AckTracker {
     fn default() -> Self {
-        AckTracker { next_seq: 1, newest_seq: 0, last_acked: 0, unacked_age: 0 }
+        AckTracker {
+            next_seq: 1,
+            newest_seq: 0,
+            last_acked: 0,
+            unacked_age: 0,
+        }
     }
 }
 
@@ -112,8 +117,12 @@ pub fn pin_to_measurement(x: &Vector, h: &Matrix, z: &Vector) -> Result<Vector> 
     let hht = h
         .matmul(&h.transpose())
         .map_err(kalstream_filter::FilterError::from)?;
-    let chol = hht.cholesky().map_err(kalstream_filter::FilterError::from)?;
-    let w = chol.solve_vec(&residual).map_err(kalstream_filter::FilterError::from)?;
+    let chol = hht
+        .cholesky()
+        .map_err(kalstream_filter::FilterError::from)?;
+    let w = chol
+        .solve_vec(&residual)
+        .map_err(kalstream_filter::FilterError::from)?;
     let correction = h
         .transpose()
         .mul_vec(&w)

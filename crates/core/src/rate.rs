@@ -28,7 +28,11 @@ impl RateEstimator {
     /// Panics when `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        RateEstimator { window, errors: VecDeque::with_capacity(window), rejected: 0 }
+        RateEstimator {
+            window,
+            errors: VecDeque::with_capacity(window),
+            rejected: 0,
+        }
     }
 
     /// Records one tick's prediction-error magnitude.
@@ -150,7 +154,11 @@ mod tests {
         let r = filled(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]);
         // Ask for 30% rate: delta must keep exactly the top 30% above it.
         let d = r.delta_for_rate(0.3);
-        assert!(r.rate_at(d) <= 0.3 + 1e-12, "rate {} at delta {d}", r.rate_at(d));
+        assert!(
+            r.rate_at(d) <= 0.3 + 1e-12,
+            "rate {} at delta {d}",
+            r.rate_at(d)
+        );
         // And the next-smaller sample would exceed the target.
         assert!(r.rate_at(d * 0.99) > 0.3);
     }

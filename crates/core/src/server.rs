@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use kalstream_filter::KalmanFilter;
+use kalstream_obs::{Counter, Instrument, Scope};
 use kalstream_sim::{Consumer, DeliveryStats, Tick};
 
 use crate::wire::{SyncMessage, WireMessage};
@@ -27,9 +28,9 @@ pub struct ServerEndpoint {
     /// Messages delivered this tick, applied inside [`Consumer::estimate`]
     /// *after* the predict step so server and shadow stay in lock-step.
     pending: Vec<SyncMessage>,
-    syncs_applied: u64,
-    decode_failures: u64,
-    predict_failures: u64,
+    syncs_applied: Counter,
+    decode_failures: Counter,
+    predict_failures: Counter,
     /// Highest sequence number accepted (0 before the first sequenced sync).
     last_seq: u64,
     /// Set when a sequenced message arrives; cleared when the ack is polled.
@@ -44,9 +45,9 @@ impl ServerEndpoint {
         ServerEndpoint {
             filter,
             pending: Vec::new(),
-            syncs_applied: 0,
-            decode_failures: 0,
-            predict_failures: 0,
+            syncs_applied: Counter::new(),
+            decode_failures: Counter::new(),
+            predict_failures: Counter::new(),
             last_seq: 0,
             ack_due: false,
             delivery: DeliveryStats::default(),
@@ -61,18 +62,18 @@ impl ServerEndpoint {
 
     /// Sync messages successfully applied.
     pub fn syncs_applied(&self) -> u64 {
-        self.syncs_applied
+        self.syncs_applied.get()
     }
 
     /// Wire messages that failed to decode (dropped, counted).
     pub fn decode_failures(&self) -> u64 {
-        self.decode_failures
+        self.decode_failures.get()
     }
 
     /// Ticks on which the predict step failed numerically (estimate then
     /// reuses the previous state).
     pub fn predict_failures(&self) -> u64 {
-        self.predict_failures
+        self.predict_failures.get()
     }
 
     /// Ticks since the server last heard from the source — the "cache age"
@@ -115,7 +116,10 @@ impl ServerEndpoint {
     pub fn enqueue_wire(&mut self, msg: WireMessage) {
         match msg {
             WireMessage::Sync { seq: None, msg } => self.enqueue(msg),
-            WireMessage::Sync { seq: Some(seq), msg } => {
+            WireMessage::Sync {
+                seq: Some(seq),
+                msg,
+            } => {
                 self.ack_due = true;
                 if seq <= self.last_seq {
                     self.delivery.stale_drops += 1;
@@ -170,15 +174,13 @@ impl ServerEndpoint {
 fn apply_to_filter(filter: &mut KalmanFilter, msg: SyncMessage) -> bool {
     match msg {
         SyncMessage::State { x, p } => filter.set_state(x, p).is_ok(),
-        SyncMessage::Model { model, x, p } => {
-            match KalmanFilter::with_covariance(model, x, p) {
-                Ok(kf) => {
-                    *filter = kf;
-                    true
-                }
-                Err(_) => false,
+        SyncMessage::Model { model, x, p } => match KalmanFilter::with_covariance(model, x, p) {
+            Ok(kf) => {
+                *filter = kf;
+                true
             }
-        }
+            Err(_) => false,
+        },
         SyncMessage::Measurement { z } => filter.update(&z).is_ok(),
     }
 }
@@ -214,6 +216,17 @@ impl Consumer for ServerEndpoint {
 
     fn delivery_stats(&self) -> DeliveryStats {
         self.delivery
+    }
+}
+
+impl Instrument for ServerEndpoint {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("syncs_applied", self.syncs_applied);
+        scope.counter("decode_failures", self.decode_failures);
+        scope.counter("predict_failures", self.predict_failures);
+        scope.counter("last_seq", self.last_seq);
+        scope.counter("staleness", self.staleness());
+        scope.observe("delivery", &self.delivery);
     }
 }
 
@@ -275,7 +288,9 @@ mod tests {
     #[test]
     fn measurement_sync_runs_an_update() {
         let mut s = server();
-        let msg = SyncMessage::Measurement { z: Vector::from_slice(&[4.0]) };
+        let msg = SyncMessage::Measurement {
+            z: Vector::from_slice(&[4.0]),
+        };
         s.receive(0, &msg.encode());
         let mut out = [0.0];
         s.estimate(0, &mut out);
@@ -298,17 +313,26 @@ mod tests {
     fn mismatched_state_sync_is_dropped() {
         let mut s = server();
         // 2-dimensional state for a 1-dimensional model: dropped.
-        let msg = SyncMessage::State { x: Vector::zeros(2), p: Matrix::scalar(2, 1.0) };
+        let msg = SyncMessage::State {
+            x: Vector::zeros(2),
+            p: Matrix::scalar(2, 1.0),
+        };
         s.apply(msg);
         assert_eq!(s.syncs_applied(), 0);
     }
 
     fn state(v: f64) -> SyncMessage {
-        SyncMessage::State { x: Vector::from_slice(&[v]), p: Matrix::scalar(1, 0.5) }
+        SyncMessage::State {
+            x: Vector::from_slice(&[v]),
+            p: Matrix::scalar(1, 0.5),
+        }
     }
 
     fn seq_sync(seq: u64, v: f64) -> WireMessage {
-        WireMessage::Sync { seq: Some(seq), msg: state(v) }
+        WireMessage::Sync {
+            seq: Some(seq),
+            msg: state(v),
+        }
     }
 
     #[test]
@@ -341,12 +365,18 @@ mod tests {
         assert_eq!(s.poll_feedback(0), None);
         s.enqueue_wire(seq_sync(1, 1.0));
         let ack = s.poll_feedback(0).expect("ack due");
-        assert_eq!(WireMessage::decode(&ack).unwrap(), WireMessage::Ack { seq: 1 });
+        assert_eq!(
+            WireMessage::decode(&ack).unwrap(),
+            WireMessage::Ack { seq: 1 }
+        );
         assert_eq!(s.poll_feedback(0), None, "ack is polled once");
         // A stale duplicate still re-arms: this is what heals a lost ack.
         s.enqueue_wire(seq_sync(1, 1.0));
         let ack = s.poll_feedback(1).expect("re-armed");
-        assert_eq!(WireMessage::decode(&ack).unwrap(), WireMessage::Ack { seq: 1 });
+        assert_eq!(
+            WireMessage::decode(&ack).unwrap(),
+            WireMessage::Ack { seq: 1 }
+        );
     }
 
     #[test]

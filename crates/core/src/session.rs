@@ -23,7 +23,10 @@ impl SessionSpec {
     /// Propagates filter-construction errors (shape mismatches).
     pub fn fixed(model: StateModel, x0: Vector, p0: f64, config: ProtocolConfig) -> Result<Self> {
         let kf = KalmanFilter::new(model, x0, p0)?;
-        Ok(SessionSpec { estimator: Estimator::Fixed(kf), config })
+        Ok(SessionSpec {
+            estimator: Estimator::Fixed(kf),
+            config,
+        })
     }
 
     /// A session whose source adapts `Q`/`R` online.
@@ -38,7 +41,10 @@ impl SessionSpec {
         config: ProtocolConfig,
     ) -> Result<Self> {
         let kf = KalmanFilter::new(model, x0, p0)?;
-        Ok(SessionSpec { estimator: Estimator::Adaptive(AdaptiveKalmanFilter::new(kf, adapt)), config })
+        Ok(SessionSpec {
+            estimator: Estimator::Adaptive(AdaptiveKalmanFilter::new(kf, adapt)),
+            config,
+        })
     }
 
     /// A session whose source runs a model bank.
@@ -50,7 +56,10 @@ impl SessionSpec {
         bank: BankConfig,
         config: ProtocolConfig,
     ) -> Result<Self> {
-        Ok(SessionSpec { estimator: Estimator::Bank(ModelBank::new(filters, bank)?), config })
+        Ok(SessionSpec {
+            estimator: Estimator::Bank(ModelBank::new(filters, bank)?),
+            config,
+        })
     }
 
     /// The default scalar session the system installs when it knows nothing
@@ -142,14 +151,19 @@ mod tests {
 
     #[test]
     fn default_scalar_builds() {
-        let (source, server) = SessionSpec::default_scalar(7.0, config(1.0)).unwrap().build().split();
+        let (source, server) = SessionSpec::default_scalar(7.0, config(1.0))
+            .unwrap()
+            .build()
+            .split();
         assert_eq!(server.filter().state()[0], 7.0);
         assert_eq!(source.delta(), 1.0);
     }
 
     #[test]
     fn standard_bank_has_three_models() {
-        let session = SessionSpec::standard_bank(0.0, 0.1, config(1.0)).unwrap().build();
+        let session = SessionSpec::standard_bank(0.0, 0.1, config(1.0))
+            .unwrap()
+            .build();
         match session.source.estimator() {
             Estimator::Bank(bank) => assert_eq!(bank.len(), 3),
             other => panic!("expected bank, got {other:?}"),

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use kalstream_filter::KalmanFilter;
 use kalstream_linalg::Vector;
+use kalstream_obs::{Counter, Instrument, Scope};
 use kalstream_sim::{Producer, Tick};
 
 use crate::protocol::{pin_to_measurement, precision_norm, AckTracker};
@@ -42,18 +43,18 @@ pub struct SourceEndpoint {
     /// local posterior is persistently lagging and partial pinning would
     /// leave the server chronically `PIN_FRACTION·δ` behind.
     synced_last_tick: bool,
-    syncs: u64,
-    estimator_failures: u64,
+    syncs: Counter,
+    estimator_failures: Counter,
     /// Observations rejected before touching any filter: short slices and
     /// non-finite values (NaN/∞) — each would otherwise poison the
     /// estimator, the shadow, and the rate window.
-    rejected_measurements: u64,
+    rejected_measurements: Counter,
     /// Sequence/ack bookkeeping for loss recovery (idle when
     /// `config.ack_timeout` is `None`).
     acks: AckTracker,
     /// Forced full resyncs cut because the newest sync went unacked past
     /// the configured timeout.
-    resyncs: u64,
+    resyncs: Counter,
     /// Seq of the first unconfirmed Model-bearing sync. A cumulative ack is
     /// only sound for payloads every sync fully re-conveys; the model is
     /// not one — a State sync acked *after* a dropped Model sync would
@@ -62,7 +63,7 @@ pub struct SourceEndpoint {
     /// the model too until an ack for any of those seqs arrives.
     unconfirmed_model_seq: Option<u64>,
     /// Reverse-channel payloads that failed to decode as acks.
-    feedback_failures: u64,
+    feedback_failures: Counter,
     /// Scratch measurement vector (hot-path allocation avoidance).
     z: Vector,
 }
@@ -86,42 +87,42 @@ impl SourceEndpoint {
             rate: RateEstimator::new(512),
             ticks_since_sync: 0,
             synced_last_tick: false,
-            syncs: 0,
-            estimator_failures: 0,
-            rejected_measurements: 0,
+            syncs: Counter::new(),
+            estimator_failures: Counter::new(),
+            rejected_measurements: Counter::new(),
             acks: AckTracker::new(),
-            resyncs: 0,
+            resyncs: Counter::new(),
             unconfirmed_model_seq: None,
-            feedback_failures: 0,
+            feedback_failures: Counter::new(),
             z: Vector::zeros(m),
         }
     }
 
     /// Sync messages sent so far.
     pub fn syncs(&self) -> u64 {
-        self.syncs
+        self.syncs.get()
     }
 
     /// Times the local estimator diverged and was reset (should be 0 in
     /// healthy runs; failure-injection tests exercise it).
     pub fn estimator_failures(&self) -> u64 {
-        self.estimator_failures
+        self.estimator_failures.get()
     }
 
     /// Observations rejected as unusable (short slice or non-finite value)
     /// before reaching any filter.
     pub fn rejected_measurements(&self) -> u64 {
-        self.rejected_measurements
+        self.rejected_measurements.get()
     }
 
     /// Forced full resyncs triggered by the ack timeout.
     pub fn resyncs(&self) -> u64 {
-        self.resyncs
+        self.resyncs.get()
     }
 
     /// Reverse-channel payloads that failed to decode as acks.
     pub fn feedback_failures(&self) -> u64 {
-        self.feedback_failures
+        self.feedback_failures.get()
     }
 
     /// Highest cumulative ack received from the server (0 before the
@@ -202,12 +203,8 @@ impl SourceEndpoint {
         if self.estimator.step(&self.z).is_err() {
             self.estimator_failures += 1;
             let model = self.estimator.active_model().clone();
-            let pinned = pin_to_measurement(
-                &Vector::zeros(model.state_dim()),
-                model.h(),
-                &self.z,
-            )
-            .unwrap_or_else(|_| Vector::zeros(model.state_dim()));
+            let pinned = pin_to_measurement(&Vector::zeros(model.state_dim()), model.h(), &self.z)
+                .unwrap_or_else(|_| Vector::zeros(model.state_dim()));
             let _ = self.estimator.reset_to(pinned, 1.0);
         }
 
@@ -221,7 +218,10 @@ impl SourceEndpoint {
         //    the server (probably) never saw it, and only a full overwrite
         //    re-converges the two.
         self.acks.tick();
-        let resync_due = self.config.ack_timeout.is_some_and(|t| self.acks.overdue(t));
+        let resync_due = self
+            .config
+            .ack_timeout
+            .is_some_and(|t| self.acks.overdue(t));
         let err = precision_norm(&self.shadow.predicted_measurement(), &self.z);
         self.rate.record(err);
         let heartbeat_due = self
@@ -279,7 +279,11 @@ impl SourceEndpoint {
         // mis-adapted filter), and a partial pin would park the server a
         // constant PIN_FRACTION·δ behind the signal — paying one message
         // per tick forever. Back-to-back syncs therefore pin fully.
-        let target = if self.synced_last_tick { 0.0 } else { PIN_FRACTION * self.config.delta };
+        let target = if self.synced_last_tick {
+            0.0
+        } else {
+            PIN_FRACTION * self.config.delta
+        };
         let x = if resid <= target {
             posterior.clone()
         } else {
@@ -309,7 +313,11 @@ impl SourceEndpoint {
             || model.h() != self.synced_model_fingerprint.h();
         if structural_change || force_model {
             self.synced_model_fingerprint = model.clone();
-            SyncMessage::Model { model: model.clone(), x, p }
+            SyncMessage::Model {
+                model: model.clone(),
+                x,
+                p,
+            }
         } else {
             SyncMessage::State { x, p }
         }
@@ -321,9 +329,7 @@ impl SourceEndpoint {
                 let _ = self.shadow.set_state(x.clone(), p.clone());
             }
             SyncMessage::Model { model, x, p } => {
-                if let Ok(kf) =
-                    KalmanFilter::with_covariance(model.clone(), x.clone(), p.clone())
-                {
+                if let Ok(kf) = KalmanFilter::with_covariance(model.clone(), x.clone(), p.clone()) {
                     self.shadow = kf;
                 }
             }
@@ -346,7 +352,13 @@ impl Producer for SourceEndpoint {
             if matches!(msg, SyncMessage::Model { .. }) && self.unconfirmed_model_seq.is_none() {
                 self.unconfirmed_model_seq = Some(seq);
             }
-            Some(WireMessage::Sync { seq: Some(seq), msg }.encode())
+            Some(
+                WireMessage::Sync {
+                    seq: Some(seq),
+                    msg,
+                }
+                .encode(),
+            )
         } else {
             Some(msg.encode())
         }
@@ -359,12 +371,27 @@ impl Producer for SourceEndpoint {
                 // Every sync sent since `unconfirmed_model_seq` carried the
                 // model, so an ack at or past it proves the server applied
                 // one of them and now runs the shadow's dynamics.
-                if self.unconfirmed_model_seq.is_some_and(|m| self.acks.last_acked() >= m) {
+                if self
+                    .unconfirmed_model_seq
+                    .is_some_and(|m| self.acks.last_acked() >= m)
+                {
                     self.unconfirmed_model_seq = None;
                 }
             }
             _ => self.feedback_failures += 1,
         }
+    }
+}
+
+impl Instrument for SourceEndpoint {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("syncs", self.syncs);
+        scope.counter("estimator_failures", self.estimator_failures);
+        scope.counter("rejected_measurements", self.rejected_measurements);
+        scope.counter("resyncs", self.resyncs);
+        scope.counter("feedback_failures", self.feedback_failures);
+        scope.counter("acked_seq", self.acks.last_acked());
+        scope.gauge("delta", self.delta());
     }
 }
 
@@ -376,7 +403,11 @@ mod tests {
     fn source(delta: f64) -> SourceEndpoint {
         let model = models::random_walk(0.01, 0.01);
         let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
-        SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, ProtocolConfig::new(delta).unwrap())
+        SourceEndpoint::new(
+            Estimator::Fixed(kf.clone()),
+            kf,
+            ProtocolConfig::new(delta).unwrap(),
+        )
     }
 
     #[test]
@@ -421,7 +452,10 @@ mod tests {
     fn heartbeat_forces_syncs() {
         let model = models::random_walk(0.01, 0.01);
         let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
-        let config = ProtocolConfig::new(100.0).unwrap().with_heartbeat(10).unwrap();
+        let config = ProtocolConfig::new(100.0)
+            .unwrap()
+            .with_heartbeat(10)
+            .unwrap();
         let mut s = SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, config);
         for _ in 0..100 {
             s.decide(&[0.0]);
@@ -443,7 +477,10 @@ mod tests {
                 // conditional pinning must pull the shipped state to within
                 // δ/2 of the observation (and no further).
                 let resid = (x[0] - 7.0).abs();
-                assert!(resid <= 0.45 + 1e-9, "residual {resid} exceeds the pin target");
+                assert!(
+                    resid <= 0.45 + 1e-9,
+                    "residual {resid} exceeds the pin target"
+                );
                 assert!(resid >= 0.45 - 1e-9, "over-pinned: residual {resid}");
             }
             other => panic!("expected State sync, got {other:?}"),
@@ -467,7 +504,10 @@ mod tests {
             SyncMessage::State { x, .. } => {
                 let resid = (x[0] - 1.6).abs();
                 assert!(resid <= 0.45 + 1e-9, "guarantee broken: resid {resid}");
-                assert!(x[0] < 1.6 - 1e-6, "posterior was overwritten by the raw measurement");
+                assert!(
+                    x[0] < 1.6 - 1e-6,
+                    "posterior was overwritten by the raw measurement"
+                );
             }
             other => panic!("expected State sync, got {other:?}"),
         }
@@ -525,7 +565,10 @@ mod tests {
             s.decide(&[v]);
         }
         let tight_phase = s.syncs() - loose_phase;
-        assert!(tight_phase > loose_phase, "loose {loose_phase} tight {tight_phase}");
+        assert!(
+            tight_phase > loose_phase,
+            "loose {loose_phase} tight {tight_phase}"
+        );
         // Invalid deltas are ignored.
         s.set_delta(-1.0);
         assert_eq!(s.delta(), 0.05);
@@ -543,7 +586,10 @@ mod tests {
     fn recovering_source(delta: f64, timeout: u64) -> SourceEndpoint {
         let model = models::random_walk(0.01, 0.01);
         let kf = KalmanFilter::new(model, Vector::zeros(1), 1.0).unwrap();
-        let config = ProtocolConfig::new(delta).unwrap().with_ack_timeout(timeout).unwrap();
+        let config = ProtocolConfig::new(delta)
+            .unwrap()
+            .with_ack_timeout(timeout)
+            .unwrap();
         SourceEndpoint::new(Estimator::Fixed(kf.clone()), kf, config)
     }
 
@@ -574,8 +620,15 @@ mod tests {
         assert_eq!(s.syncs(), syncs_before);
         // Shadow stayed finite and the session resumes cleanly.
         assert!(s.shadow_predicted_value().is_finite());
-        assert!(s.decide(&[1.0]).is_none(), "prediction still holds after rejects");
-        assert_eq!(s.rate_estimator().rejected(), 0, "NaN never reached the window");
+        assert!(
+            s.decide(&[1.0]).is_none(),
+            "prediction still holds after rejects"
+        );
+        assert_eq!(
+            s.rate_estimator().rejected(),
+            0,
+            "NaN never reached the window"
+        );
     }
 
     #[test]
@@ -617,7 +670,10 @@ mod tests {
         assert!(s.observe(2, &[9.0]).is_none());
         let resync = s.observe(3, &[9.0]).expect("timeout must force a resync");
         match WireMessage::decode(&resync).unwrap() {
-            WireMessage::Sync { seq: Some(2), msg: SyncMessage::Model { .. } } => {}
+            WireMessage::Sync {
+                seq: Some(2),
+                msg: SyncMessage::Model { .. },
+            } => {}
             other => panic!("expected full Model resync with seq 2, got {other:?}"),
         }
         assert_eq!(s.resyncs(), 1);
@@ -629,7 +685,10 @@ mod tests {
         let _ = s.observe(0, &[9.0]).expect("jump syncs");
         s.feedback(0, &WireMessage::Ack { seq: 1 }.encode());
         for t in 1..50 {
-            assert!(s.observe(t, &[9.0]).is_none(), "tick {t} resynced needlessly");
+            assert!(
+                s.observe(t, &[9.0]).is_none(),
+                "tick {t} resynced needlessly"
+            );
         }
         assert_eq!(s.resyncs(), 0);
         assert_eq!(s.acked_seq(), 1);
@@ -661,28 +720,43 @@ mod tests {
         // Model sync is cut, every later sync carries the model until one
         // of those seqs is acked.
         let decode = |bytes: &Bytes| match WireMessage::decode(bytes).unwrap() {
-            WireMessage::Sync { seq: Some(seq), msg } => (seq, msg),
+            WireMessage::Sync {
+                seq: Some(seq),
+                msg,
+            } => (seq, msg),
             other => panic!("expected sequenced sync, got {other:?}"),
         };
         let mut s = recovering_source(0.5, 2);
         let (seq, msg) = decode(&s.observe(0, &[9.0]).expect("jump syncs"));
         assert_eq!(seq, 1);
-        assert!(matches!(msg, SyncMessage::State { .. }), "no model change yet");
+        assert!(
+            matches!(msg, SyncMessage::State { .. }),
+            "no model change yet"
+        );
         // Lose it; the timeout resync ships the model — lose that too.
         assert!(s.observe(1, &[9.0]).is_none());
         let (seq, msg) = decode(&s.observe(2, &[9.0]).expect("timeout resync"));
         assert_eq!(seq, 2);
-        assert!(matches!(msg, SyncMessage::Model { .. }), "resync must carry the model");
+        assert!(
+            matches!(msg, SyncMessage::Model { .. }),
+            "resync must carry the model"
+        );
         // A natural sync while the model is unconfirmed must re-carry it.
         let (seq, msg) = decode(&s.observe(3, &[25.0]).expect("jump syncs"));
         assert_eq!(seq, 3);
-        assert!(matches!(msg, SyncMessage::Model { .. }), "model still unconfirmed");
+        assert!(
+            matches!(msg, SyncMessage::Model { .. }),
+            "model still unconfirmed"
+        );
         // Ack it: the server provably runs the shadow's dynamics now, so
         // the next sync shrinks back to State-only.
         s.feedback(3, &WireMessage::Ack { seq: 3 }.encode());
         let (seq, msg) = decode(&s.observe(4, &[40.0]).expect("jump syncs"));
         assert_eq!(seq, 4);
-        assert!(matches!(msg, SyncMessage::State { .. }), "confirmed model rides no more");
+        assert!(
+            matches!(msg, SyncMessage::State { .. }),
+            "confirmed model rides no more"
+        );
     }
 
     #[test]
@@ -690,7 +764,13 @@ mod tests {
         let mut s = recovering_source(0.5, 3);
         s.feedback(0, &Bytes::from_static(b"\xFFnot an ack"));
         // A sync on the reverse channel is equally invalid as feedback.
-        s.feedback(0, &SyncMessage::Measurement { z: Vector::zeros(1) }.encode());
+        s.feedback(
+            0,
+            &SyncMessage::Measurement {
+                z: Vector::zeros(1),
+            }
+            .encode(),
+        );
         assert_eq!(s.feedback_failures(), 2);
     }
 

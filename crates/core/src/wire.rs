@@ -43,8 +43,8 @@ use crate::{CoreError, Result};
 /// A protocol sync message.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)] // inline-storage matrices make variants big,
-// but a message is built once per sync and immediately encoded — boxing would
-// put an allocation back on that path for no win
+                                     // but a message is built once per sync and immediately encoded — boxing would
+                                     // put an allocation back on that path for no win
 pub enum SyncMessage {
     /// Corrected state and covariance; model unchanged.
     State {
@@ -152,8 +152,11 @@ impl SyncMessage {
             SyncMessage::Model { model, x, p } => {
                 let n = model.state_dim();
                 let m = model.measurement_dim();
-                let f_elems =
-                    if is_upper_triangular(model.f()) { tri_elems(n) } else { n * n };
+                let f_elems = if is_upper_triangular(model.f()) {
+                    tri_elems(n)
+                } else {
+                    n * n
+                };
                 1 + 2
                     + model.name().len()
                     + 1 // flags
@@ -233,7 +236,9 @@ impl SyncMessage {
                     .map_err(|e| decode_err(&format!("inconsistent model: {e}")))?;
                 SyncMessage::Model { model, x, p }
             }
-            TAG_MEASUREMENT => SyncMessage::Measurement { z: get_vec(&mut buf)? },
+            TAG_MEASUREMENT => SyncMessage::Measurement {
+                z: get_vec(&mut buf)?,
+            },
             other => return Err(decode_err(&format!("unknown tag {other}"))),
         };
         if buf.has_remaining() {
@@ -254,7 +259,7 @@ impl SyncMessage {
 /// consume v2 traffic unchanged.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)] // same rationale as SyncMessage: built
-// once per sync and immediately encoded
+                                     // once per sync and immediately encoded
 pub enum WireMessage {
     /// A sync message, optionally carrying a delivery sequence number
     /// (assigned by the source when ack-based recovery is enabled; `None`
@@ -288,7 +293,10 @@ impl WireMessage {
     pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             WireMessage::Sync { seq: None, msg } => msg.encode_into(buf),
-            WireMessage::Sync { seq: Some(seq), msg } => {
+            WireMessage::Sync {
+                seq: Some(seq),
+                msg,
+            } => {
                 buf.put_u8(TAG_SEQ);
                 buf.put_u64_le(*seq);
                 msg.encode_into(buf);
@@ -323,7 +331,10 @@ impl WireMessage {
                 let mut rest = &buf[1..];
                 let seq = get_u64(&mut rest)?;
                 let msg = SyncMessage::decode(rest)?;
-                Ok(WireMessage::Sync { seq: Some(seq), msg })
+                Ok(WireMessage::Sync {
+                    seq: Some(seq),
+                    msg,
+                })
             }
             Some(&TAG_ACK) => {
                 let mut rest = &buf[1..];
@@ -339,7 +350,9 @@ impl WireMessage {
 }
 
 fn decode_err(reason: &str) -> CoreError {
-    CoreError::Decode { reason: reason.to_string() }
+    CoreError::Decode {
+        reason: reason.to_string(),
+    }
 }
 
 fn vec_len(v: &Vector) -> usize {
@@ -537,7 +550,9 @@ mod tests {
 
     #[test]
     fn measurement_roundtrip() {
-        let msg = SyncMessage::Measurement { z: Vector::from_slice(&[3.25]) };
+        let msg = SyncMessage::Measurement {
+            z: Vector::from_slice(&[3.25]),
+        };
         let bytes = msg.encode();
         assert_eq!(bytes.len(), msg.encoded_len());
         assert_eq!(SyncMessage::decode(&bytes).unwrap(), msg);
@@ -550,7 +565,9 @@ mod tests {
         // The pooled-buffer kernel: successive messages append, lengths are
         // exact, and the concatenation splits back into the originals.
         let a = state_msg();
-        let b = SyncMessage::Measurement { z: Vector::from_slice(&[7.0]) };
+        let b = SyncMessage::Measurement {
+            z: Vector::from_slice(&[7.0]),
+        };
         let mut buf = BytesMut::with_capacity(a.encoded_len() + b.encoded_len());
         a.encode_into(&mut buf);
         assert_eq!(buf.len(), a.encoded_len());
@@ -571,12 +588,18 @@ mod tests {
                 x: Vector::from_slice(&[1.0, 0.1, 2.0, -0.1]),
                 p: Matrix::scalar(4, 0.5),
             },
-            SyncMessage::Measurement { z: Vector::from_slice(&[1.0, 2.0]) },
+            SyncMessage::Measurement {
+                z: Vector::from_slice(&[1.0, 2.0]),
+            },
         ];
         for msg in &msgs {
             let mut buf = BytesMut::new();
             msg.encode_into(&mut buf);
-            assert_eq!(buf.len(), msg.encoded_len(), "encoded_len drift for {msg:?}");
+            assert_eq!(
+                buf.len(),
+                msg.encoded_len(),
+                "encoded_len drift for {msg:?}"
+            );
         }
     }
 
@@ -677,7 +700,7 @@ mod tests {
         // limit, rejected before any allocation.
         let mut buf = vec![TAG_STATE];
         buf.extend_from_slice(&1024u32.to_le_bytes());
-        buf.extend(std::iter::repeat(0u8).take(8 * 1024));
+        buf.extend(std::iter::repeat_n(0u8, 8 * 1024));
         assert!(matches!(
             SyncMessage::decode(&buf),
             Err(CoreError::Decode { reason }) if reason.contains("limit")
@@ -734,7 +757,10 @@ mod tests {
 
     #[test]
     fn sequenced_sync_roundtrip() {
-        let wire = WireMessage::Sync { seq: Some(42), msg: state_msg() };
+        let wire = WireMessage::Sync {
+            seq: Some(42),
+            msg: state_msg(),
+        };
         let bytes = wire.encode();
         assert_eq!(bytes.len(), wire.encoded_len());
         assert_eq!(bytes.len(), 9 + state_msg().encoded_len());
@@ -755,7 +781,10 @@ mod tests {
         // `seq: None` must be bit-identical to the legacy encoding so that
         // recovery-off sessions produce byte-for-byte v2 traffic.
         let msg = state_msg();
-        let wire = WireMessage::Sync { seq: None, msg: msg.clone() };
+        let wire = WireMessage::Sync {
+            seq: None,
+            msg: msg.clone(),
+        };
         assert_eq!(wire.encode(), msg.encode());
         assert_eq!(wire.encoded_len(), msg.encoded_len());
     }
@@ -770,7 +799,11 @@ mod tests {
     #[test]
     fn legacy_decoder_rejects_v3_tags() {
         // A v2-only peer must not misinterpret sequenced traffic.
-        let seq = WireMessage::Sync { seq: Some(7), msg: state_msg() }.encode();
+        let seq = WireMessage::Sync {
+            seq: Some(7),
+            msg: state_msg(),
+        }
+        .encode();
         assert!(SyncMessage::decode(&seq).is_err());
         let ack = WireMessage::Ack { seq: 7 }.encode();
         assert!(SyncMessage::decode(&ack).is_err());
@@ -779,7 +812,10 @@ mod tests {
     #[test]
     fn wire_decode_rejects_truncation_at_every_prefix() {
         for wire in [
-            WireMessage::Sync { seq: Some(9), msg: state_msg() },
+            WireMessage::Sync {
+                seq: Some(9),
+                msg: state_msg(),
+            },
             WireMessage::Ack { seq: 9 },
         ] {
             let bytes = wire.encode();
@@ -795,7 +831,10 @@ mod tests {
     #[test]
     fn wire_decode_rejects_trailing_bytes() {
         for wire in [
-            WireMessage::Sync { seq: Some(3), msg: state_msg() },
+            WireMessage::Sync {
+                seq: Some(3),
+                msg: state_msg(),
+            },
             WireMessage::Ack { seq: 3 },
         ] {
             let mut bytes = wire.encode().to_vec();

@@ -4,8 +4,8 @@
 
 use kalstream_core::{
     pin_to_measurement, wire::SyncMessage, BudgetAllocator, Estimator, FrameBatch, FrameDecoder,
-    IngestPipeline, ProtocolConfig, SequentialIngest, ServerEndpoint, SessionSpec,
-    SourceEndpoint, StreamDemand, StreamSession,
+    IngestPipeline, ProtocolConfig, SequentialIngest, ServerEndpoint, SessionSpec, SourceEndpoint,
+    StreamDemand, StreamSession,
 };
 use kalstream_filter::{models, KalmanFilter};
 use kalstream_linalg::{Matrix, Vector};

@@ -223,8 +223,7 @@ impl AdaptiveKalmanFilter {
             // Rebuild Q from the *base* model so floating error never
             // compounds, then re-apply the live (possibly adapted) R.
             if let Ok(scaled) = self.base.with_scaled_q(self.q_scale) {
-                if let Ok(model) = scaled.with_measurement_noise(self.inner.model().r().clone())
-                {
+                if let Ok(model) = scaled.with_measurement_noise(self.inner.model().r().clone()) {
                     let _ = self.inner.set_model(model);
                 }
             }
@@ -268,7 +267,13 @@ mod tests {
     #[test]
     fn r_estimate_converges_to_true_noise() {
         // Model claims R = 0.01 but the stream has measurement noise var 1.0.
-        let mut akf = adaptive_walk(0.01, AdaptiveConfig { adapt_q: false, ..Default::default() });
+        let mut akf = adaptive_walk(
+            0.01,
+            AdaptiveConfig {
+                adapt_q: false,
+                ..Default::default()
+            },
+        );
         let mut rng = SmallRng::seed_from_u64(42);
         for _ in 0..2000 {
             let z = Vector::from_slice(&[gaussian(&mut rng)]);
@@ -280,7 +285,13 @@ mod tests {
 
     #[test]
     fn r_estimate_stays_put_when_model_is_right() {
-        let mut akf = adaptive_walk(1.0, AdaptiveConfig { adapt_q: false, ..Default::default() });
+        let mut akf = adaptive_walk(
+            1.0,
+            AdaptiveConfig {
+                adapt_q: false,
+                ..Default::default()
+            },
+        );
         let mut rng = SmallRng::seed_from_u64(43);
         for _ in 0..2000 {
             let z = Vector::from_slice(&[gaussian(&mut rng)]);
@@ -294,7 +305,11 @@ mod tests {
     fn q_scales_up_under_model_mismatch() {
         // Stream is a fast ramp but the model expects a nearly-static walk
         // with tiny Q: NIS explodes, the adapter should inflate Q.
-        let config = AdaptiveConfig { adapt_r: false, window: 16, ..Default::default() };
+        let config = AdaptiveConfig {
+            adapt_r: false,
+            window: 16,
+            ..Default::default()
+        };
         let model = models::random_walk(1e-8, 0.01);
         let kf = KalmanFilter::new(model, Vector::zeros(1), 0.01).unwrap();
         let mut akf = AdaptiveKalmanFilter::new(kf, config);
@@ -346,7 +361,13 @@ mod tests {
 
     #[test]
     fn window_is_bounded() {
-        let mut akf = adaptive_walk(1.0, AdaptiveConfig { window: 4, ..Default::default() });
+        let mut akf = adaptive_walk(
+            1.0,
+            AdaptiveConfig {
+                window: 4,
+                ..Default::default()
+            },
+        );
         for t in 0..50 {
             akf.step(&Vector::from_slice(&[t as f64 * 0.01])).unwrap();
         }

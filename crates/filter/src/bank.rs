@@ -36,7 +36,12 @@ impl Default for BankConfig {
         // models' likelihoods are nearly tied, and eager switching makes
         // the suppression layer ship noisy trend states. A challenger must
         // earn a solid lead over a real dwell period.
-        BankConfig { decay: 0.98, switch_margin: 6.0, min_dwell: 50, complexity_penalty: 0.05 }
+        BankConfig {
+            decay: 0.98,
+            switch_margin: 6.0,
+            min_dwell: 50,
+            complexity_penalty: 0.05,
+        }
     }
 }
 
@@ -65,7 +70,10 @@ impl ModelBank {
         for f in &filters {
             let fm = f.model().measurement_dim();
             if fm != m {
-                return Err(FilterError::BankShapeMismatch { first: m, offending: fm });
+                return Err(FilterError::BankShapeMismatch {
+                    first: m,
+                    offending: fm,
+                });
             }
         }
         let n = filters.len();
@@ -180,8 +188,8 @@ mod tests {
     use kalstream_linalg::Vector;
 
     fn bank_walk_cv() -> ModelBank {
-        let walk = KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0)
-            .unwrap();
+        let walk =
+            KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0).unwrap();
         let cv = KalmanFilter::new(
             models::constant_velocity(1.0, 0.01, 0.05),
             Vector::zeros(2),
@@ -201,8 +209,8 @@ mod tests {
 
     #[test]
     fn mismatched_measurement_dims_rejected() {
-        let scalar = KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0)
-            .unwrap();
+        let scalar =
+            KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0).unwrap();
         let planar = KalmanFilter::new(
             models::constant_velocity_2d(1.0, 0.01, 0.05),
             Vector::zeros(4),
@@ -211,7 +219,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             ModelBank::new(vec![scalar, planar], BankConfig::default()),
-            Err(FilterError::BankShapeMismatch { first: 1, offending: 2 })
+            Err(FilterError::BankShapeMismatch {
+                first: 1,
+                offending: 2
+            })
         ));
     }
 
@@ -239,9 +250,12 @@ mod tests {
 
     #[test]
     fn dwell_prevents_immediate_switching() {
-        let config = BankConfig { min_dwell: 1_000_000, ..Default::default() };
-        let walk = KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0)
-            .unwrap();
+        let config = BankConfig {
+            min_dwell: 1_000_000,
+            ..Default::default()
+        };
+        let walk =
+            KalmanFilter::new(models::random_walk(0.01, 0.05), Vector::zeros(1), 1.0).unwrap();
         let cv = KalmanFilter::new(
             models::constant_velocity(1.0, 0.01, 0.05),
             Vector::zeros(2),
@@ -287,7 +301,10 @@ mod tests {
         assert!(!bank.is_empty());
         assert_eq!(bank.active_index(), 0);
         bank.active_mut()
-            .set_state(Vector::from_slice(&[3.0]), kalstream_linalg::Matrix::scalar(1, 1.0))
+            .set_state(
+                Vector::from_slice(&[3.0]),
+                kalstream_linalg::Matrix::scalar(1, 1.0),
+            )
             .unwrap();
         assert_eq!(bank.active().state()[0], 3.0);
     }

@@ -102,10 +102,18 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
     pub fn set_state(&mut self, x: Vector, p: Matrix) -> Result<()> {
         let n = self.model.state_dim();
         if x.dim() != n {
-            return Err(FilterError::BadModel { what: "x0", expected: (n, 1), actual: (x.dim(), 1) });
+            return Err(FilterError::BadModel {
+                what: "x0",
+                expected: (n, 1),
+                actual: (x.dim(), 1),
+            });
         }
         if p.shape() != (n, n) {
-            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p.shape() });
+            return Err(FilterError::BadModel {
+                what: "P0",
+                expected: (n, n),
+                actual: p.shape(),
+            });
         }
         self.x = x;
         self.p = p;
@@ -149,7 +157,10 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
     pub fn update(&mut self, z: &Vector) -> Result<UpdateOutcome> {
         let m = self.model.measurement_dim();
         if z.dim() != m {
-            return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
+            return Err(FilterError::BadMeasurement {
+                expected: m,
+                actual: z.dim(),
+            });
         }
         // Jacobian and predicted measurement are owned locals (the trait
         // returns fresh values); everything downstream runs in scratch.
@@ -163,7 +174,8 @@ impl<M: NonlinearModel> ExtendedKalmanFilter<M> {
         sc.s.symmetrize_mut();
         sc.chol.refactor(&sc.s)?;
         h_jac.matmul_into(&self.p, &mut sc.hp)?;
-        sc.chol.solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?;
+        sc.chol
+            .solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?;
         sc.s_inv_hp.transpose_into(&mut sc.k);
         sc.k.mul_vec_into(&sc.innovation, &mut sc.correction)?;
         self.x += &sc.correction;
@@ -218,7 +230,12 @@ mod tests {
 
     impl TurningVehicle {
         fn new(turn_rate: f64, dt: f64, q: f64, r: f64) -> Self {
-            TurningVehicle { turn_rate, dt, q: Matrix::scalar(4, q), r: Matrix::scalar(2, r) }
+            TurningVehicle {
+                turn_rate,
+                dt,
+                q: Matrix::scalar(4, q),
+                r: Matrix::scalar(2, r),
+            }
         }
     }
 
@@ -283,19 +300,21 @@ mod tests {
     #[test]
     fn tracks_turning_vehicle() {
         let model = TurningVehicle::new(0.05, 1.0, 1e-6, 0.01);
-        let mut ekf = ExtendedKalmanFilter::new(
-            model,
-            Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]),
-            1.0,
-        )
-        .unwrap();
+        let mut ekf =
+            ExtendedKalmanFilter::new(model, Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]), 1.0)
+                .unwrap();
         let truth = simulate_circle(200, 0.05, 1.0);
         for &(x, y) in &truth {
             ekf.step(&Vector::from_slice(&[x, y])).unwrap();
         }
         let last = truth.last().unwrap();
         let est = ekf.state();
-        assert!((est[0] - last.0).abs() < 0.1, "x est {} truth {}", est[0], last.0);
+        assert!(
+            (est[0] - last.0).abs() < 0.1,
+            "x est {} truth {}",
+            est[0],
+            last.0
+        );
         assert!((est[1] - last.1).abs() < 0.1);
         // Speed should be learned ≈ 1.
         assert!((est[3] - 1.0).abs() < 0.1, "speed {}", est[3]);
@@ -304,20 +323,15 @@ mod tests {
     #[test]
     fn predicted_measurement_matches_h() {
         let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
-        let ekf = ExtendedKalmanFilter::new(
-            model,
-            Vector::from_slice(&[3.0, 4.0, 0.0, 1.0]),
-            1.0,
-        )
-        .unwrap();
+        let ekf = ExtendedKalmanFilter::new(model, Vector::from_slice(&[3.0, 4.0, 0.0, 1.0]), 1.0)
+            .unwrap();
         assert_eq!(ekf.predicted_measurement().as_slice(), &[3.0, 4.0]);
     }
 
     #[test]
     fn update_dimension_checked() {
         let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
-        let mut ekf =
-            ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
+        let mut ekf = ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
         ekf.predict().unwrap();
         assert!(ekf.update(&Vector::zeros(3)).is_err());
     }
@@ -325,25 +339,26 @@ mod tests {
     #[test]
     fn set_state_resets_age() {
         let model = TurningVehicle::new(0.0, 1.0, 1e-4, 0.01);
-        let mut ekf =
-            ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
+        let mut ekf = ExtendedKalmanFilter::new(model, Vector::zeros(4), 1.0).unwrap();
         ekf.predict().unwrap();
         assert_eq!(ekf.steps_since_update(), 1);
-        ekf.set_state(Vector::zeros(4), Matrix::scalar(4, 0.5)).unwrap();
+        ekf.set_state(Vector::zeros(4), Matrix::scalar(4, 0.5))
+            .unwrap();
         assert_eq!(ekf.steps_since_update(), 0);
-        assert!(ekf.set_state(Vector::zeros(2), Matrix::scalar(4, 0.5)).is_err());
-        assert!(ekf.set_state(Vector::zeros(4), Matrix::scalar(2, 0.5)).is_err());
+        assert!(ekf
+            .set_state(Vector::zeros(2), Matrix::scalar(4, 0.5))
+            .is_err());
+        assert!(ekf
+            .set_state(Vector::zeros(4), Matrix::scalar(2, 0.5))
+            .is_err());
     }
 
     #[test]
     fn clone_replays_identically() {
         let model = TurningVehicle::new(0.03, 1.0, 1e-5, 0.05);
-        let mut a = ExtendedKalmanFilter::new(
-            model,
-            Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]),
-            1.0,
-        )
-        .unwrap();
+        let mut a =
+            ExtendedKalmanFilter::new(model, Vector::from_slice(&[0.0, 0.0, 0.0, 1.0]), 1.0)
+                .unwrap();
         let mut b = a.clone();
         for &(x, y) in &simulate_circle(100, 0.03, 1.0) {
             let z = Vector::from_slice(&[x, y]);

@@ -44,13 +44,20 @@ pub enum FilterError {
 impl fmt::Display for FilterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FilterError::BadModel { what, expected, actual } => write!(
+            FilterError::BadModel {
+                what,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "bad model: {what} should be {}x{}, got {}x{}",
                 expected.0, expected.1, actual.0, actual.1
             ),
             FilterError::BadMeasurement { expected, actual } => {
-                write!(f, "bad measurement: expected dimension {expected}, got {actual}")
+                write!(
+                    f,
+                    "bad measurement: expected dimension {expected}, got {actual}"
+                )
             }
             FilterError::Diverged { what } => {
                 write!(f, "filter diverged: {what} is no longer finite")
@@ -86,9 +93,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = FilterError::BadModel { what: "F", expected: (2, 2), actual: (2, 3) };
+        let e = FilterError::BadModel {
+            what: "F",
+            expected: (2, 2),
+            actual: (2, 3),
+        };
         assert!(e.to_string().contains("F should be 2x2"));
-        let e = FilterError::BadMeasurement { expected: 1, actual: 2 };
+        let e = FilterError::BadMeasurement {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected dimension 1"));
         let e = FilterError::Diverged { what: "state" };
         assert!(e.to_string().contains("diverged"));

@@ -99,7 +99,11 @@ pub fn yule_walker(series: &[f64], p: usize) -> Result<Vec<f64>> {
         }
     }
     let rhs = Vector::from_slice(&g[1..=p]);
-    let phi = toeplitz.lu().map_err(FilterError::from)?.solve_vec(&rhs).map_err(FilterError::from)?;
+    let phi = toeplitz
+        .lu()
+        .map_err(FilterError::from)?
+        .solve_vec(&rhs)
+        .map_err(FilterError::from)?;
     Ok(phi.into_vec())
 }
 
@@ -230,7 +234,13 @@ pub fn fit_scalar_model(observed: &[f64]) -> Result<FittedModel> {
         .find(|(m, _)| m.name() == model.name())
         .map(|(_, x0)| x0)
         .expect("winner came from the same candidate set");
-    Ok(FittedModel { model, x0, r_hat, score, candidates: scores })
+    Ok(FittedModel {
+        model,
+        x0,
+        r_hat,
+        score,
+        candidates: scores,
+    })
 }
 
 #[cfg(test)]
@@ -306,8 +316,9 @@ mod tests {
     #[test]
     fn fit_picks_velocity_model_for_trend() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let data: Vec<f64> =
-            (0..1000).map(|t| 0.5 * t as f64 + 0.2 * gaussian(&mut rng)).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|t| 0.5 * t as f64 + 0.2 * gaussian(&mut rng))
+            .collect();
         let fitted = fit_scalar_model(&data).unwrap();
         assert!(
             fitted.model.name() == "constant_velocity"
@@ -366,8 +377,9 @@ mod tests {
         // End-to-end value: a filter from the fitted model predicts the
         // continuation better than the naive random-walk default.
         let mut rng = SmallRng::seed_from_u64(7);
-        let series: Vec<f64> =
-            (0..3000).map(|t| 0.3 * t as f64 + 0.3 * gaussian(&mut rng)).collect();
+        let series: Vec<f64> = (0..3000)
+            .map(|t| 0.3 * t as f64 + 0.3 * gaussian(&mut rng))
+            .collect();
         let (prefix, rest) = series.split_at(1000);
         let fitted = fit_scalar_model(prefix).unwrap();
 
@@ -386,6 +398,9 @@ mod tests {
             models::random_walk(0.01, 0.01),
             Vector::from_slice(&[prefix[999]]),
         );
-        assert!(fitted_err < naive_err, "fitted {fitted_err} vs naive {naive_err}");
+        assert!(
+            fitted_err < naive_err,
+            "fitted {fitted_err} vs naive {naive_err}"
+        );
     }
 }

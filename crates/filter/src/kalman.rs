@@ -180,7 +180,11 @@ impl KalmanFilter {
             });
         }
         if p0.shape() != (n, n) {
-            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p0.shape() });
+            return Err(FilterError::BadModel {
+                what: "P0",
+                expected: (n, n),
+                actual: p0.shape(),
+            });
         }
         Ok(KalmanFilter {
             model,
@@ -244,10 +248,18 @@ impl KalmanFilter {
     pub fn set_state(&mut self, x: Vector, p: Matrix) -> Result<()> {
         let n = self.model.state_dim();
         if x.dim() != n {
-            return Err(FilterError::BadModel { what: "x0", expected: (n, 1), actual: (x.dim(), 1) });
+            return Err(FilterError::BadModel {
+                what: "x0",
+                expected: (n, 1),
+                actual: (x.dim(), 1),
+            });
         }
         if p.shape() != (n, n) {
-            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p.shape() });
+            return Err(FilterError::BadModel {
+                what: "P0",
+                expected: (n, n),
+                actual: p.shape(),
+            });
         }
         self.x = x;
         self.p = p;
@@ -316,7 +328,10 @@ impl KalmanFilter {
     pub fn update(&mut self, z: &Vector) -> Result<UpdateOutcome> {
         let m = self.model.measurement_dim();
         if z.dim() != m {
-            return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
+            return Err(FilterError::BadMeasurement {
+                expected: m,
+                actual: z.dim(),
+            });
         }
         let sc = &mut self.scratch;
         let h = self.model.h();
@@ -331,9 +346,10 @@ impl KalmanFilter {
         sc.chol.refactor(&sc.s)?;
         // Gain K = P Hᵀ S⁻¹, computed as (S⁻¹ H P)ᵀ via solves.
         h.matmul_into(&self.p, &mut sc.hp)?; // m × n
-        sc.chol.solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?; // m × n
+        sc.chol
+            .solve_mat_into(&sc.hp, &mut sc.col, &mut sc.s_inv_hp)?; // m × n
         sc.s_inv_hp.transpose_into(&mut sc.k); // n × m
-        // State: x ← x + K ν.
+                                               // State: x ← x + K ν.
         sc.k.mul_vec_into(&sc.innovation, &mut sc.correction)?;
         self.x += &sc.correction;
         // Covariance.
@@ -362,8 +378,8 @@ impl KalmanFilter {
         let sc = &mut self.scratch;
         sc.chol.solve_vec_into(&sc.innovation, &mut sc.s_inv_nu)?;
         let nis = sc.innovation.dot(&sc.s_inv_nu)?;
-        let log_likelihood = -0.5
-            * (nis + sc.chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
+        let log_likelihood =
+            -0.5 * (nis + sc.chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
         Ok(UpdateOutcome {
             innovation: sc.innovation.clone(),
             innovation_cov: sc.s.clone(),
@@ -420,7 +436,9 @@ mod tests {
     fn construction_validates_shapes() {
         let model = models::random_walk(0.01, 0.25);
         assert!(KalmanFilter::new(model.clone(), Vector::zeros(2), 1.0).is_err());
-        assert!(KalmanFilter::with_covariance(model, Vector::zeros(1), Matrix::zeros(2, 2)).is_err());
+        assert!(
+            KalmanFilter::with_covariance(model, Vector::zeros(1), Matrix::zeros(2, 2)).is_err()
+        );
     }
 
     #[test]
@@ -463,7 +481,11 @@ mod tests {
             kf.step(&Vector::from_slice(&[z])).unwrap();
         }
         // velocity component should be ≈ 0.5
-        assert!((kf.state()[1] - 0.5).abs() < 0.01, "velocity {}", kf.state()[1]);
+        assert!(
+            (kf.state()[1] - 0.5).abs() < 0.01,
+            "velocity {}",
+            kf.state()[1]
+        );
     }
 
     #[test]
@@ -486,7 +508,13 @@ mod tests {
         let mut kf = scalar_walk_filter();
         kf.predict().unwrap();
         let err = kf.update(&Vector::zeros(2)).unwrap_err();
-        assert!(matches!(err, FilterError::BadMeasurement { expected: 1, actual: 2 }));
+        assert!(matches!(
+            err,
+            FilterError::BadMeasurement {
+                expected: 1,
+                actual: 2
+            }
+        ));
     }
 
     #[test]
@@ -495,11 +523,16 @@ mod tests {
         kf.predict().unwrap();
         kf.predict().unwrap();
         assert_eq!(kf.steps_since_update(), 2);
-        kf.set_state(Vector::from_slice(&[1.0]), Matrix::scalar(1, 0.5)).unwrap();
+        kf.set_state(Vector::from_slice(&[1.0]), Matrix::scalar(1, 0.5))
+            .unwrap();
         assert_eq!(kf.steps_since_update(), 0);
         assert_eq!(kf.state()[0], 1.0);
-        assert!(kf.set_state(Vector::zeros(2), Matrix::scalar(1, 1.0)).is_err());
-        assert!(kf.set_state(Vector::zeros(1), Matrix::scalar(2, 1.0)).is_err());
+        assert!(kf
+            .set_state(Vector::zeros(2), Matrix::scalar(1, 1.0))
+            .is_err());
+        assert!(kf
+            .set_state(Vector::zeros(1), Matrix::scalar(2, 1.0))
+            .is_err());
     }
 
     #[test]
@@ -510,7 +543,10 @@ mod tests {
         let z = kf.forecast_measurement(3).unwrap();
         assert!((z[0] - 7.0).abs() < 1e-12);
         // forecast(0) equals the current predicted measurement.
-        assert_eq!(kf.forecast_measurement(0).unwrap(), kf.predicted_measurement());
+        assert_eq!(
+            kf.forecast_measurement(0).unwrap(),
+            kf.predicted_measurement()
+        );
         kf.predict().unwrap();
         assert!((kf.predicted_measurement()[0] - 3.0).abs() < 1e-12);
     }
@@ -558,7 +594,9 @@ mod tests {
         // A random-walk stream scored under a random-walk model must beat a
         // wildly wrong (huge-R) model on average log-likelihood.
         let good = models::random_walk(0.01, 0.1);
-        let bad = good.with_measurement_noise(Matrix::scalar(1, 100.0)).unwrap();
+        let bad = good
+            .with_measurement_noise(Matrix::scalar(1, 100.0))
+            .unwrap();
         let mut kf_good = KalmanFilter::new(good, Vector::zeros(1), 1.0).unwrap();
         let mut kf_bad = KalmanFilter::new(bad, Vector::zeros(1), 1.0).unwrap();
         let mut ll_good = 0.0;

@@ -50,19 +50,41 @@ impl StateModel {
     ) -> Result<Self> {
         let n = f.rows();
         if f.cols() != n {
-            return Err(FilterError::BadModel { what: "F", expected: (n, n), actual: f.shape() });
+            return Err(FilterError::BadModel {
+                what: "F",
+                expected: (n, n),
+                actual: f.shape(),
+            });
         }
         if q.shape() != (n, n) {
-            return Err(FilterError::BadModel { what: "Q", expected: (n, n), actual: q.shape() });
+            return Err(FilterError::BadModel {
+                what: "Q",
+                expected: (n, n),
+                actual: q.shape(),
+            });
         }
         let m = h.rows();
         if h.cols() != n {
-            return Err(FilterError::BadModel { what: "H", expected: (m, n), actual: h.shape() });
+            return Err(FilterError::BadModel {
+                what: "H",
+                expected: (m, n),
+                actual: h.shape(),
+            });
         }
         if r.shape() != (m, m) {
-            return Err(FilterError::BadModel { what: "R", expected: (m, m), actual: r.shape() });
+            return Err(FilterError::BadModel {
+                what: "R",
+                expected: (m, m),
+                actual: r.shape(),
+            });
         }
-        Ok(StateModel { name: name.into(), f, q, h, r })
+        Ok(StateModel {
+            name: name.into(),
+            f,
+            q,
+            h,
+            r,
+        })
     }
 
     /// Model name.
@@ -106,7 +128,13 @@ impl StateModel {
     /// # Errors
     /// [`FilterError::BadModel`] when `q`'s shape differs from `n × n`.
     pub fn with_process_noise(&self, q: Matrix) -> Result<Self> {
-        StateModel::new(self.name.clone(), self.f.clone(), q, self.h.clone(), self.r.clone())
+        StateModel::new(
+            self.name.clone(),
+            self.f.clone(),
+            q,
+            self.h.clone(),
+            self.r.clone(),
+        )
     }
 
     /// Returns a copy of this model with a different measurement-noise
@@ -115,7 +143,13 @@ impl StateModel {
     /// # Errors
     /// [`FilterError::BadModel`] when `r`'s shape differs from `m × m`.
     pub fn with_measurement_noise(&self, r: Matrix) -> Result<Self> {
-        StateModel::new(self.name.clone(), self.f.clone(), self.q.clone(), self.h.clone(), r)
+        StateModel::new(
+            self.name.clone(),
+            self.f.clone(),
+            self.q.clone(),
+            self.h.clone(),
+            r,
+        )
     }
 
     /// Returns a copy with the process noise scaled by `factor` (> 0).
@@ -130,9 +164,8 @@ impl StateModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
-use kalstream_linalg::Matrix;
+    use kalstream_linalg::Matrix;
 
     fn valid_parts() -> (Matrix, Matrix, Matrix, Matrix) {
         (

@@ -27,7 +27,11 @@ use crate::{FilterError, Result, StateModel};
 pub fn ar(coeffs: &[f64], q: f64, r: f64) -> Result<StateModel> {
     let p = coeffs.len();
     if p == 0 {
-        return Err(FilterError::BadModel { what: "F", expected: (1, 1), actual: (0, 0) });
+        return Err(FilterError::BadModel {
+            what: "F",
+            expected: (1, 1),
+            actual: (0, 0),
+        });
     }
     let mut f = Matrix::zeros(p, p);
     for (j, &phi) in coeffs.iter().enumerate() {

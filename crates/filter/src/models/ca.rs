@@ -17,11 +17,7 @@ use crate::StateModel;
 /// lags (accelerating price moves, spin-up phases of physical systems).
 pub fn constant_acceleration(dt: f64, q: f64, r: f64) -> StateModel {
     let dt2 = dt * dt;
-    let f = Matrix::from_rows(&[
-        &[1.0, dt, dt2 / 2.0],
-        &[0.0, 1.0, dt],
-        &[0.0, 0.0, 1.0],
-    ]);
+    let f = Matrix::from_rows(&[&[1.0, dt, dt2 / 2.0], &[0.0, 1.0, dt], &[0.0, 0.0, 1.0]]);
     let g = [dt2 / 2.0, dt, 1.0];
     let mut q_mat = Matrix::zeros(3, 3);
     for i in 0..3 {
@@ -56,6 +52,10 @@ mod tests {
             let z = 0.05 * (t as f64) * (t as f64); // acceleration 0.1
             kf.step(&Vector::from_slice(&[z])).unwrap();
         }
-        assert!((kf.state()[2] - 0.1).abs() < 0.01, "accel {}", kf.state()[2]);
+        assert!(
+            (kf.state()[2] - 0.1).abs() < 0.01,
+            "accel {}",
+            kf.state()[2]
+        );
     }
 }

@@ -22,10 +22,7 @@ pub fn constant_velocity(dt: f64, q: f64, r: f64) -> StateModel {
     let dt2 = dt * dt;
     let dt3 = dt2 * dt;
     let dt4 = dt3 * dt;
-    let q_mat = Matrix::from_rows(&[
-        &[q * dt4 / 4.0, q * dt3 / 2.0],
-        &[q * dt3 / 2.0, q * dt2],
-    ]);
+    let q_mat = Matrix::from_rows(&[&[q * dt4 / 4.0, q * dt3 / 2.0], &[q * dt3 / 2.0, q * dt2]]);
     let h = Matrix::from_rows(&[&[1.0, 0.0]]);
     StateModel::new("constant_velocity", f, q_mat, h, Matrix::scalar(1, r))
         .expect("static shapes are valid")

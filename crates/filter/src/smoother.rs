@@ -66,7 +66,10 @@ pub fn rts_smooth(
     let n = model.state_dim();
     let steps = measurements.len();
     if steps == 0 {
-        return Ok(Smoothed { states: Vec::new(), covariances: Vec::new() });
+        return Ok(Smoothed {
+            states: Vec::new(),
+            covariances: Vec::new(),
+        });
     }
 
     // Forward pass, storing priors (x⁻, P⁻) and posteriors (x⁺, P⁺).
@@ -93,10 +96,7 @@ pub fn rts_smooth(
     for t in (0..steps - 1).rev() {
         let prior_next_chol = prior_p[t + 1].cholesky().map_err(FilterError::from)?;
         // C = P⁺ Fᵀ (P⁻)⁻¹ computed as ((P⁻)⁻¹ F P⁺)ᵀ via solves.
-        let f_p = model
-            .f()
-            .matmul(&post_p[t])
-            .map_err(FilterError::from)?;
+        let f_p = model.f().matmul(&post_p[t]).map_err(FilterError::from)?;
         let c = prior_next_chol
             .solve_mat(&f_p)
             .map_err(FilterError::from)?
@@ -112,7 +112,10 @@ pub fn rts_smooth(
         p.symmetrize_mut();
         covariances[t] = p;
     }
-    Ok(Smoothed { states, covariances })
+    Ok(Smoothed {
+        states,
+        covariances,
+    })
 }
 
 #[cfg(test)]
@@ -139,8 +142,9 @@ mod tests {
     #[test]
     fn last_step_matches_the_filter() {
         let model = models::constant_velocity(1.0, 0.01, 0.1);
-        let zs: Vec<Vector> =
-            (0..50).map(|t| Vector::from_slice(&[0.2 * t as f64])).collect();
+        let zs: Vec<Vector> = (0..50)
+            .map(|t| Vector::from_slice(&[0.2 * t as f64]))
+            .collect();
         let smoothed = rts_smooth(&model, Vector::zeros(2), 1.0, &zs).unwrap();
         let mut kf = KalmanFilter::new(model, Vector::zeros(2), 1.0).unwrap();
         for z in &zs {

@@ -17,7 +17,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Folds one observation in.
@@ -95,7 +101,11 @@ impl Ewma {
     /// Panics when `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Ewma { alpha, value: 0.0, weight: 0.0 }
+        Ewma {
+            alpha,
+            value: 0.0,
+            weight: 0.0,
+        }
     }
 
     /// Folds one observation in.
@@ -128,9 +138,13 @@ pub fn normal_log_pdf(x: f64, mean: f64, var: f64) -> f64 {
 /// 1–10 degrees of freedom, used by filter-consistency monitors: a windowed
 /// mean NIS persistently above `chi2_95(m)/m` flags a mismatched model.
 pub fn chi2_95(dof: usize) -> f64 {
-    const TABLE: [f64; 10] =
-        [3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307];
-    assert!(dof >= 1 && dof <= TABLE.len(), "chi2_95 supports dof 1..=10");
+    const TABLE: [f64; 10] = [
+        3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307,
+    ];
+    assert!(
+        dof >= 1 && dof <= TABLE.len(),
+        "chi2_95 supports dof 1..=10"
+    );
     TABLE[dof - 1]
 }
 
@@ -200,7 +214,10 @@ mod tests {
     fn normal_log_pdf_peak_and_symmetry() {
         let p0 = normal_log_pdf(0.0, 0.0, 1.0);
         assert!((p0 - (-0.5 * core::f64::consts::TAU.ln())).abs() < 1e-12);
-        assert_eq!(normal_log_pdf(1.0, 0.0, 1.0), normal_log_pdf(-1.0, 0.0, 1.0));
+        assert_eq!(
+            normal_log_pdf(1.0, 0.0, 1.0),
+            normal_log_pdf(-1.0, 0.0, 1.0)
+        );
         assert!(normal_log_pdf(0.0, 0.0, 1.0) > normal_log_pdf(2.0, 0.0, 1.0));
     }
 

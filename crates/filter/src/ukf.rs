@@ -27,7 +27,11 @@ pub struct UkfConfig {
 
 impl Default for UkfConfig {
     fn default() -> Self {
-        UkfConfig { alpha: 1e-1, beta: 2.0, kappa: 0.0 }
+        UkfConfig {
+            alpha: 1e-1,
+            beta: 2.0,
+            kappa: 0.0,
+        }
     }
 }
 
@@ -150,10 +154,18 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
     pub fn set_state(&mut self, x: Vector, p: Matrix) -> Result<()> {
         let n = self.model.state_dim();
         if x.dim() != n {
-            return Err(FilterError::BadModel { what: "x0", expected: (n, 1), actual: (x.dim(), 1) });
+            return Err(FilterError::BadModel {
+                what: "x0",
+                expected: (n, 1),
+                actual: (x.dim(), 1),
+            });
         }
         if p.shape() != (n, n) {
-            return Err(FilterError::BadModel { what: "P0", expected: (n, n), actual: p.shape() });
+            return Err(FilterError::BadModel {
+                what: "P0",
+                expected: (n, n),
+                actual: p.shape(),
+            });
         }
         self.x = x;
         self.p = p;
@@ -234,7 +246,10 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
     pub fn update(&mut self, z: &Vector) -> Result<UpdateOutcome> {
         let m = self.model.measurement_dim();
         if z.dim() != m {
-            return Err(FilterError::BadMeasurement { expected: m, actual: z.dim() });
+            return Err(FilterError::BadMeasurement {
+                expected: m,
+                actual: z.dim(),
+            });
         }
         self.fill_sigma_points()?;
         let sc = &mut self.scratch;
@@ -249,7 +264,12 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
         // Cross covariance P_xz = Σ w (x_i − x̄)(z_i − z̄)ᵀ.
         let n = self.model.state_dim();
         let mut p_xz = Matrix::zeros(n, m);
-        for ((sx, sz), &w) in sc.points.iter().zip(sc.z_points.iter()).zip(sc.w_cov.iter()) {
+        for ((sx, sz), &w) in sc
+            .points
+            .iter()
+            .zip(sc.z_points.iter())
+            .zip(sc.w_cov.iter())
+        {
             let dx = sx - &self.x;
             let dz = sz - &z_mean;
             for r in 0..n {
@@ -276,7 +296,12 @@ impl<M: NonlinearModel> UnscentedKalmanFilter<M> {
         let nis = innovation.dot(&s_inv_nu)?;
         let log_likelihood =
             -0.5 * (nis + chol.log_det() + (m as f64) * core::f64::consts::TAU.ln());
-        Ok(UpdateOutcome { innovation, innovation_cov: s, nis, log_likelihood })
+        Ok(UpdateOutcome {
+            innovation,
+            innovation_cov: s,
+            nis,
+            log_likelihood,
+        })
     }
 
     /// Convenience: predict then update.
@@ -373,7 +398,10 @@ mod tests {
 
     impl RangeSensor {
         fn new() -> Self {
-            RangeSensor { q: Matrix::from_diag(&[0.01, 1e-6]), r: Matrix::scalar(1, 0.01) }
+            RangeSensor {
+                q: Matrix::from_diag(&[0.01, 1e-6]),
+                r: Matrix::scalar(1, 0.01),
+            }
         }
     }
 
@@ -410,8 +438,12 @@ mod tests {
     fn construction_validates() {
         assert!(UnscentedKalmanFilter::new(LinearCv::new(), Vector::zeros(3), 1.0).is_err());
         let mut ukf = UnscentedKalmanFilter::new(LinearCv::new(), Vector::zeros(2), 1.0).unwrap();
-        assert!(ukf.set_state(Vector::zeros(1), Matrix::scalar(2, 1.0)).is_err());
-        assert!(ukf.set_state(Vector::zeros(2), Matrix::scalar(3, 1.0)).is_err());
+        assert!(ukf
+            .set_state(Vector::zeros(1), Matrix::scalar(2, 1.0))
+            .is_err());
+        assert!(ukf
+            .set_state(Vector::zeros(2), Matrix::scalar(3, 1.0))
+            .is_err());
         assert!(ukf.update(&Vector::zeros(2)).is_err());
     }
 
@@ -435,18 +467,21 @@ mod tests {
         }
         // The unscented transform is exact for linear dynamics: agreement to
         // numerical precision.
-        assert!(kf.state().max_abs_diff(ukf.state()) < 1e-8, "state diverged");
-        assert!(kf.covariance().max_abs_diff(ukf.covariance()) < 1e-8, "cov diverged");
+        assert!(
+            kf.state().max_abs_diff(ukf.state()) < 1e-8,
+            "state diverged"
+        );
+        assert!(
+            kf.covariance().max_abs_diff(ukf.covariance()) < 1e-8,
+            "cov diverged"
+        );
     }
 
     #[test]
     fn tracks_through_nonlinear_range_measurements() {
-        let mut ukf = UnscentedKalmanFilter::new(
-            RangeSensor::new(),
-            Vector::from_slice(&[3.0, 0.0]),
-            1.0,
-        )
-        .unwrap();
+        let mut ukf =
+            UnscentedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[3.0, 0.0]), 1.0)
+                .unwrap();
         // True trajectory: position from 3 to 23 at velocity 0.2.
         let mut pos: f64 = 3.0;
         for _ in 0..100 {
@@ -454,18 +489,23 @@ mod tests {
             let z = Vector::from_slice(&[(pos * pos + 1.0).sqrt()]);
             ukf.step(&z).unwrap();
         }
-        assert!((ukf.state()[0] - pos).abs() < 0.3, "pos est {} true {pos}", ukf.state()[0]);
-        assert!((ukf.state()[1] - 0.2).abs() < 0.05, "vel est {}", ukf.state()[1]);
+        assert!(
+            (ukf.state()[0] - pos).abs() < 0.3,
+            "pos est {} true {pos}",
+            ukf.state()[0]
+        );
+        assert!(
+            (ukf.state()[1] - 0.2).abs() < 0.05,
+            "vel est {}",
+            ukf.state()[1]
+        );
     }
 
     #[test]
     fn comparable_to_ekf_on_mild_nonlinearity() {
-        let mut ukf = UnscentedKalmanFilter::new(
-            RangeSensor::new(),
-            Vector::from_slice(&[3.0, 0.0]),
-            1.0,
-        )
-        .unwrap();
+        let mut ukf =
+            UnscentedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[3.0, 0.0]), 1.0)
+                .unwrap();
         let mut ekf =
             ExtendedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[3.0, 0.0]), 1.0)
                 .unwrap();
@@ -481,18 +521,21 @@ mod tests {
             ekf_err += (ekf.state()[0] - pos).abs();
         }
         // Neither should be wildly worse than the other on this mild case.
-        assert!(ukf_err < 2.0 * ekf_err + 1.0, "ukf {ukf_err} vs ekf {ekf_err}");
-        assert!(ekf_err < 2.0 * ukf_err + 1.0, "ekf {ekf_err} vs ukf {ukf_err}");
+        assert!(
+            ukf_err < 2.0 * ekf_err + 1.0,
+            "ukf {ukf_err} vs ekf {ekf_err}"
+        );
+        assert!(
+            ekf_err < 2.0 * ukf_err + 1.0,
+            "ekf {ekf_err} vs ukf {ukf_err}"
+        );
     }
 
     #[test]
     fn covariance_stays_positive_definite() {
-        let mut ukf = UnscentedKalmanFilter::new(
-            RangeSensor::new(),
-            Vector::from_slice(&[1.0, 0.1]),
-            0.5,
-        )
-        .unwrap();
+        let mut ukf =
+            UnscentedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[1.0, 0.1]), 0.5)
+                .unwrap();
         let mut pos: f64 = 1.0;
         for t in 0..500 {
             pos += 0.05;
@@ -509,12 +552,9 @@ mod tests {
 
     #[test]
     fn clone_replays_identically() {
-        let mut a = UnscentedKalmanFilter::new(
-            RangeSensor::new(),
-            Vector::from_slice(&[2.0, 0.0]),
-            1.0,
-        )
-        .unwrap();
+        let mut a =
+            UnscentedKalmanFilter::new(RangeSensor::new(), Vector::from_slice(&[2.0, 0.0]), 1.0)
+                .unwrap();
         let mut b = a.clone();
         for t in 0..100 {
             let z = Vector::from_slice(&[2.0 + (t as f64 * 0.1).sin()]);

@@ -83,7 +83,7 @@ proptest! {
     ) {
         let kf = KalmanFilter::new(model, Vector::from_slice(&x0), 1.0).unwrap();
         let forecast = kf.forecast_measurement(k).unwrap();
-        let mut walker = kf.clone();
+        let mut walker = kf;
         for _ in 0..k {
             walker.predict().unwrap();
         }

@@ -28,13 +28,19 @@ impl Normal {
     /// Panics when `std < 0` or parameters are non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
         assert!(std >= 0.0, "standard deviation must be non-negative");
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         Normal { mean, std }
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mean: 0.0, std: 1.0 }
+        Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Mean parameter.
@@ -78,7 +84,10 @@ impl Exponential {
     /// # Panics
     /// Panics when `lambda <= 0` or non-finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "rate must be positive and finite");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "rate must be positive and finite"
+        );
         Exponential { lambda }
     }
 
@@ -112,8 +121,14 @@ impl Pareto {
     /// # Panics
     /// Panics on non-positive or non-finite parameters.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && x_min.is_finite(), "x_min must be positive and finite");
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+        assert!(
+            x_min > 0.0 && x_min.is_finite(),
+            "x_min must be positive and finite"
+        );
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive and finite"
+        );
         Pareto { x_min, alpha }
     }
 
@@ -156,7 +171,9 @@ impl LogNormal {
     /// # Panics
     /// Panics when `sigma < 0` or parameters are non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        LogNormal { normal: Normal::new(mu, sigma) }
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
     }
 
     /// Draws one sample.
@@ -251,7 +268,11 @@ mod tests {
         let samples: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&x| x >= 1.0));
         let (mean, _) = moments(&samples);
-        assert!((mean - d.mean()).abs() < 0.05, "mean {mean} want {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.05,
+            "mean {mean} want {}",
+            d.mean()
+        );
     }
 
     #[test]

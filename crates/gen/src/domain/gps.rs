@@ -49,8 +49,7 @@ impl GpsTrack {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pos = [arena * rng.random::<f64>(), arena * rng.random::<f64>()];
         let waypoint = [arena * rng.random::<f64>(), arena * rng.random::<f64>()];
-        let speed =
-            speed_range.0 + (speed_range.1 - speed_range.0) * rng.random::<f64>();
+        let speed = speed_range.0 + (speed_range.1 - speed_range.0) * rng.random::<f64>();
         GpsTrack {
             pos,
             waypoint,
@@ -71,8 +70,10 @@ impl GpsTrack {
     }
 
     fn pick_next_leg(&mut self) {
-        self.waypoint =
-            [self.arena * self.rng.random::<f64>(), self.arena * self.rng.random::<f64>()];
+        self.waypoint = [
+            self.arena * self.rng.random::<f64>(),
+            self.arena * self.rng.random::<f64>(),
+        ];
         self.speed = self.speed_range.0
             + (self.speed_range.1 - self.speed_range.0) * self.rng.random::<f64>();
         self.pause_left = self.pause_ticks;

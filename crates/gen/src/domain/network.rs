@@ -52,7 +52,10 @@ impl NetworkRtt {
         seed: u64,
     ) -> Self {
         assert!(base_ms > 0.0, "base latency must be positive");
-        assert!((0.0..1.0).contains(&spike_decay), "spike_decay must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&spike_decay),
+            "spike_decay must be in [0, 1)"
+        );
         let episode_arrival = Exponential::new(episodes_per_tick);
         let mut rng = SmallRng::seed_from_u64(seed);
         let first = episode_arrival.sample(&mut rng);
@@ -89,7 +92,8 @@ impl Stream for NetworkRtt {
 
     fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
         // Base latency wanders around base_ms.
-        self.base_level = self.base + self.phi * (self.base_level - self.base)
+        self.base_level = self.base
+            + self.phi * (self.base_level - self.base)
             + self.base_noise.sample(&mut self.rng);
         // Congestion episodes.
         self.ticks_to_episode -= 1.0;

@@ -48,7 +48,10 @@ impl StockTicker {
         seed: u64,
     ) -> Self {
         assert!(price0 > 0.0, "price must start positive");
-        assert!((0.0..=1.0).contains(&jump_prob), "jump_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&jump_prob),
+            "jump_prob must be a probability"
+        );
         StockTicker {
             price: price0,
             drift_term: (mu - 0.5 * sigma * sigma) * dt,

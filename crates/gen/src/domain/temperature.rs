@@ -79,8 +79,7 @@ impl Stream for TemperatureSensor {
 
     fn next_into(&mut self, observed: &mut [f64], truth: &mut [f64]) {
         self.weather = self.phi * self.weather + self.front.sample(&mut self.rng);
-        let diurnal =
-            self.amplitude * (core::f64::consts::TAU * self.t as f64 / self.period).sin();
+        let diurnal = self.amplitude * (core::f64::consts::TAU * self.t as f64 / self.period).sin();
         let signal = self.base + diurnal + self.weather;
         self.t += 1;
         truth[0] = signal;
@@ -116,7 +115,10 @@ mod tests {
         // AR(1) with phi=0.99 must be strongly autocorrelated: adjacent ticks
         // differ far less than distant ones on average.
         let adj: f64 = truth.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / 4999.0;
-        let far: f64 = (0..4000).map(|i| (truth[i + 1000] - truth[i]).abs()).sum::<f64>() / 4000.0;
+        let far: f64 = (0..4000)
+            .map(|i| (truth[i + 1000] - truth[i]).abs())
+            .sum::<f64>()
+            / 4000.0;
         assert!(far > 3.0 * adj, "adjacent {adj} vs far {far}");
     }
 

@@ -13,7 +13,10 @@ pub struct Sample {
 impl Sample {
     /// Builds a scalar sample.
     pub fn scalar(observed: f64, truth: f64) -> Self {
-        Sample { observed: vec![observed], truth: vec![truth] }
+        Sample {
+            observed: vec![observed],
+            truth: vec![truth],
+        }
     }
 }
 
@@ -39,7 +42,10 @@ pub trait Stream {
     /// Allocating convenience wrapper over [`Stream::next_into`].
     fn next_sample(&mut self) -> Sample {
         let d = self.dim();
-        let mut s = Sample { observed: vec![0.0; d], truth: vec![0.0; d] };
+        let mut s = Sample {
+            observed: vec![0.0; d],
+            truth: vec![0.0; d],
+        };
         self.next_into(&mut s.observed, &mut s.truth);
         s
     }

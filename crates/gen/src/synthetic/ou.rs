@@ -32,7 +32,10 @@ impl OrnsteinUhlenbeck {
     /// # Panics
     /// Panics when `theta·dt ≥ 2` (the Euler discretisation would diverge).
     pub fn new(x0: f64, theta: f64, mu: f64, sigma: f64, dt: f64, sigma_v: f64, seed: u64) -> Self {
-        assert!(theta * dt < 2.0, "theta*dt must be < 2 for a stable discretisation");
+        assert!(
+            theta * dt < 2.0,
+            "theta*dt must be < 2 for a stable discretisation"
+        );
         OrnsteinUhlenbeck {
             x: x0,
             theta: theta * dt,

@@ -32,14 +32,21 @@ impl RegimeSwitching {
     /// is not scalar.
     pub fn new(regimes: Vec<(Box<dyn Stream + Send>, u64)>) -> Self {
         assert!(!regimes.is_empty(), "need at least one regime");
-        assert!(regimes.iter().all(|(_, d)| *d > 0), "durations must be positive");
+        assert!(
+            regimes.iter().all(|(_, d)| *d > 0),
+            "durations must be positive"
+        );
         assert!(
             regimes.iter().all(|(s, _)| s.dim() == 1),
             "regime switching supports scalar streams"
         );
         let name = format!(
             "regime[{}]",
-            regimes.iter().map(|(s, _)| s.name()).collect::<Vec<_>>().join("->")
+            regimes
+                .iter()
+                .map(|(s, _)| s.name())
+                .collect::<Vec<_>>()
+                .join("->")
         );
         RegimeSwitching {
             regimes,
@@ -132,7 +139,12 @@ mod tests {
         let (_, truth) = c.collect(30);
         for w in truth.windows(2) {
             // Max per-tick move: ramp slope 2, sinusoid step < 0.5.
-            assert!((w[1] - w[0]).abs() <= 2.0 + 1e-9, "jump {} -> {}", w[0], w[1]);
+            assert!(
+                (w[1] - w[0]).abs() <= 2.0 + 1e-9,
+                "jump {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

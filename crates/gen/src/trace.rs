@@ -33,7 +33,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
             TraceError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
-            TraceError::BadRow { line, reason } => write!(f, "bad trace row at line {line}: {reason}"),
+            TraceError::BadRow { line, reason } => {
+                write!(f, "bad trace row at line {line}: {reason}")
+            }
         }
     }
 }
@@ -55,8 +57,7 @@ impl From<std::io::Error> for TraceError {
 
 /// A recorded stream: `len` ticks of `dim`-dimensional observed and truth
 /// values, stored flattened row-major.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Trace {
     name: String,
     dim: usize,
@@ -70,18 +71,37 @@ impl Trace {
         let dim = stream.dim();
         let name = stream.name().to_string();
         let (observed, truth) = stream.collect(n);
-        Trace { name, dim, observed, truth }
+        Trace {
+            name,
+            dim,
+            observed,
+            truth,
+        }
     }
 
     /// Builds a trace from raw parts.
     ///
     /// # Panics
     /// Panics when lengths are inconsistent with `dim`.
-    pub fn from_parts(name: impl Into<String>, dim: usize, observed: Vec<f64>, truth: Vec<f64>) -> Self {
+    pub fn from_parts(
+        name: impl Into<String>,
+        dim: usize,
+        observed: Vec<f64>,
+        truth: Vec<f64>,
+    ) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert_eq!(observed.len(), truth.len(), "observed/truth length mismatch");
+        assert_eq!(
+            observed.len(),
+            truth.len(),
+            "observed/truth length mismatch"
+        );
         assert_eq!(observed.len() % dim, 0, "length must be a multiple of dim");
-        Trace { name: name.into(), dim, observed, truth }
+        Trace {
+            name: name.into(),
+            dim,
+            observed,
+            truth,
+        }
     }
 
     /// Stream name this trace was recorded from.
@@ -125,7 +145,13 @@ impl Trace {
     /// # Errors
     /// Propagates I/O errors.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), TraceError> {
-        writeln!(w, "kalstream-trace v1 name={} dim={} len={}", self.name, self.dim, self.len())?;
+        writeln!(
+            w,
+            "kalstream-trace v1 name={} dim={} len={}",
+            self.name,
+            self.dim,
+            self.len()
+        )?;
         for i in 0..self.len() {
             let mut row = String::new();
             for v in self.observed(i) {
@@ -195,7 +221,12 @@ impl Trace {
                 reason: format!("expected {len} rows, got {}", observed.len() / dim),
             });
         }
-        Ok(Trace { name, dim, observed, truth })
+        Ok(Trace {
+            name,
+            dim,
+            observed,
+            truth,
+        })
     }
 }
 

@@ -11,14 +11,43 @@ use proptest::prelude::*;
 /// Every generator family, instantiated from proptest-chosen parameters.
 fn all_streams(seed: u64, a: f64, b: f64) -> Vec<Box<dyn Stream + Send>> {
     vec![
-        Box::new(RandomWalk::new(a, b * 0.01, a.abs() + 0.01, b.abs() * 0.1, seed)),
+        Box::new(RandomWalk::new(
+            a,
+            b * 0.01,
+            a.abs() + 0.01,
+            b.abs() * 0.1,
+            seed,
+        )),
         Box::new(Ramp::new(a, b, 0.1, seed)),
         Box::new(Sinusoid::new(a.abs() + 0.1, 0.1, b, 0.0, 0.05, seed)),
         Box::new(OrnsteinUhlenbeck::new(a, 0.2, b, 0.5, 1.0, 0.05, seed)),
-        Box::new(StockTicker::new(a.abs() + 1.0, 0.0, 0.01, 1.0, 0.01, 0.05, 0.01, seed)),
-        Box::new(TemperatureSensor::new(a, b.abs() + 0.1, 100.0, 0.9, 0.05, 0.05, seed)),
+        Box::new(StockTicker::new(
+            a.abs() + 1.0,
+            0.0,
+            0.01,
+            1.0,
+            0.01,
+            0.05,
+            0.01,
+            seed,
+        )),
+        Box::new(TemperatureSensor::new(
+            a,
+            b.abs() + 0.1,
+            100.0,
+            0.9,
+            0.05,
+            0.05,
+            seed,
+        )),
         Box::new(NetworkRtt::new(a.abs() + 1.0, 0.01, 1.5, 0.5, 0.1, seed)),
-        Box::new(GpsTrack::new(b.abs() * 100.0 + 10.0, (0.5, 1.5), 3, 0.5, seed)),
+        Box::new(GpsTrack::new(
+            b.abs() * 100.0 + 10.0,
+            (0.5, 1.5),
+            3,
+            0.5,
+            seed,
+        )),
     ]
 }
 

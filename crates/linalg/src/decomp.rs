@@ -41,7 +41,9 @@ impl Cholesky {
     /// callers hold a reusable factorisation slot (e.g. in per-filter
     /// scratch) without a valid matrix up front.
     pub fn empty() -> Self {
-        Cholesky { l: Matrix::zeros(0, 0) }
+        Cholesky {
+            l: Matrix::zeros(0, 0),
+        }
     }
 
     /// Re-factors `a` in place, reusing the existing factor storage
@@ -63,7 +65,10 @@ impl Cholesky {
     /// As [`Cholesky::new`].
     pub fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "cholesky",
+                shape: a.shape(),
+            });
         }
         let n = a.rows();
         if n == 0 {
@@ -210,10 +215,7 @@ impl Cholesky {
     /// Used by the model bank for Gaussian log-likelihoods, where `det S`
     /// itself would underflow for small innovation covariances.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 
     /// `det A = Π lᵢᵢ²`.
@@ -242,7 +244,10 @@ impl Lu {
     /// * [`LinalgError::Singular`] when no acceptable pivot exists.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { op: "lu", shape: a.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "lu",
+                shape: a.shape(),
+            });
         }
         let n = a.rows();
         if n == 0 {
@@ -377,11 +382,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for a fixed B is guaranteed SPD; here chosen by hand.
-        Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.5],
-            &[0.5, -0.5, 2.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]])
     }
 
     #[test]
@@ -504,11 +505,7 @@ mod tests {
 
     #[test]
     fn lu_inverse_random_fixed() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let inv = a.lu().unwrap().inverse().unwrap();
         assert!(a.matmul(&inv).unwrap().max_abs_diff(&Matrix::identity(3)) < 1e-12);
     }

@@ -55,7 +55,11 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::NotSquare { op, shape } => {
-                write!(f, "{op}: requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op}: requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::NotPositiveDefinite { pivot, value } => write!(
                 f,
@@ -82,25 +86,37 @@ mod tests {
             lhs: (2, 3),
             rhs: (2, 3),
         };
-        assert_eq!(e.to_string(), "matmul: dimension mismatch, lhs is 2x3, rhs is 2x3");
+        assert_eq!(
+            e.to_string(),
+            "matmul: dimension mismatch, lhs is 2x3, rhs is 2x3"
+        );
     }
 
     #[test]
     fn display_not_square() {
-        let e = LinalgError::NotSquare { op: "inverse", shape: (2, 3) };
+        let e = LinalgError::NotSquare {
+            op: "inverse",
+            shape: (2, 3),
+        };
         assert_eq!(e.to_string(), "inverse: requires a square matrix, got 2x3");
     }
 
     #[test]
     fn display_not_positive_definite() {
-        let e = LinalgError::NotPositiveDefinite { pivot: 1, value: -0.5 };
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("pivot 1"));
     }
 
     #[test]
     fn display_singular() {
         let e = LinalgError::Singular { column: 0 };
-        assert_eq!(e.to_string(), "lu: matrix is singular (no pivot in column 0)");
+        assert_eq!(
+            e.to_string(),
+            "lu: matrix is singular (no pivot in column 0)"
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: SmallBuf::zeroed(rows * cols) }
+        Matrix {
+            rows,
+            cols,
+            data: SmallBuf::zeroed(rows * cols),
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -93,8 +97,16 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_row_major: buffer size mismatch");
-        Matrix { rows, cols, data: SmallBuf::from_vec(data) }
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_row_major: buffer size mismatch"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: SmallBuf::from_vec(data),
+        }
     }
 
     /// Number of rows.
@@ -374,7 +386,12 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        for (a, b) in self.data.as_mut_slice().iter_mut().zip(other.data.as_slice()) {
+        for (a, b) in self
+            .data
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.data.as_slice())
+        {
             *a += alpha * b;
         }
         Ok(())
@@ -386,7 +403,10 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for non-square matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { op: "trace", shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "trace",
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self.get(i, i)).sum())
     }
@@ -414,7 +434,10 @@ impl Matrix {
 
     /// Maximum absolute element.
     pub fn norm_inf_elem(&self) -> f64 {
-        self.data.as_slice().iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+        self.data
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, x| m.max(x.abs()))
     }
 
     /// Maximum absolute elementwise difference from `other`; `INFINITY` on
@@ -461,7 +484,10 @@ impl Matrix {
     /// [`LinalgError::NotSquare`] for non-square input.
     pub fn det(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { op: "det", shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "det",
+                shape: self.shape(),
+            });
         }
         match self.lu() {
             Ok(lu) => Ok(lu.det()),
@@ -514,7 +540,11 @@ impl Sub<&Matrix> for &Matrix {
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!(self.shape(), rhs.shape(), "matrix add_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix add_assign: shape mismatch"
+        );
         for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.data.as_slice()) {
             *a += b;
         }
@@ -523,7 +553,11 @@ impl AddAssign<&Matrix> for Matrix {
 
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
-        assert_eq!(self.shape(), rhs.shape(), "matrix sub_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix sub_assign: shape mismatch"
+        );
         for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.data.as_slice()) {
             *a -= b;
         }
@@ -550,7 +584,8 @@ impl Mul<&Vector> for &Matrix {
     /// Panics on dimension mismatch; use [`Matrix::mul_vec`] for the
     /// fallible form.
     fn mul(self, rhs: &Vector) -> Vector {
-        self.mul_vec(rhs).expect("matrix-vector mul: dimension mismatch")
+        self.mul_vec(rhs)
+            .expect("matrix-vector mul: dimension mismatch")
     }
 }
 

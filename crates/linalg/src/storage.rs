@@ -32,7 +32,10 @@ impl<const CAP: usize> SmallBuf<CAP> {
     #[inline]
     pub fn zeroed(len: usize) -> Self {
         if len <= CAP {
-            SmallBuf::Inline { len, buf: [0.0; CAP] }
+            SmallBuf::Inline {
+                len,
+                buf: [0.0; CAP],
+            }
         } else {
             SmallBuf::Heap(vec![0.0; len])
         }
@@ -178,9 +181,15 @@ mod tests {
     fn inline_below_cap_heap_above() {
         assert!(matches!(Buf::zeroed(4), SmallBuf::Inline { .. }));
         assert!(matches!(Buf::zeroed(5), SmallBuf::Heap(_)));
-        assert!(matches!(Buf::from_slice(&[1.0; 3]), SmallBuf::Inline { .. }));
+        assert!(matches!(
+            Buf::from_slice(&[1.0; 3]),
+            SmallBuf::Inline { .. }
+        ));
         assert!(matches!(Buf::from_vec(vec![1.0; 9]), SmallBuf::Heap(_)));
-        assert!(matches!(Buf::from_vec(vec![1.0; 2]), SmallBuf::Inline { .. }));
+        assert!(matches!(
+            Buf::from_vec(vec![1.0; 2]),
+            SmallBuf::Inline { .. }
+        ));
     }
 
     #[test]

@@ -28,23 +28,31 @@ pub struct Vector {
 impl Vector {
     /// Creates a vector of `dim` zeros.
     pub fn zeros(dim: usize) -> Self {
-        Vector { data: SmallBuf::zeroed(dim) }
+        Vector {
+            data: SmallBuf::zeroed(dim),
+        }
     }
 
     /// Creates a vector with every element equal to `value`.
     pub fn filled(dim: usize, value: f64) -> Self {
-        Vector { data: SmallBuf::filled(dim, value) }
+        Vector {
+            data: SmallBuf::filled(dim, value),
+        }
     }
 
     /// Creates a vector by copying `slice`.
     pub fn from_slice(slice: &[f64]) -> Self {
-        Vector { data: SmallBuf::from_slice(slice) }
+        Vector {
+            data: SmallBuf::from_slice(slice),
+        }
     }
 
     /// Creates a vector from an existing `Vec`. Small contents (≤ the inline
     /// cap) are copied into inline storage; larger ones keep the allocation.
     pub fn from_vec(data: Vec<f64>) -> Self {
-        Vector { data: SmallBuf::from_vec(data) }
+        Vector {
+            data: SmallBuf::from_vec(data),
+        }
     }
 
     /// Creates a standard basis vector `e_i` of dimension `dim`.
@@ -117,11 +125,7 @@ impl Vector {
                 rhs: (other.dim(), 1),
             });
         }
-        Ok(self
-            .iter()
-            .zip(other.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.iter().zip(other.iter()).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (L2) norm.
@@ -231,7 +235,11 @@ impl Sub<&Vector> for &Vector {
 
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
-        assert_eq!(self.dim(), rhs.dim(), "vector add_assign: dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "vector add_assign: dimension mismatch"
+        );
         for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.iter()) {
             *a += b;
         }
@@ -240,7 +248,11 @@ impl AddAssign<&Vector> for Vector {
 
 impl SubAssign<&Vector> for Vector {
     fn sub_assign(&mut self, rhs: &Vector) {
-        assert_eq!(self.dim(), rhs.dim(), "vector sub_assign: dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "vector sub_assign: dimension mismatch"
+        );
         for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.iter()) {
             *a -= b;
         }

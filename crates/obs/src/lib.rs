@@ -1,0 +1,56 @@
+//! # kalstream-obs — the unified observability layer
+//!
+//! Every measured claim in this repository (suppression rates, byte
+//! accounting, shed/stale/gap counters, per-shard busy time) used to live in
+//! ad-hoc structs wired by hand through `sim`, `core`, and each `exp_*`
+//! binary. This crate gives those numbers one vocabulary and one export
+//! path:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — plain-old-data instruments.
+//!   Incrementing any of them is a field update on a value the caller
+//!   already owns: **no allocation, no locking, no indirection** on the hot
+//!   path. A [`Counter`] is layout-compatible with the bare `u64` it
+//!   replaces and supports `+= 1` via `AddAssign`, so migrating a counter
+//!   changes its type, not its call sites.
+//! * [`Registry`] / [`Scope`] / [`Instrument`] — the export side. Off the
+//!   hot path, a component implements [`Instrument`] to publish its
+//!   instruments under dot-separated names (`source.resyncs`,
+//!   `ingest.shard.2.stale_drops`); a [`Registry`] collects them into a
+//!   [`Snapshot`].
+//! * [`Snapshot`] — an ordered, deduplicated name → value map that
+//!   serializes **deterministically** to JSON ([`Snapshot::to_json`]) and a
+//!   text table ([`Snapshot::to_text`]). Two identical runs produce
+//!   byte-identical artifacts — the property the CI regression gate and the
+//!   `--metrics-out` flag on the experiment harness rely on.
+//! * [`SpanTimer`] — a start/stop stage timer that records elapsed
+//!   nanoseconds into a log₂ [`Histogram`] (ingest decode, filter
+//!   predict/update, wire encode, link transit).
+//!
+//! ## Naming conventions
+//!
+//! Metric names are lowercase dot-separated paths: `<component>.<metric>`,
+//! with optional interior instance segments (`stream.7.traffic.messages`).
+//! Counters are nouns in the plural (`syncs`, `stale_drops`), gauges are
+//! singular quantities (`delta`, `rmse`), histograms carry their unit as a
+//! suffix (`tick_ns`). Aggregated fleet metrics live under `fleet.`,
+//! per-stream metrics under `stream.<index>.`.
+//!
+//! The collection model is *pull*: components own their instruments and are
+//! asked to export them, rather than pushing through a global. That keeps
+//! ownership, borrowing, and determinism trivial — there is no hidden
+//! shared state, and a snapshot is a pure function of the structs it reads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hist;
+mod metric;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use hist::{Histogram, HISTOGRAM_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{Instrument, Registry, Scope};
+pub use snapshot::{MetricValue, Snapshot};
+pub use span::SpanTimer;

@@ -1,0 +1,133 @@
+//! Scalar instruments: monotone [`Counter`] and last-value [`Gauge`].
+
+use core::fmt;
+
+/// A monotonically increasing event count.
+///
+/// Layout-compatible with the bare `u64` it replaces: incrementing is a
+/// single field update with no allocation or synchronization, and
+/// `AddAssign<u64>` keeps existing `counter += 1` call sites compiling
+/// unchanged. Equality, ordering, and hashing all defer to the underlying
+/// count so counters can sit inside `Eq`/`Copy` report structs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Current count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Folds another counter in (fleet aggregation).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(n: u64) -> Self {
+        Counter(n)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> Self {
+        c.0
+    }
+}
+
+impl core::ops::AddAssign<u64> for Counter {
+    fn add_assign(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A last-value-wins measurement (a configured δ, an observed RMSE).
+///
+/// Unlike a [`Counter`], a gauge carries no accumulation semantics of its
+/// own: [`Gauge::set`] overwrites. Fleet aggregation of gauges is the
+/// *caller's* decision (sum, max, mean) — [`crate::Snapshot::merge`] sums,
+/// which is right for the additive gauges this workspace exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(0.0)
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Overwrites the value.
+    pub fn set(&mut self, v: f64) {
+        self.0 = v;
+    }
+}
+
+impl From<f64> for Gauge {
+    fn from(v: f64) -> Self {
+        Gauge(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_a_u64_in_disguise() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c += 1;
+        c.add(3);
+        assert_eq!(c.get(), 5);
+        assert_eq!(u64::from(c), 5);
+        assert_eq!(Counter::from(5), c);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::from(7);
+        a.merge(Counter::from(35));
+        assert_eq!(a.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let mut g = Gauge::new();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+}

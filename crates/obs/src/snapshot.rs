@@ -1,0 +1,417 @@
+//! Deterministic metric snapshots: ordered name → value maps with JSON and
+//! text renderings.
+
+use crate::Histogram;
+use std::fmt::Write as _;
+
+/// The exported value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A last-value measurement.
+    Gauge(f64),
+    /// A log₂ histogram, stored sparsely as `(bucket_index, count)` pairs
+    /// (only non-empty buckets) plus the summary scalars.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Largest sample.
+        max: u64,
+        /// Non-empty buckets as `(index, count)`, ascending by index.
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+impl MetricValue {
+    /// Builds the sparse histogram value from a dense [`Histogram`].
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let buckets = h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect();
+        MetricValue::Histogram {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            buckets,
+        }
+    }
+}
+
+/// An ordered, deduplicated set of `(name, value)` metric entries.
+///
+/// Entries are sorted by name; a later export under an existing name
+/// replaces the earlier value. Serialization is a pure function of the
+/// entries, so two identical runs produce byte-identical artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from raw entries (sorting and deduplicating;
+    /// last write wins on duplicate names).
+    #[must_use]
+    pub fn from_entries(mut raw: Vec<(String, MetricValue)>) -> Self {
+        // Stable sort keeps insertion order within equal names, then dedup
+        // keeps the *last* recorded value for each name.
+        raw.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut entries: Vec<(String, MetricValue)> = Vec::with_capacity(raw.len());
+        for (name, value) in raw {
+            match entries.last_mut() {
+                Some(last) if last.0 == name => last.1 = value,
+                _ => entries.push((name, value)),
+            }
+        }
+        Snapshot { entries }
+    }
+
+    /// The sorted `(name, value)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics were exported.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a metric by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Convenience: the value of a counter metric, if present and a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge metric, if present and a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Folds another snapshot in, name by name: counters add, gauges add,
+    /// histograms merge bucket-wise; names unique to `other` are inserted.
+    /// This is the fleet-aggregation primitive — merging per-stream
+    /// snapshots yields the fleet snapshot.
+    ///
+    /// Mismatched kinds under the same name keep `self`'s value (a schema
+    /// bug upstream; the snapshot stays well-formed).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, theirs) in &other.entries {
+            match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => {
+                    let ours = &mut self.entries[i].1;
+                    match (ours, theirs) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                        (
+                            MetricValue::Histogram {
+                                count,
+                                sum,
+                                max,
+                                buckets,
+                            },
+                            MetricValue::Histogram {
+                                count: c2,
+                                sum: s2,
+                                max: m2,
+                                buckets: b2,
+                            },
+                        ) => {
+                            *count += c2;
+                            *sum = sum.saturating_add(*s2);
+                            *max = (*max).max(*m2);
+                            *buckets = merge_sparse(buckets, b2);
+                        }
+                        _ => {}
+                    }
+                }
+                Err(i) => self.entries.insert(i, (name.clone(), theirs.clone())),
+            }
+        }
+    }
+
+    /// A copy of this snapshot with every name nested under `prefix`
+    /// (dot-joined). An empty prefix returns an unchanged copy. This is how
+    /// an already-aggregated snapshot (say, a fleet report's) is re-exported
+    /// under a wider namespace.
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        if prefix.is_empty() {
+            return self.clone();
+        }
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, value)| (format!("{prefix}.{name}"), value.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as deterministic JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "kalstream-obs/v1",
+    ///   "metrics": {
+    ///     "fleet.traffic.messages": 73977,
+    ///     "source.delta": 1.0,
+    ///     "ingest.tick_ns": {"count": 3, "sum": 900, "max": 400, "buckets": [[9, 3]]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted, floats use Rust's shortest-round-trip formatting,
+    /// non-finite gauges render as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"kalstream-obs/v1\",\n  \"metrics\": {");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                MetricValue::Gauge(v) => json_f64(&mut out, *v),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {count}, \"sum\": {sum}, \"max\": {max}, \"buckets\": ["
+                    );
+                    for (j, (idx, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "[{idx}, {n}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as an aligned `name value` text table, one
+    /// metric per line, sorted by name. Histograms render their summary
+    /// (`count/sum/max/p50/p99`).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let _ = write!(out, "{name:width$}  ");
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v:?}");
+                }
+                MetricValue::Histogram {
+                    count, sum, max, ..
+                } => {
+                    let _ = write!(out, "count={count} sum={sum} max={max}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Merges two sparse `(index, count)` bucket lists, both ascending.
+fn merge_sparse(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ia, na)), Some(&(ib, nb))) => {
+                use std::cmp::Ordering;
+                match ia.cmp(&ib) {
+                    Ordering::Less => {
+                        out.push((ia, na));
+                        i += 1;
+                    }
+                    Ordering::Greater => {
+                        out.push((ib, nb));
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        out.push((ia, na + nb));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            (Some(&(ia, na)), None) => {
+                out.push((ia, na));
+                i += 1;
+            }
+            (None, Some(&(ib, nb))) => {
+                out.push((ib, nb));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Appends a JSON string literal (metric names are ASCII identifiers, but
+/// escape defensively).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an f64 as JSON: shortest round-trip formatting, `null` for
+/// non-finite values (which JSON cannot represent).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(700);
+        Snapshot::from_entries(vec![
+            ("b.gauge".into(), MetricValue::Gauge(1.5)),
+            ("a.count".into(), MetricValue::Counter(7)),
+            ("c.hist".into(), MetricValue::from_histogram(&h)),
+        ])
+    }
+
+    #[test]
+    fn entries_are_sorted_and_deduplicated() {
+        let s = Snapshot::from_entries(vec![
+            ("z".into(), MetricValue::Counter(1)),
+            ("a".into(), MetricValue::Counter(2)),
+            ("z".into(), MetricValue::Counter(3)),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entries()[0].0, "a");
+        assert_eq!(s.counter("z"), Some(3), "last write wins");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        let pos_a = a.find("a.count").unwrap();
+        let pos_b = a.find("b.gauge").unwrap();
+        let pos_c = a.find("c.hist").unwrap();
+        assert!(pos_a < pos_b && pos_b < pos_c);
+        assert!(a.contains("\"a.count\": 7"));
+        assert!(a.contains("\"b.gauge\": 1.5"));
+        assert!(a.contains("\"buckets\": [[2, 1], [10, 1]]"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_null() {
+        let s = Snapshot::from_entries(vec![("x".into(), MetricValue::Gauge(f64::NAN))]);
+        assert!(s.to_json().contains("\"x\": null"));
+    }
+
+    #[test]
+    fn merge_adds_counters_gauges_and_buckets() {
+        let mut a = sample();
+        let mut other_h = Histogram::new();
+        other_h.record(3);
+        other_h.record(1 << 20);
+        let other = Snapshot::from_entries(vec![
+            ("a.count".into(), MetricValue::Counter(5)),
+            ("b.gauge".into(), MetricValue::Gauge(0.5)),
+            ("c.hist".into(), MetricValue::from_histogram(&other_h)),
+            ("d.new".into(), MetricValue::Counter(1)),
+        ]);
+        a.merge(&other);
+        assert_eq!(a.counter("a.count"), Some(12));
+        assert_eq!(a.gauge("b.gauge"), Some(2.0));
+        assert_eq!(a.counter("d.new"), Some(1));
+        match a.get("c.hist").unwrap() {
+            MetricValue::Histogram {
+                count,
+                max,
+                buckets,
+                ..
+            } => {
+                assert_eq!(*count, 4);
+                assert_eq!(*max, 1 << 20);
+                assert_eq!(buckets.as_slice(), &[(2, 2), (10, 1), (21, 1)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_table_lists_every_metric() {
+        let txt = sample().to_text();
+        assert_eq!(txt.lines().count(), 3);
+        assert!(txt.contains("a.count"));
+        assert!(txt.contains("count=2"));
+    }
+}

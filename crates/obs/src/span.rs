@@ -1,0 +1,71 @@
+//! Stage timing: a start/stop timer that feeds a [`Histogram`].
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// A lightweight span timer for stage timing (ingest decode, filter
+/// predict/update, wire encode, link transit).
+///
+/// Starting and stopping a span is one `Instant::now()` each — no
+/// allocation — so spans can wrap hot-path stages without disturbing the
+/// allocation-freedom gate. Wall-clock durations are inherently
+/// nondeterministic, so span histograms are *reported* (snapshots, metrics
+/// artifacts) but never folded into the deterministic experiment tables.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Starts the span now.
+    #[must_use]
+    pub fn start() -> Self {
+        SpanTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since start (saturated to `u64::MAX`).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stops the span, recording the elapsed nanoseconds into `hist`.
+    /// Returns the recorded value.
+    pub fn stop(self, hist: &mut Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        hist.record(ns);
+        ns
+    }
+
+    /// Times a closure, recording its elapsed nanoseconds into `hist`.
+    pub fn time<R>(hist: &mut Histogram, f: impl FnOnce() -> R) -> R {
+        let span = SpanTimer::start();
+        let out = f();
+        span.stop(hist);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_into_histogram() {
+        let mut h = Histogram::new();
+        let span = SpanTimer::start();
+        let ns = span.stop(&mut h);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() == ns);
+    }
+
+    #[test]
+    fn time_passes_the_closure_result_through() {
+        let mut h = Histogram::new();
+        let out = SpanTimer::time(&mut h, || 40 + 2);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

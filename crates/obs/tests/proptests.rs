@@ -1,0 +1,120 @@
+//! Property-based tests for the observability layer: histogram bucketing
+//! invariants, snapshot determinism, and merge associativity with plain
+//! arithmetic as the reference model.
+
+use kalstream_obs::{Counter, Histogram, MetricValue, Registry, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_bucketing_is_total_and_ordered(
+        values in prop::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            let idx = Histogram::bucket_index(v);
+            prop_assert!(idx < kalstream_obs::HISTOGRAM_BUCKETS);
+            // The bucket's bound is an upper bound for its members.
+            if idx < kalstream_obs::HISTOGRAM_BUCKETS - 1 {
+                prop_assert!(v <= Histogram::bucket_bound(idx));
+                if idx > 0 {
+                    prop_assert!(v >= Histogram::bucket_bound(idx - 1));
+                }
+            }
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn histogram_merge_equals_union_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hu);
+    }
+
+    #[test]
+    fn counter_tracks_u64_reference_model(
+        increments in prop::collection::vec(0u64..1_000, 0..100),
+    ) {
+        let mut c = Counter::new();
+        let mut reference = 0u64;
+        for &n in &increments {
+            c += n;
+            reference += n;
+        }
+        prop_assert_eq!(c.get(), reference);
+        prop_assert_eq!(c.to_string(), reference.to_string());
+    }
+
+    #[test]
+    fn snapshot_serialization_is_deterministic(
+        metrics in prop::collection::vec((0u32..50, 0u64..1_000_000), 1..60),
+    ) {
+        // Build the same registry twice (in the same order) and once in
+        // reverse: all three must serialize byte-identically, because a
+        // snapshot is a pure sorted function of its entries.
+        let build = |pairs: &[(u32, u64)]| {
+            let mut reg = Registry::new();
+            for &(id, v) in pairs {
+                let mut scope = reg.scope("stream");
+                scope.scope(&id.to_string()).counter("events", v);
+            }
+            reg.snapshot().to_json()
+        };
+        let forward = build(&metrics);
+        let again = build(&metrics);
+        let reversed: Vec<_> = metrics.iter().rev().copied().collect();
+        let backward = build(&reversed);
+        prop_assert_eq!(&forward, &again);
+        // Reversal changes which duplicate wins; restrict the claim to
+        // duplicate-free inputs.
+        let mut ids: Vec<u32> = metrics.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() == metrics.len() {
+            prop_assert_eq!(&forward, &backward);
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_matches_scalar_addition(
+        a in prop::collection::vec((0u32..20, 0u64..1_000), 0..30),
+        b in prop::collection::vec((0u32..20, 0u64..1_000), 0..30),
+    ) {
+        // Reference model: plain u64 sums per key.
+        let mut expected = std::collections::BTreeMap::new();
+        let to_snapshot = |pairs: &[(u32, u64)]| {
+            let mut totals = std::collections::BTreeMap::new();
+            for &(id, v) in pairs {
+                *totals.entry(id).or_insert(0u64) += v;
+            }
+            Snapshot::from_entries(
+                totals
+                    .iter()
+                    .map(|(id, &v)| (format!("k.{id}"), MetricValue::Counter(v)))
+                    .collect(),
+            )
+        };
+        for &(id, v) in a.iter().chain(b.iter()) {
+            *expected.entry(id).or_insert(0u64) += v;
+        }
+        let mut merged = to_snapshot(&a);
+        merged.merge(&to_snapshot(&b));
+        for (id, &v) in &expected {
+            prop_assert_eq!(merged.counter(&format!("k.{id}")), Some(v));
+        }
+        prop_assert_eq!(merged.len(), expected.len());
+    }
+}

@@ -62,7 +62,9 @@ pub fn split_budget(demands: &[StreamDemand], total: f64, cap: Option<f64>) -> V
         // Best affordable move: advance stream i to candidates[i][idx[i]].
         let mut best: Option<(usize, f64)> = None; // (stream, ratio)
         for (i, d) in demands.iter().enumerate() {
-            let Some(&next) = candidates[i].get(idx[i]) else { continue };
+            let Some(&next) = candidates[i].get(idx[i]) else {
+                continue;
+            };
             let cost = next - deltas[i];
             if cost > slack + 1e-15 {
                 continue;
@@ -132,7 +134,11 @@ mod tests {
         let optimal = split_budget(&demands, total, None);
         let uniform = split_budget_uniform(2, total, None);
         let cost = |split: &[f64]| -> f64 {
-            demands.iter().zip(split.iter()).map(|(d, &delta)| d.rate_at(delta)).sum()
+            demands
+                .iter()
+                .zip(split.iter())
+                .map(|(d, &delta)| d.rate_at(delta))
+                .sum()
         };
         assert!(
             cost(&optimal) <= cost(&uniform) + 1e-12,
@@ -140,7 +146,10 @@ mod tests {
             cost(&optimal),
             cost(&uniform)
         );
-        assert!(cost(&optimal) < cost(&uniform), "expected a strict win on this fleet");
+        assert!(
+            cost(&optimal) < cost(&uniform),
+            "expected a strict win on this fleet"
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct Answer {
 
 /// Answers a point query from one stream view.
 pub fn answer_point(view: &StreamView) -> Answer {
-    Answer { value: view.value, bound: view.delta, max_staleness: view.staleness }
+    Answer {
+        value: view.value,
+        bound: view.delta,
+        max_staleness: view.staleness,
+    }
 }
 
 /// Answers an aggregate query from its member views (in member order).
@@ -31,7 +35,10 @@ pub fn answer_point(view: &StreamView) -> Answer {
 /// # Errors
 /// [`QueryError::Invalid`] when `views` is empty or its length disagrees
 /// with the query's member list.
-pub fn answer_aggregate(query: &AggregateQuery, views: &[StreamView]) -> Result<Answer, QueryError> {
+pub fn answer_aggregate(
+    query: &AggregateQuery,
+    views: &[StreamView],
+) -> Result<Answer, QueryError> {
     if views.len() != query.streams.len() || views.is_empty() {
         return Err(QueryError::Invalid {
             reason: format!(
@@ -57,11 +64,18 @@ pub fn answer_aggregate(query: &AggregateQuery, views: &[StreamView]) -> Result<
             views.iter().map(|v| v.delta).fold(0.0, f64::max),
         ),
         AggKind::Max => (
-            views.iter().map(|v| v.value).fold(f64::NEG_INFINITY, f64::max),
+            views
+                .iter()
+                .map(|v| v.value)
+                .fold(f64::NEG_INFINITY, f64::max),
             views.iter().map(|v| v.delta).fold(0.0, f64::max),
         ),
     };
-    Ok(Answer { value, bound, max_staleness })
+    Ok(Answer {
+        value,
+        bound,
+        max_staleness,
+    })
 }
 
 #[cfg(test)]
@@ -70,7 +84,11 @@ mod tests {
     use crate::StreamId;
 
     fn view(value: f64, delta: f64, staleness: u64) -> StreamView {
-        StreamView { value, delta, staleness }
+        StreamView {
+            value,
+            delta,
+            staleness,
+        }
     }
 
     fn agg(kind: AggKind, n: usize, bound: f64) -> AggregateQuery {
@@ -80,7 +98,14 @@ mod tests {
     #[test]
     fn point_answer_carries_stream_bound() {
         let a = answer_point(&view(3.0, 0.25, 7));
-        assert_eq!(a, Answer { value: 3.0, bound: 0.25, max_staleness: 7 });
+        assert_eq!(
+            a,
+            Answer {
+                value: 3.0,
+                bound: 0.25,
+                max_staleness: 7
+            }
+        );
     }
 
     #[test]

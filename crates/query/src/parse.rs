@@ -54,7 +54,10 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryError> {
             if !(bound > 0.0 && bound.is_finite()) {
                 return Err(invalid(format!("bound must be positive, got {bound}")));
             }
-            Ok(ParsedQuery::Point(PointQuery { stream, delta: bound }))
+            Ok(ParsedQuery::Point(PointQuery {
+                stream,
+                delta: bound,
+            }))
         }
         "AVG" | "SUM" | "MIN" | "MAX" => {
             let kind = match upper.as_str() {
@@ -69,15 +72,15 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryError> {
                 match tokens.next_punct()? {
                     ',' => streams.push(tokens.next_stream()?),
                     ')' => break,
-                    other => {
-                        return Err(invalid(format!("expected ',' or ')', got {other:?}")))
-                    }
+                    other => return Err(invalid(format!("expected ',' or ')', got {other:?}"))),
                 }
             }
             tokens.expect_keyword("WITHIN")?;
             let bound = tokens.next_number()?;
             tokens.expect_end()?;
-            Ok(ParsedQuery::Aggregate(AggregateQuery::new(kind, streams, bound)?))
+            Ok(ParsedQuery::Aggregate(AggregateQuery::new(
+                kind, streams, bound,
+            )?))
         }
         other => Err(invalid(format!("unknown query head {other:?}"))),
     }
@@ -173,7 +176,9 @@ impl Tokens {
     fn next_stream(&mut self) -> Result<StreamId, QueryError> {
         let w = self.next_word()?;
         let Some(digits) = w.strip_prefix('s').or_else(|| w.strip_prefix('S')) else {
-            return Err(invalid(format!("stream names look like s0, s1, …; got {w:?}")));
+            return Err(invalid(format!(
+                "stream names look like s0, s1, …; got {w:?}"
+            )));
         };
         digits
             .parse::<usize>()
@@ -183,7 +188,8 @@ impl Tokens {
 
     fn next_number(&mut self) -> Result<f64, QueryError> {
         let w = self.next_word()?;
-        w.parse::<f64>().map_err(|_| invalid(format!("expected a number, got {w:?}")))
+        w.parse::<f64>()
+            .map_err(|_| invalid(format!("expected a number, got {w:?}")))
     }
 
     fn expect_end(&mut self) -> Result<(), QueryError> {
@@ -203,7 +209,10 @@ mod tests {
         let q = parse_query("POINT s3 WITHIN 0.5").unwrap();
         assert_eq!(
             q,
-            ParsedQuery::Point(PointQuery { stream: StreamId(3), delta: 0.5 })
+            ParsedQuery::Point(PointQuery {
+                stream: StreamId(3),
+                delta: 0.5
+            })
         );
     }
 

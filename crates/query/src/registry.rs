@@ -77,7 +77,11 @@ impl QueryRegistry {
             .points
             .iter()
             .map(|p| p.stream)
-            .chain(self.aggregates.iter().flat_map(|a| a.streams.iter().copied()))
+            .chain(
+                self.aggregates
+                    .iter()
+                    .flat_map(|a| a.streams.iter().copied()),
+            )
             .collect();
         ids.sort();
         ids.dedup();
@@ -151,7 +155,12 @@ impl QueryRegistry {
                 let views: Result<Vec<_>, _> = a
                     .streams
                     .iter()
-                    .map(|id| self.views.get(id).copied().ok_or(QueryError::UnknownStream(*id)))
+                    .map(|id| {
+                        self.views
+                            .get(id)
+                            .copied()
+                            .ok_or(QueryError::UnknownStream(*id))
+                    })
                     .collect();
                 answer_aggregate(a, &views?)
             })
@@ -166,8 +175,14 @@ mod tests {
 
     fn registry_with_queries() -> QueryRegistry {
         let mut r = QueryRegistry::new();
-        r.add_point(PointQuery { stream: StreamId(0), delta: 0.5 });
-        r.add_point(PointQuery { stream: StreamId(0), delta: 0.2 });
+        r.add_point(PointQuery {
+            stream: StreamId(0),
+            delta: 0.5,
+        });
+        r.add_point(PointQuery {
+            stream: StreamId(0),
+            delta: 0.2,
+        });
         r.add_aggregate(
             AggregateQuery::new(AggKind::Avg, vec![StreamId(0), StreamId(1)], 1.0).unwrap(),
         );
@@ -224,8 +239,22 @@ mod tests {
             r.answer_point_queries(),
             Err(QueryError::UnknownStream(StreamId(0)))
         ));
-        r.update_view(StreamId(0), StreamView { value: 1.0, delta: 0.2, staleness: 0 });
-        r.update_view(StreamId(1), StreamView { value: 3.0, delta: 1.0, staleness: 4 });
+        r.update_view(
+            StreamId(0),
+            StreamView {
+                value: 1.0,
+                delta: 0.2,
+                staleness: 0,
+            },
+        );
+        r.update_view(
+            StreamId(1),
+            StreamView {
+                value: 3.0,
+                delta: 1.0,
+                staleness: 4,
+            },
+        );
         let points = r.answer_point_queries().unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].value, 1.0);

@@ -48,14 +48,20 @@ impl AggregateQuery {
     /// bound.
     pub fn new(kind: AggKind, streams: Vec<StreamId>, bound: f64) -> Result<Self, QueryError> {
         if streams.is_empty() {
-            return Err(QueryError::Invalid { reason: "aggregate needs at least one stream".into() });
+            return Err(QueryError::Invalid {
+                reason: "aggregate needs at least one stream".into(),
+            });
         }
         if !(bound > 0.0 && bound.is_finite()) {
             return Err(QueryError::Invalid {
                 reason: format!("bound must be positive and finite, got {bound}"),
             });
         }
-        Ok(AggregateQuery { kind, streams, bound })
+        Ok(AggregateQuery {
+            kind,
+            streams,
+            bound,
+        })
     }
 
     /// The total imprecision budget `Σ δᵢ` the member streams may spend
@@ -134,7 +140,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(QueryError::UnknownStream(StreamId(7)).to_string().contains('7'));
-        assert!(QueryError::Invalid { reason: "x".into() }.to_string().contains("invalid"));
+        assert!(QueryError::UnknownStream(StreamId(7))
+            .to_string()
+            .contains('7'));
+        assert!(QueryError::Invalid { reason: "x".into() }
+            .to_string()
+            .contains("invalid"));
     }
 }

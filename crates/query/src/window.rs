@@ -98,7 +98,13 @@ impl SlidingExtremum {
 
     fn new(window: usize, is_min: bool) -> Self {
         assert!(window > 0, "window must be positive");
-        SlidingExtremum { window, is_min, candidates: VecDeque::new(), bounds: VecDeque::new(), tick: 0 }
+        SlidingExtremum {
+            window,
+            is_min,
+            candidates: VecDeque::new(),
+            bounds: VecDeque::new(),
+            tick: 0,
+        }
     }
 
     /// Pushes one tick's served value and bound.
@@ -114,13 +120,15 @@ impl SlidingExtremum {
             self.bounds.pop_front();
         }
         // Maintain monotonicity: drop dominated candidates from the back.
-        while self.candidates.back().is_some_and(|&(_, v)| {
-            if self.is_min {
-                v >= value
-            } else {
-                v <= value
-            }
-        }) {
+        while self.candidates.back().is_some_and(
+            |&(_, v)| {
+                if self.is_min {
+                    v >= value
+                } else {
+                    v <= value
+                }
+            },
+        ) {
             self.candidates.pop_back();
         }
         self.candidates.push_back((now, value));
@@ -400,7 +408,10 @@ mod tests {
             history.push(v);
             w.push(v, 0.0);
             let start = history.len().saturating_sub(5);
-            let naive = history[start..].iter().copied().fold(f64::INFINITY, f64::min);
+            let naive = history[start..]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
             assert_eq!(w.answer().unwrap().0, naive);
         }
     }

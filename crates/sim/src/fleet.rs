@@ -3,6 +3,7 @@
 //! ingest-mode fleet driver.
 
 use crossbeam::channel;
+use kalstream_obs::{Registry, Snapshot};
 
 use crate::{
     metrics::{DeliveryStats, FaultCounters},
@@ -34,13 +35,46 @@ impl FleetReport {
         if self.sessions.is_empty() {
             return 0.0;
         }
-        self.sessions.iter().map(SessionReport::message_rate).sum::<f64>()
+        self.sessions
+            .iter()
+            .map(SessionReport::message_rate)
+            .sum::<f64>()
             / self.sessions.len() as f64
     }
 
     /// Total precision violations (vs. observed signal) across the fleet.
     pub fn total_violations(&self) -> u64 {
-        self.sessions.iter().map(|s| s.error_vs_observed.violations()).sum()
+        self.sessions
+            .iter()
+            .map(|s| s.error_vs_observed.violations())
+            .sum()
+    }
+
+    /// The fleet-aggregated snapshot (`fleet.*` metrics): traffic, fault,
+    /// and delivery totals plus violation and session counts.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut reg = Registry::new();
+        let mut fleet = reg.scope("fleet");
+        fleet.counter("sessions", self.sessions.len() as u64);
+        fleet.counter("violations", self.total_violations());
+        fleet.gauge("mean_message_rate", self.mean_message_rate());
+        fleet.observe("traffic", &self.total_traffic);
+        fleet.observe("faults", &self.total_faults);
+        fleet.observe("delivery", &self.total_delivery);
+        reg.snapshot()
+    }
+
+    /// The per-stream snapshot (`stream.<index>.*` metrics): every
+    /// session's full report, index-aligned with the submitted jobs.
+    /// Merging this with [`FleetReport::snapshot`] gives one artifact with
+    /// both granularities.
+    pub fn stream_snapshots(&self) -> Snapshot {
+        let mut reg = Registry::new();
+        let mut streams = reg.scope("stream");
+        for (i, session) in self.sessions.iter().enumerate() {
+            streams.observe(&i.to_string(), session);
+        }
+        reg.snapshot()
     }
 }
 
@@ -88,8 +122,10 @@ where
     while let Ok((idx, report)) = report_rx.recv() {
         slots[idx] = Some(report);
     }
-    let sessions: Vec<SessionReport> =
-        slots.into_iter().map(|r| r.expect("every job ran")).collect();
+    let sessions: Vec<SessionReport> = slots
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect();
     let mut total_traffic = TrafficMetrics::default();
     let mut total_faults = FaultCounters::default();
     let mut total_delivery = DeliveryStats::default();
@@ -98,7 +134,12 @@ where
         total_faults.merge(&s.faults);
         total_delivery.merge(&s.delivery);
     }
-    FleetReport { sessions, total_traffic, total_faults, total_delivery }
+    FleetReport {
+        sessions,
+        total_traffic,
+        total_faults,
+        total_delivery,
+    }
 }
 
 /// A boxed `(observed, truth)` sampler, as carried by [`IngestStream`].
@@ -128,6 +169,31 @@ pub struct IngestFleetReport {
     /// Fault injections summed over every stream's link (all zero for the
     /// reliable [`run_fleet_ingest`] path).
     pub faults: FaultCounters,
+}
+
+impl IngestFleetReport {
+    /// The fleet-aggregated snapshot (`fleet.*` metrics) of the source
+    /// side of an ingest run.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut reg = Registry::new();
+        let mut fleet = reg.scope("fleet");
+        fleet.counter("streams", self.per_stream.len() as u64);
+        fleet.counter("ticks", self.ticks);
+        fleet.observe("traffic", &self.total_traffic);
+        fleet.observe("faults", &self.faults);
+        reg.snapshot()
+    }
+
+    /// The per-stream traffic snapshot (`stream.<index>.traffic.*`).
+    pub fn stream_snapshots(&self) -> Snapshot {
+        let mut reg = Registry::new();
+        let mut streams = reg.scope("stream");
+        for (i, traffic) in self.per_stream.iter().enumerate() {
+            let mut stream = streams.scope(&i.to_string());
+            stream.observe("traffic", traffic);
+        }
+        reg.snapshot()
+    }
 }
 
 /// Drives many streams against one multiplexed [`IngestSink`] — the
@@ -170,13 +236,21 @@ pub fn run_fleet_ingest_faulty<S: IngestSink + ?Sized>(
             Link::with_faults(
                 0,
                 overhead_bytes,
-                LinkFaults { seed: faults.seed ^ i as u64, ..faults },
+                LinkFaults {
+                    seed: faults.seed ^ i as u64,
+                    ..faults
+                },
             )
         })
         .collect();
-    let mut observed: Vec<Vec<f64>> =
-        streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
-    let mut truth: Vec<Vec<f64>> = streams.iter().map(|s| vec![0.0; s.producer.dim()]).collect();
+    let mut observed: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| vec![0.0; s.producer.dim()])
+        .collect();
+    let mut truth: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| vec![0.0; s.producer.dim()])
+        .collect();
     for now in 0..ticks {
         for (i, stream) in streams.iter_mut().enumerate() {
             (stream.sampler)(&mut observed[i], &mut truth[i]);
@@ -198,7 +272,12 @@ pub fn run_fleet_ingest_faulty<S: IngestSink + ?Sized>(
     for l in &links {
         fault_totals.merge(&l.fault_counters());
     }
-    IngestFleetReport { ticks, total_traffic, per_stream, faults: fault_totals }
+    IngestFleetReport {
+        ticks,
+        total_traffic,
+        per_stream,
+        faults: fault_totals,
+    }
 }
 
 #[cfg(test)]
@@ -349,10 +428,16 @@ mod tests {
         };
 
         let mut sink = Recorder::default();
-        let faults = LinkFaults { loss: 0.5, seed: 7, ..LinkFaults::default() };
-        let report =
-            run_fleet_ingest_faulty(&mut make_streams(), 100, 0, faults, &mut sink);
-        assert!(report.faults.dropped > 0, "50% loss over 400 sends must drop");
+        let faults = LinkFaults {
+            loss: 0.5,
+            seed: 7,
+            ..LinkFaults::default()
+        };
+        let report = run_fleet_ingest_faulty(&mut make_streams(), 100, 0, faults, &mut sink);
+        assert!(
+            report.faults.dropped > 0,
+            "50% loss over 400 sends must drop"
+        );
         assert_eq!(
             sink.pushes.len() as u64 + report.faults.dropped,
             400,
@@ -375,5 +460,53 @@ mod tests {
         assert_eq!(sink_a.pushes, sink_b.pushes);
         assert_eq!(a.total_traffic.bytes(), b.total_traffic.bytes());
         assert_eq!(b.faults, FaultCounters::default());
+    }
+
+    #[test]
+    fn fleet_snapshots_expose_totals_and_streams() {
+        let jobs: Vec<_> = (0..3).map(|_| job(100)).collect();
+        let report = run_fleet(jobs, 2);
+        let fleet = report.snapshot();
+        assert_eq!(fleet.counter("fleet.sessions"), Some(3));
+        assert_eq!(fleet.counter("fleet.traffic.messages"), Some(300));
+        assert_eq!(fleet.counter("fleet.violations"), Some(0));
+
+        let streams = report.stream_snapshots();
+        assert_eq!(streams.counter("stream.0.traffic.messages"), Some(100));
+        assert_eq!(streams.counter("stream.2.ticks"), Some(100));
+
+        // Merging granularities yields one artifact with both.
+        let mut merged = fleet.clone();
+        merged.merge(&streams);
+        assert_eq!(merged.counter("fleet.traffic.messages"), Some(300));
+        assert_eq!(merged.counter("stream.1.traffic.messages"), Some(100));
+
+        // Determinism: an identical run snapshots byte-identically.
+        let again = run_fleet((0..3).map(|_| job(100)).collect::<Vec<_>>(), 2);
+        assert_eq!(again.snapshot().to_json(), fleet.to_json());
+        assert_eq!(again.stream_snapshots().to_json(), streams.to_json());
+    }
+
+    #[test]
+    fn ingest_fleet_snapshots_expose_totals_and_streams() {
+        let mut streams: Vec<IngestStream<'_>> = (0..2u32)
+            .map(|id| IngestStream {
+                stream_id: id,
+                producer: Box::new(ShipAll),
+                sampler: Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+                    obs[0] = id as f64;
+                    tru[0] = id as f64;
+                }),
+            })
+            .collect();
+        let mut sink = Recorder::default();
+        let report = run_fleet_ingest(&mut streams, 5, 8, &mut sink);
+        let fleet = report.snapshot();
+        assert_eq!(fleet.counter("fleet.streams"), Some(2));
+        assert_eq!(fleet.counter("fleet.ticks"), Some(5));
+        assert_eq!(fleet.counter("fleet.traffic.messages"), Some(10));
+        let per_stream = report.stream_snapshots();
+        assert_eq!(per_stream.counter("stream.0.traffic.messages"), Some(5));
+        assert_eq!(per_stream.counter("stream.1.traffic.bytes"), Some(5 * 16));
     }
 }

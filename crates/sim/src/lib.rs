@@ -32,6 +32,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// The observability layer every report in this crate exports through.
+pub use kalstream_obs as obs;
+
 mod clock;
 mod fleet;
 mod link;

@@ -50,14 +50,24 @@ pub struct LinkFaults {
 
 impl Default for LinkFaults {
     fn default() -> Self {
-        LinkFaults { loss: 0.0, dup: 0.0, reorder: 0.0, jitter: 0, seed: 0 }
+        LinkFaults {
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            jitter: 0,
+            seed: 0,
+        }
     }
 }
 
 impl LinkFaults {
     /// Loss-only faults — the profile [`Link::lossy`] has always modelled.
     pub fn lossy(loss: f64, seed: u64) -> Self {
-        LinkFaults { loss, seed, ..LinkFaults::default() }
+        LinkFaults {
+            loss,
+            seed,
+            ..LinkFaults::default()
+        }
     }
 
     /// `true` when no fault can ever fire (the link behaves reliably and
@@ -67,9 +77,15 @@ impl LinkFaults {
     }
 
     fn validate(&self) {
-        assert!((0.0..1.0).contains(&self.loss), "loss_prob must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.loss),
+            "loss_prob must be in [0, 1)"
+        );
         assert!((0.0..1.0).contains(&self.dup), "dup_prob must be in [0, 1)");
-        assert!((0.0..1.0).contains(&self.reorder), "reorder_prob must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.reorder),
+            "reorder_prob must be in [0, 1)"
+        );
     }
 }
 
@@ -206,7 +222,12 @@ impl Link {
         } else {
             None
         };
-        let msg = Message { sent_at: now, deliver_at, stream_id, payload };
+        let msg = Message {
+            sent_at: now,
+            deliver_at,
+            stream_id,
+            payload,
+        };
         if let Some(at) = dup_at {
             self.counters.duplicated += 1;
             let mut dup = msg.clone();
@@ -223,11 +244,17 @@ impl Link {
     /// Inserts keeping `in_flight` sorted by `deliver_at`, preserving
     /// insertion order among equal ticks.
     fn insert_sorted(&mut self, msg: Message) {
-        if self.in_flight.back().is_none_or(|m| m.deliver_at <= msg.deliver_at) {
+        if self
+            .in_flight
+            .back()
+            .is_none_or(|m| m.deliver_at <= msg.deliver_at)
+        {
             self.in_flight.push_back(msg); // common case: already in order
             return;
         }
-        let pos = self.in_flight.partition_point(|m| m.deliver_at <= msg.deliver_at);
+        let pos = self
+            .in_flight
+            .partition_point(|m| m.deliver_at <= msg.deliver_at);
         self.in_flight.insert(pos, msg);
     }
 
@@ -284,7 +311,14 @@ mod tests {
         link.send(0, Bytes::from_static(b"b"));
         link.send(1, Bytes::from_static(b"c"));
         let got: Vec<_> = link.deliver(2).map(|m| m.payload).collect();
-        assert_eq!(got, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b"), Bytes::from_static(b"c")]);
+        assert_eq!(
+            got,
+            vec![
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"c")
+            ]
+        );
     }
 
     #[test]
@@ -319,7 +353,11 @@ mod tests {
         assert_eq!(delivered as u64 + dropped, 1000);
         // ~50% drop rate, and the sender is charged for all 1000.
         assert!(dropped > 350 && dropped < 650, "dropped {dropped}");
-        assert_eq!(run(), (delivered, dropped), "loss must be deterministic per seed");
+        assert_eq!(
+            run(),
+            (delivered, dropped),
+            "loss must be deterministic per seed"
+        );
     }
 
     #[test]
@@ -341,31 +379,65 @@ mod tests {
     #[test]
     #[should_panic(expected = "dup_prob")]
     fn invalid_dup_prob_rejected() {
-        let _ = Link::with_faults(0, 0, LinkFaults { dup: 1.0, ..LinkFaults::default() });
+        let _ = Link::with_faults(
+            0,
+            0,
+            LinkFaults {
+                dup: 1.0,
+                ..LinkFaults::default()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "reorder_prob")]
     fn invalid_reorder_prob_rejected() {
-        let _ = Link::with_faults(0, 0, LinkFaults { reorder: -0.1, ..LinkFaults::default() });
+        let _ = Link::with_faults(
+            0,
+            0,
+            LinkFaults {
+                reorder: -0.1,
+                ..LinkFaults::default()
+            },
+        );
     }
 
     #[test]
     fn duplication_delivers_copies_and_counts() {
-        let mut link = Link::with_faults(0, 0, LinkFaults { dup: 0.5, seed: 7, ..LinkFaults::default() });
+        let mut link = Link::with_faults(
+            0,
+            0,
+            LinkFaults {
+                dup: 0.5,
+                seed: 7,
+                ..LinkFaults::default()
+            },
+        );
         for t in 0..200 {
             link.send(t, payload(1));
         }
         let delivered = link.deliver(200).count() as u64;
         assert_eq!(delivered, 200 + link.fault_counters().duplicated);
-        assert!(link.fault_counters().duplicated > 50, "dups {}", link.fault_counters().duplicated);
+        assert!(
+            link.fault_counters().duplicated > 50,
+            "dups {}",
+            link.fault_counters().duplicated
+        );
         // Duplication charges the sender once per send.
         assert_eq!(link.traffic().messages(), 200);
     }
 
     #[test]
     fn jitter_delays_within_bound_and_keeps_sorted_delivery() {
-        let mut link = Link::with_faults(2, 0, LinkFaults { jitter: 3, seed: 11, ..LinkFaults::default() });
+        let mut link = Link::with_faults(
+            2,
+            0,
+            LinkFaults {
+                jitter: 3,
+                seed: 11,
+                ..LinkFaults::default()
+            },
+        );
         for t in 0..100 {
             link.send(t, payload(1));
         }
@@ -381,7 +453,15 @@ mod tests {
 
     #[test]
     fn reordering_swaps_messages_and_counts() {
-        let mut link = Link::with_faults(0, 0, LinkFaults { reorder: 0.3, seed: 5, ..LinkFaults::default() });
+        let mut link = Link::with_faults(
+            0,
+            0,
+            LinkFaults {
+                reorder: 0.3,
+                seed: 5,
+                ..LinkFaults::default()
+            },
+        );
         for t in 0..200 {
             link.send_tagged(t, t as u32, payload(1));
         }
@@ -389,7 +469,10 @@ mod tests {
         assert_eq!(order.len(), 200);
         assert!(link.fault_counters().reordered > 20);
         let inversions = order.windows(2).filter(|w| w[0] > w[1]).count();
-        assert!(inversions > 0, "reordering must produce out-of-order delivery");
+        assert!(
+            inversions > 0,
+            "reordering must produce out-of-order delivery"
+        );
     }
 
     #[test]
@@ -398,8 +481,15 @@ mod tests {
         // loss-only link: a fault-capable link configured for loss only must
         // drop the identical messages.
         let mut legacy = Link::lossy(0, 0, 0.1, 4242);
-        let mut faulty =
-            Link::with_faults(0, 0, LinkFaults { loss: 0.1, seed: 4242, ..LinkFaults::default() });
+        let mut faulty = Link::with_faults(
+            0,
+            0,
+            LinkFaults {
+                loss: 0.1,
+                seed: 4242,
+                ..LinkFaults::default()
+            },
+        );
         for t in 0..2000 {
             legacy.send_tagged(t, t as u32, payload(1));
             faulty.send_tagged(t, t as u32, payload(1));

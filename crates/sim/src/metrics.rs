@@ -1,33 +1,48 @@
 //! Accounting: traffic on the wire and error at the server.
+//!
+//! Every counter in this module is an [`kalstream_obs`] instrument (or a
+//! struct of them) and implements [`Instrument`], so any report can be
+//! exported into a [`kalstream_obs::Registry`] and serialized as a
+//! deterministic snapshot. The migration is type-level only: accumulation
+//! semantics, accessors, and the recorded experiment tables are unchanged.
+
+use kalstream_obs::{Counter, Instrument, Scope};
 
 /// Wire-traffic counters maintained by [`crate::Link`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficMetrics {
-    messages: u64,
-    bytes: u64,
+    messages: Counter,
+    bytes: Counter,
 }
 
 impl TrafficMetrics {
     /// Records one message of `total_bytes` (payload + framing).
     pub fn record(&mut self, total_bytes: usize) {
-        self.messages += 1;
+        self.messages.inc();
         self.bytes += total_bytes as u64;
     }
 
     /// Messages sent.
     pub fn messages(&self) -> u64 {
-        self.messages
+        self.messages.get()
     }
 
     /// Bytes sent, including per-message framing overhead.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.bytes.get()
     }
 
     /// Folds another counter into this one (fleet aggregation).
     pub fn merge(&mut self, other: &TrafficMetrics) {
-        self.messages += other.messages;
-        self.bytes += other.bytes;
+        self.messages.merge(other.messages);
+        self.bytes.merge(other.bytes);
+    }
+}
+
+impl Instrument for TrafficMetrics {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("messages", self.messages);
+        scope.counter("bytes", self.bytes);
     }
 }
 
@@ -49,6 +64,14 @@ impl FaultCounters {
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
         self.reordered += other.reordered;
+    }
+}
+
+impl Instrument for FaultCounters {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("dropped", self.dropped);
+        scope.counter("duplicated", self.duplicated);
+        scope.counter("reordered", self.reordered);
     }
 }
 
@@ -76,6 +99,14 @@ impl DeliveryStats {
     }
 }
 
+impl Instrument for DeliveryStats {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("stale_drops", self.stale_drops);
+        scope.counter("seq_gaps", self.seq_gaps);
+        scope.counter("shed", self.shed);
+    }
+}
+
 /// Packed-vs-naive wire-size accounting for the triangle-packed encoding.
 ///
 /// Fed a `(packed, unpacked)` byte pair per message — the actual encoded
@@ -84,48 +115,57 @@ impl DeliveryStats {
 /// can report measured savings rather than a formula.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BytesAccounting {
-    messages: u64,
-    packed_bytes: u64,
-    unpacked_bytes: u64,
+    messages: Counter,
+    packed_bytes: Counter,
+    unpacked_bytes: Counter,
 }
 
 impl BytesAccounting {
     /// Records one message's packed and would-be-unpacked sizes.
     pub fn record(&mut self, packed: usize, unpacked: usize) {
-        self.messages += 1;
+        self.messages.inc();
         self.packed_bytes += packed as u64;
         self.unpacked_bytes += unpacked as u64;
     }
 
     /// Messages recorded.
     pub fn messages(&self) -> u64 {
-        self.messages
+        self.messages.get()
     }
 
     /// Total bytes in the packed (actual) encoding.
     pub fn packed_bytes(&self) -> u64 {
-        self.packed_bytes
+        self.packed_bytes.get()
     }
 
     /// Total bytes the naive encoding would have cost.
     pub fn unpacked_bytes(&self) -> u64 {
-        self.unpacked_bytes
+        self.unpacked_bytes.get()
     }
 
     /// Fraction of bytes saved by packing: `1 − packed/unpacked`.
     pub fn savings_fraction(&self) -> f64 {
-        if self.unpacked_bytes == 0 {
+        if self.unpacked_bytes.get() == 0 {
             0.0
         } else {
-            1.0 - self.packed_bytes as f64 / self.unpacked_bytes as f64
+            1.0 - self.packed_bytes.get() as f64 / self.unpacked_bytes.get() as f64
         }
     }
 
     /// Folds another accounting into this one.
     pub fn merge(&mut self, other: &BytesAccounting) {
-        self.messages += other.messages;
-        self.packed_bytes += other.packed_bytes;
-        self.unpacked_bytes += other.unpacked_bytes;
+        self.messages.merge(other.messages);
+        self.packed_bytes.merge(other.packed_bytes);
+        self.unpacked_bytes.merge(other.unpacked_bytes);
+    }
+}
+
+impl Instrument for BytesAccounting {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("messages", self.messages);
+        scope.counter("packed_bytes", self.packed_bytes);
+        scope.counter("unpacked_bytes", self.unpacked_bytes);
+        scope.gauge("savings_fraction", self.savings_fraction());
     }
 }
 
@@ -177,6 +217,28 @@ impl IngestRunReport {
     }
 }
 
+impl Instrument for ShardThroughput {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("streams", self.streams as u64);
+        scope.counter("messages", self.messages);
+        scope.counter("bytes", self.bytes);
+    }
+}
+
+impl Instrument for IngestRunReport {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("ticks", self.ticks);
+        scope.counter("messages", self.total_messages());
+        scope.counter("bytes", self.total_bytes());
+        scope.gauge("elapsed_secs", self.elapsed_secs);
+        scope.gauge("msgs_per_sec", self.msgs_per_sec());
+        scope.observe("wire", &self.bytes);
+        for shard in &self.shards {
+            scope.observe(&format!("shard.{}", shard.shard), shard);
+        }
+    }
+}
+
 /// Server-side error accounting against ground truth.
 ///
 /// `violations` counts ticks where the error exceeded the precision bound
@@ -197,7 +259,14 @@ pub struct ErrorMetrics {
 impl ErrorMetrics {
     /// Creates an accumulator scoring against precision bound `delta`.
     pub fn new(delta: f64) -> Self {
-        ErrorMetrics { delta, ticks: 0, sum_sq: 0.0, sum_abs: 0.0, max_abs: 0.0, violations: 0 }
+        ErrorMetrics {
+            delta,
+            ticks: 0,
+            sum_sq: 0.0,
+            sum_abs: 0.0,
+            max_abs: 0.0,
+            violations: 0,
+        }
     }
 
     /// Records the error of one tick. For multi-dimensional streams, pass
@@ -256,6 +325,17 @@ impl ErrorMetrics {
     }
 }
 
+impl Instrument for ErrorMetrics {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("ticks", self.ticks);
+        scope.counter("violations", self.violations);
+        scope.gauge("delta", self.delta);
+        scope.gauge("rmse", self.rmse());
+        scope.gauge("mean_abs", self.mean_abs());
+        scope.gauge("max_abs", self.max_abs);
+    }
+}
+
 /// Complete result of one simulated session, as reported by
 /// [`crate::Session::run`].
 #[derive(Debug, Clone)]
@@ -296,6 +376,20 @@ impl SessionReport {
     }
 }
 
+impl Instrument for SessionReport {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("ticks", self.ticks);
+        scope.observe("traffic", &self.traffic);
+        scope.observe("error_observed", &self.error_vs_observed);
+        scope.observe("error_truth", &self.error_vs_truth);
+        scope.observe("faults", &self.faults);
+        scope.observe("delivery", &self.delivery);
+        scope.observe("ack_traffic", &self.ack_traffic);
+        scope.gauge("message_rate", self.message_rate());
+        scope.gauge("suppression_ratio", self.suppression_ratio());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,13 +408,43 @@ mod tests {
 
     #[test]
     fn fault_and_delivery_merge() {
-        let mut f = FaultCounters { dropped: 1, duplicated: 2, reordered: 3 };
-        f.merge(&FaultCounters { dropped: 10, duplicated: 20, reordered: 30 });
-        assert_eq!(f, FaultCounters { dropped: 11, duplicated: 22, reordered: 33 });
+        let mut f = FaultCounters {
+            dropped: 1,
+            duplicated: 2,
+            reordered: 3,
+        };
+        f.merge(&FaultCounters {
+            dropped: 10,
+            duplicated: 20,
+            reordered: 30,
+        });
+        assert_eq!(
+            f,
+            FaultCounters {
+                dropped: 11,
+                duplicated: 22,
+                reordered: 33
+            }
+        );
 
-        let mut d = DeliveryStats { stale_drops: 1, seq_gaps: 2, shed: 3 };
-        d.merge(&DeliveryStats { stale_drops: 4, seq_gaps: 5, shed: 6 });
-        assert_eq!(d, DeliveryStats { stale_drops: 5, seq_gaps: 7, shed: 9 });
+        let mut d = DeliveryStats {
+            stale_drops: 1,
+            seq_gaps: 2,
+            shed: 3,
+        };
+        d.merge(&DeliveryStats {
+            stale_drops: 4,
+            seq_gaps: 5,
+            shed: 6,
+        });
+        assert_eq!(
+            d,
+            DeliveryStats {
+                stale_drops: 5,
+                seq_gaps: 7,
+                shed: 9
+            }
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl SessionConfig {
 
     /// Same as [`SessionConfig::instant`] with a lossy link.
     pub fn instant_lossy(ticks: u64, delta: f64, loss_prob: f64, loss_seed: u64) -> Self {
-        SessionConfig { loss_prob, loss_seed, ..SessionConfig::instant(ticks, delta) }
+        SessionConfig {
+            loss_prob,
+            loss_seed,
+            ..SessionConfig::instant(ticks, delta)
+        }
     }
 
     /// Adds duplication, reordering, and delay jitter to the link faults.
@@ -128,7 +132,14 @@ pub struct ErrorSeries {
 }
 
 impl TickObserver for ErrorSeries {
-    fn on_tick(&mut self, _now: Tick, observed: &[f64], _t: &[f64], estimate: &[f64], messages: u64) {
+    fn on_tick(
+        &mut self,
+        _now: Tick,
+        observed: &[f64],
+        _t: &[f64],
+        estimate: &[f64],
+        messages: u64,
+    ) {
         let err = max_norm_diff(estimate, observed);
         self.errors.push(err);
         self.messages.push(messages);
@@ -182,7 +193,10 @@ impl Session {
         let mut ack_link = Link::with_faults(
             config.latency,
             config.overhead_bytes,
-            LinkFaults { seed: faults.seed ^ ACK_SEED_OFFSET, ..faults },
+            LinkFaults {
+                seed: faults.seed ^ ACK_SEED_OFFSET,
+                ..faults
+            },
         );
         let mut observed = vec![0.0; dim];
         let mut truth = vec![0.0; dim];
@@ -229,7 +243,9 @@ impl Session {
 /// Max-norm (ℓ∞) difference between two equal-length slices — the norm the
 /// precision contract uses for multi-dimensional streams.
 pub(crate) fn max_norm_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 #[cfg(test)]

@@ -62,8 +62,14 @@ fn main() {
     )
     .expect("valid spec"));
 
-    println!("\ndefault session : {} messages", default_report.traffic.messages());
-    println!("fitted session  : {} messages", fitted_report.traffic.messages());
+    println!(
+        "\ndefault session : {} messages",
+        default_report.traffic.messages()
+    );
+    println!(
+        "fitted session  : {} messages",
+        fitted_report.traffic.messages()
+    );
     println!(
         "saving          : {:.1}x fewer messages, same +/-{delta} guarantee",
         default_report.traffic.messages() as f64 / fitted_report.traffic.messages().max(1) as f64

@@ -26,7 +26,11 @@ fn main() {
         models::constant_velocity_2d(1.0, 0.005, 1.0),
         Vector::from_slice(&[first.observed[0], 0.0, first.observed[1], 0.0]),
         10.0,
-        AdaptiveConfig { adapt_q: false, window: 128, ..Default::default() },
+        AdaptiveConfig {
+            adapt_q: false,
+            window: 128,
+            ..Default::default()
+        },
         ProtocolConfig::new(delta).expect("positive bound"),
     )
     .expect("valid spec");
@@ -74,5 +78,8 @@ fn main() {
     );
     println!("worst served error  : {worst_err:.2} m (bound {delta} m)");
     assert!(worst_err <= delta * (1.0 + 1e-9));
-    assert!(source.syncs() < ticks / 5, "tracking should suppress most fixes");
+    assert!(
+        source.syncs() < ticks / 5,
+        "tracking should suppress most fixes"
+    );
 }

@@ -16,11 +16,11 @@ use kalstream::sim::{Session, SessionConfig};
 fn main() {
     // 1. A stream source: a drifting sensor with measurement noise.
     let mut sensor = RandomWalk::new(
-        20.0, // initial level
+        20.0,  // initial level
         0.002, // slow upward drift per tick
-        0.05, // process noise (how much the true signal wanders)
-        0.1,  // sensor noise
-        42,   // rng seed — rerun and you get the same stream
+        0.05,  // process noise (how much the true signal wanders)
+        0.1,   // sensor noise
+        42,    // rng seed — rerun and you get the same stream
     );
 
     // 2. The precision contract: served values within ±0.5 of the readings.
@@ -47,9 +47,25 @@ fn main() {
     println!("ticks simulated      : {}", report.ticks);
     println!("messages sent        : {}", report.traffic.messages());
     println!("bytes on the wire    : {}", report.traffic.bytes());
-    println!("suppression ratio    : {:.1}%", 100.0 * report.suppression_ratio());
-    println!("server max error     : {:.4} (bound {delta})", report.error_vs_observed.max_abs());
-    println!("precision violations : {}", report.error_vs_observed.violations());
-    assert_eq!(report.error_vs_observed.violations(), 0, "the contract must hold");
-    assert!(report.suppression_ratio() > 0.9, "a quiet sensor should mostly stay silent");
+    println!(
+        "suppression ratio    : {:.1}%",
+        100.0 * report.suppression_ratio()
+    );
+    println!(
+        "server max error     : {:.4} (bound {delta})",
+        report.error_vs_observed.max_abs()
+    );
+    println!(
+        "precision violations : {}",
+        report.error_vs_observed.violations()
+    );
+    assert_eq!(
+        report.error_vs_observed.violations(),
+        0,
+        "the contract must hold"
+    );
+    assert!(
+        report.suppression_ratio() > 0.9,
+        "a quiet sensor should mostly stay silent"
+    );
 }

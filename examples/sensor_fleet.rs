@@ -28,11 +28,22 @@ fn sensor_volatility(i: usize) -> f64 {
     }
 }
 
-fn run_sensor(i: usize, delta: f64, ticks: u64, seed_phase: u64) -> (kalstream::sim::SessionReport, Vec<f64>) {
+fn run_sensor(
+    i: usize,
+    delta: f64,
+    ticks: u64,
+    seed_phase: u64,
+) -> (kalstream::sim::SessionReport, Vec<f64>) {
     let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(delta).expect("positive"))
         .expect("valid spec");
     let (mut source, mut server) = spec.build().split();
-    let mut stream = RandomWalk::new(0.0, 0.0, sensor_volatility(i), 0.02, 500 + i as u64 + seed_phase);
+    let mut stream = RandomWalk::new(
+        0.0,
+        0.0,
+        sensor_volatility(i),
+        0.02,
+        500 + i as u64 + seed_phase,
+    );
     let config = SessionConfig::instant(ticks, delta);
     let report = Session::run(
         &config,

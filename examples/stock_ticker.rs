@@ -11,7 +11,7 @@
 //! answered every tick from server-side predictions, each answer carrying
 //! its guaranteed error bound.
 
-use kalstream::core::{ProtocolConfig, SessionSpec, SourceEndpoint, ServerEndpoint};
+use kalstream::core::{ProtocolConfig, ServerEndpoint, SessionSpec, SourceEndpoint};
 use kalstream::gen::{domain::StockTicker, Stream};
 use kalstream::query::{parse_query, ParsedQuery, QueryRegistry, StreamId, StreamView};
 use kalstream::sim::{Consumer, Producer};
@@ -39,7 +39,12 @@ fn main() {
             )
             .expect("valid spec");
             let (source, server) = spec.build().split();
-            TickerSession { name, stream, source, server }
+            TickerSession {
+                name,
+                stream,
+                source,
+                server,
+            }
         })
         .collect();
 
@@ -72,7 +77,11 @@ fn main() {
             s.server.estimate(now, &mut est);
             registry.update_view(
                 StreamId(i),
-                StreamView { value: est[0], delta: s.source.delta(), staleness: s.server.staleness() },
+                StreamView {
+                    value: est[0],
+                    delta: s.source.delta(),
+                    staleness: s.server.staleness(),
+                },
             );
         }
         if now % 1000 == 999 {
@@ -82,7 +91,11 @@ fn main() {
             for (s, a) in sessions.iter().zip(points.iter()) {
                 println!(
                     "  {:8} ${:>8.2} ± {:.2}  (cache age {} ticks, {} msgs so far)",
-                    s.name, a.value, a.bound, a.max_staleness, s.source.syncs()
+                    s.name,
+                    a.value,
+                    a.bound,
+                    a.max_staleness,
+                    s.source.syncs()
                 );
             }
             println!("  {:8} ${:>8.2} ± {:.2}", "INDEX", index.value, index.bound);
@@ -95,5 +108,8 @@ fn main() {
         "\n{total_msgs} messages for {shipped_all} quotes ({:.1}% of ship-everything)",
         100.0 * total_msgs as f64 / shipped_all as f64
     );
-    assert!(total_msgs < shipped_all / 2, "suppression should save at least half");
+    assert!(
+        total_msgs < shipped_all / 2,
+        "suppression should save at least half"
+    );
 }

@@ -93,7 +93,10 @@ impl Flags {
             pairs.push((name.to_string(), value.clone()));
         }
         let n = pairs.len();
-        Ok(Flags { pairs, consumed: std::cell::RefCell::new(vec![false; n]) })
+        Ok(Flags {
+            pairs,
+            consumed: std::cell::RefCell::new(vec![false; n]),
+        })
     }
 
     fn get(&self, name: &str) -> Option<String> {
@@ -107,19 +110,23 @@ impl Flags {
     }
 
     fn require(&self, name: &str) -> Result<String, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v:?}")),
         }
     }
 
     fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
         let v = self.require(name)?;
-        v.parse().map_err(|_| format!("bad value for --{name}: {v:?}"))
+        v.parse()
+            .map_err(|_| format!("bad value for --{name}: {v:?}"))
     }
 
     /// Errors on any flag nothing consumed — typos never pass silently.
@@ -142,7 +149,10 @@ impl Flags {
 }
 
 fn all_families() -> Vec<StreamFamily> {
-    StreamFamily::scalar_roster().into_iter().chain([StreamFamily::Gps]).collect()
+    StreamFamily::scalar_roster()
+        .into_iter()
+        .chain([StreamFamily::Gps])
+        .collect()
 }
 
 fn family_by_name(name: &str) -> Result<StreamFamily, String> {
@@ -170,8 +180,13 @@ fn cmd_record(flags: &Flags) -> Result<(), String> {
     let trace = Trace::record(stream.as_mut(), ticks);
     let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     let mut writer = std::io::BufWriter::new(file);
-    trace.write_to(&mut writer).map_err(|e| format!("write {out}: {e}"))?;
-    println!("recorded {ticks} ticks of {} (seed {seed}) to {out}", family.name());
+    trace
+        .write_to(&mut writer)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "recorded {ticks} ticks of {} (seed {seed}) to {out}",
+        family.name()
+    );
     Ok(())
 }
 
@@ -212,10 +227,22 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     println!("ticks             : {}", report.ticks);
     println!("messages          : {}", report.traffic.messages());
     println!("bytes on wire     : {}", report.traffic.bytes());
-    println!("suppression       : {:.2}%", 100.0 * report.suppression_ratio());
-    println!("rmse vs observed  : {}", fmt_f(report.error_vs_observed.rmse()));
-    println!("max |err|         : {}", fmt_f(report.error_vs_observed.max_abs()));
-    println!("violations        : {}", report.error_vs_observed.violations());
+    println!(
+        "suppression       : {:.2}%",
+        100.0 * report.suppression_ratio()
+    );
+    println!(
+        "rmse vs observed  : {}",
+        fmt_f(report.error_vs_observed.rmse())
+    );
+    println!(
+        "max |err|         : {}",
+        fmt_f(report.error_vs_observed.max_abs())
+    );
+    println!(
+        "violations        : {}",
+        report.error_vs_observed.violations()
+    );
     Ok(())
 }
 
@@ -227,7 +254,10 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     flags.finish()?;
 
     let mut table = Table::new(
-        format!("compare: {} at delta {delta} ({ticks} ticks, seed {seed})", family.name()),
+        format!(
+            "compare: {} at delta {delta} ({ticks} ticks, seed {seed})",
+            family.name()
+        ),
         &["policy", "messages", "bytes", "rmse", "violations"],
     );
     for policy in PolicyKind::roster() {

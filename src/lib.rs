@@ -10,6 +10,7 @@
 //! * [`baselines`] — comparator suppression policies.
 //! * [`query`] — continuous queries with precision bounds and error budgets.
 //! * [`linalg`] — the small dense linear-algebra kernel underneath it all.
+//! * [`obs`] — counters, gauges, histograms, and deterministic snapshots.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,5 +20,6 @@ pub use kalstream_core as core;
 pub use kalstream_filter as filter;
 pub use kalstream_gen as gen;
 pub use kalstream_linalg as linalg;
+pub use kalstream_obs as obs;
 pub use kalstream_query as query;
 pub use kalstream_sim as sim;

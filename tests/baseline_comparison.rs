@@ -52,7 +52,14 @@ fn kalman_bank_beats_value_cache_on_trends_by_2x() {
 #[test]
 fn kalman_bank_beats_value_cache_on_sinusoids() {
     let stream = |seed| -> Box<dyn Stream + Send> {
-        Box::new(Sinusoid::new(10.0, core::f64::consts::TAU / 200.0, 0.0, 0.0, 0.2, seed))
+        Box::new(Sinusoid::new(
+            10.0,
+            core::f64::consts::TAU / 200.0,
+            0.0,
+            0.0,
+            0.2,
+            seed,
+        ))
     };
     let vc = messages(PolicyKind::ValueCache, stream(2), 1.0, 10_000);
     let kf = messages(PolicyKind::KalmanBank, stream(2), 1.0, 10_000);
@@ -71,9 +78,8 @@ fn kalman_cv_beats_value_cache_on_gps_by_2x() {
 fn kalman_never_loses_badly_on_memoryless_streams() {
     // On a pure random walk the last value IS the optimal predictor; the
     // protocol must match value caching within a few percent, not lose.
-    let walk = |seed| -> Box<dyn Stream + Send> {
-        Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, seed))
-    };
+    let walk =
+        |seed| -> Box<dyn Stream + Send> { Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, seed)) };
     let vc = messages(PolicyKind::ValueCache, walk(4), 1.0, 10_000);
     let kf = messages(PolicyKind::KalmanFixed, walk(4), 1.0, 10_000);
     assert!(

@@ -40,10 +40,19 @@ fn record_fit_run_pipeline() {
 
     // run: the protocol must suppress hard on a ramp and never violate.
     let (ok, stdout, stderr) = kalstream(&[
-        "run", "--trace", trace_str, "--delta", "0.4", "--policy", "kalman_bank",
+        "run",
+        "--trace",
+        trace_str,
+        "--delta",
+        "0.4",
+        "--policy",
+        "kalman_bank",
     ]);
     assert!(ok, "run failed: {stderr}");
-    assert!(stdout.contains("violations        : 0"), "run output: {stdout}");
+    assert!(
+        stdout.contains("violations        : 0"),
+        "run output: {stdout}"
+    );
     let suppression: f64 = stdout
         .lines()
         .find(|l| l.starts_with("suppression"))
@@ -57,8 +66,9 @@ fn record_fit_run_pipeline() {
 
 #[test]
 fn compare_prints_every_policy() {
-    let (ok, stdout, stderr) =
-        kalstream(&["compare", "--family", "ramp", "--delta", "0.4", "--ticks", "2000"]);
+    let (ok, stdout, stderr) = kalstream(&[
+        "compare", "--family", "ramp", "--delta", "0.4", "--ticks", "2000",
+    ]);
     assert!(ok, "compare failed: {stderr}");
     for policy in ["ship_all", "value_cache", "dead_reckoning", "kalman_bank"] {
         assert!(stdout.contains(policy), "missing {policy} in: {stdout}");

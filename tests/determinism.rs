@@ -32,7 +32,11 @@ fn identical_runs_are_bit_identical() {
             c.as_mut(),
             &mut (),
         );
-        (report.traffic.messages(), report.traffic.bytes(), report.error_vs_observed.rmse())
+        (
+            report.traffic.messages(),
+            report.traffic.bytes(),
+            report.error_vs_observed.rmse(),
+        )
     };
     let a = run();
     let b = run();

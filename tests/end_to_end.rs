@@ -70,7 +70,10 @@ fn source_shadow_prediction(source: &kalstream::core::SourceEndpoint) -> f64 {
 
 #[test]
 fn heartbeat_keeps_staleness_bounded_through_the_simulator() {
-    let config_proto = ProtocolConfig::new(1e9).unwrap().with_heartbeat(25).unwrap();
+    let config_proto = ProtocolConfig::new(1e9)
+        .unwrap()
+        .with_heartbeat(25)
+        .unwrap();
     let spec = SessionSpec::default_scalar(0.0, config_proto).unwrap();
     let (mut source, mut server) = spec.build().split();
     let mut stream = RandomWalk::new(0.0, 0.0, 0.1, 0.05, 23);
@@ -92,8 +95,9 @@ fn heartbeat_keeps_staleness_bounded_through_the_simulator() {
 
 #[test]
 fn measurement_only_mode_runs_end_to_end() {
-    let config_proto =
-        ProtocolConfig::new(0.5).unwrap().with_resync(ResyncPayload::MeasurementOnly);
+    let config_proto = ProtocolConfig::new(0.5)
+        .unwrap()
+        .with_resync(ResyncPayload::MeasurementOnly);
     let spec = SessionSpec::fixed(
         models::random_walk(0.05, 0.01),
         Vector::zeros(1),
@@ -121,7 +125,10 @@ fn latency_defers_corrections_and_is_measured() {
     let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(0.3).unwrap()).unwrap();
     let (mut source, mut server) = spec.build().split();
     let mut stream = Ramp::new(0.0, 0.3, 0.02, 25);
-    let config = SessionConfig { latency: 3, ..SessionConfig::instant(2_000, 0.3) };
+    let config = SessionConfig {
+        latency: 3,
+        ..SessionConfig::instant(2_000, 0.3)
+    };
     let report = Session::run(
         &config,
         |obs, tru| stream.next_into(obs, tru),
@@ -148,7 +155,11 @@ fn session_pair_from_identical_specs_is_reproducible() {
             &mut server,
             &mut (),
         );
-        (report.traffic.messages(), report.traffic.bytes(), server.filter().state().clone())
+        (
+            report.traffic.messages(),
+            report.traffic.bytes(),
+            server.filter().state().clone(),
+        )
     };
     assert_eq!(run_once(), run_once());
 }
@@ -166,7 +177,10 @@ fn mixed_bank_session_never_panics_across_model_dims() {
     .unwrap();
     let spec = SessionSpec::bank(
         vec![walk, ca],
-        BankConfig { min_dwell: 20, ..Default::default() },
+        BankConfig {
+            min_dwell: 20,
+            ..Default::default()
+        },
         ProtocolConfig::new(0.4).unwrap(),
     )
     .unwrap();

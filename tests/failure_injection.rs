@@ -31,7 +31,8 @@ fn server_survives_corrupted_payloads() {
                 1 => {
                     let v = payload.to_vec();
                     let cut = v.len() / 2;
-                    server.receive(now, &bytes::Bytes::from(v[..cut].to_vec())); // truncated
+                    server.receive(now, &bytes::Bytes::from(v[..cut].to_vec()));
+                    // truncated
                 }
                 _ => server.receive(now, &payload), // delivered intact
             }
@@ -39,10 +40,19 @@ fn server_survives_corrupted_payloads() {
         }
         let mut est = [0.0];
         server.estimate(now, &mut est);
-        assert!(est[0].is_finite(), "server produced non-finite estimate at tick {now}");
+        assert!(
+            est[0].is_finite(),
+            "server produced non-finite estimate at tick {now}"
+        );
     }
-    assert!(server.decode_failures() > 0, "the test should have corrupted something");
-    assert!(server.syncs_applied() > 0, "intact messages should still apply");
+    assert!(
+        server.decode_failures() > 0,
+        "the test should have corrupted something"
+    );
+    assert!(
+        server.syncs_applied() > 0,
+        "intact messages should still apply"
+    );
 }
 
 #[test]
@@ -66,8 +76,12 @@ fn estimator_divergence_is_counted_and_recovered() {
     // A filter with pathologically tiny noise on a huge-jump stream can go
     // numerically degenerate; the source endpoint must reset it and keep
     // serving rather than propagate the failure.
-    let kf = KalmanFilter::new(models::random_walk(1e-300, 1e-300), Vector::zeros(1), 1e-300)
-        .unwrap();
+    let kf = KalmanFilter::new(
+        models::random_walk(1e-300, 1e-300),
+        Vector::zeros(1),
+        1e-300,
+    )
+    .unwrap();
     let spec = SessionSpec::fixed(
         models::random_walk(1e-300, 1e-300),
         Vector::zeros(1),
@@ -113,7 +127,11 @@ fn bursty_network_stream_is_survived_with_zero_violations() {
         worst = worst.max((est[0] - obs[0]).abs());
     }
     assert!(worst <= 4.0 * (1.0 + 1e-9), "worst error {worst}");
-    assert!(source.syncs() < 20_000 / 4, "suppression collapsed: {} syncs", source.syncs());
+    assert!(
+        source.syncs() < 20_000 / 4,
+        "suppression collapsed: {} syncs",
+        source.syncs()
+    );
 }
 
 #[test]

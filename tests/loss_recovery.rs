@@ -30,14 +30,21 @@ fn endpoints(ack_timeout: Option<u64>) -> (SourceEndpoint, ServerEndpoint) {
     if let Some(t) = ack_timeout {
         proto = proto.with_ack_timeout(t).unwrap();
     }
-    SessionSpec::default_scalar(0.0, proto).unwrap().build().split()
+    SessionSpec::default_scalar(0.0, proto)
+        .unwrap()
+        .build()
+        .split()
 }
 
 /// State + covariance as raw bits — "bit-identical" means exactly this.
 fn filter_bits(f: &KalmanFilter) -> (Vec<u64>, Vec<u64>) {
     (
         f.state().as_slice().iter().map(|v| v.to_bits()).collect(),
-        f.covariance().as_slice().iter().map(|v| v.to_bits()).collect(),
+        f.covariance()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
     )
 }
 
@@ -132,7 +139,11 @@ fn dropped_sync_is_repaired_within_ack_timeout() {
             );
         }
     }
-    assert_eq!(source.resyncs(), 1, "exactly one timeout resync repairs the drop");
+    assert_eq!(
+        source.resyncs(),
+        1,
+        "exactly one timeout resync repairs the drop"
+    );
     assert!(source.acked_seq() >= 2, "the resync must have been acked");
     assert!(
         violation_ticks.len() as u64 <= TIMEOUT + 1,
@@ -148,11 +159,19 @@ fn run_session(
     seed: u64,
     stream_seed: u64,
     ticks: u64,
-) -> (ErrorSeries, kalstream::sim::SessionReport, SourceEndpoint, ServerEndpoint) {
+) -> (
+    ErrorSeries,
+    kalstream::sim::SessionReport,
+    SourceEndpoint,
+    ServerEndpoint,
+) {
     let (mut source, mut server) = endpoints(ack_timeout);
     let mut stream = RandomWalk::new(0.0, 0.0, 0.3, 0.05, stream_seed);
-    let config = SessionConfig { loss_seed: seed, ..SessionConfig::instant(ticks, DELTA) }
-        .with_link_faults(dup, 0.0, 0);
+    let config = SessionConfig {
+        loss_seed: seed,
+        ..SessionConfig::instant(ticks, DELTA)
+    }
+    .with_link_faults(dup, 0.0, 0);
     let mut series = ErrorSeries::default();
     let report = Session::run(
         &config,
@@ -273,7 +292,10 @@ fn ten_percent_loss_recovery_beats_bare_protocol() {
     };
     let (bare, bare_source) = run(None);
     let (rec, rec_source) = run(Some(10));
-    assert!(bare.error_vs_observed.violations() > 1_000, "loss must hurt the bare protocol");
+    assert!(
+        bare.error_vs_observed.violations() > 1_000,
+        "loss must hurt the bare protocol"
+    );
     assert_eq!(bare_source.resyncs(), 0);
     assert!(
         rec.error_vs_observed.violations() * 4 < bare.error_vs_observed.violations(),
@@ -281,9 +303,15 @@ fn ten_percent_loss_recovery_beats_bare_protocol() {
         rec.error_vs_observed.violations(),
         bare.error_vs_observed.violations()
     );
-    assert!(rec_source.resyncs() > 0, "repairs must come from timeout resyncs");
+    assert!(
+        rec_source.resyncs() > 0,
+        "repairs must come from timeout resyncs"
+    );
     assert!(rec.faults.dropped > 0);
-    assert!(rec.ack_traffic.messages() > 0, "the reverse channel must carry acks");
+    assert!(
+        rec.ack_traffic.messages() > 0,
+        "the reverse channel must carry acks"
+    );
 }
 
 /// The full fault matrix — loss, duplication, reordering, and jitter at
@@ -294,8 +322,8 @@ fn full_fault_matrix_is_deterministic_and_survivable() {
     let run = || {
         let (mut source, mut server) = endpoints(Some(10));
         let mut stream = RandomWalk::new(0.0, 0.0, 0.3, 0.05, 17);
-        let config = SessionConfig::instant_lossy(10_000, DELTA, 0.05, 7)
-            .with_link_faults(0.1, 0.1, 2);
+        let config =
+            SessionConfig::instant_lossy(10_000, DELTA, 0.05, 7).with_link_faults(0.1, 0.1, 2);
         let report = Session::run(
             &config,
             |obs, tru| stream.next_into(obs, tru),
@@ -314,10 +342,19 @@ fn full_fault_matrix_is_deterministic_and_survivable() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a, b, "same seed must replay the same fault schedule exactly");
+    assert_eq!(
+        a, b,
+        "same seed must replay the same fault schedule exactly"
+    );
     let (violations, _, faults, delivery, resyncs, _) = a;
     assert!(faults.dropped > 0 && faults.duplicated > 0 && faults.reordered > 0);
-    assert!(delivery.stale_drops > 0, "duplicates/out-of-order syncs must be stale-dropped");
+    assert!(
+        delivery.stale_drops > 0,
+        "duplicates/out-of-order syncs must be stale-dropped"
+    );
     assert!(resyncs > 0);
-    assert!(violations < 10_000, "the session must keep serving through the fault matrix");
+    assert!(
+        violations < 10_000,
+        "the session must keep serving through the fault matrix"
+    );
 }

@@ -91,11 +91,14 @@ fn zero_violations_on_2d_gps() {
 #[test]
 fn message_count_is_monotone_in_delta() {
     // Looser bounds must never cost more messages (suppression dominance).
-    for &policy in &[PolicyKind::ValueCache, PolicyKind::KalmanFixed, PolicyKind::KalmanBank] {
+    for &policy in &[
+        PolicyKind::ValueCache,
+        PolicyKind::KalmanFixed,
+        PolicyKind::KalmanBank,
+    ] {
         let mut last = u64::MAX;
         for &delta in &[0.2, 0.5, 1.0, 2.0, 5.0] {
-            let stream: Box<dyn Stream + Send> =
-                Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, 11));
+            let stream: Box<dyn Stream + Send> = Box::new(RandomWalk::new(0.0, 0.0, 0.5, 0.1, 11));
             let msgs = run(policy, stream, delta).traffic.messages();
             assert!(
                 msgs <= last.saturating_add(last / 10).saturating_add(5),

@@ -4,11 +4,9 @@
 
 use std::collections::HashMap;
 
-use kalstream::core::{ProtocolConfig, SessionSpec, ServerEndpoint, SourceEndpoint, StreamDemand};
+use kalstream::core::{ProtocolConfig, ServerEndpoint, SessionSpec, SourceEndpoint, StreamDemand};
 use kalstream::gen::{synthetic::RandomWalk, Stream};
-use kalstream::query::{
-    AggKind, AggregateQuery, PointQuery, QueryRegistry, StreamId, StreamView,
-};
+use kalstream::query::{AggKind, AggregateQuery, PointQuery, QueryRegistry, StreamId, StreamView};
 use kalstream::sim::{Consumer, Producer};
 
 struct Live {
@@ -18,10 +16,13 @@ struct Live {
 }
 
 fn live_session(sigma_w: f64, delta: f64, seed: u64) -> Live {
-    let spec =
-        SessionSpec::default_scalar(0.0, ProtocolConfig::new(delta).unwrap()).unwrap();
+    let spec = SessionSpec::default_scalar(0.0, ProtocolConfig::new(delta).unwrap()).unwrap();
     let (source, server) = spec.build().split();
-    Live { stream: RandomWalk::new(0.0, 0.0, sigma_w, 0.02, seed), source, server }
+    Live {
+        stream: RandomWalk::new(0.0, 0.0, sigma_w, 0.02, seed),
+        source,
+        server,
+    }
 }
 
 #[test]
@@ -36,8 +37,12 @@ fn aggregate_answers_are_sound_against_live_streams() {
         .collect();
     let mut registry = QueryRegistry::new();
     registry.add_aggregate(
-        AggregateQuery::new(AggKind::Avg, vec![StreamId(0), StreamId(1), StreamId(2)], 10.0)
-            .unwrap(),
+        AggregateQuery::new(
+            AggKind::Avg,
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            10.0,
+        )
+        .unwrap(),
     );
 
     let mut obs = [0.0];
@@ -54,7 +59,11 @@ fn aggregate_answers_are_sound_against_live_streams() {
             s.server.estimate(now, &mut est);
             registry.update_view(
                 StreamId(i),
-                StreamView { value: est[0], delta: s.source.delta(), staleness: s.server.staleness() },
+                StreamView {
+                    value: est[0],
+                    delta: s.source.delta(),
+                    staleness: s.server.staleness(),
+                },
             );
         }
         let answer = &registry.answer_aggregates().unwrap()[0];
@@ -76,7 +85,10 @@ fn required_deltas_flow_back_into_sources() {
     // source via set_delta, and the session keeps honouring the new bound.
     let mut s = live_session(0.2, 1.0, 33);
     let mut registry = QueryRegistry::new();
-    registry.add_point(PointQuery { stream: StreamId(0), delta: 0.1 });
+    registry.add_point(PointQuery {
+        stream: StreamId(0),
+        delta: 0.1,
+    });
     let required = registry.required_deltas(&HashMap::new());
     s.source.set_delta(required[&StreamId(0)]);
     assert_eq!(s.source.delta(), 0.1);
@@ -93,7 +105,10 @@ fn required_deltas_flow_back_into_sources() {
         s.server.estimate(now, &mut est);
         worst = worst.max((est[0] - obs[0]).abs());
     }
-    assert!(worst <= 0.1 * (1.0 + 1e-9), "worst error {worst} exceeds retuned bound");
+    assert!(
+        worst <= 0.1 * (1.0 + 1e-9),
+        "worst error {worst} exceeds retuned bound"
+    );
 }
 
 #[test]
@@ -166,8 +181,18 @@ fn min_query_cap_propagates_to_every_member() {
 #[test]
 fn stale_views_surface_in_answers() {
     let mut registry = QueryRegistry::new();
-    registry.add_point(PointQuery { stream: StreamId(0), delta: 1.0 });
-    registry.update_view(StreamId(0), StreamView { value: 5.0, delta: 1.0, staleness: 42 });
+    registry.add_point(PointQuery {
+        stream: StreamId(0),
+        delta: 1.0,
+    });
+    registry.update_view(
+        StreamId(0),
+        StreamView {
+            value: 5.0,
+            delta: 1.0,
+            staleness: 42,
+        },
+    );
     let answers = registry.answer_point_queries().unwrap();
     assert_eq!(answers[0].max_staleness, 42);
 }

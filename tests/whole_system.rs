@@ -38,7 +38,11 @@ fn fleet_controller_queries_and_guarantees_compose() {
     // fleet AVG. (The point bounds are deliberately loose so the controller
     // owns the effective per-stream precision.)
     let mut registry = QueryRegistry::new();
-    for text in ["POINT s0 WITHIN 50", "POINT s5 WITHIN 50", "AVG(s0,s1,s2,s3,s4,s5) WITHIN 50"] {
+    for text in [
+        "POINT s0 WITHIN 50",
+        "POINT s5 WITHIN 50",
+        "AVG(s0,s1,s2,s3,s4,s5) WITHIN 50",
+    ] {
         match parse_query(text).unwrap() {
             ParsedQuery::Point(q) => registry.add_point(q),
             ParsedQuery::Aggregate(q) => registry.add_aggregate(q),
@@ -75,8 +79,7 @@ fn fleet_controller_queries_and_guarantees_compose() {
             );
         }
         // Controller round (reads live rate estimators, retunes sources).
-        let mut sources_only: Vec<_> =
-            endpoints.iter_mut().map(|(s, _)| s.clone()).collect();
+        let mut sources_only: Vec<_> = endpoints.iter_mut().map(|(s, _)| s.clone()).collect();
         if controller.tick(&mut sources_only).is_some() {
             control_rounds += 1;
             for ((source, _), tuned) in endpoints.iter_mut().zip(sources_only.iter()) {
@@ -96,7 +99,10 @@ fn fleet_controller_queries_and_guarantees_compose() {
     }
 
     assert_eq!(per_tick_violations, 0, "a per-stream contract was violated");
-    assert!(control_rounds >= TICKS / CONTROL_PERIOD - 1, "controller barely ran");
+    assert!(
+        control_rounds >= TICKS / CONTROL_PERIOD - 1,
+        "controller barely ran"
+    );
 
     // The controller differentiated the fleet: the calm extreme holds a
     // (much) tighter bound than the wild extreme.
@@ -111,7 +117,10 @@ fn fleet_controller_queries_and_guarantees_compose() {
     // estimates; allow 2×).
     let total_msgs: u64 = endpoints.iter().map(|(s, _)| s.syncs()).sum();
     let rate = total_msgs as f64 / TICKS as f64;
-    assert!(rate < 2.0 * BUDGET, "fleet rate {rate} far above budget {BUDGET}");
+    assert!(
+        rate < 2.0 * BUDGET,
+        "fleet rate {rate} far above budget {BUDGET}"
+    );
 }
 
 #[test]

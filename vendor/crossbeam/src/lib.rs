@@ -96,7 +96,12 @@ pub mod channel {
             receivers: AtomicUsize::new(1),
             capacity: cap,
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -128,7 +133,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -187,7 +194,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 

@@ -48,10 +48,7 @@ pub mod strategy {
 
         /// Generates a (non-shrinking) value tree. Mirrors the real API so
         /// callers can write `s.new_tree(&mut runner).unwrap().current()`.
-        fn new_tree(
-            &self,
-            runner: &mut TestRunner,
-        ) -> Result<NoShrink<Self::Value>, String>
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String>
         where
             Self::Value: Clone,
         {
@@ -248,20 +245,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -275,7 +281,10 @@ pub mod collection {
 
     /// `prop::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -332,13 +341,19 @@ pub mod test_runner {
     impl ProptestConfig {
         /// Config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Default::default() }
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64, max_global_rejects: 4096 }
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
         }
     }
 
@@ -354,7 +369,10 @@ pub mod test_runner {
 
         /// Runner with the given config (deterministic seed).
         pub fn new(config: ProptestConfig) -> Self {
-            TestRunner { config, rng: SmallRng::seed_from_u64(Self::SEED) }
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(Self::SEED),
+            }
         }
 
         /// Runner with default config and fixed seed — mirrors the real
@@ -586,7 +604,7 @@ mod tests {
             (a, b) in (0u64..5, 0u64..5),
         ) {
             prop_assume!(!xs.is_empty());
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(n, 0, "n must be positive, got {}", n);
