@@ -30,4 +30,22 @@ echo "==> check_regression --kind ingest"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
     --kind ingest --baseline BENCH_ingest.json --current "$ART/bench_ingest.json"
 
+echo "==> exp_q1_query_bounds (precision propagation, deterministic)"
+cargo run --release -q -p kalstream-bench --bin exp_q1_query_bounds -- \
+    --metrics-out "$ART/exp_q1_query_bounds.metrics.json" > /dev/null
+
+echo "==> check_regression --kind query (Q1)"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind query --baseline BENCH_q1_query_bounds.json \
+    --current "$ART/exp_q1_query_bounds.metrics.json"
+
+echo "==> exp_q2_budget_realloc (epoch budget re-allocation, deterministic)"
+cargo run --release -q -p kalstream-bench --bin exp_q2_budget_realloc -- \
+    --metrics-out "$ART/exp_q2_budget_realloc.metrics.json" > /dev/null
+
+echo "==> check_regression --kind query (Q2)"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind query --baseline BENCH_q2_budget_realloc.json \
+    --current "$ART/exp_q2_budget_realloc.metrics.json"
+
 echo "ci/bench_gate.sh: OK (artifacts in $ART/)"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Documentation lane: rustdoc must build clean — broken intra-doc links,
+# missing docs on crates that deny them (kalstream-query, kalstream-obs),
+# and every other rustdoc lint are hard errors. Scoped to the first-party
+# crates: the vendor/ stand-ins are documented for humans but are not part
+# of the public API surface this gate protects.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(
+    kalstream
+    kalstream-linalg
+    kalstream-filter
+    kalstream-gen
+    kalstream-core
+    kalstream-sim
+    kalstream-query
+    kalstream-baselines
+    kalstream-bench
+    kalstream-obs
+)
+
+PKGS=()
+for p in "${FIRST_PARTY[@]}"; do
+    PKGS+=(-p "$p")
+done
+
+echo "==> cargo doc --no-deps (deny warnings) for: ${FIRST_PARTY[*]}"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${PKGS[@]}"
+
+echo "ci/docs.sh: OK"

@@ -4,6 +4,7 @@
 //! check_regression --kind kernels --baseline BENCH_kernels.json --current /tmp/kernels.json
 //! check_regression --kind ingest  --baseline BENCH_ingest.json  --current /tmp/ingest.json \
 //!                  [--tolerance 0.25]
+//! check_regression --kind query   --baseline BENCH_q1_query_bounds.json --current /tmp/q1.json
 //! ```
 //!
 //! Prints an aligned comparison table and exits non-zero when any check
@@ -12,11 +13,12 @@
 
 use std::process::ExitCode;
 
-use kalstream_bench::regression::{check_ingest, check_kernels};
+use kalstream_bench::regression::{check_ingest, check_kernels, check_query};
 
 enum Kind {
     Kernels,
     Ingest,
+    Query,
 }
 
 struct Args {
@@ -28,7 +30,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check_regression --kind kernels|ingest --baseline <json> --current <json> \
+        "usage: check_regression --kind kernels|ingest|query --baseline <json> --current <json> \
          [--tolerance <frac>]"
     );
     std::process::exit(2);
@@ -52,8 +54,9 @@ fn parse_args() -> Args {
                 kind = Some(match value("--kind").as_str() {
                     "kernels" => Kind::Kernels,
                     "ingest" => Kind::Ingest,
+                    "query" => Kind::Query,
                     other => {
-                        eprintln!("unknown --kind {other:?} (expected kernels|ingest)");
+                        eprintln!("unknown --kind {other:?} (expected kernels|ingest|query)");
                         usage()
                     }
                 });
@@ -98,6 +101,7 @@ fn main() -> ExitCode {
     let report = match args.kind {
         Kind::Kernels => check_kernels(&baseline, &current, args.tolerance),
         Kind::Ingest => check_ingest(&baseline, &current, args.tolerance),
+        Kind::Query => check_query(&baseline, &current),
     };
     print!("{}", report.render());
     if report.passed() {

@@ -1,6 +1,6 @@
 //! The `check-regression` gate: compares a freshly measured
-//! `BENCH_kernels.json` / `BENCH_ingest.json` against the committed
-//! baseline and fails loudly on regression.
+//! `BENCH_kernels.json` / `BENCH_ingest.json` / `BENCH_q*_*.json` against
+//! the committed baseline and fails loudly on regression.
 //!
 //! The vendored `serde` stand-in has no deserializer, so this module
 //! carries its own tiny extractor for the flat `"key": value` shapes the
@@ -185,6 +185,35 @@ pub fn json_numbers(doc: &str, key: &str) -> Vec<f64> {
     out
 }
 
+/// Every `"name": <number>` entry whose name ends in `suffix`, in order.
+/// Matches the flat dotted-key metric artifacts (`kalstream-obs/v1`), where
+/// the interesting keys share a suffix (`.messages`, `.violations`) under
+/// per-configuration prefixes the gate doesn't want to hard-code.
+#[must_use]
+pub fn json_entries_with_suffix(doc: &str, suffix: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let key = &after[..end];
+        rest = &after[end + 1..];
+        let Some(value_str) = rest.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let value_str = value_str.trim_start();
+        let stop = value_str
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(value_str.len());
+        if key.ends_with(suffix) {
+            if let Ok(v) = value_str[..stop].parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
 /// Every `"key": true|false` in `doc`, in order.
 #[must_use]
 pub fn json_bools(doc: &str, key: &str) -> Vec<bool> {
@@ -353,6 +382,61 @@ pub fn check_ingest(
     report
 }
 
+/// Gates a fresh query-experiment metric artifact (`exp_q1_query_bounds` /
+/// `exp_q2_budget_realloc --metrics-out`) against its baseline.
+///
+/// * every `.messages` counter: exact determinism canary (the experiments
+///   are seeded and single-threaded — any drift is a behavior change);
+/// * `gate.violations`: must be zero in the current run (a served answer
+///   outside its precision bound is a correctness bug, not a regression);
+/// * `gate.savings_fraction` must meet the experiment's own
+///   `gate.min_savings_fraction` (the headline message-reduction claim);
+/// * `gate.max_bound_ratio` (when present, Q2): the served answer bound
+///   never exceeds the query contract.
+#[must_use]
+pub fn check_query(baseline_doc: &str, current_doc: &str) -> GateReport {
+    let mut report = GateReport::default();
+    let base_msgs = json_entries_with_suffix(baseline_doc, ".messages");
+    report.must_hold("message counters present", !base_msgs.is_empty());
+    let current_msgs: std::collections::HashMap<String, f64> =
+        json_entries_with_suffix(current_doc, ".messages")
+            .into_iter()
+            .collect();
+    for (key, b) in base_msgs {
+        match current_msgs.get(&key) {
+            Some(&c) => report.exact(&key, b, c),
+            None => report.must_hold(&format!("{key} present"), false),
+        }
+    }
+    match json_number(current_doc, "gate.violations") {
+        Some(v) => report.exact("gate.violations", 0.0, v),
+        None => report.must_hold("gate.violations present", false),
+    }
+    match (
+        json_number(current_doc, "gate.savings_fraction"),
+        json_number(current_doc, "gate.min_savings_fraction"),
+    ) {
+        (Some(s), Some(min)) => report.push(
+            "gate.savings_fraction",
+            min,
+            s,
+            s >= min,
+            "≥ gate.min_savings_fraction".to_string(),
+        ),
+        _ => report.must_hold("savings gate present", false),
+    }
+    if let Some(r) = json_number(current_doc, "gate.max_bound_ratio") {
+        report.push(
+            "gate.max_bound_ratio",
+            1.0,
+            r,
+            r <= 1.0 + 1e-9,
+            "≤ 1 (served bound within contract)".to_string(),
+        );
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +444,8 @@ mod tests {
     /// The committed baselines — the gate must accept each against itself.
     const KERNELS: &str = include_str!("../../../BENCH_kernels.json");
     const INGEST: &str = include_str!("../../../BENCH_ingest.json");
+    const Q1: &str = include_str!("../../../BENCH_q1_query_bounds.json");
+    const Q2: &str = include_str!("../../../BENCH_q2_budget_realloc.json");
 
     #[test]
     fn extractor_reads_flat_and_nested_numbers() {
@@ -393,6 +479,61 @@ mod tests {
         assert!(k.passed(), "{}", k.render());
         let i = check_ingest(INGEST, INGEST, None);
         assert!(i.passed(), "{}", i.render());
+        let q1 = check_query(Q1, Q1);
+        assert!(q1.passed(), "{}", q1.render());
+        let q2 = check_query(Q2, Q2);
+        assert!(q2.passed(), "{}", q2.render());
+    }
+
+    #[test]
+    fn suffix_extractor_skips_strings_and_scopes_by_suffix() {
+        let entries = json_entries_with_suffix(Q2, ".messages");
+        assert_eq!(
+            entries.len(),
+            6,
+            "3 epsilons × (uniform, realloc); ack_messages lacks the dot"
+        );
+        assert!(entries
+            .iter()
+            .any(|(k, v)| k == "epsilon_2.realloc.messages" && *v == 10623.0));
+        assert!(json_entries_with_suffix("{\"schema\": \"x.messages\"}", ".messages").is_empty());
+    }
+
+    #[test]
+    fn query_message_drift_fails_exactly() {
+        let drifted = Q2.replace(
+            "\"epsilon_2.realloc.messages\": 10623",
+            "\"epsilon_2.realloc.messages\": 10624",
+        );
+        let report = check_query(Q2, &drifted);
+        assert!(
+            !report.passed(),
+            "message drift must fail:\n{}",
+            report.render()
+        );
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| !c.ok)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(failing, vec!["epsilon_2.realloc.messages"]);
+    }
+
+    #[test]
+    fn query_violations_or_thin_savings_fail_the_gate() {
+        let violated = Q1.replace("\"gate.violations\": 0", "\"gate.violations\": 3");
+        assert!(!check_query(Q1, &violated).passed());
+        let thin = Q2.replace(
+            "\"gate.savings_fraction\": 0.3108213312572986",
+            "\"gate.savings_fraction\": 0.02",
+        );
+        assert!(!check_query(Q2, &thin).passed());
+        let loose_bound = Q2.replace(
+            "\"gate.max_bound_ratio\": 1.0",
+            "\"gate.max_bound_ratio\": 1.2",
+        );
+        assert!(!check_query(Q2, &loose_bound).passed());
     }
 
     #[test]

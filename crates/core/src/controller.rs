@@ -144,24 +144,72 @@ impl FleetController {
             // Cold start (no warm estimator yet) — not a failure.
             return None;
         }
-        let allocation = match BudgetAllocator::allocate(&demands, self.budget_rate) {
-            Ok(a) => a,
+        let floored = self.solve(&demands)?;
+        let mut new_deltas: Vec<f64> = sources.iter().map(SourceEndpoint::delta).collect();
+        for (slot, &i) in warm_index.iter().enumerate() {
+            sources[i].set_delta(floored[slot]);
+            new_deltas[i] = floored[slot];
+        }
+        self.rounds += 1;
+        Some(new_deltas)
+    }
+
+    /// The consumer-side control round: advances one tick and, on period
+    /// boundaries, re-allocates from caller-supplied per-stream error
+    /// samples **without touching any source** — the bounds come back as a
+    /// vector for the caller to deliver as [`crate::wire::WireMessage::Bound`]
+    /// directives over the feedback link (via
+    /// [`crate::ServerEndpoint::push_bound_directive`]).
+    ///
+    /// This is the path the query runtime uses: the sources live on the far
+    /// side of a lossy link, so the controller cannot call
+    /// [`crate::SourceEndpoint::set_delta`] directly. `samples[i]` is the
+    /// recent error-magnitude window for stream `i` (any origin — server
+    /// residuals, mirrored rate estimates); a stream with too few samples is
+    /// cold and gets `None` (keep the current bound).
+    ///
+    /// # Panics
+    /// Panics when `samples.len()` disagrees with the configured stream
+    /// count.
+    pub fn tick_demands(&mut self, samples: &[Vec<f64>]) -> Option<Vec<Option<f64>>> {
+        assert_eq!(samples.len(), self.weights.len(), "stream count mismatch");
+        self.ticks += 1;
+        if !self.ticks.is_multiple_of(self.period) {
+            return None;
+        }
+        let mut warm_index = Vec::new();
+        let mut demands = Vec::new();
+        for (i, window) in samples.iter().enumerate() {
+            if let Ok(demand) = StreamDemand::new(window.clone(), self.weights[i]) {
+                warm_index.push(i);
+                demands.push(demand);
+            }
+        }
+        if demands.is_empty() {
+            return None;
+        }
+        let floored = self.solve(&demands)?;
+        let mut directives = vec![None; samples.len()];
+        for (slot, &i) in warm_index.iter().enumerate() {
+            directives[i] = Some(floored[slot]);
+        }
+        self.rounds += 1;
+        Some(directives)
+    }
+
+    /// One allocator solve with the bound floor applied; failures are
+    /// counted, not propagated (shared by both control paths).
+    fn solve(&mut self, demands: &[StreamDemand]) -> Option<Vec<f64>> {
+        match BudgetAllocator::allocate(demands, self.budget_rate) {
+            Ok(a) => Some(a.deltas.iter().map(|d| d.max(self.delta_floor)).collect()),
             Err(_) => {
                 // Pre-fix this was `.ok()?`: a persistently failing solve
                 // silently froze re-allocation forever. Count it so a frozen
                 // fleet is diagnosable.
                 self.failed_rounds += 1;
-                return None;
+                None
             }
-        };
-        let mut new_deltas: Vec<f64> = sources.iter().map(SourceEndpoint::delta).collect();
-        for (slot, &i) in warm_index.iter().enumerate() {
-            let delta = allocation.deltas[slot].max(self.delta_floor);
-            sources[i].set_delta(delta);
-            new_deltas[i] = delta;
         }
-        self.rounds += 1;
-        Some(new_deltas)
     }
 }
 
@@ -301,6 +349,62 @@ mod tests {
         );
         assert_eq!(ctrl.failed_rounds(), 0);
         assert_eq!(srcs[0].rejected_measurements(), 10);
+    }
+
+    #[test]
+    fn tick_demands_mirrors_tick_without_touching_sources() {
+        // The same demand windows must yield the same bounds through both
+        // control paths — the server-side path just returns them instead of
+        // applying them.
+        let windows: Vec<Vec<f64>> = vec![
+            (0..100)
+                .map(|t| ((t as f64 * 0.001).sin() * 0.01).abs())
+                .collect(),
+            (0..100)
+                .map(|t| ((t as f64 * 0.9).sin() * 5.0).abs())
+                .collect(),
+        ];
+        let mut direct = FleetController::new(2, 1, 0.2).unwrap();
+        let mut srcs = sources(2);
+        for (s, w) in srcs.iter_mut().zip(&windows) {
+            for &e in w {
+                // Feed the same magnitudes into the live rate estimators.
+                s.decide(&[e]);
+            }
+        }
+        let applied = direct.tick(&mut srcs).expect("control round");
+
+        let mut via_demands = FleetController::new(2, 1, 0.2).unwrap();
+        let samples: Vec<Vec<f64>> = srcs.iter().map(|s| s.rate_estimator().samples()).collect();
+        let directives = via_demands.tick_demands(&samples).expect("control round");
+        for (a, d) in applied.iter().zip(&directives) {
+            assert_eq!(Some(*a), *d);
+        }
+        assert_eq!(via_demands.rounds(), 1);
+    }
+
+    #[test]
+    fn tick_demands_skips_cold_streams_and_fires_on_period() {
+        let mut ctrl = FleetController::new(2, 2, 1.0).unwrap();
+        let warm: Vec<f64> = (0..50).map(|t| (t as f64 * 0.3).sin().abs()).collect();
+        let samples = vec![warm, Vec::new()];
+        assert!(
+            ctrl.tick_demands(&samples).is_none(),
+            "off-period tick fired"
+        );
+        let directives = ctrl.tick_demands(&samples).expect("period boundary");
+        assert!(directives[0].is_some());
+        assert_eq!(directives[1], None, "cold stream keeps its bound");
+    }
+
+    #[test]
+    fn tick_demands_counts_failed_rounds() {
+        let mut ctrl = FleetController::new(1, 1, 1.0).unwrap();
+        ctrl.set_budget_rate(f64::NAN);
+        let samples = vec![vec![0.5, 0.7, 0.2]];
+        assert!(ctrl.tick_demands(&samples).is_none());
+        assert_eq!(ctrl.failed_rounds(), 1);
+        assert_eq!(ctrl.rounds(), 0);
     }
 
     #[test]

@@ -82,6 +82,16 @@ impl RateEstimator {
         self.errors.iter().copied().collect()
     }
 
+    /// Mean error magnitude over the window — the per-stream *error
+    /// contribution* the epoch budget allocator weights streams by when
+    /// redistributing the message budget. Returns `0.0` when empty.
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
     /// The smallest `δ` whose estimated rate is ≤ `target_rate`: the
     /// `(1 − target_rate)`-quantile of the window errors. Returns `0.0`
     /// when the window is empty.
@@ -167,6 +177,13 @@ mod tests {
     fn delta_for_zero_rate_is_max_error() {
         let r = filled(&[0.5, 2.0, 1.0]);
         assert_eq!(r.delta_for_rate(0.0), 2.0);
+    }
+
+    #[test]
+    fn mean_abs_error_averages_the_window() {
+        let r = filled(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r.mean_abs_error(), 1.5);
+        assert_eq!(RateEstimator::new(4).mean_abs_error(), 0.0);
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct ServerEndpoint {
     last_seq: u64,
     /// Set when a sequenced message arrives; cleared when the ack is polled.
     ack_due: bool,
+    /// A precision bound queued for the source, set by the query/allocation
+    /// layer via [`ServerEndpoint::push_bound_directive`]. Last writer wins
+    /// (a newer directive subsumes an unsent older one); cleared when
+    /// polled onto the feedback link.
+    bound_due: Option<f64>,
+    /// Bound directives actually polled onto the feedback link.
+    bounds_sent: Counter,
     delivery: DeliveryStats,
 }
 
@@ -50,6 +57,8 @@ impl ServerEndpoint {
             predict_failures: Counter::new(),
             last_seq: 0,
             ack_due: false,
+            bound_due: None,
+            bounds_sent: Counter::new(),
             delivery: DeliveryStats::default(),
         }
     }
@@ -129,9 +138,9 @@ impl ServerEndpoint {
                     self.enqueue(msg);
                 }
             }
-            // An ack on the forward channel is a protocol violation by the
-            // peer; drop and count like any unusable message.
-            WireMessage::Ack { .. } => self.decode_failures += 1,
+            // An ack or bound directive on the forward channel is a protocol
+            // violation by the peer; drop and count like any unusable message.
+            WireMessage::Ack { .. } | WireMessage::Bound { .. } => self.decode_failures += 1,
         }
     }
 
@@ -148,6 +157,25 @@ impl ServerEndpoint {
     /// Syncs currently queued for the next advance.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Queues a precision-bound directive for the paired source; it rides
+    /// the next [`Consumer::poll_feedback`] as a [`WireMessage::Bound`].
+    ///
+    /// This is the hook the query runtime's precision propagation and the
+    /// epoch budget allocator use to steer producers from the consumer side.
+    /// Non-finite or non-positive bounds are ignored (the wire format would
+    /// reject them anyway); a newer directive replaces an unsent older one,
+    /// since only the latest bound is binding.
+    pub fn push_bound_directive(&mut self, delta: f64) {
+        if delta.is_finite() && delta > 0.0 {
+            self.bound_due = Some(delta);
+        }
+    }
+
+    /// Bound directives actually sent over the feedback link.
+    pub fn bounds_sent(&self) -> u64 {
+        self.bounds_sent.get()
     }
 
     /// Advances one tick: predict, then apply every queued sync — exactly
@@ -206,9 +234,15 @@ impl Consumer for ServerEndpoint {
     }
 
     fn poll_feedback(&mut self, _now: Tick) -> Option<Bytes> {
+        // One feedback payload per tick. Acks win ties (a starved ack
+        // forces a spurious resync; a bound delayed one tick costs at most
+        // one message) — the bound stays queued for the next poll.
         if self.ack_due {
             self.ack_due = false;
             Some(WireMessage::Ack { seq: self.last_seq }.encode())
+        } else if let Some(delta) = self.bound_due.take() {
+            self.bounds_sent += 1;
+            Some(WireMessage::Bound { delta }.encode())
         } else {
             None
         }
@@ -224,6 +258,7 @@ impl Instrument for ServerEndpoint {
         scope.counter("syncs_applied", self.syncs_applied);
         scope.counter("decode_failures", self.decode_failures);
         scope.counter("predict_failures", self.predict_failures);
+        scope.counter("bounds_sent", self.bounds_sent);
         scope.counter("last_seq", self.last_seq);
         scope.counter("staleness", self.staleness());
         scope.observe("delivery", &self.delivery);
@@ -419,5 +454,67 @@ mod tests {
         s.estimate(0, &mut out);
         assert_eq!(out[0], 7.5);
         assert_eq!(s.last_seq(), 1);
+    }
+
+    #[test]
+    fn bound_directive_rides_the_feedback_poll() {
+        let mut s = server();
+        assert_eq!(s.poll_feedback(0), None);
+        s.push_bound_directive(0.25);
+        let payload = s.poll_feedback(0).expect("bound due");
+        assert_eq!(
+            WireMessage::decode(&payload).unwrap(),
+            WireMessage::Bound { delta: 0.25 }
+        );
+        assert_eq!(s.bounds_sent(), 1);
+        assert_eq!(s.poll_feedback(1), None, "directive is polled once");
+    }
+
+    #[test]
+    fn newer_bound_directive_replaces_unsent_older_one() {
+        let mut s = server();
+        s.push_bound_directive(0.5);
+        s.push_bound_directive(0.125); // only the latest bound is binding
+        let payload = s.poll_feedback(0).expect("bound due");
+        assert_eq!(
+            WireMessage::decode(&payload).unwrap(),
+            WireMessage::Bound { delta: 0.125 }
+        );
+        assert_eq!(s.bounds_sent(), 1);
+        assert_eq!(s.poll_feedback(1), None);
+    }
+
+    #[test]
+    fn ack_wins_the_feedback_tie_and_bound_follows() {
+        let mut s = server();
+        s.enqueue_wire(seq_sync(1, 1.0));
+        s.push_bound_directive(0.75);
+        let first = s.poll_feedback(0).expect("ack due");
+        assert_eq!(
+            WireMessage::decode(&first).unwrap(),
+            WireMessage::Ack { seq: 1 }
+        );
+        let second = s.poll_feedback(1).expect("bound still queued");
+        assert_eq!(
+            WireMessage::decode(&second).unwrap(),
+            WireMessage::Bound { delta: 0.75 }
+        );
+    }
+
+    #[test]
+    fn invalid_bound_directives_are_ignored() {
+        let mut s = server();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            s.push_bound_directive(bad);
+        }
+        assert_eq!(s.poll_feedback(0), None);
+        assert_eq!(s.bounds_sent(), 0);
+    }
+
+    #[test]
+    fn bound_on_forward_channel_is_counted_as_failure() {
+        let mut s = server();
+        s.enqueue_wire(WireMessage::Bound { delta: 0.5 });
+        assert_eq!(s.decode_failures(), 1);
     }
 }

@@ -64,6 +64,8 @@ pub struct SourceEndpoint {
     unconfirmed_model_seq: Option<u64>,
     /// Reverse-channel payloads that failed to decode as acks.
     feedback_failures: Counter,
+    /// Bound directives received on the reverse channel and applied.
+    bound_directives: Counter,
     /// Scratch measurement vector (hot-path allocation avoidance).
     z: Vector,
 }
@@ -94,6 +96,7 @@ impl SourceEndpoint {
             resyncs: Counter::new(),
             unconfirmed_model_seq: None,
             feedback_failures: Counter::new(),
+            bound_directives: Counter::new(),
             z: Vector::zeros(m),
         }
     }
@@ -123,6 +126,12 @@ impl SourceEndpoint {
     /// Reverse-channel payloads that failed to decode as acks.
     pub fn feedback_failures(&self) -> u64 {
         self.feedback_failures.get()
+    }
+
+    /// Bound directives received over the feedback link and applied via
+    /// [`SourceEndpoint::set_delta`].
+    pub fn bound_directives(&self) -> u64 {
+        self.bound_directives.get()
     }
 
     /// Highest cumulative ack received from the server (0 before the
@@ -378,6 +387,13 @@ impl Producer for SourceEndpoint {
                     self.unconfirmed_model_seq = None;
                 }
             }
+            // A downstream-propagated precision bound: the decoder already
+            // guarantees `delta` is finite and positive, so `set_delta`
+            // always accepts it.
+            Ok(WireMessage::Bound { delta }) => {
+                self.set_delta(delta);
+                self.bound_directives += 1;
+            }
             _ => self.feedback_failures += 1,
         }
     }
@@ -390,6 +406,7 @@ impl Instrument for SourceEndpoint {
         scope.counter("rejected_measurements", self.rejected_measurements);
         scope.counter("resyncs", self.resyncs);
         scope.counter("feedback_failures", self.feedback_failures);
+        scope.counter("bound_directives", self.bound_directives);
         scope.counter("acked_seq", self.acks.last_acked());
         scope.gauge("delta", self.delta());
     }
@@ -772,6 +789,30 @@ mod tests {
             .encode(),
         );
         assert_eq!(s.feedback_failures(), 2);
+    }
+
+    #[test]
+    fn bound_directive_feedback_retunes_delta() {
+        let mut s = source(0.5);
+        s.feedback(0, &WireMessage::Bound { delta: 0.125 }.encode());
+        assert_eq!(s.delta(), 0.125);
+        assert_eq!(s.bound_directives(), 1);
+        // A directive is valid feedback, not a failure.
+        assert_eq!(s.feedback_failures(), 0);
+    }
+
+    #[test]
+    fn bound_directive_works_alongside_acks() {
+        // On a recovering source the reverse channel carries both acks and
+        // bound directives; each must be dispatched to its own handler.
+        let mut s = recovering_source(0.5, 3);
+        let _ = s.observe(0, &[9.0]).expect("jump syncs");
+        s.feedback(1, &WireMessage::Ack { seq: 1 }.encode());
+        s.feedback(1, &WireMessage::Bound { delta: 0.25 }.encode());
+        assert_eq!(s.acked_seq(), 1);
+        assert_eq!(s.delta(), 0.25);
+        assert_eq!(s.bound_directives(), 1);
+        assert_eq!(s.feedback_failures(), 0);
     }
 
     #[test]

@@ -78,6 +78,9 @@ const TAG_MEASUREMENT: u8 = 3;
 const TAG_SEQ: u8 = 4;
 /// v3: a cumulative acknowledgement — `seq:u64`, travelling server→source.
 const TAG_ACK: u8 = 5;
+/// v3: a precision-bound directive — `delta:f64`, travelling server→source
+/// on the feedback link (the query runtime's downstream-bound propagation).
+const TAG_BOUND: u8 = 6;
 
 /// Flags bit 0: the model's `F` is upper-triangular and triangle-packed.
 const FLAG_F_UPPER_TRIANGULAR: u8 = 1;
@@ -251,7 +254,8 @@ impl SyncMessage {
 /// A v3 wire message: everything that can travel on a link.
 ///
 /// The loss-tolerant delivery layer wraps sync messages in an optional
-/// **sequence header** (tag 4) and adds a reverse-direction **ack** (tag 5).
+/// **sequence header** (tag 4) and adds two reverse-direction messages: the
+/// **ack** (tag 5) and the **bound directive** (tag 6).
 /// Decoding is backward compatible with v2: a buffer starting with tags 1–3
 /// is an unsequenced legacy sync, bit-identical to what
 /// [`SyncMessage::decode`] accepts, and `Sync { seq: None, .. }` encodes to
@@ -277,6 +281,17 @@ pub enum WireMessage {
     Ack {
         /// Highest sequence number applied by the server.
         seq: u64,
+    },
+    /// Precision-bound directive, travelling server→source on the feedback
+    /// link: the consumer side (query runtime / fleet allocator) instructs
+    /// the producer to adopt a new suppression bound `δ`. Last writer wins;
+    /// a lost directive leaves the previous (by construction still sound)
+    /// bound in force, so no retransmission machinery is needed.
+    Bound {
+        /// The new suppression bound. Must be finite and strictly positive;
+        /// the decoder rejects anything else so a corrupted directive can
+        /// never loosen a producer to a nonsensical bound.
+        delta: f64,
     },
 }
 
@@ -305,21 +320,25 @@ impl WireMessage {
                 buf.put_u8(TAG_ACK);
                 buf.put_u64_le(*seq);
             }
+            WireMessage::Bound { delta } => {
+                buf.put_u8(TAG_BOUND);
+                buf.put_f64_le(*delta);
+            }
         }
     }
 
     /// Exact encoded size in bytes. An unsequenced sync costs exactly its
-    /// [`SyncMessage::encoded_len`]; a sequence header adds 9 bytes; an ack
-    /// is 9 bytes total.
+    /// [`SyncMessage::encoded_len`]; a sequence header adds 9 bytes; acks
+    /// and bound directives are 9 bytes total.
     pub fn encoded_len(&self) -> usize {
         match self {
             WireMessage::Sync { seq: None, msg } => msg.encoded_len(),
             WireMessage::Sync { seq: Some(_), msg } => 1 + 8 + msg.encoded_len(),
-            WireMessage::Ack { .. } => 1 + 8,
+            WireMessage::Ack { .. } | WireMessage::Bound { .. } => 1 + 8,
         }
     }
 
-    /// Decodes a wire buffer, accepting both v3 (tags 4–5) and legacy v2
+    /// Decodes a wire buffer, accepting both v3 (tags 4–6) and legacy v2
     /// (tags 1–3, decoded as an unsequenced sync).
     ///
     /// # Errors
@@ -343,6 +362,17 @@ impl WireMessage {
                     return Err(decode_err(&format!("{} trailing bytes", rest.remaining())));
                 }
                 Ok(WireMessage::Ack { seq })
+            }
+            Some(&TAG_BOUND) => {
+                let mut rest = &buf[1..];
+                let delta = f64::from_bits(get_u64(&mut rest)?);
+                if rest.has_remaining() {
+                    return Err(decode_err(&format!("{} trailing bytes", rest.remaining())));
+                }
+                if !delta.is_finite() || delta <= 0.0 {
+                    return Err(decode_err(&format!("bound delta {delta} not positive")));
+                }
+                Ok(WireMessage::Bound { delta })
             }
             _ => SyncMessage::decode(buf).map(|msg| WireMessage::Sync { seq: None, msg }),
         }
@@ -774,6 +804,48 @@ mod tests {
         assert_eq!(bytes.len(), 9);
         assert_eq!(bytes.len(), wire.encoded_len());
         assert_eq!(WireMessage::decode(&bytes).unwrap(), wire);
+    }
+
+    #[test]
+    fn bound_roundtrip() {
+        let wire = WireMessage::Bound { delta: 0.25 };
+        let bytes = wire.encode();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes.len(), wire.encoded_len());
+        assert_eq!(WireMessage::decode(&bytes).unwrap(), wire);
+    }
+
+    #[test]
+    fn bound_rejects_non_positive_and_non_finite_delta() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut bytes = vec![TAG_BOUND];
+            bytes.extend_from_slice(&bad.to_le_bytes());
+            assert!(
+                WireMessage::decode(&bytes).is_err(),
+                "delta {bad} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_rejects_truncation_and_trailing_bytes() {
+        let bytes = WireMessage::Bound { delta: 1.5 }.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                WireMessage::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(WireMessage::decode(&long).is_err());
+    }
+
+    #[test]
+    fn legacy_decoder_rejects_bound_tag() {
+        // A v2-only peer must not misinterpret a bound directive.
+        let bytes = WireMessage::Bound { delta: 1.0 }.encode();
+        assert!(SyncMessage::decode(&bytes).is_err());
     }
 
     #[test]

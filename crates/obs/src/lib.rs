@@ -40,7 +40,7 @@
 //! ownership, borrowing, and determinism trivial — there is no hidden
 //! shared state, and a snapshot is a pure function of the structs it reads.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod hist;

@@ -119,7 +119,7 @@ pub trait Instrument {
     ///
     /// Named `export` (not `observe`) deliberately: several instrumented
     /// components already have an `observe` in another vocabulary (a
-    /// [`SourceEndpoint`]-style producer observing a measurement), and the
+    /// `SourceEndpoint`-style producer observing a measurement), and the
     /// two must never collide in method resolution.
     fn export(&self, scope: &mut Scope<'_>);
 }

@@ -19,6 +19,33 @@ pub fn split_budget_uniform(k: usize, total: f64, cap: Option<f64>) -> Vec<f64> 
     vec![each; k]
 }
 
+/// Weighted split: divides the budget in *inverse* proportion to stream
+/// weights, so important streams (higher weight, matching the
+/// [`kalstream_core::FleetController`] convention "higher = keep tighter")
+/// get the tighter bounds: `δᵢ = total · (1/wᵢ) / Σⱼ (1/wⱼ)`, capped at
+/// `cap` if the aggregate imposes one. With equal weights this is exactly
+/// [`split_budget_uniform`].
+///
+/// # Panics
+/// Panics when `weights` is empty, any weight is non-positive or
+/// non-finite, or `total` is not positive.
+pub fn split_budget_weighted(weights: &[f64], total: f64, cap: Option<f64>) -> Vec<f64> {
+    assert!(!weights.is_empty(), "need at least one stream");
+    assert!(total > 0.0 && total.is_finite(), "budget must be positive");
+    assert!(
+        weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+        "weights must be positive and finite"
+    );
+    let inv_sum: f64 = weights.iter().map(|w| 1.0 / w).sum();
+    weights
+        .iter()
+        .map(|w| {
+            let share = total * (1.0 / w) / inv_sum;
+            cap.map_or(share, |c| share.min(c))
+        })
+        .collect()
+}
+
 /// Cost-optimal split: minimises the predicted total message rate
 /// `Σ rateᵢ(δᵢ)` subject to `Σ δᵢ ≤ total` (and the optional per-stream
 /// `cap`), using each stream's measured demand curve.
@@ -106,6 +133,29 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn uniform_split_rejects_zero_streams() {
         let _ = split_budget_uniform(0, 1.0, None);
+    }
+
+    #[test]
+    fn weighted_split_tightens_important_streams() {
+        let split = split_budget_weighted(&[4.0, 1.0], 2.5, None);
+        // Inverse proportion: shares 1/4 : 1 → 0.5 and 2.0.
+        assert!((split[0] - 0.5).abs() < 1e-12, "{split:?}");
+        assert!((split[1] - 2.0).abs() < 1e-12, "{split:?}");
+        assert!((split.iter().sum::<f64>() - 2.5).abs() < 1e-12);
+        // Equal weights collapse to the uniform split.
+        assert_eq!(
+            split_budget_weighted(&[1.0; 4], 2.0, None),
+            split_budget_uniform(4, 2.0, None)
+        );
+        // The cap still binds.
+        let capped = split_budget_weighted(&[1.0, 10.0], 2.0, Some(0.5));
+        assert!(capped.iter().all(|&d| d <= 0.5 + 1e-12), "{capped:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_split_rejects_bad_weights() {
+        let _ = split_budget_weighted(&[1.0, -1.0], 1.0, None);
     }
 
     #[test]

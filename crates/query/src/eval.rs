@@ -78,6 +78,38 @@ pub fn answer_aggregate(
     })
 }
 
+/// Tri-state result of a threshold alert over a precision-bounded answer.
+///
+/// A bounded answer `value ± bound` supports three honest verdicts against a
+/// threshold `τ`: the guaranteed interval is entirely above (`Firing`),
+/// entirely at-or-below (`Quiet`), or straddles the threshold
+/// (`Uncertain`). `Uncertain` is the precision/resource tradeoff made
+/// visible: tightening the stream's bound shrinks the interval and resolves
+/// the verdict, at message cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// The true value is guaranteed above the threshold.
+    Firing,
+    /// The true value is guaranteed at or below the threshold.
+    Quiet,
+    /// The precision interval straddles the threshold; no sound verdict.
+    Uncertain,
+}
+
+/// Evaluates a threshold alert against a bounded answer: fires when the
+/// guarantee interval `[value − bound, value + bound]` lies entirely above
+/// `threshold`, is quiet when it lies entirely at-or-below, and is
+/// [`AlertState::Uncertain`] otherwise.
+pub fn evaluate_threshold(answer: &Answer, threshold: f64) -> AlertState {
+    if answer.value - answer.bound > threshold {
+        AlertState::Firing
+    } else if answer.value + answer.bound <= threshold {
+        AlertState::Quiet
+    } else {
+        AlertState::Uncertain
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +188,48 @@ mod tests {
     fn mismatched_views_rejected() {
         let q = agg(AggKind::Avg, 2, 1.0);
         assert!(answer_aggregate(&q, &[view(1.0, 0.1, 0)]).is_err());
+    }
+
+    #[test]
+    fn threshold_alert_tristate() {
+        let ans = |value: f64, bound: f64| Answer {
+            value,
+            bound,
+            max_staleness: 0,
+        };
+        assert_eq!(evaluate_threshold(&ans(5.0, 1.0), 3.0), AlertState::Firing);
+        assert_eq!(evaluate_threshold(&ans(1.0, 1.0), 3.0), AlertState::Quiet);
+        assert_eq!(
+            evaluate_threshold(&ans(3.2, 1.0), 3.0),
+            AlertState::Uncertain
+        );
+        // Boundary: interval upper end exactly on the threshold is Quiet
+        // (the alert condition is strictly "above").
+        assert_eq!(evaluate_threshold(&ans(2.0, 1.0), 3.0), AlertState::Quiet);
+    }
+
+    #[test]
+    fn alert_verdicts_are_sound_for_any_truth_in_the_interval() {
+        // For every truth inside value ± bound, Firing ⇒ truth > τ and
+        // Quiet ⇒ truth ≤ τ.
+        let threshold = 1.0;
+        for value in [-2.0, 0.0, 0.9, 1.0, 1.1, 3.0] {
+            for bound in [0.0, 0.05, 0.5, 2.0] {
+                let a = Answer {
+                    value,
+                    bound,
+                    max_staleness: 0,
+                };
+                let state = evaluate_threshold(&a, threshold);
+                for frac in [-1.0, -0.3, 0.0, 0.7, 1.0] {
+                    let truth = value + bound * frac;
+                    match state {
+                        AlertState::Firing => assert!(truth > threshold),
+                        AlertState::Quiet => assert!(truth <= threshold),
+                        AlertState::Uncertain => {}
+                    }
+                }
+            }
+        }
     }
 }

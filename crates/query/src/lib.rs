@@ -21,19 +21,25 @@
 //!   and answers every query from the latest [`StreamView`] snapshots.
 //! * [`parse_query`] — the textual form applications register queries in
 //!   (`"AVG(s1, s2) WITHIN 0.25"`).
+//! * [`QueryRuntime`] — the budget-aware continuous query runtime: standing
+//!   queries (including windows and [`evaluate_threshold`] alerts) whose
+//!   bounds are *propagated down* to per-stream deltas, with an optional
+//!   epoch allocator redistributing the fleet message budget.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod budget;
 mod eval;
 mod parse;
 mod registry;
+mod runtime;
 mod spec;
 pub mod window;
 
-pub use budget::{split_budget, split_budget_uniform};
-pub use eval::{answer_aggregate, answer_point, Answer};
+pub use budget::{split_budget, split_budget_uniform, split_budget_weighted};
+pub use eval::{answer_aggregate, answer_point, evaluate_threshold, AlertState, Answer};
 pub use parse::{parse_query, ParsedQuery};
 pub use registry::{QueryRegistry, StreamView};
+pub use runtime::{QueryRuntime, WindowAnswer, WindowSpec};
 pub use spec::{AggKind, AggregateQuery, PointQuery, QueryError, StreamId};

@@ -1,0 +1,1068 @@
+//! The continuous query runtime: standing queries that *drive* resource
+//! allocation.
+//!
+//! The rest of this crate evaluates queries passively over already-synced
+//! estimates. [`QueryRuntime`] closes the loop — the paper's core
+//! precision/resource tradeoff made operational:
+//!
+//! 1. **Registration.** Applications register standing queries — point
+//!    lookups, AVG/SUM/MIN/MAX aggregates (optionally weighted), sliding
+//!    windows (AVG/MIN/MAX/COUNT-above) and threshold alerts — each under a
+//!    unique id with its own precision bound.
+//! 2. **Precision propagation.** [`QueryRuntime::required_deltas`] pushes
+//!    every query's bound *down* to per-stream suppression bounds by
+//!    interval arithmetic: an AVG over `k` streams with bound `ε` grants
+//!    its members a total imprecision budget `ε·k` (split uniformly,
+//!    cost-optimally against measured demand curves, or by stream weight);
+//!    a windowed bound `ε` requires member per-tick deltas `≤ ε`; an alert
+//!    with margin `m` requires `δ ≤ m`, which guarantees a resolved verdict
+//!    whenever the truth sits further than `2m` from the threshold.
+//! 3. **Budget re-allocation.** With [`QueryRuntime::with_budget`], an
+//!    epoch allocator periodically redistributes the fleet message budget
+//!    across streams from their observed error contribution
+//!    ([`kalstream_core::FleetController::tick_demands`]), *clamped* by the
+//!    propagated query bounds — budget moves to volatile streams, but never
+//!    at the cost of a query guarantee. The resulting bounds are returned
+//!    as directives for delivery to producers over the feedback link
+//!    ([`kalstream_core::ServerEndpoint::push_bound_directive`] →
+//!    [`kalstream_core::WireMessage::Bound`]).
+//! 4. **Verification.** Fed ground truth ([`QueryRuntime::verify_tick`]),
+//!    the runtime checks every answer against its guarantee and counts
+//!    violations per query — the counters the Q1/Q2 experiments gate on.
+
+use std::collections::{HashMap, HashSet};
+
+use kalstream_core::{FleetController, StreamDemand};
+use kalstream_obs::{Instrument, Scope};
+
+use crate::window::{SlidingAvg, SlidingCountAbove, SlidingExtremum};
+use crate::{
+    answer_aggregate, evaluate_threshold, split_budget_weighted, AggKind, AggregateQuery,
+    AlertState, Answer, PointQuery, QueryError, QueryRegistry, StreamId, StreamView,
+};
+
+/// Slack applied when checking an answer against its bound: guards against
+/// accumulated floating-point error in sums/averages, not against real
+/// violations (relative 1e-9 + absolute 1e-12, matching the experiment
+/// harness convention).
+fn violates(err: f64, bound: f64) -> bool {
+    err > bound * (1.0 + 1e-9) + 1e-12
+}
+
+/// Shape of a sliding-window standing query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSpec {
+    /// Sliding average over `window` ticks.
+    Avg {
+        /// Window length in ticks.
+        window: usize,
+    },
+    /// Sliding minimum over `window` ticks.
+    Min {
+        /// Window length in ticks.
+        window: usize,
+    },
+    /// Sliding maximum over `window` ticks.
+    Max {
+        /// Window length in ticks.
+        window: usize,
+    },
+    /// Sliding count of ticks above `threshold` over `window` ticks,
+    /// answered as a guaranteed interval.
+    CountAbove {
+        /// Window length in ticks.
+        window: usize,
+        /// The count's threshold.
+        threshold: f64,
+    },
+}
+
+/// Answer of a windowed standing query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowAnswer {
+    /// A value-shaped window aggregate with its guaranteed half-width.
+    Value {
+        /// The aggregate of served values.
+        value: f64,
+        /// Guaranteed bound: the true aggregate is within `value ± bound`.
+        bound: f64,
+    },
+    /// A COUNT interval: the true count lies in `[lo, hi]`.
+    Count {
+        /// Certain lower end.
+        lo: u64,
+        /// Certain upper end.
+        hi: u64,
+    },
+}
+
+/// The live aggregator behind one windowed query (served side or truth
+/// mirror).
+#[derive(Debug, Clone)]
+enum WindowAgg {
+    Avg(SlidingAvg),
+    Min(SlidingExtremum),
+    Max(SlidingExtremum),
+    Count(SlidingCountAbove),
+}
+
+impl WindowAgg {
+    fn build(spec: WindowSpec) -> Self {
+        match spec {
+            WindowSpec::Avg { window } => WindowAgg::Avg(SlidingAvg::new(window)),
+            WindowSpec::Min { window } => WindowAgg::Min(SlidingExtremum::min(window)),
+            WindowSpec::Max { window } => WindowAgg::Max(SlidingExtremum::max(window)),
+            WindowSpec::CountAbove { window, threshold } => {
+                WindowAgg::Count(SlidingCountAbove::new(window, threshold))
+            }
+        }
+    }
+
+    fn push(&mut self, value: f64, bound: f64) {
+        match self {
+            WindowAgg::Avg(w) => w.push(value, bound),
+            WindowAgg::Min(w) | WindowAgg::Max(w) => w.push(value, bound),
+            WindowAgg::Count(w) => w.push(value, bound),
+        }
+    }
+
+    fn answer(&self) -> Option<WindowAnswer> {
+        match self {
+            WindowAgg::Avg(w) => w
+                .answer()
+                .map(|(value, bound)| WindowAnswer::Value { value, bound }),
+            WindowAgg::Min(w) | WindowAgg::Max(w) => w
+                .answer()
+                .map(|(value, bound)| WindowAnswer::Value { value, bound }),
+            WindowAgg::Count(w) => w.answer().map(|(lo, hi)| WindowAnswer::Count { lo, hi }),
+        }
+    }
+}
+
+/// One registered windowed query: served-side aggregator, bit-equivalent
+/// truth mirror (pushed with bound 0), and verification bookkeeping.
+#[derive(Debug)]
+struct WindowedQuery {
+    id: String,
+    stream: StreamId,
+    bound: f64,
+    served: WindowAgg,
+    mirror: WindowAgg,
+    violations: u64,
+}
+
+/// One registered threshold alert.
+#[derive(Debug)]
+struct AlertQuery {
+    id: String,
+    stream: StreamId,
+    threshold: f64,
+    margin: f64,
+    state: AlertState,
+    /// State transitions observed (alert churn diagnostic).
+    flips: u64,
+    violations: u64,
+}
+
+/// One weighted aggregate (kept outside the registry: its budget split
+/// honours explicit stream weights instead of demand curves).
+#[derive(Debug)]
+struct WeightedAggQuery {
+    id: String,
+    query: AggregateQuery,
+    weights: Vec<f64>,
+    violations: u64,
+}
+
+/// Verification bookkeeping for one registry-backed point query, aligned
+/// with the registry's registration order.
+#[derive(Debug)]
+struct PointMeta {
+    id: String,
+    stream: StreamId,
+    violations: u64,
+}
+
+/// Verification bookkeeping for one registry-backed aggregate query,
+/// aligned with the registry's registration order. The query copy lets
+/// [`QueryRuntime::verify_tick`] recompute the true aggregate from ground
+/// truth.
+#[derive(Debug)]
+struct AggregateMeta {
+    id: String,
+    query: AggregateQuery,
+    violations: u64,
+}
+
+/// Budget-aware continuous query runtime over a fleet of `n` streams.
+///
+/// See the module-level docs above for the full loop. Streams are identified by
+/// [`StreamId`]`(0..n)`; every tick the driver pushes one [`StreamView`] per
+/// stream via [`QueryRuntime::observe_tick`] and (in experiments) the
+/// observed truth via [`QueryRuntime::verify_tick`].
+#[derive(Debug)]
+pub struct QueryRuntime {
+    n_streams: usize,
+    registry: QueryRegistry,
+    point_meta: Vec<PointMeta>,
+    aggregate_meta: Vec<AggregateMeta>,
+    weighted: Vec<WeightedAggQuery>,
+    windows: Vec<WindowedQuery>,
+    alerts: Vec<AlertQuery>,
+    /// Ids of runtime-owned queries (weighted/window/alert); registry ids
+    /// live in the registry itself. Uniqueness spans both sets.
+    aux_ids: HashSet<String>,
+    /// Epoch budget re-allocator (None = pure propagation, no message
+    /// budget).
+    controller: Option<FleetController>,
+    latest: Vec<Option<StreamView>>,
+    ticks: u64,
+    total_violations: u64,
+    directives_issued: u64,
+}
+
+impl QueryRuntime {
+    /// Creates a runtime over `n_streams` streams with no message budget
+    /// (bounds come purely from query propagation).
+    ///
+    /// # Panics
+    /// Panics when `n_streams` is zero.
+    pub fn new(n_streams: usize) -> Self {
+        assert!(n_streams > 0, "need at least one stream");
+        QueryRuntime {
+            n_streams,
+            registry: QueryRegistry::new(),
+            point_meta: Vec::new(),
+            aggregate_meta: Vec::new(),
+            weighted: Vec::new(),
+            windows: Vec::new(),
+            alerts: Vec::new(),
+            aux_ids: HashSet::new(),
+            controller: None,
+            latest: vec![None; n_streams],
+            ticks: 0,
+            total_violations: 0,
+            directives_issued: 0,
+        }
+    }
+
+    /// Adds an epoch budget allocator: every `epoch` ticks of
+    /// [`QueryRuntime::epoch_directives`], the fleet message budget
+    /// (`budget_rate` messages/tick) is redistributed across streams from
+    /// their observed error contribution, clamped by the query bounds.
+    ///
+    /// # Errors
+    /// [`QueryError::Invalid`] on a zero epoch or a non-positive budget.
+    pub fn with_budget(mut self, epoch: u64, budget_rate: f64) -> Result<Self, QueryError> {
+        let controller = FleetController::new(self.n_streams, epoch, budget_rate).map_err(|e| {
+            QueryError::Invalid {
+                reason: e.to_string(),
+            }
+        })?;
+        self.controller = Some(controller);
+        Ok(self)
+    }
+
+    /// Number of registered standing queries across all kinds.
+    pub fn len(&self) -> usize {
+        self.registry.len() + self.weighted.len() + self.windows.len() + self.alerts.len()
+    }
+
+    /// `true` when no standing query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total guarantee violations observed by [`QueryRuntime::verify_tick`]
+    /// across all queries (0 in healthy runs — the experiment gate).
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Bound directives handed out by [`QueryRuntime::epoch_directives`].
+    pub fn directives_issued(&self) -> u64 {
+        self.directives_issued
+    }
+
+    fn check_stream(&self, stream: StreamId) -> Result<(), QueryError> {
+        if stream.0 >= self.n_streams {
+            return Err(QueryError::UnknownStream(stream));
+        }
+        Ok(())
+    }
+
+    fn check_fresh_id(&self, id: &str) -> Result<(), QueryError> {
+        if id.is_empty() {
+            return Err(QueryError::Invalid {
+                reason: "query id must be non-empty".into(),
+            });
+        }
+        if self.registry.contains(id) || self.aux_ids.contains(id) {
+            return Err(QueryError::DuplicateId { id: id.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Registers a standing point query: stream `stream` within `delta`.
+    ///
+    /// # Errors
+    /// [`QueryError::DuplicateId`] on an id collision,
+    /// [`QueryError::UnknownStream`] on an out-of-range stream,
+    /// [`QueryError::Invalid`] on a non-positive bound.
+    pub fn register_point(
+        &mut self,
+        id: &str,
+        stream: StreamId,
+        delta: f64,
+    ) -> Result<(), QueryError> {
+        self.check_fresh_id(id)?;
+        self.check_stream(stream)?;
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(QueryError::Invalid {
+                reason: format!("delta must be positive and finite, got {delta}"),
+            });
+        }
+        self.registry
+            .register_point(id, PointQuery { stream, delta })?;
+        self.point_meta.push(PointMeta {
+            id: id.to_string(),
+            stream,
+            violations: 0,
+        });
+        Ok(())
+    }
+
+    /// Registers a standing aggregate query (budget split uniformly or
+    /// against measured demand curves at propagation time).
+    ///
+    /// # Errors
+    /// [`QueryError::DuplicateId`] on an id collision,
+    /// [`QueryError::UnknownStream`] on an out-of-range member,
+    /// [`QueryError::Invalid`] on an invalid query description.
+    pub fn register_aggregate(
+        &mut self,
+        id: &str,
+        kind: AggKind,
+        streams: Vec<StreamId>,
+        bound: f64,
+    ) -> Result<(), QueryError> {
+        self.check_fresh_id(id)?;
+        for &s in &streams {
+            self.check_stream(s)?;
+        }
+        let q = AggregateQuery::new(kind, streams, bound)?;
+        self.registry.register_aggregate(id, q.clone())?;
+        self.aggregate_meta.push(AggregateMeta {
+            id: id.to_string(),
+            query: q,
+            violations: 0,
+        });
+        Ok(())
+    }
+
+    /// Registers a standing aggregate whose error budget is split by
+    /// explicit stream weights (higher weight = tighter member bound)
+    /// instead of demand curves — the "`ε·k` scaled by stream weight"
+    /// propagation rule.
+    ///
+    /// # Errors
+    /// As [`QueryRuntime::register_aggregate`], plus
+    /// [`QueryError::Invalid`] when `weights` disagrees in length with
+    /// `streams` or contains a non-positive weight.
+    pub fn register_aggregate_weighted(
+        &mut self,
+        id: &str,
+        kind: AggKind,
+        streams: Vec<StreamId>,
+        bound: f64,
+        weights: Vec<f64>,
+    ) -> Result<(), QueryError> {
+        self.check_fresh_id(id)?;
+        for &s in &streams {
+            self.check_stream(s)?;
+        }
+        if weights.len() != streams.len() {
+            return Err(QueryError::Invalid {
+                reason: format!("expected {} weights, got {}", streams.len(), weights.len()),
+            });
+        }
+        if weights.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
+            return Err(QueryError::Invalid {
+                reason: "weights must be positive and finite".into(),
+            });
+        }
+        let query = AggregateQuery::new(kind, streams, bound)?;
+        self.aux_ids.insert(id.to_string());
+        self.weighted.push(WeightedAggQuery {
+            id: id.to_string(),
+            query,
+            weights,
+            violations: 0,
+        });
+        Ok(())
+    }
+
+    /// Registers a sliding-window standing query with answer bound `bound`
+    /// (for [`WindowSpec::CountAbove`], `bound` is the per-tick delta
+    /// requested of the stream — it controls how many ticks classify as
+    /// uncertain, not the interval's soundness).
+    ///
+    /// # Errors
+    /// [`QueryError::DuplicateId`] on an id collision,
+    /// [`QueryError::UnknownStream`] on an out-of-range stream,
+    /// [`QueryError::Invalid`] on a non-positive bound or zero window.
+    pub fn register_window(
+        &mut self,
+        id: &str,
+        stream: StreamId,
+        spec: WindowSpec,
+        bound: f64,
+    ) -> Result<(), QueryError> {
+        self.check_fresh_id(id)?;
+        self.check_stream(stream)?;
+        if !(bound > 0.0 && bound.is_finite()) {
+            return Err(QueryError::Invalid {
+                reason: format!("bound must be positive and finite, got {bound}"),
+            });
+        }
+        let window_len = match spec {
+            WindowSpec::Avg { window }
+            | WindowSpec::Min { window }
+            | WindowSpec::Max { window }
+            | WindowSpec::CountAbove { window, .. } => window,
+        };
+        if window_len == 0 {
+            return Err(QueryError::Invalid {
+                reason: "window must be positive".into(),
+            });
+        }
+        if let WindowSpec::CountAbove { threshold, .. } = spec {
+            if !threshold.is_finite() {
+                return Err(QueryError::Invalid {
+                    reason: "count threshold must be finite".into(),
+                });
+            }
+        }
+        self.aux_ids.insert(id.to_string());
+        self.windows.push(WindowedQuery {
+            id: id.to_string(),
+            stream,
+            bound,
+            served: WindowAgg::build(spec),
+            mirror: WindowAgg::build(spec),
+            violations: 0,
+        });
+        Ok(())
+    }
+
+    /// Registers a threshold alert on one stream: verdicts are
+    /// [`AlertState::Firing`] / [`AlertState::Quiet`] only when guaranteed
+    /// by the stream's bound, and the alert's `margin` is propagated as a
+    /// required per-stream delta `δ ≤ margin`, guaranteeing a resolved
+    /// verdict whenever the truth sits further than `2·margin` from
+    /// `threshold`.
+    ///
+    /// # Errors
+    /// [`QueryError::DuplicateId`] on an id collision,
+    /// [`QueryError::UnknownStream`] on an out-of-range stream,
+    /// [`QueryError::Invalid`] on a non-finite threshold or non-positive
+    /// margin.
+    pub fn register_alert(
+        &mut self,
+        id: &str,
+        stream: StreamId,
+        threshold: f64,
+        margin: f64,
+    ) -> Result<(), QueryError> {
+        self.check_fresh_id(id)?;
+        self.check_stream(stream)?;
+        if !threshold.is_finite() {
+            return Err(QueryError::Invalid {
+                reason: "threshold must be finite".into(),
+            });
+        }
+        if !(margin > 0.0 && margin.is_finite()) {
+            return Err(QueryError::Invalid {
+                reason: format!("margin must be positive and finite, got {margin}"),
+            });
+        }
+        self.aux_ids.insert(id.to_string());
+        self.alerts.push(AlertQuery {
+            id: id.to_string(),
+            stream,
+            threshold,
+            margin,
+            state: AlertState::Uncertain,
+            flips: 0,
+            violations: 0,
+        });
+        Ok(())
+    }
+
+    /// Unregisters the query with this id; returns whether one existed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        if self.registry.remove(id) {
+            self.point_meta.retain(|m| m.id != id);
+            self.aggregate_meta.retain(|m| m.id != id);
+            return true;
+        }
+        if self.aux_ids.remove(id) {
+            self.weighted.retain(|q| q.id != id);
+            self.windows.retain(|q| q.id != id);
+            self.alerts.retain(|q| q.id != id);
+            return true;
+        }
+        false
+    }
+
+    /// Advances the runtime one tick with the latest per-stream views
+    /// (`views[i]` is stream `i`). Windows slide, alerts re-evaluate, and
+    /// registry answers refresh.
+    ///
+    /// # Panics
+    /// Panics when `views.len()` disagrees with the stream count.
+    pub fn observe_tick(&mut self, views: &[StreamView]) {
+        assert_eq!(views.len(), self.n_streams, "stream count mismatch");
+        self.ticks += 1;
+        for (i, view) in views.iter().enumerate() {
+            self.registry.update_view(StreamId(i), *view);
+            self.latest[i] = Some(*view);
+        }
+        for w in &mut self.windows {
+            let v = views[w.stream.0];
+            w.served.push(v.value, v.delta);
+        }
+        for a in &mut self.alerts {
+            let v = views[a.stream.0];
+            let answer = Answer {
+                value: v.value,
+                bound: v.delta,
+                max_staleness: v.staleness,
+            };
+            let state = evaluate_threshold(&answer, a.threshold);
+            if state != a.state {
+                a.flips += 1;
+            }
+            a.state = state;
+        }
+    }
+
+    /// Checks every query's guarantee against ground truth (`truth[i]` is
+    /// the observed value of stream `i` this tick) and returns the number
+    /// of violations found this tick. Call after
+    /// [`QueryRuntime::observe_tick`] each tick; truth mirrors for windows
+    /// advance here.
+    ///
+    /// # Panics
+    /// Panics when `truth.len()` disagrees with the stream count.
+    pub fn verify_tick(&mut self, truth: &[f64]) -> u64 {
+        assert_eq!(truth.len(), self.n_streams, "stream count mismatch");
+        let mut violations = 0u64;
+
+        // Point queries.
+        if let Ok(answers) = self.registry.answer_point_queries() {
+            for (meta, ans) in self.point_meta.iter_mut().zip(&answers) {
+                if violates((ans.value - truth[meta.stream.0]).abs(), ans.bound) {
+                    meta.violations += 1;
+                    violations += 1;
+                }
+            }
+        }
+
+        // Plain aggregates.
+        if let Ok(answers) = self.registry.answer_aggregates() {
+            for (meta, ans) in self.aggregate_meta.iter_mut().zip(&answers) {
+                let true_val = true_aggregate(
+                    meta.query.kind,
+                    meta.query.streams.iter().map(|s| truth[s.0]),
+                );
+                if violates((ans.value - true_val).abs(), ans.bound) {
+                    meta.violations += 1;
+                    violations += 1;
+                }
+            }
+        }
+
+        // Weighted aggregates.
+        for q in &mut self.weighted {
+            let views: Option<Vec<StreamView>> =
+                q.query.streams.iter().map(|s| self.latest[s.0]).collect();
+            let Some(views) = views else { continue };
+            let Ok(ans) = answer_aggregate(&q.query, &views) else {
+                continue;
+            };
+            let true_val = true_aggregate(q.query.kind, q.query.streams.iter().map(|s| truth[s.0]));
+            if violates((ans.value - true_val).abs(), ans.bound) {
+                q.violations += 1;
+                violations += 1;
+            }
+        }
+
+        // Windows: push truth into the mirror (bound 0 ⇒ the mirror's
+        // answer *is* the true window aggregate), then compare.
+        for w in &mut self.windows {
+            w.mirror.push(truth[w.stream.0], 0.0);
+            let violated = match (w.served.answer(), w.mirror.answer()) {
+                (
+                    Some(WindowAnswer::Value { value, bound }),
+                    Some(WindowAnswer::Value {
+                        value: true_val, ..
+                    }),
+                ) => violates((value - true_val).abs(), bound),
+                (
+                    Some(WindowAnswer::Count { lo, hi }),
+                    Some(WindowAnswer::Count { lo: true_count, .. }),
+                ) => {
+                    // Mirror bound 0 ⇒ lo == hi == true count.
+                    !(lo..=hi).contains(&true_count)
+                }
+                _ => false,
+            };
+            if violated {
+                w.violations += 1;
+                violations += 1;
+            }
+        }
+
+        // Alerts: a resolved verdict must agree with the truth.
+        for a in &mut self.alerts {
+            let t = truth[a.stream.0];
+            let wrong = match a.state {
+                AlertState::Firing => t <= a.threshold,
+                AlertState::Quiet => t > a.threshold,
+                AlertState::Uncertain => false,
+            };
+            if wrong {
+                a.violations += 1;
+                violations += 1;
+            }
+        }
+
+        self.total_violations += violations;
+        violations
+    }
+
+    /// Computes the per-stream suppression bound required to satisfy
+    /// *every* standing query — the precision-propagation step. `demands`
+    /// optionally supplies measured rate curves for cost-optimal aggregate
+    /// splits (see [`QueryRegistry::required_deltas`]); windowed bounds,
+    /// alert margins and weighted-aggregate shares tighten on top.
+    pub fn required_deltas(
+        &self,
+        demands: &HashMap<StreamId, StreamDemand>,
+    ) -> HashMap<StreamId, f64> {
+        let mut required = self.registry.required_deltas(demands);
+        let mut tighten = |id: StreamId, delta: f64| {
+            required
+                .entry(id)
+                .and_modify(|d| *d = d.min(delta))
+                .or_insert(delta);
+        };
+        for q in &self.weighted {
+            let split = split_budget_weighted(
+                &q.weights,
+                q.query.imprecision_budget(),
+                q.query.per_stream_cap(),
+            );
+            for (s, d) in q.query.streams.iter().zip(split) {
+                tighten(*s, d);
+            }
+        }
+        for w in &self.windows {
+            // Per-tick delta ≤ ε makes every window aggregate's propagated
+            // bound ≤ ε (AVG: mean of bounds; MIN/MAX: max of bounds).
+            tighten(w.stream, w.bound);
+        }
+        for a in &self.alerts {
+            tighten(a.stream, a.margin);
+        }
+        required
+    }
+
+    /// Runs one tick of the epoch budget allocator: on epoch boundaries,
+    /// redistributes the fleet message budget from the supplied per-stream
+    /// error windows (`samples[i]` for stream `i`), clamps every allocated
+    /// bound by the query requirements, and returns the per-stream bound
+    /// directives (`None` = stream cold or no controller / off-epoch tick).
+    ///
+    /// The caller delivers the bounds to producers — in-process via
+    /// `SourceEndpoint::set_delta`, or across the link via
+    /// [`kalstream_core::ServerEndpoint::push_bound_directive`].
+    ///
+    /// # Panics
+    /// Panics when `samples.len()` disagrees with the stream count.
+    pub fn epoch_directives(&mut self, samples: &[Vec<f64>]) -> Option<Vec<Option<f64>>> {
+        assert_eq!(samples.len(), self.n_streams, "stream count mismatch");
+        let controller = self.controller.as_mut()?;
+        let allocated = controller.tick_demands(samples)?;
+        // Clamp by the propagated query bounds: the budget may *relax* a
+        // stream the queries don't constrain, but a query guarantee always
+        // wins over budget savings.
+        let mut demand_map = HashMap::new();
+        for (i, window) in samples.iter().enumerate() {
+            if let Ok(d) = StreamDemand::new(window.clone(), 1.0) {
+                demand_map.insert(StreamId(i), d);
+            }
+        }
+        let caps = self.required_deltas(&demand_map);
+        let directives: Vec<Option<f64>> = allocated
+            .iter()
+            .enumerate()
+            .map(|(i, alloc)| {
+                alloc.map(|d| match caps.get(&StreamId(i)) {
+                    Some(cap) => d.min(*cap),
+                    None => d,
+                })
+            })
+            .collect();
+        self.directives_issued += directives.iter().flatten().count() as u64;
+        Some(directives)
+    }
+
+    /// Latest answers of the registry-backed point queries, `(id, answer)`
+    /// in registration order.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownStream`] before the first
+    /// [`QueryRuntime::observe_tick`] covering a queried stream.
+    pub fn point_answers(&self) -> Result<Vec<(&str, Answer)>, QueryError> {
+        let answers = self.registry.answer_point_queries()?;
+        Ok(self
+            .point_meta
+            .iter()
+            .map(|m| m.id.as_str())
+            .zip(answers)
+            .collect())
+    }
+
+    /// Latest answers of all aggregate queries (plain then weighted),
+    /// `(id, answer)` in registration order.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownStream`] before the first
+    /// [`QueryRuntime::observe_tick`] covering a member stream.
+    pub fn aggregate_answers(&self) -> Result<Vec<(&str, Answer)>, QueryError> {
+        let answers = self.registry.answer_aggregates()?;
+        let mut out: Vec<(&str, Answer)> = self
+            .aggregate_meta
+            .iter()
+            .map(|m| m.id.as_str())
+            .zip(answers)
+            .collect();
+        for q in &self.weighted {
+            let views: Option<Vec<StreamView>> =
+                q.query.streams.iter().map(|s| self.latest[s.0]).collect();
+            let views = views.ok_or_else(|| {
+                QueryError::UnknownStream(
+                    *q.query
+                        .streams
+                        .iter()
+                        .find(|s| self.latest[s.0].is_none())
+                        .expect("some view missing"),
+                )
+            })?;
+            out.push((q.id.as_str(), answer_aggregate(&q.query, &views)?));
+        }
+        Ok(out)
+    }
+
+    /// Latest windowed answers, `(id, answer)` in registration order
+    /// (`None` before the window's first push).
+    pub fn window_answers(&self) -> Vec<(&str, Option<WindowAnswer>)> {
+        self.windows
+            .iter()
+            .map(|w| (w.id.as_str(), w.served.answer()))
+            .collect()
+    }
+
+    /// Latest alert verdicts, `(id, state)` in registration order.
+    pub fn alert_states(&self) -> Vec<(&str, AlertState)> {
+        self.alerts
+            .iter()
+            .map(|a| (a.id.as_str(), a.state))
+            .collect()
+    }
+}
+
+/// The true aggregate of ground-truth member values.
+fn true_aggregate(kind: AggKind, values: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = values.collect();
+    let k = values.len() as f64;
+    match kind {
+        AggKind::Avg => values.iter().sum::<f64>() / k,
+        AggKind::Sum => values.iter().sum::<f64>(),
+        AggKind::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+        AggKind::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+impl Instrument for QueryRuntime {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("ticks", self.ticks);
+        scope.counter("violations", self.total_violations);
+        scope.counter("directives_issued", self.directives_issued);
+        scope.counter("queries", self.len() as u64);
+        if let Some(c) = &self.controller {
+            scope.observe("allocator", c);
+        }
+        let mut queries = scope.scope("query");
+        for (id, violations) in self
+            .point_meta
+            .iter()
+            .map(|m| (m.id.as_str(), m.violations))
+            .chain(
+                self.aggregate_meta
+                    .iter()
+                    .map(|m| (m.id.as_str(), m.violations)),
+            )
+        {
+            let mut q = queries.scope(id);
+            q.counter("violations", violations);
+        }
+        for w in &self.weighted {
+            let mut q = queries.scope(&w.id);
+            q.counter("violations", w.violations);
+        }
+        for w in &self.windows {
+            let mut q = queries.scope(&w.id);
+            q.counter("violations", w.violations);
+            q.gauge("bound", w.bound);
+            match w.served.answer() {
+                Some(WindowAnswer::Value { value, bound }) => {
+                    q.gauge("value", value);
+                    q.gauge("answer_bound", bound);
+                }
+                Some(WindowAnswer::Count { lo, hi }) => {
+                    q.counter("count_lo", lo);
+                    q.counter("count_hi", hi);
+                }
+                None => {}
+            }
+        }
+        for a in &self.alerts {
+            let mut q = queries.scope(&a.id);
+            q.counter("violations", a.violations);
+            q.counter("flips", a.flips);
+            q.gauge("margin", a.margin);
+            q.counter("uncertain", u64::from(a.state == AlertState::Uncertain));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(value: f64, delta: f64) -> StreamView {
+        StreamView {
+            value,
+            delta,
+            staleness: 0,
+        }
+    }
+
+    fn runtime3() -> QueryRuntime {
+        QueryRuntime::new(3)
+    }
+
+    #[test]
+    fn registration_validates_ids_streams_and_bounds() {
+        let mut rt = runtime3();
+        rt.register_point("p0", StreamId(0), 0.5).unwrap();
+        assert_eq!(
+            rt.register_point("p0", StreamId(1), 0.5),
+            Err(QueryError::DuplicateId { id: "p0".into() })
+        );
+        assert_eq!(
+            rt.register_alert("p0", StreamId(0), 1.0, 0.1),
+            Err(QueryError::DuplicateId { id: "p0".into() }),
+            "uniqueness spans query kinds"
+        );
+        assert!(matches!(
+            rt.register_point("p1", StreamId(9), 0.5),
+            Err(QueryError::UnknownStream(StreamId(9)))
+        ));
+        assert!(rt.register_point("p2", StreamId(0), -1.0).is_err());
+        assert!(rt
+            .register_window("w0", StreamId(0), WindowSpec::Avg { window: 0 }, 0.5)
+            .is_err());
+        assert!(rt.register_alert("a0", StreamId(0), f64::NAN, 0.1).is_err());
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn remove_spans_all_query_kinds() {
+        let mut rt = runtime3();
+        rt.register_point("p", StreamId(0), 0.5).unwrap();
+        rt.register_window("w", StreamId(1), WindowSpec::Avg { window: 4 }, 0.3)
+            .unwrap();
+        rt.register_alert("a", StreamId(2), 1.0, 0.2).unwrap();
+        assert_eq!(rt.len(), 3);
+        assert!(rt.remove("w"));
+        assert!(rt.remove("p"));
+        assert!(rt.remove("a"));
+        assert!(!rt.remove("a"));
+        assert!(rt.is_empty());
+        // Removed ids are reusable.
+        rt.register_point("w", StreamId(0), 0.5).unwrap();
+    }
+
+    #[test]
+    fn precision_propagates_from_every_query_kind() {
+        let mut rt = runtime3();
+        rt.register_point("p", StreamId(0), 0.4).unwrap();
+        rt.register_aggregate("g", AggKind::Avg, vec![StreamId(0), StreamId(1)], 0.25)
+            .unwrap();
+        rt.register_window("w", StreamId(2), WindowSpec::Min { window: 8 }, 0.1)
+            .unwrap();
+        rt.register_alert("a", StreamId(2), 5.0, 0.05).unwrap();
+        let req = rt.required_deltas(&HashMap::new());
+        // Stream 0: min(point 0.4, avg uniform split 0.25·2/2 = 0.25).
+        assert_eq!(req[&StreamId(0)], 0.25);
+        assert_eq!(req[&StreamId(1)], 0.25);
+        // Stream 2: min(window 0.1, alert margin 0.05).
+        assert_eq!(req[&StreamId(2)], 0.05);
+    }
+
+    #[test]
+    fn weighted_aggregate_splits_by_inverse_weight() {
+        let mut rt = runtime3();
+        rt.register_aggregate_weighted(
+            "g",
+            AggKind::Avg,
+            vec![StreamId(0), StreamId(1)],
+            0.5,
+            vec![4.0, 1.0],
+        )
+        .unwrap();
+        let req = rt.required_deltas(&HashMap::new());
+        // Budget ε·k = 1.0, inverse-weight shares 0.2 / 0.8.
+        assert!((req[&StreamId(0)] - 0.2).abs() < 1e-12, "{req:?}");
+        assert!((req[&StreamId(1)] - 0.8).abs() < 1e-12, "{req:?}");
+        // The weighted aggregate still answers (and verifies) like any
+        // other aggregate.
+        rt.observe_tick(&[view(1.0, 0.2), view(3.0, 0.8), view(0.0, 1.0)]);
+        let answers = rt.aggregate_answers().unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].0, "g");
+        assert!((answers[0].1.value - 2.0).abs() < 1e-12);
+        assert!((answers[0].1.bound - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_and_verify_count_no_false_violations() {
+        let mut rt = runtime3();
+        rt.register_point("p", StreamId(0), 0.5).unwrap();
+        rt.register_aggregate("g", AggKind::Avg, vec![StreamId(0), StreamId(1)], 1.0)
+            .unwrap();
+        rt.register_window("w", StreamId(2), WindowSpec::Avg { window: 4 }, 0.5)
+            .unwrap();
+        rt.register_alert("a", StreamId(2), 0.5, 0.1).unwrap();
+        for t in 0..50u64 {
+            let truth = [t as f64 * 0.1, 1.0, (t as f64 * 0.2).sin()];
+            // Served values off-truth by less than each bound.
+            let served = [
+                view(truth[0] + 0.3, 0.5),
+                view(truth[1] - 0.4, 0.5),
+                view(truth[2] + 0.05, 0.1),
+            ];
+            rt.observe_tick(&served);
+            assert_eq!(rt.verify_tick(&truth), 0, "false violation at tick {t}");
+        }
+        assert_eq!(rt.total_violations(), 0);
+        assert_eq!(rt.ticks(), 50);
+    }
+
+    #[test]
+    fn verify_catches_broken_guarantees() {
+        let mut rt = QueryRuntime::new(1);
+        rt.register_point("p", StreamId(0), 0.1).unwrap();
+        rt.observe_tick(&[view(5.0, 0.1)]);
+        // Truth far outside value ± bound.
+        assert_eq!(rt.verify_tick(&[9.0]), 1);
+        assert_eq!(rt.total_violations(), 1);
+    }
+
+    #[test]
+    fn alert_states_resolve_and_flip() {
+        let mut rt = QueryRuntime::new(1);
+        rt.register_alert("a", StreamId(0), 10.0, 0.5).unwrap();
+        rt.observe_tick(&[view(12.0, 0.5)]);
+        assert_eq!(rt.alert_states(), vec![("a", AlertState::Firing)]);
+        rt.observe_tick(&[view(10.2, 0.5)]);
+        assert_eq!(rt.alert_states(), vec![("a", AlertState::Uncertain)]);
+        rt.observe_tick(&[view(8.0, 0.5)]);
+        assert_eq!(rt.alert_states(), vec![("a", AlertState::Quiet)]);
+    }
+
+    #[test]
+    fn windowed_count_answers_as_interval() {
+        let mut rt = QueryRuntime::new(1);
+        rt.register_window(
+            "c",
+            StreamId(0),
+            WindowSpec::CountAbove {
+                window: 3,
+                threshold: 0.0,
+            },
+            0.5,
+        )
+        .unwrap();
+        rt.observe_tick(&[view(2.0, 0.5)]); // certainly above
+        rt.observe_tick(&[view(-2.0, 0.5)]); // certainly below
+        rt.observe_tick(&[view(0.2, 0.5)]); // uncertain
+        assert_eq!(
+            rt.window_answers(),
+            vec![("c", Some(WindowAnswer::Count { lo: 1, hi: 2 }))]
+        );
+    }
+
+    #[test]
+    fn epoch_directives_respect_query_caps() {
+        let mut rt = QueryRuntime::new(2).with_budget(1, 0.001).unwrap();
+        // Tight point query on stream 0; stream 1 unconstrained.
+        rt.register_point("p", StreamId(0), 0.05).unwrap();
+        // Large error windows: a starved budget would loosen both streams
+        // far past 0.05 if the query cap didn't clamp.
+        let samples: Vec<Vec<f64>> = (0..2)
+            .map(|_| (1..=100).map(|i| i as f64 * 0.1).collect())
+            .collect();
+        let directives = rt.epoch_directives(&samples).expect("epoch boundary");
+        let d0 = directives[0].expect("warm stream");
+        let d1 = directives[1].expect("warm stream");
+        assert!(d0 <= 0.05 + 1e-12, "query cap violated: {d0}");
+        assert!(d1 > 0.05, "unconstrained stream keeps the budget bound");
+        assert_eq!(rt.directives_issued(), 2);
+    }
+
+    #[test]
+    fn no_budget_means_no_directives() {
+        let mut rt = QueryRuntime::new(1);
+        assert!(rt.epoch_directives(&[vec![0.1, 0.2]]).is_none());
+    }
+
+    #[test]
+    fn instrument_exports_per_query_counters() {
+        let mut rt = QueryRuntime::new(2).with_budget(4, 1.0).unwrap();
+        rt.register_point("p", StreamId(0), 0.5).unwrap();
+        rt.register_window("w", StreamId(1), WindowSpec::Avg { window: 4 }, 0.5)
+            .unwrap();
+        rt.register_alert("alert", StreamId(1), 0.0, 0.25).unwrap();
+        rt.observe_tick(&[view(1.0, 0.5), view(2.0, 0.5)]);
+        rt.verify_tick(&[1.1, 2.1]);
+        let mut reg = kalstream_obs::Registry::new();
+        reg.observe("runtime", &rt);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("runtime.ticks"), Some(1));
+        assert_eq!(snap.counter("runtime.violations"), Some(0));
+        assert_eq!(snap.counter("runtime.query.p.violations"), Some(0));
+        assert_eq!(snap.gauge("runtime.query.w.bound"), Some(0.5));
+        assert_eq!(snap.counter("runtime.query.alert.flips"), Some(1));
+        assert_eq!(snap.counter("runtime.allocator.rounds"), Some(0));
+    }
+}

@@ -99,6 +99,13 @@ pub enum QueryError {
     },
     /// A referenced stream is not registered / has no view yet.
     UnknownStream(StreamId),
+    /// A query with this id is already registered. Pre-fix the registry
+    /// silently accepted the collision, so removing or answering "the" query
+    /// under that id was ambiguous.
+    DuplicateId {
+        /// The colliding query id.
+        id: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -106,6 +113,7 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Invalid { reason } => write!(f, "invalid query: {reason}"),
             QueryError::UnknownStream(id) => write!(f, "unknown stream {}", id.0),
+            QueryError::DuplicateId { id } => write!(f, "duplicate query id {id:?}"),
         }
     }
 }
@@ -146,5 +154,8 @@ mod tests {
         assert!(QueryError::Invalid { reason: "x".into() }
             .to_string()
             .contains("invalid"));
+        assert!(QueryError::DuplicateId { id: "q1".into() }
+            .to_string()
+            .contains("q1"));
     }
 }

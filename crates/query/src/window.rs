@@ -231,6 +231,89 @@ impl SlidingQuantile {
     }
 }
 
+/// Sliding-window COUNT of ticks whose *true* value exceeds a threshold,
+/// answered as a guaranteed interval.
+///
+/// A tick with served value `v` and bound `δ` is **certainly above** the
+/// threshold `τ` when `v − δ > τ`, **certainly at-or-below** when
+/// `v + δ ≤ τ`, and **uncertain** otherwise (the precision interval
+/// straddles `τ`). The true count over the window is then guaranteed to lie
+/// in `[above, above + uncertain]` — the only sound answer a
+/// precision-bounded stream admits for a counting query.
+#[derive(Debug, Clone)]
+pub struct SlidingCountAbove {
+    window: usize,
+    threshold: f64,
+    /// Per-tick classification: +1 above, 0 uncertain, −1 below.
+    classes: VecDeque<i8>,
+    above: u64,
+    uncertain: u64,
+}
+
+impl SlidingCountAbove {
+    /// Creates a sliding count of ticks above `threshold` over `window`
+    /// ticks.
+    ///
+    /// # Panics
+    /// Panics when `window` is zero or `threshold` is not finite.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold.is_finite(), "threshold must be finite");
+        SlidingCountAbove {
+            window,
+            threshold,
+            classes: VecDeque::with_capacity(window),
+            above: 0,
+            uncertain: 0,
+        }
+    }
+
+    /// The threshold the count is taken against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Pushes one tick's served value and its precision bound.
+    pub fn push(&mut self, value: f64, bound: f64) {
+        if self.classes.len() == self.window {
+            match self.classes.pop_front().expect("non-empty") {
+                1 => self.above -= 1,
+                0 => self.uncertain -= 1,
+                _ => {}
+            }
+        }
+        let class: i8 = if value - bound > self.threshold {
+            self.above += 1;
+            1
+        } else if value + bound <= self.threshold {
+            -1
+        } else {
+            self.uncertain += 1;
+            0
+        };
+        self.classes.push_back(class);
+    }
+
+    /// Number of ticks currently in the window.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Guaranteed interval `(lo, hi)` containing the true count of window
+    /// ticks above the threshold; `None` when empty.
+    pub fn answer(&self) -> Option<(u64, u64)> {
+        if self.classes.is_empty() {
+            return None;
+        }
+        Some((self.above, self.above + self.uncertain))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +472,47 @@ mod tests {
             win.sort_by(f64::total_cmp);
             let idx = ((0.5 * (win.len() - 1) as f64).floor() as usize).min(win.len() - 1);
             assert_eq!(w.answer().unwrap().0, win[idx]);
+        }
+    }
+
+    #[test]
+    fn count_above_classifies_certain_and_uncertain_ticks() {
+        let mut w = SlidingCountAbove::new(3, 10.0);
+        assert!(w.answer().is_none());
+        w.push(15.0, 1.0); // certainly above
+        w.push(5.0, 1.0); // certainly below
+        w.push(10.2, 1.0); // straddles the threshold
+        assert_eq!(w.answer(), Some((1, 2)));
+        assert_eq!(w.len(), 3);
+        // Slide: the certain-above tick expires.
+        w.push(3.0, 1.0);
+        assert_eq!(w.answer(), Some((0, 1)));
+    }
+
+    #[test]
+    fn count_above_interval_contains_true_count() {
+        // Truth deviates from served by at most each tick's bound; the true
+        // count must land inside the guaranteed interval at every tick.
+        let mut w = SlidingCountAbove::new(5, 0.0);
+        let mut truths: Vec<f64> = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let served = ((x % 2000) as f64 - 1000.0) / 100.0;
+            let bound = ((x >> 11) % 100) as f64 / 50.0;
+            // Truth anywhere in [served − bound, served + bound].
+            let frac = ((x >> 23) % 1000) as f64 / 499.5 - 1.0;
+            truths.push(served + bound * frac);
+            w.push(served, bound);
+            let start = truths.len().saturating_sub(5);
+            let true_count = truths[start..].iter().filter(|&&t| t > 0.0).count() as u64;
+            let (lo, hi) = w.answer().unwrap();
+            assert!(
+                lo <= true_count && true_count <= hi,
+                "true count {true_count} outside [{lo}, {hi}]"
+            );
         }
     }
 

@@ -1,0 +1,168 @@
+//! Property-based tests of precision propagation: for arbitrary query
+//! workloads, as long as every stream honors the per-stream delta the
+//! runtime derived for it, no reconstructed answer ever violates its
+//! query-level bound.
+
+use std::collections::HashMap;
+
+use kalstream_query::{
+    split_budget_weighted, AggKind, QueryRuntime, StreamId, StreamView, WindowSpec,
+};
+use proptest::prelude::*;
+
+fn view(value: f64, delta: f64) -> StreamView {
+    StreamView {
+        value,
+        delta,
+        staleness: 0,
+    }
+}
+
+fn agg_kind(idx: usize) -> AggKind {
+    match idx % 4 {
+        0 => AggKind::Avg,
+        1 => AggKind::Sum,
+        2 => AggKind::Min,
+        _ => AggKind::Max,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline soundness property: register a random mix of standing
+    /// queries (plain aggregate, weighted aggregate, sliding window,
+    /// threshold alert), derive per-stream deltas via precision
+    /// propagation, then serve adversarial values that deviate from the
+    /// truth by *exactly* the derived delta (scaled by an arbitrary
+    /// per-tick fraction). Verification must count zero violations.
+    #[test]
+    fn propagated_deltas_keep_every_answer_sound(
+        shape in (2usize..5, 0usize..4, 1usize..12),
+        bounds in (0.05..2.0f64, 0.05..1.0f64, -5.0..5.0f64, 0.05..1.0f64),
+        weights in prop::collection::vec(0.1..10.0f64, 4),
+        truths in prop::collection::vec(
+            prop::collection::vec(-10.0..10.0f64, 4),
+            1..40,
+        ),
+        fracs in prop::collection::vec(
+            prop::collection::vec(-1.0..1.0f64, 4),
+            1..40,
+        ),
+    ) {
+        let (n, kind_idx, window) = shape;
+        let (bound, window_bound, threshold, margin) = bounds;
+        let mut rt = QueryRuntime::new(n);
+        let members: Vec<StreamId> = (0..n).map(StreamId).collect();
+        rt.register_aggregate("agg", agg_kind(kind_idx), members.clone(), bound)
+            .unwrap();
+        rt.register_aggregate_weighted(
+            "wagg",
+            agg_kind(kind_idx + 1),
+            members,
+            bound,
+            weights[..n].to_vec(),
+        )
+        .unwrap();
+        rt.register_window(
+            "win",
+            StreamId(0),
+            WindowSpec::Avg { window },
+            window_bound,
+        )
+        .unwrap();
+        rt.register_window(
+            "ext",
+            StreamId(1 % n),
+            WindowSpec::Max { window },
+            window_bound,
+        )
+        .unwrap();
+        rt.register_window(
+            "cnt",
+            StreamId(0),
+            WindowSpec::CountAbove { window, threshold },
+            window_bound,
+        )
+        .unwrap();
+        rt.register_alert("alert", StreamId(0), threshold, margin).unwrap();
+
+        let required = rt.required_deltas(&HashMap::new());
+        for (truth_row, frac_row) in truths.iter().zip(&fracs) {
+            // Every stream honors its derived delta: the served value
+            // deviates from truth by delta·frac with |frac| ≤ 1.
+            let served: Vec<StreamView> = (0..n)
+                .map(|i| {
+                    let delta = required.get(&StreamId(i)).copied().unwrap_or(0.5);
+                    view(truth_row[i] + delta * frac_row[i], delta)
+                })
+                .collect();
+            rt.observe_tick(&served);
+            let violations = rt.verify_tick(&truth_row[..n]);
+            prop_assert_eq!(violations, 0, "required deltas {:?}", required);
+        }
+        prop_assert_eq!(rt.total_violations(), 0);
+    }
+
+    /// The weighted split never overspends the aggregate's imprecision
+    /// budget, and with the per-stream cap applied the reconstructed
+    /// answer bound stays within the query bound for every aggregate kind.
+    #[test]
+    fn weighted_split_respects_budget_and_query_bound(
+        kind_idx in 0usize..4,
+        bound in 0.01..5.0f64,
+        weights in prop::collection::vec(0.05..20.0f64, 1..8),
+    ) {
+        let kind = agg_kind(kind_idx);
+        let k = weights.len() as f64;
+        let (budget, cap) = match kind {
+            AggKind::Avg => (bound * k, None),
+            AggKind::Sum => (bound, None),
+            AggKind::Min | AggKind::Max => (bound * k, Some(bound)),
+        };
+        let split = split_budget_weighted(&weights, budget, cap);
+        prop_assert!(split.iter().sum::<f64>() <= budget * (1.0 + 1e-9));
+        // The answer bound interval arithmetic derives from this split.
+        let answer_bound = match kind {
+            AggKind::Avg => split.iter().sum::<f64>() / k,
+            AggKind::Sum => split.iter().sum::<f64>(),
+            AggKind::Min | AggKind::Max => split.iter().copied().fold(0.0, f64::max),
+        };
+        prop_assert!(
+            answer_bound <= bound * (1.0 + 1e-9),
+            "answer bound {answer_bound} vs query bound {bound} ({kind:?})"
+        );
+    }
+
+    /// With the propagated alert delta (δ ≤ margin) honored, a truth
+    /// further than 2·margin from the threshold always yields a resolved,
+    /// correct verdict — and a resolved verdict is never wrong.
+    #[test]
+    fn alert_verdicts_resolve_and_never_lie(
+        threshold in -5.0..5.0f64,
+        margin in 0.05..1.0f64,
+        offsets in prop::collection::vec(-4.0..4.0f64, 1..30),
+        fracs in prop::collection::vec(-1.0..1.0f64, 1..30),
+    ) {
+        let mut rt = QueryRuntime::new(1);
+        rt.register_alert("a", StreamId(0), threshold, margin).unwrap();
+        let delta = rt.required_deltas(&HashMap::new())[&StreamId(0)];
+        prop_assert!(delta <= margin);
+        for (offset, frac) in offsets.iter().zip(&fracs) {
+            let truth = threshold + offset;
+            rt.observe_tick(&[view(truth + delta * frac, delta)]);
+            prop_assert_eq!(rt.verify_tick(&[truth]), 0);
+            let state = rt.alert_states()[0].1;
+            if offset.abs() > 2.0 * margin {
+                prop_assert_ne!(
+                    state,
+                    kalstream_query::AlertState::Uncertain,
+                    "truth {} threshold {} margin {}",
+                    truth,
+                    threshold,
+                    margin
+                );
+            }
+        }
+    }
+}

@@ -6,8 +6,10 @@ use crossbeam::channel;
 use kalstream_obs::{Registry, Snapshot};
 
 use crate::{
-    metrics::{DeliveryStats, FaultCounters},
-    IngestSink, Link, LinkFaults, Producer, SessionReport, TrafficMetrics,
+    metrics::{DeliveryStats, ErrorMetrics, FaultCounters},
+    runner::{max_norm_diff, ACK_SEED_OFFSET},
+    Consumer, IngestSink, Link, LinkFaults, Producer, SessionConfig, SessionReport, Tick,
+    TrafficMetrics,
 };
 
 /// Aggregated result of a fleet run: per-session reports in submission
@@ -280,6 +282,161 @@ pub fn run_fleet_ingest_faulty<S: IngestSink + ?Sized>(
     }
 }
 
+/// One stream in a lockstep fleet: its endpoints plus the sampler
+/// generating its observations.
+pub struct LockstepStream<'a, P, C> {
+    /// Source-side policy deciding what goes on the wire.
+    pub producer: P,
+    /// Server-side estimator consuming the wire.
+    pub consumer: C,
+    /// Fills `(observed, truth)` each tick.
+    pub sampler: BoxedSampler<'a>,
+}
+
+/// Read-only view of one lockstep tick, handed to the per-tick hook:
+/// everything sampled and estimated this tick, index-aligned with the
+/// streams.
+pub struct LockstepTick<'t> {
+    /// Per-stream observations of this tick.
+    pub observed: &'t [Vec<f64>],
+    /// Per-stream ground truth of this tick.
+    pub truth: &'t [Vec<f64>],
+    /// Per-stream server estimates of this tick.
+    pub estimates: &'t [Vec<f64>],
+}
+
+/// Drives many sessions in lockstep — all streams advance through the same
+/// tick together — and fires a fleet-level hook after each tick.
+///
+/// Per stream, each tick follows [`crate::Session::run`]'s order exactly
+/// (sample → observe → deliver → estimate → feedback poll → feedback
+/// deliver → score), so with a no-op hook a lockstep stream is
+/// bit-identical to the same endpoints run through `Session::run` alone.
+/// The hook then sees the whole fleet at once — this is where a consumer-side
+/// controller (e.g. a query runtime allocating message budget) reads every
+/// server's state and pushes per-stream control back into the endpoints;
+/// feedback queued by the hook at tick `t` rides the reverse link when it is
+/// next polled, at tick `t + 1`.
+///
+/// Fault determinism matches the other fleet drivers: stream `i`'s forward
+/// link seeds from `faults.seed ^ i` and its reverse link from
+/// `(faults.seed ^ ACK_SEED_OFFSET) ^ i`, so per-stream schedules are
+/// independent but the run is reproducible.
+///
+/// # Panics
+/// Panics when a producer/consumer pair disagrees on dimensionality.
+pub fn run_lockstep<'a, P, C, H>(
+    config: &SessionConfig,
+    streams: &mut [LockstepStream<'a, P, C>],
+    mut hook: H,
+) -> FleetReport
+where
+    P: Producer,
+    C: Consumer,
+    H: FnMut(Tick, &LockstepTick<'_>, &mut [LockstepStream<'a, P, C>]),
+{
+    let n = streams.len();
+    let faults = config.faults();
+    let mut links = Vec::with_capacity(n);
+    let mut ack_links = Vec::with_capacity(n);
+    for i in 0..n {
+        links.push(Link::with_faults(
+            config.latency,
+            config.overhead_bytes,
+            LinkFaults {
+                seed: faults.seed ^ i as u64,
+                ..faults
+            },
+        ));
+        ack_links.push(Link::with_faults(
+            config.latency,
+            config.overhead_bytes,
+            LinkFaults {
+                seed: (faults.seed ^ ACK_SEED_OFFSET) ^ i as u64,
+                ..faults
+            },
+        ));
+    }
+    let dims: Vec<usize> = streams
+        .iter()
+        .map(|s| {
+            let dim = s.producer.dim();
+            assert_eq!(
+                dim,
+                s.consumer.dim(),
+                "producer/consumer dimension mismatch"
+            );
+            dim
+        })
+        .collect();
+    let mut observed: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d]).collect();
+    let mut truth: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d]).collect();
+    let mut estimates: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d]).collect();
+    let mut err_obs: Vec<ErrorMetrics> = (0..n).map(|_| ErrorMetrics::new(config.delta)).collect();
+    let mut err_truth: Vec<ErrorMetrics> =
+        (0..n).map(|_| ErrorMetrics::new(config.delta)).collect();
+
+    for now in 0..config.ticks {
+        for (i, stream) in streams.iter_mut().enumerate() {
+            (stream.sampler)(&mut observed[i], &mut truth[i]);
+            if let Some(payload) = stream.producer.observe(now, &observed[i]) {
+                links[i].send(now, payload);
+            }
+            let due: Vec<_> = links[i].deliver(now).collect();
+            for msg in due {
+                stream.consumer.receive(now, &msg.payload);
+            }
+            stream.consumer.estimate(now, &mut estimates[i]);
+            while let Some(fb) = stream.consumer.poll_feedback(now) {
+                ack_links[i].send(now, fb);
+            }
+            let due: Vec<_> = ack_links[i].deliver(now).collect();
+            for msg in due {
+                stream.producer.feedback(now, &msg.payload);
+            }
+            err_obs[i].record(max_norm_diff(&estimates[i], &observed[i]));
+            err_truth[i].record(max_norm_diff(&estimates[i], &truth[i]));
+        }
+        hook(
+            now,
+            &LockstepTick {
+                observed: &observed,
+                truth: &truth,
+                estimates: &estimates,
+            },
+            streams,
+        );
+    }
+
+    let sessions: Vec<SessionReport> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| SessionReport {
+            ticks: config.ticks,
+            traffic: links[i].traffic().clone(),
+            error_vs_observed: err_obs[i].clone(),
+            error_vs_truth: err_truth[i].clone(),
+            faults: links[i].fault_counters(),
+            delivery: s.consumer.delivery_stats(),
+            ack_traffic: ack_links[i].traffic().clone(),
+        })
+        .collect();
+    let mut total_traffic = TrafficMetrics::default();
+    let mut total_faults = FaultCounters::default();
+    let mut total_delivery = DeliveryStats::default();
+    for s in &sessions {
+        total_traffic.merge(&s.traffic);
+        total_faults.merge(&s.faults);
+        total_delivery.merge(&s.delivery);
+    }
+    FleetReport {
+        sessions,
+        total_traffic,
+        total_faults,
+        total_delivery,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +617,80 @@ mod tests {
         assert_eq!(sink_a.pushes, sink_b.pushes);
         assert_eq!(a.total_traffic.bytes(), b.total_traffic.bytes());
         assert_eq!(b.faults, FaultCounters::default());
+    }
+
+    /// Ships every k-th sample; `k` is adjustable mid-run (what a lockstep
+    /// hook retunes).
+    struct EveryKth {
+        k: u64,
+    }
+    impl Producer for EveryKth {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn observe(&mut self, now: Tick, observed: &[f64]) -> Option<Bytes> {
+            now.is_multiple_of(self.k)
+                .then(|| Bytes::copy_from_slice(&observed[0].to_le_bytes()))
+        }
+    }
+
+    fn counting_sampler(step: f64) -> crate::BoxedSampler<'static> {
+        let mut v = 0.0;
+        Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+            v += step;
+            obs[0] = v;
+            tru[0] = v;
+        })
+    }
+
+    #[test]
+    fn lockstep_with_noop_hook_matches_session_run() {
+        let config = SessionConfig::instant(80, 5.0);
+        let mut streams: Vec<LockstepStream<'_, EveryKth, Hold>> = (1..=3u64)
+            .map(|k| LockstepStream {
+                producer: EveryKth { k },
+                consumer: Hold(0.0),
+                sampler: counting_sampler(k as f64),
+            })
+            .collect();
+        let fleet = run_lockstep(&config, &mut streams, |_, _, _| {});
+        for (i, k) in (1..=3u64).enumerate() {
+            let mut p = EveryKth { k };
+            let mut c = Hold(0.0);
+            let solo = Session::run(&config, counting_sampler(k as f64), &mut p, &mut c, &mut ());
+            assert_eq!(fleet.sessions[i].traffic, solo.traffic, "stream {i}");
+            assert_eq!(
+                fleet.sessions[i].error_vs_observed.max_abs(),
+                solo.error_vs_observed.max_abs(),
+                "stream {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_hook_sees_the_tick_and_can_retune_producers() {
+        let config = SessionConfig::instant(100, 100.0);
+        let mut streams: Vec<LockstepStream<'_, EveryKth, Hold>> = (0..2)
+            .map(|_| LockstepStream {
+                producer: EveryKth { k: 1 },
+                consumer: Hold(0.0),
+                sampler: counting_sampler(1.0),
+            })
+            .collect();
+        let mut observed_ticks = 0u64;
+        let fleet = run_lockstep(&config, &mut streams, |now, tick, streams| {
+            observed_ticks += 1;
+            assert_eq!(tick.observed.len(), 2);
+            assert_eq!(tick.observed[0][0], (now + 1) as f64);
+            // Halfway through, drop stream 0 to every-10th shipping.
+            if now == 49 {
+                streams[0].producer.k = 10;
+            }
+        });
+        assert_eq!(observed_ticks, 100);
+        // Stream 0: 50 ship-all ticks + 5 every-10th ticks (50, 60, ..., 90).
+        assert_eq!(fleet.sessions[0].traffic.messages(), 55);
+        assert_eq!(fleet.sessions[1].traffic.messages(), 100);
     }
 
     #[test]

@@ -44,8 +44,8 @@ mod runner;
 
 pub use clock::Tick;
 pub use fleet::{
-    run_fleet, run_fleet_ingest, run_fleet_ingest_faulty, BoxedSampler, FleetReport,
-    IngestFleetReport, IngestStream,
+    run_fleet, run_fleet_ingest, run_fleet_ingest_faulty, run_lockstep, BoxedSampler, FleetReport,
+    IngestFleetReport, IngestStream, LockstepStream, LockstepTick,
 };
 pub use link::{Link, LinkFaults, Message};
 pub use metrics::{

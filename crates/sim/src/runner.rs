@@ -4,7 +4,7 @@ use crate::{Consumer, ErrorMetrics, Link, LinkFaults, Producer, SessionReport, T
 
 /// Seed offset deriving the reverse (ack) link's RNG from the forward seed,
 /// so the two directions draw independent fault schedules.
-const ACK_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const ACK_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration for one simulated source→server session.
 #[derive(Debug, Clone)]
