@@ -14,9 +14,9 @@ echo "==> bench_smoke (allocation gate)"
 cargo run --release -q -p kalstream-bench --bin bench_smoke -- \
     --metrics-out "$ART/bench_smoke.metrics.json"
 
-echo "==> bench_kernels (full scale: the fleet determinism canary needs it)"
+echo "==> bench_kernels --quick (canary fleet still full scale; batch fleet shortened)"
 cargo run --release -q -p kalstream-bench --bin bench_kernels -- \
-    --out "$ART/bench_kernels.json" --metrics-out "$ART/bench_kernels.metrics.json"
+    --quick --out "$ART/bench_kernels.json" --metrics-out "$ART/bench_kernels.metrics.json"
 
 echo "==> check_regression --kind kernels"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \

@@ -10,4 +10,6 @@ cd "$(dirname "$0")"
 ./proptest_seeds.sh
 ./bench_gate.sh
 ./tables_gate.sh
+# Informational native-codegen lane; never gates (runner CPUs vary).
+./bench_native.sh || echo "bench_native: non-gating failure ignored"
 echo "ci/run_all.sh: full pipeline OK"

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p kalstream-bench --bin bench_kernels -- \
-//!     [--out PATH] [--before PATH] [--metrics-out PATH]
+//!     [--out PATH] [--before PATH] [--metrics-out PATH] [--quick]
 //! ```
 //!
 //! Without `--before`, writes a bare measurement object to `--out`
@@ -14,12 +14,19 @@
 //! object previously recorded at PATH verbatim under `"before"` and the
 //! fresh measurements under `"after"`, producing the committed
 //! before/after baseline.
+//!
+//! `--quick` shortens the scalar-vs-batch fleet comparison (fewer ticks,
+//! same stream count) for CI. The 100-stream protocol fleet — whose
+//! `fleet_total_messages` count is the bit-identity canary — always runs
+//! at full scale, so quick output is still gateable by `check_regression`.
+//! Never regenerate the committed baseline with `--quick`.
 
 use std::time::Instant;
 
 use criterion::Criterion;
 use kalstream_baselines::PolicyKind;
 use kalstream_bench::alloc_count::{self, CountingAllocator};
+use kalstream_bench::fleet_batch::run_fleet_batch;
 use kalstream_bench::harness::{run_method, StreamFamily};
 use kalstream_bench::MetricsOut;
 use kalstream_core::{ProtocolConfig, SessionSpec, SourceEndpoint};
@@ -33,6 +40,9 @@ static ALLOC: CountingAllocator = CountingAllocator;
 const FLEET_STREAMS: usize = 100;
 const FLEET_TICKS: u64 = 2_000;
 const ALLOC_TICKS: u64 = 10_000;
+const BATCH_FLEET_STREAMS: usize = 1_000;
+const BATCH_FLEET_TICKS: u64 = 2_000;
+const BATCH_FLEET_TICKS_QUICK: u64 = 200;
 
 fn quiet_source(delta: f64) -> SourceEndpoint {
     SessionSpec::fixed(
@@ -55,9 +65,16 @@ struct Measurements {
     allocs_per_filter_step: f64,
     fleet_wall_ms: f64,
     fleet_total_messages: u64,
+    batch_fleet_ticks: u64,
+    batch_fleet_scalar_wall_ms: f64,
+    batch_fleet_wall_ms: f64,
+    batch_fleet_speedup: f64,
+    batch_predict_ns: f64,
+    batch_update_ns: f64,
+    batch_matches_scalar: bool,
 }
 
-fn measure() -> Measurements {
+fn measure(quick: bool) -> Measurements {
     // --- criterion micro-benches -----------------------------------------
     let mut c = Criterion::default();
 
@@ -151,6 +168,14 @@ fn measure() -> Measurements {
     let fleet = run_fleet(jobs, threads);
     let fleet_wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    // --- scalar-vs-batch fleet stepping ----------------------------------
+    let batch_ticks = if quick {
+        BATCH_FLEET_TICKS_QUICK
+    } else {
+        BATCH_FLEET_TICKS
+    };
+    let batch = run_fleet_batch(BATCH_FLEET_STREAMS, batch_ticks, threads);
+
     Measurements {
         predict_ns,
         update_ns,
@@ -159,12 +184,19 @@ fn measure() -> Measurements {
         allocs_per_filter_step,
         fleet_wall_ms,
         fleet_total_messages: fleet.total_messages(),
+        batch_fleet_ticks: batch_ticks,
+        batch_fleet_scalar_wall_ms: batch.scalar_wall_ms,
+        batch_fleet_wall_ms: batch.batch_wall_ms,
+        batch_fleet_speedup: batch.speedup,
+        batch_predict_ns: batch.batch_predict_ns,
+        batch_update_ns: batch.batch_update_ns,
+        batch_matches_scalar: batch.matches,
     }
 }
 
 fn to_json(m: &Measurements) -> String {
     format!(
-        "{{\n  \"predict_ns\": {:.1},\n  \"update_ns\": {:.1},\n  \"suppression_decision_ns\": {:.1},\n  \"allocs_per_tick\": {:.3},\n  \"allocs_per_filter_step\": {:.3},\n  \"fleet_streams\": {},\n  \"fleet_ticks\": {},\n  \"fleet_wall_ms\": {:.1},\n  \"fleet_total_messages\": {}\n}}",
+        "{{\n  \"predict_ns\": {:.1},\n  \"update_ns\": {:.1},\n  \"suppression_decision_ns\": {:.1},\n  \"allocs_per_tick\": {:.3},\n  \"allocs_per_filter_step\": {:.3},\n  \"fleet_streams\": {},\n  \"fleet_ticks\": {},\n  \"fleet_wall_ms\": {:.1},\n  \"fleet_total_messages\": {},\n  \"batch_fleet_streams\": {},\n  \"batch_fleet_ticks\": {},\n  \"batch_fleet_scalar_wall_ms\": {:.1},\n  \"batch_fleet_wall_ms\": {:.1},\n  \"batch_fleet_speedup\": {:.2},\n  \"batch_predict_ns\": {:.1},\n  \"batch_update_ns\": {:.1},\n  \"batch_matches_scalar\": {}\n}}",
         m.predict_ns,
         m.update_ns,
         m.decide_ns,
@@ -174,6 +206,14 @@ fn to_json(m: &Measurements) -> String {
         FLEET_TICKS,
         m.fleet_wall_ms,
         m.fleet_total_messages,
+        BATCH_FLEET_STREAMS,
+        m.batch_fleet_ticks,
+        m.batch_fleet_scalar_wall_ms,
+        m.batch_fleet_wall_ms,
+        m.batch_fleet_speedup,
+        m.batch_predict_ns,
+        m.batch_update_ns,
+        m.batch_matches_scalar,
     )
 }
 
@@ -196,6 +236,7 @@ fn main() {
     let mut out_path = String::from("BENCH_kernels.json");
     let mut before_path: Option<String> = None;
     let mut metrics_path = None;
+    let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -206,12 +247,17 @@ fn main() {
                     args.next().expect("--metrics-out needs a path"),
                 ));
             }
+            "--quick" => quick = true,
             other => panic!("unknown argument: {other}"),
         }
     }
+    assert!(
+        !(quick && before_path.is_some()),
+        "--quick runs must not regenerate the committed baseline"
+    );
     let mut metrics = MetricsOut::from_path(metrics_path);
 
-    let m = measure();
+    let m = measure(quick);
     let after = to_json(&m);
 
     let doc = match before_path {
@@ -233,6 +279,15 @@ fn main() {
         "predict {:.1} ns | update {:.1} ns | decide {:.1} ns | allocs/tick {:.2} | fleet {:.0} ms",
         m.predict_ns, m.update_ns, m.decide_ns, m.allocs_per_tick, m.fleet_wall_ms
     );
+    println!(
+        "batch fleet {}x{}: scalar {:.0} ms vs batch {:.0} ms ({:.2}x, bit-identical: {})",
+        BATCH_FLEET_STREAMS,
+        m.batch_fleet_ticks,
+        m.batch_fleet_scalar_wall_ms,
+        m.batch_fleet_wall_ms,
+        m.batch_fleet_speedup,
+        m.batch_matches_scalar,
+    );
 
     // --- metrics artifact (stdout already emitted above) ------------------
     {
@@ -249,6 +304,21 @@ fn main() {
         s.counter("ticks", FLEET_TICKS);
         s.gauge("wall_ms", m.fleet_wall_ms);
         s.counter("total_messages", m.fleet_total_messages);
+    }
+    {
+        let mut s = metrics.scope("batch_fleet");
+        s.counter("streams", BATCH_FLEET_STREAMS as u64);
+        s.counter("ticks", m.batch_fleet_ticks);
+        s.gauge("scalar_wall_ms", m.batch_fleet_scalar_wall_ms);
+        s.gauge("wall_ms", m.batch_fleet_wall_ms);
+        s.gauge("speedup", m.batch_fleet_speedup);
+        s.gauge("predict_ns", m.batch_predict_ns);
+        s.gauge("update_ns", m.batch_update_ns);
+        s.counter("matches_scalar", u64::from(m.batch_matches_scalar));
+    }
+    {
+        let mut s = metrics.scope("linalg");
+        s.counter("heap_fallbacks", kalstream_linalg::heap_fallbacks());
     }
     metrics.write();
 }

@@ -1,0 +1,70 @@
+//! Fleet-scaling experiment: scalar per-stream stepping vs the
+//! structure-of-arrays batch kernels at 100 / 1 000 / 10 000 streams.
+//!
+//! Produces the EXPERIMENTS.md "Fleet scaling" table. Timing numbers are
+//! host-dependent and printed to stdout only — the byte-diffed results
+//! live in `BENCH_kernels.json`, where `check_regression` gates the
+//! 1 000-stream point.
+//!
+//! ```text
+//! cargo run --release -p kalstream-bench --bin exp_fleet_scaling \
+//!     [--ticks N] [--threads N]
+//! ```
+
+use kalstream_bench::fleet_batch::run_fleet_batch;
+use kalstream_bench::Table;
+
+fn main() {
+    let mut ticks: u64 = 2_000;
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ticks" => {
+                ticks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ticks needs a number");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let mut table = Table::new(
+        format!("Fleet scaling: scalar vs batch stepping ({ticks} ticks, {threads} threads)"),
+        &[
+            "streams",
+            "scalar_ms",
+            "batch_ms",
+            "speedup",
+            "batch_predict_ns",
+            "batch_update_ns",
+            "bit_identical",
+        ],
+    );
+    for streams in [100usize, 1_000, 10_000] {
+        let run = run_fleet_batch(streams, ticks, threads);
+        assert!(
+            run.matches,
+            "batch digest diverged from scalar at {streams} streams"
+        );
+        table.add_row(vec![
+            format!("{streams}"),
+            format!("{:.1}", run.scalar_wall_ms),
+            format!("{:.1}", run.batch_wall_ms),
+            format!("{:.2}x", run.speedup),
+            format!("{:.1}", run.batch_predict_ns),
+            format!("{:.1}", run.batch_update_ns),
+            format!("{}", run.matches),
+        ]);
+        eprintln!("done: {streams} streams");
+    }
+    print!("{}", table.render());
+    print!("{}", table.render_csv());
+}

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc_count;
+pub mod fleet_batch;
 pub mod harness;
 pub mod metrics_out;
 pub mod regression;

@@ -19,6 +19,14 @@
 /// `regression_tolerance` field.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
 
+/// Floor on the scalar-vs-batch fleet speedup (`batch_fleet_speedup` in
+/// `BENCH_kernels.json`). The structure-of-arrays kernels are the point of
+/// the batch layer; if packing 1 000 same-model streams into `FleetBatch`
+/// lanes ever drops below this multiple of the scalar path, the layout (or
+/// a dispatch change on top of it) has regressed and the gate fails — no
+/// host tolerance, since the ratio is measured on one machine in one run.
+pub const MIN_BATCH_SPEEDUP: f64 = 4.0;
+
 /// Outcome of one comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Check {
@@ -274,11 +282,18 @@ pub fn tolerance_of(baseline: &str, override_tol: Option<f64>) -> f64 {
 
 /// Gates a fresh `bench_kernels` measurement against its baseline.
 ///
-/// * latencies (`predict_ns`, `update_ns`, `suppression_decision_ns`):
-///   lower-is-better within tolerance;
+/// * latencies (`predict_ns`, `update_ns`, `suppression_decision_ns`, and
+///   the batch per-step costs `batch_predict_ns` / `batch_update_ns` when
+///   both sides carry them): lower-is-better within tolerance;
 /// * allocation counts: exact (the hot path is allocation-free by gate);
 /// * `fleet_total_messages`: exact determinism canary, compared only when
-///   both sides ran the same fleet shape.
+///   both sides ran the same fleet shape; `fleet_wall_ms` is gated within
+///   tolerance under the same shape guard;
+/// * `batch_fleet_speedup`: must be ≥ [`MIN_BATCH_SPEEDUP`] in the current
+///   run, and `batch_matches_scalar` must be true (bit-identity canary for
+///   the structure-of-arrays kernels); `batch_fleet_wall_ms` is gated only
+///   when both sides ran the batch fleet at the same shape (`--quick`
+///   shortens it).
 ///
 /// The committed baseline carries `before`/`after` sections; the `after`
 /// section is the baseline measurement. A bare (sectionless) document is
@@ -316,7 +331,48 @@ pub fn check_kernels(
             (Some(b), Some(c)) => report.exact("fleet_total_messages", b, c),
             _ => report.must_hold("fleet_total_messages present", false),
         }
+        match (
+            json_number(baseline, "fleet_wall_ms"),
+            json_number(current, "fleet_wall_ms"),
+        ) {
+            (Some(b), Some(c)) => report.latency("fleet_wall_ms", b, c, tol),
+            _ => report.must_hold("fleet_wall_ms present", false),
+        }
     }
+
+    // Batch fleet: per-step latencies compare across shapes (they are
+    // normalized per stream-step); the raw wall only within shape.
+    for key in ["batch_predict_ns", "batch_update_ns"] {
+        if let (Some(b), Some(c)) = (json_number(baseline, key), json_number(current, key)) {
+            report.latency(key, b, c, tol);
+        }
+    }
+    let same_batch_shape = json_number(baseline, "batch_fleet_streams")
+        == json_number(current, "batch_fleet_streams")
+        && json_number(baseline, "batch_fleet_ticks") == json_number(current, "batch_fleet_ticks");
+    if same_batch_shape {
+        if let (Some(b), Some(c)) = (
+            json_number(baseline, "batch_fleet_wall_ms"),
+            json_number(current, "batch_fleet_wall_ms"),
+        ) {
+            report.latency("batch_fleet_wall_ms", b, c, tol);
+        }
+    }
+    match json_number(current, "batch_fleet_speedup") {
+        Some(s) => report.push(
+            "batch_fleet_speedup",
+            MIN_BATCH_SPEEDUP,
+            s,
+            s >= MIN_BATCH_SPEEDUP,
+            format!("≥ {MIN_BATCH_SPEEDUP:.1} (SoA floor)"),
+        ),
+        None => report.must_hold("batch_fleet_speedup present", false),
+    }
+    let matches = json_bools(current, "batch_matches_scalar");
+    report.must_hold(
+        "batch_matches_scalar",
+        matches.first().copied().unwrap_or(false),
+    );
     report
 }
 
@@ -447,6 +503,36 @@ mod tests {
     const Q1: &str = include_str!("../../../BENCH_q1_query_bounds.json");
     const Q2: &str = include_str!("../../../BENCH_q2_budget_realloc.json");
 
+    /// The baseline's own measurement of `key` (its `after` section).
+    fn after_number(doc: &str, key: &str) -> f64 {
+        json_section(doc, "after")
+            .and_then(|s| json_number(s, key))
+            .unwrap_or_else(|| panic!("baseline lacks {key}"))
+    }
+
+    /// Rewrites every `"key": <number>` in `doc` to `value` — doctoring
+    /// helper so the tests don't hard-code measured wall-clock literals.
+    fn set_numbers(doc: &str, key: &str, value: f64) -> String {
+        let needle = format!("\"{key}\":");
+        let mut out = String::new();
+        let mut rest = doc;
+        while let Some(k) = rest.find(&needle) {
+            let after = &rest[k + needle.len()..];
+            let ws = after.len() - after.trim_start().len();
+            let v = &after[ws..];
+            let end = v
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(v.len());
+            assert!(end > 0, "{key} is not followed by a number");
+            out.push_str(&rest[..k + needle.len() + ws]);
+            out.push_str(&format!("{value}"));
+            rest = &v[end..];
+        }
+        assert!(!out.is_empty(), "{key} not found");
+        out.push_str(rest);
+        out
+    }
+
     #[test]
     fn extractor_reads_flat_and_nested_numbers() {
         assert_eq!(
@@ -454,13 +540,11 @@ mod tests {
             None,
             "strings are not numbers"
         );
-        assert_eq!(
-            json_section(KERNELS, "after").and_then(|s| json_number(s, "predict_ns")),
-            Some(99.2)
-        );
+        assert!(after_number(KERNELS, "predict_ns") > 0.0);
         assert_eq!(
             json_numbers(KERNELS, "fleet_total_messages"),
-            vec![73977.0, 73977.0]
+            vec![73977.0, 73977.0],
+            "the 100-stream fleet canary is pinned across before/after"
         );
         assert_eq!(json_bools(INGEST, "bit_identical"), vec![true; 4]);
         assert_eq!(
@@ -470,6 +554,16 @@ mod tests {
         assert_eq!(
             json_section(INGEST, "sequential").and_then(|s| json_number(s, "msgs_per_sec")),
             Some(1113222.0)
+        );
+    }
+
+    #[test]
+    fn set_numbers_rewrites_only_the_requested_key() {
+        let doc = "{\"a\": 1.5, \"b\": 2, \"a\": 3}";
+        assert_eq!(set_numbers(doc, "a", 9.0), "{\"a\": 9, \"b\": 2, \"a\": 9}");
+        assert_eq!(
+            set_numbers(doc, "b", 0.5),
+            "{\"a\": 1.5, \"b\": 0.5, \"a\": 3}"
         );
     }
 
@@ -540,7 +634,8 @@ mod tests {
     fn doctored_kernels_baseline_fails_the_gate() {
         // Doctor the baseline to claim predict was 4× faster than it was:
         // the real measurement now reads as a >25% latency regression.
-        let doctored = KERNELS.replace("\"predict_ns\": 99.2", "\"predict_ns\": 24.8");
+        let real = after_number(KERNELS, "predict_ns");
+        let doctored = set_numbers(KERNELS, "predict_ns", real / 4.0);
         let report = check_kernels(&doctored, KERNELS, None);
         assert!(
             !report.passed(),
@@ -554,6 +649,75 @@ mod tests {
             .map(|c| c.name.as_str())
             .collect();
         assert_eq!(failing, vec!["predict_ns"]);
+    }
+
+    #[test]
+    fn batch_speedup_below_floor_fails_the_gate() {
+        let slow = set_numbers(KERNELS, "batch_fleet_speedup", MIN_BATCH_SPEEDUP - 2.0);
+        let report = check_kernels(KERNELS, &slow, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "batch_fleet_speedup"));
+        // The floor is absolute, not baseline-relative: doctoring the
+        // *baseline* speedup down doesn't excuse a slow current run.
+        let both = check_kernels(&slow, &slow, None);
+        assert!(!both.passed());
+    }
+
+    #[test]
+    fn batch_identity_canary_failure_fails_the_gate() {
+        let broken = KERNELS.replace(
+            "\"batch_matches_scalar\": true",
+            "\"batch_matches_scalar\": false",
+        );
+        assert_ne!(broken, KERNELS, "baseline must carry the identity canary");
+        let report = check_kernels(KERNELS, &broken, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "batch_matches_scalar"));
+    }
+
+    #[test]
+    fn quick_batch_shape_skips_wall_but_keeps_floor_and_canary() {
+        // A --quick run shortens the batch fleet: raw wall is incomparable
+        // (and must be skipped), but the speedup floor and the bit-identity
+        // canary still gate.
+        let quick = set_numbers(
+            &set_numbers(KERNELS, "batch_fleet_ticks", 200.0),
+            "batch_fleet_wall_ms",
+            1e9,
+        );
+        let report = check_kernels(KERNELS, &quick, None);
+        assert!(report.passed(), "{}", report.render());
+        assert!(!report
+            .checks
+            .iter()
+            .any(|c| c.name == "batch_fleet_wall_ms"));
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "batch_fleet_speedup"));
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "batch_matches_scalar"));
+    }
+
+    #[test]
+    fn missing_batch_section_fails_the_gate() {
+        // Strip the batch keys from the current run (pre-batch artifact):
+        // the gate must demand them rather than silently passing.
+        let stripped: String = KERNELS
+            .lines()
+            .filter(|l| !l.contains("batch_"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = check_kernels(KERNELS, &stripped, None);
+        assert!(!report.passed(), "{}", report.render());
     }
 
     #[test]
@@ -601,7 +765,8 @@ mod tests {
             0.5
         );
         // A 20% slower predict passes at default tolerance, fails at 10%.
-        let slower = KERNELS.replace("\"predict_ns\": 99.2", "\"predict_ns\": 119.0");
+        let real = after_number(KERNELS, "predict_ns");
+        let slower = set_numbers(KERNELS, "predict_ns", real * 1.2);
         assert!(check_kernels(KERNELS, &slower, None).passed());
         assert!(!check_kernels(KERNELS, &slower, Some(0.1)).passed());
     }

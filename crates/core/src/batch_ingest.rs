@@ -1,0 +1,671 @@
+//! Batch-dispatched ingest: same-model stream groups stepped through
+//! structure-of-arrays fleet kernels.
+//!
+//! The plain ingest path advances every [`ServerEndpoint`]'s filter one at a
+//! time — correct, but at fleet scale the per-stream predict dominates the
+//! tick. [`BatchShardEngine`] interposes a dispatch layer: at construction
+//! it groups endpoints whose filters run the **same model** at a supported
+//! `(state_dim, measurement_dim)` shape (see [`DynFleetBatch::supported`])
+//! with the default Joseph covariance form, moves each group's per-stream
+//! state into [`DynFleetBatch`] lanes, and from then on advances whole
+//! groups with one `predict_all` per tick. Everything else about the
+//! endpoint — sequence bookkeeping, pending queues, counters, feedback —
+//! keeps running through the [`ServerEndpoint`] exactly as before; only the
+//! filter arithmetic moves.
+//!
+//! ## Equivalence and demotion
+//!
+//! For every lane the batch kernels replicate the scalar filter's
+//! floating-point operation order (see `kalstream_filter::FleetBatch`), and
+//! syncs are applied to lanes through the same operations in the same
+//! per-stream order, so a batched ingest run produces **bit-identical
+//! endpoints** to the plain path — the invariant this module's tests and
+//! the workspace proptests pin down. Streams leave the batch path (are
+//! *demoted* to scalar, state handed back via [`KalmanFilter::restore`])
+//! when:
+//!
+//! * a **model sync** arrives — the replacement filter may have any shape,
+//!   so the stream finishes the run scalar (re-promotion would buy little:
+//!   model syncs are rare and grouping is a construction-time decision);
+//! * the lane's state ends a tick **non-finite** — the scalar path owns the
+//!   divergence bookkeeping from there. The check runs *after* the pending
+//!   sweep, so a queued state sync can resynchronise a diverged lane and
+//!   keep it batched, exactly as it would heal a scalar filter.
+//!
+//! Demotion swaps the group's last lane into the vacated slot
+//! ([`DynFleetBatch::swap_remove_lane`]), so lanes stay dense.
+
+use std::collections::HashMap;
+
+use kalstream_obs::{Histogram, SpanTimer};
+
+use kalstream_filter::{CovarianceUpdate, DynFleetBatch, KalmanFilter};
+
+use crate::frame::FrameDecoder;
+use crate::ingest::{IngestResult, ShardReport, TickIngest};
+use crate::server::ServerEndpoint;
+use crate::wire::{SyncMessage, WireMessage};
+
+/// One same-model lane group.
+struct BatchGroup {
+    batch: DynFleetBatch,
+    /// `streams[lane]` is the stream id owning that lane.
+    streams: Vec<u32>,
+}
+
+/// Where a stream's filter arithmetic runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// The endpoint's own [`KalmanFilter`] (via [`ServerEndpoint::advance`]).
+    Scalar,
+    /// A fleet-batch lane; the endpoint's filter is dormant until demotion.
+    Batched,
+}
+
+/// A shard's endpoint map with fleet-batch dispatch in front of the filter
+/// arithmetic — drop-in for the plain `stream_id → endpoint` map inside a
+/// shard worker or a single-threaded ingester.
+pub struct BatchShardEngine {
+    endpoints: HashMap<u32, ServerEndpoint>,
+    groups: Vec<BatchGroup>,
+    /// Scalar-routed ids in ascending order, maintained across demotions so
+    /// the per-tick advance loop needs no re-sort.
+    scalar_ids: Vec<u32>,
+}
+
+impl BatchShardEngine {
+    /// Builds the engine, grouping every endpoint that qualifies for the
+    /// batch path (supported dims, Joseph covariance form, model shared
+    /// with the group) and leaving the rest scalar.
+    pub fn new(endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        let mut engine = BatchShardEngine {
+            endpoints: HashMap::with_capacity(endpoints.len()),
+            groups: Vec::new(),
+            scalar_ids: Vec::new(),
+        };
+        for (id, ep) in endpoints {
+            let filter = ep.filter();
+            let model = filter.model();
+            let route = if filter.covariance_update() == CovarianceUpdate::Joseph
+                && DynFleetBatch::supported(model.state_dim(), model.measurement_dim())
+            {
+                let group = match engine.groups.iter().position(|g| g.batch.model() == model) {
+                    Some(g) => g,
+                    None => {
+                        let batch = DynFleetBatch::for_model(model)
+                            .expect("supported dims have a batch kernel");
+                        engine.groups.push(BatchGroup {
+                            batch,
+                            streams: Vec::new(),
+                        });
+                        engine.groups.len() - 1
+                    }
+                };
+                let g = &mut engine.groups[group];
+                g.batch
+                    .push(
+                        filter.state(),
+                        filter.covariance(),
+                        filter.steps_since_update(),
+                    )
+                    .expect("endpoint filter shape matches its own model");
+                g.streams.push(id);
+                Route::Batched
+            } else {
+                Route::Scalar
+            };
+            if route == Route::Scalar {
+                engine.scalar_ids.push(id);
+            }
+            engine.endpoints.insert(id, ep);
+        }
+        engine.scalar_ids.sort_unstable();
+        engine
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the engine holds no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// `(batched, scalar)` stream counts — the dispatcher's coverage, worth
+    /// watching next to the `linalg.heap_fallbacks` counter.
+    pub fn coverage(&self) -> (usize, usize) {
+        let batched: usize = self.groups.iter().map(|g| g.streams.len()).sum();
+        (batched, self.endpoints.len() - batched)
+    }
+
+    /// Enqueues one decoded wire message, running the endpoint's usual
+    /// sequence bookkeeping. Returns `false` for unknown streams.
+    pub fn enqueue_wire(&mut self, stream_id: u32, msg: WireMessage) -> bool {
+        match self.endpoints.get_mut(&stream_id) {
+            Some(ep) => {
+                ep.enqueue_wire(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances every endpoint one tick — the batch twin of calling
+    /// [`ServerEndpoint::advance`] on each: batched groups predict as one
+    /// fleet, scalar endpoints predict individually, then every endpoint's
+    /// pending syncs apply in arrival order.
+    pub fn advance_tick(&mut self) {
+        // Phase 1: batched predicts. Lanes that come out non-finite get the
+        // scalar path's per-tick `predict_failures` bookkeeping here;
+        // whether they *stay* non-finite (→ demotion) is decided after the
+        // pending sweep, since a queued state sync may resynchronise them.
+        for group in self.groups.iter_mut() {
+            if group.batch.predict_all() > 0 {
+                for (lane, id) in group.streams.iter().enumerate() {
+                    if !group.batch.lane_is_finite(lane) {
+                        self.endpoints
+                            .get_mut(id)
+                            .expect("grouped stream has an endpoint")
+                            .note_predict_failure();
+                    }
+                }
+            }
+        }
+        // Phase 2: scalar endpoints take their normal advance. Streams
+        // demoted during phase 3 below join this loop from the *next* tick —
+        // their predict for this tick already ran in the batch.
+        for id in self.scalar_ids.iter() {
+            self.endpoints
+                .get_mut(id)
+                .expect("scalar stream has an endpoint")
+                .advance();
+        }
+        // Phase 3: batched endpoints drain pending onto their lanes. After a
+        // demotion the swapped-in lane re-runs at the same index, so no lane
+        // is skipped.
+        for g in 0..self.groups.len() {
+            let mut lane = 0;
+            while lane < self.groups[g].streams.len() {
+                let id = self.groups[g].streams[lane];
+                let demoted = self.drain_pending_onto_lane(g, lane, id);
+                if !demoted {
+                    lane += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies one batched stream's queued syncs to its lane (same
+    /// operations, same order as [`ServerEndpoint::advance`]'s drain).
+    /// Returns `true` when the stream was demoted (its lane is gone and the
+    /// swapped-in lane, if any, now sits at `lane`).
+    fn drain_pending_onto_lane(&mut self, group: usize, lane: usize, id: u32) -> bool {
+        let ep = self
+            .endpoints
+            .get_mut(&id)
+            .expect("grouped stream has an endpoint");
+        let batch = &mut self.groups[group].batch;
+        let mut model_swapped = false;
+        while let Some(msg) = ep.pop_pending() {
+            match msg {
+                SyncMessage::State { x, p } => {
+                    if batch.set_lane(lane, &x, &p).is_ok() {
+                        ep.note_sync_applied();
+                    }
+                }
+                SyncMessage::Measurement { z } => {
+                    // On `Diverged` the lane keeps the non-finite posterior —
+                    // exactly what the scalar filter leaves behind — and the
+                    // finite check below demotes it. Other errors leave the
+                    // lane untouched; either way the sync is not counted.
+                    if batch.update_lane(lane, &z).is_ok() {
+                        ep.note_sync_applied();
+                    }
+                }
+                SyncMessage::Model { model, x, p } => {
+                    // On rejection the stream simply stays batched.
+                    if let Ok(kf) = KalmanFilter::with_covariance(model, x, p) {
+                        *ep.filter_mut() = kf;
+                        ep.note_sync_applied();
+                        model_swapped = true;
+                        // The stream is scalar from here: the rest of
+                        // its queue applies to the replacement filter,
+                        // exactly as the scalar drain would.
+                        while let Some(rest) = ep.pop_pending() {
+                            ep.apply(rest);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if model_swapped {
+            self.demote(group, lane, id, false);
+            true
+        } else if !self.groups[group].batch.lane_is_finite(lane) {
+            self.demote(group, lane, id, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `id`'s lane and routes it scalar. `restore_state` hands the
+    /// lane's state back to the endpoint filter (skipped after a model
+    /// sync, which already installed a replacement filter).
+    fn demote(&mut self, group: usize, lane: usize, id: u32, restore_state: bool) {
+        if restore_state {
+            let (x, p, steps) = self.groups[group].batch.lane_state(lane);
+            self.endpoints
+                .get_mut(&id)
+                .expect("grouped stream has an endpoint")
+                .filter_mut()
+                .restore(x, p, steps)
+                .expect("lane shape matches its endpoint's model");
+        }
+        let g = &mut self.groups[group];
+        g.batch.swap_remove_lane(lane);
+        let moved = g.streams.pop().expect("demoted lane existed");
+        if lane < g.streams.len() {
+            g.streams[lane] = moved;
+        }
+        let at = self.scalar_ids.partition_point(|&s| s < id);
+        self.scalar_ids.insert(at, id);
+    }
+
+    /// Hands every remaining lane's state back to its endpoint filter and
+    /// returns the endpoints sorted by stream id — the same shape (and, for
+    /// the same traffic, the same bits) the plain path produces.
+    pub fn finish(mut self) -> Vec<(u32, ServerEndpoint)> {
+        for group in self.groups.iter() {
+            for (lane, id) in group.streams.iter().enumerate() {
+                let (x, p, steps) = group.batch.lane_state(lane);
+                self.endpoints
+                    .get_mut(id)
+                    .expect("grouped stream has an endpoint")
+                    .filter_mut()
+                    .restore(x, p, steps)
+                    .expect("lane shape matches its endpoint's model");
+            }
+        }
+        let mut endpoints: Vec<(u32, ServerEndpoint)> = self.endpoints.into_iter().collect();
+        endpoints.sort_by_key(|(id, _)| *id);
+        endpoints
+    }
+}
+
+/// Single-threaded ingester over a [`BatchShardEngine`] — the batch twin of
+/// [`crate::SequentialIngest`], and the engine behind
+/// [`crate::IngestPipeline::start_batched`]'s per-shard workers. Same tick
+/// semantics, same [`IngestResult`] shape (one pseudo-shard).
+pub struct BatchedIngest {
+    engine: BatchShardEngine,
+    decoder: FrameDecoder,
+    ticks: u64,
+    messages: u64,
+    bytes_in: u64,
+    unknown_streams: u64,
+    busy: std::time::Duration,
+    tick_ns: Histogram,
+}
+
+impl BatchedIngest {
+    /// Builds the ingester over `endpoints`, batch-grouping the eligible
+    /// ones (see [`BatchShardEngine::new`]).
+    pub fn new(endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        BatchedIngest {
+            engine: BatchShardEngine::new(endpoints),
+            decoder: FrameDecoder::new(),
+            ticks: 0,
+            messages: 0,
+            bytes_in: 0,
+            unknown_streams: 0,
+            busy: std::time::Duration::ZERO,
+            tick_ns: Histogram::new(),
+        }
+    }
+
+    /// `(batched, scalar)` stream counts; see [`BatchShardEngine::coverage`].
+    pub fn coverage(&self) -> (usize, usize) {
+        self.engine.coverage()
+    }
+
+    /// Drains one tick's batch and advances every endpoint, synchronously.
+    pub fn ingest_tick(&mut self, wire: &[u8]) {
+        let span = SpanTimer::start();
+        self.bytes_in += wire.len() as u64;
+        let engine = &mut self.engine;
+        let messages = &mut self.messages;
+        let unknown = &mut self.unknown_streams;
+        self.decoder.for_each_wire_message(wire, |id, msg| {
+            if engine.enqueue_wire(id, msg) {
+                *messages += 1;
+            } else {
+                *unknown += 1;
+            }
+        });
+        engine.advance_tick();
+        self.ticks += 1;
+        self.busy += std::time::Duration::from_nanos(span.stop(&mut self.tick_ns));
+    }
+
+    /// Collects the run into the same shape as the sharded pipeline (one
+    /// pseudo-shard), restoring every lane into its endpoint filter.
+    pub fn finish(self) -> IngestResult {
+        let endpoints = self.engine.finish();
+        let stale_drops = endpoints
+            .iter()
+            .map(|(_, ep)| ep.delivery().stale_drops)
+            .sum();
+        IngestResult {
+            shards: vec![ShardReport {
+                shard: 0,
+                streams: endpoints.len(),
+                ticks: self.ticks,
+                messages: self.messages,
+                bytes_in: self.bytes_in,
+                decode_failures: self.decoder.decode_failures(),
+                unknown_streams: self.unknown_streams,
+                stale_drops,
+                busy_secs: self.busy.as_secs_f64(),
+                recycle_drops: 0,
+                tick_ns: self.tick_ns,
+            }],
+            endpoints,
+        }
+    }
+}
+
+impl TickIngest for BatchedIngest {
+    fn ingest_tick(&mut self, wire: &[u8]) {
+        BatchedIngest::ingest_tick(self, wire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBatch;
+    use crate::ingest::SequentialIngest;
+    use crate::{ProtocolConfig, SessionSpec, StreamSession};
+    use kalstream_filter::models;
+    use kalstream_linalg::{Matrix, Vector};
+    use kalstream_sim::Producer;
+
+    /// `n_cv` constant-velocity sessions (batch-eligible: 2-state) followed
+    /// by `n_scalar` default scalar sessions (1-state random walk — below
+    /// the batch shape table, stays scalar), plus a recorded framed log of
+    /// deterministic per-stream sinusoid traffic.
+    fn record_log(
+        n_cv: u32,
+        n_scalar: u32,
+        ticks: usize,
+    ) -> (Vec<(u32, ServerEndpoint)>, Vec<Vec<u8>>) {
+        let mut sources = Vec::new();
+        let mut servers = Vec::new();
+        for id in 0..(n_cv + n_scalar) {
+            let config = ProtocolConfig::new(0.25).unwrap();
+            let spec = if id < n_cv {
+                SessionSpec::fixed(
+                    models::constant_velocity(1.0, 0.05, 0.1),
+                    Vector::zeros(2),
+                    1.0,
+                    config,
+                )
+                .unwrap()
+            } else {
+                SessionSpec::default_scalar(0.0, config).unwrap()
+            };
+            let StreamSession { source, server } = spec.build();
+            sources.push((id, source));
+            servers.push((id, server));
+        }
+        let mut log = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            let mut batch = FrameBatch::new();
+            for (id, source) in sources.iter_mut() {
+                let v = (t as f64 * 0.1 + *id as f64).sin() * (1.0 + *id as f64 * 0.01);
+                if let Some(payload) = source.observe(t as u64, &[v]) {
+                    batch.push_raw(*id, &payload);
+                }
+            }
+            log.push(batch.as_bytes().to_vec());
+        }
+        (servers, log)
+    }
+
+    fn filter_bits(ep: &ServerEndpoint) -> Vec<u64> {
+        let f = ep.filter();
+        f.state()
+            .iter()
+            .map(|v| v.to_bits())
+            .chain(f.covariance().as_slice().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    fn assert_same_endpoints(a: &[(u32, ServerEndpoint)], b: &[(u32, ServerEndpoint)], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for ((id_a, ea), (id_b, eb)) in a.iter().zip(b.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(filter_bits(ea), filter_bits(eb), "{what}: stream {id_a}");
+            assert_eq!(ea.syncs_applied(), eb.syncs_applied(), "{what}: {id_a}");
+            assert_eq!(
+                ea.predict_failures(),
+                eb.predict_failures(),
+                "{what}: {id_a}"
+            );
+            assert_eq!(
+                ea.filter().steps_since_update(),
+                eb.filter().steps_since_update(),
+                "{what}: {id_a}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_same_model_streams_and_leaves_ineligible_ones_scalar() {
+        let mut endpoints = Vec::new();
+        // 1-state random walks: below the batch shape table, stay scalar.
+        for id in 0..3u32 {
+            let kf =
+                KalmanFilter::new(models::random_walk(0.01, 0.25), Vector::zeros(1), 1.0).unwrap();
+            endpoints.push((id, ServerEndpoint::new(kf)));
+        }
+        // 2-state constant velocity: batched, one shared group.
+        for id in 3..8u32 {
+            let kf = KalmanFilter::new(
+                models::constant_velocity(1.0, 0.05, 0.1),
+                Vector::zeros(2),
+                1.0,
+            )
+            .unwrap();
+            endpoints.push((id, ServerEndpoint::new(kf)));
+        }
+        // Simple covariance form: stays scalar even at supported dims.
+        let mut kf = KalmanFilter::new(
+            models::constant_velocity(1.0, 0.05, 0.1),
+            Vector::zeros(2),
+            1.0,
+        )
+        .unwrap();
+        kf.set_covariance_update(CovarianceUpdate::Simple);
+        endpoints.push((8, ServerEndpoint::new(kf)));
+        let engine = BatchShardEngine::new(endpoints);
+        assert_eq!(engine.coverage(), (5, 4));
+        assert_eq!(engine.groups.len(), 1);
+        assert_eq!(engine.scalar_ids, vec![0, 1, 2, 8]);
+    }
+
+    #[test]
+    fn batched_ingest_matches_sequential_bit_for_bit() {
+        let (servers, log) = record_log(12, 4, 80);
+        let mut seq = SequentialIngest::new(servers.clone());
+        for tick in &log {
+            seq.ingest_tick(tick);
+        }
+        let seq_result = seq.finish();
+        assert!(seq_result.total_messages() > 0, "log recorded no syncs");
+
+        let mut batched = BatchedIngest::new(servers);
+        assert_eq!(batched.coverage(), (12, 4));
+        for tick in &log {
+            TickIngest::ingest_tick(&mut batched, tick);
+        }
+        let result = batched.finish();
+        assert_eq!(result.total_messages(), seq_result.total_messages());
+        assert_same_endpoints(&result.endpoints, &seq_result.endpoints, "batched");
+    }
+
+    #[test]
+    fn model_sync_demotes_stream_to_scalar_identically() {
+        // Stream 1 (batched) receives a model sync mid-run — trailed by a
+        // measurement in the same tick that must land on the replacement
+        // filter — then keeps receiving ordinary traffic to the end.
+        let (servers, mut log) = record_log(4, 0, 40);
+        let mut extra = FrameBatch::new();
+        extra.push(
+            1,
+            &SyncMessage::Model {
+                model: models::constant_acceleration(1.0, 0.02, 0.1),
+                x: Vector::from_slice(&[0.5, 0.1, 0.0]),
+                p: Matrix::scalar(3, 1.0),
+            },
+        );
+        extra.push(
+            1,
+            &SyncMessage::Measurement {
+                z: Vector::from_slice(&[0.6]),
+            },
+        );
+        let mut merged = extra.as_bytes().to_vec();
+        merged.extend_from_slice(&log[20]);
+        log[20] = merged;
+
+        let mut seq = SequentialIngest::new(servers.clone());
+        let mut batched = BatchedIngest::new(servers);
+        assert_eq!(batched.coverage(), (4, 0));
+        for tick in &log {
+            seq.ingest_tick(tick);
+            batched.ingest_tick(tick);
+        }
+        assert_eq!(batched.coverage(), (3, 1), "stream 1 demoted");
+        let seq_result = seq.finish();
+        let result = batched.finish();
+        assert_same_endpoints(&result.endpoints, &seq_result.endpoints, "model-sync");
+        let (_, ep1) = &result.endpoints[1];
+        assert_eq!(ep1.filter().model().name(), "constant_acceleration");
+    }
+
+    #[test]
+    fn state_sync_heals_a_diverged_lane_without_demotion() {
+        // Poison a lane with a non-finite state sync — which set_lane
+        // accepts (like set_state, it validates shape only) — and heal it
+        // with a later sync *in the same tick*. The demotion check runs
+        // after the whole pending drain, so the healed lane stays batched,
+        // exactly as the scalar filter would simply absorb both syncs.
+        let (servers, _) = record_log(2, 0, 0);
+        let poison = SyncMessage::State {
+            x: Vector::from_slice(&[f64::NAN, 0.0]),
+            p: Matrix::scalar(2, 1.0),
+        };
+        let heal = SyncMessage::State {
+            x: Vector::from_slice(&[1.0, -0.5]),
+            p: Matrix::scalar(2, 0.5),
+        };
+        let mut seq = SequentialIngest::new(servers.clone());
+        let mut batched = BatchedIngest::new(servers);
+        let mut tick1 = FrameBatch::new();
+        tick1.push(0, &poison);
+        tick1.push(0, &heal);
+        let quiet = FrameBatch::new();
+        for tick in [tick1.as_bytes(), quiet.as_bytes(), quiet.as_bytes()] {
+            seq.ingest_tick(tick);
+            batched.ingest_tick(tick);
+        }
+        assert_eq!(batched.coverage(), (2, 0), "healed lane stays batched");
+        let a = seq.finish();
+        let b = batched.finish();
+        assert_same_endpoints(&b.endpoints, &a.endpoints, "heal");
+        let (_, ep) = &b.endpoints[0];
+        assert_eq!(ep.predict_failures(), 0);
+        assert!(ep.filter().state().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unhealed_diverged_lane_is_demoted_and_keeps_scalar_bookkeeping() {
+        let (servers, _) = record_log(2, 0, 0);
+        let poison = SyncMessage::State {
+            x: Vector::from_slice(&[f64::NAN, 0.0]),
+            p: Matrix::scalar(2, 1.0),
+        };
+        let mut seq = SequentialIngest::new(servers.clone());
+        let mut batched = BatchedIngest::new(servers);
+        let mut tick1 = FrameBatch::new();
+        tick1.push(0, &poison);
+        let quiet = FrameBatch::new();
+        seq.ingest_tick(tick1.as_bytes());
+        batched.ingest_tick(tick1.as_bytes());
+        assert_eq!(batched.coverage(), (1, 1), "poisoned lane demoted");
+        for _ in 0..3 {
+            seq.ingest_tick(quiet.as_bytes());
+            batched.ingest_tick(quiet.as_bytes());
+        }
+        let a = seq.finish();
+        let b = batched.finish();
+        assert_same_endpoints(&b.endpoints, &a.endpoints, "diverged");
+        // The poison sync lands *after* tick 1's predict, so only the three
+        // quiet ticks predict on a non-finite state — on the scalar path the
+        // demoted stream took over from tick 2 onward.
+        let (_, ep) = &b.endpoints[0];
+        assert_eq!(ep.predict_failures(), 3, "every later tick keeps failing");
+    }
+
+    #[test]
+    fn unknown_stream_enqueue_reports_false() {
+        let (servers, _) = record_log(1, 1, 0);
+        let mut engine = BatchShardEngine::new(servers);
+        let msg = WireMessage::Sync {
+            seq: None,
+            msg: SyncMessage::Measurement {
+                z: Vector::from_slice(&[1.0]),
+            },
+        };
+        assert!(engine.enqueue_wire(0, msg.clone()));
+        assert!(!engine.enqueue_wire(99, msg));
+    }
+
+    #[test]
+    fn sequenced_duplicates_are_deduplicated_on_the_batch_path() {
+        // The endpoint's seq bookkeeping must keep working in front of the
+        // lane: duplicates and stale re-deliveries never reach the batch.
+        let (servers, _) = record_log(2, 0, 0);
+        let state = |v: f64| SyncMessage::State {
+            x: Vector::from_slice(&[v, 0.0]),
+            p: Matrix::scalar(2, 0.5),
+        };
+        let mut seq_ref = SequentialIngest::new(servers.clone());
+        let mut batched = BatchedIngest::new(servers);
+        let mut batch = FrameBatch::new();
+        for (seq, v) in [(1, 1.0), (2, 2.0), (2, 9.0), (1, 9.0)] {
+            batch.push_raw(
+                0,
+                &WireMessage::Sync {
+                    seq: Some(seq),
+                    msg: state(v),
+                }
+                .encode(),
+            );
+        }
+        seq_ref.ingest_tick(batch.as_bytes());
+        batched.ingest_tick(batch.as_bytes());
+        let a = seq_ref.finish();
+        let b = batched.finish();
+        assert_same_endpoints(&b.endpoints, &a.endpoints, "dedup");
+        let (_, ep) = &b.endpoints[0];
+        assert_eq!(ep.delivery().stale_drops, 2);
+        assert_eq!(ep.last_seq(), 2);
+        assert_eq!(ep.filter().state()[0], 2.0, "stale 9.0 never applied");
+    }
+}

@@ -36,6 +36,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use kalstream_obs::{Histogram, Instrument, Scope, SpanTimer};
 
+use crate::batch_ingest::BatchShardEngine;
 use crate::frame::{BufferPool, FrameBatch, FrameDecoder};
 use crate::server::ServerEndpoint;
 
@@ -50,6 +51,65 @@ enum ShardJob {
     Tick(BytesMut),
     /// Barrier: acknowledge once every prior job has been applied.
     Flush,
+}
+
+/// What a shard worker steps each tick: the plain per-endpoint map, or the
+/// fleet-batch dispatch engine. Both expose identical tick semantics, so
+/// the worker loop is shared — and for the same traffic both produce
+/// bit-identical endpoints (the batch engine's contract).
+pub(crate) enum ShardEngine {
+    /// One [`ServerEndpoint::advance`] per stream per tick.
+    Plain(HashMap<u32, ServerEndpoint>),
+    /// Same-model groups advanced through structure-of-arrays kernels.
+    Batched(BatchShardEngine),
+}
+
+impl ShardEngine {
+    fn len(&self) -> usize {
+        match self {
+            ShardEngine::Plain(map) => map.len(),
+            ShardEngine::Batched(engine) => engine.len(),
+        }
+    }
+
+    /// Enqueues one decoded message; `false` for unknown streams.
+    fn enqueue_wire(&mut self, stream_id: u32, msg: crate::wire::WireMessage) -> bool {
+        match self {
+            ShardEngine::Plain(map) => match map.get_mut(&stream_id) {
+                Some(ep) => {
+                    ep.enqueue_wire(msg);
+                    true
+                }
+                None => false,
+            },
+            ShardEngine::Batched(engine) => engine.enqueue_wire(stream_id, msg),
+        }
+    }
+
+    /// Advances every endpoint one tick.
+    fn advance_tick(&mut self) {
+        match self {
+            ShardEngine::Plain(map) => {
+                for ep in map.values_mut() {
+                    ep.advance();
+                }
+            }
+            ShardEngine::Batched(engine) => engine.advance_tick(),
+        }
+    }
+
+    /// Tears down into endpoints sorted by stream id (batched lanes are
+    /// restored into their endpoint filters first).
+    fn finish(self) -> Vec<(u32, ServerEndpoint)> {
+        match self {
+            ShardEngine::Plain(map) => {
+                let mut endpoints: Vec<(u32, ServerEndpoint)> = map.into_iter().collect();
+                endpoints.sort_by_key(|(id, _)| *id);
+                endpoints
+            }
+            ShardEngine::Batched(engine) => engine.finish(),
+        }
+    }
 }
 
 /// What one shard worker did, reported at [`IngestPipeline::finish`].
@@ -176,6 +236,9 @@ pub struct IngestPipeline {
     /// the whole population converges within one rotation instead of
     /// stragglers paying growth reallocs arbitrarily late.
     high_water: usize,
+    /// `(batched, scalar)` stream counts, recorded at start for batched
+    /// pipelines (`None` for plain ones).
+    coverage: Option<(usize, usize)>,
 }
 
 impl IngestPipeline {
@@ -185,23 +248,56 @@ impl IngestPipeline {
     /// # Panics
     /// Panics when `shards` is 0.
     pub fn start(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        IngestPipeline::start_with(shards, endpoints, false)
+    }
+
+    /// Like [`IngestPipeline::start`], but each shard steps its eligible
+    /// endpoints through the fleet-batch dispatch engine
+    /// ([`crate::BatchShardEngine`]) — bit-identical output, one
+    /// structure-of-arrays predict per same-model group per tick instead of
+    /// one filter call per stream. [`IngestPipeline::coverage`] reports how
+    /// many streams took the batch path.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn start_batched(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>) -> Self {
+        IngestPipeline::start_with(shards, endpoints, true)
+    }
+
+    fn start_with(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>, batched: bool) -> Self {
         assert!(shards > 0, "ingest needs at least one shard");
-        let mut maps: Vec<HashMap<u32, ServerEndpoint>> =
-            (0..shards).map(|_| HashMap::new()).collect();
+        let mut groups: Vec<Vec<(u32, ServerEndpoint)>> = (0..shards).map(|_| Vec::new()).collect();
         for (id, ep) in endpoints {
-            maps[id as usize % shards].insert(id, ep);
+            groups[id as usize % shards].push((id, ep));
         }
+        let mut coverage = batched.then_some((0usize, 0usize));
+        let engines: Vec<ShardEngine> = groups
+            .into_iter()
+            .map(|group| {
+                if batched {
+                    let engine = BatchShardEngine::new(group);
+                    if let Some(c) = coverage.as_mut() {
+                        let (b, s) = engine.coverage();
+                        c.0 += b;
+                        c.1 += s;
+                    }
+                    ShardEngine::Batched(engine)
+                } else {
+                    ShardEngine::Plain(group.into_iter().collect())
+                }
+            })
+            .collect();
         let (recycle_tx, recycle_rx) = unbounded();
-        let handles = maps
+        let handles = engines
             .into_iter()
             .enumerate()
-            .map(|(shard, map)| {
+            .map(|(shard, engine)| {
                 let (tx, rx) = bounded(QUEUE_DEPTH);
                 let (ack_tx, ack_rx) = bounded(1);
                 let recycle = recycle_tx.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("ingest-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, map))
+                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, engine))
                     .expect("failed to spawn shard worker");
                 ShardHandle { tx, ack_rx, handle }
             })
@@ -214,7 +310,15 @@ impl IngestPipeline {
             router: FrameDecoder::new(),
             outstanding: 0,
             high_water: 0,
+            coverage,
         }
+    }
+
+    /// `(batched, scalar)` stream counts across shards for a pipeline
+    /// started with [`IngestPipeline::start_batched`]; `None` for the plain
+    /// pipeline.
+    pub fn coverage(&self) -> Option<(usize, usize)> {
+        self.coverage
     }
 
     /// Maximum buffers in circulation. Deliberately small — a few ticks of
@@ -332,10 +436,10 @@ fn shard_worker(
     rx: Receiver<ShardJob>,
     ack_tx: Sender<()>,
     recycle: Sender<BytesMut>,
-    mut endpoints: HashMap<u32, ServerEndpoint>,
+    mut engine: ShardEngine,
 ) -> ShardResult {
     let mut decoder = FrameDecoder::new();
-    let streams = endpoints.len();
+    let streams = engine.len();
     let mut ticks = 0u64;
     let mut messages = 0u64;
     let mut bytes_in = 0u64;
@@ -349,12 +453,12 @@ fn shard_worker(
             ShardJob::Tick(buf) => {
                 let span = SpanTimer::start();
                 bytes_in += buf.len() as u64;
-                decoder.for_each_wire_message(&buf, |id, msg| match endpoints.get_mut(&id) {
-                    Some(ep) => {
-                        ep.enqueue_wire(msg);
+                decoder.for_each_wire_message(&buf, |id, msg| {
+                    if engine.enqueue_wire(id, msg) {
                         messages += 1;
+                    } else {
+                        unknown_streams += 1;
                     }
-                    None => unknown_streams += 1,
                 });
                 // Hand the buffer back before the compute phase so the
                 // router can reuse it while we advance filters. A failed
@@ -363,9 +467,7 @@ fn shard_worker(
                 if recycle.send(buf).is_err() {
                     recycle_drops += 1;
                 }
-                for ep in endpoints.values_mut() {
-                    ep.advance();
-                }
+                engine.advance_tick();
                 ticks += 1;
                 busy += std::time::Duration::from_nanos(span.stop(&mut tick_ns));
             }
@@ -380,8 +482,7 @@ fn shard_worker(
         (Some(start), Some(end)) => (end - start) as f64 / 1e9,
         _ => busy.as_secs_f64(),
     };
-    let mut endpoints: Vec<(u32, ServerEndpoint)> = endpoints.into_iter().collect();
-    endpoints.sort_by_key(|(id, _)| *id);
+    let endpoints = engine.finish();
     let stale_drops = endpoints
         .iter()
         .map(|(_, ep)| ep.delivery().stale_drops)
@@ -600,7 +701,13 @@ mod tests {
         tx.send(ShardJob::Tick(BytesMut::new())).unwrap();
         tx.send(ShardJob::Tick(BytesMut::new())).unwrap();
         drop(tx);
-        let result = shard_worker(0, rx, ack_tx, recycle_tx, HashMap::new());
+        let result = shard_worker(
+            0,
+            rx,
+            ack_tx,
+            recycle_tx,
+            ShardEngine::Plain(HashMap::new()),
+        );
         assert_eq!(result.report.recycle_drops, 2);
         assert_eq!(result.report.ticks, 2);
         assert_eq!(result.report.tick_ns.count(), 2, "every tick span recorded");
@@ -634,6 +741,74 @@ mod tests {
                 assert_eq!(a.syncs_applied(), b.syncs_applied());
             }
         }
+    }
+
+    #[test]
+    fn batched_pipeline_matches_sequential_bit_for_bit() {
+        // 2-state constant-velocity sessions are batch-eligible; the
+        // batched pipeline must reproduce the sequential reference exactly
+        // at every shard count, like the plain pipeline does.
+        use kalstream_filter::models;
+        use kalstream_linalg::Vector;
+        let mut sources = Vec::new();
+        let mut servers = Vec::new();
+        for id in 0..12u32 {
+            let config = ProtocolConfig::new(0.25).unwrap();
+            let StreamSession { source, server } = SessionSpec::fixed(
+                models::constant_velocity(1.0, 0.05, 0.1),
+                Vector::zeros(2),
+                1.0,
+                config,
+            )
+            .unwrap()
+            .build();
+            sources.push((id, source));
+            servers.push((id, server));
+        }
+        let mut log = Vec::new();
+        for t in 0..60 {
+            let mut batch = FrameBatch::new();
+            for (id, source) in sources.iter_mut() {
+                let v = (t as f64 * 0.1 + *id as f64).sin();
+                if let Some(payload) = source.observe(t, &[v]) {
+                    batch.push_raw(*id, &payload);
+                }
+            }
+            log.push(batch.as_bytes().to_vec());
+        }
+        let mut seq = SequentialIngest::new(servers.clone());
+        for tick in &log {
+            seq.ingest_tick(tick);
+        }
+        let seq_result = seq.finish();
+        assert!(seq_result.total_messages() > 0);
+
+        for shards in [1, 2, 3, 5] {
+            let mut pipe = IngestPipeline::start_batched(shards, servers.clone());
+            assert_eq!(pipe.coverage(), Some((12, 0)));
+            for tick in &log {
+                pipe.ingest_tick(tick);
+            }
+            let result = pipe.finish();
+            assert_eq!(result.total_messages(), seq_result.total_messages());
+            for ((id_a, a), (id_b, b)) in result.endpoints.iter().zip(seq_result.endpoints.iter()) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(
+                    filter_bits(a),
+                    filter_bits(b),
+                    "stream {id_a} diverged at {shards} batched shards"
+                );
+                assert_eq!(a.syncs_applied(), b.syncs_applied());
+            }
+        }
+    }
+
+    #[test]
+    fn plain_pipeline_reports_no_coverage() {
+        let (servers, _) = record_log(2, 0);
+        let pipe = IngestPipeline::start(2, servers);
+        assert_eq!(pipe.coverage(), None);
+        pipe.finish();
     }
 
     #[test]

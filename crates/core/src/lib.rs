@@ -25,6 +25,10 @@
 //! * [`ingest`] — the sharded ingest pipeline: per-shard worker threads each
 //!   owning a `stream_id → ServerEndpoint` map, bit-identical to sequential
 //!   apply for any shard count.
+//! * [`BatchShardEngine`] / [`BatchedIngest`] — the fleet-batch dispatch
+//!   layer: same-model streams stepped through structure-of-arrays kernels
+//!   (`kalstream_filter::FleetBatch`), bit-identical to the scalar path and
+//!   pluggable into the pipeline via [`IngestPipeline::start_batched`].
 //! * [`SourceEndpoint`] / [`ServerEndpoint`] — the two ends of the protocol,
 //!   implementing the simulator's `Producer`/`Consumer` traits.
 //! * [`StreamSession`] — constructs a matched endpoint pair from a
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod alloc;
+mod batch_ingest;
 mod config;
 mod controller;
 mod error;
@@ -64,6 +69,7 @@ mod source;
 pub mod wire;
 
 pub use alloc::{AllocationResult, BudgetAllocator, StreamDemand};
+pub use batch_ingest::{BatchShardEngine, BatchedIngest};
 pub use config::{ProtocolConfig, ResyncPayload};
 pub use controller::FleetController;
 pub use error::CoreError;

@@ -178,6 +178,37 @@ impl ServerEndpoint {
         self.bounds_sent.get()
     }
 
+    /// Pops the oldest queued sync, if any — the batch ingest engine drains
+    /// pending through this (front-to-back, like [`ServerEndpoint::advance`])
+    /// while applying syncs to a fleet-batch lane instead of the endpoint's
+    /// own filter. `Vec::remove(0)` keeps the buffer's capacity, and the
+    /// queue is a handful of messages at most (see [`PENDING_CAP`]).
+    pub(crate) fn pop_pending(&mut self) -> Option<SyncMessage> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending.remove(0))
+        }
+    }
+
+    /// Counts one applied sync — the batch engine's twin of the bookkeeping
+    /// inside [`ServerEndpoint::advance`].
+    pub(crate) fn note_sync_applied(&mut self) {
+        self.syncs_applied += 1;
+    }
+
+    /// Counts one failed predict step — the batch engine's twin of the
+    /// bookkeeping inside [`ServerEndpoint::advance`].
+    pub(crate) fn note_predict_failure(&mut self) {
+        self.predict_failures += 1;
+    }
+
+    /// Mutable filter access for the batch engine's lane handoffs (restoring
+    /// a demoted lane's state, installing a model-sync replacement filter).
+    pub(crate) fn filter_mut(&mut self) -> &mut KalmanFilter {
+        &mut self.filter
+    }
+
     /// Advances one tick: predict, then apply every queued sync — exactly
     /// [`Consumer::estimate`]'s transition without serving a value. Shard
     /// workers call this once per endpoint per tick; because the order is

@@ -22,6 +22,19 @@ pub enum FilterError {
         /// Actual measurement dimension.
         actual: usize,
     },
+    /// A filter dimension exceeds the inline-storage cap of
+    /// `kalstream-linalg` (`VECTOR_INLINE_CAP`). Beyond the cap every hot-path
+    /// temporary silently falls back to the heap and no batch kernel exists,
+    /// so construction refuses rather than degrade unaccounted (the
+    /// `linalg.heap_fallbacks` counter would drift).
+    DimensionTooLarge {
+        /// Which dimension is over cap ("state" or "measurement").
+        what: &'static str,
+        /// The requested dimension.
+        dim: usize,
+        /// The inline cap it exceeds.
+        cap: usize,
+    },
     /// The filter state became non-finite (NaN/inf) — numerical divergence.
     Diverged {
         /// What diverged ("state" or "covariance").
@@ -59,6 +72,10 @@ impl fmt::Display for FilterError {
                     "bad measurement: expected dimension {expected}, got {actual}"
                 )
             }
+            FilterError::DimensionTooLarge { what, dim, cap } => write!(
+                f,
+                "{what} dimension {dim} exceeds the inline-storage cap {cap}"
+            ),
             FilterError::Diverged { what } => {
                 write!(f, "filter diverged: {what} is no longer finite")
             }
@@ -106,6 +123,14 @@ mod tests {
         assert!(e.to_string().contains("expected dimension 1"));
         let e = FilterError::Diverged { what: "state" };
         assert!(e.to_string().contains("diverged"));
+        let e = FilterError::DimensionTooLarge {
+            what: "measurement",
+            dim: 9,
+            cap: 8,
+        };
+        assert!(e
+            .to_string()
+            .contains("measurement dimension 9 exceeds the inline-storage cap 8"));
         assert!(FilterError::EmptyBank.to_string().contains("no candidate"));
     }
 

@@ -172,6 +172,25 @@ impl KalmanFilter {
     /// model.
     pub fn with_covariance(model: StateModel, x0: Vector, p0: Matrix) -> Result<Self> {
         let n = model.state_dim();
+        let m = model.measurement_dim();
+        // Refuse dimensions past the inline-storage cap instead of silently
+        // heap-falling-back on every hot-path temporary (DESIGN.md caps the
+        // workspace at n ≤ 8; the `linalg.heap_fallbacks` counter guards the
+        // invariant at runtime).
+        if n > kalstream_linalg::VECTOR_INLINE_CAP {
+            return Err(FilterError::DimensionTooLarge {
+                what: "state",
+                dim: n,
+                cap: kalstream_linalg::VECTOR_INLINE_CAP,
+            });
+        }
+        if m > kalstream_linalg::VECTOR_INLINE_CAP {
+            return Err(FilterError::DimensionTooLarge {
+                what: "measurement",
+                dim: m,
+                cap: kalstream_linalg::VECTOR_INLINE_CAP,
+            });
+        }
         if x0.dim() != n {
             return Err(FilterError::BadModel {
                 what: "x0",
@@ -199,6 +218,13 @@ impl KalmanFilter {
     /// Selects the covariance-update formula (default: Joseph).
     pub fn set_covariance_update(&mut self, cu: CovarianceUpdate) {
         self.cov_update = cu;
+    }
+
+    /// The covariance-update formula currently in effect. The batch
+    /// dispatcher reads this: only Joseph-form filters (the default) may be
+    /// routed to the [`crate::FleetBatch`] path, which implements Joseph only.
+    pub fn covariance_update(&self) -> CovarianceUpdate {
+        self.cov_update
     }
 
     /// The model currently driving the filter.
@@ -264,6 +290,21 @@ impl KalmanFilter {
         self.x = x;
         self.p = p;
         self.steps_since_update = 0;
+        Ok(())
+    }
+
+    /// Overwrites state, covariance **and** the staleness counter — the
+    /// handoff primitive for moving a stream between the scalar and batch
+    /// stepping paths. Unlike [`KalmanFilter::set_state`] (a protocol
+    /// resynchronisation, which legitimately resets cache age to zero), a
+    /// path handoff must not pretend a measurement arrived, so the batch
+    /// lane's `steps_since_update` is carried across verbatim.
+    ///
+    /// # Errors
+    /// [`FilterError::BadModel`] on shape mismatch.
+    pub fn restore(&mut self, x: Vector, p: Matrix, steps_since_update: u64) -> Result<()> {
+        self.set_state(x, p)?;
+        self.steps_since_update = steps_since_update;
         Ok(())
     }
 
@@ -533,6 +574,67 @@ mod tests {
         assert!(kf
             .set_state(Vector::zeros(1), Matrix::scalar(2, 1.0))
             .is_err());
+    }
+
+    #[test]
+    fn construction_rejects_over_cap_dimensions() {
+        use kalstream_linalg::VECTOR_INLINE_CAP;
+        let n = VECTOR_INLINE_CAP + 1;
+        // n-state random walk observed in full: both dims over cap.
+        let model = StateModel::new(
+            "over-cap",
+            Matrix::identity(n),
+            Matrix::scalar(n, 0.01),
+            Matrix::identity(n),
+            Matrix::scalar(n, 0.25),
+        )
+        .unwrap();
+        let err = KalmanFilter::new(model, Vector::zeros(n), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            FilterError::DimensionTooLarge {
+                what: "state",
+                dim: n,
+                cap: VECTOR_INLINE_CAP
+            }
+        );
+        // In-cap state, over-cap measurement.
+        let model = StateModel::new(
+            "wide-measurement",
+            Matrix::identity(2),
+            Matrix::scalar(2, 0.01),
+            Matrix::zeros(n, 2),
+            Matrix::scalar(n, 0.25),
+        )
+        .unwrap();
+        let err = KalmanFilter::new(model, Vector::zeros(2), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            FilterError::DimensionTooLarge {
+                what: "measurement",
+                dim: n,
+                cap: VECTOR_INLINE_CAP
+            }
+        );
+    }
+
+    #[test]
+    fn restore_preserves_staleness() {
+        let mut kf = scalar_walk_filter();
+        kf.predict().unwrap();
+        kf.predict().unwrap();
+        kf.predict().unwrap();
+        let (x, p, steps) = (
+            kf.state().clone(),
+            kf.covariance().clone(),
+            kf.steps_since_update(),
+        );
+        let mut other = scalar_walk_filter();
+        other.restore(x.clone(), p.clone(), steps).unwrap();
+        assert_eq!(other.steps_since_update(), 3);
+        assert_eq!(other.state(), &x);
+        assert_eq!(other.covariance(), &p);
+        assert!(other.restore(Vector::zeros(2), p, 1).is_err());
     }
 
     #[test]

@@ -51,6 +51,8 @@
 
 mod adaptive;
 mod bank;
+mod batch;
+mod dispatch;
 mod ekf;
 mod error;
 pub mod fit;
@@ -63,6 +65,8 @@ mod ukf;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveKalmanFilter};
 pub use bank::{BankConfig, ModelBank};
+pub use batch::FleetBatch;
+pub use dispatch::DynFleetBatch;
 pub use ekf::{ExtendedKalmanFilter, NonlinearModel};
 pub use error::FilterError;
 pub use kalman::{CovarianceUpdate, KalmanFilter, KalmanScratch, UpdateOutcome};

@@ -47,13 +47,28 @@
 mod decomp;
 mod error;
 mod matrix;
+mod static_kernel;
 mod storage;
 mod vector;
 
 pub use decomp::{Cholesky, Lu};
 pub use error::LinalgError;
 pub use matrix::{Matrix, MATRIX_INLINE_CAP};
+pub use static_kernel::{StaticKernel, StaticUpdateOutcome};
 pub use vector::{Vector, VECTOR_INLINE_CAP};
+
+/// Process-wide count of inline→heap storage fallbacks.
+///
+/// Each time a [`Vector`] or [`Matrix`] is built with (or grown to) more
+/// elements than its inline cap ([`VECTOR_INLINE_CAP`] /
+/// [`MATRIX_INLINE_CAP`]), the value silently moves to the heap and this
+/// counter increments. On the capped hot path (n ≤ 8) it should stay flat;
+/// a drifting value means some call site is running over-cap shapes that the
+/// batch dispatcher cannot route to the static kernels. Exported by the
+/// bench binaries as the obs counter `linalg.heap_fallbacks`.
+pub fn heap_fallbacks() -> u64 {
+    storage::heap_fallbacks()
+}
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -13,6 +13,25 @@
 //! detail (a heap value resized below the cap stays heap — its capacity is
 //! already paid for).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of inline→heap storage fallbacks (see
+/// [`crate::heap_fallbacks`]). Incremented whenever a `SmallBuf` takes the
+/// heap branch during construction or an inline value is forced to grow past
+/// its cap; heap-stays-heap resizes don't count (the capacity is already
+/// paid for and no new fallback happened).
+static HEAP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn note_heap_fallback() {
+    HEAP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current value of the heap-fallback counter.
+pub(crate) fn heap_fallbacks() -> u64 {
+    HEAP_FALLBACKS.load(Ordering::Relaxed)
+}
+
 /// Element storage: inline up to `CAP` elements, heap above.
 #[derive(Clone)]
 pub(crate) enum SmallBuf<const CAP: usize> {
@@ -37,6 +56,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
                 buf: [0.0; CAP],
             }
         } else {
+            note_heap_fallback();
             SmallBuf::Heap(vec![0.0; len])
         }
     }
@@ -49,6 +69,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
             buf[..len].fill(value);
             SmallBuf::Inline { len, buf }
         } else {
+            note_heap_fallback();
             SmallBuf::Heap(vec![value; len])
         }
     }
@@ -61,6 +82,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
             buf[..s.len()].copy_from_slice(s);
             SmallBuf::Inline { len: s.len(), buf }
         } else {
+            note_heap_fallback();
             SmallBuf::Heap(s.to_vec())
         }
     }
@@ -72,6 +94,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
         if v.len() <= CAP {
             Self::from_slice(&v)
         } else {
+            note_heap_fallback();
             SmallBuf::Heap(v)
         }
     }
@@ -122,6 +145,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
                     buf[..len].fill(0.0);
                     *cur = len;
                 } else {
+                    note_heap_fallback();
                     *self = SmallBuf::Heap(vec![0.0; len]);
                 }
             }
@@ -142,6 +166,7 @@ impl<const CAP: usize> SmallBuf<CAP> {
                     buf[..s.len()].copy_from_slice(s);
                     *cur = s.len();
                 } else {
+                    note_heap_fallback();
                     *self = SmallBuf::Heap(s.to_vec());
                 }
             }
@@ -229,6 +254,24 @@ mod tests {
     fn into_vec_roundtrip() {
         assert_eq!(Buf::from_slice(&[1.0, 2.0]).into_vec(), vec![1.0, 2.0]);
         assert_eq!(Buf::from_vec(vec![0.5; 7]).into_vec(), vec![0.5; 7]);
+    }
+
+    #[test]
+    fn heap_fallbacks_counted() {
+        // Other tests run concurrently and also bump the global counter, so
+        // assert only on deltas being at least the fallbacks we caused.
+        let before = heap_fallbacks();
+        let _a = Buf::zeroed(5); // +1
+        let _b = Buf::filled(6, 1.0); // +1
+        let _c = Buf::from_slice(&[0.0; 7]); // +1
+        let _d = Buf::from_vec(vec![0.0; 8]); // +1
+        let mut e = Buf::zeroed(2);
+        e.resize_zeroed(9); // +1 (inline → heap)
+        e.resize_zeroed(12); // heap stays heap: no count
+        let mut f = Buf::zeroed(2);
+        f.copy_from_slice(&[1.0; 10]); // +1 (inline → heap)
+        let _inline = Buf::zeroed(3); // inline: no count
+        assert!(heap_fallbacks() >= before + 6);
     }
 
     #[test]
