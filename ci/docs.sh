@@ -16,6 +16,7 @@ FIRST_PARTY=(
     kalstream-sim
     kalstream-query
     kalstream-baselines
+    kalstream-net
     kalstream-bench
     kalstream-obs
 )

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Loopback network smoke lane: real sockets in CI, seconds not minutes.
+#
+# Gates:
+#   * the kalstream-net test suite — the transport bit-identity canaries
+#     (TCP session == sim session to the bit, fleet over TCP == sequential
+#     reference) plus codec/lifecycle tests; any panic fails the lane;
+#   * bench_net --quick — a 64-connection loopback fleet that must end
+#     bit-identical with zero shed feedback, zero rejected hellos, and
+#     zero decode failures (the binary exits non-zero otherwise);
+#   * check_regression --kind net — the fresh measurement against the
+#     committed BENCH_net.json baseline (wall-clock gates scope themselves
+#     to equal-core hosts; correctness canaries gate everywhere).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART=ci-artifacts
+mkdir -p "$ART"
+
+echo "==> kalstream-net test suite (transport bit-identity canaries)"
+cargo test --release -q -p kalstream-net
+
+echo "==> bench_net --quick (loopback fleet: bit-identity + zero-shed gates)"
+cargo run --release -q -p kalstream-bench --bin bench_net -- \
+    --quick --out "$ART/bench_net.json" --metrics-out "$ART/bench_net.metrics.json"
+
+echo "==> check_regression --kind net"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind net --baseline BENCH_net.json --current "$ART/bench_net.json"
+
+echo "ci/net_smoke.sh: OK"

@@ -58,6 +58,7 @@ fn quiet_source(delta: f64) -> SourceEndpoint {
 }
 
 struct Measurements {
+    available_parallelism: usize,
     predict_ns: f64,
     update_ns: f64,
     decide_ns: f64,
@@ -177,6 +178,7 @@ fn measure(quick: bool) -> Measurements {
     let batch = run_fleet_batch(BATCH_FLEET_STREAMS, batch_ticks, threads);
 
     Measurements {
+        available_parallelism: threads,
         predict_ns,
         update_ns,
         decide_ns,
@@ -196,7 +198,8 @@ fn measure(quick: bool) -> Measurements {
 
 fn to_json(m: &Measurements) -> String {
     format!(
-        "{{\n  \"predict_ns\": {:.1},\n  \"update_ns\": {:.1},\n  \"suppression_decision_ns\": {:.1},\n  \"allocs_per_tick\": {:.3},\n  \"allocs_per_filter_step\": {:.3},\n  \"fleet_streams\": {},\n  \"fleet_ticks\": {},\n  \"fleet_wall_ms\": {:.1},\n  \"fleet_total_messages\": {},\n  \"batch_fleet_streams\": {},\n  \"batch_fleet_ticks\": {},\n  \"batch_fleet_scalar_wall_ms\": {:.1},\n  \"batch_fleet_wall_ms\": {:.1},\n  \"batch_fleet_speedup\": {:.2},\n  \"batch_predict_ns\": {:.1},\n  \"batch_update_ns\": {:.1},\n  \"batch_matches_scalar\": {}\n}}",
+        "{{\n  \"available_parallelism\": {},\n  \"predict_ns\": {:.1},\n  \"update_ns\": {:.1},\n  \"suppression_decision_ns\": {:.1},\n  \"allocs_per_tick\": {:.3},\n  \"allocs_per_filter_step\": {:.3},\n  \"fleet_streams\": {},\n  \"fleet_ticks\": {},\n  \"fleet_wall_ms\": {:.1},\n  \"fleet_total_messages\": {},\n  \"batch_fleet_streams\": {},\n  \"batch_fleet_ticks\": {},\n  \"batch_fleet_scalar_wall_ms\": {:.1},\n  \"batch_fleet_wall_ms\": {:.1},\n  \"batch_fleet_speedup\": {:.2},\n  \"batch_predict_ns\": {:.1},\n  \"batch_update_ns\": {:.1},\n  \"batch_matches_scalar\": {}\n}}",
+        m.available_parallelism,
         m.predict_ns,
         m.update_ns,
         m.decide_ns,

@@ -5,6 +5,7 @@
 //! check_regression --kind ingest  --baseline BENCH_ingest.json  --current /tmp/ingest.json \
 //!                  [--tolerance 0.25]
 //! check_regression --kind query   --baseline BENCH_q1_query_bounds.json --current /tmp/q1.json
+//! check_regression --kind net     --baseline BENCH_net.json      --current /tmp/net.json
 //! ```
 //!
 //! Prints an aligned comparison table and exits non-zero when any check
@@ -13,12 +14,13 @@
 
 use std::process::ExitCode;
 
-use kalstream_bench::regression::{check_ingest, check_kernels, check_query};
+use kalstream_bench::regression::{check_ingest, check_kernels, check_net, check_query};
 
 enum Kind {
     Kernels,
     Ingest,
     Query,
+    Net,
 }
 
 struct Args {
@@ -30,7 +32,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check_regression --kind kernels|ingest|query --baseline <json> --current <json> \
+        "usage: check_regression --kind kernels|ingest|query|net --baseline <json> --current <json> \
          [--tolerance <frac>]"
     );
     std::process::exit(2);
@@ -55,8 +57,9 @@ fn parse_args() -> Args {
                     "kernels" => Kind::Kernels,
                     "ingest" => Kind::Ingest,
                     "query" => Kind::Query,
+                    "net" => Kind::Net,
                     other => {
-                        eprintln!("unknown --kind {other:?} (expected kernels|ingest|query)");
+                        eprintln!("unknown --kind {other:?} (expected kernels|ingest|query|net)");
                         usage()
                     }
                 });
@@ -102,6 +105,7 @@ fn main() -> ExitCode {
         Kind::Kernels => check_kernels(&baseline, &current, args.tolerance),
         Kind::Ingest => check_ingest(&baseline, &current, args.tolerance),
         Kind::Query => check_query(&baseline, &current),
+        Kind::Net => check_net(&baseline, &current, args.tolerance),
     };
     print!("{}", report.render());
     if report.passed() {

@@ -45,9 +45,17 @@ impl MetricsOut {
     /// strict argument parsers of their own).
     #[must_use]
     pub fn from_path(path: Option<PathBuf>) -> Self {
+        let mut registry = Registry::new();
+        // Every artifact records the host's core count: wall-clock numbers
+        // only compare across runs on equal-core hosts, and the regression
+        // gate reads this to decide which comparisons apply.
+        registry.scope("env").counter(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        );
         MetricsOut {
             path,
-            registry: Registry::new(),
+            registry,
             absorbed: Snapshot::default(),
         }
     }
@@ -123,6 +131,12 @@ mod tests {
         m.scope("x").counter("events", 3u64);
         m.write(); // no path: must be a no-op, not a panic
         assert_eq!(m.snapshot().counter("x.events"), Some(3));
+        // Host core count rides along in every artifact (regression gates
+        // use it to scope wall-clock comparisons).
+        assert!(m
+            .snapshot()
+            .counter("env.available_parallelism")
+            .is_some_and(|n| n >= 1));
     }
 
     #[test]

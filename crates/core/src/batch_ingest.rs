@@ -275,6 +275,19 @@ impl BatchShardEngine {
         self.scalar_ids.insert(at, id);
     }
 
+    /// Every stream id this engine owns (batched and scalar), in map order —
+    /// callers needing determinism sort the collected ids.
+    pub(crate) fn stream_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.endpoints.keys().copied()
+    }
+
+    /// Mutable access to one stream's endpoint (feedback polling touches
+    /// only ack/bound bookkeeping, which lives on the endpoint whether its
+    /// filter state currently sits scalar or on a batch lane).
+    pub(crate) fn endpoint_mut(&mut self, id: u32) -> Option<&mut ServerEndpoint> {
+        self.endpoints.get_mut(&id)
+    }
+
     /// Hands every remaining lane's state back to its endpoint filter and
     /// returns the endpoints sorted by stream id — the same shape (and, for
     /// the same traffic, the same bits) the plain path produces.
@@ -371,6 +384,8 @@ impl BatchedIngest {
                 stale_drops,
                 busy_secs: self.busy.as_secs_f64(),
                 recycle_drops: 0,
+                feedback_out: 0,
+                feedback_drops: 0,
                 tick_ns: self.tick_ns,
             }],
             endpoints,

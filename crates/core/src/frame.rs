@@ -188,6 +188,135 @@ impl FrameDecoder {
     }
 }
 
+/// Upper bound on a single frame body arriving over a byte stream. Largest
+/// legitimate bodies are model syncs for high-dimensional banks (a few KiB);
+/// 1 MiB leaves three orders of magnitude of slack while keeping a hostile
+/// or corrupt length prefix from pinning buffer memory per connection.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Fatal framing error on a byte stream: the length prefix claims a body
+/// larger than [`MAX_FRAME_BYTES`]. Unlike a bad body (skippable) this means
+/// the stream's framing itself cannot be trusted, so the decoder poisons
+/// itself and the connection must be torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedFrame {
+    /// Stream id carried by the offending header.
+    pub stream_id: u32,
+    /// Claimed body length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for OversizedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame for stream {} claims {} byte body (max {})",
+            self.stream_id, self.len, MAX_FRAME_BYTES
+        )
+    }
+}
+
+impl std::error::Error for OversizedFrame {}
+
+/// Incremental frame decoder for a continuous byte stream (a socket).
+///
+/// [`FrameDecoder`] assumes it sees whole batches; a socket delivers
+/// arbitrary fragments — a read may end mid-header, mid-body, or contain
+/// ten frames and half of an eleventh. `StreamDecoder` buffers the
+/// unconsumed tail between [`StreamDecoder::feed`] calls and emits exactly
+/// the frames the same bytes would produce if they had arrived in one
+/// piece, no matter how the reads split them (the invariant the fuzz
+/// proptest below pins down: byte-at-a-time equals one-shot).
+///
+/// Malformed input never panics and never mis-frames: the only
+/// unrecoverable condition is a length prefix over [`MAX_FRAME_BYTES`],
+/// which returns [`OversizedFrame`] and poisons the decoder (every later
+/// `feed` repeats the error) so the owning connection closes instead of
+/// buffering unboundedly.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so steady-state feeds
+    /// don't memmove per frame.
+    pos: usize,
+    frames: u64,
+    poisoned: Option<OversizedFrame>,
+}
+
+/// Compact the internal buffer once the dead prefix passes this many bytes.
+const STREAM_COMPACT_BYTES: usize = 16 * 1024;
+
+impl StreamDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Appends `bytes` and emits every frame that is now complete, in order.
+    ///
+    /// Partial trailing input (up to a header-plus-body minus one byte) is
+    /// buffered for the next call — at EOF, leftover bytes mean the peer
+    /// truncated a frame ([`StreamDecoder::buffered`] exposes this).
+    pub fn feed(
+        &mut self,
+        bytes: &[u8],
+        mut f: impl FnMut(u32, &[u8]),
+    ) -> Result<(), OversizedFrame> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            let avail = &self.buf[self.pos..];
+            if avail.len() < FRAME_HEADER_BYTES {
+                break;
+            }
+            let stream_id = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
+            if len > MAX_FRAME_BYTES {
+                let err = OversizedFrame { stream_id, len };
+                self.poisoned = Some(err);
+                self.buf = Vec::new();
+                self.pos = 0;
+                return Err(err);
+            }
+            if avail.len() < FRAME_HEADER_BYTES + len {
+                break;
+            }
+            f(
+                stream_id,
+                &avail[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len],
+            );
+            self.frames += 1;
+            self.pos += FRAME_HEADER_BYTES + len;
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > STREAM_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Complete frames emitted so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bytes buffered awaiting the rest of a frame (0 at any frame
+    /// boundary; nonzero at EOF means the peer died mid-frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a fatal framing error has been seen.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+}
+
 /// Default cap on pooled buffers — comfortably above the deepest in-flight
 /// population any configured pipeline produces (`shards × 4` channel slots,
 /// so 32 at the 8-shard maximum) while bounding worst-case retention.
@@ -495,5 +624,160 @@ mod tests {
         dec.for_each_wire_message(batch.as_bytes(), |id, _| got.push(id));
         assert_eq!(got, vec![2]);
         assert_eq!(dec.decode_failures(), 1);
+    }
+
+    /// Frames `wire` produces when fed through a [`StreamDecoder`] in the
+    /// given chunk sizes.
+    fn stream_decode(wire: &[u8], chunks: impl Iterator<Item = usize>) -> Vec<(u32, Vec<u8>)> {
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        let mut rest = wire;
+        for size in chunks {
+            if rest.is_empty() {
+                break;
+            }
+            let take = size.min(rest.len()).max(1);
+            dec.feed(&rest[..take], |id, body| got.push((id, body.to_vec())))
+                .expect("well-formed stream");
+            rest = &rest[take..];
+        }
+        if !rest.is_empty() {
+            dec.feed(rest, |id, body| got.push((id, body.to_vec())))
+                .expect("well-formed stream");
+        }
+        assert_eq!(dec.buffered(), 0, "stream ended mid-frame");
+        got
+    }
+
+    #[test]
+    fn stream_decoder_byte_at_a_time_matches_one_shot() {
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0));
+        batch.push_raw(2, b""); // zero-length body is a legal frame
+        batch.push(3, &msg(3.0));
+        let wire = batch.as_bytes();
+
+        let one_shot = stream_decode(wire, std::iter::once(wire.len()));
+        let trickled = stream_decode(wire, std::iter::repeat(1));
+        assert_eq!(one_shot, trickled);
+        assert_eq!(one_shot.len(), 3);
+        assert_eq!(one_shot[1], (2, Vec::new()));
+    }
+
+    #[test]
+    fn stream_decoder_split_mid_length_prefix() {
+        let mut batch = FrameBatch::new();
+        batch.push(9, &msg(2.0));
+        let wire = batch.as_bytes();
+
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        // First feed ends 6 bytes in: after stream_id, mid-way through len.
+        dec.feed(&wire[..6], |id, _| got.push(id)).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(dec.buffered(), 6);
+        dec.feed(&wire[6..], |id, _| got.push(id)).unwrap();
+        assert_eq!(got, vec![9]);
+        assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.frames(), 1);
+    }
+
+    #[test]
+    fn stream_decoder_oversized_len_poisons() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&7u32.to_le_bytes());
+        wire.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+
+        let mut dec = StreamDecoder::new();
+        let err = dec
+            .feed(&wire, |_, _| panic!("no frame expected"))
+            .unwrap_err();
+        assert_eq!(err.stream_id, 7);
+        assert_eq!(err.len, MAX_FRAME_BYTES + 1);
+        assert!(dec.is_poisoned());
+        // Poison is sticky: even valid bytes now error without emitting.
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0));
+        let again = dec
+            .feed(batch.as_bytes(), |_, _| panic!("poisoned decoder emitted"))
+            .unwrap_err();
+        assert_eq!(again, err);
+    }
+
+    #[test]
+    fn stream_decoder_compacts_long_streams() {
+        // Push far more than the compaction threshold through one decoder;
+        // buffered() staying at 0 on frame boundaries proves the dead
+        // prefix is reclaimed rather than accumulated.
+        let mut batch = FrameBatch::new();
+        batch.push(1, &msg(1.0));
+        let wire = batch.as_bytes();
+        let mut dec = StreamDecoder::new();
+        let rounds = (4 * STREAM_COMPACT_BYTES / wire.len()) + 1;
+        let mut count = 0u64;
+        for _ in 0..rounds {
+            dec.feed(wire, |_, _| count += 1).unwrap();
+            assert_eq!(dec.buffered(), 0);
+        }
+        assert_eq!(count, rounds as u64);
+        assert!(dec.buf.capacity() < 4 * STREAM_COMPACT_BYTES);
+    }
+
+    mod stream_decoder_fuzz {
+        //! Fuzz-style properties for the socket-facing decoder: arbitrary
+        //! split points must not change framing, and arbitrary garbage must
+        //! never panic. This is the exact path raw TCP reads hit.
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_split_matches_one_shot(
+                bodies in proptest::collection::vec(
+                    proptest::collection::vec(0u8..=255, 0..40), 0..12),
+                splits in proptest::collection::vec(1usize..17, 0..64),
+            ) {
+                let mut batch = FrameBatch::new();
+                for (i, body) in bodies.iter().enumerate() {
+                    batch.push_raw(i as u32, body);
+                }
+                let wire = batch.as_bytes();
+                let one_shot = stream_decode(wire, std::iter::once(wire.len().max(1)));
+                let split = stream_decode(wire, splits.into_iter().chain(std::iter::repeat(3)));
+                prop_assert_eq!(&one_shot, &split);
+                let expected: Vec<(u32, Vec<u8>)> = bodies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (i as u32, b.clone()))
+                    .collect();
+                prop_assert_eq!(one_shot, expected);
+            }
+
+            #[test]
+            fn garbage_never_panics_or_overbuffers(
+                garbage in proptest::collection::vec(0u8..=255, 0..400),
+                splits in proptest::collection::vec(1usize..9, 0..128),
+            ) {
+                let mut dec = StreamDecoder::new();
+                let mut rest = &garbage[..];
+                let mut emitted = 0usize;
+                for size in splits {
+                    if rest.is_empty() { break; }
+                    let take = size.min(rest.len());
+                    // Err (oversized len) is an acceptable outcome; panic is not.
+                    if dec.feed(&rest[..take], |_, body| {
+                        emitted += body.len();
+                    }).is_err() {
+                        prop_assert!(dec.is_poisoned());
+                        prop_assert_eq!(dec.buffered(), 0);
+                        return Ok(());
+                    }
+                    rest = &rest[take..];
+                }
+                // Whatever was emitted plus what waits is bounded by input.
+                prop_assert!(dec.buffered() <= garbage.len());
+                prop_assert!(emitted <= garbage.len());
+            }
+        }
     }
 }

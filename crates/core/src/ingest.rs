@@ -31,8 +31,9 @@
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use kalstream_sim::Consumer;
 
 use kalstream_obs::{Histogram, Instrument, Scope, SpanTimer};
 
@@ -98,6 +99,33 @@ impl ShardEngine {
         }
     }
 
+    /// Stream ids owned by this engine, ascending — the deterministic poll
+    /// order for feedback (cross-stream feedback order must not depend on
+    /// `HashMap` iteration).
+    fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = match self {
+            ShardEngine::Plain(map) => map.keys().copied().collect(),
+            ShardEngine::Batched(engine) => engine.stream_ids().collect(),
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drains one stream's due feedback (acks, then bound directives) into
+    /// `sink` — the ingest-mode twin of the session loop's
+    /// `while let Some(fb) = consumer.poll_feedback(now)`.
+    fn poll_stream_feedback(&mut self, id: u32, now: u64, sink: &mut dyn FnMut(Bytes)) {
+        let ep = match self {
+            ShardEngine::Plain(map) => map.get_mut(&id),
+            ShardEngine::Batched(engine) => engine.endpoint_mut(id),
+        };
+        if let Some(ep) = ep {
+            while let Some(payload) = ep.poll_feedback(now) {
+                sink(payload);
+            }
+        }
+    }
+
     /// Tears down into endpoints sorted by stream id (batched lanes are
     /// restored into their endpoint filters first).
     fn finish(self) -> Vec<(u32, ServerEndpoint)> {
@@ -146,6 +174,14 @@ pub struct ShardReport {
     /// `let _ =`; a non-zero count during steady state means pooled buffers
     /// are being dropped (and re-allocated) instead of reused.
     pub recycle_drops: u64,
+    /// Feedback payloads (acks, bound directives) polled off this shard's
+    /// endpoints onto the feedback channel. Zero unless the pipeline was
+    /// started with [`IngestPipeline::start_with_feedback`].
+    pub feedback_out: u64,
+    /// Feedback payloads dropped because the feedback receiver was already
+    /// gone. Like `recycle_drops`, counted rather than swallowed: during a
+    /// drain, a non-zero count here is lost acks/bounds, not clean teardown.
+    pub feedback_drops: u64,
     /// Per-tick processing span (decode + endpoint advance) in log₂-
     /// bucketed nanoseconds. Wall-clock, so reported in snapshots but never
     /// folded into deterministic experiment tables.
@@ -162,6 +198,8 @@ impl Instrument for ShardReport {
         scope.counter("unknown_streams", self.unknown_streams);
         scope.counter("stale_drops", self.stale_drops);
         scope.counter("recycle_drops", self.recycle_drops);
+        scope.counter("feedback_out", self.feedback_out);
+        scope.counter("feedback_drops", self.feedback_drops);
         scope.gauge("busy_secs", self.busy_secs);
         scope.histogram("tick_ns", &self.tick_ns);
     }
@@ -264,7 +302,42 @@ impl IngestPipeline {
         IngestPipeline::start_with(shards, endpoints, true)
     }
 
+    /// Like [`IngestPipeline::start`]/[`IngestPipeline::start_batched`],
+    /// but each shard also polls its endpoints' feedback (acks, bound
+    /// directives) after every tick's advance and ships `(stream_id,
+    /// payload)` pairs out the returned channel — the hook a network server
+    /// uses to route acks back to source connections.
+    ///
+    /// Ordering: within one stream, feedback arrives in poll order (acks
+    /// before bounds, per [`ServerEndpoint`]'s contract); across streams of
+    /// one shard, ascending stream id per tick; across shards, unordered
+    /// (streams never span shards, so no consumer can observe it). The
+    /// channel is unbounded so a slow drain can never deadlock the flush
+    /// barrier; [`IngestPipeline::flush`] guarantees all feedback for
+    /// flushed ticks is in the channel when it returns.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn start_with_feedback(
+        shards: usize,
+        endpoints: Vec<(u32, ServerEndpoint)>,
+        batched: bool,
+    ) -> (Self, Receiver<(u32, Bytes)>) {
+        let (tx, rx) = unbounded();
+        let pipe = IngestPipeline::start_inner(shards, endpoints, batched, Some(tx));
+        (pipe, rx)
+    }
+
     fn start_with(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>, batched: bool) -> Self {
+        IngestPipeline::start_inner(shards, endpoints, batched, None)
+    }
+
+    fn start_inner(
+        shards: usize,
+        endpoints: Vec<(u32, ServerEndpoint)>,
+        batched: bool,
+        feedback: Option<Sender<(u32, Bytes)>>,
+    ) -> Self {
         assert!(shards > 0, "ingest needs at least one shard");
         let mut groups: Vec<Vec<(u32, ServerEndpoint)>> = (0..shards).map(|_| Vec::new()).collect();
         for (id, ep) in endpoints {
@@ -295,9 +368,10 @@ impl IngestPipeline {
                 let (tx, rx) = bounded(QUEUE_DEPTH);
                 let (ack_tx, ack_rx) = bounded(1);
                 let recycle = recycle_tx.clone();
+                let feedback = feedback.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("ingest-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, engine))
+                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, feedback, engine))
                     .expect("failed to spawn shard worker");
                 ShardHandle { tx, ack_rx, handle }
             })
@@ -436,15 +510,21 @@ fn shard_worker(
     rx: Receiver<ShardJob>,
     ack_tx: Sender<()>,
     recycle: Sender<BytesMut>,
+    feedback: Option<Sender<(u32, Bytes)>>,
     mut engine: ShardEngine,
 ) -> ShardResult {
     let mut decoder = FrameDecoder::new();
     let streams = engine.len();
+    // Cached once: poll order must be deterministic and the per-tick loop
+    // allocation-free. Shard membership never changes after start.
+    let feedback_ids = feedback.as_ref().map(|_| engine.sorted_ids());
     let mut ticks = 0u64;
     let mut messages = 0u64;
     let mut bytes_in = 0u64;
     let mut unknown_streams = 0u64;
     let mut recycle_drops = 0u64;
+    let mut feedback_out = 0u64;
+    let mut feedback_drops = 0u64;
     let mut tick_ns = Histogram::new();
     let cpu_start = thread_cpu_ns();
     let mut busy = std::time::Duration::ZERO;
@@ -468,6 +548,18 @@ fn shard_worker(
                     recycle_drops += 1;
                 }
                 engine.advance_tick();
+                if let (Some(tx), Some(ids)) = (&feedback, &feedback_ids) {
+                    for &id in ids {
+                        engine.poll_stream_feedback(id, ticks, &mut |payload| {
+                            // A closed receiver during drain is lost
+                            // feedback — count it, never `let _` it away.
+                            match tx.send((id, payload)) {
+                                Ok(()) => feedback_out += 1,
+                                Err(_) => feedback_drops += 1,
+                            }
+                        });
+                    }
+                }
                 ticks += 1;
                 busy += std::time::Duration::from_nanos(span.stop(&mut tick_ns));
             }
@@ -499,6 +591,8 @@ fn shard_worker(
             stale_drops,
             busy_secs,
             recycle_drops,
+            feedback_out,
+            feedback_drops,
             tick_ns,
         },
         endpoints,
@@ -586,6 +680,8 @@ impl SequentialIngest {
                 stale_drops,
                 busy_secs: self.busy.as_secs_f64(),
                 recycle_drops: 0,
+                feedback_out: 0,
+                feedback_drops: 0,
                 tick_ns: self.tick_ns,
             }],
             endpoints: self.endpoints,
@@ -706,6 +802,7 @@ mod tests {
             rx,
             ack_tx,
             recycle_tx,
+            None,
             ShardEngine::Plain(HashMap::new()),
         );
         assert_eq!(result.report.recycle_drops, 2);
@@ -909,6 +1006,92 @@ mod tests {
             assert_eq!(filter_bits(a), filter_bits(b), "stream {id_a} diverged");
             assert_eq!(a.syncs_applied(), b.syncs_applied());
         }
+    }
+
+    #[test]
+    fn feedback_pipeline_ships_acks_and_stays_bit_identical() {
+        use crate::wire::WireMessage;
+        let seq_body = |seq: u64, v: f64| {
+            WireMessage::Sync {
+                seq: Some(seq),
+                msg: SyncMessage::State {
+                    x: kalstream_linalg::Vector::from_slice(&[v]),
+                    p: kalstream_linalg::Matrix::scalar(1, 0.5),
+                },
+            }
+            .encode()
+        };
+        let (servers, _) = record_log(6, 0);
+        let mut seq = SequentialIngest::new(servers.clone());
+        let mut log = Vec::new();
+        for t in 0..4u64 {
+            let mut batch = FrameBatch::new();
+            for id in 0..6u32 {
+                if (id as u64 + t).is_multiple_of(2) {
+                    batch.push_raw(id, &seq_body(t + 1, t as f64 + id as f64));
+                }
+            }
+            log.push(batch.as_bytes().to_vec());
+        }
+        for tick in &log {
+            seq.ingest_tick(tick);
+        }
+        let seq_result = seq.finish();
+
+        for batched in [false, true] {
+            let (mut pipe, fb_rx) =
+                IngestPipeline::start_with_feedback(3, servers.clone(), batched);
+            for tick in &log {
+                pipe.ingest_tick(tick);
+            }
+            pipe.flush();
+            // Every sequenced arrival re-arms exactly one ack, polled the
+            // tick it arrived; flush guarantees they are all in the channel.
+            let mut acks: Vec<(u32, u64)> = Vec::new();
+            while let Ok((id, payload)) = fb_rx.try_recv() {
+                match WireMessage::decode(&payload).unwrap() {
+                    WireMessage::Ack { seq } => acks.push((id, seq)),
+                    other => panic!("unexpected feedback {other:?}"),
+                }
+            }
+            let expected: u64 = 3 * 4; // 3 streams sync per tick, 4 ticks
+            assert_eq!(acks.len() as u64, expected);
+            let result = pipe.finish();
+            let out: u64 = result.shards.iter().map(|s| s.feedback_out).sum();
+            let drops: u64 = result.shards.iter().map(|s| s.feedback_drops).sum();
+            assert_eq!(out, expected);
+            assert_eq!(drops, 0);
+            // Feedback polling must not perturb filter arithmetic.
+            for ((id_a, a), (id_b, b)) in result.endpoints.iter().zip(seq_result.endpoints.iter()) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(filter_bits(a), filter_bits(b));
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_feedback_receiver_is_counted_not_swallowed() {
+        use crate::wire::WireMessage;
+        let (servers, _) = record_log(2, 0);
+        let (mut pipe, fb_rx) = IngestPipeline::start_with_feedback(2, servers, false);
+        drop(fb_rx); // consumer gone mid-drain: sheds must still be counted
+        let mut batch = FrameBatch::new();
+        batch.push_raw(
+            0,
+            &WireMessage::Sync {
+                seq: Some(1),
+                msg: SyncMessage::Measurement {
+                    z: kalstream_linalg::Vector::from_slice(&[1.0]),
+                },
+            }
+            .encode(),
+        );
+        pipe.ingest_tick(batch.as_bytes());
+        let result = pipe.finish();
+        let drops: u64 = result.shards.iter().map(|s| s.feedback_drops).sum();
+        let out: u64 = result.shards.iter().map(|s| s.feedback_out).sum();
+        assert_eq!(drops, 1, "lost ack must be visible in the report");
+        assert_eq!(out, 0);
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub use config::{ProtocolConfig, ResyncPayload};
 pub use controller::FleetController;
 pub use error::CoreError;
 pub use estimator::Estimator;
-pub use frame::{BufferPool, Frame, FrameBatch, FrameDecoder, FRAME_HEADER_BYTES};
+pub use frame::{
+    BufferPool, Frame, FrameBatch, FrameDecoder, OversizedFrame, StreamDecoder, FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+};
 pub use ingest::{
     FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, TickIngest,
 };

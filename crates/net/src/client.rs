@@ -1,0 +1,246 @@
+//! Source-side connection driver: pushes a set of streams' wire traffic
+//! through one TCP connection, with sim-identical client-side fault
+//! injection.
+//!
+//! The driver reproduces [`kalstream_sim::run_fleet_ingest_faulty`]'s
+//! source semantics exactly — per-stream zero-latency [`Link`]s seeded
+//! `faults.seed ^ global_index`, sample → observe → send → deliver each
+//! tick — so a fleet driven over sockets is bit-comparable, stream for
+//! stream, against the same fleet run through the simulator into a
+//! [`kalstream_core::SequentialIngest`] reference.
+
+use std::io;
+
+use bytes::Bytes;
+use kalstream_core::wire::WireMessage;
+use kalstream_core::StreamDecoder;
+use kalstream_sim::{FaultCounters, IngestStream, Link, LinkFaults, TrafficMetrics};
+use tokio::net::{OwnedReadHalf, OwnedWriteHalf, TcpStream};
+
+use crate::codec::{encode_hello, push_frame, push_marker, TICK_MARKER_STREAM};
+
+/// How one connection drives its streams.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Ticks to run.
+    pub ticks: u64,
+    /// Per-message accounted overhead on each stream's link.
+    pub overhead_bytes: usize,
+    /// Fault profile; stream `i` (global index) seeds `faults.seed ^ i`.
+    pub faults: LinkFaults,
+    /// Wait for the server's return marker each tick (deterministic
+    /// feedback delivery — requires the server's lockstep mode). When
+    /// `false` a detached task drains feedback asynchronously instead.
+    pub lockstep: bool,
+}
+
+/// Source-side outcome of one connection.
+#[derive(Debug, Default, Clone)]
+pub struct ClientReport {
+    /// Traffic summed over this connection's streams (link accounting —
+    /// what the sim reference charges, not raw socket bytes).
+    pub traffic: TrafficMetrics,
+    /// Fault injections summed over this connection's streams.
+    pub faults: FaultCounters,
+    /// Acks read off the feedback direction.
+    pub acks: u64,
+    /// Bound directives read off the feedback direction.
+    pub bounds: u64,
+    /// Raw bytes written to the socket (hello + frames + markers).
+    pub socket_bytes_out: u64,
+}
+
+/// The per-connection source state: streams plus their fault links.
+struct Driver<'s, 'a> {
+    streams: &'s mut [IngestStream<'a>],
+    links: Vec<Link>,
+    observed: Vec<Vec<f64>>,
+    truth: Vec<Vec<f64>>,
+    wire: Vec<u8>,
+}
+
+impl<'s, 'a> Driver<'s, 'a> {
+    fn new(streams: &'s mut [IngestStream<'a>], global_base: u64, config: &ClientConfig) -> Self {
+        let links = (0..streams.len())
+            .map(|i| {
+                Link::with_faults(
+                    0,
+                    config.overhead_bytes,
+                    LinkFaults {
+                        seed: config.faults.seed ^ (global_base + i as u64),
+                        ..config.faults
+                    },
+                )
+            })
+            .collect();
+        let observed: Vec<Vec<f64>> = streams
+            .iter()
+            .map(|s| vec![0.0; s.producer.dim()])
+            .collect();
+        let truth = observed.clone();
+        Driver {
+            streams,
+            links,
+            observed,
+            truth,
+            wire: Vec::new(),
+        }
+    }
+
+    /// One tick: sample every stream, pass what ships through its fault
+    /// link, frame what the link delivers, close with a marker.
+    async fn write_tick(
+        &mut self,
+        now: u64,
+        write: &mut OwnedWriteHalf,
+        report: &mut ClientReport,
+    ) -> io::Result<()> {
+        self.wire.clear();
+        for (i, stream) in self.streams.iter_mut().enumerate() {
+            (stream.sampler)(&mut self.observed[i], &mut self.truth[i]);
+            if let Some(payload) = stream.producer.observe(now, &self.observed[i]) {
+                self.links[i].send_tagged(now, stream.stream_id, payload);
+            }
+            for msg in self.links[i].deliver(now) {
+                push_frame(&mut self.wire, msg.stream_id, &msg.payload);
+            }
+        }
+        push_marker(&mut self.wire);
+        report.socket_bytes_out += self.wire.len() as u64;
+        write.write_all(&self.wire).await
+    }
+
+    fn finish(self, report: &mut ClientReport) {
+        for link in &self.links {
+            report.traffic.merge(link.traffic());
+            report.faults.merge(&link.fault_counters());
+        }
+    }
+}
+
+async fn open(
+    addr: &str,
+    ids: &[u32],
+    report: &mut ClientReport,
+) -> io::Result<(OwnedReadHalf, OwnedWriteHalf)> {
+    let stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true)?;
+    let (read, mut write) = stream.into_split();
+    let hello = encode_hello(ids);
+    write.write_all(&hello).await?;
+    report.socket_bytes_out += hello.len() as u64;
+    Ok((read, write))
+}
+
+/// Connects, says hello for the streams' ids, and drives every tick.
+///
+/// `global_base` is the fleet-wide index of `streams[0]` (fault seeds are
+/// per *fleet* stream index, matching the sim reference). The write side
+/// shuts down after the last tick. In lockstep mode each tick blocks on
+/// the server's return marker (reading that tick's feedback); otherwise a
+/// detached drain task reads feedback until the server closes.
+pub async fn drive_connection(
+    addr: &str,
+    streams: &mut [IngestStream<'_>],
+    global_base: u64,
+    config: &ClientConfig,
+) -> io::Result<ClientReport> {
+    let ids: Vec<u32> = streams.iter().map(|s| s.stream_id).collect();
+    let mut report = ClientReport::default();
+    let (mut read, mut write) = open(addr, &ids, &mut report).await?;
+    let mut driver = Driver::new(streams, global_base, config);
+
+    if config.lockstep {
+        let mut decoder = StreamDecoder::new();
+        let mut chunk = [0u8; 4096];
+        for now in 0..config.ticks {
+            driver.write_tick(now, &mut write, &mut report).await?;
+            read_feedback_tick(&mut read, &mut decoder, &mut chunk, &mut report).await;
+        }
+        write.shutdown().await?;
+        // Late feedback until the server closes its side.
+        loop {
+            let n = match read.read(&mut chunk).await {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            count_feedback(&mut decoder, &chunk[..n], &mut report);
+        }
+    } else {
+        let drain = tokio::spawn(discard_feedback(read));
+        for now in 0..config.ticks {
+            driver.write_tick(now, &mut write, &mut report).await?;
+        }
+        write.shutdown().await?;
+        let (acks, bounds) = drain.await.unwrap_or((0, 0));
+        report.acks = acks;
+        report.bounds = bounds;
+    }
+    driver.finish(&mut report);
+    Ok(report)
+}
+
+async fn read_feedback_tick(
+    read: &mut OwnedReadHalf,
+    decoder: &mut StreamDecoder,
+    chunk: &mut [u8],
+    report: &mut ClientReport,
+) {
+    loop {
+        let n = match read.read(chunk).await {
+            Ok(0) | Err(_) => return, // server gone: treat as end of tick
+            Ok(n) => n,
+        };
+        if count_feedback(decoder, &chunk[..n], report) {
+            return;
+        }
+    }
+}
+
+/// Feeds a feedback chunk, counting acks/bounds; `true` once a tick
+/// marker was seen.
+fn count_feedback(decoder: &mut StreamDecoder, chunk: &[u8], report: &mut ClientReport) -> bool {
+    let mut marker = false;
+    decoder
+        .feed(chunk, |stream_id, body| {
+            if stream_id == TICK_MARKER_STREAM {
+                marker = true;
+                return;
+            }
+            match WireMessage::decode(body) {
+                Ok(WireMessage::Ack { .. }) => report.acks += 1,
+                Ok(WireMessage::Bound { .. }) => report.bounds += 1,
+                _ => {}
+            }
+        })
+        .expect("server sent an oversized feedback frame");
+    marker
+}
+
+/// Reads and discards feedback until EOF, counting payloads — the
+/// throughput-mode companion that keeps the server's per-connection queue
+/// drained (zero sheds) while the write side blasts ticks. Returns
+/// `(acks, bounds)` read before the server closed.
+pub async fn discard_feedback(mut read: OwnedReadHalf) -> (u64, u64) {
+    let mut decoder = StreamDecoder::new();
+    let mut chunk = [0u8; 4096];
+    let mut report = ClientReport::default();
+    loop {
+        let n = match read.read(&mut chunk).await {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        count_feedback(&mut decoder, &chunk[..n], &mut report);
+    }
+    (report.acks, report.bounds)
+}
+
+/// Raw feedback payloads of one lockstep connection tick, for callers
+/// that need the decoded directives rather than counts (the
+/// loss-recovery tests).
+pub fn decode_feedback(frames: &[(u32, Bytes)]) -> Vec<(u32, WireMessage)> {
+    frames
+        .iter()
+        .filter_map(|(id, p)| WireMessage::decode(p).ok().map(|m| (*id, m)))
+        .collect()
+}

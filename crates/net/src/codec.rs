@@ -1,0 +1,221 @@
+//! Socket-level protocol: hello handshake and tick markers on top of the
+//! wire-v3 frame stream.
+//!
+//! A connection's byte stream is:
+//!
+//! ```text
+//! "KSN1" | u32 stream_count | stream_count × u32 stream_id   (hello)
+//! ( frame* tick_marker )*                                    (data)
+//! ```
+//!
+//! where every `frame` is exactly [`kalstream_core`]'s batch framing —
+//! `stream_id:u32 | len:u32 | body` little-endian, the same bytes
+//! `FrameBatch` assembles and `StreamDecoder` re-frames — and
+//! `tick_marker` is a zero-length frame on the reserved stream id
+//! [`TICK_MARKER_STREAM`]. The marker is what carries the protocol's tick
+//! semantics over a stream socket: everything between two markers belongs
+//! to one tick, so the server can preserve the simulator's
+//! "deliver-then-advance" order exactly and stay bit-identical to it.
+
+use bytes::{BufMut, Bytes};
+use kalstream_core::{OversizedFrame, StreamDecoder, FRAME_HEADER_BYTES};
+
+/// First bytes of every connection, little protection against port scans
+/// and crossed wires ("KalStream Net v1").
+pub const HELLO_MAGIC: [u8; 4] = *b"KSN1";
+
+/// Reserved stream id whose zero-length frames delimit ticks. Real streams
+/// must never use it; [`kalstream_core`]'s ingest router would shard it
+/// like any other id, so the net layer strips markers before batches reach
+/// the pipeline.
+pub const TICK_MARKER_STREAM: u32 = u32::MAX;
+
+/// Hard cap on the stream ids one hello may claim (64 Ki) — a handshake
+/// from a confused or hostile peer must not pin server memory.
+pub const MAX_HELLO_STREAMS: usize = 1 << 16;
+
+/// Encodes the hello header for a connection owning `stream_ids`.
+pub fn encode_hello(stream_ids: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 4 * stream_ids.len());
+    buf.put_slice(&HELLO_MAGIC);
+    buf.put_u32_le(stream_ids.len() as u32);
+    for &id in stream_ids {
+        buf.put_u32_le(id);
+    }
+    buf
+}
+
+/// Hello decode failures (each closes the connection).
+#[derive(Debug, PartialEq, Eq)]
+pub enum HelloError {
+    /// First four bytes were not [`HELLO_MAGIC`].
+    BadMagic,
+    /// The claimed stream count exceeds [`MAX_HELLO_STREAMS`].
+    TooManyStreams(usize),
+    /// A claimed id collides with [`TICK_MARKER_STREAM`].
+    ReservedStream,
+}
+
+impl std::fmt::Display for HelloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HelloError::BadMagic => write!(f, "hello does not start with KSN1"),
+            HelloError::TooManyStreams(n) => {
+                write!(f, "hello claims {n} streams (cap {MAX_HELLO_STREAMS})")
+            }
+            HelloError::ReservedStream => write!(f, "hello claims the tick-marker stream id"),
+        }
+    }
+}
+
+impl std::error::Error for HelloError {}
+
+/// Validates the fixed 8-byte hello prefix and returns the stream count.
+pub fn decode_hello_prefix(prefix: &[u8; 8]) -> Result<usize, HelloError> {
+    if prefix[..4] != HELLO_MAGIC {
+        return Err(HelloError::BadMagic);
+    }
+    let count = u32::from_le_bytes([prefix[4], prefix[5], prefix[6], prefix[7]]) as usize;
+    if count > MAX_HELLO_STREAMS {
+        return Err(HelloError::TooManyStreams(count));
+    }
+    Ok(count)
+}
+
+/// Decodes the id list that follows the prefix (`4 * count` bytes).
+pub fn decode_hello_ids(body: &[u8]) -> Result<Vec<u32>, HelloError> {
+    let ids: Vec<u32> = body
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    if ids.contains(&TICK_MARKER_STREAM) {
+        return Err(HelloError::ReservedStream);
+    }
+    Ok(ids)
+}
+
+/// Appends one `stream_id | len | body` frame to `buf`.
+pub fn push_frame(buf: &mut Vec<u8>, stream_id: u32, body: &[u8]) {
+    buf.put_u32_le(stream_id);
+    buf.put_u32_le(body.len() as u32);
+    buf.put_slice(body);
+}
+
+/// Appends the tick-marker frame to `buf`.
+pub fn push_marker(buf: &mut Vec<u8>) {
+    buf.put_u32_le(TICK_MARKER_STREAM);
+    buf.put_u32_le(0);
+}
+
+/// Wire size of the marker frame.
+pub const MARKER_BYTES: usize = FRAME_HEADER_BYTES;
+
+/// Re-frames one socket read: feeds `chunk` into `decoder` and splits the
+/// result at tick boundaries. Frames accumulate into `tick_buf` as raw
+/// wire bytes (header + body, ready for `ingest_tick`); each completed
+/// tick is taken out of `tick_buf` and handed to `on_tick`.
+///
+/// Returns the number of markers seen, or the decoder's poison error
+/// (oversized frame — the caller closes the connection).
+pub fn feed_ticks(
+    decoder: &mut StreamDecoder,
+    chunk: &[u8],
+    tick_buf: &mut Vec<u8>,
+    mut on_tick: impl FnMut(Vec<u8>),
+) -> Result<u64, OversizedFrame> {
+    let mut markers = 0u64;
+    decoder.feed(chunk, |stream_id, body| {
+        if stream_id == TICK_MARKER_STREAM {
+            markers += 1;
+            on_tick(std::mem::take(tick_buf));
+        } else {
+            push_frame(tick_buf, stream_id, body);
+        }
+    })?;
+    Ok(markers)
+}
+
+/// Splits `payloads` framed as `(stream_id, payload)` pairs into wire bytes
+/// terminated by a marker — one tick's worth of traffic for a connection.
+pub fn encode_tick(payloads: &[(u32, Bytes)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        payloads
+            .iter()
+            .map(|(_, p)| FRAME_HEADER_BYTES + p.len())
+            .sum::<usize>()
+            + MARKER_BYTES,
+    );
+    for (id, payload) in payloads {
+        push_frame(&mut buf, *id, payload);
+    }
+    push_marker(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let ids = vec![0u32, 7, 42, 1_000_000];
+        let wire = encode_hello(&ids);
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&wire[..8]);
+        let count = decode_hello_prefix(&prefix).unwrap();
+        assert_eq!(count, ids.len());
+        assert_eq!(decode_hello_ids(&wire[8..]).unwrap(), ids);
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_reserved_ids() {
+        let mut wire = encode_hello(&[1]);
+        wire[0] = b'X';
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&wire[..8]);
+        assert_eq!(decode_hello_prefix(&prefix), Err(HelloError::BadMagic));
+
+        let wire = encode_hello(&[TICK_MARKER_STREAM]);
+        assert_eq!(
+            decode_hello_ids(&wire[8..]),
+            Err(HelloError::ReservedStream)
+        );
+
+        let mut prefix = [0u8; 8];
+        prefix[..4].copy_from_slice(&HELLO_MAGIC);
+        prefix[4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_hello_prefix(&prefix),
+            Err(HelloError::TooManyStreams(_))
+        ));
+    }
+
+    #[test]
+    fn feed_ticks_splits_at_markers_and_preserves_frame_bytes() {
+        let tick1 = encode_tick(&[
+            (3, Bytes::from_static(b"abc")),
+            (9, Bytes::from_static(b"d")),
+        ]);
+        let tick2 = encode_tick(&[]);
+        let tick3 = encode_tick(&[(1, Bytes::from_static(b"zz"))]);
+        let wire: Vec<u8> = [tick1.clone(), tick2.clone(), tick3.clone()].concat();
+
+        // Feed in awkward split positions: tick reassembly must not depend
+        // on read boundaries.
+        for split in [1usize, 7, 11, wire.len() / 2] {
+            let mut dec = StreamDecoder::new();
+            let mut tick_buf = Vec::new();
+            let mut ticks: Vec<Vec<u8>> = Vec::new();
+            let mut markers = 0;
+            for chunk in wire.chunks(split) {
+                markers += feed_ticks(&mut dec, chunk, &mut tick_buf, |t| ticks.push(t)).unwrap();
+            }
+            assert_eq!(markers, 3, "split {split}");
+            assert_eq!(ticks.len(), 3);
+            // Re-framed bytes are the original batch bytes minus the marker.
+            assert_eq!(ticks[0], tick1[..tick1.len() - MARKER_BYTES]);
+            assert!(ticks[1].is_empty());
+            assert_eq!(ticks[2], tick3[..tick3.len() - MARKER_BYTES]);
+        }
+    }
+}

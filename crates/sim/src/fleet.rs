@@ -7,7 +7,8 @@ use kalstream_obs::{Registry, Snapshot};
 
 use crate::{
     metrics::{DeliveryStats, ErrorMetrics, FaultCounters},
-    runner::{max_norm_diff, ACK_SEED_OFFSET},
+    runner::max_norm_diff,
+    transport::ACK_SEED_OFFSET,
     Consumer, IngestSink, Link, LinkFaults, Producer, SessionConfig, SessionReport, Tick,
     TrafficMetrics,
 };

@@ -41,6 +41,7 @@ mod link;
 mod metrics;
 mod node;
 mod runner;
+mod transport;
 
 pub use clock::Tick;
 pub use fleet::{
@@ -54,3 +55,4 @@ pub use metrics::{
 };
 pub use node::{Consumer, Producer};
 pub use runner::{ErrorSeries, IngestSink, Session, SessionConfig, TickObserver};
+pub use transport::{SimTransport, Transport, TransportStats, ACK_SEED_OFFSET};

@@ -1,10 +1,8 @@
 //! The single-session simulation loop.
 
-use crate::{Consumer, ErrorMetrics, Link, LinkFaults, Producer, SessionReport, Tick};
-
-/// Seed offset deriving the reverse (ack) link's RNG from the forward seed,
-/// so the two directions draw independent fault schedules.
-pub(crate) const ACK_SEED_OFFSET: u64 = 0x9E37_79B9_7F4A_7C15;
+use crate::{
+    Consumer, ErrorMetrics, LinkFaults, Producer, SessionReport, SimTransport, Tick, Transport,
+};
 
 /// Configuration for one simulated source→server session.
 #[derive(Debug, Clone)]
@@ -175,7 +173,7 @@ impl Session {
     /// Panics when producer/consumer dimensions disagree with each other.
     pub fn run<P, C, F, O>(
         config: &SessionConfig,
-        mut sampler: F,
+        sampler: F,
         producer: &mut P,
         consumer: &mut C,
         observer: &mut O,
@@ -186,18 +184,48 @@ impl Session {
         F: FnMut(&mut [f64], &mut [f64]),
         O: TickObserver + ?Sized,
     {
+        let mut transport =
+            SimTransport::with_faults(config.latency, config.overhead_bytes, config.faults());
+        Session::run_with_transport(
+            config,
+            &mut transport,
+            sampler,
+            producer,
+            consumer,
+            observer,
+        )
+    }
+
+    /// [`Session::run`] over an explicit [`Transport`] — the seam that lets
+    /// the same endpoints, sampler, and scoring run over the deterministic
+    /// sim pair or a real socket transport. [`Session::run`] is exactly this
+    /// with a [`SimTransport`] built from the config's latency/fault fields
+    /// (which only the sim consults; a socket transport has physical latency
+    /// and real loss instead).
+    ///
+    /// Untagged single-session traffic travels as stream 0, matching the
+    /// untagged [`crate::Link::send`] the loop used before the trait
+    /// extraction — the refactor is bit-identical.
+    ///
+    /// # Panics
+    /// Panics when producer/consumer dimensions disagree with each other.
+    pub fn run_with_transport<T, P, C, F, O>(
+        config: &SessionConfig,
+        transport: &mut T,
+        mut sampler: F,
+        producer: &mut P,
+        consumer: &mut C,
+        observer: &mut O,
+    ) -> SessionReport
+    where
+        T: Transport + ?Sized,
+        P: Producer + ?Sized,
+        C: Consumer + ?Sized,
+        F: FnMut(&mut [f64], &mut [f64]),
+        O: TickObserver + ?Sized,
+    {
         let dim = producer.dim();
         assert_eq!(dim, consumer.dim(), "producer/consumer dimension mismatch");
-        let faults = config.faults();
-        let mut link = Link::with_faults(config.latency, config.overhead_bytes, faults);
-        let mut ack_link = Link::with_faults(
-            config.latency,
-            config.overhead_bytes,
-            LinkFaults {
-                seed: faults.seed ^ ACK_SEED_OFFSET,
-                ..faults
-            },
-        );
         let mut observed = vec![0.0; dim];
         let mut truth = vec![0.0; dim];
         let mut estimate = vec![0.0; dim];
@@ -207,35 +235,37 @@ impl Session {
         for now in 0..config.ticks {
             sampler(&mut observed, &mut truth);
             if let Some(payload) = producer.observe(now, &observed) {
-                link.send(now, payload);
+                transport.send(now, 0, payload);
             }
-            // Delivery: drain into the consumer. The iterator borrows the
-            // link, so collect payloads first (tiny: usually 0 or 1).
-            let due: Vec<_> = link.deliver(now).collect();
-            for msg in due {
-                consumer.receive(now, &msg.payload);
-            }
+            // Flush before receiving: a batching transport puts this tick's
+            // sends on the wire here (no-op for the eager sim links).
+            transport.end_tick(now);
+            transport.recv(now, &mut |_, payload| consumer.receive(now, &payload));
             consumer.estimate(now, &mut estimate);
             while let Some(fb) = consumer.poll_feedback(now) {
-                ack_link.send(now, fb);
+                transport.send_feedback(now, 0, fb);
             }
-            let due: Vec<_> = ack_link.deliver(now).collect();
-            for msg in due {
-                producer.feedback(now, &msg.payload);
-            }
+            transport.recv_feedback(now, &mut |_, payload| producer.feedback(now, &payload));
             err_obs.record(max_norm_diff(&estimate, &observed));
             err_truth.record(max_norm_diff(&estimate, &truth));
-            observer.on_tick(now, &observed, &truth, &estimate, link.traffic().messages());
+            observer.on_tick(
+                now,
+                &observed,
+                &truth,
+                &estimate,
+                transport.stats().forward.messages(),
+            );
         }
 
+        let stats = transport.stats();
         SessionReport {
             ticks: config.ticks,
-            traffic: link.traffic().clone(),
+            traffic: stats.forward,
             error_vs_observed: err_obs,
             error_vs_truth: err_truth,
-            faults: link.fault_counters(),
+            faults: stats.faults,
             delivery: consumer.delivery_stats(),
-            ack_traffic: ack_link.traffic().clone(),
+            ack_traffic: stats.feedback,
         }
     }
 }

@@ -7,6 +7,7 @@
 //! * [`filter`] — Kalman filter machinery (KF/EKF, adaptive noise, model bank).
 //! * [`gen`] — stream generators (synthetic processes and domain traces).
 //! * [`sim`] — the discrete-time network simulation substrate.
+//! * [`net`] — real TCP transport and the fleet-scale ingest server.
 //! * [`baselines`] — comparator suppression policies.
 //! * [`query`] — continuous queries with precision bounds and error budgets.
 //! * [`linalg`] — the small dense linear-algebra kernel underneath it all.
@@ -20,6 +21,7 @@ pub use kalstream_core as core;
 pub use kalstream_filter as filter;
 pub use kalstream_gen as gen;
 pub use kalstream_linalg as linalg;
+pub use kalstream_net as net;
 pub use kalstream_obs as obs;
 pub use kalstream_query as query;
 pub use kalstream_sim as sim;

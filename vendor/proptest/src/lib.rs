@@ -173,6 +173,8 @@ pub mod strategy {
         (A, B, C, D);
         (A, B, C, D, E);
         (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
     }
 }
 

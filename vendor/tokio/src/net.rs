@@ -1,0 +1,192 @@
+//! TCP types over `std::net`, with async inherent methods.
+//!
+//! Every async method performs the blocking std call inside its first
+//! `poll` and returns `Ready` — correct and fully concurrent under the
+//! thread-per-task executor, since a blocked accept/read parks only the
+//! task's own thread. Divergence from real tokio: `read`/`write_all`/… are
+//! inherent methods rather than `AsyncReadExt`/`AsyncWriteExt` extension
+//! methods, so no trait import is needed (or available).
+
+use std::io::{self, Read, Write};
+use std::net::{
+    Shutdown, SocketAddr, TcpListener as StdListener, TcpStream as StdStream, ToSocketAddrs,
+};
+
+/// TCP listener accepting [`TcpStream`] connections.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: StdListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` (use port 0 for an ephemeral port; recover it via
+    /// [`TcpListener::local_addr`]).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        Ok(TcpListener {
+            inner: StdListener::bind(addr)?,
+        })
+    }
+
+    /// Accepts one inbound connection, blocking this task until it arrives.
+    ///
+    /// There is no cancellation (`select!` does not exist here): an accept
+    /// loop that must stop is woken by a sentinel connection from the
+    /// shutdown path, the pattern `kalstream-net` uses.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        stream.set_nodelay(true)?;
+        Ok((TcpStream { inner: stream }, peer))
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A connected TCP stream.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: StdStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let stream = StdStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpStream { inner: stream })
+    }
+
+    /// Sets `TCP_NODELAY`.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The local address of this end.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Reads into `buf`, resolving once any bytes arrive (0 = EOF).
+    pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+
+    /// Reads until `buf` is full.
+    pub async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)
+    }
+
+    /// Writes all of `buf`.
+    pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)
+    }
+
+    /// Flushes buffered writes (no-op for an unbuffered std stream).
+    pub async fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Shuts down the write direction, signalling EOF to the peer.
+    pub async fn shutdown(&mut self) -> io::Result<()> {
+        self.inner.shutdown(Shutdown::Write)
+    }
+
+    /// Splits into independently-owned read/write halves (via the OS-level
+    /// handle clone, which shares one socket).
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        let write = self
+            .inner
+            .try_clone()
+            .expect("clone socket handle for split");
+        (
+            OwnedReadHalf { inner: self.inner },
+            OwnedWriteHalf { inner: write },
+        )
+    }
+}
+
+/// Read half of a split [`TcpStream`].
+#[derive(Debug)]
+pub struct OwnedReadHalf {
+    inner: StdStream,
+}
+
+impl OwnedReadHalf {
+    /// Reads into `buf`, resolving once any bytes arrive (0 = EOF).
+    pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+
+    /// Reads until `buf` is full.
+    pub async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+/// Write half of a split [`TcpStream`]. As in real tokio, dropping it shuts
+/// down the write direction so the peer's reader sees EOF.
+#[derive(Debug)]
+pub struct OwnedWriteHalf {
+    inner: StdStream,
+}
+
+impl OwnedWriteHalf {
+    /// Writes all of `buf`.
+    pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)
+    }
+
+    /// Shuts down the write direction explicitly (drop does this too).
+    pub async fn shutdown(&mut self) -> io::Result<()> {
+        self.inner.shutdown(Shutdown::Write)
+    }
+}
+
+impl Drop for OwnedWriteHalf {
+    fn drop(&mut self) {
+        let _ = self.inner.shutdown(Shutdown::Write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task;
+
+    #[test]
+    fn loopback_roundtrip_and_split_eof() {
+        task::block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                conn.read_exact(&mut buf).await.unwrap();
+                conn.write_all(&buf).await.unwrap();
+                conn.shutdown().await.unwrap();
+                buf
+            });
+            let client = TcpStream::connect(addr).await.unwrap();
+            let (mut rd, mut wr) = client.into_split();
+            wr.write_all(b"hello").await.unwrap();
+            drop(wr); // write-half drop → server's read_exact sees our bytes then EOF
+            let mut echoed = [0u8; 5];
+            rd.read_exact(&mut echoed).await.unwrap();
+            assert_eq!(&echoed, b"hello");
+            assert_eq!(rd.read(&mut echoed).await.unwrap(), 0); // server shutdown → EOF
+            assert_eq!(&server.await.unwrap(), b"hello");
+        });
+    }
+}

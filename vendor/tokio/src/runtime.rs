@@ -1,0 +1,95 @@
+//! Runtime construction. Under thread-per-task the "runtime" carries no
+//! scheduler state; it exists so callers keep real tokio's entry-point
+//! shape (`Builder::new_multi_thread()…build()?.block_on(async { … })`).
+
+use std::future::Future;
+use std::io;
+
+use crate::task::{self, JoinHandle};
+
+/// Builds a [`Runtime`]. All knobs are accepted for API compatibility;
+/// only their validity is checked (thread-per-task has no pool to size).
+#[derive(Debug)]
+pub struct Builder {
+    worker_threads: usize,
+}
+
+impl Builder {
+    /// Multi-thread flavor — the only flavor this stand-in models.
+    pub fn new_multi_thread() -> Self {
+        Builder { worker_threads: 0 }
+    }
+
+    /// Current-thread flavor. Identical to multi-thread here: `block_on`
+    /// always drives on the calling thread and spawned tasks always get
+    /// their own.
+    pub fn new_current_thread() -> Self {
+        Builder { worker_threads: 0 }
+    }
+
+    /// Advisory worker count (recorded, not enforced — every task gets an
+    /// OS thread and the OS scheduler owns placement).
+    pub fn worker_threads(&mut self, n: usize) -> &mut Self {
+        self.worker_threads = n;
+        self
+    }
+
+    /// Enables I/O and time drivers. Both are always available here
+    /// (blocking std primitives need no driver), so this is a no-op.
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        Ok(Runtime {
+            _advisory_workers: self.worker_threads,
+        })
+    }
+}
+
+/// Handle to the (stateless) runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    _advisory_workers: usize,
+}
+
+impl Runtime {
+    /// Builds a multi-thread runtime with defaults.
+    pub fn new() -> io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Drives `fut` to completion on the calling thread.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        task::block_on(fut)
+    }
+
+    /// Spawns a task (own OS thread; see [`crate::task::spawn`]).
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        task::spawn(fut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_block_on_spawn() {
+        let rt = Builder::new_multi_thread()
+            .worker_threads(4)
+            .enable_all()
+            .build()
+            .unwrap();
+        let got = rt.block_on(async {
+            let h = rt.spawn(async { 7u32 });
+            h.await.unwrap()
+        });
+        assert_eq!(got, 7);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synchronization primitives. Only `mpsc` is modelled — the bounded
+//! channel `kalstream-net` uses for per-connection send queues with real
+//! backpressure.
+
+/// Multi-producer single-consumer channels over `Mutex` + `Condvar`.
+/// `send`/`recv` block inside `poll` (fine under thread-per-task);
+/// `try_send` is the non-blocking backpressure probe.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    /// Creates a bounded channel with capacity `cap` (> 0).
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc::channel capacity must be > 0");
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                rx_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Error from [`Sender::send`]: the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity — the backpressure signal.
+        Full(T),
+        /// The receiver is gone.
+        Closed(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "channel full"),
+                TrySendError::Closed(_) => write!(f, "channel closed"),
+            }
+        }
+    }
+
+    /// Sending handle; clone freely.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, waiting while the queue is full.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if !state.rx_alive {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.chan.cap {
+                    state.queue.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.chan.not_full.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Sends without waiting; [`TrySendError::Full`] is the shed signal.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            if !state.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if state.queue.len() >= self.chan.cap {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queued element count (gauge feed; racy by nature, like real
+        /// tokio's `max_capacity - capacity`).
+        pub fn queued(&self) -> usize {
+            self.chan
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the receiving half has been dropped.
+        pub fn is_closed(&self) -> bool {
+            !self.chan.state.lock().expect("channel poisoned").rx_alive
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Last sender gone: wake the receiver so `recv` can return None.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// Receiving handle.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, waiting while the queue is empty.
+        /// Returns `None` once every sender is dropped and the queue is
+        /// drained — the channel-closed signal that ends drain loops.
+        pub async fn recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Some(value);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.not_empty.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` when empty *or* closed (callers that
+        /// need to distinguish use `recv().await`).
+        pub fn try_recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            let value = state.queue.pop_front();
+            if value.is_some() {
+                self.chan.not_full.notify_one();
+            }
+            value
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            state.rx_alive = false;
+            // Wake all parked senders so their send() calls error out.
+            self.chan.not_full.notify_all();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::task;
+
+        #[test]
+        fn backpressure_and_close() {
+            task::block_on(async {
+                let (tx, mut rx) = channel::<u32>(2);
+                tx.send(1).await.unwrap();
+                tx.send(2).await.unwrap();
+                assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+                assert_eq!(tx.queued(), 2);
+                assert_eq!(rx.recv().await, Some(1));
+                tx.try_send(3).unwrap();
+                drop(tx);
+                assert_eq!(rx.recv().await, Some(2));
+                assert_eq!(rx.recv().await, Some(3));
+                assert_eq!(rx.recv().await, None);
+            });
+        }
+
+        #[test]
+        fn send_blocks_until_receiver_drains() {
+            task::block_on(async {
+                let (tx, mut rx) = channel::<u32>(1);
+                tx.send(1).await.unwrap();
+                let producer = crate::spawn(async move {
+                    tx.send(2).await.unwrap(); // parks until rx drains
+                    true
+                });
+                assert_eq!(rx.recv().await, Some(1));
+                assert_eq!(rx.recv().await, Some(2));
+                assert!(producer.await.unwrap());
+            });
+        }
+
+        #[test]
+        fn receiver_drop_errors_senders() {
+            task::block_on(async {
+                let (tx, rx) = channel::<u32>(1);
+                drop(rx);
+                assert_eq!(tx.try_send(9), Err(TrySendError::Closed(9)));
+                assert!(tx.is_closed());
+                assert_eq!(tx.send(9).await, Err(SendError(9)));
+            });
+        }
+    }
+}

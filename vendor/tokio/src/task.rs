@@ -1,0 +1,217 @@
+//! Task spawning: one OS thread per task, waker-backed join handles.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+/// Stack size for spawned task threads. Stacks are lazily committed, so a
+/// generous reservation costs virtual address space only — and debug-mode
+/// async state machines (no inlining, whole futures on the stack) blow
+/// through small stacks long before release builds would.
+const TASK_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Park/unpark waker: `wake` flags and unparks the owning thread.
+struct ThreadParker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl ThreadParker {
+    fn park(&self) {
+        while !self.notified.swap(false, Ordering::Acquire) {
+            thread::park();
+        }
+    }
+}
+
+impl Wake for ThreadParker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread, parking between
+/// polls. This is the executor behind both [`crate::runtime::Runtime::block_on`]
+/// and every spawned task thread.
+pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let parker = Arc::new(ThreadParker {
+        thread: thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => parker.park(),
+        }
+    }
+}
+
+/// Shared completion slot between a task thread and its [`JoinHandle`].
+struct JoinState<T> {
+    slot: Mutex<JoinSlot<T>>,
+}
+
+struct JoinSlot<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Error returned when a joined task panicked.
+#[derive(Debug)]
+pub struct JoinError {
+    _priv: (),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl JoinError {
+    /// Whether the task panicked (always true here — this stub has no
+    /// cancellation, so panic is the only join failure).
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+}
+
+/// Owned handle awaiting a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has run to completion (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("join slot poisoned")
+            .result
+            .is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.state.slot.lock().expect("join slot poisoned");
+        match slot.result.take() {
+            Some(out) => Poll::Ready(out),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Publishes the task outcome (value or panic) exactly once, then wakes the
+/// join handle. Runs from a drop guard so a panicking task still completes
+/// its handle instead of leaving the joiner parked forever.
+struct CompletionGuard<T> {
+    state: Arc<JoinState<T>>,
+    outcome: Option<Result<T, JoinError>>,
+}
+
+impl<T> CompletionGuard<T> {
+    fn finish(mut self, value: T) {
+        self.outcome = Some(Ok(value));
+    }
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        let outcome = self.outcome.take().unwrap_or(Err(JoinError { _priv: () }));
+        let mut slot = self.state.slot.lock().expect("join slot poisoned");
+        slot.result = Some(outcome);
+        if let Some(waker) = slot.waker.take() {
+            drop(slot);
+            waker.wake();
+        }
+    }
+}
+
+/// Spawns a future onto its own OS thread and returns a handle that
+/// resolves to its output (or [`JoinError`] if it panicked).
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        slot: Mutex::new(JoinSlot {
+            result: None,
+            waker: None,
+        }),
+    });
+    let guard_state = Arc::clone(&state);
+    thread::Builder::new()
+        .name("tokio-task".into())
+        .stack_size(TASK_STACK_BYTES)
+        .spawn(move || {
+            let guard = CompletionGuard {
+                state: guard_state,
+                outcome: None,
+            };
+            let value = block_on(fut);
+            guard.finish(value);
+        })
+        .expect("spawn task thread");
+    JoinHandle { state }
+}
+
+/// Yields the current task once. With thread-per-task this is an OS-level
+/// yield rather than a scheduler hop.
+pub async fn yield_now() {
+    thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_value() {
+        let out = block_on(async {
+            let h = spawn(async { 40 + 2 });
+            h.await
+        });
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn join_surfaces_panic() {
+        let out = block_on(async {
+            let h = spawn(async { panic!("boom") });
+            h.await
+        });
+        let err = out.unwrap_err();
+        assert!(err.is_panic());
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let out = block_on(async {
+            let handles: Vec<_> = (0..64u32).map(|i| spawn(async move { i * 2 })).collect();
+            let mut total = 0;
+            for h in handles {
+                total += h.await.unwrap();
+            }
+            total
+        });
+        assert_eq!(out, (0..64u32).map(|i| i * 2).sum());
+    }
+}

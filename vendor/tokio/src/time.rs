@@ -1,0 +1,23 @@
+//! Time utilities. `sleep` parks the task's own thread — the thread-per-task
+//! equivalent of a timer-driver wakeup.
+
+use std::time::Duration;
+
+/// Suspends the current task for at least `duration`.
+pub async fn sleep(duration: Duration) {
+    std::thread::sleep(duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task;
+    use std::time::Instant;
+
+    #[test]
+    fn sleep_waits() {
+        let start = Instant::now();
+        task::block_on(sleep(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}
