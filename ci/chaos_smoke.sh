@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Chaos lane: kill-and-recover in CI, seconds not minutes.
+#
+# Gates:
+#   * the kalstream-durable test suite — snapshot/WAL format round-trips,
+#     torn-tail and corrupt-snapshot recovery, retention;
+#   * the whole-system crash_recovery suite — kill the ingest pipeline at
+#     an arbitrary tick (proptest), crash every lockstep server, and kill
+#     a real TCP server mid-serve; each must recover **bit-identical** to
+#     an uncrashed reference with zero post-recovery violations;
+#   * exp_crash_recovery — the recorded kill/recover sweep, re-measured;
+#   * check_regression --kind durable — the fresh measurement against the
+#     committed BENCH_durable.json baseline (bit-identity and the
+#     replay/byte determinism canaries gate everywhere; recovery wall
+#     clock scopes itself to equal-core hosts above the timing floor).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART=ci-artifacts
+mkdir -p "$ART"
+
+echo "==> kalstream-durable test suite (snapshot/WAL format + recovery)"
+cargo test --release -q -p kalstream-durable
+
+echo "==> crash_recovery suite (kill at arbitrary tick, recover, diverge never)"
+cargo test --release -q --test crash_recovery
+
+echo "==> exp_crash_recovery (kill/recover sweep: bit-identity + replay canaries)"
+cargo run --release -q -p kalstream-bench --bin exp_crash_recovery -- \
+    --out "$ART/BENCH_durable.json" --metrics-out "$ART/exp_crash_recovery.metrics.json"
+
+echo "==> check_regression --kind durable"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind durable --baseline BENCH_durable.json --current "$ART/BENCH_durable.json"
+
+echo "ci/chaos_smoke.sh: OK"

@@ -10,6 +10,7 @@ cd "$(dirname "$0")"
 ./proptest_seeds.sh
 ./bench_gate.sh
 ./net_smoke.sh
+./chaos_smoke.sh
 ./tables_gate.sh
 # Informational native-codegen lane; never gates (runner CPUs vary).
 ./bench_native.sh || echo "bench_native: non-gating failure ignored"

@@ -84,6 +84,7 @@ fn over_tcp(conns: usize, ticks: u64, shards: usize) -> NetRun {
             batched: false,
             expected_conns: conns,
             lockstep: false,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -106,6 +107,7 @@ fn over_tcp(conns: usize, ticks: u64, shards: usize) -> NetRun {
                     overhead_bytes: OVERHEAD,
                     faults: LinkFaults::default(),
                     lockstep: false,
+                    expect_status: false,
                 };
                 rt.block_on(kalstream_net::drive_connection(
                     &addr, &mut fleet, base, &config,

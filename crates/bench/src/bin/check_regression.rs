@@ -6,6 +6,7 @@
 //!                  [--tolerance 0.25]
 //! check_regression --kind query   --baseline BENCH_q1_query_bounds.json --current /tmp/q1.json
 //! check_regression --kind net     --baseline BENCH_net.json      --current /tmp/net.json
+//! check_regression --kind durable --baseline BENCH_durable.json  --current /tmp/durable.json
 //! ```
 //!
 //! Prints an aligned comparison table and exits non-zero when any check
@@ -14,13 +15,16 @@
 
 use std::process::ExitCode;
 
-use kalstream_bench::regression::{check_ingest, check_kernels, check_net, check_query};
+use kalstream_bench::regression::{
+    check_durable, check_ingest, check_kernels, check_net, check_query,
+};
 
 enum Kind {
     Kernels,
     Ingest,
     Query,
     Net,
+    Durable,
 }
 
 struct Args {
@@ -32,8 +36,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check_regression --kind kernels|ingest|query|net --baseline <json> --current <json> \
-         [--tolerance <frac>]"
+        "usage: check_regression --kind kernels|ingest|query|net|durable --baseline <json> \
+         --current <json> [--tolerance <frac>]"
     );
     std::process::exit(2);
 }
@@ -58,8 +62,11 @@ fn parse_args() -> Args {
                     "ingest" => Kind::Ingest,
                     "query" => Kind::Query,
                     "net" => Kind::Net,
+                    "durable" => Kind::Durable,
                     other => {
-                        eprintln!("unknown --kind {other:?} (expected kernels|ingest|query|net)");
+                        eprintln!(
+                            "unknown --kind {other:?} (expected kernels|ingest|query|net|durable)"
+                        );
                         usage()
                     }
                 });
@@ -106,6 +113,7 @@ fn main() -> ExitCode {
         Kind::Ingest => check_ingest(&baseline, &current, args.tolerance),
         Kind::Query => check_query(&baseline, &current),
         Kind::Net => check_net(&baseline, &current, args.tolerance),
+        Kind::Durable => check_durable(&baseline, &current, args.tolerance),
     };
     print!("{}", report.render());
     if report.passed() {

@@ -659,6 +659,105 @@ pub fn check_query(baseline_doc: &str, current_doc: &str) -> GateReport {
     report
 }
 
+/// Gates a fresh `exp_crash_recovery --out` measurement
+/// (`BENCH_durable.json`) against its baseline.
+///
+/// * `recovered_bit_identical`: every kill tick in the sweep must recover
+///   to the exact bits of the uncrashed reference — exact, any host;
+/// * `lockstep_traffic_identical` / `post_recovery_violations`: crashing
+///   the lockstep fleet must change nothing and the precision contract
+///   must hold with zero violations after every recovery;
+/// * replay/WAL/snapshot byte totals and the final cumulative sync count:
+///   exact determinism canaries when both runs swept the same shape
+///   (`streams`/`ticks`/`snapshot_every`/`kill_count`) — the wire bytes
+///   and the snapshot encoding are deterministic, so a drift is a format
+///   or replay change, not noise;
+/// * `recovery_wall_ms_max`: lower-is-better within tolerance, but only
+///   when core counts match **and** the baseline recovery took at least
+///   1 ms — below that, scheduler jitter dominates a sub-millisecond
+///   replay and the gate logs a NOTICE instead of flaking.
+#[must_use]
+pub fn check_durable(
+    baseline_doc: &str,
+    current_doc: &str,
+    override_tol: Option<f64>,
+) -> GateReport {
+    let tol = tolerance_of(baseline_doc, override_tol);
+    let mut report = GateReport::default();
+
+    // Correctness canaries: host-independent, always gated.
+    let bits = json_bools(current_doc, "recovered_bit_identical");
+    report.must_hold(
+        "recovered_bit_identical (all kill ticks)",
+        !bits.is_empty() && bits.iter().all(|b| *b),
+    );
+    report.must_hold(
+        "lockstep_traffic_identical",
+        json_bools(current_doc, "lockstep_traffic_identical")
+            .first()
+            .copied()
+            .unwrap_or(false),
+    );
+    match json_number(current_doc, "post_recovery_violations") {
+        Some(v) => report.exact("post_recovery_violations", 0.0, v),
+        None => report.must_hold("post_recovery_violations present", false),
+    }
+
+    // Same sweep shape ⇒ replay lengths and on-disk byte totals are exact.
+    let same_shape = ["streams", "ticks", "snapshot_every", "kill_count"]
+        .iter()
+        .all(|k| json_number(baseline_doc, k) == json_number(current_doc, k));
+    if same_shape {
+        for key in [
+            "replay_ticks_total",
+            "wal_bytes_total",
+            "snapshot_bytes_total",
+            "syncs_final",
+        ] {
+            match (
+                json_number(baseline_doc, key),
+                json_number(current_doc, key),
+            ) {
+                (Some(b), Some(c)) => report.exact(key, b, c),
+                _ => report.must_hold(&format!("{key} present"), false),
+            }
+        }
+    } else {
+        report.notice(
+            "durable byte canaries skipped",
+            0.0,
+            0.0,
+            "sweep shapes differ: replay/byte totals incomparable".to_string(),
+        );
+    }
+
+    let (bc, cc, wall_comparable) = cores_comparable(baseline_doc, current_doc);
+    match (
+        json_number(baseline_doc, "recovery_wall_ms_max"),
+        json_number(current_doc, "recovery_wall_ms_max"),
+    ) {
+        (Some(b), Some(c)) if wall_comparable && b >= 1.0 => {
+            report.latency("recovery_wall_ms_max", b, c, tol);
+        }
+        (Some(b), Some(c)) => report.notice(
+            "recovery wall gate skipped",
+            b,
+            c,
+            if wall_comparable {
+                "baseline recovery under the 1 ms timing floor: jitter dominates".to_string()
+            } else {
+                format!(
+                    "core counts differ ({} vs {}): wall clock incomparable across hosts",
+                    bc.unwrap_or(0.0),
+                    cc.unwrap_or(0.0)
+                )
+            },
+        ),
+        _ => report.must_hold("recovery_wall_ms_max present", false),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +768,7 @@ mod tests {
     const Q1: &str = include_str!("../../../BENCH_q1_query_bounds.json");
     const Q2: &str = include_str!("../../../BENCH_q2_budget_realloc.json");
     const NET: &str = include_str!("../../../BENCH_net.json");
+    const DURABLE: &str = include_str!("../../../BENCH_durable.json");
 
     /// The baseline's own measurement of `key` (its `after` section).
     fn after_number(doc: &str, key: &str) -> f64 {
@@ -746,6 +846,96 @@ mod tests {
         assert!(q2.passed(), "{}", q2.render());
         let n = check_net(NET, NET, None);
         assert!(n.passed(), "{}", n.render());
+        let d = check_durable(DURABLE, DURABLE, None);
+        assert!(d.passed(), "{}", d.render());
+    }
+
+    #[test]
+    fn durable_identity_or_violation_failure_fails_the_gate() {
+        // One kill tick losing bit-identity fails, even with the other
+        // four still true.
+        let broken = DURABLE.replacen(
+            "\"recovered_bit_identical\": true",
+            "\"recovered_bit_identical\": false",
+            1,
+        );
+        assert_ne!(broken, DURABLE, "baseline must carry the identity canary");
+        let report = check_durable(DURABLE, &broken, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name.starts_with("recovered_bit_identical")));
+
+        let violated = set_numbers(DURABLE, "post_recovery_violations", 2.0);
+        assert!(!check_durable(DURABLE, &violated, None).passed());
+
+        let diverged = DURABLE.replace(
+            "\"lockstep_traffic_identical\": true",
+            "\"lockstep_traffic_identical\": false",
+        );
+        assert!(!check_durable(DURABLE, &diverged, None).passed());
+    }
+
+    #[test]
+    fn durable_replay_or_byte_drift_fails_exactly() {
+        for key in [
+            "replay_ticks_total",
+            "wal_bytes_total",
+            "snapshot_bytes_total",
+        ] {
+            let b = json_number(DURABLE, key).expect("baseline canary");
+            let drifted = set_numbers(DURABLE, key, b + 1.0);
+            let report = check_durable(DURABLE, &drifted, None);
+            assert!(
+                !report.passed(),
+                "{key} drift must fail:\n{}",
+                report.render()
+            );
+            assert!(report.checks.iter().any(|c| !c.ok && c.name == key));
+        }
+        // A different sweep shape skips the byte canaries — visibly.
+        let reshaped = set_numbers(DURABLE, "kill_count", 7.0);
+        let report = check_durable(DURABLE, &reshaped, None);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "durable byte canaries skipped" && c.rule.starts_with("NOTICE")));
+    }
+
+    #[test]
+    fn durable_wall_gate_scopes_itself_to_comparable_hosts_and_real_durations() {
+        // The committed baseline recovers in well under a millisecond:
+        // the wall gate must log a NOTICE, not flake on jitter.
+        let base_wall = json_number(DURABLE, "recovery_wall_ms_max").expect("wall recorded");
+        if base_wall < 1.0 {
+            let slow = set_numbers(DURABLE, "recovery_wall_ms_max", 1e6);
+            let report = check_durable(DURABLE, &slow, None);
+            assert!(report.passed(), "{}", report.render());
+            assert!(report
+                .checks
+                .iter()
+                .any(|c| c.name == "recovery wall gate skipped" && c.rule.starts_with("NOTICE")));
+        }
+        // Doctor both sides above the timing floor on equal cores: the
+        // tolerance gate applies and a 2× slowdown fails.
+        let base = set_numbers(DURABLE, "recovery_wall_ms_max", 100.0);
+        let slower = set_numbers(DURABLE, "recovery_wall_ms_max", 200.0);
+        let report = check_durable(&base, &slower, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "recovery_wall_ms_max"));
+        // Different core counts: the same slowdown is a logged skip.
+        let other_host = set_numbers(&slower, "available_parallelism", 64.0);
+        let report = check_durable(&base, &other_host, None);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "recovery wall gate skipped" && c.rule.starts_with("NOTICE")));
     }
 
     #[test]

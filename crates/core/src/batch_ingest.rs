@@ -288,6 +288,40 @@ impl BatchShardEngine {
         self.endpoints.get_mut(&id)
     }
 
+    /// Captures every endpoint's protocol state without consuming the
+    /// engine — the durability layer's mid-run snapshot hook. For scalar
+    /// streams the endpoint filter already holds the live state; for
+    /// batched streams the live `x`/`p`/staleness sit on a fleet-batch
+    /// lane, so the captured state is the endpoint's bookkeeping overlaid
+    /// with the lane's triplet — exactly the bits [`BatchShardEngine::finish`]
+    /// would restore, but copied instead of moved.
+    pub fn snapshot_states(&self) -> Vec<(u32, crate::server::EndpointState)> {
+        let mut lane_overlay: HashMap<
+            u32,
+            (kalstream_linalg::Vector, kalstream_linalg::Matrix, u64),
+        > = HashMap::new();
+        for group in self.groups.iter() {
+            for (lane, id) in group.streams.iter().enumerate() {
+                lane_overlay.insert(*id, group.batch.lane_state(lane));
+            }
+        }
+        let mut states: Vec<(u32, crate::server::EndpointState)> = self
+            .endpoints
+            .iter()
+            .map(|(id, ep)| {
+                let mut state = ep.state();
+                if let Some((x, p, steps)) = lane_overlay.remove(id) {
+                    state.x = x;
+                    state.p = p;
+                    state.steps_since_update = steps;
+                }
+                (*id, state)
+            })
+            .collect();
+        states.sort_by_key(|(id, _)| *id);
+        states
+    }
+
     /// Hands every remaining lane's state back to its endpoint filter and
     /// returns the endpoints sorted by stream id — the same shape (and, for
     /// the same traffic, the same bits) the plain path produces.

@@ -39,7 +39,7 @@ use kalstream_obs::{Histogram, Instrument, Scope, SpanTimer};
 
 use crate::batch_ingest::BatchShardEngine;
 use crate::frame::{BufferPool, FrameBatch, FrameDecoder};
-use crate::server::ServerEndpoint;
+use crate::server::{EndpointState, ServerEndpoint};
 
 /// Per-shard job queue depth. Deep enough that the router can run ahead of
 /// a momentarily slow shard, small enough to bound memory and exert
@@ -52,6 +52,11 @@ enum ShardJob {
     Tick(BytesMut),
     /// Barrier: acknowledge once every prior job has been applied.
     Flush,
+    /// Capture every endpoint's [`EndpointState`] and send it back. Because
+    /// each worker drains its queue in order, the capture lands exactly at
+    /// the tick boundary where the job was enqueued — the durability
+    /// layer's snapshot barrier, without stopping the other shards.
+    Snapshot(Sender<Vec<(u32, EndpointState)>>),
 }
 
 /// What a shard worker steps each tick: the plain per-endpoint map, or the
@@ -123,6 +128,22 @@ impl ShardEngine {
             while let Some(payload) = ep.poll_feedback(now) {
                 sink(payload);
             }
+        }
+    }
+
+    /// Captures every endpoint's protocol state, sorted by stream id,
+    /// without consuming the engine (batched lanes are overlaid onto their
+    /// endpoints' captured filter state — see
+    /// [`BatchShardEngine::snapshot_states`]).
+    fn snapshot_states(&self) -> Vec<(u32, EndpointState)> {
+        match self {
+            ShardEngine::Plain(map) => {
+                let mut states: Vec<(u32, EndpointState)> =
+                    map.iter().map(|(id, ep)| (*id, ep.state())).collect();
+                states.sort_by_key(|(id, _)| *id);
+                states
+            }
+            ShardEngine::Batched(engine) => engine.snapshot_states(),
         }
     }
 
@@ -475,6 +496,33 @@ impl IngestPipeline {
         }
     }
 
+    /// Captures every endpoint's [`EndpointState`] at the current tick
+    /// boundary, sorted by stream id — the durability layer's snapshot
+    /// hook. The snapshot job rides each shard's ordered queue, so the
+    /// capture observes exactly the ticks ingested before this call and
+    /// none after; the call blocks until every shard has replied (it is a
+    /// flush barrier as a side effect).
+    pub fn snapshot_states(&mut self) -> Vec<(u32, EndpointState)> {
+        let replies: Vec<Receiver<Vec<(u32, EndpointState)>>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = bounded(1);
+                shard
+                    .tx
+                    .send(ShardJob::Snapshot(tx))
+                    .expect("ingest shard worker died");
+                rx
+            })
+            .collect();
+        let mut states: Vec<(u32, EndpointState)> = replies
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("ingest shard worker died"))
+            .collect();
+        states.sort_by_key(|(id, _)| *id);
+        states
+    }
+
     /// Flushes, shuts the workers down, and collects their reports and
     /// endpoints (sorted by stream id).
     pub fn finish(mut self) -> IngestResult {
@@ -568,6 +616,11 @@ fn shard_worker(
                     .send(())
                     .expect("ingest pipeline dropped its ack receiver");
             }
+            ShardJob::Snapshot(reply) => {
+                reply
+                    .send(engine.snapshot_states())
+                    .expect("ingest pipeline dropped its snapshot receiver");
+            }
         }
     }
     let busy_secs = match (cpu_start, thread_cpu_ns()) {
@@ -660,6 +713,15 @@ impl SequentialIngest {
         self.busy += std::time::Duration::from_nanos(span.stop(&mut self.tick_ns));
     }
 
+    /// Captures every endpoint's [`EndpointState`], sorted by stream id —
+    /// trivially a barrier, since this ingester applies ticks inline.
+    pub fn snapshot_states(&self) -> Vec<(u32, EndpointState)> {
+        self.endpoints
+            .iter()
+            .map(|(id, ep)| (*id, ep.state()))
+            .collect()
+    }
+
     /// Collects the run into the same shape as the sharded pipeline
     /// (one pseudo-shard).
     pub fn finish(self) -> IngestResult {
@@ -706,6 +768,30 @@ impl TickIngest for IngestPipeline {
 impl TickIngest for SequentialIngest {
     fn ingest_tick(&mut self, wire: &[u8]) {
         SequentialIngest::ingest_tick(self, wire);
+    }
+}
+
+/// Anything whose endpoint fleet can be captured as plain
+/// [`EndpointState`] values at a tick boundary — the hook the durability
+/// layer snapshots through. Both ingesters implement it with identical
+/// semantics: states sorted by stream id, observing exactly the ticks
+/// ingested so far.
+pub trait SnapshotSource {
+    /// Captures every endpoint's state at the current tick boundary,
+    /// sorted by stream id. For the sharded pipeline this is also a flush
+    /// barrier.
+    fn snapshot_states(&mut self) -> Vec<(u32, EndpointState)>;
+}
+
+impl SnapshotSource for IngestPipeline {
+    fn snapshot_states(&mut self) -> Vec<(u32, EndpointState)> {
+        IngestPipeline::snapshot_states(self)
+    }
+}
+
+impl SnapshotSource for SequentialIngest {
+    fn snapshot_states(&mut self) -> Vec<(u32, EndpointState)> {
+        SequentialIngest::snapshot_states(self)
     }
 }
 

@@ -79,11 +79,12 @@ pub use frame::{
     MAX_FRAME_BYTES,
 };
 pub use ingest::{
-    FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, TickIngest,
+    FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, SnapshotSource,
+    TickIngest,
 };
 pub use protocol::{pin_to_measurement, AckTracker};
 pub use rate::RateEstimator;
-pub use server::ServerEndpoint;
+pub use server::{EndpointState, ServerEndpoint};
 pub use session::{SessionSpec, StreamSession};
 pub use source::SourceEndpoint;
 

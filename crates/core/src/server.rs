@@ -1,7 +1,8 @@
 //! The server endpoint: prediction-based query answering.
 
 use bytes::Bytes;
-use kalstream_filter::KalmanFilter;
+use kalstream_filter::{CovarianceUpdate, FilterError, KalmanFilter, StateModel};
+use kalstream_linalg::{Matrix, Vector};
 use kalstream_obs::{Counter, Instrument, Scope};
 use kalstream_sim::{Consumer, DeliveryStats, Tick};
 
@@ -209,6 +210,75 @@ impl ServerEndpoint {
         &mut self.filter
     }
 
+    /// Captures the complete protocol state of this endpoint as a plain
+    /// value — the unit the durability layer snapshots. Everything that
+    /// influences future behaviour is included: the filter triplet (model,
+    /// state, covariance) **and** its staleness/covariance-update mode, the
+    /// undrained pending queue, the seq/ack tracker, the queued bound
+    /// directive, and every counter. [`ServerEndpoint::from_state`] must
+    /// rebuild an endpoint that is bit-identical going forward.
+    pub fn state(&self) -> EndpointState {
+        EndpointState {
+            model: self.filter.model().clone(),
+            x: self.filter.state().clone(),
+            p: self.filter.covariance().clone(),
+            steps_since_update: self.filter.steps_since_update(),
+            cov_update: self.filter.covariance_update(),
+            pending: self.pending.clone(),
+            syncs_applied: self.syncs_applied.get(),
+            decode_failures: self.decode_failures.get(),
+            predict_failures: self.predict_failures.get(),
+            last_seq: self.last_seq,
+            ack_due: self.ack_due,
+            bound_due: self.bound_due,
+            bounds_sent: self.bounds_sent.get(),
+            delivery: self.delivery,
+        }
+    }
+
+    /// Rebuilds an endpoint from a captured [`EndpointState`] — the
+    /// recovery half of the snapshot roundtrip. The filter is reconstructed
+    /// through [`KalmanFilter::with_covariance`] + [`KalmanFilter::restore`],
+    /// both of which store `x`/`p` verbatim, so a
+    /// `state()` → `from_state()` roundtrip preserves every f64 bit.
+    ///
+    /// # Errors
+    /// Propagates [`FilterError`] when the state's shapes are inconsistent
+    /// (possible only for a corrupted or hand-built state).
+    pub fn from_state(state: EndpointState) -> Result<Self, FilterError> {
+        let EndpointState {
+            model,
+            x,
+            p,
+            steps_since_update,
+            cov_update,
+            pending,
+            syncs_applied,
+            decode_failures,
+            predict_failures,
+            last_seq,
+            ack_due,
+            bound_due,
+            bounds_sent,
+            delivery,
+        } = state;
+        let mut filter = KalmanFilter::with_covariance(model, x.clone(), p.clone())?;
+        filter.set_covariance_update(cov_update);
+        filter.restore(x, p, steps_since_update)?;
+        Ok(ServerEndpoint {
+            filter,
+            pending,
+            syncs_applied: Counter::from(syncs_applied),
+            decode_failures: Counter::from(decode_failures),
+            predict_failures: Counter::from(predict_failures),
+            last_seq,
+            ack_due,
+            bound_due,
+            bounds_sent: Counter::from(bounds_sent),
+            delivery,
+        })
+    }
+
     /// Advances one tick: predict, then apply every queued sync — exactly
     /// [`Consumer::estimate`]'s transition without serving a value. Shard
     /// workers call this once per endpoint per tick; because the order is
@@ -225,6 +295,44 @@ impl ServerEndpoint {
             }
         }
     }
+}
+
+/// The complete externalised state of one [`ServerEndpoint`] — the value a
+/// durability snapshot records and crash recovery replays from. Fields are
+/// public: the encoding lives in `kalstream-durable`, outside this crate,
+/// and the struct itself is the compatibility contract between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointState {
+    /// The cached model (including adapted `Q`/`R`).
+    pub model: StateModel,
+    /// State estimate at the snapshot barrier.
+    pub x: Vector,
+    /// Estimate covariance at the snapshot barrier.
+    pub p: Matrix,
+    /// Predict steps since the last measurement update (cache age).
+    pub steps_since_update: u64,
+    /// Covariance update mode (Joseph vs. simple form — changes bits).
+    pub cov_update: CovarianceUpdate,
+    /// Delivered-but-unapplied syncs (mid-tick queue; empty at a barrier
+    /// taken after `advance`, but captured anyway so the snapshot point is
+    /// not restricted to post-advance instants).
+    pub pending: Vec<SyncMessage>,
+    /// Sync messages successfully applied.
+    pub syncs_applied: u64,
+    /// Wire messages that failed to decode.
+    pub decode_failures: u64,
+    /// Ticks on which the predict step failed numerically.
+    pub predict_failures: u64,
+    /// Highest sequence number accepted.
+    pub last_seq: u64,
+    /// Whether an ack is armed but not yet polled.
+    pub ack_due: bool,
+    /// A queued-but-unsent precision bound directive.
+    pub bound_due: Option<f64>,
+    /// Bound directives sent over the feedback link.
+    pub bounds_sent: u64,
+    /// Receiver-side delivery accounting (stale drops, gaps, shed).
+    pub delivery: DeliveryStats,
 }
 
 /// Applies a sync to a filter, returning whether it was accepted. Free
@@ -547,5 +655,57 @@ mod tests {
         let mut s = server();
         s.enqueue_wire(WireMessage::Bound { delta: 0.5 });
         assert_eq!(s.decode_failures(), 1);
+    }
+
+    /// Bit-level fingerprint of a filter (state + covariance), the currency
+    /// of every identity assertion in this repo.
+    fn bits(f: &KalmanFilter) -> (Vec<u64>, Vec<u64>) {
+        (
+            f.state().as_slice().iter().map(|v| v.to_bits()).collect(),
+            f.covariance()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical_and_behaviourally_equivalent() {
+        // Drive an endpoint through every kind of protocol traffic so the
+        // captured state has non-trivial values in every field...
+        let mut s = server();
+        let mut out = [0.0];
+        s.enqueue_wire(seq_sync(1, 1.0));
+        s.enqueue_wire(seq_sync(4, 2.5)); // gap of 2
+        s.estimate(0, &mut out);
+        s.enqueue_wire(seq_sync(4, 9.0)); // stale duplicate, re-arms ack
+        s.push_bound_directive(0.25);
+        s.receive(1, &Bytes::from_static(b"\xFFgarbage"));
+        s.enqueue(state(7.0)); // left pending: mid-tick snapshot point
+
+        // ...then roundtrip and compare the frozen state.
+        let snap = s.state();
+        let mut r = ServerEndpoint::from_state(snap.clone()).expect("rebuild");
+        assert_eq!(bits(s.filter()), bits(r.filter()));
+        assert_eq!(r.state(), snap, "re-capture reproduces the snapshot");
+
+        // The two must stay bit-identical through future traffic: advance,
+        // drain pending, poll feedback.
+        for tick in 2..6 {
+            s.enqueue_wire(seq_sync(5 + tick, tick as f64));
+            r.enqueue_wire(seq_sync(5 + tick, tick as f64));
+            s.estimate(tick, &mut out);
+            let mut out_r = [0.0];
+            r.estimate(tick, &mut out_r);
+            assert_eq!(out[0].to_bits(), out_r[0].to_bits());
+            assert_eq!(s.poll_feedback(tick), r.poll_feedback(tick));
+        }
+        assert_eq!(bits(s.filter()), bits(r.filter()));
+        assert_eq!(s.delivery(), r.delivery());
+        assert_eq!(s.syncs_applied(), r.syncs_applied());
+        assert_eq!(s.decode_failures(), r.decode_failures());
+        assert_eq!(s.last_seq(), r.last_seq());
+        assert_eq!(s.staleness(), r.staleness());
     }
 }

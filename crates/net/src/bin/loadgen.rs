@@ -63,6 +63,7 @@ fn main() {
                 overhead_bytes: 8,
                 faults,
                 lockstep,
+                expect_status: false,
             };
             std::thread::spawn(move || {
                 let rt = tokio::runtime::Builder::new_current_thread()

@@ -44,6 +44,7 @@ fn main() {
             batched,
             expected_conns: conns,
             lockstep,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind failed");

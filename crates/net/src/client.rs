@@ -17,7 +17,10 @@ use kalstream_core::StreamDecoder;
 use kalstream_sim::{FaultCounters, IngestStream, Link, LinkFaults, TrafficMetrics};
 use tokio::net::{OwnedReadHalf, OwnedWriteHalf, TcpStream};
 
-use crate::codec::{encode_hello, push_frame, push_marker, TICK_MARKER_STREAM};
+use crate::codec::{
+    decode_status, encode_hello, push_frame, push_marker, HelloStatus, STATUS_BYTES,
+    TICK_MARKER_STREAM,
+};
 
 /// How one connection drives its streams.
 #[derive(Debug, Clone)]
@@ -32,6 +35,12 @@ pub struct ClientConfig {
     /// feedback delivery — requires the server's lockstep mode). When
     /// `false` a detached task drains feedback asynchronously instead.
     pub lockstep: bool,
+    /// Read the server's 13-byte [`HelloStatus`] reply right after the
+    /// hello. Must match the server: durable servers always send it,
+    /// volatile servers never do (the bytes would be misparsed as a frame
+    /// header by whichever side got it wrong — that's why it's explicit
+    /// on both ends rather than sniffed).
+    pub expect_status: bool,
 }
 
 /// Source-side outcome of one connection.
@@ -48,6 +57,12 @@ pub struct ClientReport {
     pub bounds: u64,
     /// Raw bytes written to the socket (hello + frames + markers).
     pub socket_bytes_out: u64,
+    /// The server's hello-status reply, when
+    /// [`ClientConfig::expect_status`] was set: [`HelloStatus::Recovering`]
+    /// carries the first tick the recovered server has *not* applied, so a
+    /// resuming source knows where to rejoin without re-sending ticks the
+    /// durable state already reflects.
+    pub status: Option<HelloStatus>,
 }
 
 /// The per-connection source state: streams plus their fault links.
@@ -148,6 +163,13 @@ pub async fn drive_connection(
     let ids: Vec<u32> = streams.iter().map(|s| s.stream_id).collect();
     let mut report = ClientReport::default();
     let (mut read, mut write) = open(addr, &ids, &mut report).await?;
+    if config.expect_status {
+        let mut buf = [0u8; STATUS_BYTES];
+        read.read_exact(&mut buf).await?;
+        let status =
+            decode_status(&buf).map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+        report.status = Some(status);
+    }
     let mut driver = Driver::new(streams, global_base, config);
 
     if config.lockstep {

@@ -21,7 +21,11 @@
 //!   [`kalstream_core::IngestPipeline`], and the matching source-side
 //!   connection driver. Per-connection feedback queues are bounded; sheds
 //!   are counted (including during drain) and exported through
-//!   `kalstream-obs` snapshots.
+//!   `kalstream-obs` snapshots. With `NetServerConfig::durable` set the
+//!   server runs behind `kalstream-durable`'s WAL-append-before-apply
+//!   discipline: a killed server restarts on the same directory, replays
+//!   to bit-identical filter state, and tells each reconnecting client
+//!   where to resume via the [`codec::HelloStatus`] hello reply.
 //!
 //! [`Link`]: kalstream_sim::Link
 
@@ -35,5 +39,6 @@ mod transport;
 pub mod workload;
 
 pub use client::{decode_feedback, discard_feedback, drive_connection, ClientConfig, ClientReport};
+pub use codec::HelloStatus;
 pub use server::{ConnReport, NetReport, NetServer, NetServerConfig, FEEDBACK_QUEUE_DEPTH};
 pub use transport::TcpTransport;

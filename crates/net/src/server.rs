@@ -38,18 +38,20 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use kalstream_core::{IngestPipeline, IngestResult, ServerEndpoint, StreamDecoder};
+use kalstream_durable::{DurableConfig, DurableIngest, DurableStats, DurableStore};
 use kalstream_obs::{Instrument, Registry, Scope, Snapshot};
 use tokio::net::{OwnedWriteHalf, TcpListener, TcpStream};
 use tokio::runtime::Builder;
 use tokio::sync::mpsc;
 
 use crate::codec::{
-    decode_hello_ids, decode_hello_prefix, feed_ticks, push_frame, push_marker, MARKER_BYTES,
+    decode_hello_ids, decode_hello_prefix, encode_status, feed_ticks, push_frame, push_marker,
+    HelloStatus, MARKER_BYTES, MAX_HELLO_STREAMS,
 };
 
 /// Per-connection feedback queue depth. Small enough to bound server
@@ -76,6 +78,41 @@ pub struct NetServerConfig {
     /// have polled so far and clients read acks asynchronously — the
     /// throughput mode `bench_net` measures.
     pub lockstep: bool,
+    /// Most stream ids one hello may claim before the connection is
+    /// rejected. The peer's claimed count sizes a server-side read buffer,
+    /// so this is checked *before* allocation; it is clamped from above by
+    /// the global [`MAX_HELLO_STREAMS`] ceiling.
+    pub max_hello_streams: usize,
+    /// Durability: when set, every tick batch is WAL-appended before it is
+    /// applied and the fleet is snapshotted at the configured cadence, so
+    /// a restarted server recovers bit-identical filter state. On start
+    /// the directory is recovered and replayed *before* any connection is
+    /// admitted, and every accepted hello gets a [`HelloStatus`] reply
+    /// (clients must set `expect_status`).
+    pub durable: Option<DurableConfig>,
+    /// Fault injection for the crash-recovery tests: after this many
+    /// global ticks have been fully processed, `serve` aborts with
+    /// `ConnectionAborted` — no drain, no final snapshot, pipeline dropped
+    /// mid-flight. With `durable` set, the next start on the same
+    /// directory must recover everything the aborted run applied.
+    pub crash_after_ticks: Option<u64>,
+}
+
+impl Default for NetServerConfig {
+    /// Single-shard, volatile, one-connection lockstep server — the
+    /// configuration the bit-identity tests run; construction sites
+    /// override what they vary and inherit new knobs safely.
+    fn default() -> Self {
+        NetServerConfig {
+            shards: 1,
+            batched: false,
+            expected_conns: 1,
+            lockstep: true,
+            max_hello_streams: MAX_HELLO_STREAMS,
+            durable: None,
+            crash_after_ticks: None,
+        }
+    }
 }
 
 /// What one connection did, reported at server teardown.
@@ -121,6 +158,20 @@ pub struct NetReport {
     pub ticks: u64,
     /// Hellos rejected (bad magic, reserved ids, oversized claims).
     pub rejected_hellos: u64,
+    /// Reader/router messages that could not be delivered because the
+    /// other side was already gone (either direction). Formerly silent
+    /// `let _` drops; now every one is accounted.
+    pub dropped_router_msgs: u64,
+    /// Socket shutdowns that returned an error in the per-connection
+    /// writer tasks (formerly a silent `let _`).
+    pub shutdown_errors: u64,
+    /// Ticks re-applied from the WAL during startup recovery.
+    pub replayed_ticks: u64,
+    /// Feedback payloads produced by WAL replay and discarded (their
+    /// clients received them before the crash).
+    pub replay_feedback_discarded: u64,
+    /// Durability counters, when the server ran with a [`DurableConfig`].
+    pub durable: Option<DurableStats>,
 }
 
 impl NetReport {
@@ -139,6 +190,13 @@ impl NetReport {
         net.counter("ticks", self.ticks);
         net.counter("rejected_hellos", self.rejected_hellos);
         net.counter("shed", self.total_shed());
+        net.counter("dropped_router_msgs", self.dropped_router_msgs);
+        net.counter("shutdown_errors", self.shutdown_errors);
+        net.counter("replayed_ticks", self.replayed_ticks);
+        net.counter("replay_feedback_discarded", self.replay_feedback_discarded);
+        if let Some(durable) = &self.durable {
+            net.observe("durable", durable);
+        }
         net.counter(
             "feedback_sent",
             self.conns.iter().map(|c| c.feedback_sent).sum::<u64>(),
@@ -227,6 +285,46 @@ impl NetServer {
     }
 }
 
+/// The router's ingest seam: a plain pipeline, or one wrapped in the
+/// durability discipline (WAL-append before apply, cadence snapshots).
+enum Ingester {
+    Plain(IngestPipeline),
+    Durable(DurableIngest<IngestPipeline>),
+}
+
+impl Ingester {
+    fn ingest_tick(&mut self, wire: &[u8]) -> io::Result<()> {
+        match self {
+            Ingester::Plain(pipeline) => {
+                pipeline.ingest_tick(wire);
+                Ok(())
+            }
+            Ingester::Durable(durable) => durable.try_ingest_tick(wire),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            Ingester::Plain(pipeline) => pipeline.flush(),
+            Ingester::Durable(durable) => durable.inner_mut().flush(),
+        }
+    }
+
+    /// Clean teardown: a durable server checkpoints at the final barrier
+    /// (so the next start replays nothing), then both variants finish the
+    /// pipeline. Returns the durability counters when there are any.
+    fn finish(self) -> io::Result<(IngestResult, Option<DurableStats>)> {
+        match self {
+            Ingester::Plain(pipeline) => Ok((pipeline.finish(), None)),
+            Ingester::Durable(mut durable) => {
+                durable.checkpoint()?;
+                let (pipeline, store) = durable.into_parts();
+                Ok((pipeline.finish(), Some(store.stats().clone())))
+            }
+        }
+    }
+}
+
 async fn serve(
     listener: TcpListener,
     endpoints: Vec<(u32, ServerEndpoint)>,
@@ -235,11 +333,74 @@ async fn serve(
     let addr = listener.local_addr()?;
     let (router_tx, mut router_rx) = mpsc::channel::<RouterMsg>(config.expected_conns.max(16));
     let closing = Arc::new(AtomicBool::new(false));
+    let dropped_router_msgs = Arc::new(AtomicU64::new(0));
+    let shutdown_errors = Arc::new(AtomicU64::new(0));
+
+    // ---- recovery (before any connection is admitted) -------------------
+    // A durable server rebuilds the fleet from its newest valid snapshot
+    // and re-applies the intact WAL suffix through the *same* pipeline
+    // configuration the crashed run used — bit-identical state, then a
+    // compaction snapshot so this recovery is never paid twice.
+    let mut replayed_ticks = 0u64;
+    let mut replay_feedback_discarded = 0u64;
+    let mut status = HelloStatus::Ready;
+    let (mut ingester, fb_rx) = match &config.durable {
+        Some(durable_config) => {
+            let mut store = DurableStore::open(&durable_config.dir)?;
+            let recovery = store.recover()?;
+            let (initial, resume_at) = match &recovery {
+                Some(rec) => {
+                    let rebuilt = rec.endpoints().map_err(|err| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("recovered snapshot rejected by filter: {err}"),
+                        )
+                    })?;
+                    (rebuilt, rec.next_tick())
+                }
+                None => (endpoints, 0),
+            };
+            let (mut pipeline, fb_rx) =
+                IngestPipeline::start_with_feedback(config.shards, initial, config.batched);
+            if let Some(rec) = &recovery {
+                rec.replay_into(&mut pipeline);
+                pipeline.flush();
+                // Feedback from replayed ticks already reached its clients
+                // before the crash: discard, but never silently.
+                while fb_rx.try_recv().is_ok() {
+                    replay_feedback_discarded += 1;
+                }
+                replayed_ticks = rec.wal.len() as u64;
+                if resume_at > 0 {
+                    status = HelloStatus::Recovering {
+                        next_tick: resume_at,
+                    };
+                }
+            }
+            let durable =
+                DurableIngest::resume(pipeline, store, durable_config.snapshot_every, resume_at)?;
+            (Ingester::Durable(durable), fb_rx)
+        }
+        None => {
+            let (pipeline, fb_rx) =
+                IngestPipeline::start_with_feedback(config.shards, endpoints, config.batched);
+            (Ingester::Plain(pipeline), fb_rx)
+        }
+    };
+    // Status reply appended to each admitted connection's (empty) writer
+    // queue — only when durability is on; volatile clients don't expect it.
+    let status_frame: Option<Bytes> = config
+        .durable
+        .is_some()
+        .then(|| Bytes::copy_from_slice(&encode_status(status)));
 
     // Accept loop: admit connections until the router signals teardown
     // (checked after each accept; a sentinel dial unblocks the last one).
     let accept_closing = closing.clone();
     let accept_tx = router_tx.clone();
+    let accept_dropped = dropped_router_msgs.clone();
+    let accept_shutdown_errors = shutdown_errors.clone();
+    let max_hello_streams = config.max_hello_streams;
     let accept_task = tokio::spawn(async move {
         loop {
             let (stream, _) = match listener.accept().await {
@@ -250,14 +411,16 @@ async fn serve(
                 break; // the sentinel itself: drop it and stop accepting
             }
             let tx = accept_tx.clone();
-            tokio::spawn(async move { reader_task(stream, tx).await });
+            let dropped = accept_dropped.clone();
+            let shutdown_errs = accept_shutdown_errors.clone();
+            tokio::spawn(async move {
+                reader_task(stream, tx, max_hello_streams, dropped, shutdown_errs).await
+            });
         }
     });
     drop(router_tx);
 
     // ---- router ---------------------------------------------------------
-    let (mut pipeline, fb_rx) =
-        IngestPipeline::start_with_feedback(config.shards, endpoints, config.batched);
     let mut conns: Vec<ConnState> = Vec::new();
     let mut ticks = 0u64;
     let mut rejected_hellos = 0u64;
@@ -316,11 +479,11 @@ async fn serve(
                     state.ticks += 1;
                 }
             }
-            pipeline.ingest_tick(&tick_wire);
+            ingester.ingest_tick(&tick_wire)?;
             if config.lockstep {
                 // Applied-before-acknowledged: flush, route *all* feedback
                 // for this tick, then send every live conn its marker.
-                pipeline.flush();
+                ingester.flush();
                 route_feedback(&mut conns, &route, &fb_rx);
                 for state in conns.iter_mut() {
                     let Some(writer) = &state.writer else {
@@ -339,6 +502,16 @@ async fn serve(
                 route_feedback(&mut conns, &route, &fb_rx);
             }
             ticks += 1;
+            if config.crash_after_ticks == Some(ticks) {
+                // Injected crash: abort with no drain, no checkpoint —
+                // `ingester` drops mid-flight exactly as a killed process
+                // would lose it. The WAL already holds this tick (appended
+                // before apply), which is what recovery tests rely on.
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    format!("injected crash after {ticks} ticks"),
+                ));
+            }
             continue;
         }
 
@@ -357,6 +530,13 @@ async fn serve(
                 for &id in &streams {
                     route.insert(id, conn);
                 }
+                if let Some(frame) = &status_frame {
+                    // The queue is empty at admission, so this only fails
+                    // if the reader died between hello and here.
+                    if writer.try_send(frame.clone()).is_err() {
+                        dropped_router_msgs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 conns.push(ConnState {
                     writer: Some(writer),
                     streams: streams.len(),
@@ -368,7 +548,14 @@ async fn serve(
                     shed: 0,
                     queue_high_water: 0,
                 });
-                let _ = conn_slot.send(conn);
+                if conn_slot.send(conn).is_err() {
+                    // Reader died before learning its slot: the connection
+                    // is gone, but the admission stands (eof arrives never)
+                    // — count the dropped reply rather than eat it.
+                    dropped_router_msgs.fetch_add(1, Ordering::Relaxed);
+                    conns[conn].eof = true;
+                    conns[conn].writer = None;
+                }
             }
             RouterMsg::HelloRejected => rejected_hellos += 1,
             RouterMsg::Tick {
@@ -387,7 +574,7 @@ async fn serve(
     }
 
     // ---- drain ----------------------------------------------------------
-    pipeline.flush();
+    ingester.flush();
     route_feedback(&mut conns, &route, &fb_rx);
     // Dropping each writer sender closes its queue; the writer task
     // drains remaining payloads, flushes, and shuts the socket down.
@@ -402,7 +589,7 @@ async fn serve(
     // worker could still be mid-poll): count as shed, never drop silently.
     route_feedback(&mut conns, &route, &fb_rx);
 
-    let ingest = pipeline.finish();
+    let (ingest, durable) = ingester.finish()?;
     let conn_reports = conns
         .iter()
         .enumerate()
@@ -421,21 +608,42 @@ async fn serve(
         conns: conn_reports,
         ticks,
         rejected_hellos,
+        dropped_router_msgs: dropped_router_msgs.load(Ordering::Relaxed),
+        shutdown_errors: shutdown_errors.load(Ordering::Relaxed),
+        replayed_ticks,
+        replay_feedback_discarded,
+        durable,
     })
 }
 
 /// Per-connection reader: hello, then marker-delimited tick segments.
 /// Spawns the connection's writer task once the hello is accepted.
-async fn reader_task(stream: TcpStream, router: mpsc::Sender<RouterMsg>) {
+async fn reader_task(
+    stream: TcpStream,
+    router: mpsc::Sender<RouterMsg>,
+    max_hello_streams: usize,
+    dropped_router_msgs: Arc<AtomicU64>,
+    shutdown_errors: Arc<AtomicU64>,
+) {
     let _ = stream.set_nodelay(true);
     let (mut read, write) = stream.into_split();
+
+    // A send to a closed router is a real loss of accounting, not noise.
+    let report_or_count = |msg: RouterMsg, dropped: Arc<AtomicU64>| {
+        let router = router.clone();
+        async move {
+            if router.send(msg).await.is_err() {
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
 
     // Hello.
     let mut prefix = [0u8; 8];
     if read.read_exact(&mut prefix).await.is_err() {
         return; // sentinel or portscan: vanish quietly
     }
-    let streams = match decode_hello_prefix(&prefix) {
+    let streams = match decode_hello_prefix(&prefix, max_hello_streams) {
         Ok(count) => {
             let mut body = vec![0u8; count * 4];
             if read.read_exact(&mut body).await.is_err() {
@@ -444,13 +652,13 @@ async fn reader_task(stream: TcpStream, router: mpsc::Sender<RouterMsg>) {
             match decode_hello_ids(&body) {
                 Ok(ids) => ids,
                 Err(_) => {
-                    let _ = router.send(RouterMsg::HelloRejected).await;
+                    report_or_count(RouterMsg::HelloRejected, dropped_router_msgs.clone()).await;
                     return;
                 }
             }
         }
         Err(_) => {
-            let _ = router.send(RouterMsg::HelloRejected).await;
+            report_or_count(RouterMsg::HelloRejected, dropped_router_msgs.clone()).await;
             return;
         }
     };
@@ -466,10 +674,12 @@ async fn reader_task(stream: TcpStream, router: mpsc::Sender<RouterMsg>) {
         .await
         .is_err()
     {
+        dropped_router_msgs.fetch_add(1, Ordering::Relaxed);
         return;
     }
     let Ok(conn) = slot_rx.recv() else { return };
-    tokio::spawn(async move { writer_task(write, writer_rx).await });
+    let writer_shutdown_errors = shutdown_errors.clone();
+    tokio::spawn(async move { writer_task(write, writer_rx, writer_shutdown_errors).await });
 
     // Data: accumulate frames, cut at markers.
     let mut decoder = StreamDecoder::new();
@@ -500,12 +710,18 @@ async fn reader_task(stream: TcpStream, router: mpsc::Sender<RouterMsg>) {
             }
         }
     }
-    let _ = router.send(RouterMsg::Eof { conn }).await;
+    // An undeliverable EOF means the router tore down first; its barrier
+    // no longer waits on this conn, but the loss is still counted.
+    report_or_count(RouterMsg::Eof { conn }, dropped_router_msgs.clone()).await;
 }
 
 /// Per-connection writer: drains the bounded feedback queue onto the
 /// socket; on queue close, flushes and shuts the write side down.
-async fn writer_task(mut write: OwnedWriteHalf, mut rx: mpsc::Receiver<Bytes>) {
+async fn writer_task(
+    mut write: OwnedWriteHalf,
+    mut rx: mpsc::Receiver<Bytes>,
+    shutdown_errors: Arc<AtomicU64>,
+) {
     while let Some(frame) = rx.recv().await {
         if write.write_all(&frame).await.is_err() {
             // Peer gone: keep draining so the router's try_sends see a
@@ -513,5 +729,7 @@ async fn writer_task(mut write: OwnedWriteHalf, mut rx: mpsc::Receiver<Bytes>) {
             continue;
         }
     }
-    let _ = write.shutdown().await;
+    if write.shutdown().await.is_err() {
+        shutdown_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }

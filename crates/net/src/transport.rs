@@ -58,6 +58,7 @@ pub struct TcpTransport {
     /// front to back).
     kill_at: Vec<Tick>,
     reconnects: u64,
+    shutdown_errors: u64,
     socket_bytes_out: u64,
     socket_bytes_in: u64,
     write_buf: Vec<u8>,
@@ -99,6 +100,7 @@ impl TcpTransport {
             fb_decoder: StreamDecoder::new(),
             kill_at: Vec::new(),
             reconnects: 0,
+            shutdown_errors: 0,
             socket_bytes_out: 0,
             socket_bytes_in: 0,
             write_buf: Vec::new(),
@@ -116,6 +118,22 @@ impl TcpTransport {
     /// Connections re-established after scheduled kills.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Shuts down both write directions, surfacing the first error — the
+    /// fallible form of [`Transport::shutdown`]. Both halves are attempted
+    /// even when the first fails (the second's result is reported only if
+    /// the first succeeded), so one dead direction never strands the other.
+    pub fn close(&mut self) -> std::io::Result<()> {
+        let client = self.rt.block_on(self.halves.client_write.shutdown());
+        let server = self.rt.block_on(self.halves.server_write.shutdown());
+        client.and(server)
+    }
+
+    /// Shutdown errors swallowed by the infallible [`Transport::shutdown`]
+    /// path (callers who can propagate should use [`TcpTransport::close`]).
+    pub fn shutdown_errors(&self) -> u64 {
+        self.shutdown_errors
     }
 
     /// Raw bytes written to sockets (frames + markers, both directions).
@@ -265,8 +283,11 @@ impl Transport for TcpTransport {
     }
 
     fn shutdown(&mut self) {
-        let _ = self.rt.block_on(self.halves.client_write.shutdown());
-        let _ = self.rt.block_on(self.halves.server_write.shutdown());
+        // The trait signature is infallible (the sim transport cannot
+        // fail); an error here is still an event, not noise — count it.
+        if self.close().is_err() {
+            self.shutdown_errors += 1;
+        }
     }
 
     fn stats(&self) -> TransportStats {
@@ -354,5 +375,16 @@ mod tests {
         assert_eq!(tcp.reconnects(), 1);
         // Tick 5's frame died with the connection; everything else landed.
         assert_eq!(got, vec![0, 1, 2, 3, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn close_surfaces_shutdown_results() {
+        let mut tcp = TcpTransport::connect(0, 0).unwrap();
+        tcp.close().expect("closing a live pair succeeds");
+        assert_eq!(tcp.shutdown_errors(), 0);
+        // The infallible trait path swallows-but-counts; on an
+        // already-closed pair it must at least not panic.
+        Transport::shutdown(&mut tcp);
+        let _ = tcp.shutdown_errors();
     }
 }

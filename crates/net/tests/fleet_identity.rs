@@ -79,6 +79,7 @@ fn over_tcp_inner(
             batched,
             expected_conns: conns,
             lockstep,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind");
@@ -92,6 +93,7 @@ fn over_tcp_inner(
                 overhead_bytes: OVERHEAD,
                 faults,
                 lockstep,
+                expect_status: false,
             };
             std::thread::spawn(move || {
                 let rt = tokio::runtime::Builder::new_current_thread()

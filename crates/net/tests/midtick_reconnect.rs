@@ -1,0 +1,124 @@
+//! A connection dying *between* a stream frame and its tick marker is the
+//! nastiest spot on the wire: the server holds half a tick it must never
+//! apply. These tests pin the contract — a half-delivered tick is fully
+//! discarded, and a reconnect's retransmission applies exactly once —
+//! with raw `std::net::TcpStream` clients so the torn byte boundary is
+//! under test control, not the driver's.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use kalstream_core::frame::FrameBatch;
+use kalstream_core::wire::{SyncMessage, WireMessage};
+use kalstream_core::SequentialIngest;
+use kalstream_linalg::{Matrix, Vector};
+use kalstream_net::codec::{encode_hello, push_marker};
+use kalstream_net::{workload, NetServer, NetServerConfig};
+
+const STREAMS: u32 = 2;
+
+/// One sequenced sync frame's wire bytes (header + body) for `id`.
+fn sync_frame(id: u32, seq: u64, value: f64) -> Vec<u8> {
+    let mut batch = FrameBatch::new();
+    let wire = WireMessage::Sync {
+        seq: Some(seq),
+        msg: SyncMessage::State {
+            x: Vector::from_slice(&[value]),
+            p: Matrix::scalar(1, 0.3),
+        },
+    }
+    .encode();
+    batch.push_raw(id, &wire);
+    batch.into_buffer().to_vec()
+}
+
+/// The full tick both tests deal in: one sync per stream, then the marker.
+fn full_tick() -> Vec<u8> {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&sync_frame(0, 1, 0.75));
+    wire.extend_from_slice(&sync_frame(1, 1, -0.25));
+    push_marker(&mut wire);
+    wire
+}
+
+/// The torn prefix: stream 0's frame arrived, the marker (and stream 1's
+/// frame) never did.
+fn half_tick() -> Vec<u8> {
+    sync_frame(0, 1, 0.75)
+}
+
+fn start_server(expected_conns: usize) -> NetServer {
+    NetServer::start(
+        "127.0.0.1:0",
+        workload::server_endpoints(STREAMS),
+        NetServerConfig {
+            shards: 2,
+            expected_conns,
+            lockstep: false,
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn half_delivered_tick_is_fully_discarded() {
+    let server = start_server(1);
+    let addr = server.addr();
+
+    let mut conn = TcpStream::connect(addr).expect("dial");
+    conn.write_all(&encode_hello(&[0, 1])).expect("hello");
+    conn.write_all(&half_tick()).expect("torn tick");
+    drop(conn); // EOF before the marker: the tick never completed
+
+    let report = server.join().expect("server");
+    assert_eq!(report.ticks, 0, "a torn tick must not advance the barrier");
+    assert_eq!(report.conns[0].ticks, 0);
+
+    // Not partially applied either: state is bit-identical to a fleet
+    // that ingested nothing at all.
+    let untouched = SequentialIngest::new(workload::server_endpoints(STREAMS)).finish();
+    assert!(
+        workload::ingest_identical(&report.ingest, &untouched),
+        "half a tick leaked into the filters"
+    );
+}
+
+#[test]
+fn reconnect_mid_tick_replays_the_tick_exactly_once() {
+    let server = start_server(2);
+    let addr = server.addr();
+
+    // First connection dies mid-tick: frame for stream 0 on the wire, no
+    // marker. From the protocol's point of view this tick was never sent.
+    let mut first = TcpStream::connect(addr).expect("dial");
+    first.write_all(&encode_hello(&[0, 1])).expect("hello");
+    first.write_all(&half_tick()).expect("torn tick");
+    drop(first);
+    // Let the first hello win admission so the route map's final owner is
+    // deterministic (the tick discipline itself is order-independent).
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The reconnect claims the same streams and retransmits the whole
+    // tick — the client-side recovery rule: an unacknowledged tick is
+    // re-sent in full, never resumed from its torn middle.
+    let mut second = TcpStream::connect(addr).expect("redial");
+    second.write_all(&encode_hello(&[0, 1])).expect("hello");
+    second.write_all(&full_tick()).expect("full tick");
+    drop(second);
+
+    let report = server.join().expect("server");
+    assert_eq!(report.ticks, 1, "the retransmitted tick applies once");
+    assert_eq!(report.conns[0].ticks, 0, "the torn half never applied");
+    assert_eq!(report.conns[1].ticks, 1);
+
+    // Exactly-once: identical to a reference that ingested the tick once.
+    let mut reference = SequentialIngest::new(workload::server_endpoints(STREAMS));
+    let tick = full_tick();
+    reference.ingest_tick(&tick[..tick.len() - kalstream_net::codec::MARKER_BYTES]);
+    assert!(
+        workload::ingest_identical(&report.ingest, &reference.finish()),
+        "mid-tick reconnect was not exactly-once"
+    );
+}

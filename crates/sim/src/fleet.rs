@@ -329,12 +329,47 @@ pub struct LockstepTick<'t> {
 pub fn run_lockstep<'a, P, C, H>(
     config: &SessionConfig,
     streams: &mut [LockstepStream<'a, P, C>],
+    hook: H,
+) -> FleetReport
+where
+    P: Producer,
+    C: Consumer,
+    H: FnMut(Tick, &LockstepTick<'_>, &mut [LockstepStream<'a, P, C>]),
+{
+    run_lockstep_with_crashes(config, streams, &[], |_, _, _| {}, hook)
+}
+
+/// [`run_lockstep`] with consumer-crash injection: at the end of every tick
+/// listed in `crash_ticks`, `rebuild(now, i, &mut consumer)` fires for each
+/// stream and may replace the consumer's state wholesale — modelling a
+/// server process that died and came back (from a durability layer, from
+/// scratch, from anything the closure encodes).
+///
+/// The schedule models **state** loss with the transport intact: producers,
+/// links, and in-flight messages carry across the crash untouched. That is
+/// the deliberate complement of `TcpTransport::kill_at`, which models
+/// *connection* loss with state intact — together the two span the failure
+/// plane, and the durability proptests drive this axis: a rebuild closure
+/// that restores from snapshot+WAL must keep the fleet bit-identical to an
+/// uncrashed run, while one that resets state visibly diverges.
+///
+/// With an empty schedule (or a no-op closure) this is exactly
+/// [`run_lockstep`] — bit for bit, the tick loop is shared.
+///
+/// # Panics
+/// Panics when a producer/consumer pair disagrees on dimensionality.
+pub fn run_lockstep_with_crashes<'a, P, C, H, R>(
+    config: &SessionConfig,
+    streams: &mut [LockstepStream<'a, P, C>],
+    crash_ticks: &[Tick],
+    mut rebuild: R,
     mut hook: H,
 ) -> FleetReport
 where
     P: Producer,
     C: Consumer,
     H: FnMut(Tick, &LockstepTick<'_>, &mut [LockstepStream<'a, P, C>]),
+    R: FnMut(Tick, usize, &mut C),
 {
     let n = streams.len();
     let faults = config.faults();
@@ -407,6 +442,11 @@ where
             },
             streams,
         );
+        if crash_ticks.contains(&now) {
+            for (i, stream) in streams.iter_mut().enumerate() {
+                rebuild(now, i, &mut stream.consumer);
+            }
+        }
     }
 
     let sessions: Vec<SessionReport> = streams
@@ -692,6 +732,68 @@ mod tests {
         // Stream 0: 50 ship-all ticks + 5 every-10th ticks (50, 60, ..., 90).
         assert_eq!(fleet.sessions[0].traffic.messages(), 55);
         assert_eq!(fleet.sessions[1].traffic.messages(), 100);
+    }
+
+    fn crash_streams() -> Vec<LockstepStream<'static, EveryKth, Hold>> {
+        (0..2)
+            .map(|_| LockstepStream {
+                producer: EveryKth { k: 10 },
+                consumer: Hold(0.0),
+                sampler: counting_sampler(1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_crash_with_noop_rebuild_is_bit_identical_to_plain_run() {
+        let config = SessionConfig::instant(100, 1000.0);
+        let mut plain = crash_streams();
+        let reference = run_lockstep(&config, &mut plain, |_, _, _| {});
+        let mut crashed = crash_streams();
+        let mut fired = Vec::new();
+        let report = run_lockstep_with_crashes(
+            &config,
+            &mut crashed,
+            &[13, 55, 99],
+            |now, i, _consumer: &mut Hold| fired.push((now, i)),
+            |_, _, _| {},
+        );
+        assert_eq!(
+            fired,
+            vec![(13, 0), (13, 1), (55, 0), (55, 1), (99, 0), (99, 1)]
+        );
+        for (r, p) in report.sessions.iter().zip(&reference.sessions) {
+            assert_eq!(r.traffic, p.traffic);
+            assert_eq!(
+                r.error_vs_observed.max_abs().to_bits(),
+                p.error_vs_observed.max_abs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_crash_that_loses_state_visibly_diverges() {
+        // EveryKth{k:10} consumers coast on a held value between ships;
+        // zeroing that value mid-coast is unrecovered state loss and must
+        // show up in the error metric.
+        let config = SessionConfig::instant(100, 1000.0);
+        let mut plain = crash_streams();
+        let reference = run_lockstep(&config, &mut plain, |_, _, _| {});
+        let mut crashed = crash_streams();
+        let report = run_lockstep_with_crashes(
+            &config,
+            &mut crashed,
+            &[55],
+            |_, _, consumer: &mut Hold| consumer.0 = 0.0,
+            |_, _, _| {},
+        );
+        // Transport untouched: the producers shipped exactly the same bytes.
+        assert_eq!(report.sessions[0].traffic, reference.sessions[0].traffic);
+        // But the fleet coasted on zero from tick 56 until the tick-60 ship.
+        assert!(
+            report.sessions[0].error_vs_observed.max_abs()
+                > reference.sessions[0].error_vs_observed.max_abs()
+        );
     }
 
     #[test]
