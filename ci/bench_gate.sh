@@ -10,6 +10,17 @@ cd "$(dirname "$0")/.."
 ART=ci-artifacts
 mkdir -p "$ART"
 
+# On a runner, every gate also appends its verdict table to the run page.
+SUMMARY=()
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    SUMMARY=(--summary-out "$GITHUB_STEP_SUMMARY")
+fi
+
+# First "key": <number> in a flat JSON artifact, for the headline summary.
+json_num() {
+    grep -o "\"$2\": *[0-9.eE+-]*" "$1" | head -1 | sed 's/.*: *//'
+}
+
 echo "==> bench_smoke (allocation gate)"
 cargo run --release -q -p kalstream-bench --bin bench_smoke -- \
     --metrics-out "$ART/bench_smoke.metrics.json"
@@ -20,7 +31,8 @@ cargo run --release -q -p kalstream-bench --bin bench_kernels -- \
 
 echo "==> check_regression --kind kernels"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
-    --kind kernels --baseline BENCH_kernels.json --current "$ART/bench_kernels.json"
+    --kind kernels --baseline BENCH_kernels.json --current "$ART/bench_kernels.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
 
 echo "==> bench_ingest --quick (reduced scale, full gates)"
 cargo run --release -q -p kalstream-bench --bin bench_ingest -- \
@@ -28,7 +40,8 @@ cargo run --release -q -p kalstream-bench --bin bench_ingest -- \
 
 echo "==> check_regression --kind ingest"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
-    --kind ingest --baseline BENCH_ingest.json --current "$ART/bench_ingest.json"
+    --kind ingest --baseline BENCH_ingest.json --current "$ART/bench_ingest.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
 
 echo "==> exp_q1_query_bounds (precision propagation, deterministic)"
 cargo run --release -q -p kalstream-bench --bin exp_q1_query_bounds -- \
@@ -37,7 +50,8 @@ cargo run --release -q -p kalstream-bench --bin exp_q1_query_bounds -- \
 echo "==> check_regression --kind query (Q1)"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
     --kind query --baseline BENCH_q1_query_bounds.json \
-    --current "$ART/exp_q1_query_bounds.metrics.json"
+    --current "$ART/exp_q1_query_bounds.metrics.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
 
 echo "==> exp_q2_budget_realloc (epoch budget re-allocation, deterministic)"
 cargo run --release -q -p kalstream-bench --bin exp_q2_budget_realloc -- \
@@ -46,6 +60,22 @@ cargo run --release -q -p kalstream-bench --bin exp_q2_budget_realloc -- \
 echo "==> check_regression --kind query (Q2)"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
     --kind query --baseline BENCH_q2_budget_realloc.json \
-    --current "$ART/exp_q2_budget_realloc.metrics.json"
+    --current "$ART/exp_q2_budget_realloc.metrics.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
+
+# Headline numbers on the run page, next to the gate verdicts.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+        echo "### Headline bench numbers"
+        echo ""
+        echo "| metric | value |"
+        echo "|---|---:|"
+        echo "| predict_ns | $(json_num "$ART/bench_kernels.json" predict_ns) |"
+        echo "| update_ns | $(json_num "$ART/bench_kernels.json" update_ns) |"
+        echo "| batch_fleet_speedup | $(json_num "$ART/bench_kernels.json" batch_fleet_speedup) |"
+        echo "| sequential msgs_per_sec | $(json_num "$ART/bench_ingest.json" msgs_per_sec) |"
+        echo ""
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
 
 echo "ci/bench_gate.sh: OK (artifacts in $ART/)"

@@ -19,6 +19,12 @@ cd "$(dirname "$0")/.."
 ART=ci-artifacts
 mkdir -p "$ART"
 
+# On a runner, the gate also appends its verdict table to the run page.
+SUMMARY=()
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    SUMMARY=(--summary-out "$GITHUB_STEP_SUMMARY")
+fi
+
 echo "==> kalstream-durable test suite (snapshot/WAL format + recovery)"
 cargo test --release -q -p kalstream-durable
 
@@ -31,6 +37,7 @@ cargo run --release -q -p kalstream-bench --bin exp_crash_recovery -- \
 
 echo "==> check_regression --kind durable"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
-    --kind durable --baseline BENCH_durable.json --current "$ART/BENCH_durable.json"
+    --kind durable --baseline BENCH_durable.json --current "$ART/BENCH_durable.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
 
 echo "ci/chaos_smoke.sh: OK"

@@ -17,6 +17,12 @@ cd "$(dirname "$0")/.."
 ART=ci-artifacts
 mkdir -p "$ART"
 
+# On a runner, the gate also appends its verdict table to the run page.
+SUMMARY=()
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    SUMMARY=(--summary-out "$GITHUB_STEP_SUMMARY")
+fi
+
 echo "==> kalstream-net test suite (transport bit-identity canaries)"
 cargo test --release -q -p kalstream-net
 
@@ -26,6 +32,7 @@ cargo run --release -q -p kalstream-bench --bin bench_net -- \
 
 echo "==> check_regression --kind net"
 cargo run --release -q -p kalstream-bench --bin check_regression -- \
-    --kind net --baseline BENCH_net.json --current "$ART/bench_net.json"
+    --kind net --baseline BENCH_net.json --current "$ART/bench_net.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
 
 echo "ci/net_smoke.sh: OK"

@@ -7,16 +7,21 @@
 //! check_regression --kind query   --baseline BENCH_q1_query_bounds.json --current /tmp/q1.json
 //! check_regression --kind net     --baseline BENCH_net.json      --current /tmp/net.json
 //! check_regression --kind durable --baseline BENCH_durable.json  --current /tmp/durable.json
+//! check_regression --kind elastic --baseline BENCH_elastic.json  --current /tmp/elastic.json \
+//!                  [--summary-out "$GITHUB_STEP_SUMMARY"]
 //! ```
 //!
 //! Prints an aligned comparison table and exits non-zero when any check
 //! fails. The tolerance defaults to the baseline's own
 //! `regression_tolerance` field (see `kalstream_bench::regression`).
+//! `--summary-out <path>` additionally *appends* the report as a markdown
+//! section — pass `$GITHUB_STEP_SUMMARY` to surface the gate on the CI
+//! run page (appending, because every gate in the job shares that file).
 
 use std::process::ExitCode;
 
 use kalstream_bench::regression::{
-    check_durable, check_ingest, check_kernels, check_net, check_query,
+    check_durable, check_elastic, check_ingest, check_kernels, check_net, check_query,
 };
 
 enum Kind {
@@ -25,6 +30,20 @@ enum Kind {
     Query,
     Net,
     Durable,
+    Elastic,
+}
+
+impl Kind {
+    fn name(&self) -> &'static str {
+        match self {
+            Kind::Kernels => "kernels",
+            Kind::Ingest => "ingest",
+            Kind::Query => "query",
+            Kind::Net => "net",
+            Kind::Durable => "durable",
+            Kind::Elastic => "elastic",
+        }
+    }
 }
 
 struct Args {
@@ -32,12 +51,13 @@ struct Args {
     baseline: String,
     current: String,
     tolerance: Option<f64>,
+    summary_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check_regression --kind kernels|ingest|query|net|durable --baseline <json> \
-         --current <json> [--tolerance <frac>]"
+        "usage: check_regression --kind kernels|ingest|query|net|durable|elastic \
+         --baseline <json> --current <json> [--tolerance <frac>] [--summary-out <path>]"
     );
     std::process::exit(2);
 }
@@ -47,6 +67,7 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut current = None;
     let mut tolerance = None;
+    let mut summary_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -63,9 +84,11 @@ fn parse_args() -> Args {
                     "query" => Kind::Query,
                     "net" => Kind::Net,
                     "durable" => Kind::Durable,
+                    "elastic" => Kind::Elastic,
                     other => {
                         eprintln!(
-                            "unknown --kind {other:?} (expected kernels|ingest|query|net|durable)"
+                            "unknown --kind {other:?} \
+                             (expected kernels|ingest|query|net|durable|elastic)"
                         );
                         usage()
                     }
@@ -73,6 +96,7 @@ fn parse_args() -> Args {
             }
             "--baseline" => baseline = Some(value("--baseline")),
             "--current" => current = Some(value("--current")),
+            "--summary-out" => summary_out = Some(value("--summary-out")),
             "--tolerance" => {
                 let v = value("--tolerance");
                 tolerance = Some(v.parse().unwrap_or_else(|_| {
@@ -92,6 +116,7 @@ fn parse_args() -> Args {
             baseline,
             current,
             tolerance,
+            summary_out,
         },
         _ => usage(),
     }
@@ -114,8 +139,23 @@ fn main() -> ExitCode {
         Kind::Query => check_query(&baseline, &current),
         Kind::Net => check_net(&baseline, &current, args.tolerance),
         Kind::Durable => check_durable(&baseline, &current, args.tolerance),
+        Kind::Elastic => check_elastic(&baseline, &current, args.tolerance),
     };
     print!("{}", report.render());
+    if let Some(path) = &args.summary_out {
+        use std::io::Write as _;
+        let section =
+            report.render_markdown(&format!("check-regression --kind {}", args.kind.name()));
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(section.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("cannot append summary to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {

@@ -39,6 +39,18 @@ pub const NET_SPEEDUP_MIN_CORES: f64 = 4.0;
 /// host tolerance, since the ratio is measured on one machine in one run.
 pub const MIN_BATCH_SPEEDUP: f64 = 4.0;
 
+/// Floor on the measured offered-load swing (`swing_factor` in
+/// `BENCH_elastic.json`): the hot phase must offer at least this multiple
+/// of the quiet phases' frames per tick, or the elastic experiment is no
+/// longer exercising the controller across a real load swing.
+pub const MIN_ELASTIC_SWING: f64 = 4.0;
+
+/// Absolute ceiling on the worst drain-barrier stall any elastic resize
+/// may pay (`resize_stall_ms_max`), gated on every host. The experiment
+/// fleet is tiny, so a stall near a second means the barrier stopped
+/// draining and started waiting — a hang, not host noise.
+pub const MAX_ELASTIC_STALL_MS: f64 = 1000.0;
+
 /// Outcome of one comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Check {
@@ -99,6 +111,35 @@ impl GateReport {
         let _ = writeln!(
             out,
             "check-regression: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+
+    /// Renders the report as a GitHub-flavored markdown section (for
+    /// `$GITHUB_STEP_SUMMARY`): a header naming the gate, a table of every
+    /// comparison, and a bold verdict line.
+    #[must_use]
+    pub fn render_markdown(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {title}\n");
+        let _ = writeln!(out, "| metric | baseline | current | verdict | rule |");
+        let _ = writeln!(out, "|---|---:|---:|---|---|");
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} | {:.3} | {} | {} |",
+                c.name,
+                c.baseline,
+                c.current,
+                if c.ok { "✅ ok" } else { "❌ FAIL" },
+                c.rule.replace('|', "\\|"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n**check-regression: {}**\n",
             if self.passed() { "PASS" } else { "FAIL" }
         );
         out
@@ -758,6 +799,134 @@ pub fn check_durable(
     report
 }
 
+/// Gates a fresh `exp_elastic_scaling --out` measurement
+/// (`BENCH_elastic.json`) against its baseline.
+///
+/// * `elastic_bit_identical` (every start shape) and
+///   `fixed_reference_bit_identical`: a resized run must finish on exactly
+///   the bits of the sequential reference — exact, any host;
+/// * `violations`: the precision contract must hold with zero violations
+///   while the load swings;
+/// * `swing_factor` ≥ [`MIN_ELASTIC_SWING`]: the experiment must keep
+///   offering a real load swing, or the controller claims are vacuous;
+/// * decision counters (`grows_total` / `shrinks_total` / `resizes_total`)
+///   and message totals: exact determinism canaries when both runs swept
+///   the same shape (`streams`/`ticks`/`sample_every`/`min_shards`/
+///   `max_shards`) — the experiment disables the timing-dependent queue
+///   signal precisely so these are exact;
+/// * `resize_stall_ms_max`: bounded two ways — an absolute
+///   [`MAX_ELASTIC_STALL_MS`] ceiling on every host (a near-second stall on
+///   this tiny fleet is a stuck barrier, not noise), and lower-is-better
+///   within tolerance against the baseline, but only when core counts match
+///   **and** the baseline stall took at least 1 ms (below that, scheduler
+///   jitter dominates and the relative gate logs a NOTICE instead).
+#[must_use]
+pub fn check_elastic(
+    baseline_doc: &str,
+    current_doc: &str,
+    override_tol: Option<f64>,
+) -> GateReport {
+    let tol = tolerance_of(baseline_doc, override_tol);
+    let mut report = GateReport::default();
+
+    // Correctness canaries: host-independent, always gated.
+    let bits = json_bools(current_doc, "elastic_bit_identical");
+    report.must_hold(
+        "elastic_bit_identical (all start shapes)",
+        !bits.is_empty() && bits.iter().all(|b| *b),
+    );
+    report.must_hold(
+        "fixed_reference_bit_identical",
+        json_bools(current_doc, "fixed_reference_bit_identical")
+            .first()
+            .copied()
+            .unwrap_or(false),
+    );
+    match json_number(current_doc, "violations") {
+        Some(v) => report.exact("violations", 0.0, v),
+        None => report.must_hold("violations present", false),
+    }
+    match json_number(current_doc, "swing_factor") {
+        Some(s) => report.push(
+            "swing_factor",
+            MIN_ELASTIC_SWING,
+            s,
+            s >= MIN_ELASTIC_SWING,
+            format!("≥ {MIN_ELASTIC_SWING:.1}× (hot/quiet offered load)"),
+        ),
+        None => report.must_hold("swing_factor present", false),
+    }
+
+    // Same sweep shape ⇒ decisions and message totals are exact (the
+    // experiment runs on the deterministic offered-load signal alone).
+    let same_shape = [
+        "streams",
+        "ticks",
+        "sample_every",
+        "min_shards",
+        "max_shards",
+    ]
+    .iter()
+    .all(|k| json_number(baseline_doc, k) == json_number(current_doc, k));
+    if same_shape {
+        for key in [
+            "grows_total",
+            "shrinks_total",
+            "resizes_total",
+            "total_messages",
+            "lockstep_swing_messages",
+        ] {
+            match (
+                json_number(baseline_doc, key),
+                json_number(current_doc, key),
+            ) {
+                (Some(b), Some(c)) => report.exact(key, b, c),
+                _ => report.must_hold(&format!("{key} present"), false),
+            }
+        }
+    } else {
+        report.notice(
+            "elastic decision canaries skipped",
+            0.0,
+            0.0,
+            "sweep shapes differ: decision/message totals incomparable".to_string(),
+        );
+    }
+
+    let (bc, cc, wall_comparable) = cores_comparable(baseline_doc, current_doc);
+    match (
+        json_number(baseline_doc, "resize_stall_ms_max"),
+        json_number(current_doc, "resize_stall_ms_max"),
+    ) {
+        (_, Some(c)) if c > MAX_ELASTIC_STALL_MS => report.push(
+            "resize_stall_ms_max ceiling",
+            MAX_ELASTIC_STALL_MS,
+            c,
+            false,
+            format!("≤ {MAX_ELASTIC_STALL_MS:.0} ms (absolute, any host)"),
+        ),
+        (Some(b), Some(c)) if wall_comparable && b >= 1.0 => {
+            report.latency("resize_stall_ms_max", b, c, tol);
+        }
+        (Some(b), Some(c)) => report.notice(
+            "resize stall gate capped only",
+            b,
+            c,
+            if wall_comparable {
+                "baseline stall under the 1 ms timing floor: jitter dominates".to_string()
+            } else {
+                format!(
+                    "core counts differ ({} vs {}): wall clock incomparable across hosts",
+                    bc.unwrap_or(0.0),
+                    cc.unwrap_or(0.0)
+                )
+            },
+        ),
+        _ => report.must_hold("resize_stall_ms_max present", false),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,6 +938,7 @@ mod tests {
     const Q2: &str = include_str!("../../../BENCH_q2_budget_realloc.json");
     const NET: &str = include_str!("../../../BENCH_net.json");
     const DURABLE: &str = include_str!("../../../BENCH_durable.json");
+    const ELASTIC: &str = include_str!("../../../BENCH_elastic.json");
 
     /// The baseline's own measurement of `key` (its `after` section).
     fn after_number(doc: &str, key: &str) -> f64 {
@@ -848,6 +1018,135 @@ mod tests {
         assert!(n.passed(), "{}", n.render());
         let d = check_durable(DURABLE, DURABLE, None);
         assert!(d.passed(), "{}", d.render());
+        let e = check_elastic(ELASTIC, ELASTIC, None);
+        assert!(e.passed(), "{}", e.render());
+    }
+
+    #[test]
+    fn elastic_identity_or_violation_failure_fails_the_gate() {
+        // One start shape losing bit-identity fails, even with the others
+        // still true.
+        let broken = ELASTIC.replacen(
+            "\"elastic_bit_identical\": true",
+            "\"elastic_bit_identical\": false",
+            1,
+        );
+        assert_ne!(broken, ELASTIC, "baseline must carry the identity canary");
+        let report = check_elastic(ELASTIC, &broken, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name.starts_with("elastic_bit_identical")));
+
+        let unfixed = ELASTIC.replace(
+            "\"fixed_reference_bit_identical\": true",
+            "\"fixed_reference_bit_identical\": false",
+        );
+        assert!(!check_elastic(ELASTIC, &unfixed, None).passed());
+
+        let violated = set_numbers(ELASTIC, "violations", 2.0);
+        assert!(!check_elastic(ELASTIC, &violated, None).passed());
+    }
+
+    #[test]
+    fn elastic_swing_below_floor_fails_the_gate() {
+        let flat = set_numbers(ELASTIC, "swing_factor", MIN_ELASTIC_SWING - 1.0);
+        let report = check_elastic(ELASTIC, &flat, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "swing_factor"));
+        // The floor is absolute: a doctored-flat baseline doesn't excuse a
+        // flat current run.
+        assert!(!check_elastic(&flat, &flat, None).passed());
+    }
+
+    #[test]
+    fn elastic_decision_drift_fails_exactly_and_reshape_skips_visibly() {
+        for key in ["grows_total", "shrinks_total", "resizes_total"] {
+            let b = json_number(ELASTIC, key).expect("baseline canary");
+            let drifted = set_numbers(ELASTIC, key, b + 1.0);
+            let report = check_elastic(ELASTIC, &drifted, None);
+            assert!(
+                !report.passed(),
+                "{key} drift must fail:\n{}",
+                report.render()
+            );
+            assert!(report.checks.iter().any(|c| !c.ok && c.name == key));
+        }
+        // A different sweep shape skips the decision canaries — visibly.
+        let reshaped = set_numbers(ELASTIC, "sample_every", 9.0);
+        let report = check_elastic(ELASTIC, &reshaped, None);
+        assert!(report.passed(), "{}", report.render());
+        assert!(
+            report
+                .checks
+                .iter()
+                .any(|c| c.name == "elastic decision canaries skipped"
+                    && c.rule.starts_with("NOTICE"))
+        );
+    }
+
+    #[test]
+    fn elastic_stall_gate_has_a_ceiling_a_floor_and_core_scoping() {
+        // The absolute ceiling gates on any host, even across core counts.
+        let hung = set_numbers(ELASTIC, "resize_stall_ms_max", MAX_ELASTIC_STALL_MS * 2.0);
+        let hung = set_numbers(&hung, "available_parallelism", 64.0);
+        let report = check_elastic(ELASTIC, &hung, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "resize_stall_ms_max ceiling"));
+        // A sub-millisecond baseline stall: the relative gate must log a
+        // NOTICE, not flake on jitter.
+        let base_stall = json_number(ELASTIC, "resize_stall_ms_max").expect("stall recorded");
+        if base_stall < 1.0 {
+            let jittery = set_numbers(ELASTIC, "resize_stall_ms_max", 0.9);
+            let report = check_elastic(ELASTIC, &jittery, None);
+            assert!(report.passed(), "{}", report.render());
+            assert!(
+                report
+                    .checks
+                    .iter()
+                    .any(|c| c.name == "resize stall gate capped only"
+                        && c.rule.starts_with("NOTICE"))
+            );
+        }
+        // Both sides above the floor on equal cores: 2× slower fails.
+        let base = set_numbers(ELASTIC, "resize_stall_ms_max", 100.0);
+        let slower = set_numbers(ELASTIC, "resize_stall_ms_max", 200.0);
+        let report = check_elastic(&base, &slower, None);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "resize_stall_ms_max"));
+        // Different core counts (under the ceiling): a logged skip.
+        let other_host = set_numbers(&slower, "available_parallelism", 64.0);
+        let report = check_elastic(&base, &other_host, None);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "resize stall gate capped only" && c.rule.starts_with("NOTICE")));
+    }
+
+    #[test]
+    fn markdown_rendering_carries_every_check_and_the_verdict() {
+        let report = check_elastic(ELASTIC, ELASTIC, None);
+        let md = report.render_markdown("check-regression --kind elastic");
+        assert!(md.starts_with("### check-regression --kind elastic"));
+        assert!(md.contains("| swing_factor |"));
+        assert!(md.contains("✅ ok"));
+        assert!(md.contains("**check-regression: PASS**"));
+        let broken = set_numbers(ELASTIC, "violations", 1.0);
+        let md = check_elastic(ELASTIC, &broken, None)
+            .render_markdown("check-regression --kind elastic");
+        assert!(md.contains("❌ FAIL"));
+        assert!(md.contains("**check-regression: FAIL**"));
     }
 
     #[test]

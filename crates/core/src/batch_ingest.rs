@@ -420,6 +420,7 @@ impl BatchedIngest {
                 recycle_drops: 0,
                 feedback_out: 0,
                 feedback_drops: 0,
+                queue_high_water: 0,
                 tick_ns: self.tick_ns,
             }],
             endpoints,

@@ -46,6 +46,80 @@ use crate::server::{EndpointState, ServerEndpoint};
 /// backpressure.
 const QUEUE_DEPTH: usize = 64;
 
+/// The stream→shard routing function, made explicit so a resize can change
+/// it atomically at a tick barrier.
+///
+/// `salt == 0` is exactly the historical `stream_id % shards` route — every
+/// pre-elastic pipeline uses it, and it stays byte-for-byte stable. A
+/// non-zero salt mixes the id through SplitMix64 first, so a *rebalance*
+/// (same shard count, new salt) genuinely reshuffles placement instead of
+/// reproducing the old partition.
+///
+/// Routing never touches filter arithmetic: endpoints are independent and
+/// each stream's ticks stay FIFO within whichever shard owns it, so *any*
+/// assignment — and any sequence of reassignments at tick barriers — is
+/// bit-identical to the sequential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Number of shards routed across. Always ≥ 1.
+    pub shards: usize,
+    /// Hash salt; `0` selects the plain `id % shards` route.
+    pub salt: u64,
+}
+
+impl ShardAssignment {
+    /// The historical modulo route over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn modulo(shards: usize) -> Self {
+        assert!(shards > 0, "assignment needs at least one shard");
+        ShardAssignment { shards, salt: 0 }
+    }
+
+    /// A salted-hash route: same shard count, different placement per salt.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn salted(shards: usize, salt: u64) -> Self {
+        assert!(shards > 0, "assignment needs at least one shard");
+        ShardAssignment { shards, salt }
+    }
+
+    /// Shard owning `stream_id` under this assignment.
+    pub fn route(&self, stream_id: u32) -> usize {
+        if self.salt == 0 {
+            stream_id as usize % self.shards
+        } else {
+            (splitmix64(stream_id as u64 ^ self.salt) % self.shards as u64) as usize
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit permutation (public
+/// domain constants from Steele et al.), used to spread consecutive stream
+/// ids across shards under salted assignments.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What one [`ResizableIngest::reassign`] did: the assignment it moved
+/// from/to and how long ingest was stalled at the drain barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct ResizeTransition {
+    /// Assignment before the resize.
+    pub from: ShardAssignment,
+    /// Assignment after the resize.
+    pub to: ShardAssignment,
+    /// Wall-clock time the ingest path was quiesced (drain + respawn).
+    /// Wall-clock, so reported in artifacts but never in deterministic
+    /// experiment tables.
+    pub stall: std::time::Duration,
+}
+
 enum ShardJob {
     /// One tick's frames for this shard (possibly empty — every endpoint
     /// still takes its predict step).
@@ -164,7 +238,9 @@ impl ShardEngine {
 /// What one shard worker did, reported at [`IngestPipeline::finish`].
 #[derive(Debug, Clone)]
 pub struct ShardReport {
-    /// Shard index (`stream_id % shards == shard`).
+    /// Report index within the run: the shard index for a fixed-shape run,
+    /// or the worker-lifetime index (retired generations first) after
+    /// resizes.
     pub shard: usize,
     /// Endpoints owned by this shard.
     pub streams: usize,
@@ -203,6 +279,12 @@ pub struct ShardReport {
     /// gone. Like `recycle_drops`, counted rather than swallowed: during a
     /// drain, a non-zero count here is lost acks/bounds, not clean teardown.
     pub feedback_drops: u64,
+    /// Deepest this shard's job queue ever got, in jobs, *including* the
+    /// one being processed. The aggregated number already existed implicitly
+    /// (QUEUE_DEPTH bounds it); exporting it per shard is what lets the
+    /// elastic controller — and a dashboard — see the imbalance a rebalance
+    /// fixes rather than just "some shard was busy".
+    pub queue_high_water: u64,
     /// Per-tick processing span (decode + endpoint advance) in log₂-
     /// bucketed nanoseconds. Wall-clock, so reported in snapshots but never
     /// folded into deterministic experiment tables.
@@ -222,6 +304,7 @@ impl Instrument for ShardReport {
         scope.counter("feedback_out", self.feedback_out);
         scope.counter("feedback_drops", self.feedback_drops);
         scope.gauge("busy_secs", self.busy_secs);
+        scope.gauge("queue_high_water", self.queue_high_water as f64);
         scope.histogram("tick_ns", &self.tick_ns);
     }
 }
@@ -282,6 +365,19 @@ pub struct IngestPipeline {
     batches: Vec<FrameBatch>,
     pool: BufferPool,
     recycle_rx: Receiver<BytesMut>,
+    /// Kept so [`IngestPipeline::reassign`] can hand fresh worker
+    /// generations the same recycle channel the buffer pool drains.
+    recycle_tx: Sender<BytesMut>,
+    /// The live stream→shard route, shared by the router and worker spawn.
+    assignment: ShardAssignment,
+    /// Whether shards run the fleet-batch engine (preserved across resizes).
+    batched: bool,
+    /// Feedback channel handed to every worker generation, when enabled.
+    feedback: Option<Sender<(u32, Bytes)>>,
+    /// Reports from worker generations retired by earlier resizes; folded
+    /// into the final [`IngestResult`] so totals stay comparable to the
+    /// sequential reference across any resize history.
+    retired: Vec<ShardReport>,
     router: FrameDecoder,
     /// Buffers minted so far. Capped at [`IngestPipeline::buffer_cap`]: once
     /// the population covers every queue slot plus in-progress batches, the
@@ -345,63 +441,54 @@ impl IngestPipeline {
         batched: bool,
     ) -> (Self, Receiver<(u32, Bytes)>) {
         let (tx, rx) = unbounded();
-        let pipe = IngestPipeline::start_inner(shards, endpoints, batched, Some(tx));
+        let pipe = IngestPipeline::start_inner(
+            ShardAssignment::modulo(shards),
+            endpoints,
+            batched,
+            Some(tx),
+        );
         (pipe, rx)
     }
 
+    /// Spawns a pipeline in an exact [`ShardAssignment`] — shard count *and*
+    /// placement salt. This is how a restarted process re-enters the shape
+    /// an elastic run resized into: recovery hands it the assignment the
+    /// crashed run last held, and routing resumes byte-for-byte.
+    ///
+    /// # Panics
+    /// Panics when `assignment.shards` is 0.
+    pub fn start_assigned(
+        assignment: ShardAssignment,
+        endpoints: Vec<(u32, ServerEndpoint)>,
+    ) -> Self {
+        IngestPipeline::start_inner(assignment, endpoints, false, None)
+    }
+
     fn start_with(shards: usize, endpoints: Vec<(u32, ServerEndpoint)>, batched: bool) -> Self {
-        IngestPipeline::start_inner(shards, endpoints, batched, None)
+        IngestPipeline::start_inner(ShardAssignment::modulo(shards), endpoints, batched, None)
     }
 
     fn start_inner(
-        shards: usize,
+        assignment: ShardAssignment,
         endpoints: Vec<(u32, ServerEndpoint)>,
         batched: bool,
         feedback: Option<Sender<(u32, Bytes)>>,
     ) -> Self {
+        let shards = assignment.shards;
         assert!(shards > 0, "ingest needs at least one shard");
-        let mut groups: Vec<Vec<(u32, ServerEndpoint)>> = (0..shards).map(|_| Vec::new()).collect();
-        for (id, ep) in endpoints {
-            groups[id as usize % shards].push((id, ep));
-        }
-        let mut coverage = batched.then_some((0usize, 0usize));
-        let engines: Vec<ShardEngine> = groups
-            .into_iter()
-            .map(|group| {
-                if batched {
-                    let engine = BatchShardEngine::new(group);
-                    if let Some(c) = coverage.as_mut() {
-                        let (b, s) = engine.coverage();
-                        c.0 += b;
-                        c.1 += s;
-                    }
-                    ShardEngine::Batched(engine)
-                } else {
-                    ShardEngine::Plain(group.into_iter().collect())
-                }
-            })
-            .collect();
         let (recycle_tx, recycle_rx) = unbounded();
-        let handles = engines
-            .into_iter()
-            .enumerate()
-            .map(|(shard, engine)| {
-                let (tx, rx) = bounded(QUEUE_DEPTH);
-                let (ack_tx, ack_rx) = bounded(1);
-                let recycle = recycle_tx.clone();
-                let feedback = feedback.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("ingest-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, rx, ack_tx, recycle, feedback, engine))
-                    .expect("failed to spawn shard worker");
-                ShardHandle { tx, ack_rx, handle }
-            })
-            .collect();
+        let (handles, coverage) =
+            spawn_workers(assignment, endpoints, batched, &feedback, &recycle_tx);
         IngestPipeline {
             shards: handles,
             batches: (0..shards).map(|_| FrameBatch::new()).collect(),
             pool: BufferPool::new(),
             recycle_rx,
+            recycle_tx,
+            assignment,
+            batched,
+            feedback,
+            retired: Vec::new(),
             router: FrameDecoder::new(),
             outstanding: 0,
             high_water: 0,
@@ -453,6 +540,92 @@ impl IngestPipeline {
         self.shards.len()
     }
 
+    /// The live stream→shard assignment.
+    pub fn assignment(&self) -> ShardAssignment {
+        self.assignment
+    }
+
+    /// Jobs currently queued per shard (the job being processed excluded) —
+    /// the instantaneous imbalance signal the elastic controller's
+    /// rebalancer reads. Snapshot semantics: values can be stale by the time
+    /// the caller looks at them.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|shard| shard.tx.len()).collect()
+    }
+
+    /// Changes the shard count, keeping the current salt — the controller's
+    /// grow/shrink primitive. See [`IngestPipeline::reassign`].
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0 or a worker panicked.
+    pub fn resize(&mut self, shards: usize) -> ResizeTransition {
+        assert!(shards > 0, "ingest needs at least one shard");
+        self.reassign(ShardAssignment {
+            shards,
+            salt: self.assignment.salt,
+        })
+    }
+
+    /// Moves the pipeline to a new stream→shard assignment at a drain
+    /// barrier: closes every shard's queue (each worker applies all
+    /// in-flight ticks, then hands back its endpoints — the quiesce point),
+    /// regroups the endpoints under `to`, and restarts workers. Retired
+    /// workers' reports are folded into the final [`IngestResult`], so
+    /// totals stay comparable to the sequential reference across any resize
+    /// history.
+    ///
+    /// Bit-identity is preserved by construction: reassignment happens at a
+    /// tick boundary, every stream's ticks stay FIFO within whichever shard
+    /// owns it, and endpoints are independent — so no filter's arithmetic
+    /// can observe the move. A same-assignment call is a no-op.
+    ///
+    /// # Panics
+    /// Panics when a worker panicked.
+    pub fn reassign(&mut self, to: ShardAssignment) -> ResizeTransition {
+        let from = self.assignment;
+        if to == from {
+            return ResizeTransition {
+                from,
+                to,
+                stall: std::time::Duration::ZERO,
+            };
+        }
+        let start = std::time::Instant::now();
+        let mut endpoints = Vec::new();
+        for shard in self.shards.drain(..) {
+            drop(shard.tx); // closes the queue; the worker drains, then exits
+            let result = shard.handle.join().expect("ingest shard worker panicked");
+            self.retired.push(result.report);
+            endpoints.extend(result.endpoints);
+        }
+        endpoints.sort_by_key(|(id, _)| *id);
+        let (handles, coverage) = spawn_workers(
+            to,
+            endpoints,
+            self.batched,
+            &self.feedback,
+            &self.recycle_tx,
+        );
+        self.shards = handles;
+        self.coverage = coverage;
+        self.assignment = to;
+        // Match the router-side batch set to the new shard count. Shrinks
+        // park the spare buffers in the pool (they keep their high-water
+        // capacity); grows start empty like at pipeline start.
+        while self.batches.len() > to.shards {
+            let batch = self.batches.pop().expect("length checked above");
+            self.pool.put(batch.into_buffer());
+        }
+        while self.batches.len() < to.shards {
+            self.batches.push(FrameBatch::new());
+        }
+        ResizeTransition {
+            from,
+            to,
+            stall: start.elapsed(),
+        }
+    }
+
     /// Frames whose *headers* were malformed at the router (body failures
     /// are counted by the shard that owned the frame).
     pub fn router_decode_failures(&self) -> u64 {
@@ -468,8 +641,9 @@ impl IngestPipeline {
     pub fn ingest_tick(&mut self, wire: &[u8]) {
         let shards = self.shards.len();
         let batches = &mut self.batches;
+        let assignment = self.assignment;
         self.router.for_each_frame(wire, |frame| {
-            batches[frame.stream_id as usize % shards].push_raw(frame.stream_id, frame.body);
+            batches[assignment.route(frame.stream_id)].push_raw(frame.stream_id, frame.body);
         });
         for shard in 0..shards {
             let fresh = FrameBatch::from_buffer(self.next_buffer());
@@ -524,10 +698,13 @@ impl IngestPipeline {
     }
 
     /// Flushes, shuts the workers down, and collects their reports and
-    /// endpoints (sorted by stream id).
+    /// endpoints (sorted by stream id). After resizes the result carries one
+    /// report per worker *lifetime* — retired generations first, then the
+    /// final one — renumbered sequentially so scoped metric names stay
+    /// unique.
     pub fn finish(mut self) -> IngestResult {
         self.flush();
-        let mut reports = Vec::with_capacity(self.shards.len());
+        let mut reports = std::mem::take(&mut self.retired);
         let mut endpoints = Vec::new();
         for shard in self.shards.drain(..) {
             drop(shard.tx); // closes the channel; the worker's recv loop ends
@@ -535,12 +712,66 @@ impl IngestPipeline {
             reports.push(result.report);
             endpoints.extend(result.endpoints);
         }
+        for (i, report) in reports.iter_mut().enumerate() {
+            report.shard = i;
+        }
         endpoints.sort_by_key(|(id, _)| *id);
         IngestResult {
             shards: reports,
             endpoints,
         }
     }
+}
+
+/// Groups `endpoints` under `assignment` and spawns one worker per shard.
+/// Shared by pipeline start and [`IngestPipeline::reassign`] so both
+/// generations are built by exactly the same code path. Returns the shard
+/// handles and the batch-path coverage (`None` for plain pipelines).
+fn spawn_workers(
+    assignment: ShardAssignment,
+    endpoints: Vec<(u32, ServerEndpoint)>,
+    batched: bool,
+    feedback: &Option<Sender<(u32, Bytes)>>,
+    recycle_tx: &Sender<BytesMut>,
+) -> (Vec<ShardHandle>, Option<(usize, usize)>) {
+    let mut groups: Vec<Vec<(u32, ServerEndpoint)>> =
+        (0..assignment.shards).map(|_| Vec::new()).collect();
+    for (id, ep) in endpoints {
+        groups[assignment.route(id)].push((id, ep));
+    }
+    let mut coverage = batched.then_some((0usize, 0usize));
+    let engines: Vec<ShardEngine> = groups
+        .into_iter()
+        .map(|group| {
+            if batched {
+                let engine = BatchShardEngine::new(group);
+                if let Some(c) = coverage.as_mut() {
+                    let (b, s) = engine.coverage();
+                    c.0 += b;
+                    c.1 += s;
+                }
+                ShardEngine::Batched(engine)
+            } else {
+                ShardEngine::Plain(group.into_iter().collect())
+            }
+        })
+        .collect();
+    let handles = engines
+        .into_iter()
+        .enumerate()
+        .map(|(shard, engine)| {
+            let (tx, rx) = bounded(QUEUE_DEPTH);
+            let (ack_tx, ack_rx) = bounded(1);
+            let recycle = recycle_tx.clone();
+            let feedback = feedback.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ingest-shard-{shard}"))
+                .spawn(move || shard_worker(shard, rx, ack_tx, recycle, feedback, engine))
+                .expect("failed to spawn shard worker");
+            ShardHandle { tx, ack_rx, handle }
+        })
+        .collect();
+    (handles, coverage)
 }
 
 /// On-CPU nanoseconds of the calling thread so far — field 1 of
@@ -574,9 +805,13 @@ fn shard_worker(
     let mut feedback_out = 0u64;
     let mut feedback_drops = 0u64;
     let mut tick_ns = Histogram::new();
+    let mut queue_high_water = 0u64;
     let cpu_start = thread_cpu_ns();
     let mut busy = std::time::Duration::ZERO;
     while let Ok(job) = rx.recv() {
+        // Depth including the job just taken: what the router saw stacked
+        // against this shard when it was deepest.
+        queue_high_water = queue_high_water.max(rx.len() as u64 + 1);
         match job {
             ShardJob::Tick(buf) => {
                 let span = SpanTimer::start();
@@ -646,6 +881,7 @@ fn shard_worker(
             recycle_drops,
             feedback_out,
             feedback_drops,
+            queue_high_water,
             tick_ns,
         },
         endpoints,
@@ -744,6 +980,7 @@ impl SequentialIngest {
                 recycle_drops: 0,
                 feedback_out: 0,
                 feedback_drops: 0,
+                queue_high_water: 0,
                 tick_ns: self.tick_ns,
             }],
             endpoints: self.endpoints,
@@ -792,6 +1029,59 @@ impl SnapshotSource for IngestPipeline {
 impl SnapshotSource for SequentialIngest {
     fn snapshot_states(&mut self) -> Vec<(u32, EndpointState)> {
         SequentialIngest::snapshot_states(self)
+    }
+}
+
+/// Anything whose stream→shard assignment can be changed at a tick barrier
+/// — the hook the elastic controller resizes through. Implementations must
+/// guarantee the move is invisible to filter arithmetic: after any sequence
+/// of `reassign` calls, final endpoint state is bit-identical to a run that
+/// never resized.
+pub trait ResizableIngest: TickIngest {
+    /// The live stream→shard assignment.
+    fn assignment(&self) -> ShardAssignment;
+
+    /// Quiesces at a tick barrier and moves to `to`. Returns what actually
+    /// happened — implementations that cannot resize (the sequential
+    /// reference) report an unchanged assignment.
+    fn reassign(&mut self, to: ShardAssignment) -> ResizeTransition;
+
+    /// Live per-shard job-queue depths, when the implementation has worker
+    /// queues to measure — the controller's timing-dependent pressure
+    /// signal. Empty for inline ingesters. Snapshot semantics.
+    fn queue_depths(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl ResizableIngest for IngestPipeline {
+    fn assignment(&self) -> ShardAssignment {
+        IngestPipeline::assignment(self)
+    }
+
+    fn reassign(&mut self, to: ShardAssignment) -> ResizeTransition {
+        IngestPipeline::reassign(self, to)
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        IngestPipeline::queue_depths(self)
+    }
+}
+
+impl ResizableIngest for SequentialIngest {
+    fn assignment(&self) -> ShardAssignment {
+        ShardAssignment::modulo(1)
+    }
+
+    /// The sequential reference has no workers to restart; reassigning it
+    /// is a no-op that stays at one pseudo-shard.
+    fn reassign(&mut self, _to: ShardAssignment) -> ResizeTransition {
+        let unchanged = ShardAssignment::modulo(1);
+        ResizeTransition {
+            from: unchanged,
+            to: unchanged,
+            stall: std::time::Duration::ZERO,
+        }
     }
 }
 
@@ -992,6 +1282,121 @@ mod tests {
         let pipe = IngestPipeline::start(2, servers);
         assert_eq!(pipe.coverage(), None);
         pipe.finish();
+    }
+
+    #[test]
+    fn salted_route_spreads_and_modulo_route_is_stable() {
+        let modulo = ShardAssignment::modulo(4);
+        for id in 0..64u32 {
+            assert_eq!(modulo.route(id), id as usize % 4);
+        }
+        let salted = ShardAssignment::salted(4, 7);
+        let mut touched = [false; 4];
+        for id in 0..64u32 {
+            let shard = salted.route(id);
+            assert!(shard < 4);
+            touched[shard] = true;
+        }
+        assert!(
+            touched.iter().all(|&t| t),
+            "salted route left a shard empty"
+        );
+        // Different salts must produce different placements (that is what
+        // makes a same-count rebalance a real reshuffle).
+        let other = ShardAssignment::salted(4, 8);
+        assert!((0..64u32).any(|id| salted.route(id) != other.route(id)));
+    }
+
+    #[test]
+    fn resizes_at_tick_barriers_are_bit_identical_to_unresized() {
+        let (servers, log) = record_log(12, 60);
+        let mut seq = SequentialIngest::new(servers.clone());
+        for tick in &log {
+            seq.ingest_tick(tick);
+        }
+        let seq_result = seq.finish();
+        assert!(seq_result.total_messages() > 0);
+
+        for batched in [false, true] {
+            // Grow, rebalance (same count, new salt), shrink, and shrink to
+            // one — mid-run, at tick barriers. None of it may be visible in
+            // the final filter state.
+            let schedule = [
+                (15usize, ShardAssignment::modulo(4)),
+                (30, ShardAssignment::salted(4, 3)),
+                (40, ShardAssignment::salted(2, 3)),
+                (50, ShardAssignment::modulo(1)),
+            ];
+            let mut pipe = if batched {
+                IngestPipeline::start_batched(1, servers.clone())
+            } else {
+                IngestPipeline::start(1, servers.clone())
+            };
+            for (t, tick) in log.iter().enumerate() {
+                if let Some((_, to)) = schedule.iter().find(|(at, _)| *at == t) {
+                    let transition = pipe.reassign(*to);
+                    assert_eq!(transition.to, *to);
+                    assert_eq!(pipe.assignment(), *to);
+                    assert_eq!(pipe.shards(), to.shards);
+                }
+                pipe.ingest_tick(tick);
+            }
+            let result = pipe.finish();
+            // One report per worker lifetime: 1 + 4 + 4 + 2 + 1.
+            assert_eq!(result.shards.len(), 12);
+            assert_eq!(result.total_messages(), seq_result.total_messages());
+            let ticks: u64 = result.shards.iter().map(|s| s.ticks).sum();
+            // Phase ticks × worker count per phase: 15·1 + 15·4 + 10·4 + 10·2 + 10·1.
+            let expected_ticks: u64 = 15 + 15 * 4 + 10 * 4 + 10 * 2 + 10;
+            assert_eq!(ticks, expected_ticks);
+            for ((id_a, a), (id_b, b)) in result.endpoints.iter().zip(seq_result.endpoints.iter()) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(
+                    filter_bits(a),
+                    filter_bits(b),
+                    "stream {id_a} diverged across resizes (batched={batched})"
+                );
+                assert_eq!(a.syncs_applied(), b.syncs_applied());
+            }
+        }
+    }
+
+    #[test]
+    fn same_assignment_reassign_is_a_noop() {
+        let (servers, log) = record_log(4, 10);
+        let mut pipe = IngestPipeline::start(2, servers);
+        for tick in &log {
+            pipe.ingest_tick(tick);
+        }
+        let transition = pipe.reassign(ShardAssignment::modulo(2));
+        assert_eq!(transition.from, transition.to);
+        assert_eq!(transition.stall, std::time::Duration::ZERO);
+        let result = pipe.finish();
+        assert_eq!(result.shards.len(), 2, "no retired generation");
+    }
+
+    #[test]
+    fn queue_depths_and_high_water_are_reported() {
+        let (servers, log) = record_log(6, 30);
+        let mut pipe = IngestPipeline::start(3, servers);
+        assert_eq!(pipe.queue_depths().len(), 3);
+        for tick in &log {
+            pipe.ingest_tick(tick);
+        }
+        assert!(pipe.queue_depths().iter().all(|&d| d <= QUEUE_DEPTH));
+        let result = pipe.finish();
+        for shard in &result.shards {
+            assert!(
+                shard.queue_high_water >= 1,
+                "every worker saw at least one job"
+            );
+            assert!(shard.queue_high_water <= QUEUE_DEPTH as u64 + 1);
+        }
+        // The gauge must surface in the obs export path.
+        let mut registry = kalstream_obs::Registry::new();
+        registry.observe("ingest", &result);
+        let snap = registry.snapshot();
+        assert!(snap.gauge("ingest.shard.0.queue_high_water").is_some());
     }
 
     #[test]

@@ -79,8 +79,8 @@ pub use frame::{
     MAX_FRAME_BYTES,
 };
 pub use ingest::{
-    FramingSink, IngestPipeline, IngestResult, SequentialIngest, ShardReport, SnapshotSource,
-    TickIngest,
+    FramingSink, IngestPipeline, IngestResult, ResizableIngest, ResizeTransition, SequentialIngest,
+    ShardAssignment, ShardReport, SnapshotSource, TickIngest,
 };
 pub use protocol::{pin_to_measurement, AckTracker};
 pub use rate::RateEstimator;

@@ -9,7 +9,9 @@
 
 use std::io;
 
-use kalstream_core::{SnapshotSource, TickIngest};
+use kalstream_core::{
+    ResizableIngest, ResizeTransition, ShardAssignment, SnapshotSource, TickIngest,
+};
 
 use crate::store::DurableStore;
 
@@ -90,6 +92,24 @@ impl<I: TickIngest + SnapshotSource> DurableIngest<I> {
         self.ticks_applied
     }
 
+    /// Checkpoints at the resize barrier, then moves the inner ingester to
+    /// `to` — the *shape-change checkpoint reuse* that makes elastic
+    /// resizing safe: snapshots are pipeline-shape-independent (sorted
+    /// `(stream_id, state)` pairs), so the checkpoint written here recovers
+    /// into **any** shard count. A crash at any point around the resize
+    /// replays from this barrier (or an earlier one) into the post-resize
+    /// shape with zero extra machinery.
+    ///
+    /// # Errors
+    /// Propagates store I/O errors; on error the resize is not executed.
+    pub fn try_reassign(&mut self, to: ShardAssignment) -> io::Result<ResizeTransition>
+    where
+        I: ResizableIngest,
+    {
+        self.checkpoint()?;
+        Ok(self.inner.reassign(to))
+    }
+
     /// The wrapped store (stats, directory).
     pub fn store(&self) -> &DurableStore {
         &self.store
@@ -124,5 +144,24 @@ impl<I: TickIngest + SnapshotSource> TickIngest for DurableIngest<I> {
 impl<I: TickIngest + SnapshotSource> SnapshotSource for DurableIngest<I> {
     fn snapshot_states(&mut self) -> Vec<(u32, kalstream_core::EndpointState)> {
         self.inner.snapshot_states()
+    }
+}
+
+impl<I: TickIngest + SnapshotSource + ResizableIngest> ResizableIngest for DurableIngest<I> {
+    fn assignment(&self) -> ShardAssignment {
+        self.inner.assignment()
+    }
+
+    /// Like [`TickIngest::ingest_tick`], infallible by contract: a store
+    /// I/O error while writing the resize-barrier checkpoint is an
+    /// environment failure and panics. Use
+    /// [`DurableIngest::try_reassign`] to handle it instead.
+    fn reassign(&mut self, to: ShardAssignment) -> ResizeTransition {
+        self.try_reassign(to)
+            .expect("durable checkpoint failed at resize barrier")
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        self.inner.queue_depths()
     }
 }

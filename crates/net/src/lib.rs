@@ -40,5 +40,7 @@ pub mod workload;
 
 pub use client::{decode_feedback, discard_feedback, drive_connection, ClientConfig, ClientReport};
 pub use codec::HelloStatus;
-pub use server::{ConnReport, NetReport, NetServer, NetServerConfig, FEEDBACK_QUEUE_DEPTH};
+pub use server::{
+    ConnReport, ElasticNetStats, NetReport, NetServer, NetServerConfig, FEEDBACK_QUEUE_DEPTH,
+};
 pub use transport::TcpTransport;

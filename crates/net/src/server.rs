@@ -42,8 +42,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use kalstream_core::{IngestPipeline, IngestResult, ServerEndpoint, StreamDecoder};
+use kalstream_core::{
+    IngestPipeline, IngestResult, ResizableIngest, ServerEndpoint, StreamDecoder, TickIngest,
+};
 use kalstream_durable::{DurableConfig, DurableIngest, DurableStats, DurableStore};
+use kalstream_elastic::{ElasticConfig, ElasticIngest, ResizeKind};
 use kalstream_obs::{Instrument, Registry, Scope, Snapshot};
 use tokio::net::{OwnedWriteHalf, TcpListener, TcpStream};
 use tokio::runtime::Builder;
@@ -96,6 +99,16 @@ pub struct NetServerConfig {
     /// mid-flight. With `durable` set, the next start on the same
     /// directory must recover everything the aborted run applied.
     pub crash_after_ticks: Option<u64>,
+    /// Elasticity: when set, the ingest pipeline is wrapped in the
+    /// closed-loop [`ElasticIngest`] controller, which grows/shrinks the
+    /// shard fleet from observed load. Resizes execute on the router's
+    /// thread between global ticks — readers, writers, and their sockets
+    /// are untouched, so no connection ever drops across a resize. `shards`
+    /// becomes the *initial* count and must lie inside the controller's
+    /// `[min_shards, max_shards]` range. Composes with `durable`: each
+    /// resize then checkpoints at its barrier first (shape-change
+    /// checkpoint reuse).
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for NetServerConfig {
@@ -111,6 +124,7 @@ impl Default for NetServerConfig {
             max_hello_streams: MAX_HELLO_STREAMS,
             durable: None,
             crash_after_ticks: None,
+            elastic: None,
         }
     }
 }
@@ -146,6 +160,36 @@ impl Instrument for ConnReport {
     }
 }
 
+/// Elastic-controller outcome of a served fleet, reported when the server
+/// ran with an [`ElasticConfig`].
+#[derive(Debug, Clone)]
+pub struct ElasticNetStats {
+    /// Resizes executed (grows + shrinks + rebalances).
+    pub resizes: u64,
+    /// Resizes that added shards.
+    pub grows: u64,
+    /// Resizes that removed shards.
+    pub shrinks: u64,
+    /// Same-count placement reshuffles.
+    pub rebalances: u64,
+    /// Shard count at teardown.
+    pub final_shards: usize,
+    /// Worst ingest stall paid at any resize barrier, in milliseconds
+    /// (wall-clock — artifact material, not table material).
+    pub max_stall_ms: f64,
+}
+
+impl Instrument for ElasticNetStats {
+    fn export(&self, scope: &mut Scope<'_>) {
+        scope.counter("resizes", self.resizes);
+        scope.counter("grows", self.grows);
+        scope.counter("shrinks", self.shrinks);
+        scope.counter("rebalances", self.rebalances);
+        scope.gauge("final_shards", self.final_shards as f64);
+        scope.gauge("max_stall_ms", self.max_stall_ms);
+    }
+}
+
 /// Aggregate outcome of a served fleet.
 #[derive(Debug)]
 pub struct NetReport {
@@ -172,6 +216,9 @@ pub struct NetReport {
     pub replay_feedback_discarded: u64,
     /// Durability counters, when the server ran with a [`DurableConfig`].
     pub durable: Option<DurableStats>,
+    /// Elastic-controller counters, when the server ran with an
+    /// [`ElasticConfig`].
+    pub elastic: Option<ElasticNetStats>,
 }
 
 impl NetReport {
@@ -196,6 +243,9 @@ impl NetReport {
         net.counter("replay_feedback_discarded", self.replay_feedback_discarded);
         if let Some(durable) = &self.durable {
             net.observe("durable", durable);
+        }
+        if let Some(elastic) = &self.elastic {
+            net.observe("elastic", elastic);
         }
         net.counter(
             "feedback_sent",
@@ -285,14 +335,35 @@ impl NetServer {
     }
 }
 
-/// The router's ingest seam: a plain pipeline, or one wrapped in the
-/// durability discipline (WAL-append before apply, cadence snapshots).
+/// The router's ingest seam: a plain pipeline, optionally wrapped in the
+/// durability discipline (WAL-append before apply, cadence snapshots),
+/// optionally with the elastic controller loop closed around either.
 enum Ingester {
     Plain(IngestPipeline),
     Durable(DurableIngest<IngestPipeline>),
+    Elastic(ElasticIngest<IngestPipeline>),
+    ElasticDurable(ElasticIngest<DurableIngest<IngestPipeline>>),
+}
+
+/// Snapshots the controller-loop counters before the driver is unwrapped.
+fn elastic_stats<I: ResizableIngest>(elastic: &ElasticIngest<I>) -> ElasticNetStats {
+    let count =
+        |kind: ResizeKind| elastic.events().iter().filter(|e| e.kind == kind).count() as u64;
+    ElasticNetStats {
+        resizes: elastic.events().len() as u64,
+        grows: count(ResizeKind::Grow),
+        shrinks: count(ResizeKind::Shrink),
+        rebalances: count(ResizeKind::Rebalance),
+        final_shards: elastic.inner().assignment().shards,
+        max_stall_ms: elastic.max_stall_ms(),
+    }
 }
 
 impl Ingester {
+    /// The elastic variants go through the infallible [`TickIngest`] path:
+    /// a store I/O error at a WAL append or a resize-barrier checkpoint
+    /// panics the router thread (environment failure), matching the
+    /// pipeline's own worker-death behavior.
     fn ingest_tick(&mut self, wire: &[u8]) -> io::Result<()> {
         match self {
             Ingester::Plain(pipeline) => {
@@ -300,6 +371,14 @@ impl Ingester {
                 Ok(())
             }
             Ingester::Durable(durable) => durable.try_ingest_tick(wire),
+            Ingester::Elastic(elastic) => {
+                elastic.ingest_tick(wire);
+                Ok(())
+            }
+            Ingester::ElasticDurable(elastic) => {
+                elastic.ingest_tick(wire);
+                Ok(())
+            }
         }
     }
 
@@ -307,19 +386,32 @@ impl Ingester {
         match self {
             Ingester::Plain(pipeline) => pipeline.flush(),
             Ingester::Durable(durable) => durable.inner_mut().flush(),
+            Ingester::Elastic(elastic) => elastic.inner_mut().flush(),
+            Ingester::ElasticDurable(elastic) => elastic.inner_mut().inner_mut().flush(),
         }
     }
 
     /// Clean teardown: a durable server checkpoints at the final barrier
-    /// (so the next start replays nothing), then both variants finish the
-    /// pipeline. Returns the durability counters when there are any.
-    fn finish(self) -> io::Result<(IngestResult, Option<DurableStats>)> {
+    /// (so the next start replays nothing), an elastic one reports its
+    /// controller counters, then every variant finishes the pipeline.
+    fn finish(self) -> io::Result<(IngestResult, Option<DurableStats>, Option<ElasticNetStats>)> {
         match self {
-            Ingester::Plain(pipeline) => Ok((pipeline.finish(), None)),
+            Ingester::Plain(pipeline) => Ok((pipeline.finish(), None, None)),
             Ingester::Durable(mut durable) => {
                 durable.checkpoint()?;
                 let (pipeline, store) = durable.into_parts();
-                Ok((pipeline.finish(), Some(store.stats().clone())))
+                Ok((pipeline.finish(), Some(store.stats().clone()), None))
+            }
+            Ingester::Elastic(elastic) => {
+                let stats = elastic_stats(&elastic);
+                Ok((elastic.into_inner().finish(), None, Some(stats)))
+            }
+            Ingester::ElasticDurable(elastic) => {
+                let stats = elastic_stats(&elastic);
+                let mut durable = elastic.into_inner();
+                durable.checkpoint()?;
+                let (pipeline, store) = durable.into_parts();
+                Ok((pipeline.finish(), Some(store.stats().clone()), Some(stats)))
             }
         }
     }
@@ -379,12 +471,24 @@ async fn serve(
             }
             let durable =
                 DurableIngest::resume(pipeline, store, durable_config.snapshot_every, resume_at)?;
-            (Ingester::Durable(durable), fb_rx)
+            let ingester = match &config.elastic {
+                Some(elastic_config) => {
+                    Ingester::ElasticDurable(ElasticIngest::new(durable, elastic_config.clone()))
+                }
+                None => Ingester::Durable(durable),
+            };
+            (ingester, fb_rx)
         }
         None => {
             let (pipeline, fb_rx) =
                 IngestPipeline::start_with_feedback(config.shards, endpoints, config.batched);
-            (Ingester::Plain(pipeline), fb_rx)
+            let ingester = match &config.elastic {
+                Some(elastic_config) => {
+                    Ingester::Elastic(ElasticIngest::new(pipeline, elastic_config.clone()))
+                }
+                None => Ingester::Plain(pipeline),
+            };
+            (ingester, fb_rx)
         }
     };
     // Status reply appended to each admitted connection's (empty) writer
@@ -589,7 +693,7 @@ async fn serve(
     // worker could still be mid-poll): count as shed, never drop silently.
     route_feedback(&mut conns, &route, &fb_rx);
 
-    let (ingest, durable) = ingester.finish()?;
+    let (ingest, durable, elastic) = ingester.finish()?;
     let conn_reports = conns
         .iter()
         .enumerate()
@@ -613,6 +717,7 @@ async fn serve(
         replayed_ticks,
         replay_feedback_discarded,
         durable,
+        elastic,
     })
 }
 

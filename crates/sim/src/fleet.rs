@@ -148,6 +148,92 @@ where
 /// A boxed `(observed, truth)` sampler, as carried by [`IngestStream`].
 pub type BoxedSampler<'a> = Box<dyn FnMut(&mut [f64], &mut [f64]) + 'a>;
 
+/// One phase of a [`LoadSwing`]: hold `amplitude` for `ticks` ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPhase {
+    /// How long the phase lasts.
+    pub ticks: u64,
+    /// Signal amplitude during the phase. Under a deadband/suppression
+    /// producer with threshold δ, amplitudes well above δ make nearly every
+    /// tick ship while amplitudes well below δ suppress nearly everything —
+    /// so the phase schedule *is* the offered-load schedule.
+    pub amplitude: f64,
+}
+
+/// A deterministic piecewise-constant load schedule for swing scenarios:
+/// the elastic-scaling experiments drive grow/shrink decisions by swinging
+/// signal volatility (and therefore suppression failures, and therefore
+/// message rate) through these phases.
+///
+/// The final phase extends indefinitely, so a swing can be shorter than the
+/// run that consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSwing {
+    phases: Vec<LoadPhase>,
+}
+
+impl LoadSwing {
+    /// Builds a swing from its phases.
+    ///
+    /// # Panics
+    /// Panics on an empty schedule or a zero-length phase — both would make
+    /// [`LoadSwing::amplitude_at`] ill-defined.
+    pub fn new(phases: Vec<LoadPhase>) -> LoadSwing {
+        assert!(!phases.is_empty(), "a load swing needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.ticks > 0),
+            "every phase must last at least one tick"
+        );
+        LoadSwing { phases }
+    }
+
+    /// Sum of the phase lengths (the swing's natural duration; runs may be
+    /// longer, in which case the last phase extends).
+    pub fn total_ticks(&self) -> u64 {
+        self.phases.iter().map(|p| p.ticks).sum()
+    }
+
+    /// The amplitude in force at `tick`. Past the end of the schedule the
+    /// final phase's amplitude holds.
+    pub fn amplitude_at(&self, tick: u64) -> f64 {
+        let mut start = 0u64;
+        for phase in &self.phases {
+            if tick < start + phase.ticks {
+                return phase.amplitude;
+            }
+            start += phase.ticks;
+        }
+        self.phases
+            .last()
+            .expect("non-empty by construction")
+            .amplitude
+    }
+
+    /// The phase schedule.
+    pub fn phases(&self) -> &[LoadPhase] {
+        &self.phases
+    }
+
+    /// A self-clocking sampler for `stream_id`: an amplitude-modulated
+    /// sinusoid `A(t) · sin(0.9·t + id)`, with `A(t)` from the schedule and
+    /// truth equal to the clean signal. Deterministic — two samplers built
+    /// from the same swing and id produce bit-identical sequences — and
+    /// self-clocking, so a run may be split across several fleet-driver
+    /// calls (e.g. one per phase, to measure per-phase traffic) without
+    /// losing its place in the schedule.
+    pub fn sampler(&self, stream_id: u32) -> BoxedSampler<'static> {
+        let swing = self.clone();
+        let mut tick = 0u64;
+        Box::new(move |obs: &mut [f64], tru: &mut [f64]| {
+            let amplitude = swing.amplitude_at(tick);
+            let v = amplitude * (0.9 * tick as f64 + stream_id as f64).sin();
+            tick += 1;
+            obs[0] = v;
+            tru[0] = v;
+        })
+    }
+}
+
 /// One stream in an ingest-mode fleet: its id, source-side producer, and
 /// the sampler generating its observations.
 pub struct IngestStream<'a> {
@@ -793,6 +879,110 @@ mod tests {
         assert!(
             report.sessions[0].error_vs_observed.max_abs()
                 > reference.sessions[0].error_vs_observed.max_abs()
+        );
+    }
+
+    /// Ships only when the observation moved more than δ since the last
+    /// ship — the suppression discipline the load swing is built to defeat
+    /// (high amplitude) or satisfy (low amplitude).
+    struct Deadband {
+        delta: f64,
+        last: f64,
+    }
+    impl Producer for Deadband {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn observe(&mut self, _: Tick, observed: &[f64]) -> Option<Bytes> {
+            if (observed[0] - self.last).abs() > self.delta {
+                self.last = observed[0];
+                Some(Bytes::copy_from_slice(&observed[0].to_le_bytes()))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn load_swing_schedule_is_piecewise_with_extending_tail() {
+        let swing = LoadSwing::new(vec![
+            LoadPhase {
+                ticks: 10,
+                amplitude: 4.0,
+            },
+            LoadPhase {
+                ticks: 5,
+                amplitude: 0.01,
+            },
+        ]);
+        assert_eq!(swing.total_ticks(), 15);
+        assert_eq!(swing.phases().len(), 2);
+        assert_eq!(swing.amplitude_at(0), 4.0);
+        assert_eq!(swing.amplitude_at(9), 4.0);
+        assert_eq!(swing.amplitude_at(10), 0.01);
+        assert_eq!(swing.amplitude_at(14), 0.01);
+        // The final phase extends indefinitely.
+        assert_eq!(swing.amplitude_at(10_000), 0.01);
+    }
+
+    #[test]
+    fn load_swing_samplers_are_deterministic() {
+        let swing = LoadSwing::new(vec![
+            LoadPhase {
+                ticks: 7,
+                amplitude: 2.0,
+            },
+            LoadPhase {
+                ticks: 7,
+                amplitude: 0.1,
+            },
+        ]);
+        let mut a = swing.sampler(3);
+        let mut b = swing.sampler(3);
+        let (mut oa, mut ta) = ([0.0], [0.0]);
+        let (mut ob, mut tb) = ([0.0], [0.0]);
+        for _ in 0..20 {
+            a(&mut oa, &mut ta);
+            b(&mut ob, &mut tb);
+            assert_eq!(oa[0].to_bits(), ob[0].to_bits());
+            assert_eq!(oa[0].to_bits(), ta[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn load_swing_drives_a_big_message_rate_swing_through_suppression() {
+        let swing = LoadSwing::new(vec![
+            LoadPhase {
+                ticks: 50,
+                amplitude: 4.0,
+            },
+            LoadPhase {
+                ticks: 50,
+                amplitude: 0.01,
+            },
+        ]);
+        let mut streams: Vec<IngestStream<'_>> = (0..4u32)
+            .map(|id| IngestStream {
+                stream_id: id,
+                producer: Box::new(Deadband {
+                    delta: 0.2,
+                    last: 0.0,
+                }),
+                sampler: swing.sampler(id),
+            })
+            .collect();
+        // Samplers self-clock, so running one fleet call per phase measures
+        // per-phase traffic without losing schedule position.
+        let mut sink = Recorder::default();
+        let high = run_fleet_ingest(&mut streams, 50, 0, &mut sink)
+            .total_traffic
+            .messages();
+        let low = run_fleet_ingest(&mut streams, 50, 0, &mut sink)
+            .total_traffic
+            .messages();
+        assert!(
+            high >= 4 * low.max(1),
+            "high-amplitude phase must offer ≥4× the load: high={high} low={low}"
         );
     }
 

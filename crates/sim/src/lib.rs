@@ -46,7 +46,8 @@ mod transport;
 pub use clock::Tick;
 pub use fleet::{
     run_fleet, run_fleet_ingest, run_fleet_ingest_faulty, run_lockstep, run_lockstep_with_crashes,
-    BoxedSampler, FleetReport, IngestFleetReport, IngestStream, LockstepStream, LockstepTick,
+    BoxedSampler, FleetReport, IngestFleetReport, IngestStream, LoadPhase, LoadSwing,
+    LockstepStream, LockstepTick,
 };
 pub use link::{Link, LinkFaults, Message};
 pub use metrics::{

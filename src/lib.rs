@@ -9,6 +9,7 @@
 //! * [`sim`] — the discrete-time network simulation substrate.
 //! * [`net`] — real TCP transport and the fleet-scale ingest server.
 //! * [`durable`] — snapshot + WAL persistence with bit-identical recovery.
+//! * [`elastic`] — closed-loop elastic shard scaling for the ingest pipeline.
 //! * [`baselines`] — comparator suppression policies.
 //! * [`query`] — continuous queries with precision bounds and error budgets.
 //! * [`linalg`] — the small dense linear-algebra kernel underneath it all.
@@ -20,6 +21,7 @@
 pub use kalstream_baselines as baselines;
 pub use kalstream_core as core;
 pub use kalstream_durable as durable;
+pub use kalstream_elastic as elastic;
 pub use kalstream_filter as filter;
 pub use kalstream_gen as gen;
 pub use kalstream_linalg as linalg;

@@ -105,6 +105,22 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Messages currently sitting in the queue (like the real crate's
+        /// `Sender::len`). A snapshot — the value can be stale by the time
+        /// the caller looks at it, which is fine for depth gauges.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// `true` when the queue holds no messages right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Appends a message to the queue and wakes one waiting receiver.
         /// On a bounded channel this blocks until a slot is free; it fails
         /// only when every receiver has dropped.
@@ -150,6 +166,21 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Messages currently sitting in the queue (like the real crate's
+        /// `Receiver::len`). A snapshot, for depth gauges.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// `true` when the queue holds no messages right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocks until a message is available or every sender has dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -270,6 +301,19 @@ mod tests {
         let mut got: Vec<usize> = out_rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_reports_queue_depth_from_both_ends() {
+        let (tx, rx) = channel::unbounded();
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.len(), 1);
+        assert!(!rx.is_empty());
     }
 
     #[test]
