@@ -63,6 +63,16 @@ cargo run --release -q -p kalstream-bench --bin check_regression -- \
     --current "$ART/exp_q2_budget_realloc.metrics.json" \
     ${SUMMARY[@]+"${SUMMARY[@]}"}
 
+echo "==> exp_q3_query_graph (cascaded DAG + punctuation feedback, deterministic)"
+cargo run --release -q -p kalstream-bench --bin exp_q3_query_graph -- \
+    --metrics-out "$ART/exp_q3_query_graph.metrics.json" > /dev/null
+
+echo "==> check_regression --kind query (Q3)"
+cargo run --release -q -p kalstream-bench --bin check_regression -- \
+    --kind query --baseline BENCH_q3_query_graph.json \
+    --current "$ART/exp_q3_query_graph.metrics.json" \
+    ${SUMMARY[@]+"${SUMMARY[@]}"}
+
 # Headline numbers on the run page, next to the gate verdicts.
 if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
     {
@@ -74,6 +84,8 @@ if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
         echo "| update_ns | $(json_num "$ART/bench_kernels.json" update_ns) |"
         echo "| batch_fleet_speedup | $(json_num "$ART/bench_kernels.json" batch_fleet_speedup) |"
         echo "| sequential msgs_per_sec | $(json_num "$ART/bench_ingest.json" msgs_per_sec) |"
+        echo "| q3 savings_fraction | $(json_num "$ART/exp_q3_query_graph.metrics.json" gate.savings_fraction) |"
+        echo "| q3 coverage | $(json_num "$ART/exp_q3_query_graph.metrics.json" gate.coverage) |"
         echo ""
     } >> "$GITHUB_STEP_SUMMARY"
 fi

@@ -17,6 +17,8 @@ FIRST_PARTY=(
     kalstream-query
     kalstream-baselines
     kalstream-net
+    kalstream-durable
+    kalstream-elastic
     kalstream-bench
     kalstream-obs
 )

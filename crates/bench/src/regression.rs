@@ -654,8 +654,12 @@ pub fn check_net(baseline_doc: &str, current_doc: &str, override_tol: Option<f64
 ///   outside its precision bound is a correctness bug, not a regression);
 /// * `gate.savings_fraction` must meet the experiment's own
 ///   `gate.min_savings_fraction` (the headline message-reduction claim);
-/// * `gate.max_bound_ratio` (when present, Q2): the served answer bound
-///   never exceeds the query contract.
+/// * `gate.max_bound_ratio` (when present, Q2/Q3): the served answer bound
+///   never exceeds the query contract;
+/// * `gate.coverage` (when present, Q3): the empirical coverage of the
+///   distributional answers' calibrated intervals must meet the
+///   experiment's `gate.min_coverage` — an interval that under-covers
+///   ground truth is a calibration bug, not a tolerance matter.
 #[must_use]
 pub fn check_query(baseline_doc: &str, current_doc: &str) -> GateReport {
     let mut report = GateReport::default();
@@ -696,6 +700,22 @@ pub fn check_query(baseline_doc: &str, current_doc: &str) -> GateReport {
             r <= 1.0 + 1e-9,
             "≤ 1 (served bound within contract)".to_string(),
         );
+    }
+    match (
+        json_number(current_doc, "gate.coverage"),
+        json_number(current_doc, "gate.min_coverage"),
+    ) {
+        (Some(c), Some(min)) => report.push(
+            "gate.coverage",
+            min,
+            c,
+            c >= min,
+            "≥ gate.min_coverage (calibrated interval coverage)".to_string(),
+        ),
+        // Q1/Q2 artifacts predate distributional answers and carry neither
+        // key; an artifact with only one of the pair is malformed.
+        (None, None) => {}
+        _ => report.must_hold("coverage gate keys paired", false),
     }
     report
 }
@@ -936,6 +956,7 @@ mod tests {
     const INGEST: &str = include_str!("../../../BENCH_ingest.json");
     const Q1: &str = include_str!("../../../BENCH_q1_query_bounds.json");
     const Q2: &str = include_str!("../../../BENCH_q2_budget_realloc.json");
+    const Q3: &str = include_str!("../../../BENCH_q3_query_graph.json");
     const NET: &str = include_str!("../../../BENCH_net.json");
     const DURABLE: &str = include_str!("../../../BENCH_durable.json");
     const ELASTIC: &str = include_str!("../../../BENCH_elastic.json");
@@ -1014,6 +1035,8 @@ mod tests {
         assert!(q1.passed(), "{}", q1.render());
         let q2 = check_query(Q2, Q2);
         assert!(q2.passed(), "{}", q2.render());
+        let q3 = check_query(Q3, Q3);
+        assert!(q3.passed(), "{}", q3.render());
         let n = check_net(NET, NET, None);
         assert!(n.passed(), "{}", n.render());
         let d = check_durable(DURABLE, DURABLE, None);
@@ -1396,6 +1419,41 @@ mod tests {
             "\"gate.max_bound_ratio\": 1.2",
         );
         assert!(!check_query(Q2, &loose_bound).passed());
+    }
+
+    #[test]
+    fn query_graph_coverage_or_drift_fails_the_gate() {
+        // An uncalibrated interval (coverage under the experiment's own
+        // floor) is a correctness failure, not a tolerance matter.
+        let uncovered = set_numbers(Q3, "gate.coverage", 0.6);
+        let report = check_query(Q3, &uncovered);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| !c.ok && c.name == "gate.coverage"));
+
+        // A coverage number without its floor (or vice versa) is malformed.
+        let orphaned = Q3.replace("\"gate.min_coverage\":", "\"gate.min_coverage_gone\":");
+        assert_ne!(orphaned, Q3, "baseline must carry the coverage floor");
+        assert!(!check_query(Q3, &orphaned).passed());
+
+        // Forward-message drift in either arm fails exactly; Q1/Q2 carry no
+        // coverage keys and must keep passing without them.
+        let b = json_number(Q3, "feedback.messages").unwrap();
+        let drifted = set_numbers(Q3, "feedback.messages", b + 1.0);
+        let report = check_query(Q3, &drifted);
+        let failing: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| !c.ok)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(failing, vec!["feedback.messages"]);
+
+        let thin = set_numbers(Q3, "gate.savings_fraction", 0.01);
+        assert!(!check_query(Q3, &thin).passed());
+        assert!(check_query(Q1, Q1).passed(), "Q1 has no coverage keys");
     }
 
     #[test]

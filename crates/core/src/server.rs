@@ -92,6 +92,15 @@ impl ServerEndpoint {
         self.filter.steps_since_update()
     }
 
+    /// Predictive variance of the served value (first measurement
+    /// component): the innovation covariance `S = H P Hᵀ + R` of the cached
+    /// filter, which grows with staleness as suppressed ticks accumulate
+    /// process noise. This is the per-stream uncertainty the query graph
+    /// propagates into distributional answers.
+    pub fn served_variance(&self) -> f64 {
+        self.filter.predicted_measurement_cov().get(0, 0)
+    }
+
     /// Applies one decoded sync message immediately (test/query-layer hook;
     /// the simulator path goes through [`Consumer::receive`], the ingest
     /// path through [`ServerEndpoint::enqueue`]).
@@ -389,6 +398,10 @@ impl Consumer for ServerEndpoint {
 
     fn delivery_stats(&self) -> DeliveryStats {
         self.delivery
+    }
+
+    fn served_variance(&self) -> Option<f64> {
+        Some(self.served_variance())
     }
 }
 

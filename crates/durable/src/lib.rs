@@ -32,6 +32,9 @@
 //! suppression, ack, and bound decisions forever after. Recovery is not
 //! "close enough to reconverge"; it is indistinguishable.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod ingest;
 pub mod snapshot;
 pub mod store;

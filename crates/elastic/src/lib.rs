@@ -23,7 +23,7 @@
 //! The queue-depth signal is timing-dependent; drivers that need exact
 //! reproducibility disable it via [`ElasticConfig::use_queue_signal`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod controller;

@@ -25,12 +25,19 @@
 //!   queries (including windows and [`evaluate_threshold`] alerts) whose
 //!   bounds are *propagated down* to per-stream deltas, with an optional
 //!   epoch allocator redistributing the fleet message budget.
+//! * [`QueryGraph`] — the cascaded query DAG: query outputs are first-class
+//!   derived streams other queries subscribe to, evaluation is topological
+//!   (cycles rejected at registration with [`QueryError::Cycle`]),
+//!   punctuation feedback from downstream operators dynamically relaxes
+//!   upstream suppression deltas, and every value node serves a calibrated
+//!   [`DistributionalAnswer`] next to its worst-case δ bound.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod budget;
 mod eval;
+mod graph;
 mod parse;
 mod registry;
 mod runtime;
@@ -39,6 +46,7 @@ pub mod window;
 
 pub use budget::{split_budget, split_budget_uniform, split_budget_weighted};
 pub use eval::{answer_aggregate, answer_point, evaluate_threshold, AlertState, Answer};
+pub use graph::{z_quantile, DistributionalAnswer, QueryGraph};
 pub use parse::{parse_query, ParsedQuery};
 pub use registry::{QueryRegistry, StreamView};
 pub use runtime::{QueryRuntime, WindowAnswer, WindowSpec};

@@ -101,9 +101,22 @@ pub enum QueryError {
     UnknownStream(StreamId),
     /// A query with this id is already registered. Pre-fix the registry
     /// silently accepted the collision, so removing or answering "the" query
-    /// under that id was ambiguous.
+    /// under that id was ambiguous. In a [`crate::QueryGraph`] the same
+    /// namespace covers raw-stream aliases *and* derived streams, so a
+    /// derived id can never shadow a raw id (or vice versa).
     DuplicateId {
         /// The colliding query id.
+        id: String,
+    },
+    /// A referenced graph node id is not registered.
+    UnknownNode {
+        /// The missing node id.
+        id: String,
+    },
+    /// Registering or rewiring this node would create a dependency cycle —
+    /// the query graph must stay a DAG for topological evaluation to exist.
+    Cycle {
+        /// The node whose inputs close the cycle.
         id: String,
     },
 }
@@ -114,6 +127,10 @@ impl fmt::Display for QueryError {
             QueryError::Invalid { reason } => write!(f, "invalid query: {reason}"),
             QueryError::UnknownStream(id) => write!(f, "unknown stream {}", id.0),
             QueryError::DuplicateId { id } => write!(f, "duplicate query id {id:?}"),
+            QueryError::UnknownNode { id } => write!(f, "unknown graph node {id:?}"),
+            QueryError::Cycle { id } => {
+                write!(f, "inputs of {id:?} would create a dependency cycle")
+            }
         }
     }
 }

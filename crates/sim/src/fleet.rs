@@ -390,6 +390,10 @@ pub struct LockstepTick<'t> {
     pub truth: &'t [Vec<f64>],
     /// Per-stream server estimates of this tick.
     pub estimates: &'t [Vec<f64>],
+    /// Per-stream predictive variance of the estimate
+    /// ([`Consumer::served_variance`]), `None` for consumers that track no
+    /// uncertainty. Query layers use this to serve distributional answers.
+    pub variances: &'t [Option<f64>],
 }
 
 /// Drives many sessions in lockstep — all streams advance through the same
@@ -497,6 +501,7 @@ where
     let mut err_obs: Vec<ErrorMetrics> = (0..n).map(|_| ErrorMetrics::new(config.delta)).collect();
     let mut err_truth: Vec<ErrorMetrics> =
         (0..n).map(|_| ErrorMetrics::new(config.delta)).collect();
+    let mut variances: Vec<Option<f64>> = vec![None; n];
 
     for now in 0..config.ticks {
         for (i, stream) in streams.iter_mut().enumerate() {
@@ -509,6 +514,7 @@ where
                 stream.consumer.receive(now, &msg.payload);
             }
             stream.consumer.estimate(now, &mut estimates[i]);
+            variances[i] = stream.consumer.served_variance();
             while let Some(fb) = stream.consumer.poll_feedback(now) {
                 ack_links[i].send(now, fb);
             }
@@ -525,6 +531,7 @@ where
                 observed: &observed,
                 truth: &truth,
                 estimates: &estimates,
+                variances: &variances,
             },
             streams,
         );

@@ -57,6 +57,16 @@ pub trait Consumer {
     fn delivery_stats(&self) -> DeliveryStats {
         DeliveryStats::default()
     }
+
+    /// Predictive variance of the estimate written by the most recent
+    /// [`Consumer::estimate`] call (first measurement component), when the
+    /// consumer maintains one — model-based consumers expose their Kalman
+    /// innovation covariance here so query layers can serve distributional
+    /// answers. The default (`None`) suits value-cache consumers that track
+    /// no uncertainty.
+    fn served_variance(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]
